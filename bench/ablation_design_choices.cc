@@ -1,0 +1,90 @@
+// Ablation of the design choices DESIGN.md calls out, on TFACC:
+//
+//   BEAS          — full system (constraint chains + chAT level optimizer)
+//   no_chAT       — chase only; all template fetches stay at level 0
+//   no_constraints— access schema is the bare universal A_t (no declared
+//                   constraints, so no constraint chains / exact probes)
+//
+// Expectation: the full system dominates; no_chAT wastes the budget
+// (plans fetch far fewer tuples than allowed); no_constraints loses the
+// exact point-query pipelines and the eta=1 plans.
+
+#include "harness.h"
+#include "workload/tfacc.h"
+
+using namespace beas;
+using namespace beas::bench;
+
+namespace {
+
+struct Variant {
+  const char* label;
+  std::unique_ptr<Beas> beas;
+};
+
+double AvgRc(Dataset& ds, Beas* beas, const std::vector<GeneratedQuery>& queries,
+             double alpha, const RcOptions& rc) {
+  DatabaseSchema schema = ds.db.Schema();
+  Evaluator exact_engine(ds.db, rc.eval);
+  double total = 0;
+  int n = 0;
+  for (const auto& gq : queries) {
+    auto q = ParseSql(schema, gq.sql);
+    if (!q.ok()) continue;
+    auto exact = exact_engine.Eval(*q);
+    if (!exact.ok()) continue;
+    double score = 0;
+    auto answer = beas->Answer(*q, alpha);
+    if (answer.ok()) {
+      auto rep = RcMeasureWithExact(ds.db, *q, answer->table, *exact, rc);
+      if (rep.ok()) score = rep->accuracy;
+    }
+    total += score;
+    n += 1;
+  }
+  return n > 0 ? total / n : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t rows = static_cast<int64_t>(ArgOr(argc, argv, "rows", 3000));
+  int nq = static_cast<int>(ArgOr(argc, argv, "queries", 24));
+  Dataset ds = MakeTfacc(rows, /*seed=*/120);
+  std::printf("Ablation: TFACC |D|=%zu, %d queries\n", ds.db.TotalTuples(), nq);
+
+  std::vector<Variant> variants;
+  {
+    BeasOptions full;
+    full.constraints = ds.constraints;
+    variants.push_back({"BEAS", std::move(Beas::Build(&ds.db, full)).MoveValueUnsafe()});
+  }
+  {
+    BeasOptions no_chat;
+    no_chat.constraints = ds.constraints;
+    no_chat.planner.optimize_levels = false;
+    variants.push_back({"no_chAT", std::move(Beas::Build(&ds.db, no_chat)).MoveValueUnsafe()});
+  }
+  {
+    BeasOptions no_constraints;  // bare A_t
+    variants.push_back({"no_constraints", std::move(Beas::Build(&ds.db, no_constraints)).MoveValueUnsafe()});
+  }
+
+  auto queries = GenerateQueries(ds, nq, PaperQueryMix(1020));
+  RunOptions run_defaults;  // for the rc caps
+
+  std::vector<std::string> series;
+  for (const auto& v : variants) series.push_back(v.label);
+  std::vector<std::string> xs;
+  std::vector<std::vector<double>> values;
+  for (double alpha : {0.01, 0.04, 0.16}) {
+    xs.push_back(FormatDouble(alpha, 3));
+    std::vector<double> row;
+    for (auto& v : variants) {
+      row.push_back(AvgRc(ds, v.beas.get(), queries, alpha, run_defaults.rc));
+    }
+    values.push_back(std::move(row));
+  }
+  PrintSeries("Ablation RC accuracy (TFACC)", "alpha", xs, series, values);
+  return 0;
+}

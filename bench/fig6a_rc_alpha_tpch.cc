@@ -1,0 +1,23 @@
+// Fig 6(a): RC accuracy vs resource ratio alpha on TPCH.
+//
+// Paper setting: alpha in [1.5e-4, 5.5e-4] against 200M tuples (budgets
+// 30k-110k). Here the same sweep runs on a small-scale TPCH instance with
+// alpha scaled to keep budgets comparable; override with
+// "sf=0.004 queries=30".
+
+#include "harness.h"
+#include "workload/tpch.h"
+
+using namespace beas;
+using namespace beas::bench;
+
+int main(int argc, char** argv) {
+  double sf = ArgOr(argc, argv, "sf", 0.002);
+  int nq = static_cast<int>(ArgOr(argc, argv, "queries", 30));
+  Bench bench(MakeTpch(sf, /*seed=*/101));
+  std::printf("Fig 6(a): TPCH sf=%g |D|=%zu, %d queries\n", sf, bench.db_size(), nq);
+  auto queries = GenerateQueries(bench.dataset(), nq, PaperQueryMix(1001));
+  RunAlphaPanel(bench, queries, {0.005, 0.012, 0.03, 0.07, 0.17},
+                "Fig6a RC accuracy vs alpha (TPCH)", /*use_mac=*/false);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Fig 6(c): RC accuracy vs resource ratio alpha on AIRCA (synthetic
+// stand-in; see DESIGN.md). Override with "rows=6000 queries=30".
+
+#include "harness.h"
+#include "workload/airca.h"
+
+using namespace beas;
+using namespace beas::bench;
+
+int main(int argc, char** argv) {
+  int64_t rows = static_cast<int64_t>(ArgOr(argc, argv, "rows", 5000));
+  int nq = static_cast<int>(ArgOr(argc, argv, "queries", 30));
+  Bench bench(MakeAirca(rows, /*seed=*/103));
+  std::printf("Fig 6(c): AIRCA flights=%lld |D|=%zu, %d queries\n",
+              static_cast<long long>(rows), bench.db_size(), nq);
+  auto queries = GenerateQueries(bench.dataset(), nq, PaperQueryMix(1003));
+  RunAlphaPanel(bench, queries, {0.005, 0.012, 0.03, 0.07, 0.17},
+                "Fig6c RC accuracy vs alpha (AIRCA)", /*use_mac=*/false);
+  return 0;
+}

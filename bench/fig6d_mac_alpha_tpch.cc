@@ -1,0 +1,20 @@
+// Fig 6(d): MAC accuracy (the histogram measure of [27], normalized to
+// [0,1]) vs resource ratio alpha on TPCH.
+
+#include "harness.h"
+#include "workload/tpch.h"
+
+using namespace beas;
+using namespace beas::bench;
+
+int main(int argc, char** argv) {
+  double sf = ArgOr(argc, argv, "sf", 0.002);
+  int nq = static_cast<int>(ArgOr(argc, argv, "queries", 30));
+  Bench bench(MakeTpch(sf, /*seed=*/104));
+  std::printf("Fig 6(d): TPCH sf=%g |D|=%zu, %d queries (MAC measure)\n", sf,
+              bench.db_size(), nq);
+  auto queries = GenerateQueries(bench.dataset(), nq, PaperQueryMix(1004));
+  RunAlphaPanel(bench, queries, {0.005, 0.012, 0.03, 0.07, 0.17},
+                "Fig6d MAC accuracy vs alpha (TPCH)", /*use_mac=*/true);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fig 6(e): RC accuracy vs |D| (TPC-H scale factor sweep) at fixed alpha.
+// The paper sweeps sigma in [5, 25]; here the sweep is over small scale
+// factors with the same fixed alpha, showing the same trend: at fixed
+// alpha, a bigger database means a bigger budget alpha|D| and higher
+// accuracy for BEAS, while the synopsis baselines barely move.
+
+#include "harness.h"
+#include "workload/tpch.h"
+
+using namespace beas;
+using namespace beas::bench;
+
+int main(int argc, char** argv) {
+  double alpha = ArgOr(argc, argv, "alpha", 0.02);
+  int nq = static_cast<int>(ArgOr(argc, argv, "queries", 24));
+  bool mac = false;
+  std::vector<double> sfs{0.001, 0.002, 0.003, 0.004, 0.005};
+
+  std::vector<std::string> series{"BEAS_SPC",     "BEAS_RA", "BEAS_SPC(eta)",
+                                  "BEAS_RA(eta)", "Sampl",   "Histo",
+                                  "BlinkDB"};
+  const std::vector<QueryClass> kSpcClasses{QueryClass::kSpc, QueryClass::kAggSpc};
+  const std::vector<QueryClass> kRaClasses{QueryClass::kRa, QueryClass::kAggRa};
+  std::vector<std::string> xs;
+  std::vector<std::vector<double>> values;
+  std::printf("Fig 6(e): TPCH size sweep at alpha=%g, %d queries x 3 seeds (RC)\n",
+              alpha, nq);
+  for (double sf : sfs) {
+    Bench bench(MakeTpch(sf, /*seed=*/105));
+    // Average over several workload seeds to damp per-query noise.
+    std::vector<PerQueryResult> results;
+    for (uint64_t seed : {1005u, 2005u, 3005u}) {
+      auto queries = GenerateQueries(bench.dataset(), nq, PaperQueryMix(seed));
+      RunOptions opts;
+      opts.compute_mac = mac;
+      auto part = bench.Run(queries, alpha, opts);
+      for (auto& r : part) results.push_back(std::move(r));
+    }
+    xs.push_back(FormatDouble(sf, 4));
+    values.push_back({AvgScore(results, "BEAS", &PerQueryResult::rc, kSpcClasses),
+                      AvgScore(results, "BEAS", &PerQueryResult::rc, kRaClasses),
+                      AvgEta(results, kSpcClasses), AvgEta(results, kRaClasses),
+                      AvgScore(results, "Sampl", &PerQueryResult::rc),
+                      AvgScore(results, "Histo", &PerQueryResult::rc),
+                      AvgScore(results, "BlinkDB", &PerQueryResult::rc)});
+  }
+  PrintSeries("Fig6e RC accuracy vs |D| (TPCH)", "scale", xs, series, values);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Fig 6(f): MAC accuracy vs |D| (TPC-H scale factor sweep) at fixed alpha.
+
+#include "harness.h"
+#include "workload/tpch.h"
+
+using namespace beas;
+using namespace beas::bench;
+
+int main(int argc, char** argv) {
+  double alpha = ArgOr(argc, argv, "alpha", 0.02);
+  int nq = static_cast<int>(ArgOr(argc, argv, "queries", 24));
+  std::vector<double> sfs{0.001, 0.002, 0.003, 0.004, 0.005};
+
+  std::vector<std::string> series{"BEAS_SPC", "BEAS_RA", "Sampl", "Histo", "BlinkDB"};
+  const std::vector<QueryClass> kSpcClasses{QueryClass::kSpc, QueryClass::kAggSpc};
+  const std::vector<QueryClass> kRaClasses{QueryClass::kRa, QueryClass::kAggRa};
+  std::vector<std::string> xs;
+  std::vector<std::vector<double>> values;
+  std::printf("Fig 6(f): TPCH size sweep at alpha=%g, %d queries x 3 seeds (MAC)\n",
+              alpha, nq);
+  for (double sf : sfs) {
+    Bench bench(MakeTpch(sf, /*seed=*/106));
+    std::vector<PerQueryResult> results;
+    for (uint64_t seed : {1006u, 2006u, 3006u}) {
+      auto queries = GenerateQueries(bench.dataset(), nq, PaperQueryMix(seed));
+      RunOptions opts;
+      opts.compute_mac = true;
+      auto part = bench.Run(queries, alpha, opts);
+      for (auto& r : part) results.push_back(std::move(r));
+    }
+    xs.push_back(FormatDouble(sf, 4));
+    values.push_back({AvgScore(results, "BEAS", &PerQueryResult::mac, kSpcClasses),
+                      AvgScore(results, "BEAS", &PerQueryResult::mac, kRaClasses),
+                      AvgScore(results, "Sampl", &PerQueryResult::mac),
+                      AvgScore(results, "Histo", &PerQueryResult::mac),
+                      AvgScore(results, "BlinkDB", &PerQueryResult::mac)});
+  }
+  PrintSeries("Fig6f MAC accuracy vs |D| (TPCH)", "scale", xs, series, values);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fig 6(g): RC accuracy vs #-sel (number of selection predicates) on
+// TFACC at fixed alpha. BEAS improves with more selections (plans are
+// guided by the query); one-size-fits-all synopses are indifferent.
+
+#include "harness.h"
+#include "workload/tfacc.h"
+
+using namespace beas;
+using namespace beas::bench;
+
+int main(int argc, char** argv) {
+  double alpha = ArgOr(argc, argv, "alpha", 0.04);
+  int64_t rows = static_cast<int64_t>(ArgOr(argc, argv, "rows", 3000));
+  int nq = static_cast<int>(ArgOr(argc, argv, "queries", 20));
+  Bench bench(MakeTfacc(rows, /*seed=*/107));
+  std::printf("Fig 6(g): TFACC |D|=%zu, alpha=%g, %d queries per #-sel\n",
+              bench.db_size(), alpha, nq);
+
+  std::vector<std::string> series{"BEAS", "BEAS(eta)", "Sampl", "Histo", "BlinkDB"};
+  std::vector<std::string> xs;
+  std::vector<std::vector<double>> values;
+  for (int nsel = 3; nsel <= 7; ++nsel) {
+    QueryGenConfig cfg = PaperQueryMix(1007 + static_cast<uint64_t>(nsel));
+    cfg.min_sel = nsel;
+    cfg.max_sel = nsel;
+    auto queries = GenerateQueries(bench.dataset(), nq, cfg);
+    auto results = bench.Run(queries, alpha);
+    xs.push_back(std::to_string(nsel));
+    values.push_back(
+        {AvgScore(results, "BEAS", &PerQueryResult::rc),
+         AvgEta(results, {QueryClass::kSpc, QueryClass::kRa, QueryClass::kAggSpc,
+                          QueryClass::kAggRa}),
+         AvgScore(results, "Sampl", &PerQueryResult::rc),
+         AvgScore(results, "Histo", &PerQueryResult::rc),
+         AvgScore(results, "BlinkDB", &PerQueryResult::rc)});
+  }
+  PrintSeries("Fig6g RC accuracy vs #-sel (TFACC)", "#-sel", xs, series, values);
+  return 0;
+}

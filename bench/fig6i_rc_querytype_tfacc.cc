@@ -1,0 +1,57 @@
+// Fig 6(i): RC accuracy by query class (SPC, RA, agg(SPC)) on TFACC.
+// As in the paper, a method scores 0 on classes it does not support
+// (Histo on RA, BlinkDB on non-aggregates and min/max).
+
+#include "harness.h"
+#include "workload/tfacc.h"
+
+using namespace beas;
+using namespace beas::bench;
+
+int main(int argc, char** argv) {
+  double alpha = ArgOr(argc, argv, "alpha", 0.04);
+  int64_t rows = static_cast<int64_t>(ArgOr(argc, argv, "rows", 3000));
+  int nq = static_cast<int>(ArgOr(argc, argv, "queries", 20));
+  Bench bench(MakeTfacc(rows, /*seed=*/109));
+  std::printf("Fig 6(i): TFACC |D|=%zu, alpha=%g, %d queries per class\n",
+              bench.db_size(), alpha, nq);
+
+  struct ClassSpec {
+    const char* label;
+    QueryGenConfig cfg;
+    std::vector<QueryClass> classes;
+  };
+  QueryGenConfig spc = PaperQueryMix(1009);
+  spc.frac_agg = 0;
+  spc.frac_diff = 0;
+  QueryGenConfig ra = PaperQueryMix(1010);
+  ra.frac_agg = 0;
+  ra.frac_diff = 1.0;
+  QueryGenConfig agg = PaperQueryMix(1011);
+  agg.frac_agg = 1.0;
+  agg.frac_diff = 0;
+  std::vector<ClassSpec> specs{
+      {"SPC", spc, {QueryClass::kSpc}},
+      {"RA", ra, {QueryClass::kRa}},
+      {"agg(SPC)", agg, {QueryClass::kAggSpc}},
+  };
+
+  std::vector<std::string> series{"BEAS", "BEAS(eta)", "Sampl", "Histo", "BlinkDB"};
+  std::vector<std::string> xs;
+  std::vector<std::vector<double>> values;
+  for (const auto& spec : specs) {
+    auto queries = GenerateQueries(bench.dataset(), nq, spec.cfg);
+    auto results = bench.Run(queries, alpha);
+    xs.push_back(spec.label);
+    values.push_back({AvgScore(results, "BEAS", &PerQueryResult::rc, spec.classes),
+                      AvgEta(results, spec.classes),
+                      AvgScore(results, "Sampl", &PerQueryResult::rc, spec.classes,
+                               /*zero_fill=*/true),
+                      AvgScore(results, "Histo", &PerQueryResult::rc, spec.classes,
+                               /*zero_fill=*/true),
+                      AvgScore(results, "BlinkDB", &PerQueryResult::rc, spec.classes,
+                               /*zero_fill=*/true)});
+  }
+  PrintSeries("Fig6i RC accuracy by query class (TFACC)", "class", xs, series, values);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Fig 6(k): index size as a multiple of |D| for the three datasets:
+// constraint indices alone, the indices of templates actually used by the
+// workload's plans, and the full access-schema index.
+
+#include <set>
+
+#include "harness.h"
+#include "workload/airca.h"
+#include "workload/tfacc.h"
+#include "workload/tpch.h"
+
+using namespace beas;
+using namespace beas::bench;
+
+namespace {
+
+std::vector<double> MeasureDataset(Dataset ds, int nq, uint64_t seed) {
+  Bench bench(std::move(ds));
+  size_t d = bench.db_size();
+  IndexStore& store = bench.beas().store();
+
+  // Families used by the workload's plans at a mid-range alpha.
+  auto queries = GenerateQueries(bench.dataset(), nq, PaperQueryMix(seed));
+  DatabaseSchema schema = bench.dataset().db.Schema();
+  std::set<std::string> used;
+  for (const auto& gq : queries) {
+    auto q = ParseSql(schema, gq.sql);
+    if (!q.ok()) continue;
+    auto plan = bench.beas().PlanOnly(*q, 0.04);
+    if (!plan.ok()) continue;
+    for (const auto& unit : plan->units) {
+      for (const auto& op : unit.fetch.ops) used.insert(op.family_id);
+    }
+  }
+  size_t used_entries = 0;
+  for (const auto& id : used) {
+    auto n = store.FamilyEntries(id);
+    if (n.ok()) used_entries += *n;
+  }
+  double dd = static_cast<double>(d);
+  return {static_cast<double>(store.ConstraintEntries()) / dd,
+          static_cast<double>(used_entries) / dd,
+          static_cast<double>(store.TotalEntries()) / dd};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int nq = static_cast<int>(ArgOr(argc, argv, "queries", 30));
+  std::printf("Fig 6(k): index sizes as multiples of |D|\n");
+
+  std::vector<std::string> series{"constraints", "used_templates", "total"};
+  std::vector<std::string> xs{"TPCH", "TFACC", "AIRCA"};
+  std::vector<std::vector<double>> values;
+  values.push_back(MeasureDataset(MakeTpch(0.002, 111), nq, 1011));
+  values.push_back(MeasureDataset(MakeTfacc(3000, 112), nq, 1012));
+  values.push_back(MeasureDataset(MakeAirca(5000, 113), nq, 1013));
+  PrintSeries("Fig6k index size (x |D|)", "dataset", xs, series, values);
+  return 0;
+}

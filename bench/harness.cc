@@ -1,0 +1,227 @@
+#include "harness.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/baselines.h"
+#include "common/string_util.h"
+#include "engine/evaluator.h"
+#include "ra/parser.h"
+
+namespace beas {
+namespace bench {
+
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+Bench::Bench(Dataset dataset) : dataset_(std::move(dataset)) {
+  BeasOptions options;
+  options.constraints = dataset_.constraints;
+  auto built = Beas::Build(&dataset_.db, options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "FATAL: Beas::Build failed: %s\n",
+                 built.status().ToString().c_str());
+    std::abort();
+  }
+  beas_ = std::move(*built);
+}
+
+std::vector<PerQueryResult> Bench::Run(const std::vector<GeneratedQuery>& queries,
+                                       double alpha, const RunOptions& options) {
+  DatabaseSchema schema = dataset_.db.Schema();
+  Evaluator exact_engine(dataset_.db, options.rc.eval);
+
+  Sampl sampl(dataset_.db, alpha, options.seed);
+  Histo histo(dataset_.db, alpha, options.seed);
+  BlinkDbSim blink(dataset_.db, alpha, dataset_.qcs, options.seed);
+
+  std::vector<PerQueryResult> results;
+  for (const auto& gq : queries) {
+    PerQueryResult r;
+    r.gq = gq;
+    auto parsed = ParseSql(schema, gq.sql);
+    if (!parsed.ok()) continue;
+    QueryPtr q = *parsed;
+    r.cls = ClassifyQuery(q);
+
+    auto t0 = std::chrono::steady_clock::now();
+    auto exact = exact_engine.Eval(q);
+    r.engine_exact_ms = MillisSince(t0);
+    if (!exact.ok()) continue;  // engine cap hit: skip pathological query
+    r.exact_size = exact->size();
+
+    auto score = [&](const std::string& name, const Result<Table>& answer) {
+      if (!answer.ok()) {
+        if (answer.status().code() == StatusCode::kUnimplemented) return;  // unsupported
+        // Budget/overflow failures score 0 (the method produced nothing).
+        r.rc[name] = 0;
+        if (options.compute_mac) r.mac[name] = 0;
+        return;
+      }
+      auto rep = RcMeasureWithExact(dataset_.db, q, *answer, *exact, options.rc);
+      // A failed *measurement* (cap hit in the relaxed evaluation) says
+      // nothing about the method; skip the data point.
+      if (rep.ok()) r.rc[name] = rep->accuracy;
+      if (options.compute_mac) {
+        r.mac[name] = MacAccuracy(q->output_schema(), *answer, *exact);
+      }
+    };
+
+    // BEAS (plan + execute timed separately).
+    {
+      auto tp = std::chrono::steady_clock::now();
+      auto plan = beas_->PlanOnly(q, alpha);
+      r.beas_plan_ms = MillisSince(tp);
+      if (plan.ok()) {
+        auto te = std::chrono::steady_clock::now();
+        PlanExecutor executor(&beas_->store(), options.rc.eval);
+        uint64_t budget = static_cast<uint64_t>(
+            std::floor(alpha * static_cast<double>(db_size())));
+        auto answer = executor.Execute(*plan, budget);
+        r.beas_exec_ms = MillisSince(te);
+        if (answer.ok()) {
+          r.beas_eta = answer->eta;
+          r.beas_exact = answer->exact;
+          r.beas_accessed = answer->accessed;
+          score("BEAS", Result<Table>(std::move(answer->table)));
+        } else {
+          score("BEAS", Result<Table>(answer.status()));
+        }
+      } else {
+        score("BEAS", Result<Table>(plan.status()));
+      }
+    }
+    score("Sampl", sampl.Answer(gq.sql));
+    score("Histo", r.cls == QueryClass::kSpc || r.cls == QueryClass::kAggSpc
+                       ? histo.Answer(gq.sql)
+                       : Result<Table>(Status::Unimplemented("Histo: SPC only")));
+    score("BlinkDB", blink.Answer(gq.sql));
+
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+double AvgScore(const std::vector<PerQueryResult>& results, const std::string& method,
+                const std::map<std::string, double> PerQueryResult::* field,
+                std::optional<std::vector<QueryClass>> want, bool zero_fill) {
+  double total = 0;
+  int n = 0;
+  for (const auto& r : results) {
+    if (want) {
+      bool match = false;
+      for (auto c : *want) match |= c == r.cls;
+      if (!match) continue;
+    }
+    auto it = (r.*field).find(method);
+    if (it == (r.*field).end()) {
+      if (zero_fill) n += 1;
+      continue;
+    }
+    total += it->second;
+    n += 1;
+  }
+  return n > 0 ? total / n : 0.0;
+}
+
+double AvgEta(const std::vector<PerQueryResult>& results, std::vector<QueryClass> want) {
+  double total = 0;
+  int n = 0;
+  for (const auto& r : results) {
+    bool match = false;
+    for (auto c : want) match |= c == r.cls;
+    if (!match) continue;
+    total += r.beas_eta;
+    n += 1;
+  }
+  return n > 0 ? total / n : 0.0;
+}
+
+void PrintSeries(const std::string& title, const std::string& x_label,
+                 const std::vector<std::string>& x_values,
+                 const std::vector<std::string>& series,
+                 const std::vector<std::vector<double>>& values) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%-14s", x_label.c_str());
+  for (const auto& s : series) std::printf("%14s", s.c_str());
+  std::printf("\n");
+  for (size_t x = 0; x < x_values.size(); ++x) {
+    std::printf("%-14s", x_values[x].c_str());
+    for (size_t s = 0; s < series.size(); ++s) {
+      std::printf("%14.4f", values[x][s]);
+    }
+    std::printf("\n");
+  }
+  // Machine-readable rows.
+  for (size_t x = 0; x < x_values.size(); ++x) {
+    for (size_t s = 0; s < series.size(); ++s) {
+      std::printf("DATA,%s,%s,%s,%.6f\n", title.c_str(), x_values[x].c_str(),
+                  series[s].c_str(), values[x][s]);
+    }
+  }
+  std::fflush(stdout);
+}
+
+QueryGenConfig PaperQueryMix(uint64_t seed) {
+  QueryGenConfig cfg;
+  cfg.min_sel = 3;
+  cfg.max_sel = 7;
+  cfg.min_prod = 0;
+  cfg.max_prod = 4;
+  cfg.frac_agg = 0.3;
+  cfg.frac_diff = 0.5;
+  cfg.max_diff = 3;
+  cfg.seed = seed;
+  return cfg;
+}
+
+void RunAlphaPanel(Bench& bench, const std::vector<GeneratedQuery>& queries,
+                   const std::vector<double>& alphas, const std::string& title,
+                   bool use_mac) {
+  const std::vector<QueryClass> kSpcClasses{QueryClass::kSpc, QueryClass::kAggSpc};
+  const std::vector<QueryClass> kRaClasses{QueryClass::kRa, QueryClass::kAggRa};
+  std::vector<std::string> series{"BEAS_SPC",     "BEAS_RA", "BEAS_SPC(eta)",
+                                  "BEAS_RA(eta)", "Sampl",   "Histo",
+                                  "BlinkDB"};
+  std::vector<std::string> xs;
+  std::vector<std::vector<double>> values;
+  for (double alpha : alphas) {
+    RunOptions opts;
+    opts.compute_mac = use_mac;
+    auto results = bench.Run(queries, alpha, opts);
+    auto field = use_mac ? &PerQueryResult::mac : &PerQueryResult::rc;
+    xs.push_back(FormatDouble(alpha, 4));
+    values.push_back({AvgScore(results, "BEAS", field, kSpcClasses),
+                      AvgScore(results, "BEAS", field, kRaClasses),
+                      AvgEta(results, kSpcClasses), AvgEta(results, kRaClasses),
+                      AvgScore(results, "Sampl", field),
+                      AvgScore(results, "Histo", field),
+                      AvgScore(results, "BlinkDB", field)});
+  }
+  PrintSeries(title, "alpha", xs, series, values);
+}
+
+double ArgOr(int argc, char** argv, const std::string& key, double fallback) {
+  std::string prefix = key + "=";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      try {
+        return std::stod(arg.substr(prefix.size()));
+      } catch (...) {
+        return fallback;
+      }
+    }
+  }
+  return fallback;
+}
+
+}  // namespace bench
+}  // namespace beas

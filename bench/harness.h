@@ -1,0 +1,119 @@
+// Shared benchmark harness: runs BEAS and the baselines over a generated
+// workload at a resource ratio, scoring every answer under the RC, MAC
+// and F measures against the exact engine. Each Figure-6 binary assembles
+// its series from these per-query results.
+//
+// Scale note: the paper runs alpha in [1.5e-4, 5.5e-4] against up to 200M
+// tuples (budgets of 30k-110k tuples). The benches here run the same
+// systems on smaller instances, so alpha is scaled up to keep the budget
+// alpha*|D| in a comparable regime; EXPERIMENTS.md records the mapping.
+
+#ifndef BEAS_BENCH_HARNESS_H_
+#define BEAS_BENCH_HARNESS_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "accuracy/measures.h"
+#include "beas/beas.h"
+#include "common/string_util.h"
+#include "workload/query_gen.h"
+#include "workload/workload.h"
+
+namespace beas {
+namespace bench {
+
+/// Per-query, per-method scores at one resource ratio.
+struct PerQueryResult {
+  GeneratedQuery gq;
+  QueryClass cls = QueryClass::kSpc;
+  size_t exact_size = 0;
+  /// Method name -> score; a method absent from the map did not support
+  /// the query (Unimplemented).
+  std::map<std::string, double> rc;
+  std::map<std::string, double> mac;
+  /// BEAS bookkeeping.
+  double beas_eta = 0;
+  bool beas_exact = false;
+  uint64_t beas_accessed = 0;
+  double beas_plan_ms = 0;
+  double beas_exec_ms = 0;
+  double engine_exact_ms = 0;  ///< full-data evaluation (the DBMS stand-in)
+};
+
+/// Options for one harness run.
+struct RunOptions {
+  bool compute_mac = false;
+  uint64_t seed = 7;
+  /// Engine caps (accuracy evaluation can be expensive on adversarial
+  /// relaxations; distances beyond max_relaxation count as +inf).
+  RcOptions rc;
+
+  RunOptions() {
+    // Distances are range-normalized by the generators, so relaxations
+    // beyond a few units are meaningless; the row cap bounds the memory
+    // of the relaxed-query evaluation on large joins (rows can be ~1KB
+    // wide on 5-relation chains). Measurements that hit the cap are
+    // skipped, not scored.
+    rc.max_relaxation = 64;
+    rc.eval.max_intermediate_rows = 400'000;
+  }
+};
+
+/// A dataset with its BEAS instance built once.
+class Bench {
+ public:
+  explicit Bench(Dataset dataset);
+
+  /// Runs BEAS + Sampl + Histo + BlinkDB at \p alpha over \p queries.
+  std::vector<PerQueryResult> Run(const std::vector<GeneratedQuery>& queries, double alpha,
+                                  const RunOptions& options = {});
+
+  Dataset& dataset() { return dataset_; }
+  Beas& beas() { return *beas_; }
+  size_t db_size() const { return dataset_.db.TotalTuples(); }
+
+ private:
+  Dataset dataset_;
+  std::unique_ptr<Beas> beas_;
+};
+
+/// Average of method \p m over results whose class passes \p want
+/// (nullopt = all classes); queries the method does not support are
+/// skipped unless \p zero_fill.
+double AvgScore(const std::vector<PerQueryResult>& results, const std::string& method,
+                const std::map<std::string, double> PerQueryResult::* field,
+                std::optional<std::vector<QueryClass>> want = std::nullopt,
+                bool zero_fill = false);
+
+/// Average BEAS eta over results of the given classes.
+double AvgEta(const std::vector<PerQueryResult>& results, std::vector<QueryClass> want);
+
+/// Prints a Figure-6-style series table: one row per x value, one column
+/// per series.
+void PrintSeries(const std::string& title, const std::string& x_label,
+                 const std::vector<std::string>& x_values,
+                 const std::vector<std::string>& series,
+                 const std::vector<std::vector<double>>& values /* [x][series] */);
+
+/// Parses "NAME=value"-style overrides from argv ("sf=0.002 queries=30").
+double ArgOr(int argc, char** argv, const std::string& key, double fallback);
+
+/// The Section 8 query mix: 30% aggregates, the rest RA with 0-3
+/// differences, #-sel in [3,7], #-prod in [0,4].
+QueryGenConfig PaperQueryMix(uint64_t seed);
+
+/// Runs the alpha-sweep accuracy panel (Fig 6(a)-(d)): series BEAS_SPC,
+/// BEAS_RA, their eta curves, and the three baselines, one row per alpha.
+/// Scores come from `field` (RC or MAC).
+void RunAlphaPanel(Bench& bench, const std::vector<GeneratedQuery>& queries,
+                   const std::vector<double>& alphas, const std::string& title,
+                   bool use_mac);
+
+}  // namespace bench
+}  // namespace beas
+
+#endif  // BEAS_BENCH_HARNESS_H_

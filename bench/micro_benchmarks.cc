@@ -1,0 +1,180 @@
+// Micro-benchmarks (google-benchmark) for the Section 8 Exp-5 claims:
+// plan generation under 200ms (here: microseconds at this scale), plus
+// the cost of the building blocks — K-D tree construction, index builds,
+// metered fetches, SQL parsing and exact evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include "beas/beas.h"
+#include "engine/evaluator.h"
+#include "index/kd_tree.h"
+#include "ra/parser.h"
+#include "workload/query_gen.h"
+#include "workload/tpch.h"
+
+namespace beas {
+namespace {
+
+Dataset& SharedTpch() {
+  static Dataset* ds = new Dataset(MakeTpch(0.002, 42));
+  return *ds;
+}
+
+Beas& SharedBeas() {
+  static Beas* beas = [] {
+    BeasOptions options;
+    options.constraints = SharedTpch().constraints;
+    auto built = Beas::Build(&SharedTpch().db, options);
+    if (!built.ok()) std::abort();
+    return built->release();
+  }();
+  return *beas;
+}
+
+void BM_KdTreeBuild(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<AttributeDef> attrs{{"a", DataType::kDouble, DistanceSpec::Numeric()},
+                                  {"b", DataType::kDouble, DistanceSpec::Numeric()}};
+  std::vector<Tuple> rows;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    rows.push_back({Value(rng.UniformReal(0, 1000)), Value(rng.UniformReal(0, 1000))});
+  }
+  for (auto _ : state) {
+    KdTree tree;
+    tree.Build(attrs, rows);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KdTreeBuild)->Arg(1000)->Arg(10000);
+
+void BM_KdTreeFrontier(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<AttributeDef> attrs{{"a", DataType::kDouble, DistanceSpec::Numeric()}};
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 10000; ++i) rows.push_back({Value(rng.UniformReal(0, 1000))});
+  KdTree tree;
+  tree.Build(attrs, rows);
+  int level = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::vector<KdTree::FrontierEntry> out;
+    tree.Frontier(level, &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_KdTreeFrontier)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_IndexStoreBuild(benchmark::State& state) {
+  Dataset& ds = SharedTpch();
+  for (auto _ : state) {
+    IndexStore store;
+    Status st = store.Build(ds.db, UniversalFamilies(ds.db.Schema()), ds.constraints);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    benchmark::DoNotOptimize(store.TotalEntries());
+  }
+}
+BENCHMARK(BM_IndexStoreBuild);
+
+void BM_MeteredFetch(benchmark::State& state) {
+  Beas& beas = SharedBeas();
+  const std::string family = "lineitem(l_orderkey->l_linenumber,l_partkey,l_suppkey,"
+                             "l_quantity,l_extendedprice,l_discount,l_tax,l_returnflag,"
+                             "l_linestatus,l_shipdate)!7";
+  beas.store().meter().StartQuery(0);
+  int64_t key = 0;
+  for (auto _ : state) {
+    auto entries = beas.store().Fetch(family, 0, {Value(key)});
+    benchmark::DoNotOptimize(entries.ok());
+    key = (key + 1) % 100;
+  }
+}
+BENCHMARK(BM_MeteredFetch);
+
+void BM_SqlParse(benchmark::State& state) {
+  DatabaseSchema schema = SharedTpch().db.Schema();
+  std::string sql =
+      "select o.o_totalprice, l.l_quantity from orders as o, lineitem as l, "
+      "customer as c where l.l_orderkey = o.o_orderkey and o.o_custkey = c.c_custkey "
+      "and c.c_mktsegment = 'BUILDING' and l.l_quantity <= 24 and o.o_totalprice >= 1000";
+  for (auto _ : state) {
+    auto q = ParseSql(schema, sql);
+    benchmark::DoNotOptimize(q.ok());
+  }
+}
+BENCHMARK(BM_SqlParse);
+
+void BM_PlanGeneration(benchmark::State& state) {
+  // The Exp-5 claim: alpha-bounded plans generate in well under 200ms.
+  Beas& beas = SharedBeas();
+  auto q = beas.Parse(
+      "select o.o_totalprice, l.l_quantity from orders as o, lineitem as l "
+      "where l.l_orderkey = o.o_orderkey and l.l_quantity <= 24 and "
+      "o.o_totalprice >= 1000 and l.l_returnflag = 'R'");
+  if (!q.ok()) {
+    state.SkipWithError("parse failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto plan = beas.PlanOnly(*q, 0.02);
+    benchmark::DoNotOptimize(plan.ok());
+  }
+}
+BENCHMARK(BM_PlanGeneration);
+
+void BM_BoundedAnswer(benchmark::State& state) {
+  Beas& beas = SharedBeas();
+  auto q = beas.Parse(
+      "select o.o_totalprice, l.l_quantity from orders as o, lineitem as l "
+      "where l.l_orderkey = o.o_orderkey and l.l_quantity <= 24 and "
+      "o.o_totalprice >= 1000 and l.l_returnflag = 'R'");
+  if (!q.ok()) {
+    state.SkipWithError("parse failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto answer = beas.Answer(*q, 0.02);
+    benchmark::DoNotOptimize(answer.ok());
+  }
+}
+BENCHMARK(BM_BoundedAnswer);
+
+void BM_ExactEvaluation(benchmark::State& state) {
+  Dataset& ds = SharedTpch();
+  DatabaseSchema schema = ds.db.Schema();
+  auto q = ParseSql(schema,
+                    "select o.o_totalprice, l.l_quantity from orders as o, lineitem as l "
+                    "where l.l_orderkey = o.o_orderkey and l.l_quantity <= 24 and "
+                    "o.o_totalprice >= 1000 and l.l_returnflag = 'R'");
+  if (!q.ok()) {
+    state.SkipWithError("parse failed");
+    return;
+  }
+  Evaluator ev(ds.db);
+  for (auto _ : state) {
+    auto t = ev.Eval(*q);
+    benchmark::DoNotOptimize(t.ok());
+  }
+}
+BENCHMARK(BM_ExactEvaluation);
+
+void BM_ChaseOnly(benchmark::State& state) {
+  Beas& beas = SharedBeas();
+  auto q = beas.Parse(
+      "select l.l_quantity from lineitem as l, orders as o, customer as c "
+      "where l.l_orderkey = o.o_orderkey and o.o_custkey = c.c_custkey and "
+      "c.c_mktsegment = 'BUILDING' and l.l_quantity <= 30");
+  if (!q.ok()) {
+    state.SkipWithError("parse failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto plan = beas.PlanOnly(*q, 0.05);
+    benchmark::DoNotOptimize(plan.ok());
+  }
+}
+BENCHMARK(BM_ChaseOnly);
+
+}  // namespace
+}  // namespace beas
+
+BENCHMARK_MAIN();

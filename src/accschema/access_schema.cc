@@ -1,0 +1,122 @@
+#include "accschema/access_schema.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace beas {
+
+namespace {
+std::string AttrsToString(const std::vector<std::string>& attrs) {
+  return Join(attrs, ",");
+}
+}  // namespace
+
+std::string FamilySpec::Id() const {
+  return StrCat(relation, "(", AttrsToString(x_attrs), "->", AttrsToString(y_attrs), ")");
+}
+
+std::string ConstraintSpec::Id() const {
+  return StrCat(relation, "(", AttrsToString(x_attrs), "->", AttrsToString(y_attrs), ")!",
+                n);
+}
+
+double BoundFamily::ResolutionOf(const std::string& attr, int level) const {
+  if (is_constraint) return 0.0;
+  for (size_t i = 0; i < y_attrs.size(); ++i) {
+    if (y_attrs[i] == attr) {
+      int k = std::clamp(level, 0, max_level);
+      return level_resolution[static_cast<size_t>(k)][i];
+    }
+  }
+  return 0.0;
+}
+
+double BoundFamily::MaxResolution(int level) const {
+  if (is_constraint) return 0.0;
+  int k = std::clamp(level, 0, max_level);
+  double m = 0;
+  for (double d : level_resolution[static_cast<size_t>(k)]) m = std::max(m, d);
+  return m;
+}
+
+uint64_t BoundFamily::Fanout(int level) const {
+  if (is_constraint) return constraint_n;
+  int k = std::clamp(level, 0, max_level);
+  return level_fanout[static_cast<size_t>(k)];
+}
+
+Status AccessSchema::AddFamily(BoundFamily family) {
+  for (const auto& f : families_) {
+    if (f.id == family.id) {
+      return Status::InvalidArgument(StrCat("duplicate family '", family.id, "'"));
+    }
+  }
+  families_.push_back(std::move(family));
+  return Status::OK();
+}
+
+std::vector<const BoundFamily*> AccessSchema::FamiliesFor(const std::string& relation) const {
+  std::vector<const BoundFamily*> out;
+  for (const auto& f : families_) {
+    if (f.relation == relation) out.push_back(&f);
+  }
+  return out;
+}
+
+Result<const BoundFamily*> AccessSchema::FindFamily(const std::string& id) const {
+  for (const auto& f : families_) {
+    if (f.id == id) return &f;
+  }
+  return Status::NotFound(StrCat("family '", id, "' not in access schema"));
+}
+
+Result<BoundFamily*> AccessSchema::FindMutableFamily(const std::string& id) {
+  for (auto& f : families_) {
+    if (f.id == id) return &f;
+  }
+  return Status::NotFound(StrCat("family '", id, "' not in access schema"));
+}
+
+size_t AccessSchema::TemplateCount() const {
+  size_t n = 0;
+  for (const auto& f : families_) {
+    n += f.is_constraint ? 1 : static_cast<size_t>(f.max_level) + 1;
+  }
+  return n;
+}
+
+std::vector<FamilySpec> UniversalFamilies(const DatabaseSchema& schema) {
+  std::vector<FamilySpec> out;
+  for (const auto& rel : schema.relations()) {
+    FamilySpec spec;
+    spec.relation = rel.name();
+    spec.y_attrs = rel.AttributeNames();
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+Result<std::vector<FamilySpec>> FamiliesFromConstraints(
+    const DatabaseSchema& schema, const std::vector<ConstraintSpec>& constraints) {
+  std::vector<FamilySpec> out;
+  for (const auto& c : constraints) {
+    BEAS_ASSIGN_OR_RETURN(const RelationSchema* rel, schema.FindRelation(c.relation));
+    FamilySpec spec;
+    spec.relation = c.relation;
+    spec.x_attrs = c.x_attrs;
+    for (const auto& y : c.y_attrs) spec.x_attrs.push_back(y);
+    std::sort(spec.x_attrs.begin(), spec.x_attrs.end());
+    spec.x_attrs.erase(std::unique(spec.x_attrs.begin(), spec.x_attrs.end()),
+                       spec.x_attrs.end());
+    for (const auto& a : rel->attributes()) {
+      bool in_xy = std::find(spec.x_attrs.begin(), spec.x_attrs.end(), a.name) !=
+                   spec.x_attrs.end();
+      if (!in_xy) spec.y_attrs.push_back(a.name);
+    }
+    if (!spec.y_attrs.empty()) out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+}  // namespace beas

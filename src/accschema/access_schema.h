@@ -1,0 +1,116 @@
+// Access schema: access templates and access constraints (paper Section 2).
+//
+// An access template psi = R(X -> Y, N, d_Y) promises: for every X-value
+// a, an index returns at most N distinct representative Y-tuples such that
+// every Y-tuple of D_Y(X=a) is within the resolution d_Y (attribute-wise)
+// of some representative. Access constraints are the special case d_Y = 0.
+//
+// Templates come in *families* sharing (R, X, Y): levels k = 0..max_level
+// with N = 2^k and data-dependent resolutions d_k computed by the index
+// builder from the K-D tree (Section 4.1). The top level enumerates all
+// distinct Y-values exactly (d = 0). The planner consumes only this
+// metadata — never the data — when generating alpha-bounded plans.
+
+#ifndef BEAS_ACCSCHEMA_ACCESS_SCHEMA_H_
+#define BEAS_ACCSCHEMA_ACCESS_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/schema.h"
+
+namespace beas {
+
+/// Build-time specification of a template family R(X -> Y, ...).
+struct FamilySpec {
+  std::string relation;
+  std::vector<std::string> x_attrs;  ///< unqualified column names of R
+  std::vector<std::string> y_attrs;
+
+  /// Canonical id "R(x1,x2->y1,y2)".
+  std::string Id() const;
+};
+
+/// Declared access constraint R(X -> Y, N, 0): the cardinality bound N is
+/// asserted by the user (or a discovery pass) and validated at build time.
+struct ConstraintSpec {
+  std::string relation;
+  std::vector<std::string> x_attrs;
+  std::vector<std::string> y_attrs;
+  uint64_t n = 0;
+
+  /// Canonical id "R(x1->y1)!N".
+  std::string Id() const;
+};
+
+/// \brief Bound metadata of one template family after index construction.
+///
+/// For constraint families, `is_constraint` is set and `constraint_n` is the
+/// declared bound; levels are not populated. For template families,
+/// level k in [0, max_level] has N = 2^k, per-Y-attribute resolutions
+/// `level_resolution[k]`, and `level_fanout[k]` = the maximum number of
+/// representatives any X-group actually returns at level k (<= 2^k), the
+/// constant the planner uses for tariff accounting.
+struct BoundFamily {
+  std::string id;
+  std::string relation;
+  std::vector<std::string> x_attrs;
+  std::vector<std::string> y_attrs;
+  bool is_constraint = false;
+  uint64_t constraint_n = 0;
+
+  int max_level = 0;
+  std::vector<std::vector<double>> level_resolution;  ///< [k][y-index]
+  std::vector<uint64_t> level_fanout;                 ///< [k]
+
+  /// Resolution of \p attr (a member of y_attrs) at \p level; 0 for
+  /// constraint families.
+  double ResolutionOf(const std::string& attr, int level) const;
+
+  /// max_A d_k[A]: the d-bar-m(psi,k) of Theorem 5.
+  double MaxResolution(int level) const;
+
+  /// Worst-case number of representatives one fetch returns at \p level.
+  uint64_t Fanout(int level) const;
+};
+
+/// \brief The bound access schema A: all families the planner may use.
+class AccessSchema {
+ public:
+  /// Adds a bound family; fails on duplicate ids.
+  Status AddFamily(BoundFamily family);
+
+  /// All families over \p relation.
+  std::vector<const BoundFamily*> FamiliesFor(const std::string& relation) const;
+
+  /// Family lookup by id.
+  Result<const BoundFamily*> FindFamily(const std::string& id) const;
+
+  /// Mutable family lookup (incremental index maintenance only).
+  Result<BoundFamily*> FindMutableFamily(const std::string& id);
+
+  const std::vector<BoundFamily>& families() const { return families_; }
+
+  /// Number of access templates (constraint families count 1; template
+  /// families count max_level + 1 levels), the ||A|| of Theorem 5.
+  size_t TemplateCount() const;
+
+ private:
+  std::vector<BoundFamily> families_;
+};
+
+/// The universal schema A_t of the Approximability Theorem (Section 4.1):
+/// one family R(emptyset -> attr(R)) per relation.
+std::vector<FamilySpec> UniversalFamilies(const DatabaseSchema& schema);
+
+/// The paper's Section 8 recipe: for each declared constraint
+/// R(X -> Y, N, 0), add the template family R(X u Y -> Z) with
+/// Z = attr(R) \ (X u Y) (skipped when Z is empty).
+Result<std::vector<FamilySpec>> FamiliesFromConstraints(
+    const DatabaseSchema& schema, const std::vector<ConstraintSpec>& constraints);
+
+}  // namespace beas
+
+#endif  // BEAS_ACCSCHEMA_ACCESS_SCHEMA_H_

@@ -1,0 +1,257 @@
+#include "accuracy/measures.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "engine/relaxed.h"
+#include "types/distance.h"
+
+namespace beas {
+
+namespace {
+
+// d(t, t') over an output schema, the worst attribute distance (Sec 3.1).
+double OutDistance(const RelationSchema& schema, const Tuple& a, const Tuple& b) {
+  return TupleDistance(schema, a, b);
+}
+
+// Coverage distance for avg/count/sum aggregates (Section 3.2):
+// d_agg(s, t) = max_{A in X} dis_A(s[A], t[A]) + f_agg(t[V], s[V]) with
+// f_agg = |v - v'| (scaled by the aggregate column's distance scale).
+double AggCoverageDistance(const RelationSchema& schema, const Tuple& s, const Tuple& t) {
+  size_t v = schema.arity() - 1;  // aggregate column is last by construction
+  double x_dist = 0;
+  for (size_t a = 0; a < v; ++a) {
+    x_dist = std::max(x_dist, AttributeDistance(schema.attribute(a).distance, s[a], t[a]));
+    if (x_dist == kInfDistance) return kInfDistance;
+  }
+  double fagg = AttributeDistance(schema.attribute(v).distance, s[v], t[v]);
+  if (fagg == kInfDistance) return kInfDistance;
+  return x_dist + fagg;
+}
+
+bool IsDistributiveAgg(AggFunc f) { return f == AggFunc::kMin || f == AggFunc::kMax; }
+
+// Relevance candidates: tuples of the relaxed query with their entry
+// relaxation. For aggregates this is computed over Q' (min/max) or
+// pi_X(Q') (avg/count/sum), per Section 3.2.
+struct RelevanceContext {
+  QueryPtr target;                // the non-aggregate query to relax
+  std::vector<size_t> s_mapping;  // answer-tuple positions feeding target's schema
+};
+
+Result<RelevanceContext> MakeRelevanceContext(const QueryPtr& q) {
+  RelevanceContext ctx;
+  if (q->kind() != QueryNode::Kind::kGroupBy) {
+    ctx.target = q;
+    ctx.s_mapping.resize(q->output_schema().arity());
+    for (size_t i = 0; i < ctx.s_mapping.size(); ++i) ctx.s_mapping[i] = i;
+    return ctx;
+  }
+  const QueryPtr& child = q->child();
+  const RelationSchema& out = q->output_schema();
+  if (IsDistributiveAgg(q->agg())) {
+    // delta_rel(Q, D, s) = delta_rel(Q', D, s): the full answer tuple
+    // (X-values plus the min/max value, which is in the active domain)
+    // is matched against relaxed answers to Q'.
+    ctx.target = child;
+    const RelationSchema& cs = child->output_schema();
+    ctx.s_mapping.resize(cs.arity());
+    for (size_t i = 0; i < cs.arity(); ++i) {
+      const std::string& name = cs.attribute(i).name;
+      // Group attributes keep their names; the aggregated attribute V maps
+      // to the aggregate output column (the last one).
+      bool found = false;
+      for (size_t j = 0; j < out.arity(); ++j) {
+        if (out.attribute(j).name == name) {
+          ctx.s_mapping[i] = j;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        if (name != q->agg_attr()) {
+          return Status::Internal(
+              StrCat("cannot map aggregate answer attribute '", name, "'"));
+        }
+        ctx.s_mapping[i] = out.arity() - 1;
+      }
+    }
+    return ctx;
+  }
+  // avg/count/sum: delta_rel is over pi_X(Q'), D, s[X].
+  if (q->group_attrs().empty()) {
+    // Global aggregate without grouping: every answer is trivially
+    // relevant (there is no X to match); signalled by a null target.
+    ctx.target = nullptr;
+    return ctx;
+  }
+  BEAS_ASSIGN_OR_RETURN(ctx.target,
+                        QueryNode::Project(child, q->group_attrs(), /*distinct=*/true));
+  ctx.s_mapping.resize(q->group_attrs().size());
+  for (size_t i = 0; i < ctx.s_mapping.size(); ++i) ctx.s_mapping[i] = i;
+  return ctx;
+}
+
+}  // namespace
+
+Result<RcReport> RcMeasureWithExact(const Database& db, const QueryPtr& q,
+                                    const Table& approx, const Table& exact,
+                                    const RcOptions& options) {
+  const RelationSchema& out_schema = q->output_schema();
+  RcReport report;
+  report.exact_size = exact.size();
+  report.approx_size = approx.size();
+
+  bool is_agg = q->kind() == QueryNode::Kind::kGroupBy;
+  bool agg_additive = is_agg && !IsDistributiveAgg(q->agg());
+
+  // --- Coverage: max_t min_s distance (Section 3.1 / 3.2). ---
+  if (exact.empty()) {
+    report.f_cov = 1.0;
+    report.max_cov_distance = 0.0;
+  } else if (approx.empty()) {
+    report.f_cov = 0.0;
+    report.max_cov_distance = kInfDistance;
+  } else {
+    double worst = 0;
+    for (const auto& t : exact.rows()) {
+      double best = kInfDistance;
+      for (const auto& s : approx.rows()) {
+        double d = agg_additive ? AggCoverageDistance(out_schema, s, t)
+                                : OutDistance(out_schema, s, t);
+        best = std::min(best, d);
+        if (best == 0) break;
+      }
+      worst = std::max(worst, best);
+      if (worst == kInfDistance) break;
+    }
+    report.max_cov_distance = worst;
+    report.f_cov = 1.0 / (1.0 + worst);
+  }
+
+  // --- Relevance: max_s delta_rel(Q, D, s). ---
+  if (approx.empty()) {
+    report.f_rel = 1.0;
+    report.max_rel_distance = 0.0;
+  } else {
+    BEAS_ASSIGN_OR_RETURN(RelevanceContext ctx, MakeRelevanceContext(q));
+
+    // Group-by semantics: duplicated X-values in S make those answers
+    // irrelevant (delta_rel = +inf), Section 3.2.
+    std::vector<bool> duplicated(approx.size(), false);
+    if (is_agg) {
+      size_t x_arity = out_schema.arity() - 1;
+      std::unordered_map<Tuple, std::vector<size_t>, TupleHasher> by_x;
+      for (size_t i = 0; i < approx.size(); ++i) {
+        Tuple x(approx.row(i).begin(), approx.row(i).begin() + x_arity);
+        by_x[std::move(x)].push_back(i);
+      }
+      for (const auto& [x, rows] : by_x) {
+        if (rows.size() > 1) {
+          for (size_t i : rows) duplicated[i] = true;
+        }
+      }
+    }
+
+    double worst = 0;
+    if (ctx.target == nullptr) {
+      // Ungrouped additive aggregate: relevance vacuous.
+      for (size_t i = 0; i < approx.size(); ++i) {
+        if (duplicated[i]) worst = kInfDistance;
+      }
+    } else {
+      const RelationSchema& tgt_schema = ctx.target->output_schema();
+      RelaxedEvaluator relaxed(db, options.eval);
+
+      // Map each approximate answer to the target schema.
+      std::vector<Tuple> mapped;
+      mapped.reserve(approx.size());
+      for (const auto& s : approx.rows()) {
+        Tuple m;
+        m.reserve(ctx.s_mapping.size());
+        for (size_t j : ctx.s_mapping) m.push_back(s[j]);
+        mapped.push_back(std::move(m));
+      }
+
+      // Iterative-deepening relaxation cap: any candidate set found at cap
+      // r proves delta_rel <= max(r_enter, d); stop once worst <= cap.
+      double cap = 1.0;
+      while (true) {
+        BEAS_ASSIGN_OR_RETURN(std::vector<RelaxedRow> candidates,
+                              relaxed.Eval(ctx.target, cap));
+        worst = 0;
+        bool all_resolved = true;
+        for (size_t i = 0; i < mapped.size(); ++i) {
+          if (duplicated[i]) {
+            worst = kInfDistance;
+            continue;
+          }
+          double best = kInfDistance;
+          for (const auto& c : candidates) {
+            double d = OutDistance(tgt_schema, mapped[i], c.tuple);
+            best = std::min(best, std::max(c.r_enter, d));
+            if (best == 0) break;
+          }
+          if (best > cap) all_resolved = false;
+          worst = std::max(worst, best);
+        }
+        if (worst == kInfDistance && cap >= options.max_relaxation) break;
+        if (all_resolved || cap >= options.max_relaxation) break;
+        cap = std::min(cap * 16.0, options.max_relaxation);
+      }
+      if (worst > options.max_relaxation) worst = kInfDistance;
+    }
+    report.max_rel_distance = worst;
+    report.f_rel = 1.0 / (1.0 + worst);
+  }
+
+  report.accuracy = std::min(report.f_rel, report.f_cov);
+  return report;
+}
+
+Result<RcReport> RcMeasure(const Database& db, const QueryPtr& q, const Table& approx,
+                           const RcOptions& options) {
+  Evaluator eval(db, options.eval);
+  BEAS_ASSIGN_OR_RETURN(Table exact, eval.Eval(q));
+  return RcMeasureWithExact(db, q, approx, exact, options);
+}
+
+double MacAccuracy(const RelationSchema& schema, const Table& approx, const Table& exact) {
+  if (approx.empty() && exact.empty()) return 1.0;
+  if (approx.empty() || exact.empty()) return 0.0;
+  auto squash = [](double d) { return std::isinf(d) ? 1.0 : d / (1.0 + d); };
+  auto directed = [&](const Table& from, const Table& to) {
+    double total = 0;
+    for (const auto& a : from.rows()) {
+      double best = kInfDistance;
+      for (const auto& b : to.rows()) {
+        best = std::min(best, TupleDistance(schema, a, b));
+        if (best == 0) break;
+      }
+      total += squash(best);
+    }
+    return total / static_cast<double>(from.size());
+  };
+  double dist = 0.5 * (directed(exact, approx) + directed(approx, exact));
+  return 1.0 - dist;
+}
+
+double FMeasure(const Table& approx, const Table& exact) {
+  if (approx.empty() || exact.empty()) return 0.0;
+  std::unordered_set<Tuple, TupleHasher> truth(exact.rows().begin(), exact.rows().end());
+  size_t hits = 0;
+  std::unordered_set<Tuple, TupleHasher> seen;
+  for (const auto& s : approx.rows()) {
+    if (truth.count(s) > 0 && seen.insert(s).second) ++hits;
+  }
+  double precision = static_cast<double>(hits) / static_cast<double>(approx.size());
+  double recall = static_cast<double>(hits) / static_cast<double>(exact.size());
+  if (precision + recall == 0) return 0.0;
+  return 2 * precision * recall / (precision + recall);
+}
+
+}  // namespace beas

@@ -1,0 +1,66 @@
+// Accuracy measures for approximate answers (paper Section 3):
+//  * the RC measure (relevance + coverage under query relaxation), the
+//    paper's contribution;
+//  * the MAC measure of Ioannidis & Poosala [27], used for comparison in
+//    Fig 6(d)/(f) (normalized to [0,1] as in the paper's experiments);
+//  * the classical F-measure, shown in Example 2 to be uninformative for
+//    resource-bounded approximation.
+
+#ifndef BEAS_ACCURACY_MEASURES_H_
+#define BEAS_ACCURACY_MEASURES_H_
+
+#include "common/result.h"
+#include "engine/evaluator.h"
+#include "ra/ast.h"
+#include "storage/database.h"
+#include "storage/table.h"
+
+namespace beas {
+
+/// Options for RC evaluation.
+struct RcOptions {
+  /// Engine limits for the exact and relaxed evaluations.
+  EvalOptions eval;
+  /// Upper bound on the relaxation search; relevance distances beyond this
+  /// are reported as +inf (accuracy contribution 0).
+  double max_relaxation = 1.0e12;
+};
+
+/// Result of an RC evaluation.
+struct RcReport {
+  double accuracy = 0;  ///< min(f_rel, f_cov)
+  double f_rel = 1;     ///< 1 / (1 + max_s delta_rel)
+  double f_cov = 1;     ///< 1 / (1 + max_t delta_cov)
+  double max_rel_distance = 0;
+  double max_cov_distance = 0;
+  size_t exact_size = 0;
+  size_t approx_size = 0;
+};
+
+/// Computes the RC measure of \p approx as an answer set for \p q on
+/// \p db (paper Section 3). \p approx must have the schema
+/// q->output_schema() (positionally). Handles both plain RA and group-by
+/// aggregate queries, including the avg/count/sum coverage distance d_agg
+/// and the pi_X(Q') relevance reduction of Section 3.2.
+Result<RcReport> RcMeasure(const Database& db, const QueryPtr& q, const Table& approx,
+                           const RcOptions& options = {});
+
+/// Like RcMeasure but reuses precomputed \p exact answers (avoids
+/// re-running the exact evaluator across methods in the benchmarks).
+Result<RcReport> RcMeasureWithExact(const Database& db, const QueryPtr& q,
+                                    const Table& approx, const Table& exact,
+                                    const RcOptions& options = {});
+
+/// MAC accuracy in [0,1]: 1 - the symmetric match-and-compare distance
+/// between \p approx and \p exact under the output schema's attribute
+/// distances, each elementwise distance squashed to [0,1] by d/(1+d).
+/// Both empty -> 1; exactly one empty -> 0.
+double MacAccuracy(const RelationSchema& schema, const Table& approx, const Table& exact);
+
+/// Classical F-measure (harmonic mean of precision and recall) under
+/// exact tuple equality.
+double FMeasure(const Table& approx, const Table& exact);
+
+}  // namespace beas
+
+#endif  // BEAS_ACCURACY_MEASURES_H_

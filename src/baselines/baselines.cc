@@ -1,0 +1,336 @@
+#include "baselines/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "ra/parser.h"
+
+namespace beas {
+
+namespace {
+
+// Schema of a weighted synopsis table: base attributes plus "__w".
+RelationSchema WeightedSchema(const RelationSchema& base) {
+  std::vector<AttributeDef> attrs = base.attributes();
+  attrs.emplace_back("__w", DataType::kDouble, DistanceSpec::Numeric());
+  return RelationSchema(base.name(), attrs);
+}
+
+Tuple WeightedRow(const Tuple& row, double weight) {
+  Tuple t = row;
+  t.push_back(Value(weight));
+  return t;
+}
+
+Result<Table> AnswerOnSynopsis(const Database& synopsis, const DatabaseSchema& schema,
+                               const std::string& sql) {
+  BEAS_ASSIGN_OR_RETURN(QueryPtr q, ParseSql(schema, sql));
+  Evaluator ev(synopsis);
+  return ev.Eval(q);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Sampl
+// ---------------------------------------------------------------------------
+
+Sampl::Sampl(const Database& db, double alpha, uint64_t seed) {
+  Rng rng(seed);
+  for (const auto& [name, table] : db.tables()) {
+    size_t want = static_cast<size_t>(
+        std::max(1.0, std::floor(alpha * static_cast<double>(table.size()))));
+    want = std::min(want, table.size());
+    // Reservoir-free: sample distinct row indices.
+    std::vector<size_t> idx(table.size());
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    rng.Shuffle(&idx);
+    double weight = table.empty()
+                        ? 1.0
+                        : static_cast<double>(table.size()) / static_cast<double>(want);
+    Table out(WeightedSchema(table.schema()));
+    out.Reserve(want);
+    for (size_t i = 0; i < want; ++i) {
+      out.AppendUnchecked(WeightedRow(table.row(idx[i]), weight));
+    }
+    synopsis_rows_ += out.size();
+    (void)synopsis_.AddTable(std::move(out));
+  }
+  synopsis_schema_ = synopsis_.Schema();
+}
+
+Result<Table> Sampl::Answer(const std::string& sql) {
+  return AnswerOnSynopsis(synopsis_, synopsis_schema_, sql);
+}
+
+// ---------------------------------------------------------------------------
+// Histo
+// ---------------------------------------------------------------------------
+
+Histo::Histo(const Database& db, double alpha, uint64_t seed) {
+  (void)seed;
+  for (const auto& [name, table] : db.tables()) {
+    const RelationSchema& schema = table.schema();
+    size_t budget = static_cast<size_t>(
+        std::max(1.0, std::floor(alpha * static_cast<double>(table.size()))));
+
+    // Numeric dimensions get equi-width bins; low-cardinality categorical
+    // dimensions join the bucket key outright.
+    struct Dim {
+      size_t attr;
+      bool numeric;
+      double lo = 0, hi = 0;
+      size_t bins = 1;
+    };
+    std::vector<Dim> dims;
+    size_t categorical_combos = 1;
+    for (size_t a = 0; a < schema.arity(); ++a) {
+      if (schema.attribute(a).distance.kind == DistanceKind::kNumeric) {
+        Dim d;
+        d.attr = a;
+        d.numeric = true;
+        d.lo = 1e300;
+        d.hi = -1e300;
+        for (const auto& row : table.rows()) {
+          if (!row[a].is_numeric()) continue;
+          d.lo = std::min(d.lo, row[a].numeric());
+          d.hi = std::max(d.hi, row[a].numeric());
+        }
+        if (d.lo <= d.hi) dims.push_back(d);
+      } else {
+        std::set<std::string> values;
+        for (const auto& row : table.rows()) {
+          values.insert(row[a].ToString());
+          if (values.size() > 8) break;
+        }
+        if (values.size() <= 8 && categorical_combos * values.size() <= budget) {
+          Dim d;
+          d.attr = a;
+          d.numeric = false;
+          dims.push_back(d);
+          categorical_combos *= std::max<size_t>(1, values.size());
+        }
+      }
+    }
+    size_t numeric_dims = 0;
+    for (const auto& d : dims) numeric_dims += d.numeric ? 1 : 0;
+    if (numeric_dims > 0) {
+      double per_dim = std::pow(
+          std::max(1.0, static_cast<double>(budget) /
+                            static_cast<double>(categorical_combos)),
+          1.0 / static_cast<double>(numeric_dims));
+      for (auto& d : dims) {
+        if (d.numeric) d.bins = std::max<size_t>(1, static_cast<size_t>(per_dim));
+      }
+    }
+
+    auto bucket_key = [&](const Tuple& row) {
+      std::string key;
+      for (const auto& d : dims) {
+        if (d.numeric) {
+          double v = row[d.attr].is_numeric() ? row[d.attr].numeric() : d.lo;
+          size_t bin = 0;
+          if (d.hi > d.lo) {
+            bin = std::min(d.bins - 1,
+                           static_cast<size_t>((v - d.lo) / (d.hi - d.lo) *
+                                               static_cast<double>(d.bins)));
+          }
+          key += StrCat("n", bin, "|");
+        } else {
+          key += row[d.attr].ToString() + "|";
+        }
+      }
+      return key;
+    };
+
+    // Group rows into buckets.
+    std::unordered_map<std::string, std::vector<size_t>> buckets;
+    for (size_t r = 0; r < table.size(); ++r) {
+      buckets[bucket_key(table.row(r))].push_back(r);
+    }
+    // Cap at budget: keep the most populated buckets.
+    std::vector<std::pair<std::string, std::vector<size_t>>> ordered(buckets.begin(),
+                                                                     buckets.end());
+    std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
+      return a.second.size() > b.second.size();
+    });
+    if (ordered.size() > budget) ordered.resize(budget);
+
+    Table out(WeightedSchema(schema));
+    for (const auto& [key, rows] : ordered) {
+      // Representative: the row nearest the bucket's numeric centroid.
+      std::vector<double> centroid(dims.size(), 0.0);
+      for (size_t di = 0; di < dims.size(); ++di) {
+        if (!dims[di].numeric) continue;
+        for (size_t r : rows) {
+          const Value& v = table.row(r)[dims[di].attr];
+          centroid[di] += v.is_numeric() ? v.numeric() : 0.0;
+        }
+        centroid[di] /= static_cast<double>(rows.size());
+      }
+      size_t best = rows[0];
+      double best_dist = 1e300;
+      for (size_t r : rows) {
+        double dist = 0;
+        for (size_t di = 0; di < dims.size(); ++di) {
+          if (!dims[di].numeric) continue;
+          const Value& v = table.row(r)[dims[di].attr];
+          double x = v.is_numeric() ? v.numeric() : 0.0;
+          dist += std::abs(x - centroid[di]);
+        }
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = r;
+        }
+      }
+      out.AppendUnchecked(WeightedRow(table.row(best), static_cast<double>(rows.size())));
+    }
+    synopsis_rows_ += out.size();
+    (void)synopsis_.AddTable(std::move(out));
+  }
+  synopsis_schema_ = synopsis_.Schema();
+}
+
+Result<Table> Histo::Answer(const std::string& sql) {
+  return AnswerOnSynopsis(synopsis_, synopsis_schema_, sql);
+}
+
+// ---------------------------------------------------------------------------
+// BlinkDbSim
+// ---------------------------------------------------------------------------
+
+BlinkDbSim::BlinkDbSim(const Database& db, double alpha, std::vector<QcsSpec> qcs,
+                       uint64_t seed) {
+  Rng rng(seed);
+  size_t num_sets = qcs.size() + 1;
+  double set_alpha = alpha / static_cast<double>(num_sets);
+
+  auto uniform_table = [&](const Table& table, double a) {
+    size_t want = static_cast<size_t>(
+        std::max(1.0, std::floor(a * static_cast<double>(table.size()))));
+    want = std::min(want, table.size());
+    std::vector<size_t> idx(table.size());
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    rng.Shuffle(&idx);
+    double weight =
+        table.empty() ? 1.0
+                      : static_cast<double>(table.size()) / static_cast<double>(want);
+    Table out(WeightedSchema(table.schema()));
+    for (size_t i = 0; i < want; ++i) {
+      out.AppendUnchecked(WeightedRow(table.row(idx[i]), weight));
+    }
+    return out;
+  };
+
+  auto stratified_table = [&](const Table& table, const std::vector<std::string>& columns,
+                              double a) -> Result<Table> {
+    std::vector<size_t> col_idx;
+    for (const auto& c : columns) {
+      BEAS_ASSIGN_OR_RETURN(size_t i, table.schema().AttributeIndex(c));
+      col_idx.push_back(i);
+    }
+    std::unordered_map<Tuple, std::vector<size_t>, TupleHasher> groups;
+    for (size_t r = 0; r < table.size(); ++r) {
+      Tuple key;
+      for (size_t i : col_idx) key.push_back(table.row(r)[i]);
+      groups[std::move(key)].push_back(r);
+    }
+    size_t budget = static_cast<size_t>(
+        std::max(1.0, std::floor(a * static_cast<double>(table.size()))));
+    size_t cap = std::max<size_t>(1, budget / std::max<size_t>(1, groups.size()));
+    Table out(WeightedSchema(table.schema()));
+    for (auto& [key, rows] : groups) {
+      rng.Shuffle(&rows);
+      size_t keep = std::min(cap, rows.size());
+      double weight = static_cast<double>(rows.size()) / static_cast<double>(keep);
+      for (size_t i = 0; i < keep; ++i) {
+        out.AppendUnchecked(WeightedRow(table.row(rows[i]), weight));
+      }
+    }
+    return out;
+  };
+
+  // Uniform fallback set.
+  {
+    SampleSet set;
+    for (const auto& [name, table] : db.tables()) {
+      Table t = uniform_table(table, set_alpha);
+      synopsis_rows_ += t.size();
+      (void)set.db.AddTable(std::move(t));
+    }
+    set.schema = set.db.Schema();
+    samples_.push_back(std::move(set));
+  }
+
+  // One stratified set per QCS.
+  for (auto& spec : qcs) {
+    SampleSet set;
+    set.qcs = spec;
+    for (const auto& [name, table] : db.tables()) {
+      Table t;
+      if (name == spec.relation) {
+        auto strat = stratified_table(table, spec.columns, set_alpha);
+        if (!strat.ok()) continue;  // bad column spec: skip this relation
+        t = std::move(*strat);
+      } else {
+        t = uniform_table(table, set_alpha);
+      }
+      synopsis_rows_ += t.size();
+      (void)set.db.AddTable(std::move(t));
+    }
+    set.schema = set.db.Schema();
+    samples_.push_back(std::move(set));
+  }
+}
+
+Result<Table> BlinkDbSim::Answer(const std::string& sql) {
+  if (samples_.empty()) return Status::Internal("no samples");
+  // Parse against the fallback schema to classify and analyze the query.
+  BEAS_ASSIGN_OR_RETURN(QueryPtr probe, ParseSql(samples_[0].schema, sql));
+  QueryClass cls = ClassifyQuery(probe);
+  if (cls != QueryClass::kAggSpc && cls != QueryClass::kAggRa) {
+    return Status::Unimplemented("BlinkDB answers aggregate queries only");
+  }
+  if (probe->agg() == AggFunc::kMin || probe->agg() == AggFunc::kMax) {
+    return Status::Unimplemented("BlinkDB does not support min/max");
+  }
+
+  // Columns used for filtering/grouping, per relation.
+  std::map<std::string, std::string> alias_to_rel;
+  for (const auto& atom : CollectAtoms(probe)) alias_to_rel[atom.alias] = atom.relation;
+  auto split = [](const std::string& qualified) {
+    size_t dot = qualified.find('.');
+    return std::make_pair(qualified.substr(0, dot), qualified.substr(dot + 1));
+  };
+  std::map<std::string, std::set<std::string>> used;
+  for (const auto& cmp : CollectComparisons(probe)) {
+    auto [alias, col] = split(cmp.lhs.attr);
+    if (alias_to_rel.count(alias)) used[alias_to_rel[alias]].insert(col);
+  }
+  for (const auto& g : probe->group_attrs()) {
+    auto [alias, col] = split(g);
+    if (alias_to_rel.count(alias)) used[alias_to_rel[alias]].insert(col);
+  }
+
+  // Pick the stratified sample with the largest QCS overlap.
+  size_t best_set = 0;  // fallback
+  size_t best_overlap = 0;
+  for (size_t i = 1; i < samples_.size(); ++i) {
+    const QcsSpec& qcs = samples_[i].qcs;
+    auto it = used.find(qcs.relation);
+    if (it == used.end()) continue;
+    size_t overlap = 0;
+    for (const auto& c : qcs.columns) overlap += it->second.count(c);
+    if (overlap > best_overlap) {
+      best_overlap = overlap;
+      best_set = i;
+    }
+  }
+  const SampleSet& set = samples_[best_set];
+  return AnswerOnSynopsis(set.db, set.schema, sql);
+}
+
+}  // namespace beas

@@ -1,0 +1,100 @@
+#include "beas/beas.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace beas {
+
+Result<std::unique_ptr<Beas>> Beas::Build(Database* db, BeasOptions options) {
+  if (db == nullptr) return Status::InvalidArgument("database must not be null");
+  auto beas = std::unique_ptr<Beas>(new Beas());
+  beas->db_ = db;
+  beas->db_schema_ = db->Schema();
+  beas->db_size_ = db->TotalTuples();
+  beas->options_ = options;
+
+  std::vector<FamilySpec> families;
+  if (options.add_universal) {
+    families = UniversalFamilies(beas->db_schema_);
+  }
+  if (options.add_constraint_templates) {
+    BEAS_ASSIGN_OR_RETURN(std::vector<FamilySpec> derived,
+                          FamiliesFromConstraints(beas->db_schema_, options.constraints));
+    for (auto& f : derived) {
+      bool dup = false;
+      for (const auto& existing : families) dup |= existing.Id() == f.Id();
+      if (!dup) families.push_back(std::move(f));
+    }
+  }
+  BEAS_RETURN_IF_ERROR(beas->store_.Build(*db, families, options.constraints));
+  return beas;
+}
+
+Result<BeasPlan> Beas::PlanOnly(const QueryPtr& q, double alpha) const {
+  if (alpha <= 0 || alpha > 1) {
+    return Status::InvalidArgument(StrCat("resource ratio must be in (0,1], got ", alpha));
+  }
+  Planner planner(db_schema_, store_.schema(), db_size_, options_.planner);
+  return planner.Plan(q, alpha);
+}
+
+Result<BeasAnswer> Beas::Answer(const QueryPtr& q, double alpha) {
+  BEAS_ASSIGN_OR_RETURN(BeasPlan plan, PlanOnly(q, alpha));
+  PlanExecutor executor(&store_, options_.eval);
+  uint64_t budget = static_cast<uint64_t>(
+      std::floor(alpha * static_cast<double>(db_size_)));
+  return executor.Execute(plan, budget);
+}
+
+Result<BeasAnswer> Beas::AnswerSql(const std::string& sql, double alpha) {
+  BEAS_ASSIGN_OR_RETURN(QueryPtr q, Parse(sql));
+  return Answer(q, alpha);
+}
+
+Result<QueryPtr> Beas::Parse(const std::string& sql) const {
+  return ParseSql(db_schema_, sql);
+}
+
+Result<double> Beas::AlphaExact(const QueryPtr& q) const {
+  Planner planner(db_schema_, store_.schema(), db_size_, options_.planner);
+  BEAS_ASSIGN_OR_RETURN(double tariff, planner.ExactTariff(q));
+  if (db_size_ == 0) return 1.0;
+  return std::min(1.0, tariff / static_cast<double>(db_size_));
+}
+
+Result<Planner::ExactPlanStats> Beas::ExactPlanStats(const QueryPtr& q) const {
+  Planner planner(db_schema_, store_.schema(), db_size_, options_.planner);
+  return planner.ExactPlan(q);
+}
+
+Status Beas::Insert(const std::string& relation, const Tuple& row) {
+  BEAS_ASSIGN_OR_RETURN(Table * table, db_->FindMutableTable(relation));
+  BEAS_RETURN_IF_ERROR(store_.ApplyInsert(relation, row));
+  BEAS_RETURN_IF_ERROR(table->Append(row));
+  db_size_ += 1;
+  return Status::OK();
+}
+
+Status Beas::Remove(const std::string& relation, const Tuple& row) {
+  BEAS_ASSIGN_OR_RETURN(Table * table, db_->FindMutableTable(relation));
+  if (!table->Contains(row)) {
+    return Status::NotFound(StrCat("tuple not in '", relation, "'"));
+  }
+  BEAS_RETURN_IF_ERROR(store_.ApplyRemove(relation, row));
+  // Rebuild the table without one occurrence of the row.
+  Table rebuilt(table->schema());
+  bool removed = false;
+  for (const auto& r : table->rows()) {
+    if (!removed && r == row) {
+      removed = true;
+      continue;
+    }
+    rebuilt.AppendUnchecked(r);
+  }
+  *table = std::move(rebuilt);
+  db_size_ -= 1;
+  return Status::OK();
+}
+
+}  // namespace beas

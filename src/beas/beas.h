@@ -1,0 +1,96 @@
+// The BEAS framework facade (paper Fig 2): offline index construction and
+// maintenance (C1/C2), online plan generation (C3) and bounded execution
+// (C4) on top of the relational substrate.
+
+#ifndef BEAS_BEAS_BEAS_H_
+#define BEAS_BEAS_BEAS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accschema/access_schema.h"
+#include "beas/executor.h"
+#include "beas/planner.h"
+#include "common/result.h"
+#include "index/index_store.h"
+#include "ra/parser.h"
+#include "storage/database.h"
+
+namespace beas {
+
+/// Configuration of a BEAS instance.
+struct BeasOptions {
+  /// Declared access constraints R(X -> Y, N, 0) (user-supplied or mined);
+  /// validated against the data at build time.
+  std::vector<ConstraintSpec> constraints;
+  /// Include the universal schema A_t (required by the Approximability
+  /// Theorem; disable only in targeted tests).
+  bool add_universal = true;
+  /// The Section 8 recipe: derive template families R(XY -> Z) from each
+  /// declared constraint.
+  bool add_constraint_templates = true;
+  /// Engine limits for evaluating xi_E over the fetched data.
+  EvalOptions eval;
+  /// Planner knobs (ablation switches; keep defaults in production).
+  PlannerKnobs planner;
+};
+
+/// \brief Resource-bounded query answering over one database instance.
+///
+/// Usage:
+///   auto beas = Beas::Build(&db, options);
+///   auto answer = (*beas)->AnswerSql("select ...", /*alpha=*/1e-3);
+///   answer->table, answer->eta, answer->accessed
+class Beas {
+ public:
+  /// Offline phase: builds all access-schema indices over \p db (kept as a
+  /// non-owning pointer; it must outlive the Beas instance and be mutated
+  /// only through Insert/Remove below).
+  static Result<std::unique_ptr<Beas>> Build(Database* db, BeasOptions options = {});
+
+  /// Answers \p q with resource ratio \p alpha: generates an alpha-bounded
+  /// plan (no data access), executes it fetching at most alpha*|D| tuples,
+  /// and returns the answers with the deterministic RC bound eta.
+  Result<BeasAnswer> Answer(const QueryPtr& q, double alpha);
+
+  /// Parses \p sql against the database schema and answers it.
+  Result<BeasAnswer> AnswerSql(const std::string& sql, double alpha);
+
+  /// Plan generation only (component C3; touches no data).
+  Result<BeasPlan> PlanOnly(const QueryPtr& q, double alpha) const;
+
+  /// Minimal resource ratio at which \p q gets an exact plan:
+  /// alpha_exact = exact-plan tariff / |D| (Fig 6(j)).
+  Result<double> AlphaExact(const QueryPtr& q) const;
+
+  /// alpha_exact plus whether the exact plan is constraint-only, i.e. the
+  /// query is boundedly evaluable (its tariff does not grow with |D|).
+  Result<Planner::ExactPlanStats> ExactPlanStats(const QueryPtr& q) const;
+
+  /// Parses \p sql against the database schema.
+  Result<QueryPtr> Parse(const std::string& sql) const;
+
+  /// Incremental maintenance (C2): inserts/removes a base tuple, updating
+  /// both the database and every affected index.
+  Status Insert(const std::string& relation, const Tuple& row);
+  Status Remove(const std::string& relation, const Tuple& row);
+
+  const AccessSchema& access_schema() const { return store_.schema(); }
+  IndexStore& store() { return store_; }
+  const DatabaseSchema& db_schema() const { return db_schema_; }
+  size_t db_size() const { return db_size_; }
+
+ private:
+  Beas() = default;
+
+  Database* db_ = nullptr;
+  DatabaseSchema db_schema_;
+  size_t db_size_ = 0;
+  IndexStore store_;
+  BeasOptions options_;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_BEAS_BEAS_H_

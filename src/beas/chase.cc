@@ -1,0 +1,386 @@
+#include "beas/chase.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace beas {
+
+namespace {
+
+struct VarState {
+  Coverage coverage = Coverage::kNone;
+  size_t source_atom = 0;     // atom whose rows carry the value
+  std::string source_col;     // unqualified column there
+  bool from_const = false;    // bound to a query constant
+  Value const_value;
+};
+
+// A planned chain for one atom: ops share the atom and execute in order.
+struct Chain {
+  std::vector<FetchOp> ops;
+  std::set<std::string> fetched;  // X u Y accumulated
+  bool exact = true;              // all steps constraints with exact X
+};
+
+// Columns of `atom` whose term is a constant or an exactly covered var.
+std::map<std::string, XSource> ExactExternalBindings(
+    const TableauAtom& atom, const std::vector<VarState>& vars) {
+  std::map<std::string, XSource> out;
+  for (const auto& [col, term] : atom.terms) {
+    if (term.is_const) {
+      XSource src;
+      src.kind = XSource::Kind::kConst;
+      src.constant = term.constant;
+      out[col] = src;
+    } else {
+      const VarState& vs = vars[static_cast<size_t>(term.var)];
+      if (vs.coverage == Coverage::kExact) {
+        XSource src;
+        if (vs.from_const) {
+          src.kind = XSource::Kind::kConst;
+          src.constant = vs.const_value;
+        } else {
+          src.kind = XSource::Kind::kExternal;
+          src.source_atom = vs.source_atom;
+          src.column = vs.source_col;
+        }
+        out[col] = src;
+      }
+    }
+  }
+  return out;
+}
+
+// Tracked columns of the atom.
+std::set<std::string> TrackedCols(const TableauAtom& atom) {
+  std::set<std::string> cols;
+  for (const auto& [col, term] : atom.terms) cols.insert(col);
+  return cols;
+}
+
+const BoundFamily* FindUniversal(const AccessSchema& schema, const std::string& relation) {
+  for (const auto& f : schema.families()) {
+    if (f.relation == relation && !f.is_constraint && f.x_attrs.empty()) return &f;
+  }
+  return nullptr;
+}
+
+// Tries to build a complete chain for `atom_idx` from constraints and
+// constraint-rooted templates. Returns false when no such chain covers all
+// tracked columns with exactly-known probes.
+bool TryConstraintChain(const Tableau& tableau, const AccessSchema& schema,
+                        size_t atom_idx, const std::vector<VarState>& vars, Chain* out) {
+  const TableauAtom& atom = tableau.atoms[atom_idx];
+  std::map<std::string, XSource> external = ExactExternalBindings(atom, vars);
+  if (external.empty()) return false;  // nothing exact to probe with
+
+  std::set<std::string> tracked = TrackedCols(atom);
+  Chain chain;
+  std::set<std::string> exact_cols;  // columns exactly known within the chain
+  for (const auto& [col, src] : external) exact_cols.insert(col);
+
+  auto covered = [&](const std::string& col) {
+    return chain.fetched.count(col) > 0 ||
+           (external.count(col) > 0 &&
+            [&] {
+              // An externally bound column still needs to appear in some
+              // fetch's X or Y to be *verified* against the data.
+              for (const auto& op : chain.ops) {
+                for (const auto& x : op.family->x_attrs) {
+                  if (x == col) return true;
+                }
+                for (const auto& y : op.family->y_attrs) {
+                  if (y == col) return true;
+                }
+              }
+              return false;
+            }());
+  };
+  auto all_covered = [&] {
+    return std::all_of(tracked.begin(), tracked.end(), covered);
+  };
+  if (tracked.empty()) return false;  // witness-only atoms use the universal fetch
+
+  bool used_template = false;
+  while (!all_covered()) {
+    // Candidates: X must (a) consist of exactly-known columns, (b) contain
+    // every column already fetched in this chain (no chimera rows), and
+    // (c) contribute at least one uncovered tracked column via X u Y.
+    const BoundFamily* best = nullptr;
+    size_t best_new = 0;
+    int best_rank = -1;  // constraints rank above templates
+    for (const auto& f : schema.families()) {
+      if (f.relation != atom.relation || f.x_attrs.empty()) continue;
+      if (used_template) break;  // template columns cannot be probed further
+      bool x_ok = true;
+      for (const auto& x : f.x_attrs) {
+        if (exact_cols.count(x) == 0) {
+          x_ok = false;
+          break;
+        }
+      }
+      if (!x_ok) continue;
+      bool covers_fetched = true;
+      for (const auto& c : chain.fetched) {
+        if (std::find(f.x_attrs.begin(), f.x_attrs.end(), c) == f.x_attrs.end()) {
+          covers_fetched = false;
+          break;
+        }
+      }
+      if (!covers_fetched) continue;
+      size_t new_cols = 0;
+      for (const auto& x : f.x_attrs) {
+        if (tracked.count(x) > 0 && !covered(x)) ++new_cols;
+      }
+      for (const auto& y : f.y_attrs) {
+        if (tracked.count(y) > 0 && !covered(y)) ++new_cols;
+      }
+      if (new_cols == 0) continue;
+      int rank = f.is_constraint ? 1 : 0;
+      if (rank > best_rank || (rank == best_rank && new_cols > best_new)) {
+        best = &f;
+        best_rank = rank;
+        best_new = new_cols;
+      }
+    }
+    if (best == nullptr) return false;
+
+    FetchOp op;
+    op.atom = atom_idx;
+    op.family_id = best->id;
+    op.family = best;
+    op.level = 0;
+    for (const auto& x : best->x_attrs) {
+      if (chain.fetched.count(x) > 0) {
+        XSource src;
+        src.kind = XSource::Kind::kSelfChain;
+        src.column = x;
+        op.x_sources.push_back(src);
+      } else {
+        op.x_sources.push_back(external.at(x));
+      }
+    }
+    for (const auto& x : best->x_attrs) chain.fetched.insert(x);
+    for (const auto& y : best->y_attrs) chain.fetched.insert(y);
+    if (best->is_constraint) {
+      for (const auto& y : best->y_attrs) exact_cols.insert(y);
+    } else {
+      used_template = true;
+      chain.exact = false;
+    }
+    chain.ops.push_back(std::move(op));
+    if (chain.ops.size() > schema.families().size() + 1) return false;  // safety
+  }
+  *out = std::move(chain);
+  return true;
+}
+
+}  // namespace
+
+Result<ChaseResult> ChaseTableau(const Tableau& tableau, const AccessSchema& schema,
+                                 double budget) {
+  ChaseResult result;
+  result.var_coverage.assign(static_cast<size_t>(tableau.num_vars), Coverage::kNone);
+
+  std::vector<VarState> vars(static_cast<size_t>(tableau.num_vars));
+  for (const auto& [var, value] : tableau.var_const) {
+    VarState& vs = vars[static_cast<size_t>(var)];
+    vs.coverage = Coverage::kExact;
+    vs.from_const = true;
+    vs.const_value = value;
+  }
+
+  FetchPlan& plan = result.plan;
+  for (const auto& atom : tableau.atoms) {
+    AtomPlan ap;
+    ap.relation = atom.relation;
+    ap.alias = atom.alias;
+    plan.atoms.push_back(std::move(ap));
+  }
+
+  std::vector<bool> done(tableau.atoms.size(), false);
+  auto commit_chain = [&](size_t atom_idx, Chain chain) {
+    const TableauAtom& atom = tableau.atoms[atom_idx];
+    AtomPlan& ap = plan.atoms[atom_idx];
+    for (auto& op : chain.ops) {
+      ap.fetched_cols.insert(op.family->x_attrs.begin(), op.family->x_attrs.end());
+      ap.fetched_cols.insert(op.family->y_attrs.begin(), op.family->y_attrs.end());
+      ap.op_indices.push_back(plan.ops.size());
+      plan.ops.push_back(std::move(op));
+    }
+    // Mark variable coverage: a variable becomes exact when produced by a
+    // constraint step with exact probes, approximate otherwise.
+    for (const auto& [col, term] : atom.terms) {
+      if (term.is_const) continue;
+      VarState& vs = vars[static_cast<size_t>(term.var)];
+      if (vs.coverage == Coverage::kExact) continue;
+      // Which chain op produced this column?
+      bool exact = false;
+      bool found = false;
+      for (size_t oi : ap.op_indices) {
+        const FetchOp& op = plan.ops[oi];
+        bool in_x = std::find(op.family->x_attrs.begin(), op.family->x_attrs.end(), col) !=
+                    op.family->x_attrs.end();
+        bool in_y = std::find(op.family->y_attrs.begin(), op.family->y_attrs.end(), col) !=
+                    op.family->y_attrs.end();
+        if (in_x) {
+          // Probes are exact by construction within constraint chains, but
+          // a universal fallback never probes.
+          found = true;
+          exact = chain.exact || op.family->is_constraint;
+        } else if (in_y) {
+          found = true;
+          exact = op.family->is_constraint;
+        }
+        if (found) break;
+      }
+      if (!found) continue;
+      Coverage cov = exact ? Coverage::kExact : Coverage::kApprox;
+      if (static_cast<int>(cov) > static_cast<int>(vs.coverage)) {
+        vs.coverage = cov;
+        vs.source_atom = atom_idx;
+        vs.source_col = col;
+        vs.from_const = false;
+      }
+    }
+    done[atom_idx] = true;
+  };
+
+  auto universal_chain = [&](size_t atom_idx) -> Result<Chain> {
+    const BoundFamily* uni = FindUniversal(schema, tableau.atoms[atom_idx].relation);
+    if (uni == nullptr) {
+      return Status::InvalidArgument(
+          StrCat("access schema lacks the universal template for relation '",
+                 tableau.atoms[atom_idx].relation, "' (A must subsume A_t)"));
+    }
+    Chain chain;
+    FetchOp op;
+    op.atom = atom_idx;
+    op.family_id = uni->id;
+    op.family = uni;
+    op.level = 0;
+    chain.ops.push_back(std::move(op));
+    chain.exact = false;
+    for (const auto& y : uni->y_attrs) chain.fetched.insert(y);
+    return chain;
+  };
+
+  // Rounds: commit constraint chains while possible (each commit may make
+  // more variables exact); when stuck, fall back to a universal fetch for
+  // one remaining atom, which unlocks nothing exact but makes progress.
+  size_t remaining = tableau.atoms.size();
+  while (remaining > 0) {
+    bool progress = false;
+    for (size_t i = 0; i < tableau.atoms.size(); ++i) {
+      if (done[i]) continue;
+      Chain chain;
+      if (TryConstraintChain(tableau, schema, i, vars, &chain)) {
+        commit_chain(i, std::move(chain));
+        --remaining;
+        progress = true;
+      }
+    }
+    if (!progress) {
+      for (size_t i = 0; i < tableau.atoms.size(); ++i) {
+        if (done[i]) continue;
+        BEAS_ASSIGN_OR_RETURN(Chain chain, universal_chain(i));
+        commit_chain(i, std::move(chain));
+        --remaining;
+        break;
+      }
+    }
+  }
+
+  plan.Recompute();
+
+  // Budget degradation (Fig 3 chase): while the level-0 tariff exceeds the
+  // budget, replace the most expensive non-universal chain by a universal
+  // fetch (cost 1 at level 0). Degradation cascades: any atom probing the
+  // degraded atom's columns loses its exact bindings and is degraded too,
+  // preserving the exact-probe soundness policy.
+  auto is_universal_atom = [&](size_t a) {
+    const AtomPlan& ap = plan.atoms[a];
+    return ap.op_indices.size() == 1 &&
+           plan.ops[ap.op_indices[0]].family->x_attrs.empty();
+  };
+  auto degrade_atom = [&](size_t target) -> Status {
+    std::set<size_t> pending{target};
+    while (!pending.empty()) {
+      size_t a = *pending.begin();
+      pending.erase(pending.begin());
+      if (is_universal_atom(a)) continue;
+      BEAS_ASSIGN_OR_RETURN(Chain chain, universal_chain(a));
+      // Cascade: atoms probing columns of `a` via external sources.
+      for (const auto& op : plan.ops) {
+        if (op.atom == a) continue;
+        for (const auto& src : op.x_sources) {
+          if (src.kind == XSource::Kind::kExternal && src.source_atom == a) {
+            pending.insert(op.atom);
+          }
+        }
+      }
+      // Remove the atom's old ops and append the universal fetch.
+      std::vector<FetchOp> new_ops;
+      std::vector<size_t> remap(plan.ops.size());
+      for (size_t i = 0; i < plan.ops.size(); ++i) {
+        if (plan.ops[i].atom == a) continue;
+        remap[i] = new_ops.size();
+        new_ops.push_back(plan.ops[i]);
+      }
+      AtomPlan& ap = plan.atoms[a];
+      ap.op_indices.clear();
+      ap.fetched_cols.clear();
+      for (auto& a2 : plan.atoms) {
+        for (auto& oi : a2.op_indices) oi = remap[oi];
+      }
+      plan.ops = std::move(new_ops);
+      for (auto& op : chain.ops) {
+        ap.fetched_cols.insert(op.family->y_attrs.begin(), op.family->y_attrs.end());
+        ap.op_indices.push_back(plan.ops.size());
+        plan.ops.push_back(std::move(op));
+      }
+      for (auto& vs : vars) {
+        if (!vs.from_const && vs.coverage == Coverage::kExact && vs.source_atom == a) {
+          vs.coverage = Coverage::kApprox;
+        }
+      }
+    }
+    plan.Recompute();
+    return Status::OK();
+  };
+
+  while (plan.EstTariff() > budget) {
+    int worst_atom = -1;
+    double worst_cost = 0;
+    for (size_t a = 0; a < plan.atoms.size(); ++a) {
+      if (is_universal_atom(a)) continue;
+      double cost = 0;
+      for (size_t oi : plan.atoms[a].op_indices) {
+        const FetchOp& op = plan.ops[oi];
+        cost += op.est_bindings * static_cast<double>(op.family->Fanout(op.level));
+      }
+      if (cost > worst_cost) {
+        worst_cost = cost;
+        worst_atom = static_cast<int>(a);
+      }
+    }
+    if (worst_atom < 0) {
+      return Status::OutOfBudget(
+          StrCat("even the minimal plan (one representative per atom) exceeds the budget ",
+                 FormatDouble(budget, 1)));
+    }
+    BEAS_RETURN_IF_ERROR(degrade_atom(static_cast<size_t>(worst_atom)));
+  }
+
+  for (size_t v = 0; v < vars.size(); ++v) result.var_coverage[v] = vars[v].coverage;
+  result.all_exact_by_constraints =
+      std::all_of(vars.begin(), vars.end(),
+                  [](const VarState& vs) { return vs.coverage == Coverage::kExact; }) &&
+      plan.Exact();
+  return result;
+}
+
+}  // namespace beas

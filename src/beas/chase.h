@@ -1,0 +1,50 @@
+// The chase under an access schema (paper Section 5, Fig 4): derives a
+// fetching plan for an SPC query's tableau by repeatedly applying access
+// constraints and templates whose X-side is covered.
+//
+// Soundness policy. A fetch may only probe X-values that are *exactly*
+// known: query constants, variables covered by constraint chains, or
+// columns fetched by constraints earlier in the same atom chain. Probing
+// with approximately-covered values would break the coverage guarantee
+// (the probe can miss the group holding an exact answer's counterpart);
+// atoms whose bindings are only approximate fall back to the universal
+// template R(emptyset -> attr(R), 2^k, d_k) of A_t, whose whole-relation
+// frontier covers every tuple, with the join conditions relaxed in xi_E.
+// This mirrors the paper's own plans, where constraints cover join
+// variables and templates cover leaf attributes (Example 1).
+
+#ifndef BEAS_BEAS_CHASE_H_
+#define BEAS_BEAS_CHASE_H_
+
+#include "accschema/access_schema.h"
+#include "beas/fetch_plan.h"
+#include "beas/tableau.h"
+#include "common/result.h"
+
+namespace beas {
+
+/// Coverage state of a tableau variable after the chase.
+enum class Coverage { kNone = 0, kApprox = 1, kExact = 2 };
+
+/// Result of chasing a tableau: the fetching plan plus per-variable
+/// coverage (exact iff derived through constraints only, Section 5).
+struct ChaseResult {
+  FetchPlan plan;
+  std::vector<Coverage> var_coverage;
+  /// True when every variable is exactly covered by constraints alone:
+  /// the query is boundedly evaluable under the access constraints.
+  bool all_exact_by_constraints = false;
+};
+
+/// Chases \p tableau under \p schema with budget \p budget (= alpha|D|).
+/// Requires schema to subsume A_t (a universal family per used relation);
+/// returns InvalidArgument otherwise. The returned plan starts templates
+/// at level 0; chAT raises levels afterwards. If even the level-0 plan
+/// exceeds the budget, expensive constraint chains are degraded to
+/// universal fetches; OutOfBudget if the minimal plan still exceeds it.
+Result<ChaseResult> ChaseTableau(const Tableau& tableau, const AccessSchema& schema,
+                                 double budget);
+
+}  // namespace beas
+
+#endif  // BEAS_BEAS_CHASE_H_

@@ -1,0 +1,348 @@
+#include "beas/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "engine/aggregate.h"
+#include "types/distance.h"
+
+namespace beas {
+
+namespace {
+
+// Materialized rows of one atom during fetching: columns in append order,
+// with a parallel multiplicity (occurrence weight) per row.
+struct AtomRows {
+  std::vector<std::string> cols;
+  std::vector<Tuple> rows;
+  std::vector<int64_t> weights;
+
+  int ColIndex(const std::string& col) const {
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (cols[i] == col) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+// Distinct values of `col` in an atom's materialized rows.
+std::vector<Value> DistinctColumn(const AtomRows& rows, const std::string& col) {
+  std::vector<Value> out;
+  int idx = rows.ColIndex(col);
+  if (idx < 0) return out;
+  std::unordered_set<Value, ValueHash> seen;
+  for (const auto& r : rows.rows) {
+    if (seen.insert(r[static_cast<size_t>(idx)]).second) {
+      out.push_back(r[static_cast<size_t>(idx)]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<BeasAnswer> PlanExecutor::Execute(const BeasPlan& plan, uint64_t budget) {
+  store_->meter().StartQuery(budget);
+
+  // --- xi_F: materialize every unit's atoms through the index store. ---
+  Database dq;
+  for (const auto& unit : plan.units) {
+    std::vector<AtomRows> atoms(unit.fetch.atoms.size());
+    for (const auto& op : unit.fetch.ops) {
+      AtomRows& atom = atoms[op.atom];
+      const auto& x_attrs = op.family->x_attrs;
+
+      // Which X columns are new to the atom's rows?
+      std::vector<bool> x_is_new(x_attrs.size());
+      for (size_t i = 0; i < x_attrs.size(); ++i) {
+        x_is_new[i] = atom.ColIndex(x_attrs[i]) < 0;
+      }
+
+      // Probe contexts: (existing row or none) x external value combos.
+      bool has_self = false;
+      for (const auto& src : op.x_sources) {
+        has_self |= src.kind == XSource::Kind::kSelfChain;
+      }
+      // Enumerate external combinations (cross product of distinct column
+      // values per external source; usually at most one).
+      std::vector<std::vector<Value>> ext_values;  // per x position (empty = const/self)
+      ext_values.resize(x_attrs.size());
+      for (size_t i = 0; i < op.x_sources.size(); ++i) {
+        const XSource& src = op.x_sources[i];
+        if (src.kind == XSource::Kind::kExternal) {
+          ext_values[i] = DistinctColumn(atoms[src.source_atom], src.column);
+        }
+      }
+
+      struct ProbeCtx {
+        const Tuple* row = nullptr;  // self context
+        int64_t weight = 1;
+        Tuple xkey;
+      };
+      std::vector<ProbeCtx> probes;
+
+      // Recursive enumeration over external positions.
+      auto enumerate = [&](const Tuple* row, int64_t weight) -> Status {
+        ProbeCtx base;
+        base.row = row;
+        base.weight = weight;
+        base.xkey.resize(x_attrs.size());
+        // Fill const and self positions.
+        for (size_t i = 0; i < op.x_sources.size(); ++i) {
+          const XSource& src = op.x_sources[i];
+          if (src.kind == XSource::Kind::kConst) {
+            base.xkey[i] = src.constant;
+          } else if (src.kind == XSource::Kind::kSelfChain) {
+            int ci = atom.ColIndex(src.column);
+            if (ci < 0 || row == nullptr) {
+              return Status::Internal("self-chain probe without materialized column");
+            }
+            base.xkey[i] = (*row)[static_cast<size_t>(ci)];
+          }
+        }
+        std::vector<ProbeCtx> partial{std::move(base)};
+        for (size_t i = 0; i < x_attrs.size(); ++i) {
+          if (ext_values[i].empty() &&
+              op.x_sources[i].kind == XSource::Kind::kExternal) {
+            // External source with no values: no probes at all.
+            partial.clear();
+            break;
+          }
+          if (op.x_sources[i].kind != XSource::Kind::kExternal) continue;
+          std::vector<ProbeCtx> next;
+          next.reserve(partial.size() * ext_values[i].size());
+          for (const auto& p : partial) {
+            for (const auto& v : ext_values[i]) {
+              ProbeCtx q = p;
+              q.xkey[i] = v;
+              next.push_back(std::move(q));
+            }
+          }
+          partial = std::move(next);
+        }
+        for (auto& p : partial) probes.push_back(std::move(p));
+        return Status::OK();
+      };
+
+      if (has_self) {
+        if (atom.rows.empty()) continue;  // nothing to extend
+        for (size_t r = 0; r < atom.rows.size(); ++r) {
+          BEAS_RETURN_IF_ERROR(enumerate(&atom.rows[r], atom.weights[r]));
+        }
+      } else {
+        BEAS_RETURN_IF_ERROR(enumerate(nullptr, 1));
+      }
+
+      // Execute the probes and extend the atom's rows.
+      AtomRows next;
+      next.cols = atom.cols;
+      size_t ctx_width = atom.cols.size();
+      for (size_t i = 0; i < x_attrs.size(); ++i) {
+        if (x_is_new[i]) next.cols.push_back(x_attrs[i]);
+      }
+      for (const auto& y : op.family->y_attrs) next.cols.push_back(y);
+
+      for (const auto& probe : probes) {
+        BEAS_ASSIGN_OR_RETURN(std::vector<FetchEntry> entries,
+                              store_->Fetch(op.family_id, op.level, probe.xkey));
+        for (const auto& e : entries) {
+          Tuple row;
+          row.reserve(next.cols.size());
+          if (probe.row != nullptr) {
+            for (size_t c = 0; c < ctx_width; ++c) row.push_back((*probe.row)[c]);
+          }
+          for (size_t i = 0; i < x_attrs.size(); ++i) {
+            if (x_is_new[i]) row.push_back(probe.xkey[i]);
+          }
+          for (const auto& v : *e.y) row.push_back(v);
+          next.rows.push_back(std::move(row));
+          next.weights.push_back(probe.weight * e.count);
+        }
+      }
+      // Rows without self context start from scratch; rows with self
+      // context replace the previous materialization.
+      atom = std::move(next);
+    }
+
+    // Emit DQ tables in the planner's atom schemas.
+    for (size_t a = 0; a < unit.fetch.atoms.size(); ++a) {
+      const RelationSchema& schema = unit.atom_schemas[a];
+      Table table(schema);
+      const AtomRows& rows = atoms[a];
+      std::vector<int> perm;  // schema position -> rows column (-1 = __w)
+      for (const auto& attr : schema.attributes()) {
+        perm.push_back(attr.name == "__w" ? -1 : rows.ColIndex(attr.name));
+      }
+      for (size_t r = 0; r < rows.rows.size(); ++r) {
+        Tuple t;
+        t.reserve(perm.size());
+        for (int p : perm) {
+          if (p < 0) {
+            t.push_back(Value(rows.weights[r]));
+          } else {
+            t.push_back(rows.rows[r][static_cast<size_t>(p)]);
+          }
+        }
+        table.AppendUnchecked(std::move(t));
+      }
+      BEAS_RETURN_IF_ERROR(dq.AddTable(std::move(table)));
+    }
+  }
+
+  // --- xi_E: evaluate the tree, tracking both S and S-hat. ---
+  Evaluator evaluator(dq, eval_options_);
+
+  struct EvalOut {
+    Table s;
+    Table s_hat;
+  };
+  std::function<Result<EvalOut>(const EvalNode&)> eval_node =
+      [&](const EvalNode& node) -> Result<EvalOut> {
+    switch (node.kind) {
+      case EvalNode::Kind::kSpc: {
+        const SpcUnit& unit = plan.units[node.unit];
+        EvalOut out;
+        if (unit.unsatisfiable) {
+          out.s = Table(unit.query->output_schema());
+          out.s_hat = out.s;
+          return out;
+        }
+        BEAS_ASSIGN_OR_RETURN(out.s, evaluator.Eval(unit.rewritten));
+        out.s_hat = out.s;
+        return out;
+      }
+      case EvalNode::Kind::kUnion: {
+        BEAS_ASSIGN_OR_RETURN(EvalOut l, eval_node(*node.left));
+        BEAS_ASSIGN_OR_RETURN(EvalOut r, eval_node(*node.right));
+        auto merge = [&](Table a, const Table& b) {
+          for (const auto& row : b.rows()) a.AppendUnchecked(row);
+          a.Distinct();
+          return a;
+        };
+        EvalOut out;
+        out.s = merge(std::move(l.s), r.s);
+        out.s_hat = merge(std::move(l.s_hat), r.s_hat);
+        return out;
+      }
+      case EvalNode::Kind::kDifference: {
+        BEAS_ASSIGN_OR_RETURN(EvalOut l, eval_node(*node.left));
+        BEAS_ASSIGN_OR_RETURN(EvalOut r, eval_node(*node.right));
+        EvalOut out;
+        out.s_hat = l.s_hat;  // Q-hat drops the negated side
+        const RelationSchema& schema = node.original->output_schema();
+        if (node.guard_tolerance.empty()) {
+          // Exact negated side: plain set difference against E(Q2).
+          std::unordered_set<Tuple, TupleHasher> negated(r.s.rows().begin(),
+                                                         r.s.rows().end());
+          out.s = Table(schema);
+          for (const auto& row : l.s.rows()) {
+            if (negated.find(row) == negated.end()) out.s.AppendUnchecked(row);
+          }
+        } else {
+          // Guard: drop answers within the dangerous distance of any
+          // E(Q2-hat) tuple on every column (Section 6).
+          out.s = Table(schema);
+          for (const auto& srow : l.s.rows()) {
+            bool dangerous = false;
+            for (const auto& trow : r.s_hat.rows()) {
+              bool within = true;
+              for (size_t c = 0; c < schema.arity() && within; ++c) {
+                double d =
+                    AttributeDistance(schema.attribute(c).distance, srow[c], trow[c]);
+                within = d <= node.guard_tolerance[c];
+              }
+              if (within) {
+                dangerous = true;
+                break;
+              }
+            }
+            if (!dangerous) out.s.AppendUnchecked(srow);
+          }
+        }
+        out.s.Distinct();
+        return out;
+      }
+      case EvalNode::Kind::kGroupBy: {
+        BEAS_ASSIGN_OR_RETURN(EvalOut c, eval_node(*node.child));
+        const RelationSchema& out_schema = node.original->output_schema();
+        EvalOut out;
+        BEAS_ASSIGN_OR_RETURN(out.s,
+                              GroupByAggregate(c.s, out_schema, node.group_attrs, node.agg,
+                                               node.agg_attr, /*weighted=*/true));
+        BEAS_ASSIGN_OR_RETURN(out.s_hat,
+                              GroupByAggregate(c.s_hat, out_schema, node.group_attrs,
+                                               node.agg, node.agg_attr, /*weighted=*/true));
+        return out;
+      }
+    }
+    return Status::Internal("unknown EvalNode kind");
+  };
+
+  BEAS_ASSIGN_OR_RETURN(EvalOut result, eval_node(*plan.root));
+
+  // --- Runtime accuracy bound eta' (Fig 5 lines 6-7). ---
+  BeasAnswer answer;
+  answer.accessed = store_->meter().accessed();
+  answer.est_tariff = plan.est_tariff;
+  answer.exact = plan.exact;
+
+  const RelationSchema& out_schema = plan.query->output_schema();
+  bool additive_agg = plan.query->kind() == QueryNode::Kind::kGroupBy &&
+                      plan.query->agg() != AggFunc::kMin &&
+                      plan.query->agg() != AggFunc::kMax;
+  // d' is only needed when set differences may have removed approximate
+  // answers present in the hat evaluation (S == S-hat otherwise).
+  bool has_difference = false;
+  {
+    std::vector<const EvalNode*> stack{plan.root.get()};
+    while (!stack.empty()) {
+      const EvalNode* n = stack.back();
+      stack.pop_back();
+      if (n->kind == EvalNode::Kind::kDifference) has_difference = true;
+      if (n->left) stack.push_back(n->left.get());
+      if (n->right) stack.push_back(n->right.get());
+      if (n->child) stack.push_back(n->child.get());
+    }
+  }
+  double d_prime = 0;
+  if (has_difference) {
+    if (result.s.empty()) {
+      d_prime = result.s_hat.empty() ? 0 : kInfDistance;
+    } else {
+      for (const auto& t : result.s_hat.rows()) {
+        double best = kInfDistance;
+        for (const auto& s : result.s.rows()) {
+          double d;
+          if (additive_agg) {
+            size_t v = out_schema.arity() - 1;
+            double xd = 0;
+            for (size_t c = 0; c < v; ++c) {
+              xd = std::max(
+                  xd, AttributeDistance(out_schema.attribute(c).distance, s[c], t[c]));
+            }
+            double fagg = AttributeDistance(out_schema.attribute(v).distance, s[v], t[v]);
+            d = (std::isinf(xd) || std::isinf(fagg)) ? kInfDistance : xd + fagg;
+          } else {
+            d = TupleDistance(out_schema, s, t);
+          }
+          best = std::min(best, d);
+          if (best == 0) break;
+        }
+        d_prime = std::max(d_prime, best);
+      }
+    }
+  }
+  answer.d_prime = d_prime;
+  answer.eta = plan.exact
+                   ? 1.0
+                   : 1.0 / (1.0 + std::max(plan.d_rel, d_prime + plan.d_cov));
+  answer.table = std::move(result.s);
+  return answer;
+}
+
+}  // namespace beas

@@ -1,0 +1,46 @@
+// Executes alpha-bounded plans: runs the fetching plan through the
+// metered IndexStore (building the per-query data D_Q), evaluates the
+// relaxed evaluation plan over D_Q, applies the set-difference guard, and
+// computes the runtime accuracy bound eta' (paper Fig 5, lines 6-7).
+
+#ifndef BEAS_BEAS_EXECUTOR_H_
+#define BEAS_BEAS_EXECUTOR_H_
+
+#include <cstdint>
+
+#include "beas/plan.h"
+#include "common/result.h"
+#include "engine/evaluator.h"
+#include "index/index_store.h"
+#include "storage/table.h"
+
+namespace beas {
+
+/// An approximate answer with its deterministic accuracy bound.
+struct BeasAnswer {
+  Table table;          ///< Q(D_Q), schema = query output schema
+  double eta = 0;       ///< deterministic RC lower bound (1.0 for exact)
+  uint64_t accessed = 0;  ///< tuples actually fetched (<= alpha |D|)
+  bool exact = false;   ///< the answers are exactly Q(D)
+  double est_tariff = 0;
+  double d_prime = 0;   ///< runtime coverage correction d' (Section 6)
+};
+
+/// \brief Executes BeasPlans against an IndexStore.
+class PlanExecutor {
+ public:
+  PlanExecutor(IndexStore* store, EvalOptions eval_options = {})
+      : store_(store), eval_options_(eval_options) {}
+
+  /// Runs \p plan with run-time budget enforcement (\p budget tuples; the
+  /// plan was constructed to respect it, the meter double-checks).
+  Result<BeasAnswer> Execute(const BeasPlan& plan, uint64_t budget);
+
+ private:
+  IndexStore* store_;
+  EvalOptions eval_options_;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_BEAS_EXECUTOR_H_

@@ -1,0 +1,121 @@
+#include "beas/fetch_plan.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace beas {
+
+void FetchPlan::Recompute() {
+  for (auto& atom : atoms) atom.est_rows = 1;
+  std::vector<bool> atom_started(atoms.size(), false);
+  for (auto& op : ops) {
+    AtomPlan& atom = atoms[op.atom];
+    if (op.family->x_attrs.empty()) {
+      op.est_bindings = 1;
+    } else {
+      bool self = false;
+      std::set<size_t> externals;
+      for (const auto& src : op.x_sources) {
+        if (src.kind == XSource::Kind::kSelfChain) self = true;
+        if (src.kind == XSource::Kind::kExternal) externals.insert(src.source_atom);
+      }
+      double bindings = 1;
+      if (self) {
+        bindings = atom.est_rows;
+      } else {
+        for (size_t a : externals) bindings *= atoms[a].est_rows;
+      }
+      op.est_bindings = std::max(1.0, bindings);
+    }
+    double fanout = static_cast<double>(op.family->Fanout(op.level));
+    if (!atom_started[op.atom]) {
+      atom.est_rows = op.est_bindings * fanout;
+      atom_started[op.atom] = true;
+    } else {
+      atom.est_rows *= fanout;
+    }
+  }
+}
+
+double FetchPlan::EstTariff() const {
+  double tariff = 0;
+  for (const auto& op : ops) {
+    tariff += op.est_bindings * static_cast<double>(op.family->Fanout(op.level));
+  }
+  return tariff;
+}
+
+double FetchPlan::ResolutionOf(size_t atom_idx, const std::string& col) const {
+  double best = kInfDistance;
+  bool found = false;
+  for (size_t oi : atoms[atom_idx].op_indices) {
+    const FetchOp& op = ops[oi];
+    // Probed as X: the index guarantees the group's X-value exactly.
+    for (const auto& x : op.family->x_attrs) {
+      if (x == col) {
+        return 0.0;
+      }
+    }
+    if (!op.family->is_constraint) {
+      for (const auto& y : op.family->y_attrs) {
+        if (y == col) {
+          best = std::min(best, op.family->ResolutionOf(col, op.level));
+          found = true;
+        }
+      }
+    } else {
+      for (const auto& y : op.family->y_attrs) {
+        if (y == col) return 0.0;
+      }
+    }
+  }
+  return found ? best : 0.0;
+}
+
+bool FetchPlan::Exact() const {
+  for (const auto& op : ops) {
+    if (!op.family->is_constraint && op.level < op.family->max_level) return false;
+  }
+  return true;
+}
+
+void FetchPlan::UpgradeToExact() {
+  for (auto& op : ops) {
+    if (!op.family->is_constraint) op.level = op.family->max_level;
+  }
+  Recompute();
+}
+
+std::string FetchPlan::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const FetchOp& op = ops[i];
+    const AtomPlan& atom = atoms[op.atom];
+    std::vector<std::string> srcs;
+    for (size_t x = 0; x < op.x_sources.size(); ++x) {
+      const auto& s = op.x_sources[x];
+      std::string v;
+      switch (s.kind) {
+        case XSource::Kind::kConst:
+          v = s.constant.ToString();
+          break;
+        case XSource::Kind::kExternal:
+          v = StrCat(atoms[s.source_atom].alias, ".", s.column);
+          break;
+        case XSource::Kind::kSelfChain:
+          v = StrCat("self.", s.column);
+          break;
+      }
+      srcs.push_back(StrCat(op.family->x_attrs[x], "<-", v));
+    }
+    out += StrCat("T", i, " = fetch[", atom.alias, "](", op.family_id, " @k=", op.level,
+                  srcs.empty() ? "" : StrCat("; ", Join(srcs, ", ")),
+                  ") est=", FormatDouble(op.est_bindings, 1), "x",
+                  op.family->Fanout(op.level), "\n");
+  }
+  return out;
+}
+
+}  // namespace beas

@@ -1,0 +1,83 @@
+// Fetching plans: the xi_F half of a canonical bounded plan (paper
+// Section 5). A fetching plan is an ordered sequence of fetch operations
+// through access-template indices; its tariff (estimated number of tuples
+// accessed) is computed from the N constants of the access schema alone,
+// without touching the data.
+
+#ifndef BEAS_BEAS_FETCH_PLAN_H_
+#define BEAS_BEAS_FETCH_PLAN_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "accschema/access_schema.h"
+#include "beas/tableau.h"
+
+namespace beas {
+
+/// Where one X-attribute of a fetch gets its probe values.
+struct XSource {
+  enum class Kind {
+    kConst,      ///< a constant from the query
+    kExternal,   ///< a column of another atom's materialized table
+    kSelfChain,  ///< a column this atom's earlier chain steps fetched
+  };
+  Kind kind = Kind::kConst;
+  Value constant;
+  size_t source_atom = 0;  ///< kExternal: atom index within the same plan
+  std::string column;      ///< unqualified column name in the source rows
+};
+
+/// One fetch(X in T, R, Y, psi) operation.
+struct FetchOp {
+  size_t atom = 0;  ///< index of the target atom in the plan
+  std::string family_id;
+  const BoundFamily* family = nullptr;  ///< borrowed from the AccessSchema
+  int level = 0;                        ///< template level k (constraints: 0)
+  std::vector<XSource> x_sources;       ///< parallel to family->x_attrs
+  /// Estimated number of distinct X probes (recomputed by Recompute()).
+  double est_bindings = 1;
+};
+
+/// The chain of fetch operations materializing one relation atom.
+struct AtomPlan {
+  std::string relation;
+  std::string alias;
+  std::vector<size_t> op_indices;  ///< into FetchPlan::ops, in chain order
+  std::set<std::string> fetched_cols;
+  double est_rows = 1;  ///< estimated materialized rows (recomputed)
+};
+
+/// \brief A fetching plan for one SPC (sub-)query.
+struct FetchPlan {
+  std::vector<FetchOp> ops;  ///< global execution order (dependency-safe)
+  std::vector<AtomPlan> atoms;
+
+  /// Re-derives est_bindings / est_rows from the current template levels.
+  void Recompute();
+
+  /// Estimated tuples accessed: sum over ops of est_bindings * fanout
+  /// (the tariff of Fig 3).
+  double EstTariff() const;
+
+  /// Resolution (distance units) with which the plan fetches atom
+  /// \p atom_idx's column \p col: 0 when probed as X or fetched via a
+  /// constraint / a max-level template; the template's d_k[col] otherwise.
+  double ResolutionOf(size_t atom_idx, const std::string& col) const;
+
+  /// True when every fetch is exact (constraints or max-level templates):
+  /// the plan computes exact answers Q(D) (bounded evaluability).
+  bool Exact() const;
+
+  /// Raises every template fetch to its family's max level (resolution 0),
+  /// turning the plan into an exact plan; used for the alpha_exact
+  /// experiment (Fig 6(j)).
+  void UpgradeToExact();
+
+  std::string ToString() const;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_BEAS_FETCH_PLAN_H_

@@ -1,0 +1,101 @@
+// Canonical bounded plans xi_alpha = (xi_F, xi_E) (paper Sections 5-7).
+//
+// A BeasPlan decomposes Q into its maximal SPC sub-queries (units), each
+// with a tableau and a fetching plan, plus an evaluation-plan tree that
+// mirrors Q's non-SPC structure (unions, set differences with the
+// dangerous-distance guard, group-by aggregates).
+
+#ifndef BEAS_BEAS_PLAN_H_
+#define BEAS_BEAS_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "beas/fetch_plan.h"
+#include "beas/tableau.h"
+#include "ra/ast.h"
+
+namespace beas {
+
+/// One maximal SPC sub-query with its fetching machinery.
+struct SpcUnit {
+  size_t index = 0;   ///< unit id; DQ tables are named "sq<index>_<alias>"
+  QueryPtr query;     ///< the original SPC sub-query
+  Tableau tableau;
+  FetchPlan fetch;
+  /// Schema of each atom's materialized DQ table (parallel to
+  /// fetch.atoms): fetched columns in base order plus the "__w"
+  /// occurrence-weight column.
+  std::vector<RelationSchema> atom_schemas;
+  /// xi_E for this unit: the query rewritten over the DQ tables with
+  /// targeted relaxation slack on its selections (filled by the planner
+  /// after chAT fixes template levels).
+  QueryPtr rewritten;
+  /// Per-output-column coverage resolution and relevance bound of the
+  /// rewritten unit (from the lower-bound function L).
+  std::vector<double> col_res;
+  double d_rel = 0;
+  /// +inf when a selection compares an attribute fetched with infinite
+  /// resolution (trivial metric, subtree not yet uniform): the exact
+  /// filter on representatives may drop covered answers, so the coverage
+  /// bound must not claim anything. 0 otherwise.
+  double d_cov_extra = 0;
+  /// Q(D) is empty on every database (conflicting constants): no fetching.
+  bool unsatisfiable = false;
+  /// The unit feeds a group-by aggregate: bag projections keep the "__w"
+  /// occurrence-weight columns (Section 7).
+  bool weighted = false;
+};
+
+/// Node of the evaluation-plan tree above the SPC units.
+struct EvalNode {
+  enum class Kind { kSpc, kUnion, kDifference, kGroupBy };
+  Kind kind = Kind::kSpc;
+
+  size_t unit = 0;  ///< kSpc: index into BeasPlan::units
+  std::unique_ptr<EvalNode> left;   ///< kUnion / kDifference
+  std::unique_ptr<EvalNode> right;  ///< kUnion / kDifference
+  std::unique_ptr<EvalNode> child;  ///< kGroupBy
+
+  /// kDifference: per-column dangerous distance delta(A) (Section 6);
+  /// empty when the negated side is exact (plain set difference).
+  std::vector<double> guard_tolerance;
+
+  /// kGroupBy: grouping spec against the child's output schema.
+  std::vector<std::string> group_attrs;
+  AggFunc agg = AggFunc::kCount;
+  std::string agg_attr;
+
+  /// The original query node this EvalNode implements (schemas, printing).
+  QueryPtr original;
+};
+
+/// \brief A complete alpha-bounded plan with its accuracy bookkeeping.
+struct BeasPlan {
+  QueryPtr query;
+  std::vector<SpcUnit> units;
+  std::unique_ptr<EvalNode> root;
+
+  double budget = 0;      ///< B = alpha * |D|
+  double est_tariff = 0;  ///< estimated tuples accessed (<= budget)
+
+  /// Static lower-bound components from L: worst relevance slack and the
+  /// per-column coverage resolutions of the induced query (Section 6 uses
+  /// d_rel and d_cov-hat; the executor adds the runtime d').
+  double d_rel = 0;
+  double d_cov = 0;
+
+  /// Static eta = 1 / (1 + max(d_rel, d_cov)); the executor's runtime eta
+  /// additionally folds in d' for set differences.
+  double eta = 0;
+
+  /// True when every fetch is exact: the plan computes exact Q(D).
+  bool exact = false;
+
+  std::string ToString() const;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_BEAS_PLAN_H_

@@ -1,0 +1,332 @@
+#include "beas/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "beas/chase.h"
+#include "beas/rewrite.h"
+#include "common/string_util.h"
+#include "ra/analysis.h"
+#include "types/distance.h"
+
+namespace beas {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Decomposition: EvalNode tree over maximal SPC units.
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<EvalNode>> BuildEvalTree(const QueryPtr& q, bool weighted,
+                                                std::vector<SpcUnit>* units) {
+  if (IsSpc(q)) {
+    auto node = std::make_unique<EvalNode>();
+    node->kind = EvalNode::Kind::kSpc;
+    node->unit = units->size();
+    node->original = q;
+    SpcUnit unit;
+    unit.index = units->size();
+    unit.query = q;
+    unit.weighted = weighted;
+    units->push_back(std::move(unit));
+    return node;
+  }
+  switch (q->kind()) {
+    case QueryNode::Kind::kUnion:
+    case QueryNode::Kind::kDifference: {
+      auto node = std::make_unique<EvalNode>();
+      node->kind = q->kind() == QueryNode::Kind::kUnion ? EvalNode::Kind::kUnion
+                                                        : EvalNode::Kind::kDifference;
+      node->original = q;
+      BEAS_ASSIGN_OR_RETURN(node->left, BuildEvalTree(q->left(), weighted, units));
+      BEAS_ASSIGN_OR_RETURN(node->right, BuildEvalTree(q->right(), weighted, units));
+      return node;
+    }
+    case QueryNode::Kind::kGroupBy: {
+      auto node = std::make_unique<EvalNode>();
+      node->kind = EvalNode::Kind::kGroupBy;
+      node->original = q;
+      node->group_attrs = q->group_attrs();
+      node->agg = q->agg();
+      node->agg_attr = q->agg_attr();
+      BEAS_ASSIGN_OR_RETURN(node->child, BuildEvalTree(q->child(), /*weighted=*/true, units));
+      return node;
+    }
+    default:
+      return Status::Unimplemented(
+          "only unions, set differences and group-by are supported above the "
+          "maximal SPC sub-queries");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bound combination over the EvalNode tree (the lower-bound function L,
+// Sections 5-7). Works on the hat path: set-difference right branches
+// contribute guard tolerances, not coverage.
+// ---------------------------------------------------------------------------
+
+struct NodeBounds {
+  std::vector<double> col_res;  // per output column, coverage resolution
+  double d_rel = 0;
+  double extra_cov = 0;  // see SpcUnit::d_cov_extra
+};
+
+bool IsExactSubtree(const EvalNode& node, const std::vector<SpcUnit>& units) {
+  switch (node.kind) {
+    case EvalNode::Kind::kSpc: {
+      const SpcUnit& u = units[node.unit];
+      return u.unsatisfiable || (u.fetch.Exact() && u.d_rel == 0);
+    }
+    case EvalNode::Kind::kUnion:
+    case EvalNode::Kind::kDifference:
+      return IsExactSubtree(*node.left, units) && IsExactSubtree(*node.right, units);
+    case EvalNode::Kind::kGroupBy:
+      return IsExactSubtree(*node.child, units);
+  }
+  return false;
+}
+
+// Computes bounds bottom-up and installs guard tolerances on set
+// differences. Units must already be rewritten (col_res / d_rel filled).
+Result<NodeBounds> CombineBounds(EvalNode* node, std::vector<SpcUnit>* units) {
+  switch (node->kind) {
+    case EvalNode::Kind::kSpc: {
+      const SpcUnit& u = (*units)[node->unit];
+      NodeBounds b;
+      if (u.unsatisfiable) {
+        b.col_res.assign(u.query->output_schema().arity(), 0.0);
+        b.d_rel = 0;
+        return b;
+      }
+      // Weighted units carry trailing "__w" columns that the group-by
+      // consumes; bounds cover only the query's real output columns.
+      size_t arity = u.query->output_schema().arity();
+      b.col_res.assign(u.col_res.begin(),
+                       u.col_res.begin() + static_cast<long>(
+                                               std::min(arity, u.col_res.size())));
+      b.d_rel = u.d_rel;
+      b.extra_cov = u.d_cov_extra;
+      return b;
+    }
+    case EvalNode::Kind::kUnion: {
+      BEAS_ASSIGN_OR_RETURN(NodeBounds l, CombineBounds(node->left.get(), units));
+      BEAS_ASSIGN_OR_RETURN(NodeBounds r, CombineBounds(node->right.get(), units));
+      NodeBounds b;
+      b.col_res.resize(l.col_res.size());
+      for (size_t i = 0; i < l.col_res.size(); ++i) {
+        b.col_res[i] = std::max(l.col_res[i], i < r.col_res.size() ? r.col_res[i] : 0.0);
+      }
+      b.d_rel = std::max(l.d_rel, r.d_rel);
+      b.extra_cov = std::max(l.extra_cov, r.extra_cov);
+      return b;
+    }
+    case EvalNode::Kind::kDifference: {
+      BEAS_ASSIGN_OR_RETURN(NodeBounds l, CombineBounds(node->left.get(), units));
+      BEAS_ASSIGN_OR_RETURN(NodeBounds r, CombineBounds(node->right.get(), units));
+      if (IsExactSubtree(*node->right, *units)) {
+        node->guard_tolerance.clear();  // plain set difference
+      } else if (std::isinf(r.extra_cov)) {
+        // The negated side's evaluation may miss Q2 tuples entirely
+        // (infinite-resolution selection): only removing everything
+        // preserves Theorem 6(5) soundness.
+        node->guard_tolerance.assign(l.col_res.size(), kInfDistance);
+      } else {
+        // Dangerous distances delta(A): the coverage resolutions of the
+        // negated side's hat evaluation (Section 6).
+        node->guard_tolerance = r.col_res;
+      }
+      // Coverage/relevance of the hat path come from the left branch.
+      return l;
+    }
+    case EvalNode::Kind::kGroupBy: {
+      BEAS_ASSIGN_OR_RETURN(NodeBounds c, CombineBounds(node->child.get(), units));
+      const RelationSchema& child_schema =
+          node->child->kind == EvalNode::Kind::kSpc
+              ? (*units)[node->child->unit].query->output_schema()
+              : node->child->original->output_schema();
+      NodeBounds b;
+      for (const auto& g : node->group_attrs) {
+        auto idx = child_schema.FindAttribute(g);
+        b.col_res.push_back(idx && *idx < c.col_res.size() ? c.col_res[*idx] : 0.0);
+      }
+      auto vidx = child_schema.FindAttribute(node->agg_attr);
+      b.col_res.push_back(vidx && *vidx < c.col_res.size() ? c.col_res[*vidx] : 0.0);
+      b.d_rel = c.d_rel;
+      b.extra_cov = c.extra_cov;
+      return b;
+    }
+  }
+  return Status::Internal("unknown EvalNode kind");
+}
+
+double Clamp(double v) { return std::min(v, 1.0e15); }
+
+// Additive badness for chAT's greedy choice: total clamped coverage
+// resolution + relevance + guard tolerances. Strictly decreases whenever
+// any resolution the plan depends on improves.
+Result<double> PlanBadness(BeasPlan* plan, const DatabaseSchema& base) {
+  for (auto& unit : plan->units) {
+    if (unit.unsatisfiable) continue;
+    BEAS_RETURN_IF_ERROR(RewriteUnit(base, unit.weighted, &unit));
+  }
+  BEAS_ASSIGN_OR_RETURN(NodeBounds root, CombineBounds(plan->root.get(), &plan->units));
+  double badness = root.d_rel + Clamp(root.extra_cov);
+  for (double r : root.col_res) badness += Clamp(r);
+  // Guard tolerances across the tree.
+  std::vector<const EvalNode*> stack{plan->root.get()};
+  while (!stack.empty()) {
+    const EvalNode* n = stack.back();
+    stack.pop_back();
+    for (double t : n->guard_tolerance) badness += Clamp(t);
+    if (n->left) stack.push_back(n->left.get());
+    if (n->right) stack.push_back(n->right.get());
+    if (n->child) stack.push_back(n->child.get());
+  }
+  return badness;
+}
+
+double TotalTariff(const BeasPlan& plan) {
+  double t = 0;
+  for (const auto& u : plan.units) t += u.fetch.EstTariff();
+  return t;
+}
+
+// chAT (Fig 3): greedily upgrade the template level whose upgrade yields
+// the largest accuracy improvement while the tariff stays within budget.
+Status OptimizeLevels(BeasPlan* plan, const DatabaseSchema& base) {
+  BEAS_ASSIGN_OR_RETURN(double badness, PlanBadness(plan, base));
+  while (true) {
+    int best_unit = -1, best_op = -1;
+    double best_score = -1, best_cost = 0, best_badness = badness;
+    for (size_t u = 0; u < plan->units.size(); ++u) {
+      FetchPlan& fetch = plan->units[u].fetch;
+      for (size_t o = 0; o < fetch.ops.size(); ++o) {
+        FetchOp& op = fetch.ops[o];
+        if (op.family->is_constraint || op.level >= op.family->max_level) continue;
+        double old_tariff = TotalTariff(*plan);
+        op.level += 1;
+        fetch.Recompute();
+        double new_tariff = TotalTariff(*plan);
+        double cost = new_tariff - old_tariff;
+        bool feasible = new_tariff <= plan->budget;
+        double new_badness = badness;
+        if (feasible) {
+          BEAS_ASSIGN_OR_RETURN(new_badness, PlanBadness(plan, base));
+        }
+        op.level -= 1;
+        fetch.Recompute();
+        if (!feasible) continue;
+        double score = badness - new_badness;
+        if (score > best_score ||
+            (score == best_score && best_unit >= 0 && cost < best_cost)) {
+          best_score = score;
+          best_cost = cost;
+          best_unit = static_cast<int>(u);
+          best_op = static_cast<int>(o);
+          best_badness = new_badness;
+        }
+      }
+    }
+    if (best_unit < 0) break;
+    FetchPlan& fetch = plan->units[static_cast<size_t>(best_unit)].fetch;
+    fetch.ops[static_cast<size_t>(best_op)].level += 1;
+    fetch.Recompute();
+    badness = best_badness;
+  }
+  // Restore the rewrites to the final levels.
+  BEAS_RETURN_IF_ERROR(PlanBadness(plan, base).status());
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<BeasPlan> Planner::Plan(const QueryPtr& q, double alpha) const {
+  BeasPlan plan;
+  plan.query = q;
+  plan.budget = alpha * static_cast<double>(db_size_);
+
+  BEAS_ASSIGN_OR_RETURN(plan.root, BuildEvalTree(q, /*weighted=*/false, &plan.units));
+
+  size_t total_atoms = 0;
+  for (auto& unit : plan.units) {
+    BEAS_ASSIGN_OR_RETURN(unit.tableau, BuildTableau(unit.query));
+    unit.unsatisfiable = unit.tableau.unsatisfiable;
+    if (!unit.unsatisfiable) total_atoms += unit.tableau.atoms.size();
+  }
+
+  for (auto& unit : plan.units) {
+    if (unit.unsatisfiable) continue;
+    double share = total_atoms == 0
+                       ? plan.budget
+                       : plan.budget * static_cast<double>(unit.tableau.atoms.size()) /
+                             static_cast<double>(total_atoms);
+    BEAS_ASSIGN_OR_RETURN(ChaseResult chased, ChaseTableau(unit.tableau, access_, share));
+    unit.fetch = std::move(chased.plan);
+  }
+
+  if (knobs_.optimize_levels) {
+    BEAS_RETURN_IF_ERROR(OptimizeLevels(&plan, base_));
+  } else {
+    // Still rewrite the units at their level-0 plans.
+    BEAS_RETURN_IF_ERROR(PlanBadness(&plan, base_).status());
+  }
+
+  BEAS_ASSIGN_OR_RETURN(NodeBounds root, CombineBounds(plan.root.get(), &plan.units));
+  plan.d_rel = root.d_rel;
+  plan.d_cov = root.extra_cov;
+  for (double r : root.col_res) plan.d_cov = std::max(plan.d_cov, r);
+  plan.exact = IsExactSubtree(*plan.root, plan.units) && plan.d_rel == 0;
+  plan.eta = plan.exact ? 1.0 : 1.0 / (1.0 + std::max(plan.d_rel, plan.d_cov));
+  plan.est_tariff = TotalTariff(plan);
+  return plan;
+}
+
+Result<Planner::ExactPlanStats> Planner::ExactPlan(const QueryPtr& q) const {
+  BeasPlan plan;
+  plan.query = q;
+  plan.budget = std::numeric_limits<double>::infinity();
+  BEAS_ASSIGN_OR_RETURN(plan.root, BuildEvalTree(q, /*weighted=*/false, &plan.units));
+  ExactPlanStats stats;
+  for (auto& unit : plan.units) {
+    BEAS_ASSIGN_OR_RETURN(unit.tableau, BuildTableau(unit.query));
+    if (unit.tableau.unsatisfiable) continue;
+    BEAS_ASSIGN_OR_RETURN(
+        ChaseResult chased,
+        ChaseTableau(unit.tableau, access_, std::numeric_limits<double>::infinity()));
+    unit.fetch = std::move(chased.plan);
+    unit.fetch.UpgradeToExact();
+    stats.tariff += unit.fetch.EstTariff();
+    for (const auto& op : unit.fetch.ops) {
+      stats.constraints_only &= op.family->is_constraint;
+    }
+  }
+  return stats;
+}
+
+Result<double> Planner::ExactTariff(const QueryPtr& q) const {
+  BEAS_ASSIGN_OR_RETURN(ExactPlanStats stats, ExactPlan(q));
+  return stats.tariff;
+}
+
+std::string BeasPlan::ToString() const {
+  std::string out = StrCat("plan for: ", query->ToString(), "\n");
+  out += StrCat("  budget=", FormatDouble(budget, 1), " est_tariff=",
+                FormatDouble(est_tariff, 1), " eta=", FormatDouble(eta, 4),
+                " exact=", exact ? "yes" : "no", "\n");
+  for (const auto& u : units) {
+    out += StrCat("  unit ", u.index, u.unsatisfiable ? " (unsatisfiable)" : "", ":\n");
+    std::string fp = u.fetch.ToString();
+    // Indent.
+    size_t pos = 0;
+    while (pos < fp.size()) {
+      size_t nl = fp.find('\n', pos);
+      if (nl == std::string::npos) nl = fp.size();
+      out += "    " + fp.substr(pos, nl - pos) + "\n";
+      pos = nl + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace beas

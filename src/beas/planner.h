@@ -1,0 +1,65 @@
+// The resource-bounded approximation scheme Gamma_A (paper Sections 4-7):
+// BEAS_SPC / BEAS_RA / BEAS_agg plan generation. Planning never touches
+// the data — only the query, the bound access schema, and the budget
+// B = alpha * |D| (Theorem 5/6: O(|Q| min(||A||, ||Q|| log alpha|D|))).
+
+#ifndef BEAS_BEAS_PLANNER_H_
+#define BEAS_BEAS_PLANNER_H_
+
+#include "accschema/access_schema.h"
+#include "beas/plan.h"
+#include "common/result.h"
+#include "ra/ast.h"
+
+namespace beas {
+
+/// Planner knobs (ablations; production keeps the defaults).
+struct PlannerKnobs {
+  /// Run chAT (Fig 3): greedily raise template levels within the budget.
+  /// Disabled, plans stay at level 0 — the ablation of Fig 6 ablation
+  /// bench `ablation_design_choices`.
+  bool optimize_levels = true;
+};
+
+/// \brief Generates alpha-bounded plans with deterministic accuracy
+/// bounds for RA_aggr queries.
+class Planner {
+ public:
+  /// \p base_schema is the database schema R, \p access the bound access
+  /// schema A (must subsume A_t), \p db_size the |D| the resource ratio
+  /// multiplies.
+  Planner(const DatabaseSchema& base_schema, const AccessSchema& access, size_t db_size,
+          PlannerKnobs knobs = {})
+      : base_(base_schema), access_(access), db_size_(db_size), knobs_(knobs) {}
+
+  /// Generates an alpha-bounded plan for \p q: chase -> initial fetching
+  /// plan -> chAT level optimization -> evaluation-plan rewrite -> static
+  /// eta. OutOfBudget when alpha*|D| cannot fund even one representative
+  /// per relation atom.
+  Result<BeasPlan> Plan(const QueryPtr& q, double alpha) const;
+
+  /// Cost profile of the cheapest *exact* plan (all fetches at
+  /// resolution 0): alpha_exact(Q) = tariff / |D| (Fig 6(j)).
+  struct ExactPlanStats {
+    double tariff = 0;
+    /// Every fetch uses an access constraint: the query is boundedly
+    /// evaluable and the tariff is independent of |D| (Section 2.2).
+    bool constraints_only = true;
+  };
+  Result<ExactPlanStats> ExactPlan(const QueryPtr& q) const;
+
+  /// Tariff of the cheapest exact plan (shorthand for ExactPlan().tariff).
+  Result<double> ExactTariff(const QueryPtr& q) const;
+
+  size_t db_size() const { return db_size_; }
+
+ private:
+  const DatabaseSchema& base_;
+  const AccessSchema& access_;
+  size_t db_size_;
+  PlannerKnobs knobs_;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_BEAS_PLANNER_H_

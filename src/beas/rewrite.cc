@@ -1,0 +1,195 @@
+#include "beas/rewrite.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/string_util.h"
+#include "types/distance.h"
+
+namespace beas {
+
+namespace {
+
+std::string DqTableName(size_t unit_index, const std::string& alias) {
+  return StrCat("sq", unit_index, "_", alias);
+}
+
+struct WalkResult {
+  QueryPtr rewritten;
+  std::vector<double> col_res;  // parallel to rewritten->output_schema()
+  double d_rel = 0;
+  // Coverage penalty from selections on infinite-resolution attributes
+  // (see SpcUnit::d_cov_extra).
+  double extra_cov = 0;
+};
+
+class Rewriter {
+ public:
+  Rewriter(const DatabaseSchema& dq_schema, const SpcUnit& unit, bool add_weights)
+      : dq_schema_(dq_schema), unit_(unit), add_weights_(add_weights) {}
+
+  Result<WalkResult> Walk(const QueryPtr& q) {
+    switch (q->kind()) {
+      case QueryNode::Kind::kRelation:
+        return WalkRelation(q);
+      case QueryNode::Kind::kSelect:
+        return WalkSelect(q);
+      case QueryNode::Kind::kProject:
+        return WalkProject(q);
+      case QueryNode::Kind::kProduct:
+        return WalkProduct(q);
+      default:
+        return Status::Internal("RewriteUnit: unit is not SPC");
+    }
+  }
+
+ private:
+  // Resolution of qualified attribute "alias.col" per the fetch plan.
+  double ResOf(const std::string& alias, const std::string& col) const {
+    for (size_t a = 0; a < unit_.fetch.atoms.size(); ++a) {
+      if (unit_.fetch.atoms[a].alias == alias) {
+        return unit_.fetch.ResolutionOf(a, col);
+      }
+    }
+    return 0.0;
+  }
+
+  Result<WalkResult> WalkRelation(const QueryPtr& q) {
+    WalkResult out;
+    BEAS_ASSIGN_OR_RETURN(
+        out.rewritten,
+        QueryNode::Relation(dq_schema_, DqTableName(unit_.index, q->alias()), q->alias()));
+    const RelationSchema& schema = out.rewritten->output_schema();
+    out.col_res.reserve(schema.arity());
+    std::string prefix = q->alias() + ".";
+    for (const auto& attr : schema.attributes()) {
+      std::string col = attr.name.substr(prefix.size());
+      out.col_res.push_back(col == "__w" ? 0.0 : ResOf(q->alias(), col));
+    }
+    return out;
+  }
+
+  double LookupRes(const WalkResult& in, const std::string& attr) const {
+    auto idx = in.rewritten->output_schema().FindAttribute(attr);
+    if (!idx) return 0.0;
+    return in.col_res[*idx];
+  }
+
+  Result<WalkResult> WalkSelect(const QueryPtr& q) {
+    BEAS_ASSIGN_OR_RETURN(WalkResult in, Walk(q->child()));
+    Predicate relaxed;
+    double d_rel = in.d_rel;
+    double extra_cov = in.extra_cov;
+    for (Comparison cmp : q->predicate()) {
+      double res_l = LookupRes(in, cmp.lhs.attr);
+      double slack = 0;
+      bool finite = true;
+      if (cmp.rhs.is_attr) {
+        double res_r = LookupRes(in, cmp.rhs.attr);
+        finite = std::isfinite(res_l) && std::isfinite(res_r);
+        if (finite) slack = (res_l + res_r) / 2.0;
+      } else {
+        finite = std::isfinite(res_l);
+        if (finite) slack = res_l;
+      }
+      if (!finite) {
+        // Infinite resolution cannot be compensated by relaxation: keep
+        // the comparison exact on representatives (slack 0, sensible
+        // answers, sound relevance) but surrender the coverage claim —
+        // a represented answer may fail the exact filter.
+        extra_cov = kInfDistance;
+      }
+      cmp.slack = slack;
+      d_rel = std::max(d_rel, slack);
+      relaxed.push_back(std::move(cmp));
+    }
+    WalkResult out;
+    BEAS_ASSIGN_OR_RETURN(out.rewritten,
+                          QueryNode::Select(std::move(in.rewritten), std::move(relaxed)));
+    out.col_res = std::move(in.col_res);
+    out.d_rel = d_rel;
+    out.extra_cov = extra_cov;
+    return out;
+  }
+
+  Result<WalkResult> WalkProject(const QueryPtr& q) {
+    BEAS_ASSIGN_OR_RETURN(WalkResult in, Walk(q->child()));
+    std::vector<std::string> attrs = q->project_attrs();
+    std::vector<std::string> out_names;
+    for (const auto& a : q->output_schema().attributes()) out_names.push_back(a.name);
+    // Aggregate units carry occurrence weights through bag projections.
+    if (add_weights_ && !q->distinct()) {
+      for (const auto& attr : in.rewritten->output_schema().attributes()) {
+        const std::string& name = attr.name;
+        if (name.size() >= 4 && name.compare(name.size() - 4, 4, ".__w") == 0 &&
+            std::find(attrs.begin(), attrs.end(), name) == attrs.end()) {
+          attrs.push_back(name);
+          out_names.push_back(name);
+        }
+      }
+    }
+    WalkResult out;
+    std::vector<double> res;
+    for (const auto& a : attrs) {
+      res.push_back(LookupRes(in, a));
+    }
+    BEAS_ASSIGN_OR_RETURN(out.rewritten,
+                          QueryNode::Project(std::move(in.rewritten), attrs, q->distinct(),
+                                             std::move(out_names)));
+    out.col_res = std::move(res);
+    out.d_rel = in.d_rel;
+    out.extra_cov = in.extra_cov;
+    return out;
+  }
+
+  Result<WalkResult> WalkProduct(const QueryPtr& q) {
+    BEAS_ASSIGN_OR_RETURN(WalkResult l, Walk(q->left()));
+    BEAS_ASSIGN_OR_RETURN(WalkResult r, Walk(q->right()));
+    WalkResult out;
+    BEAS_ASSIGN_OR_RETURN(
+        out.rewritten, QueryNode::Product(std::move(l.rewritten), std::move(r.rewritten)));
+    out.col_res = std::move(l.col_res);
+    for (double d : r.col_res) out.col_res.push_back(d);
+    out.d_rel = std::max(l.d_rel, r.d_rel);
+    out.extra_cov = std::max(l.extra_cov, r.extra_cov);
+    return out;
+  }
+
+  const DatabaseSchema& dq_schema_;
+  const SpcUnit& unit_;
+  bool add_weights_;
+};
+
+}  // namespace
+
+Status BuildAtomSchemas(const DatabaseSchema& base, SpcUnit* unit) {
+  unit->atom_schemas.clear();
+  for (const auto& atom : unit->fetch.atoms) {
+    BEAS_ASSIGN_OR_RETURN(const RelationSchema* rel, base.FindRelation(atom.relation));
+    std::vector<AttributeDef> attrs;
+    for (const auto& a : rel->attributes()) {
+      if (atom.fetched_cols.count(a.name) > 0) attrs.push_back(a);
+    }
+    attrs.emplace_back("__w", DataType::kInt64, DistanceSpec::Numeric());
+    unit->atom_schemas.emplace_back(DqTableName(unit->index, atom.alias), std::move(attrs));
+  }
+  return Status::OK();
+}
+
+Status RewriteUnit(const DatabaseSchema& base, bool add_weights, SpcUnit* unit) {
+  BEAS_RETURN_IF_ERROR(BuildAtomSchemas(base, unit));
+  DatabaseSchema dq_schema;
+  for (const auto& s : unit->atom_schemas) {
+    BEAS_RETURN_IF_ERROR(dq_schema.AddRelation(s));
+  }
+  Rewriter rewriter(dq_schema, *unit, add_weights);
+  BEAS_ASSIGN_OR_RETURN(WalkResult result, rewriter.Walk(unit->query));
+  unit->rewritten = std::move(result.rewritten);
+  unit->col_res = std::move(result.col_res);
+  unit->d_rel = result.d_rel;
+  unit->d_cov_extra = result.extra_cov;
+  return Status::OK();
+}
+
+}  // namespace beas

@@ -1,0 +1,36 @@
+// Rewriting one SPC unit into xi_E form: leaves become DQ-table scans,
+// selections gain targeted relaxation slack derived from the resolutions
+// of the access templates that fetched their attributes (paper Section 5,
+// "Evaluation plan").
+
+#ifndef BEAS_BEAS_REWRITE_H_
+#define BEAS_BEAS_REWRITE_H_
+
+#include "beas/plan.h"
+#include "common/result.h"
+#include "types/schema.h"
+
+namespace beas {
+
+/// Builds unit.atom_schemas from the base schema and the fetch plan
+/// (fetched columns in base-attribute order, then "__w").
+Status BuildAtomSchemas(const DatabaseSchema& base, SpcUnit* unit);
+
+/// Rewrites unit->query over the DQ tables, filling unit->rewritten,
+/// unit->col_res and unit->d_rel.
+///
+/// Slack policy: a selection attribute fetched with finite resolution r is
+/// relaxed by slack r (sigma_{A=c} -> |dis| <= r); attribute pairs by
+/// (r_A + r_B) / 2 (dis <= r_A + r_B, the paper's 2r form). Attributes
+/// with infinite resolution (trivial metric, not yet uniform) keep slack 0
+/// — fetched representatives are compared exactly and the coverage bound
+/// honestly records +inf for those columns.
+///
+/// When \p add_weights, bag projections inside the unit also carry the
+/// per-atom "__w" occurrence-weight columns through to the output
+/// (aggregate units, Section 7).
+Status RewriteUnit(const DatabaseSchema& base, bool add_weights, SpcUnit* unit);
+
+}  // namespace beas
+
+#endif  // BEAS_BEAS_REWRITE_H_

@@ -1,0 +1,147 @@
+#include "beas/tableau.h"
+
+#include <numeric>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace beas {
+
+namespace {
+
+// Splits "alias.col" at the first dot.
+std::pair<std::string, std::string> SplitQualified(const std::string& qualified) {
+  size_t dot = qualified.find('.');
+  if (dot == std::string::npos) return {qualified, ""};
+  return {qualified.substr(0, dot), qualified.substr(dot + 1)};
+}
+
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+std::optional<int> Tableau::VarOf(const std::string& qualified_attr) const {
+  auto it = var_of_attr.find(qualified_attr);
+  if (it == var_of_attr.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Value> Tableau::ConstOf(int var) const {
+  auto it = var_const.find(var);
+  if (it == var_const.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::pair<size_t, std::string>> Tableau::CellsOf(int var) const {
+  std::vector<std::pair<size_t, std::string>> cells;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    for (const auto& [col, term] : atoms[i].terms) {
+      if (!term.is_const && term.var == var) cells.emplace_back(i, col);
+    }
+  }
+  return cells;
+}
+
+std::string Tableau::ToString() const {
+  std::string out;
+  for (const auto& atom : atoms) {
+    out += StrCat(atom.relation, " as ", atom.alias, ": ");
+    std::vector<std::string> parts;
+    for (const auto& [col, term] : atom.terms) {
+      parts.push_back(
+          StrCat(col, "=", term.is_const ? term.constant.ToString() : StrCat("$", term.var)));
+    }
+    out += Join(parts, ", ") + "\n";
+  }
+  return out;
+}
+
+Result<Tableau> BuildTableau(const QueryPtr& q) {
+  Tableau tb;
+  BEAS_ASSIGN_OR_RETURN(tb.nf, NormalizeSpc(q));
+
+  // Tracked qualified attributes: outputs plus every comparison operand.
+  std::vector<std::string> tracked;
+  std::set<std::string> seen;
+  auto track = [&](const std::string& attr) {
+    if (seen.insert(attr).second) tracked.push_back(attr);
+  };
+  for (const auto& a : tb.nf.output_attrs) track(a);
+  for (const auto& cmp : tb.nf.comparisons) {
+    track(cmp.lhs.attr);
+    if (cmp.rhs.is_attr) track(cmp.rhs.attr);
+  }
+
+  std::map<std::string, size_t> pos;
+  for (size_t i = 0; i < tracked.size(); ++i) pos[tracked[i]] = i;
+
+  // Unify across strict attribute equalities (the equi-joins).
+  UnionFind uf(tracked.size());
+  for (const auto& cmp : tb.nf.comparisons) {
+    if (cmp.op == CompareOp::kEq && cmp.rhs.is_attr && cmp.slack == 0.0) {
+      uf.Union(pos[cmp.lhs.attr], pos[cmp.rhs.attr]);
+    } else if (!(cmp.op == CompareOp::kEq && !cmp.rhs.is_attr)) {
+      tb.residual.push_back(cmp);
+    }
+  }
+
+  // Variable ids per union-find class.
+  std::map<size_t, int> var_of_root;
+  for (size_t i = 0; i < tracked.size(); ++i) {
+    size_t root = uf.Find(i);
+    auto [it, inserted] = var_of_root.try_emplace(root, tb.num_vars);
+    if (inserted) ++tb.num_vars;
+    tb.var_of_attr[tracked[i]] = it->second;
+  }
+
+  // Bind constants from sigma_{A=c}; conflicting constants on one variable
+  // make the query unsatisfiable on every database.
+  for (const auto& cmp : tb.nf.comparisons) {
+    if (cmp.op == CompareOp::kEq && !cmp.rhs.is_attr && cmp.slack == 0.0) {
+      int var = tb.var_of_attr.at(cmp.lhs.attr);
+      auto [it, inserted] = tb.var_const.try_emplace(var, cmp.rhs.constant);
+      if (!inserted && !(it->second == cmp.rhs.constant)) {
+        tb.unsatisfiable = true;
+      }
+    }
+  }
+
+  // Atoms with terms for their tracked attributes.
+  for (const auto& atom : tb.nf.atoms) {
+    TableauAtom ta;
+    ta.relation = atom.relation;
+    ta.alias = atom.alias;
+    std::string prefix = atom.alias + ".";
+    for (const auto& attr : tracked) {
+      auto [alias, col] = SplitQualified(attr);
+      if (alias != atom.alias) continue;
+      int var = tb.var_of_attr.at(attr);
+      auto cit = tb.var_const.find(var);
+      if (cit != tb.var_const.end()) {
+        ta.terms[col] = Term::Const(cit->second);
+      } else {
+        ta.terms[col] = Term::Var(var);
+      }
+    }
+    tb.atoms.push_back(std::move(ta));
+  }
+  return tb;
+}
+
+}  // namespace beas

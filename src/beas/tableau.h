@@ -1,0 +1,92 @@
+// The tableau (T(Q), u(Q)) of an SPC query (paper Section 5).
+//
+// Each relation atom of the query becomes a row of tuple templates whose
+// cells are terms: constants (from sigma_{A=c} selections) or variables
+// (shared across atoms by sigma_{A=B} equalities, encoding equi-joins).
+// Only *tracked* attributes — those appearing in the output or in any
+// comparison — carry terms; untracked attributes never need fetching
+// (access templates may cover partial tuples, Section 2).
+
+#ifndef BEAS_BEAS_TABLEAU_H_
+#define BEAS_BEAS_TABLEAU_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ra/analysis.h"
+#include "ra/ast.h"
+
+namespace beas {
+
+/// A tableau cell: a constant or a variable id.
+struct Term {
+  bool is_const = false;
+  Value constant;
+  int var = -1;
+
+  static Term Const(Value v) {
+    Term t;
+    t.is_const = true;
+    t.constant = std::move(v);
+    return t;
+  }
+  static Term Var(int id) {
+    Term t;
+    t.var = id;
+    return t;
+  }
+};
+
+/// One relation atom: an aliased occurrence of a base relation with terms
+/// for its tracked attributes (keyed by unqualified column name).
+struct TableauAtom {
+  std::string relation;
+  std::string alias;
+  std::map<std::string, Term> terms;  ///< tracked column -> term
+};
+
+/// \brief The tableau of an SPC query.
+struct Tableau {
+  std::vector<TableauAtom> atoms;
+  int num_vars = 0;
+
+  /// Comparisons that are not variable-unifying equalities (inequalities,
+  /// <>, and attr=const bindings retained for the evaluation plan).
+  Predicate residual;
+
+  /// The normal form this tableau was built from (outputs, all
+  /// comparisons, distinct flag).
+  SpcNormalForm nf;
+
+  /// True when two sigma_{A=c} selections force conflicting constants on
+  /// one variable: Q(D) is empty for every D.
+  bool unsatisfiable = false;
+
+  /// Qualified attribute name -> variable id (tracked attributes only).
+  std::map<std::string, int> var_of_attr;
+  /// Variable id -> constant bound through sigma_{A=c}, when any.
+  std::map<int, Value> var_const;
+
+  /// The variable of qualified attribute "alias.col", if tracked.
+  std::optional<int> VarOf(const std::string& qualified_attr) const;
+
+  /// Constant bound to \p var via selections, if any.
+  std::optional<Value> ConstOf(int var) const;
+
+  /// All (atom index, column) cells holding \p var.
+  std::vector<std::pair<size_t, std::string>> CellsOf(int var) const;
+
+  std::string ToString() const;
+};
+
+/// Builds the tableau of SPC query \p q: unifies variables across
+/// sigma_{A=B} equalities, binds constants from sigma_{A=c}, and tracks
+/// exactly the attributes the plan must fetch.
+Result<Tableau> BuildTableau(const QueryPtr& q);
+
+}  // namespace beas
+
+#endif  // BEAS_BEAS_TABLEAU_H_

@@ -1,0 +1,76 @@
+// Result<T>: value-or-Status, in the style of arrow::Result.
+
+#ifndef BEAS_COMMON_RESULT_H_
+#define BEAS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace beas {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Use ValueOrDie()/operator* after checking ok(), or MoveValueUnsafe() to
+/// take ownership. BEAS_ASSIGN_OR_RETURN unwraps a Result inside functions
+/// that themselves return Status or Result.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit, like arrow::Result).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs a Result holding an error status. \p status must not be OK.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok());
+  }
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Returns the held value; must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  /// Returns the held value (mutable); must only be called when ok().
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  /// Moves the held value out; must only be called when ok().
+  T MoveValueUnsafe() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+#define BEAS_CONCAT_IMPL(x, y) x##y
+#define BEAS_CONCAT(x, y) BEAS_CONCAT_IMPL(x, y)
+
+/// Evaluates \p expr (a Result<T>); on error returns its Status from the
+/// enclosing function, otherwise assigns the value to \p lhs.
+#define BEAS_ASSIGN_OR_RETURN(lhs, expr)                              \
+  auto BEAS_CONCAT(_result_, __LINE__) = (expr);                      \
+  if (!BEAS_CONCAT(_result_, __LINE__).ok())                          \
+    return BEAS_CONCAT(_result_, __LINE__).status();                  \
+  lhs = std::move(BEAS_CONCAT(_result_, __LINE__)).MoveValueUnsafe()
+
+}  // namespace beas
+
+#endif  // BEAS_COMMON_RESULT_H_

@@ -1,0 +1,49 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace beas {
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::UniformReal(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  // Inverse-CDF sampling over the truncated zeta distribution. n is small
+  // (categorical domains), so the linear scan is fine and exact.
+  double norm = 0;
+  for (int64_t i = 1; i <= n; ++i) norm += 1.0 / std::pow(static_cast<double>(i), s);
+  double u = UniformReal(0.0, norm);
+  double acc = 0;
+  for (int64_t i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i), s);
+    if (u <= acc) return i;
+  }
+  return n;
+}
+
+std::string Rng::String(size_t length) {
+  std::string out(length, 'a');
+  for (auto& c : out) c = static_cast<char>('a' + Uniform(0, 25));
+  return out;
+}
+
+}  // namespace beas

@@ -1,0 +1,66 @@
+// Deterministic random number generation used by generators and tests.
+//
+// All randomness in the library flows through Rng so that datasets,
+// workloads and experiments are reproducible from a single seed.
+
+#ifndef BEAS_COMMON_RNG_H_
+#define BEAS_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace beas {
+
+/// \brief Seeded pseudo-random generator with the distributions the
+/// workload generators need (uniform, normal, Zipf, picks).
+class Rng {
+ public:
+  /// Creates a generator from \p seed; equal seeds yield equal streams.
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double UniformReal(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Normal sample with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Zipf-distributed rank in [1, n] with exponent \p s (s > 0).
+  /// Rank 1 is the most frequent.
+  int64_t Zipf(int64_t n, double s);
+
+  /// Picks a uniformly random element of \p items (must be non-empty).
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    return items[static_cast<size_t>(Uniform(0, static_cast<int64_t>(items.size()) - 1))];
+  }
+
+  /// Random lowercase string of the given length.
+  std::string String(size_t length);
+
+  /// Fisher-Yates shuffle of \p items.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(0, static_cast<int64_t>(i) - 1));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// Underlying engine, for std distributions not wrapped here.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_COMMON_RNG_H_

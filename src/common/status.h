@@ -1,0 +1,102 @@
+// Status and error codes for the BEAS library.
+//
+// BEAS follows the Arrow/RocksDB convention of returning Status (or
+// Result<T>, see result.h) from fallible operations instead of throwing
+// exceptions across API boundaries.
+
+#ifndef BEAS_COMMON_STATUS_H_
+#define BEAS_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace beas {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  /// Malformed input: bad query text, mismatched schemas, invalid parameters.
+  kInvalidArgument = 1,
+  /// A referenced relation, attribute, template or index does not exist.
+  kNotFound = 2,
+  /// A plan or execution would exceed the resource budget alpha * |D|.
+  kOutOfBudget = 3,
+  /// The requested feature combination is not supported.
+  kUnimplemented = 4,
+  /// Internal invariant violation; indicates a bug in the library.
+  kInternal = 5,
+};
+
+/// Returns a human-readable name for a status code, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation.
+///
+/// A default-constructed Status is OK. Failure states carry a code and a
+/// message. Status is cheap to copy in the OK case (empty message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+  /// Returns an InvalidArgument status with \p message.
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  /// Returns a NotFound status with \p message.
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  /// Returns an OutOfBudget status with \p message.
+  static Status OutOfBudget(std::string message) {
+    return Status(StatusCode::kOutOfBudget, std::move(message));
+  }
+  /// Returns an Unimplemented status with \p message.
+  static Status Unimplemented(std::string message) {
+    return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+  /// Returns an Internal status with \p message.
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
+  StatusCode code() const { return code_; }
+  /// The error message (empty for OK).
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK Status from the enclosing function.
+#define BEAS_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::beas::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+}  // namespace beas
+
+#endif  // BEAS_COMMON_STATUS_H_

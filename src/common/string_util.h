@@ -1,0 +1,42 @@
+// Small string helpers (StrCat / joins / numeric formatting).
+
+#ifndef BEAS_COMMON_STRING_UTIL_H_
+#define BEAS_COMMON_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace beas {
+
+namespace internal {
+inline void StrCatImpl(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void StrCatImpl(std::ostringstream& os, const T& value, const Rest&... rest) {
+  os << value;
+  StrCatImpl(os, rest...);
+}
+}  // namespace internal
+
+/// Concatenates streamable arguments into a string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  internal::StrCatImpl(os, args...);
+  return os.str();
+}
+
+/// Joins \p parts with \p sep.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Formats a double compactly (up to \p precision significant decimals,
+/// trailing zeros trimmed).
+std::string FormatDouble(double v, int precision = 6);
+
+/// Lower-cases ASCII letters in \p s.
+std::string ToLower(std::string s);
+
+}  // namespace beas
+
+#endif  // BEAS_COMMON_STRING_UTIL_H_

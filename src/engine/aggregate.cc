@@ -1,0 +1,91 @@
+#include "engine/aggregate.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace beas {
+
+Result<Table> GroupByAggregate(const Table& input, const RelationSchema& out_schema,
+                               const std::vector<std::string>& group_attrs, AggFunc agg,
+                               const std::string& agg_attr, bool weighted) {
+  const RelationSchema& cs = input.schema();
+  std::vector<size_t> gidx;
+  for (const auto& g : group_attrs) {
+    BEAS_ASSIGN_OR_RETURN(size_t i, cs.AttributeIndex(g));
+    gidx.push_back(i);
+  }
+  BEAS_ASSIGN_OR_RETURN(size_t vidx, cs.AttributeIndex(agg_attr));
+
+  std::vector<size_t> widx;
+  if (weighted) {
+    for (size_t i = 0; i < cs.arity(); ++i) {
+      const std::string& name = cs.attribute(i).name;
+      if (name.size() >= 4 && name.compare(name.size() - 4, 4, ".__w") == 0) {
+        widx.push_back(i);
+      }
+    }
+  }
+
+  struct Acc {
+    double sum = 0;
+    double weight = 0;
+    bool all_int = true;
+    bool has_minmax = false;
+    Value min_v, max_v;
+  };
+  std::unordered_map<Tuple, Acc, TupleHasher> groups;
+  std::vector<Tuple> group_order;
+  for (const auto& row : input.rows()) {
+    Tuple key;
+    key.reserve(gidx.size());
+    for (size_t i : gidx) key.push_back(row[i]);
+    auto [it, inserted] = groups.try_emplace(key);
+    if (inserted) group_order.push_back(key);
+    Acc& acc = it->second;
+    double w = 1;
+    for (size_t i : widx) {
+      if (row[i].is_numeric()) w *= row[i].numeric();
+    }
+    const Value& v = row[vidx];
+    acc.weight += w;
+    if (v.is_numeric()) {
+      acc.sum += w * v.numeric();
+      acc.all_int &= v.type() == DataType::kInt64;
+    }
+    if (!acc.has_minmax || v < acc.min_v) acc.min_v = v;
+    if (!acc.has_minmax || acc.max_v < v) acc.max_v = v;
+    acc.has_minmax = true;
+  }
+
+  Table out(out_schema);
+  out.Reserve(groups.size());
+  for (const auto& key : group_order) {
+    const Acc& acc = groups.at(key);
+    Tuple t = key;
+    switch (agg) {
+      case AggFunc::kMin:
+        t.push_back(acc.min_v);
+        break;
+      case AggFunc::kMax:
+        t.push_back(acc.max_v);
+        break;
+      case AggFunc::kCount:
+        t.push_back(Value(static_cast<int64_t>(std::llround(acc.weight))));
+        break;
+      case AggFunc::kSum:
+        if (acc.all_int) {
+          t.push_back(Value(static_cast<int64_t>(std::llround(acc.sum))));
+        } else {
+          t.push_back(Value(acc.sum));
+        }
+        break;
+      case AggFunc::kAvg:
+        t.push_back(Value(acc.weight > 0 ? acc.sum / acc.weight : 0.0));
+        break;
+    }
+    out.AppendUnchecked(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace beas

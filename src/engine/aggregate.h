@@ -1,0 +1,28 @@
+// Standalone group-by aggregation over a materialized table, shared by the
+// exact evaluator and the BEAS plan executor (which aggregates fetched,
+// occurrence-weighted representatives, paper Section 7).
+
+#ifndef BEAS_ENGINE_AGGREGATE_H_
+#define BEAS_ENGINE_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ra/ast.h"
+#include "storage/table.h"
+
+namespace beas {
+
+/// Groups \p input by \p group_attrs and aggregates \p agg_attr with \p agg.
+/// The output schema is \p out_schema (group columns then the aggregate).
+/// When \p weighted, attributes named "*.__w" multiply into per-row
+/// multiplicities: count sums weights, sum/avg weight their terms; min/max
+/// ignore weights.
+Result<Table> GroupByAggregate(const Table& input, const RelationSchema& out_schema,
+                               const std::vector<std::string>& group_attrs, AggFunc agg,
+                               const std::string& agg_attr, bool weighted);
+
+}  // namespace beas
+
+#endif  // BEAS_ENGINE_AGGREGATE_H_

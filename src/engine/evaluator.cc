@@ -1,0 +1,409 @@
+#include "engine/evaluator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "engine/aggregate.h"
+#include "types/distance.h"
+
+namespace beas {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Conjunctive-block flattening: a maximal Select/Product sub-tree is executed
+// as a join block; anything else (Project/Union/Difference/GroupBy/Relation)
+// is an opaque leaf evaluated recursively.
+// ---------------------------------------------------------------------------
+
+struct FlatBlock {
+  std::vector<QueryPtr> leaves;
+  Predicate preds;
+};
+
+void Flatten(const QueryPtr& q, FlatBlock* out) {
+  switch (q->kind()) {
+    case QueryNode::Kind::kSelect:
+      Flatten(q->child(), out);
+      for (const auto& c : q->predicate()) out->preds.push_back(c);
+      return;
+    case QueryNode::Kind::kProduct:
+      Flatten(q->left(), out);
+      Flatten(q->right(), out);
+      return;
+    default:
+      out->leaves.push_back(q);
+      return;
+  }
+}
+
+// True when the comparison can serve as a hash-join key: strict equality
+// between two attributes. Slack only weakens equality on numeric-metric
+// attributes; the trivial metric is exact at any finite slack.
+bool IsHashableEquiJoin(const RelationSchema& schema, const Comparison& cmp) {
+  if (cmp.op != CompareOp::kEq || !cmp.lhs.is_attr || !cmp.rhs.is_attr) return false;
+  if (cmp.slack == 0.0) return true;
+  auto idx = schema.FindAttribute(cmp.lhs.attr);
+  if (!idx) return false;
+  return schema.attribute(*idx).distance.kind == DistanceKind::kTrivial;
+}
+
+// Attribute positions referenced by a comparison, resolved in `schema`;
+// returns false if any is missing.
+bool ResolveCmpAttrs(const RelationSchema& schema, const Comparison& cmp,
+                     std::vector<size_t>* out) {
+  out->clear();
+  auto l = schema.FindAttribute(cmp.lhs.attr);
+  if (!l) return false;
+  out->push_back(*l);
+  if (cmp.rhs.is_attr) {
+    auto r = schema.FindAttribute(cmp.rhs.attr);
+    if (!r) return false;
+    out->push_back(*r);
+  }
+  return true;
+}
+
+bool SchemaHasCmpAttrs(const RelationSchema& schema, const Comparison& cmp) {
+  std::vector<size_t> scratch;
+  return ResolveCmpAttrs(schema, cmp, &scratch);
+}
+
+RelationSchema ConcatSchemas(const RelationSchema& a, const RelationSchema& b) {
+  std::vector<AttributeDef> attrs = a.attributes();
+  for (const auto& x : b.attributes()) attrs.push_back(x);
+  return RelationSchema("join", std::move(attrs));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Evaluator implementation.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class EvalImpl {
+ public:
+  EvalImpl(const Database& db, const EvalOptions& options, size_t* rows_materialized)
+      : db_(db), options_(options), rows_materialized_(rows_materialized) {}
+
+  Result<Table> Eval(const QueryPtr& q) {
+    switch (q->kind()) {
+      case QueryNode::Kind::kRelation:
+        return EvalRelation(q);
+      case QueryNode::Kind::kSelect:
+      case QueryNode::Kind::kProduct:
+        return EvalJoinBlock(q);
+      case QueryNode::Kind::kProject:
+        return EvalProject(q);
+      case QueryNode::Kind::kUnion:
+        return EvalUnion(q);
+      case QueryNode::Kind::kDifference:
+        return EvalDifference(q);
+      case QueryNode::Kind::kGroupBy:
+        return EvalGroupBy(q);
+    }
+    return Status::Internal("unknown query node kind");
+  }
+
+ private:
+  Status Charge(size_t rows) {
+    *rows_materialized_ += rows;
+    if (*rows_materialized_ > options_.max_intermediate_rows) {
+      return Status::OutOfBudget(
+          StrCat("intermediate results exceed cap of ", options_.max_intermediate_rows,
+                 " rows"));
+    }
+    return Status::OK();
+  }
+
+  Result<Table> EvalRelation(const QueryPtr& q) {
+    BEAS_ASSIGN_OR_RETURN(const Table* base, db_.FindTable(q->relation()));
+    Table out(q->output_schema());
+    out.Reserve(base->size());
+    for (const auto& row : base->rows()) out.AppendUnchecked(row);
+    BEAS_RETURN_IF_ERROR(Charge(out.size()));
+    return out;
+  }
+
+  Result<Table> EvalProject(const QueryPtr& q) {
+    BEAS_ASSIGN_OR_RETURN(Table in, Eval(q->child()));
+    std::vector<size_t> idx;
+    idx.reserve(q->project_attrs().size());
+    for (const auto& a : q->project_attrs()) {
+      BEAS_ASSIGN_OR_RETURN(size_t i, in.schema().AttributeIndex(a));
+      idx.push_back(i);
+    }
+    Table out(q->output_schema());
+    out.Reserve(in.size());
+    for (const auto& row : in.rows()) {
+      Tuple t;
+      t.reserve(idx.size());
+      for (size_t i : idx) t.push_back(row[i]);
+      out.AppendUnchecked(std::move(t));
+    }
+    if (q->distinct()) out.Distinct();
+    BEAS_RETURN_IF_ERROR(Charge(out.size()));
+    return out;
+  }
+
+  Result<Table> EvalUnion(const QueryPtr& q) {
+    BEAS_ASSIGN_OR_RETURN(Table l, Eval(q->left()));
+    BEAS_ASSIGN_OR_RETURN(Table r, Eval(q->right()));
+    Table out(q->output_schema());
+    out.Reserve(l.size() + r.size());
+    for (const auto& row : l.rows()) out.AppendUnchecked(row);
+    for (const auto& row : r.rows()) out.AppendUnchecked(row);
+    out.Distinct();
+    BEAS_RETURN_IF_ERROR(Charge(out.size()));
+    return out;
+  }
+
+  Result<Table> EvalDifference(const QueryPtr& q) {
+    BEAS_ASSIGN_OR_RETURN(Table l, Eval(q->left()));
+    BEAS_ASSIGN_OR_RETURN(Table r, Eval(q->right()));
+    std::unordered_set<Tuple, TupleHasher> negated(r.rows().begin(), r.rows().end());
+    Table out(q->output_schema());
+    for (const auto& row : l.rows()) {
+      if (negated.find(row) == negated.end()) out.AppendUnchecked(row);
+    }
+    out.Distinct();
+    BEAS_RETURN_IF_ERROR(Charge(out.size()));
+    return out;
+  }
+
+  Result<Table> EvalGroupBy(const QueryPtr& q) {
+    BEAS_ASSIGN_OR_RETURN(Table in, Eval(q->child()));
+    BEAS_ASSIGN_OR_RETURN(
+        Table out, GroupByAggregate(in, q->output_schema(), q->group_attrs(), q->agg(),
+                                    q->agg_attr(), options_.weighted_aggregates));
+    BEAS_RETURN_IF_ERROR(Charge(out.size()));
+    return out;
+  }
+
+  // --- Join block: Select/Product sub-tree executed with hash joins. ---
+
+  Result<Table> EvalJoinBlock(const QueryPtr& q) {
+    FlatBlock block;
+    Flatten(q, &block);
+
+    // Evaluate leaves, applying single-leaf predicates eagerly.
+    std::vector<Table> tables;
+    std::vector<bool> pred_used(block.preds.size(), false);
+    for (const auto& leaf : block.leaves) {
+      BEAS_ASSIGN_OR_RETURN(Table t, Eval(leaf));
+      tables.push_back(std::move(t));
+    }
+    for (size_t p = 0; p < block.preds.size(); ++p) {
+      const Comparison& cmp = block.preds[p];
+      for (auto& t : tables) {
+        if (SchemaHasCmpAttrs(t.schema(), cmp)) {
+          Table filtered(t.schema());
+          for (const auto& row : t.rows()) {
+            if (EvalComparison(t.schema(), row, cmp)) filtered.AppendUnchecked(row);
+          }
+          t = std::move(filtered);
+          pred_used[p] = true;
+          break;
+        }
+      }
+    }
+
+    // Greedy left-deep join: start with the smallest table; prefer a
+    // hash-joinable partner, otherwise the smallest remaining (product).
+    std::vector<bool> joined(tables.size(), false);
+    size_t first = 0;
+    for (size_t i = 1; i < tables.size(); ++i) {
+      if (tables[i].size() < tables[first].size()) first = i;
+    }
+    Table current = std::move(tables[first]);
+    joined[first] = true;
+    size_t remaining = tables.size() - 1;
+
+    auto joinable_pred = [&](const Table& next, size_t* pred_idx) {
+      const RelationSchema merged = ConcatSchemas(current.schema(), next.schema());
+      for (size_t p = 0; p < block.preds.size(); ++p) {
+        if (pred_used[p]) continue;
+        const Comparison& cmp = block.preds[p];
+        if (!IsHashableEquiJoin(merged, cmp)) continue;
+        bool lhs_in_cur = current.schema().FindAttribute(cmp.lhs.attr).has_value();
+        bool rhs_in_cur = current.schema().FindAttribute(cmp.rhs.attr).has_value();
+        bool lhs_in_next = next.schema().FindAttribute(cmp.lhs.attr).has_value();
+        bool rhs_in_next = next.schema().FindAttribute(cmp.rhs.attr).has_value();
+        if ((lhs_in_cur && rhs_in_next) || (rhs_in_cur && lhs_in_next)) {
+          *pred_idx = p;
+          return true;
+        }
+      }
+      return false;
+    };
+
+    while (remaining > 0) {
+      // Find a hash-joinable partner.
+      int pick = -1;
+      size_t pick_pred = 0;
+      for (size_t i = 0; i < tables.size(); ++i) {
+        if (joined[i]) continue;
+        size_t p;
+        if (joinable_pred(tables[i], &p)) {
+          if (pick < 0 || tables[i].size() < tables[pick].size()) {
+            pick = static_cast<int>(i);
+            pick_pred = p;
+          }
+        }
+      }
+      if (pick >= 0) {
+        BEAS_ASSIGN_OR_RETURN(
+            current, HashJoin(std::move(current), std::move(tables[pick]),
+                              block.preds[pick_pred]));
+        pred_used[pick_pred] = true;
+      } else {
+        // No equi predicate: cross with the smallest remaining table.
+        for (size_t i = 0; i < tables.size(); ++i) {
+          if (joined[i]) continue;
+          if (pick < 0 || tables[i].size() < tables[static_cast<size_t>(pick)].size()) {
+            pick = static_cast<int>(i);
+          }
+        }
+        BEAS_ASSIGN_OR_RETURN(current,
+                              CrossJoin(std::move(current), std::move(tables[pick])));
+      }
+      joined[pick] = true;
+      --remaining;
+
+      // Apply any now-evaluable residual predicates.
+      for (size_t p = 0; p < block.preds.size(); ++p) {
+        if (pred_used[p]) continue;
+        if (SchemaHasCmpAttrs(current.schema(), block.preds[p])) {
+          Table filtered(current.schema());
+          for (const auto& row : current.rows()) {
+            if (EvalComparison(current.schema(), row, block.preds[p])) {
+              filtered.AppendUnchecked(row);
+            }
+          }
+          current = std::move(filtered);
+          pred_used[p] = true;
+        }
+      }
+    }
+
+    for (size_t p = 0; p < block.preds.size(); ++p) {
+      if (!pred_used[p]) {
+        return Status::Internal(
+            StrCat("unapplied predicate: ", block.preds[p].ToString()));
+      }
+    }
+
+    // Reorder columns to the node's declared output schema (flattening may
+    // have permuted leaf order).
+    const RelationSchema& want = q->output_schema();
+    if (current.schema().AttributeNames() != want.AttributeNames()) {
+      std::vector<size_t> perm;
+      perm.reserve(want.arity());
+      for (const auto& a : want.attributes()) {
+        BEAS_ASSIGN_OR_RETURN(size_t i, current.schema().AttributeIndex(a.name));
+        perm.push_back(i);
+      }
+      Table reordered(want);
+      reordered.Reserve(current.size());
+      for (const auto& row : current.rows()) {
+        Tuple t;
+        t.reserve(perm.size());
+        for (size_t i : perm) t.push_back(row[i]);
+        reordered.AppendUnchecked(std::move(t));
+      }
+      current = std::move(reordered);
+    } else {
+      Table renamed(want);
+      renamed.Reserve(current.size());
+      for (auto& row : current.rows()) renamed.AppendUnchecked(row);
+      current = std::move(renamed);
+    }
+    BEAS_RETURN_IF_ERROR(Charge(current.size()));
+    return current;
+  }
+
+  Result<Table> HashJoin(Table left, Table right, const Comparison& cmp) {
+    // Identify the key attribute on each side.
+    bool lhs_in_left = left.schema().FindAttribute(cmp.lhs.attr).has_value();
+    const std::string& left_key = lhs_in_left ? cmp.lhs.attr : cmp.rhs.attr;
+    const std::string& right_key = lhs_in_left ? cmp.rhs.attr : cmp.lhs.attr;
+    BEAS_ASSIGN_OR_RETURN(size_t lk, left.schema().AttributeIndex(left_key));
+    BEAS_ASSIGN_OR_RETURN(size_t rk, right.schema().AttributeIndex(right_key));
+
+    // Build on the smaller side.
+    bool build_left = left.size() <= right.size();
+    const Table& build = build_left ? left : right;
+    const Table& probe = build_left ? right : left;
+    size_t bk = build_left ? lk : rk;
+    size_t pk = build_left ? rk : lk;
+
+    std::unordered_multimap<Value, size_t, ValueHash> ht;
+    ht.reserve(build.size());
+    for (size_t i = 0; i < build.size(); ++i) ht.emplace(build.row(i)[bk], i);
+
+    // Enforce the intermediate-row cap *while* materializing: skewed star
+    // joins can otherwise build astronomically large outputs before any
+    // post-hoc check fires.
+    size_t remaining = options_.max_intermediate_rows > *rows_materialized_
+                           ? options_.max_intermediate_rows - *rows_materialized_
+                           : 0;
+    Table out(ConcatSchemas(left.schema(), right.schema()));
+    for (const auto& prow : probe.rows()) {
+      auto [lo, hi] = ht.equal_range(prow[pk]);
+      for (auto it = lo; it != hi; ++it) {
+        if (out.size() >= remaining) {
+          return Status::OutOfBudget("hash join exceeds intermediate row cap");
+        }
+        const Tuple& brow = build.row(it->second);
+        Tuple t;
+        t.reserve(left.schema().arity() + right.schema().arity());
+        const Tuple& l = build_left ? brow : prow;
+        const Tuple& r = build_left ? prow : brow;
+        for (const auto& v : l) t.push_back(v);
+        for (const auto& v : r) t.push_back(v);
+        out.AppendUnchecked(std::move(t));
+      }
+    }
+    BEAS_RETURN_IF_ERROR(Charge(out.size()));
+    return out;
+  }
+
+  Result<Table> CrossJoin(Table left, Table right) {
+    Table out(ConcatSchemas(left.schema(), right.schema()));
+    if (left.size() * right.size() > options_.max_intermediate_rows) {
+      return Status::OutOfBudget("cross product exceeds intermediate row cap");
+    }
+    out.Reserve(left.size() * right.size());
+    for (const auto& l : left.rows()) {
+      for (const auto& r : right.rows()) {
+        Tuple t;
+        t.reserve(l.size() + r.size());
+        for (const auto& v : l) t.push_back(v);
+        for (const auto& v : r) t.push_back(v);
+        out.AppendUnchecked(std::move(t));
+      }
+    }
+    BEAS_RETURN_IF_ERROR(Charge(out.size()));
+    return out;
+  }
+
+  const Database& db_;
+  const EvalOptions& options_;
+  size_t* rows_materialized_;
+};
+
+}  // namespace
+
+Result<Table> Evaluator::Eval(const QueryPtr& q) const {
+  rows_materialized_ = 0;
+  EvalImpl impl(db_, options_, &rows_materialized_);
+  return impl.Eval(q);
+}
+
+}  // namespace beas

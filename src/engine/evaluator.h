@@ -1,0 +1,57 @@
+// Exact evaluation of RA_aggr queries over a Database.
+//
+// This is the relational substrate the paper assumes (it runs BEAS on top
+// of PostgreSQL/MySQL): selections, projections, products (optimized into
+// hash equi-joins), set operations and group-by aggregates. It doubles as
+// the "exact answers" oracle of the RC measure and as the full-scan
+// comparator in the scalability experiment (Fig 6(l)).
+
+#ifndef BEAS_ENGINE_EVALUATOR_H_
+#define BEAS_ENGINE_EVALUATOR_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "ra/ast.h"
+#include "storage/database.h"
+
+namespace beas {
+
+/// Options controlling evaluation.
+struct EvalOptions {
+  /// Hard cap on any intermediate result size; exceeded -> OutOfBudget.
+  /// Guards against runaway cross products in generated workloads.
+  size_t max_intermediate_rows = 20'000'000;
+
+  /// When true, group-by aggregates treat attributes named "*.__w" as
+  /// multiplicity weights (occurrence counts carried by access-template
+  /// representatives, paper Section 7). Weight columns are multiplied
+  /// together per row; count sums weights, sum/avg weight their terms.
+  bool weighted_aggregates = true;
+};
+
+/// \brief Evaluates bound query trees against a database.
+///
+/// RA results follow the paper's set semantics: Project(distinct=true),
+/// Union and Difference deduplicate. Aggregates run over bags.
+class Evaluator {
+ public:
+  explicit Evaluator(const Database& db, EvalOptions options = {})
+      : db_(db), options_(options) {}
+
+  /// Evaluates \p q; the result's schema is q->output_schema().
+  Result<Table> Eval(const QueryPtr& q) const;
+
+  /// Total rows materialized by the last Eval call (for the full-scan cost
+  /// accounting in the scalability benches).
+  size_t last_rows_materialized() const { return rows_materialized_; }
+
+ private:
+  const Database& db_;
+  EvalOptions options_;
+  mutable size_t rows_materialized_ = 0;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_ENGINE_EVALUATOR_H_

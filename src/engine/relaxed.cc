@@ -1,0 +1,367 @@
+#include "engine/relaxed.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "types/distance.h"
+
+namespace beas {
+
+namespace {
+
+struct RRow {
+  Tuple tuple;
+  double r_enter = 0;
+  double r_exit = kInfDistance;
+};
+
+struct RBlock {
+  std::vector<QueryPtr> leaves;
+  Predicate preds;
+};
+
+void FlattenR(const QueryPtr& q, RBlock* out) {
+  switch (q->kind()) {
+    case QueryNode::Kind::kSelect:
+      FlattenR(q->child(), out);
+      for (const auto& c : q->predicate()) out->preds.push_back(c);
+      return;
+    case QueryNode::Kind::kProduct:
+      FlattenR(q->left(), out);
+      FlattenR(q->right(), out);
+      return;
+    default:
+      out->leaves.push_back(q);
+      return;
+  }
+}
+
+// Equality on a trivial-metric attribute pair cannot be loosened by
+// relaxation (needed relaxation is 0 or +inf), so it stays a hash join.
+bool IsRigidEquiJoin(const RelationSchema& schema, const Comparison& cmp) {
+  if (cmp.op != CompareOp::kEq || !cmp.lhs.is_attr || !cmp.rhs.is_attr) return false;
+  auto idx = schema.FindAttribute(cmp.lhs.attr);
+  if (!idx) return false;
+  return schema.attribute(*idx).distance.kind == DistanceKind::kTrivial;
+}
+
+bool SchemaHasAttrs(const RelationSchema& schema, const Comparison& cmp) {
+  if (!schema.FindAttribute(cmp.lhs.attr)) return false;
+  if (cmp.rhs.is_attr && !schema.FindAttribute(cmp.rhs.attr)) return false;
+  return true;
+}
+
+RelationSchema ConcatSchemas(const RelationSchema& a, const RelationSchema& b) {
+  std::vector<AttributeDef> attrs = a.attributes();
+  for (const auto& x : b.attributes()) attrs.push_back(x);
+  return RelationSchema("join", std::move(attrs));
+}
+
+class RelaxedImpl {
+ public:
+  RelaxedImpl(const Database& db, const EvalOptions& options, double r_cap)
+      : db_(db), options_(options), r_cap_(r_cap) {}
+
+  struct NodeResult {
+    RelationSchema schema;
+    std::vector<RRow> rows;
+  };
+
+  Result<NodeResult> Eval(const QueryPtr& q) {
+    switch (q->kind()) {
+      case QueryNode::Kind::kRelation:
+        return EvalRelation(q);
+      case QueryNode::Kind::kSelect:
+      case QueryNode::Kind::kProduct:
+        return EvalBlock(q);
+      case QueryNode::Kind::kProject:
+        return EvalProject(q);
+      case QueryNode::Kind::kUnion:
+        return EvalUnion(q);
+      case QueryNode::Kind::kDifference:
+        return EvalDifference(q);
+      case QueryNode::Kind::kGroupBy:
+        return Status::Unimplemented(
+            "RelaxedEvaluator does not evaluate gpBy directly; use pi_X(Q') "
+            "per paper Section 3.2");
+    }
+    return Status::Internal("unknown node kind");
+  }
+
+ private:
+  Status Charge(size_t n) {
+    total_rows_ += n;
+    if (total_rows_ > options_.max_intermediate_rows) {
+      return Status::OutOfBudget("relaxed evaluation exceeds intermediate row cap");
+    }
+    return Status::OK();
+  }
+
+  Result<NodeResult> EvalRelation(const QueryPtr& q) {
+    BEAS_ASSIGN_OR_RETURN(const Table* base, db_.FindTable(q->relation()));
+    NodeResult out;
+    out.schema = q->output_schema();
+    out.rows.reserve(base->size());
+    for (const auto& row : base->rows()) {
+      out.rows.push_back(RRow{row, 0.0, kInfDistance});
+    }
+    BEAS_RETURN_IF_ERROR(Charge(out.rows.size()));
+    return out;
+  }
+
+  // Applies \p cmp to each row, raising r_enter by the needed relaxation
+  // and pruning rows beyond the cap.
+  static void ApplyPred(const RelationSchema& schema, const Comparison& cmp, double r_cap,
+                        std::vector<RRow>* rows) {
+    std::vector<RRow> kept;
+    kept.reserve(rows->size());
+    for (auto& r : *rows) {
+      double needed = NeededRelaxation(schema, r.tuple, cmp);
+      double enter = std::max(r.r_enter, needed);
+      if (enter > r_cap || enter >= r.r_exit) continue;
+      r.r_enter = enter;
+      kept.push_back(std::move(r));
+    }
+    *rows = std::move(kept);
+  }
+
+  Result<NodeResult> EvalBlock(const QueryPtr& q) {
+    RBlock block;
+    FlattenR(q, &block);
+
+    std::vector<NodeResult> parts;
+    for (const auto& leaf : block.leaves) {
+      BEAS_ASSIGN_OR_RETURN(NodeResult part, Eval(leaf));
+      parts.push_back(std::move(part));
+    }
+
+    std::vector<bool> pred_used(block.preds.size(), false);
+    for (size_t p = 0; p < block.preds.size(); ++p) {
+      for (auto& part : parts) {
+        if (SchemaHasAttrs(part.schema, block.preds[p])) {
+          ApplyPred(part.schema, block.preds[p], r_cap_, &part.rows);
+          pred_used[p] = true;
+          break;
+        }
+      }
+    }
+
+    // Greedy left-deep: prefer rigid (trivial-metric) equi joins.
+    std::vector<bool> joined(parts.size(), false);
+    size_t first = 0;
+    for (size_t i = 1; i < parts.size(); ++i) {
+      if (parts[i].rows.size() < parts[first].rows.size()) first = i;
+    }
+    NodeResult current = std::move(parts[first]);
+    joined[first] = true;
+    size_t remaining = parts.size() - 1;
+
+    while (remaining > 0) {
+      int pick = -1;
+      int pick_pred = -1;
+      for (size_t i = 0; i < parts.size(); ++i) {
+        if (joined[i]) continue;
+        RelationSchema merged = ConcatSchemas(current.schema, parts[i].schema);
+        for (size_t p = 0; p < block.preds.size(); ++p) {
+          if (pred_used[p]) continue;
+          const Comparison& cmp = block.preds[p];
+          if (!IsRigidEquiJoin(merged, cmp)) continue;
+          bool split = (current.schema.FindAttribute(cmp.lhs.attr).has_value() &&
+                        parts[i].schema.FindAttribute(cmp.rhs.attr).has_value()) ||
+                       (current.schema.FindAttribute(cmp.rhs.attr).has_value() &&
+                        parts[i].schema.FindAttribute(cmp.lhs.attr).has_value());
+          if (split) {
+            if (pick < 0 || parts[i].rows.size() < parts[pick].rows.size()) {
+              pick = static_cast<int>(i);
+              pick_pred = static_cast<int>(p);
+            }
+            break;
+          }
+        }
+      }
+      if (pick < 0) {
+        for (size_t i = 0; i < parts.size(); ++i) {
+          if (joined[i]) continue;
+          if (pick < 0 ||
+              parts[i].rows.size() < parts[static_cast<size_t>(pick)].rows.size()) {
+            pick = static_cast<int>(i);
+          }
+        }
+      }
+
+      if (pick_pred >= 0) {
+        BEAS_ASSIGN_OR_RETURN(
+            current, HashJoinR(std::move(current), std::move(parts[pick]),
+                               block.preds[pick_pred]));
+        pred_used[pick_pred] = true;
+      } else {
+        BEAS_ASSIGN_OR_RETURN(current,
+                              CrossJoinR(std::move(current), std::move(parts[pick])));
+      }
+      joined[pick] = true;
+      --remaining;
+
+      for (size_t p = 0; p < block.preds.size(); ++p) {
+        if (pred_used[p]) continue;
+        if (SchemaHasAttrs(current.schema, block.preds[p])) {
+          ApplyPred(current.schema, block.preds[p], r_cap_, &current.rows);
+          pred_used[p] = true;
+        }
+      }
+    }
+
+    for (size_t p = 0; p < block.preds.size(); ++p) {
+      if (!pred_used[p]) {
+        return Status::Internal(
+            StrCat("relaxed eval: unapplied predicate ", block.preds[p].ToString()));
+      }
+    }
+
+    // Permute to the declared output schema.
+    const RelationSchema& want = q->output_schema();
+    if (current.schema.AttributeNames() != want.AttributeNames()) {
+      std::vector<size_t> perm;
+      perm.reserve(want.arity());
+      for (const auto& a : want.attributes()) {
+        BEAS_ASSIGN_OR_RETURN(size_t i, current.schema.AttributeIndex(a.name));
+        perm.push_back(i);
+      }
+      for (auto& r : current.rows) {
+        Tuple t;
+        t.reserve(perm.size());
+        for (size_t i : perm) t.push_back(r.tuple[i]);
+        r.tuple = std::move(t);
+      }
+    }
+    current.schema = want;
+    return current;
+  }
+
+  Result<NodeResult> HashJoinR(NodeResult left, NodeResult right, const Comparison& cmp) {
+    bool lhs_in_left = left.schema.FindAttribute(cmp.lhs.attr).has_value();
+    const std::string& lname = lhs_in_left ? cmp.lhs.attr : cmp.rhs.attr;
+    const std::string& rname = lhs_in_left ? cmp.rhs.attr : cmp.lhs.attr;
+    BEAS_ASSIGN_OR_RETURN(size_t lk, left.schema.AttributeIndex(lname));
+    BEAS_ASSIGN_OR_RETURN(size_t rk, right.schema.AttributeIndex(rname));
+
+    std::unordered_multimap<Value, size_t, ValueHash> ht;
+    ht.reserve(right.rows.size());
+    for (size_t i = 0; i < right.rows.size(); ++i) ht.emplace(right.rows[i].tuple[rk], i);
+
+    size_t remaining = options_.max_intermediate_rows > total_rows_
+                           ? options_.max_intermediate_rows - total_rows_
+                           : 0;
+    NodeResult out;
+    out.schema = ConcatSchemas(left.schema, right.schema);
+    for (const auto& l : left.rows) {
+      auto [lo, hi] = ht.equal_range(l.tuple[lk]);
+      for (auto it = lo; it != hi; ++it) {
+        if (out.rows.size() >= remaining) {
+          return Status::OutOfBudget("relaxed hash join exceeds intermediate row cap");
+        }
+        const RRow& r = right.rows[it->second];
+        RRow joined;
+        joined.r_enter = std::max(l.r_enter, r.r_enter);
+        joined.r_exit = std::min(l.r_exit, r.r_exit);
+        if (joined.r_enter > r_cap_ || joined.r_enter >= joined.r_exit) continue;
+        joined.tuple.reserve(l.tuple.size() + r.tuple.size());
+        for (const auto& v : l.tuple) joined.tuple.push_back(v);
+        for (const auto& v : r.tuple) joined.tuple.push_back(v);
+        out.rows.push_back(std::move(joined));
+      }
+    }
+    BEAS_RETURN_IF_ERROR(Charge(out.rows.size()));
+    return out;
+  }
+
+  Result<NodeResult> CrossJoinR(NodeResult left, NodeResult right) {
+    NodeResult out;
+    out.schema = ConcatSchemas(left.schema, right.schema);
+    if (left.rows.size() * right.rows.size() > options_.max_intermediate_rows) {
+      return Status::OutOfBudget("relaxed cross product exceeds row cap");
+    }
+    for (const auto& l : left.rows) {
+      for (const auto& r : right.rows) {
+        RRow joined;
+        joined.r_enter = std::max(l.r_enter, r.r_enter);
+        joined.r_exit = std::min(l.r_exit, r.r_exit);
+        if (joined.r_enter > r_cap_ || joined.r_enter >= joined.r_exit) continue;
+        joined.tuple.reserve(l.tuple.size() + r.tuple.size());
+        for (const auto& v : l.tuple) joined.tuple.push_back(v);
+        for (const auto& v : r.tuple) joined.tuple.push_back(v);
+        out.rows.push_back(std::move(joined));
+      }
+    }
+    BEAS_RETURN_IF_ERROR(Charge(out.rows.size()));
+    return out;
+  }
+
+  Result<NodeResult> EvalProject(const QueryPtr& q) {
+    BEAS_ASSIGN_OR_RETURN(NodeResult in, Eval(q->child()));
+    std::vector<size_t> idx;
+    for (const auto& a : q->project_attrs()) {
+      BEAS_ASSIGN_OR_RETURN(size_t i, in.schema.AttributeIndex(a));
+      idx.push_back(i);
+    }
+    for (auto& r : in.rows) {
+      Tuple t;
+      t.reserve(idx.size());
+      for (size_t i : idx) t.push_back(r.tuple[i]);
+      r.tuple = std::move(t);
+    }
+    in.schema = q->output_schema();
+    return in;
+  }
+
+  Result<NodeResult> EvalUnion(const QueryPtr& q) {
+    BEAS_ASSIGN_OR_RETURN(NodeResult l, Eval(q->left()));
+    BEAS_ASSIGN_OR_RETURN(NodeResult r, Eval(q->right()));
+    for (auto& row : r.rows) l.rows.push_back(std::move(row));
+    l.schema = q->output_schema();
+    BEAS_RETURN_IF_ERROR(Charge(0));
+    return l;
+  }
+
+  Result<NodeResult> EvalDifference(const QueryPtr& q) {
+    BEAS_ASSIGN_OR_RETURN(NodeResult l, Eval(q->left()));
+    BEAS_ASSIGN_OR_RETURN(NodeResult r, Eval(q->right()));
+    // Entry relaxation of each tuple into the relaxed negated side.
+    std::unordered_map<Tuple, double, TupleHasher> negated_entry;
+    for (const auto& row : r.rows) {
+      auto [it, inserted] = negated_entry.try_emplace(row.tuple, row.r_enter);
+      if (!inserted) it->second = std::min(it->second, row.r_enter);
+    }
+    std::vector<RRow> kept;
+    kept.reserve(l.rows.size());
+    for (auto& row : l.rows) {
+      auto it = negated_entry.find(row.tuple);
+      if (it != negated_entry.end()) row.r_exit = std::min(row.r_exit, it->second);
+      if (row.r_enter < row.r_exit) kept.push_back(std::move(row));
+    }
+    l.rows = std::move(kept);
+    l.schema = q->output_schema();
+    return l;
+  }
+
+  const Database& db_;
+  const EvalOptions& options_;
+  double r_cap_;
+  size_t total_rows_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<RelaxedRow>> RelaxedEvaluator::Eval(const QueryPtr& q,
+                                                       double r_cap) const {
+  RelaxedImpl impl(db_, options_, r_cap);
+  BEAS_ASSIGN_OR_RETURN(RelaxedImpl::NodeResult result, impl.Eval(q));
+  std::vector<RelaxedRow> rows;
+  rows.reserve(result.rows.size());
+  for (auto& r : result.rows) {
+    rows.push_back(RelaxedRow{std::move(r.tuple), r.r_enter, r.r_exit});
+  }
+  return rows;
+}
+
+}  // namespace beas

@@ -1,0 +1,60 @@
+// Relaxation-tracking evaluation, the engine behind the relevance distance
+// delta_rel of the RC measure (paper Section 3.1).
+//
+// The relaxed query Q_r replaces every selection sigma_{A=c} with
+// sigma_{|dis_A(A,c)| <= r} (and sigma_{A=B} with <= 2r). Instead of
+// evaluating Q_r for one fixed r, this evaluator computes, per produced
+// tuple t, the half-open interval [r_enter, r_exit) of relaxation ranges r
+// for which t is in Q_r(D): r_enter is the largest needed relaxation along
+// t's derivation, and r_exit (finite only under set difference) is the
+// relaxation at which the negated side starts matching t. With these,
+//   delta_rel(Q, D, s) = min_t max(r_enter(t), d(s, t))  over t with
+//                        r_enter(t) < r_exit(t),
+// because max(r, d) is nondecreasing in r, so the best choice is r=r_enter.
+
+#ifndef BEAS_ENGINE_RELAXED_H_
+#define BEAS_ENGINE_RELAXED_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "engine/evaluator.h"
+#include "ra/ast.h"
+#include "storage/database.h"
+
+namespace beas {
+
+/// A candidate answer of the relaxed query with its relaxation interval.
+struct RelaxedRow {
+  Tuple tuple;
+  /// Minimal relaxation r at which the tuple enters Q_r(D).
+  double r_enter = 0;
+  /// Relaxation at which the tuple leaves Q_r(D) again (set difference
+  /// only); +inf when it never leaves.
+  double r_exit = 0;
+};
+
+/// \brief Evaluates the relaxed-query family {Q_r} with per-tuple
+/// relaxation tracking.
+///
+/// Group-by queries are not evaluated directly: per paper Section 3.2
+/// their relevance distance reduces to delta_rel over pi_X(Q'), which the
+/// accuracy module constructs before calling this.
+class RelaxedEvaluator {
+ public:
+  explicit RelaxedEvaluator(const Database& db, EvalOptions options = {})
+      : db_(db), options_(options) {}
+
+  /// Evaluates \p q, pruning derivations whose r_enter exceeds \p r_cap.
+  /// Rows have the schema q->output_schema(). Duplicate tuples may appear
+  /// with different intervals; consumers take minima over all rows.
+  Result<std::vector<RelaxedRow>> Eval(const QueryPtr& q, double r_cap) const;
+
+ private:
+  const Database& db_;
+  EvalOptions options_;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_ENGINE_RELAXED_H_

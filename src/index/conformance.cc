@@ -1,0 +1,96 @@
+#include "index/conformance.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "types/distance.h"
+
+namespace beas {
+
+Status CheckConformance(const Database& db, IndexStore* store, const BoundFamily& family) {
+  BEAS_ASSIGN_OR_RETURN(const Table* table, db.FindTable(family.relation));
+  const RelationSchema& schema = table->schema();
+
+  std::vector<size_t> x_idx, y_idx;
+  for (const auto& x : family.x_attrs) {
+    BEAS_ASSIGN_OR_RETURN(size_t i, schema.AttributeIndex(x));
+    x_idx.push_back(i);
+  }
+  std::vector<DistanceSpec> y_specs;
+  for (const auto& y : family.y_attrs) {
+    BEAS_ASSIGN_OR_RETURN(size_t i, schema.AttributeIndex(y));
+    y_idx.push_back(i);
+    y_specs.push_back(schema.attribute(i).distance);
+  }
+
+  // Ground truth: D_Y(X=a) per X-value.
+  std::unordered_map<Tuple, std::unordered_set<Tuple, TupleHasher>, TupleHasher> truth;
+  for (const auto& row : table->rows()) {
+    Tuple xkey;
+    for (size_t i : x_idx) xkey.push_back(row[i]);
+    Tuple y;
+    for (size_t i : y_idx) y.push_back(row[i]);
+    truth[std::move(xkey)].insert(std::move(y));
+  }
+
+  int max_level = family.is_constraint ? 0 : family.max_level;
+  for (int k = 0; k <= max_level; ++k) {
+    uint64_t bound = family.is_constraint ? family.constraint_n : (uint64_t{1} << k);
+    for (const auto& [xkey, ys] : truth) {
+      store->meter().StartQuery(0);  // unmetered
+      BEAS_ASSIGN_OR_RETURN(std::vector<FetchEntry> reps, store->Fetch(family.id, k, xkey));
+      if (reps.size() > bound) {
+        return Status::InvalidArgument(
+            StrCat(family.id, " level ", k, ": X-value ", TupleToString(xkey), " returned ",
+                   reps.size(), " > ", bound, " representatives"));
+      }
+      // Distinctness of representatives.
+      std::unordered_set<Tuple, TupleHasher> seen;
+      for (const auto& r : reps) {
+        if (!seen.insert(*r.y).second) {
+          return Status::InvalidArgument(
+              StrCat(family.id, " level ", k, ": duplicate representative ",
+                     TupleToString(*r.y)));
+        }
+      }
+      // Coverage within the level's resolution.
+      for (const auto& t : ys) {
+        bool covered = false;
+        for (const auto& r : reps) {
+          bool within = true;
+          for (size_t a = 0; a < y_idx.size(); ++a) {
+            double d = AttributeDistance(y_specs[a], t[a], (*r.y)[a]);
+            double allowed = family.is_constraint
+                                 ? 0.0
+                                 : family.level_resolution[static_cast<size_t>(k)][a];
+            if (d > allowed) {
+              within = false;
+              break;
+            }
+          }
+          if (within) {
+            covered = true;
+            break;
+          }
+        }
+        if (!covered) {
+          return Status::InvalidArgument(
+              StrCat(family.id, " level ", k, ": tuple ", TupleToString(t),
+                     " not covered within resolution for X = ", TupleToString(xkey)));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckAllConformance(const Database& db, IndexStore* store) {
+  for (const auto& family : store->schema().families()) {
+    BEAS_RETURN_IF_ERROR(CheckConformance(db, store, family));
+  }
+  return Status::OK();
+}
+
+}  // namespace beas

@@ -1,0 +1,28 @@
+// Conformance checking: does D |= A hold for the built indices?
+// (Paper Section 2.1.) Used by tests and by the offline pipeline to
+// validate discovered/declared schemas.
+
+#ifndef BEAS_INDEX_CONFORMANCE_H_
+#define BEAS_INDEX_CONFORMANCE_H_
+
+#include "accschema/access_schema.h"
+#include "common/result.h"
+#include "index/index_store.h"
+#include "storage/database.h"
+
+namespace beas {
+
+/// Verifies by brute force that \p store's index for \p family conforms to
+/// the access-template semantics on \p db: for every X-value a and every
+/// level k, (1) at most 2^k (or N) distinct representatives are returned,
+/// and (2) every tuple of D_Y(X=a) is within resolution d_k of some
+/// representative, attribute-wise. Returns InvalidArgument with a
+/// counterexample description on violation.
+Status CheckConformance(const Database& db, IndexStore* store, const BoundFamily& family);
+
+/// Checks every family of \p store's schema.
+Status CheckAllConformance(const Database& db, IndexStore* store);
+
+}  // namespace beas
+
+#endif  // BEAS_INDEX_CONFORMANCE_H_

@@ -1,0 +1,201 @@
+#include "index/index_store.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace beas {
+
+Status AccessMeter::Charge(uint64_t n) {
+  accessed_ += n;
+  if (budget_ > 0 && accessed_ > budget_) {
+    return Status::OutOfBudget(
+        StrCat("access budget exceeded: ", accessed_, " > ", budget_));
+  }
+  return Status::OK();
+}
+
+Status IndexStore::Build(const Database& db,
+                         const std::vector<FamilySpec>& template_families,
+                         const std::vector<ConstraintSpec>& constraints) {
+  schema_ = AccessSchema();
+  template_indices_.clear();
+  constraint_indices_.clear();
+
+  for (const auto& spec : constraints) {
+    BEAS_ASSIGN_OR_RETURN(const Table* table, db.FindTable(spec.relation));
+    ConstraintIndex index;
+    BEAS_ASSIGN_OR_RETURN(BoundFamily family, BuildConstraint(spec, *table, &index));
+    BEAS_RETURN_IF_ERROR(schema_.AddFamily(std::move(family)));
+    constraint_indices_.emplace(spec.Id(), std::move(index));
+  }
+
+  for (const auto& spec : template_families) {
+    BEAS_ASSIGN_OR_RETURN(const Table* table, db.FindTable(spec.relation));
+    TemplateIndex index;
+    BEAS_ASSIGN_OR_RETURN(BoundFamily family, index.Build(spec, *table));
+    BEAS_RETURN_IF_ERROR(schema_.AddFamily(std::move(family)));
+    template_indices_.emplace(spec.Id(), std::move(index));
+  }
+  return Status::OK();
+}
+
+Result<BoundFamily> IndexStore::BuildConstraint(const ConstraintSpec& spec,
+                                                const Table& table, ConstraintIndex* out) {
+  const RelationSchema& schema = table.schema();
+  out->spec = spec;
+  for (const auto& x : spec.x_attrs) {
+    BEAS_ASSIGN_OR_RETURN(size_t i, schema.AttributeIndex(x));
+    out->x_idx.push_back(i);
+  }
+  for (const auto& y : spec.y_attrs) {
+    BEAS_ASSIGN_OR_RETURN(size_t i, schema.AttributeIndex(y));
+    out->y_idx.push_back(i);
+  }
+
+  // Group, collapse duplicates, and validate the cardinality bound N.
+  std::unordered_map<Tuple, std::unordered_map<Tuple, int64_t, TupleHasher>, TupleHasher>
+      grouped;
+  for (const auto& row : table.rows()) {
+    Tuple xkey;
+    xkey.reserve(out->x_idx.size());
+    for (size_t i : out->x_idx) xkey.push_back(row[i]);
+    Tuple y;
+    y.reserve(out->y_idx.size());
+    for (size_t i : out->y_idx) y.push_back(row[i]);
+    grouped[std::move(xkey)][std::move(y)] += 1;
+  }
+  out->total_entries = 0;
+  for (auto& [xkey, ys] : grouped) {
+    if (ys.size() > spec.n) {
+      return Status::InvalidArgument(
+          StrCat("constraint ", spec.Id(), " violated: X-value ", TupleToString(xkey),
+                 " has ", ys.size(), " distinct Y-values > N = ", spec.n));
+    }
+    auto& list = out->groups[xkey];
+    list.reserve(ys.size());
+    for (auto& [y, m] : ys) list.emplace_back(y, m);
+    out->total_entries += list.size();
+  }
+
+  BoundFamily family;
+  family.id = spec.Id();
+  family.relation = spec.relation;
+  family.x_attrs = spec.x_attrs;
+  family.y_attrs = spec.y_attrs;
+  family.is_constraint = true;
+  family.constraint_n = spec.n;
+  family.max_level = 0;
+  family.level_resolution = {std::vector<double>(spec.y_attrs.size(), 0.0)};
+  family.level_fanout = {spec.n};
+  return family;
+}
+
+Result<std::vector<FetchEntry>> IndexStore::Fetch(const std::string& family_id, int level,
+                                                  const Tuple& xkey) {
+  std::vector<FetchEntry> out;
+  auto cit = constraint_indices_.find(family_id);
+  if (cit != constraint_indices_.end()) {
+    auto git = cit->second.groups.find(xkey);
+    if (git != cit->second.groups.end()) {
+      out.reserve(git->second.size());
+      for (const auto& [y, m] : git->second) out.push_back(FetchEntry{&y, m});
+    }
+    BEAS_RETURN_IF_ERROR(meter_.Charge(out.size()));
+    return out;
+  }
+  auto tit = template_indices_.find(family_id);
+  if (tit == template_indices_.end()) {
+    return Status::NotFound(StrCat("no index for family '", family_id, "'"));
+  }
+  tit->second.Fetch(xkey, level, &out);
+  BEAS_RETURN_IF_ERROR(meter_.Charge(out.size()));
+  return out;
+}
+
+size_t IndexStore::TotalEntries() const {
+  size_t n = 0;
+  for (const auto& [id, idx] : template_indices_) n += idx.TotalEntries();
+  for (const auto& [id, idx] : constraint_indices_) n += idx.total_entries;
+  return n;
+}
+
+size_t IndexStore::ConstraintEntries() const {
+  size_t n = 0;
+  for (const auto& [id, idx] : constraint_indices_) n += idx.total_entries;
+  return n;
+}
+
+Result<size_t> IndexStore::FamilyEntries(const std::string& family_id) const {
+  auto tit = template_indices_.find(family_id);
+  if (tit != template_indices_.end()) return tit->second.TotalEntries();
+  auto cit = constraint_indices_.find(family_id);
+  if (cit != constraint_indices_.end()) return cit->second.total_entries;
+  return Status::NotFound(StrCat("no index for family '", family_id, "'"));
+}
+
+Status IndexStore::ApplyInsert(const std::string& relation, const Tuple& row) {
+  for (auto& [id, index] : template_indices_) {
+    BEAS_ASSIGN_OR_RETURN(BoundFamily* family, schema_.FindMutableFamily(id));
+    if (family->relation != relation) continue;
+    BEAS_RETURN_IF_ERROR(index.ApplyInsert(row, family));
+  }
+  for (auto& [id, index] : constraint_indices_) {
+    if (index.spec.relation != relation) continue;
+    Tuple xkey;
+    for (size_t i : index.x_idx) xkey.push_back(row[i]);
+    Tuple y;
+    for (size_t i : index.y_idx) y.push_back(row[i]);
+    auto& list = index.groups[xkey];
+    bool found = false;
+    for (auto& [t, m] : list) {
+      if (t == y) {
+        m += 1;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      if (list.size() + 1 > index.spec.n) {
+        return Status::InvalidArgument(
+            StrCat("insert violates constraint ", index.spec.Id()));
+      }
+      list.emplace_back(std::move(y), 1);
+      index.total_entries += 1;
+    }
+  }
+  return Status::OK();
+}
+
+Status IndexStore::ApplyRemove(const std::string& relation, const Tuple& row) {
+  for (auto& [id, index] : template_indices_) {
+    BEAS_ASSIGN_OR_RETURN(BoundFamily* family, schema_.FindMutableFamily(id));
+    if (family->relation != relation) continue;
+    BEAS_RETURN_IF_ERROR(index.ApplyRemove(row, family));
+  }
+  for (auto& [id, index] : constraint_indices_) {
+    if (index.spec.relation != relation) continue;
+    Tuple xkey;
+    for (size_t i : index.x_idx) xkey.push_back(row[i]);
+    Tuple y;
+    for (size_t i : index.y_idx) y.push_back(row[i]);
+    auto git = index.groups.find(xkey);
+    if (git == index.groups.end()) {
+      return Status::NotFound("ApplyRemove: no such constraint group");
+    }
+    auto& list = git->second;
+    for (auto it = list.begin(); it != list.end(); ++it) {
+      if (it->first == y) {
+        if (--it->second == 0) {
+          list.erase(it);
+          index.total_entries -= 1;
+        }
+        break;
+      }
+    }
+    if (list.empty()) index.groups.erase(git);
+  }
+  return Status::OK();
+}
+
+}  // namespace beas

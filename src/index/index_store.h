@@ -1,0 +1,100 @@
+// IndexStore: all physical access-schema indices of a database, with
+// metered fetches that enforce the resource budget alpha * |D|.
+
+#ifndef BEAS_INDEX_INDEX_STORE_H_
+#define BEAS_INDEX_INDEX_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "accschema/access_schema.h"
+#include "common/result.h"
+#include "index/template_index.h"
+#include "storage/database.h"
+
+namespace beas {
+
+/// \brief Counts every tuple that crosses the index boundary and enforces
+/// an optional budget B = alpha * |D| (paper Section 4).
+class AccessMeter {
+ public:
+  /// Resets the counter and sets the budget; 0 disables enforcement.
+  void StartQuery(uint64_t budget) {
+    budget_ = budget;
+    accessed_ = 0;
+  }
+
+  /// Charges \p n fetched tuples; OutOfBudget once the total exceeds the
+  /// budget (when enforcement is enabled).
+  Status Charge(uint64_t n);
+
+  /// Tuples fetched since StartQuery.
+  uint64_t accessed() const { return accessed_; }
+  uint64_t budget() const { return budget_; }
+
+ private:
+  uint64_t budget_ = 0;
+  uint64_t accessed_ = 0;
+};
+
+/// \brief Owns the physical indices for template families and declared
+/// access constraints over one database instance.
+///
+/// Build() validates declared constraints against the data (D |= A) and
+/// produces the bound AccessSchema the planner consumes. All data access
+/// during query execution goes through Fetch(), which meters tuples.
+class IndexStore {
+ public:
+  /// Builds indices for \p template_families and \p constraints over
+  /// \p db. Fails if a declared constraint's cardinality bound is violated.
+  Status Build(const Database& db, const std::vector<FamilySpec>& template_families,
+               const std::vector<ConstraintSpec>& constraints);
+
+  /// The bound access schema (metadata only).
+  const AccessSchema& schema() const { return schema_; }
+
+  /// Fetches representatives for (\p family_id, \p level, \p xkey),
+  /// charging the meter one unit per returned entry. For constraint
+  /// families \p level is ignored (the fetch is exact).
+  Result<std::vector<FetchEntry>> Fetch(const std::string& family_id, int level,
+                                        const Tuple& xkey);
+
+  AccessMeter& meter() { return meter_; }
+
+  /// Total index entries across all families (Fig 6(k) "total").
+  size_t TotalEntries() const;
+  /// Index entries of constraint families only (Fig 6(k) "constraints").
+  size_t ConstraintEntries() const;
+  /// Index entries of one family; NotFound for unknown ids.
+  Result<size_t> FamilyEntries(const std::string& family_id) const;
+
+  /// Incremental maintenance (paper Fig 2, C2): updates every index over
+  /// \p relation for an inserted/removed base tuple \p row. The caller
+  /// updates the Database itself.
+  Status ApplyInsert(const std::string& relation, const Tuple& row);
+  Status ApplyRemove(const std::string& relation, const Tuple& row);
+
+ private:
+  struct ConstraintIndex {
+    ConstraintSpec spec;
+    std::vector<size_t> x_idx;
+    std::vector<size_t> y_idx;
+    // Distinct Y-tuples with multiplicities, per X-key.
+    std::unordered_map<Tuple, std::vector<std::pair<Tuple, int64_t>>, TupleHasher> groups;
+    size_t total_entries = 0;
+  };
+
+  Result<BoundFamily> BuildConstraint(const ConstraintSpec& spec, const Table& table,
+                                      ConstraintIndex* out);
+
+  AccessSchema schema_;
+  std::map<std::string, TemplateIndex> template_indices_;  // by family id
+  std::map<std::string, ConstraintIndex> constraint_indices_;
+  AccessMeter meter_;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_INDEX_INDEX_STORE_H_

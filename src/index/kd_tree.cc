@@ -1,0 +1,209 @@
+#include "index/kd_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "types/distance.h"
+
+namespace beas {
+
+namespace {
+
+// Per-attribute spread of a set of tuples, in distance units: for numeric
+// metrics (max - min) * scale; for trivial metrics 0 when all values are
+// equal and +inf otherwise.
+std::vector<double> ComputeSpread(const std::vector<AttributeDef>& attrs,
+                                  const std::vector<Tuple>& tuples,
+                                  std::vector<int32_t>::iterator begin,
+                                  std::vector<int32_t>::iterator end) {
+  std::vector<double> spread(attrs.size(), 0.0);
+  for (size_t a = 0; a < attrs.size(); ++a) {
+    const DistanceSpec& spec = attrs[a].distance;
+    if (spec.kind == DistanceKind::kNumeric) {
+      double lo = kInfDistance, hi = -kInfDistance;
+      bool numeric_ok = true;
+      for (auto it = begin; it != end; ++it) {
+        const Value& v = tuples[static_cast<size_t>(*it)][a];
+        if (!v.is_numeric()) {
+          numeric_ok = false;
+          break;
+        }
+        lo = std::min(lo, v.numeric());
+        hi = std::max(hi, v.numeric());
+      }
+      if (numeric_ok) {
+        spread[a] = (end - begin) <= 1 ? 0.0 : (hi - lo) * spec.scale;
+        continue;
+      }
+    }
+    // Trivial metric (or non-numeric data): 0 iff all equal.
+    const Value& first = tuples[static_cast<size_t>(*begin)][a];
+    for (auto it = begin; it != end; ++it) {
+      if (!(tuples[static_cast<size_t>(*it)][a] == first)) {
+        spread[a] = kInfDistance;
+        break;
+      }
+    }
+  }
+  return spread;
+}
+
+}  // namespace
+
+void KdTree::Build(const std::vector<AttributeDef>& attrs, const std::vector<Tuple>& rows) {
+  attrs_ = attrs;
+  tuples_.clear();
+  mults_.clear();
+  nodes_.clear();
+  depth_ = 0;
+  if (rows.empty()) return;
+
+  // Collapse duplicates into multiplicities (templates return *distinct*
+  // representative tuples; counts feed sum/count/avg, paper Section 7).
+  std::unordered_map<Tuple, int64_t, TupleHasher> mult;
+  for (const auto& r : rows) mult[r] += 1;
+  tuples_.reserve(mult.size());
+  mults_.reserve(mult.size());
+  for (auto& [t, m] : mult) {
+    tuples_.push_back(t);
+    mults_.push_back(m);
+  }
+
+  std::vector<int32_t> ids(tuples_.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int32_t>(i);
+  nodes_.reserve(2 * tuples_.size());
+  BuildNode(ids.begin(), ids.end(), 0);
+  // BuildNode appends the root last; rotate it to the front for the
+  // conventional nodes_[0] == root layout.
+  std::swap(nodes_.front(), nodes_.back());
+  // Fix child pointers that referenced the old positions.
+  int32_t old_root = static_cast<int32_t>(nodes_.size()) - 1;
+  for (auto& n : nodes_) {
+    if (n.left == 0) n.left = old_root;
+    if (n.right == 0) n.right = old_root;
+  }
+}
+
+int32_t KdTree::BuildNode(std::vector<int32_t>::iterator begin,
+                          std::vector<int32_t>::iterator end, int depth) {
+  assert(begin != end);
+  Node node;
+  node.spread = ComputeSpread(attrs_, tuples_, begin, end);
+  node.count = 0;
+  for (auto it = begin; it != end; ++it) node.count += mults_[static_cast<size_t>(*it)];
+
+  if (end - begin == 1) {
+    node.rep = *begin;
+    depth_ = std::max(depth_, depth);
+    nodes_.push_back(std::move(node));
+    return static_cast<int32_t>(nodes_.size()) - 1;
+  }
+
+  // Split dimension: largest spread wins; among infinite (trivial-metric)
+  // spreads, rotate by depth so every such attribute converges.
+  size_t dim = 0;
+  {
+    std::vector<size_t> inf_dims;
+    double best = -1.0;
+    for (size_t a = 0; a < attrs_.size(); ++a) {
+      if (node.spread[a] == kInfDistance) {
+        inf_dims.push_back(a);
+      } else if (node.spread[a] > best) {
+        best = node.spread[a];
+        dim = a;
+      }
+    }
+    if (!inf_dims.empty()) {
+      dim = inf_dims[static_cast<size_t>(depth) % inf_dims.size()];
+    }
+  }
+
+  // Sort by the split dimension and cut at the value boundary nearest the
+  // midpoint: equal values never straddle the cut, so trivial-metric
+  // attributes become uniform (spread 0) within log2(#distinct) levels.
+  std::sort(begin, end, [&](int32_t a, int32_t b) {
+    return tuples_[static_cast<size_t>(a)][dim] < tuples_[static_cast<size_t>(b)][dim];
+  });
+  auto n = end - begin;
+  auto half = n / 2;
+  std::ptrdiff_t best_cut = -1;
+  for (std::ptrdiff_t i = 1; i < n; ++i) {
+    if (!(tuples_[static_cast<size_t>(*(begin + i - 1))][dim] ==
+          tuples_[static_cast<size_t>(*(begin + i))][dim])) {
+      if (best_cut < 0 || std::abs(i - half) < std::abs(best_cut - half)) {
+        best_cut = i;
+      }
+    }
+  }
+  if (best_cut < 0) best_cut = half;  // all equal on dim (defensive)
+  auto mid = begin + best_cut;
+
+  int32_t left = BuildNode(begin, mid, depth + 1);
+  int32_t right = BuildNode(mid, end, depth + 1);
+  node.left = left;
+  node.right = right;
+  // The representative is a real tuple drawn from the subtree (the left
+  // child's representative), so every fetched answer exists in D.
+  node.rep = nodes_[static_cast<size_t>(left)].rep;
+  nodes_.push_back(std::move(node));
+  return static_cast<int32_t>(nodes_.size()) - 1;
+}
+
+void KdTree::Frontier(int k, std::vector<FrontierEntry>* out) const {
+  if (nodes_.empty()) return;
+  k = std::clamp(k, 0, depth_);
+  // Iterative DFS to depth k.
+  std::vector<std::pair<int32_t, int>> stack{{0, 0}};
+  while (!stack.empty()) {
+    auto [idx, d] = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[static_cast<size_t>(idx)];
+    if (d == k || n.left < 0) {
+      out->push_back(FrontierEntry{&tuples_[static_cast<size_t>(n.rep)], n.count});
+      continue;
+    }
+    stack.push_back({n.left, d + 1});
+    stack.push_back({n.right, d + 1});
+  }
+}
+
+std::vector<double> KdTree::FrontierResolution(int k) const {
+  std::vector<double> res(attrs_.size(), 0.0);
+  if (nodes_.empty()) return res;
+  k = std::clamp(k, 0, depth_);
+  std::vector<std::pair<int32_t, int>> stack{{0, 0}};
+  while (!stack.empty()) {
+    auto [idx, d] = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[static_cast<size_t>(idx)];
+    if (d == k || n.left < 0) {
+      for (size_t a = 0; a < res.size(); ++a) res[a] = std::max(res[a], n.spread[a]);
+      continue;
+    }
+    stack.push_back({n.left, d + 1});
+    stack.push_back({n.right, d + 1});
+  }
+  return res;
+}
+
+size_t KdTree::FrontierSize(int k) const {
+  if (nodes_.empty()) return 0;
+  k = std::clamp(k, 0, depth_);
+  size_t count = 0;
+  std::vector<std::pair<int32_t, int>> stack{{0, 0}};
+  while (!stack.empty()) {
+    auto [idx, d] = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[static_cast<size_t>(idx)];
+    if (d == k || n.left < 0) {
+      ++count;
+      continue;
+    }
+    stack.push_back({n.left, d + 1});
+    stack.push_back({n.right, d + 1});
+  }
+  return count;
+}
+
+}  // namespace beas

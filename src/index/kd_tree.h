@@ -1,0 +1,91 @@
+// K-D tree over tuples, the index structure behind access templates
+// (paper Section 4.1 "Implementation").
+//
+// Tuples (distinct Y-values with multiplicities) live at the leaves; each
+// internal node carries a *representative* — an actual tuple from its
+// subtree — plus the total represented multiplicity. The index for
+// template level k is the depth-k frontier: all nodes at depth k plus
+// leaves shallower than k. The frontier has at most 2^k nodes, covers
+// every tuple, and its per-attribute subtree spreads give the resolution
+// d_k. At k = depth the frontier is exactly the distinct tuples (d = 0).
+
+#ifndef BEAS_INDEX_KD_TREE_H_
+#define BEAS_INDEX_KD_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace beas {
+
+/// \brief A K-D tree over a bag of equal-arity tuples.
+///
+/// Split dimensions are chosen greedily by largest scaled spread, which
+/// maximizes the resolution gain per level (the property the paper cites
+/// for choosing K-D trees). The schema provides per-attribute distances.
+class KdTree {
+ public:
+  /// One entry of a level-k frontier: a representative tuple and the
+  /// number of base tuples (counting duplicates) it stands for.
+  struct FrontierEntry {
+    const Tuple* representative;
+    int64_t count;
+  };
+
+  KdTree() = default;
+
+  /// Builds the tree over \p rows (a bag; duplicates are collapsed into
+  /// multiplicities). \p attrs are the AttributeDefs of the tuple columns.
+  void Build(const std::vector<AttributeDef>& attrs, const std::vector<Tuple>& rows);
+
+  /// True once Build has been called with at least one row.
+  bool built() const { return !nodes_.empty(); }
+
+  /// Depth of the tree: frontier(depth()) is the exact distinct-tuple set.
+  int depth() const { return depth_; }
+
+  /// Number of distinct tuples stored.
+  size_t distinct_count() const { return tuples_.size(); }
+
+  /// Total multiplicity (number of base tuples represented).
+  int64_t total_count() const { return nodes_.empty() ? 0 : nodes_[0].count; }
+
+  /// Number of tree nodes (the index-size unit of Fig 6(k)).
+  size_t node_count() const { return nodes_.size(); }
+
+  /// Appends the level-\p k frontier entries to \p out (k clamped to
+  /// [0, depth()]).
+  void Frontier(int k, std::vector<FrontierEntry>* out) const;
+
+  /// Per-attribute resolution of the level-\p k frontier: the maximum
+  /// subtree spread (in distance units) over frontier nodes. Infinite for
+  /// trivial-metric attributes whose subtree holds distinct values.
+  std::vector<double> FrontierResolution(int k) const;
+
+  /// Number of entries in the level-\p k frontier (<= 2^k).
+  size_t FrontierSize(int k) const;
+
+ private:
+  struct Node {
+    int32_t rep = -1;    ///< index into tuples_
+    int64_t count = 0;   ///< total multiplicity of the subtree
+    int32_t left = -1;   ///< child node index, -1 for leaf
+    int32_t right = -1;
+    std::vector<double> spread;  ///< per-attribute subtree spread
+  };
+
+  int32_t BuildNode(std::vector<int32_t>::iterator begin,
+                    std::vector<int32_t>::iterator end, int depth);
+
+  std::vector<AttributeDef> attrs_;
+  std::vector<Tuple> tuples_;    ///< distinct tuples
+  std::vector<int64_t> mults_;   ///< multiplicity per distinct tuple
+  std::vector<Node> nodes_;      ///< nodes_[0] is the root
+  int depth_ = 0;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_INDEX_KD_TREE_H_

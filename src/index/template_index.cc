@@ -1,0 +1,126 @@
+#include "index/template_index.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace beas {
+
+Result<BoundFamily> TemplateIndex::Build(const FamilySpec& spec, const Table& table) {
+  const RelationSchema& schema = table.schema();
+  x_idx_.clear();
+  y_idx_.clear();
+  y_attrs_.clear();
+  for (const auto& x : spec.x_attrs) {
+    BEAS_ASSIGN_OR_RETURN(size_t i, schema.AttributeIndex(x));
+    x_idx_.push_back(i);
+  }
+  for (const auto& y : spec.y_attrs) {
+    BEAS_ASSIGN_OR_RETURN(size_t i, schema.AttributeIndex(y));
+    y_idx_.push_back(i);
+    y_attrs_.push_back(schema.attribute(i));
+  }
+
+  group_rows_.clear();
+  groups_.clear();
+  for (const auto& row : table.rows()) {
+    Tuple xkey;
+    xkey.reserve(x_idx_.size());
+    for (size_t i : x_idx_) xkey.push_back(row[i]);
+    Tuple y;
+    y.reserve(y_idx_.size());
+    for (size_t i : y_idx_) y.push_back(row[i]);
+    group_rows_[std::move(xkey)].push_back(std::move(y));
+  }
+  for (const auto& [xkey, rows] : group_rows_) {
+    groups_[xkey].Build(y_attrs_, rows);
+  }
+
+  BoundFamily family;
+  family.id = spec.Id();
+  family.relation = spec.relation;
+  family.x_attrs = spec.x_attrs;
+  family.y_attrs = spec.y_attrs;
+  BEAS_RETURN_IF_ERROR(RefreshMetadata(&family));
+  return family;
+}
+
+Status TemplateIndex::RefreshMetadata(BoundFamily* family) {
+  max_level_ = 0;
+  for (const auto& [xkey, tree] : groups_) {
+    max_level_ = std::max(max_level_, tree.depth());
+  }
+  family->is_constraint = false;
+  family->max_level = max_level_;
+  family->level_resolution.assign(static_cast<size_t>(max_level_) + 1,
+                                  std::vector<double>(y_attrs_.size(), 0.0));
+  family->level_fanout.assign(static_cast<size_t>(max_level_) + 1, 0);
+  for (int k = 0; k <= max_level_; ++k) {
+    auto& res = family->level_resolution[static_cast<size_t>(k)];
+    uint64_t fanout = 0;
+    for (const auto& [xkey, tree] : groups_) {
+      std::vector<double> r = tree.FrontierResolution(k);
+      for (size_t a = 0; a < r.size(); ++a) res[a] = std::max(res[a], r[a]);
+      fanout = std::max<uint64_t>(fanout, tree.FrontierSize(k));
+    }
+    family->level_fanout[static_cast<size_t>(k)] = std::max<uint64_t>(fanout, 1);
+  }
+  return Status::OK();
+}
+
+void TemplateIndex::Fetch(const Tuple& xkey, int level, std::vector<FetchEntry>* out) const {
+  auto it = groups_.find(xkey);
+  if (it == groups_.end()) return;
+  std::vector<KdTree::FrontierEntry> entries;
+  it->second.Frontier(level, &entries);
+  for (const auto& e : entries) out->push_back(FetchEntry{e.representative, e.count});
+}
+
+size_t TemplateIndex::FetchSize(const Tuple& xkey, int level) const {
+  auto it = groups_.find(xkey);
+  if (it == groups_.end()) return 0;
+  return it->second.FrontierSize(level);
+}
+
+size_t TemplateIndex::TotalEntries() const {
+  size_t n = 0;
+  for (const auto& [xkey, tree] : groups_) n += tree.node_count();
+  return n;
+}
+
+Status TemplateIndex::ApplyInsert(const Tuple& row, BoundFamily* family) {
+  Tuple xkey;
+  for (size_t i : x_idx_) xkey.push_back(row[i]);
+  Tuple y;
+  for (size_t i : y_idx_) y.push_back(row[i]);
+  auto& rows = group_rows_[xkey];
+  rows.push_back(std::move(y));
+  groups_[xkey].Build(y_attrs_, rows);
+  return RefreshMetadata(family);
+}
+
+Status TemplateIndex::ApplyRemove(const Tuple& row, BoundFamily* family) {
+  Tuple xkey;
+  for (size_t i : x_idx_) xkey.push_back(row[i]);
+  Tuple y;
+  for (size_t i : y_idx_) y.push_back(row[i]);
+  auto it = group_rows_.find(xkey);
+  if (it == group_rows_.end()) {
+    return Status::NotFound("ApplyRemove: no such group");
+  }
+  auto& rows = it->second;
+  auto pos = std::find(rows.begin(), rows.end(), y);
+  if (pos == rows.end()) {
+    return Status::NotFound("ApplyRemove: tuple not present in group");
+  }
+  rows.erase(pos);
+  if (rows.empty()) {
+    group_rows_.erase(it);
+    groups_.erase(xkey);
+  } else {
+    groups_[xkey].Build(y_attrs_, rows);
+  }
+  return RefreshMetadata(family);
+}
+
+}  // namespace beas

@@ -1,0 +1,72 @@
+// Physical index of one access-template family R(X -> Y, 2^k, d_k):
+// a K-D tree per X-group over the group's Y-values (paper Section 4.1).
+
+#ifndef BEAS_INDEX_TEMPLATE_INDEX_H_
+#define BEAS_INDEX_TEMPLATE_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "accschema/access_schema.h"
+#include "common/result.h"
+#include "index/kd_tree.h"
+#include "storage/table.h"
+
+namespace beas {
+
+/// One representative returned by a fetch: the Y-tuple and the number of
+/// base tuples it stands for (occurrence counts, paper Section 7).
+struct FetchEntry {
+  const Tuple* y = nullptr;
+  int64_t count = 0;
+};
+
+/// \brief Index for one template family over one relation instance.
+///
+/// Build() groups the table by the X-attributes and builds a K-D tree per
+/// group over the Y-projections; level metadata (resolutions d_k, maximum
+/// fanout) is computed across groups so that a single BoundFamily entry
+/// describes every group, as the access-schema formalism requires.
+class TemplateIndex {
+ public:
+  /// Builds the index for \p spec over \p table and returns the bound
+  /// family metadata for the access schema.
+  Result<BoundFamily> Build(const FamilySpec& spec, const Table& table);
+
+  /// Appends the level-\p level representatives for X-value \p xkey to
+  /// \p out; an unknown X-value yields no entries (D_Y(X=a) is empty).
+  void Fetch(const Tuple& xkey, int level, std::vector<FetchEntry>* out) const;
+
+  /// Number of representatives a fetch at (\p xkey, \p level) returns.
+  size_t FetchSize(const Tuple& xkey, int level) const;
+
+  /// Total number of stored index entries (tree nodes), the unit of the
+  /// index-size accounting in Fig 6(k).
+  size_t TotalEntries() const;
+
+  /// Re-inserts \p row (a full tuple of the base relation) into the index
+  /// (incremental maintenance, paper Fig 2 component C2). Rebuilds the
+  /// affected group and refreshes the family metadata in \p family.
+  Status ApplyInsert(const Tuple& row, BoundFamily* family);
+
+  /// Removes one occurrence of \p row; NotFound if absent.
+  Status ApplyRemove(const Tuple& row, BoundFamily* family);
+
+  int max_level() const { return max_level_; }
+
+ private:
+  Status RefreshMetadata(BoundFamily* family);
+
+  std::vector<size_t> x_idx_;  // attribute positions of X in the base schema
+  std::vector<size_t> y_idx_;  // attribute positions of Y
+  std::vector<AttributeDef> y_attrs_;
+  std::unordered_map<Tuple, KdTree, TupleHasher> groups_;
+  // Raw Y-bags per group, kept for incremental rebuilds.
+  std::unordered_map<Tuple, std::vector<Tuple>, TupleHasher> group_rows_;
+  int max_level_ = 0;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_INDEX_TEMPLATE_INDEX_H_

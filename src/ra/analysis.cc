@@ -1,0 +1,311 @@
+#include "ra/analysis.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace beas {
+
+const char* QueryClassToString(QueryClass c) {
+  switch (c) {
+    case QueryClass::kSpc:
+      return "SPC";
+    case QueryClass::kRa:
+      return "RA";
+    case QueryClass::kAggSpc:
+      return "agg(SPC)";
+    case QueryClass::kAggRa:
+      return "agg(RA)";
+  }
+  return "?";
+}
+
+bool IsSpc(const QueryPtr& q) {
+  switch (q->kind()) {
+    case QueryNode::Kind::kRelation:
+      return true;
+    case QueryNode::Kind::kSelect:
+    case QueryNode::Kind::kProject:
+      return IsSpc(q->child());
+    case QueryNode::Kind::kProduct:
+      return IsSpc(q->left()) && IsSpc(q->right());
+    case QueryNode::Kind::kUnion:
+    case QueryNode::Kind::kDifference:
+    case QueryNode::Kind::kGroupBy:
+      return false;
+  }
+  return false;
+}
+
+bool IsAggregate(const QueryPtr& q) { return q->kind() == QueryNode::Kind::kGroupBy; }
+
+QueryClass ClassifyQuery(const QueryPtr& q) {
+  if (q->kind() == QueryNode::Kind::kGroupBy) {
+    return IsSpc(q->child()) ? QueryClass::kAggSpc : QueryClass::kAggRa;
+  }
+  return IsSpc(q) ? QueryClass::kSpc : QueryClass::kRa;
+}
+
+namespace {
+
+// Normalization walk state: atoms and comparisons accumulate; `visible`
+// maps the current node's output column names to origin attributes.
+struct NormState {
+  std::vector<SpcAtom> atoms;
+  Predicate comparisons;
+  std::vector<std::string> visible_names;    // current output column names
+  std::vector<std::string> visible_origins;  // parallel origin attrs
+};
+
+Result<std::string> OriginOf(const NormState& st, const std::string& name) {
+  for (size_t i = 0; i < st.visible_names.size(); ++i) {
+    if (st.visible_names[i] == name) return st.visible_origins[i];
+  }
+  return Status::NotFound(StrCat("attribute '", name, "' has no origin"));
+}
+
+Result<NormState> Walk(const QueryPtr& q) {
+  switch (q->kind()) {
+    case QueryNode::Kind::kRelation: {
+      NormState st;
+      st.atoms.push_back({q->relation(), q->alias()});
+      for (const auto& a : q->output_schema().attributes()) {
+        st.visible_names.push_back(a.name);
+        st.visible_origins.push_back(a.name);
+      }
+      return st;
+    }
+    case QueryNode::Kind::kSelect: {
+      BEAS_ASSIGN_OR_RETURN(NormState st, Walk(q->child()));
+      for (Comparison cmp : q->predicate()) {
+        BEAS_ASSIGN_OR_RETURN(cmp.lhs.attr, OriginOf(st, cmp.lhs.attr));
+        if (cmp.rhs.is_attr) {
+          BEAS_ASSIGN_OR_RETURN(cmp.rhs.attr, OriginOf(st, cmp.rhs.attr));
+        }
+        st.comparisons.push_back(std::move(cmp));
+      }
+      return st;
+    }
+    case QueryNode::Kind::kProject: {
+      BEAS_ASSIGN_OR_RETURN(NormState st, Walk(q->child()));
+      std::vector<std::string> names, origins;
+      const auto& out = q->output_schema();
+      for (size_t i = 0; i < q->project_attrs().size(); ++i) {
+        BEAS_ASSIGN_OR_RETURN(std::string origin, OriginOf(st, q->project_attrs()[i]));
+        names.push_back(out.attribute(i).name);
+        origins.push_back(std::move(origin));
+      }
+      st.visible_names = std::move(names);
+      st.visible_origins = std::move(origins);
+      return st;
+    }
+    case QueryNode::Kind::kProduct: {
+      BEAS_ASSIGN_OR_RETURN(NormState l, Walk(q->left()));
+      BEAS_ASSIGN_OR_RETURN(NormState r, Walk(q->right()));
+      for (auto& a : r.atoms) l.atoms.push_back(std::move(a));
+      for (auto& c : r.comparisons) l.comparisons.push_back(std::move(c));
+      for (size_t i = 0; i < r.visible_names.size(); ++i) {
+        l.visible_names.push_back(std::move(r.visible_names[i]));
+        l.visible_origins.push_back(std::move(r.visible_origins[i]));
+      }
+      return l;
+    }
+    case QueryNode::Kind::kUnion:
+    case QueryNode::Kind::kDifference:
+    case QueryNode::Kind::kGroupBy:
+      return Status::InvalidArgument("NormalizeSpc: query is not SPC");
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+Result<SpcNormalForm> NormalizeSpc(const QueryPtr& q) {
+  if (!IsSpc(q)) return Status::InvalidArgument("NormalizeSpc: query is not SPC");
+  BEAS_ASSIGN_OR_RETURN(NormState st, Walk(q));
+  SpcNormalForm nf;
+  nf.atoms = std::move(st.atoms);
+  nf.comparisons = std::move(st.comparisons);
+  nf.output_names = st.visible_names;
+  nf.output_attrs = st.visible_origins;
+  // Outermost distinct flag: a bag projection at the root means bag output.
+  nf.distinct = !(q->kind() == QueryNode::Kind::kProject && !q->distinct());
+  return nf;
+}
+
+std::vector<QueryPtr> MaxSpcSubqueries(const QueryPtr& q) {
+  if (IsSpc(q)) return {q};
+  std::vector<QueryPtr> out;
+  auto add = [&out](std::vector<QueryPtr> sub) {
+    for (auto& s : sub) out.push_back(std::move(s));
+  };
+  switch (q->kind()) {
+    case QueryNode::Kind::kSelect:
+    case QueryNode::Kind::kProject:
+    case QueryNode::Kind::kGroupBy:
+      add(MaxSpcSubqueries(q->child()));
+      break;
+    case QueryNode::Kind::kProduct:
+    case QueryNode::Kind::kUnion:
+    case QueryNode::Kind::kDifference:
+      add(MaxSpcSubqueries(q->left()));
+      add(MaxSpcSubqueries(q->right()));
+      break;
+    case QueryNode::Kind::kRelation:
+      out.push_back(q);
+      break;
+  }
+  return out;
+}
+
+Result<QueryPtr> MaximalInduced(const QueryPtr& q) {
+  switch (q->kind()) {
+    case QueryNode::Kind::kRelation:
+      return q;
+    case QueryNode::Kind::kSelect: {
+      BEAS_ASSIGN_OR_RETURN(QueryPtr child, MaximalInduced(q->child()));
+      if (child == q->child()) return q;
+      return QueryNode::Select(std::move(child), q->predicate());
+    }
+    case QueryNode::Kind::kProject: {
+      BEAS_ASSIGN_OR_RETURN(QueryPtr child, MaximalInduced(q->child()));
+      if (child == q->child()) return q;
+      std::vector<std::string> out_names;
+      for (const auto& a : q->output_schema().attributes()) out_names.push_back(a.name);
+      return QueryNode::Project(std::move(child), q->project_attrs(), q->distinct(),
+                                std::move(out_names));
+    }
+    case QueryNode::Kind::kProduct: {
+      BEAS_ASSIGN_OR_RETURN(QueryPtr l, MaximalInduced(q->left()));
+      BEAS_ASSIGN_OR_RETURN(QueryPtr r, MaximalInduced(q->right()));
+      if (l == q->left() && r == q->right()) return q;
+      return QueryNode::Product(std::move(l), std::move(r));
+    }
+    case QueryNode::Kind::kUnion: {
+      BEAS_ASSIGN_OR_RETURN(QueryPtr l, MaximalInduced(q->left()));
+      BEAS_ASSIGN_OR_RETURN(QueryPtr r, MaximalInduced(q->right()));
+      if (l == q->left() && r == q->right()) return q;
+      return QueryNode::Union(std::move(l), std::move(r));
+    }
+    case QueryNode::Kind::kDifference:
+      // Q1 - Q2 expands to Q1-hat: drop the negated part.
+      return MaximalInduced(q->left());
+    case QueryNode::Kind::kGroupBy: {
+      BEAS_ASSIGN_OR_RETURN(QueryPtr child, MaximalInduced(q->child()));
+      if (child == q->child()) return q;
+      const auto& out = q->output_schema();
+      return QueryNode::GroupBy(std::move(child), q->group_attrs(), q->agg(), q->agg_attr(),
+                                out.attribute(out.arity() - 1).name);
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+namespace {
+
+void OutputOriginsWalk(const QueryPtr& q, std::map<std::string, std::string>* out) {
+  switch (q->kind()) {
+    case QueryNode::Kind::kRelation: {
+      for (const auto& a : q->output_schema().attributes()) (*out)[a.name] = a.name;
+      return;
+    }
+    case QueryNode::Kind::kSelect:
+      OutputOriginsWalk(q->child(), out);
+      return;
+    case QueryNode::Kind::kProject: {
+      std::map<std::string, std::string> inner;
+      OutputOriginsWalk(q->child(), &inner);
+      std::map<std::string, std::string> mapped;
+      const auto& schema = q->output_schema();
+      for (size_t i = 0; i < q->project_attrs().size(); ++i) {
+        auto it = inner.find(q->project_attrs()[i]);
+        if (it != inner.end()) mapped[schema.attribute(i).name] = it->second;
+      }
+      *out = std::move(mapped);
+      return;
+    }
+    case QueryNode::Kind::kProduct: {
+      OutputOriginsWalk(q->left(), out);
+      std::map<std::string, std::string> right;
+      OutputOriginsWalk(q->right(), &right);
+      out->merge(right);
+      return;
+    }
+    case QueryNode::Kind::kUnion:
+    case QueryNode::Kind::kDifference:
+      // Take origins from the left branch (schema names come from it).
+      OutputOriginsWalk(q->left(), out);
+      return;
+    case QueryNode::Kind::kGroupBy: {
+      std::map<std::string, std::string> inner;
+      OutputOriginsWalk(q->child(), &inner);
+      std::map<std::string, std::string> mapped;
+      for (const auto& g : q->group_attrs()) {
+        auto it = inner.find(g);
+        if (it != inner.end()) mapped[g] = it->second;
+      }
+      *out = std::move(mapped);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::map<std::string, std::string> OutputOrigins(const QueryPtr& q) {
+  std::map<std::string, std::string> out;
+  OutputOriginsWalk(q, &out);
+  return out;
+}
+
+std::vector<SpcAtom> CollectAtoms(const QueryPtr& q) {
+  std::vector<SpcAtom> atoms;
+  switch (q->kind()) {
+    case QueryNode::Kind::kRelation:
+      atoms.push_back({q->relation(), q->alias()});
+      break;
+    case QueryNode::Kind::kSelect:
+    case QueryNode::Kind::kProject:
+    case QueryNode::Kind::kGroupBy: {
+      atoms = CollectAtoms(q->child());
+      break;
+    }
+    case QueryNode::Kind::kProduct:
+    case QueryNode::Kind::kUnion:
+    case QueryNode::Kind::kDifference: {
+      atoms = CollectAtoms(q->left());
+      auto right = CollectAtoms(q->right());
+      for (auto& a : right) atoms.push_back(std::move(a));
+      break;
+    }
+  }
+  return atoms;
+}
+
+Predicate CollectComparisons(const QueryPtr& q) {
+  Predicate preds;
+  switch (q->kind()) {
+    case QueryNode::Kind::kRelation:
+      break;
+    case QueryNode::Kind::kSelect: {
+      preds = CollectComparisons(q->child());
+      for (const auto& c : q->predicate()) preds.push_back(c);
+      break;
+    }
+    case QueryNode::Kind::kProject:
+    case QueryNode::Kind::kGroupBy:
+      preds = CollectComparisons(q->child());
+      break;
+    case QueryNode::Kind::kProduct:
+    case QueryNode::Kind::kUnion:
+    case QueryNode::Kind::kDifference: {
+      preds = CollectComparisons(q->left());
+      auto right = CollectComparisons(q->right());
+      for (auto& c : right) preds.push_back(std::move(c));
+      break;
+    }
+  }
+  return preds;
+}
+
+}  // namespace beas

@@ -1,0 +1,83 @@
+// Structural analysis of RA_aggr queries used by the BEAS planner:
+// query classification, SPC normal form (the tableau's raw material,
+// paper Section 5), maximal SPC sub-queries and the maximal induced
+// query Q-hat (Section 6).
+
+#ifndef BEAS_RA_ANALYSIS_H_
+#define BEAS_RA_ANALYSIS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ra/ast.h"
+
+namespace beas {
+
+/// Fragments of RA_aggr the planner distinguishes (paper Sections 5-7).
+enum class QueryClass {
+  kSpc,     ///< selection / projection / product only
+  kRa,      ///< adds union and/or set difference
+  kAggSpc,  ///< gpBy over an SPC query
+  kAggRa,   ///< gpBy over an RA query
+};
+
+/// Returns "SPC" / "RA" / "agg(SPC)" / "agg(RA)".
+const char* QueryClassToString(QueryClass c);
+
+/// Classifies \p q.
+QueryClass ClassifyQuery(const QueryPtr& q);
+
+/// True iff \p q uses only sigma, pi and x over base relations.
+bool IsSpc(const QueryPtr& q);
+
+/// True iff the query root is a gpBy.
+bool IsAggregate(const QueryPtr& q);
+
+/// A relation atom of an SPC query: one aliased occurrence of a relation.
+struct SpcAtom {
+  std::string relation;
+  std::string alias;
+};
+
+/// \brief Flattened ("normal form") view of an SPC query.
+///
+/// All comparisons are expressed over *origin* attributes (qualified
+/// "alias.column" names of the relation atoms), with projection renames
+/// resolved away. This is the input to the tableau construction.
+struct SpcNormalForm {
+  std::vector<SpcAtom> atoms;
+  Predicate comparisons;
+  /// Origin attribute ("alias.column") of each output column, in order.
+  std::vector<std::string> output_attrs;
+  /// Output column names as they appear in the query's output schema.
+  std::vector<std::string> output_names;
+  bool distinct = true;
+};
+
+/// Normalizes an SPC query; fails if \p q is not SPC.
+Result<SpcNormalForm> NormalizeSpc(const QueryPtr& q);
+
+/// The maximal SPC sub-queries of \p q: sub-trees that are SPC and not
+/// contained in a larger SPC sub-tree (paper Section 6). For an SPC query
+/// this is {q} itself.
+std::vector<QueryPtr> MaxSpcSubqueries(const QueryPtr& q);
+
+/// The maximal induced query Q-hat of \p q: drops the negated side of
+/// every set difference, so Q-hat(D) contains Q(D) for every D
+/// (paper Section 6).
+Result<QueryPtr> MaximalInduced(const QueryPtr& q);
+
+/// Maps every output column name of \p q to its origin "alias.column"
+/// attribute, when one exists (aggregate columns have none).
+std::map<std::string, std::string> OutputOrigins(const QueryPtr& q);
+
+/// Collects the aliases of all base-relation leaves under \p q.
+std::vector<SpcAtom> CollectAtoms(const QueryPtr& q);
+
+/// Collects every comparison from all Select nodes under \p q.
+Predicate CollectComparisons(const QueryPtr& q);
+
+}  // namespace beas
+
+#endif  // BEAS_RA_ANALYSIS_H_

@@ -1,0 +1,351 @@
+#include "ra/ast.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <set>
+
+#include "common/string_util.h"
+#include "types/distance.h"
+
+namespace beas {
+
+namespace {
+
+// Positive value smaller than any meaningful distance; the relaxation a
+// strict inequality needs at a tie (a < c with a == c).
+constexpr double kStrictTieEpsilon = std::numeric_limits<double>::min();
+
+Result<size_t> ResolveAttr(const RelationSchema& schema, const Operand& o) {
+  assert(o.is_attr);
+  return schema.AttributeIndex(o.attr);
+}
+
+Status ValidateComparison(const RelationSchema& schema, const Comparison& cmp) {
+  if (!cmp.lhs.is_attr) {
+    return Status::InvalidArgument("comparison lhs must be an attribute");
+  }
+  BEAS_RETURN_IF_ERROR(ResolveAttr(schema, cmp.lhs).status());
+  if (cmp.rhs.is_attr) {
+    BEAS_RETURN_IF_ERROR(ResolveAttr(schema, cmp.rhs).status());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+const char* AggFuncToString(AggFunc f) {
+  switch (f) {
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+std::string Operand::ToString() const {
+  if (is_attr) return attr;
+  if (constant.is_string()) return StrCat("'", constant.ToString(), "'");
+  return constant.ToString();
+}
+
+std::string Comparison::ToString() const {
+  std::string s = StrCat(lhs.ToString(), " ", CompareOpToString(op), " ", rhs.ToString());
+  if (slack > 0) s += StrCat(" (slack ", FormatDouble(slack, 4), ")");
+  return s;
+}
+
+double NeededRelaxation(const RelationSchema& schema, const Tuple& t, const Comparison& cmp) {
+  auto lhs_idx = schema.FindAttribute(cmp.lhs.attr);
+  assert(lhs_idx.has_value());
+  const Value& a = t[*lhs_idx];
+  const DistanceSpec& spec = schema.attribute(*lhs_idx).distance;
+
+  Value b;
+  bool attr_attr = cmp.rhs.is_attr;
+  if (attr_attr) {
+    auto rhs_idx = schema.FindAttribute(cmp.rhs.attr);
+    assert(rhs_idx.has_value());
+    b = t[*rhs_idx];
+  } else {
+    b = cmp.rhs.constant;
+  }
+
+  double dist = AttributeDistance(spec, a, b);
+  switch (cmp.op) {
+    case CompareOp::kEq:
+      // sigma_{A=c} relaxes to |dis(A,c)| <= r; sigma_{A=B} to <= 2r.
+      return attr_attr ? dist / 2.0 : dist;
+    case CompareOp::kNe:
+      return a == b ? kInfDistance : 0.0;
+    case CompareOp::kLt:
+    case CompareOp::kLe: {
+      bool sat = cmp.op == CompareOp::kLt ? (a < b) : (a < b || a == b);
+      if (sat) return 0.0;
+      if (dist == kInfDistance) return kInfDistance;
+      double needed = attr_attr ? dist / 2.0 : dist;
+      return needed > 0 ? needed : kStrictTieEpsilon;
+    }
+    case CompareOp::kGt:
+    case CompareOp::kGe: {
+      bool sat = cmp.op == CompareOp::kGt ? (b < a) : (b < a || a == b);
+      if (sat) return 0.0;
+      if (dist == kInfDistance) return kInfDistance;
+      double needed = attr_attr ? dist / 2.0 : dist;
+      return needed > 0 ? needed : kStrictTieEpsilon;
+    }
+  }
+  return kInfDistance;
+}
+
+bool EvalComparison(const RelationSchema& schema, const Tuple& t, const Comparison& cmp) {
+  return NeededRelaxation(schema, t, cmp) <= cmp.slack;
+}
+
+bool EvalPredicate(const RelationSchema& schema, const Tuple& t, const Predicate& pred) {
+  for (const auto& cmp : pred) {
+    if (!EvalComparison(schema, t, cmp)) return false;
+  }
+  return true;
+}
+
+std::string QueryNode::ToString() const {
+  switch (kind_) {
+    case Kind::kRelation:
+      return StrCat(relation_, " as ", alias_);
+    case Kind::kSelect: {
+      std::vector<std::string> parts;
+      for (const auto& c : predicate_) parts.push_back(c.ToString());
+      return StrCat("sigma[", Join(parts, " and "), "](", left_->ToString(), ")");
+    }
+    case Kind::kProject:
+      return StrCat(distinct_ ? "pi[" : "pi_bag[", Join(project_attrs_, ", "), "](",
+                    left_->ToString(), ")");
+    case Kind::kProduct:
+      return StrCat("(", left_->ToString(), ") x (", right_->ToString(), ")");
+    case Kind::kUnion:
+      return StrCat("(", left_->ToString(), ") union (", right_->ToString(), ")");
+    case Kind::kDifference:
+      return StrCat("(", left_->ToString(), ") minus (", right_->ToString(), ")");
+    case Kind::kGroupBy:
+      return StrCat("gpBy[", Join(group_attrs_, ", "), "; ", AggFuncToString(agg_), "(",
+                    agg_attr_, ")](", left_->ToString(), ")");
+  }
+  return "?";
+}
+
+Result<QueryPtr> QueryNode::Relation(const DatabaseSchema& db_schema,
+                                     const std::string& relation, const std::string& alias) {
+  BEAS_ASSIGN_OR_RETURN(const RelationSchema* base, db_schema.FindRelation(relation));
+  if (alias.empty()) return Status::InvalidArgument("relation alias must be non-empty");
+  std::vector<AttributeDef> attrs;
+  attrs.reserve(base->arity());
+  for (const auto& a : base->attributes()) {
+    attrs.emplace_back(StrCat(alias, ".", a.name), a.type, a.distance);
+  }
+  auto node = std::shared_ptr<QueryNode>(new QueryNode());
+  node->kind_ = Kind::kRelation;
+  node->relation_ = relation;
+  node->alias_ = alias;
+  node->output_schema_ = RelationSchema(StrCat(relation, "_", alias), std::move(attrs));
+  return QueryPtr(node);
+}
+
+Result<QueryPtr> QueryNode::Select(QueryPtr child, Predicate pred) {
+  if (!child) return Status::InvalidArgument("Select child is null");
+  for (const auto& cmp : pred) {
+    BEAS_RETURN_IF_ERROR(ValidateComparison(child->output_schema(), cmp));
+  }
+  auto node = std::shared_ptr<QueryNode>(new QueryNode());
+  node->kind_ = Kind::kSelect;
+  node->left_ = std::move(child);
+  node->predicate_ = std::move(pred);
+  node->output_schema_ = node->left_->output_schema();
+  return QueryPtr(node);
+}
+
+Result<QueryPtr> QueryNode::Project(QueryPtr child, std::vector<std::string> attrs,
+                                    bool distinct, std::vector<std::string> out_names) {
+  if (!child) return Status::InvalidArgument("Project child is null");
+  if (attrs.empty()) return Status::InvalidArgument("Project needs at least one attribute");
+  if (!out_names.empty() && out_names.size() != attrs.size()) {
+    return Status::InvalidArgument("Project out_names must match attrs length");
+  }
+  std::vector<AttributeDef> out_attrs;
+  const RelationSchema& in = child->output_schema();
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    BEAS_ASSIGN_OR_RETURN(size_t idx, in.AttributeIndex(attrs[i]));
+    AttributeDef def = in.attribute(idx);
+    if (!out_names.empty()) def.name = out_names[i];
+    out_attrs.push_back(std::move(def));
+  }
+  std::set<std::string> names;
+  for (const auto& a : out_attrs) {
+    if (!names.insert(a.name).second) {
+      return Status::InvalidArgument(StrCat("duplicate output attribute '", a.name, "'"));
+    }
+  }
+  auto node = std::shared_ptr<QueryNode>(new QueryNode());
+  node->kind_ = Kind::kProject;
+  node->left_ = std::move(child);
+  node->project_attrs_ = std::move(attrs);
+  node->distinct_ = distinct;
+  node->output_schema_ = RelationSchema("projection", std::move(out_attrs));
+  return QueryPtr(node);
+}
+
+Result<QueryPtr> QueryNode::Product(QueryPtr left, QueryPtr right) {
+  if (!left || !right) return Status::InvalidArgument("Product child is null");
+  std::vector<AttributeDef> attrs = left->output_schema().attributes();
+  for (const auto& a : right->output_schema().attributes()) {
+    for (const auto& l : attrs) {
+      if (l.name == a.name) {
+        return Status::InvalidArgument(
+            StrCat("Product children share attribute name '", a.name, "'"));
+      }
+    }
+    attrs.push_back(a);
+  }
+  auto node = std::shared_ptr<QueryNode>(new QueryNode());
+  node->kind_ = Kind::kProduct;
+  node->left_ = std::move(left);
+  node->right_ = std::move(right);
+  node->output_schema_ = RelationSchema("product", std::move(attrs));
+  return QueryPtr(node);
+}
+
+namespace {
+Status CheckUnionCompatible(const RelationSchema& l, const RelationSchema& r) {
+  if (l.arity() != r.arity()) {
+    return Status::InvalidArgument("set operation children have different arities");
+  }
+  for (size_t i = 0; i < l.arity(); ++i) {
+    if (l.attribute(i).type != r.attribute(i).type &&
+        l.attribute(i).type != DataType::kNull && r.attribute(i).type != DataType::kNull) {
+      // Allow int64/double mixing: values compare numerically.
+      bool numeric_mix = (l.attribute(i).type == DataType::kInt64 ||
+                          l.attribute(i).type == DataType::kDouble) &&
+                         (r.attribute(i).type == DataType::kInt64 ||
+                          r.attribute(i).type == DataType::kDouble);
+      if (!numeric_mix) {
+        return Status::InvalidArgument(
+            StrCat("set operation type mismatch at position ", i));
+      }
+    }
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Result<QueryPtr> QueryNode::Union(QueryPtr left, QueryPtr right) {
+  if (!left || !right) return Status::InvalidArgument("Union child is null");
+  BEAS_RETURN_IF_ERROR(CheckUnionCompatible(left->output_schema(), right->output_schema()));
+  auto node = std::shared_ptr<QueryNode>(new QueryNode());
+  node->kind_ = Kind::kUnion;
+  node->output_schema_ = left->output_schema();
+  node->left_ = std::move(left);
+  node->right_ = std::move(right);
+  return QueryPtr(node);
+}
+
+Result<QueryPtr> QueryNode::Difference(QueryPtr left, QueryPtr right) {
+  if (!left || !right) return Status::InvalidArgument("Difference child is null");
+  BEAS_RETURN_IF_ERROR(CheckUnionCompatible(left->output_schema(), right->output_schema()));
+  auto node = std::shared_ptr<QueryNode>(new QueryNode());
+  node->kind_ = Kind::kDifference;
+  node->output_schema_ = left->output_schema();
+  node->left_ = std::move(left);
+  node->right_ = std::move(right);
+  return QueryPtr(node);
+}
+
+Result<QueryPtr> QueryNode::GroupBy(QueryPtr child, std::vector<std::string> group_attrs,
+                                    AggFunc agg, const std::string& agg_attr,
+                                    std::string agg_output_name) {
+  if (!child) return Status::InvalidArgument("GroupBy child is null");
+  const RelationSchema& in = child->output_schema();
+  std::vector<AttributeDef> out_attrs;
+  for (const auto& g : group_attrs) {
+    BEAS_ASSIGN_OR_RETURN(size_t idx, in.AttributeIndex(g));
+    out_attrs.push_back(in.attribute(idx));
+  }
+  BEAS_ASSIGN_OR_RETURN(size_t vidx, in.AttributeIndex(agg_attr));
+  const AttributeDef& vdef = in.attribute(vidx);
+  if (agg != AggFunc::kCount && vdef.type == DataType::kString) {
+    if (agg != AggFunc::kMin && agg != AggFunc::kMax) {
+      return Status::InvalidArgument(
+          StrCat(AggFuncToString(agg), " requires a numeric attribute, got string '",
+                 agg_attr, "'"));
+    }
+  }
+  if (agg_output_name.empty()) {
+    agg_output_name = StrCat(AggFuncToString(agg), "_", agg_attr);
+  }
+  AttributeDef agg_def;
+  agg_def.name = agg_output_name;
+  switch (agg) {
+    case AggFunc::kCount:
+      agg_def.type = DataType::kInt64;
+      agg_def.distance = DistanceSpec::Numeric();
+      break;
+    case AggFunc::kAvg:
+      agg_def.type = DataType::kDouble;
+      agg_def.distance = DistanceSpec::Numeric(vdef.distance.kind == DistanceKind::kNumeric
+                                                   ? vdef.distance.scale
+                                                   : 1.0);
+      break;
+    case AggFunc::kSum:
+      agg_def.type = vdef.type;
+      agg_def.distance = DistanceSpec::Numeric(vdef.distance.kind == DistanceKind::kNumeric
+                                                   ? vdef.distance.scale
+                                                   : 1.0);
+      break;
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      agg_def = vdef;
+      agg_def.name = agg_output_name;
+      break;
+  }
+  for (const auto& a : out_attrs) {
+    if (a.name == agg_def.name) {
+      return Status::InvalidArgument(
+          StrCat("aggregate output name '", agg_def.name, "' collides with group attr"));
+    }
+  }
+  out_attrs.push_back(std::move(agg_def));
+  auto node = std::shared_ptr<QueryNode>(new QueryNode());
+  node->kind_ = Kind::kGroupBy;
+  node->left_ = std::move(child);
+  node->group_attrs_ = std::move(group_attrs);
+  node->agg_ = agg;
+  node->agg_attr_ = agg_attr;
+  node->output_schema_ = RelationSchema("groupby", std::move(out_attrs));
+  return QueryPtr(node);
+}
+
+}  // namespace beas

@@ -1,0 +1,184 @@
+// The RA_aggr abstract syntax tree (paper Sections 2.2 and 3.2).
+//
+// Queries are immutable trees of QueryNode. Relation leaves carry an alias;
+// every attribute of a node's output schema is a qualified name
+// "alias.column" (or an explicit output name after projection/group-by).
+// Nodes are *bound*: construction validates against a DatabaseSchema and
+// precomputes the output RelationSchema, so downstream components (engine,
+// planner, accuracy) never re-resolve names.
+
+#ifndef BEAS_RA_AST_H_
+#define BEAS_RA_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace beas {
+
+class QueryNode;
+/// Shared immutable query tree handle.
+using QueryPtr = std::shared_ptr<const QueryNode>;
+
+/// Comparison operators of selection conditions.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Returns "=", "<>", "<", "<=", ">", ">=".
+const char* CompareOpToString(CompareOp op);
+
+/// One side of a comparison: a (qualified) attribute or a constant.
+struct Operand {
+  bool is_attr = false;
+  std::string attr;  ///< qualified attribute name when is_attr
+  Value constant;    ///< constant when !is_attr
+
+  static Operand Attr(std::string name) {
+    Operand o;
+    o.is_attr = true;
+    o.attr = std::move(name);
+    return o;
+  }
+  static Operand Const(Value v) {
+    Operand o;
+    o.constant = std::move(v);
+    return o;
+  }
+  std::string ToString() const;
+};
+
+/// \brief An atomic selection condition `lhs op rhs`, possibly relaxed.
+///
+/// `slack` implements the paper's query relaxation (Section 3): a tuple
+/// passes the comparison iff its *needed relaxation* is <= slack. Needed
+/// relaxation is measured in attribute-distance units: dis_A(a, c) for
+/// A = c, dis_A(a, b)/2 for A = B (both sides relax by r, Section 3.1),
+/// and the one-sided overshoot for inequalities. slack == 0 is the exact
+/// semantics.
+struct Comparison {
+  Operand lhs;
+  CompareOp op = CompareOp::kEq;
+  Operand rhs;
+  double slack = 0.0;
+
+  std::string ToString() const;
+};
+
+/// A conjunction of comparisons (the paper's selection conditions).
+using Predicate = std::vector<Comparison>;
+
+/// Aggregate functions of RA_aggr (paper Section 3.2).
+enum class AggFunc { kMin, kMax, kSum, kCount, kAvg };
+
+/// Returns "min" / "max" / "sum" / "count" / "avg".
+const char* AggFuncToString(AggFunc f);
+
+/// \brief One node of an RA_aggr query tree.
+class QueryNode {
+ public:
+  enum class Kind {
+    kRelation,    ///< base relation leaf with an alias
+    kSelect,      ///< sigma_C(child)
+    kProject,     ///< pi_Y(child), optionally deduplicating (set semantics)
+    kProduct,     ///< left x right
+    kUnion,       ///< left U right (set semantics)
+    kDifference,  ///< left - right (set semantics)
+    kGroupBy,     ///< gpBy(child, X, agg(V)) (paper Section 3.2)
+  };
+
+  Kind kind() const { return kind_; }
+  const QueryPtr& left() const { return left_; }
+  const QueryPtr& right() const { return right_; }
+  const QueryPtr& child() const { return left_; }
+
+  /// Base relation name (kRelation).
+  const std::string& relation() const { return relation_; }
+  /// Alias of the base relation (kRelation).
+  const std::string& alias() const { return alias_; }
+  /// Selection predicate (kSelect).
+  const Predicate& predicate() const { return predicate_; }
+  /// Projected qualified attribute names (kProject).
+  const std::vector<std::string>& project_attrs() const { return project_attrs_; }
+  /// True if the projection deduplicates (RA set semantics).
+  bool distinct() const { return distinct_; }
+  /// Grouping attributes (kGroupBy), qualified names in the child schema.
+  const std::vector<std::string>& group_attrs() const { return group_attrs_; }
+  /// Aggregate function (kGroupBy).
+  AggFunc agg() const { return agg_; }
+  /// Aggregated attribute V (kGroupBy), qualified name in the child schema.
+  const std::string& agg_attr() const { return agg_attr_; }
+
+  /// The bound output schema of this node.
+  const RelationSchema& output_schema() const { return output_schema_; }
+
+  /// Algebra rendering, e.g. "pi[a.x](sigma[a.x = 3](R as a))".
+  std::string ToString() const;
+
+  // --- Factory functions (the only way to build nodes). ---
+
+  /// Base relation \p relation aliased \p alias; output attributes are
+  /// "alias.column" with types and distances from \p db_schema.
+  static Result<QueryPtr> Relation(const DatabaseSchema& db_schema,
+                                   const std::string& relation, const std::string& alias);
+
+  /// sigma_pred(child); all operand attributes must exist in the child
+  /// schema, attribute/constant types must be comparable.
+  static Result<QueryPtr> Select(QueryPtr child, Predicate pred);
+
+  /// pi_attrs(child); \p out_names optionally renames the output columns
+  /// (same length as attrs), empty keeps qualified names.
+  static Result<QueryPtr> Project(QueryPtr child, std::vector<std::string> attrs,
+                                  bool distinct, std::vector<std::string> out_names = {});
+
+  /// left x right; output attribute names must be disjoint.
+  static Result<QueryPtr> Product(QueryPtr left, QueryPtr right);
+
+  /// left U right; schemas must match positionally (names from left).
+  static Result<QueryPtr> Union(QueryPtr left, QueryPtr right);
+
+  /// left - right; schemas must match positionally (names from left).
+  static Result<QueryPtr> Difference(QueryPtr left, QueryPtr right);
+
+  /// gpBy(child, group_attrs, agg(agg_attr)); the aggregate output column
+  /// is named \p agg_output_name (defaults to "agg_attr" prefixed by the
+  /// function name). count accepts any attribute; other aggregates require
+  /// a numeric one.
+  static Result<QueryPtr> GroupBy(QueryPtr child, std::vector<std::string> group_attrs,
+                                  AggFunc agg, const std::string& agg_attr,
+                                  std::string agg_output_name = "");
+
+ private:
+  QueryNode() = default;
+
+  Kind kind_ = Kind::kRelation;
+  QueryPtr left_;
+  QueryPtr right_;
+  std::string relation_;
+  std::string alias_;
+  Predicate predicate_;
+  std::vector<std::string> project_attrs_;
+  bool distinct_ = true;
+  std::vector<std::string> group_attrs_;
+  AggFunc agg_ = AggFunc::kCount;
+  std::string agg_attr_;
+  RelationSchema output_schema_;
+};
+
+/// Needed relaxation (in distance units) for tuple \p t of \p schema to
+/// satisfy \p cmp: 0 when exactly satisfied, +inf when no finite relaxation
+/// helps (trivial-metric mismatch, failed <>). See Comparison::slack.
+double NeededRelaxation(const RelationSchema& schema, const Tuple& t, const Comparison& cmp);
+
+/// True iff NeededRelaxation(t) <= cmp.slack (exact evaluation at slack 0).
+bool EvalComparison(const RelationSchema& schema, const Tuple& t, const Comparison& cmp);
+
+/// True iff every comparison in \p pred passes.
+bool EvalPredicate(const RelationSchema& schema, const Tuple& t, const Predicate& pred);
+
+}  // namespace beas
+
+#endif  // BEAS_RA_AST_H_

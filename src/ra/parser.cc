@@ -1,0 +1,497 @@
+#include "ra/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace beas {
+
+namespace {
+
+enum class TokKind { kIdent, kNumber, kString, kSymbol, kEnd };
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;   // identifier (lower-cased keyword check), symbol, string body
+  double number = 0;
+  bool is_integer = false;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : in_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpace();
+      if (pos_ >= in_.size()) break;
+      char c = in_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        out.push_back(LexIdent());
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '-' && pos_ + 1 < in_.size() &&
+                  std::isdigit(static_cast<unsigned char>(in_[pos_ + 1])))) {
+        BEAS_ASSIGN_OR_RETURN(Token t, LexNumber());
+        out.push_back(std::move(t));
+      } else if (c == '\'') {
+        BEAS_ASSIGN_OR_RETURN(Token t, LexString());
+        out.push_back(std::move(t));
+      } else {
+        BEAS_ASSIGN_OR_RETURN(Token t, LexSymbol());
+        out.push_back(std::move(t));
+      }
+    }
+    out.push_back(Token{});  // kEnd
+    return out;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < in_.size() && std::isspace(static_cast<unsigned char>(in_[pos_]))) ++pos_;
+  }
+
+  Token LexIdent() {
+    size_t start = pos_;
+    while (pos_ < in_.size() &&
+           (std::isalnum(static_cast<unsigned char>(in_[pos_])) || in_[pos_] == '_')) {
+      ++pos_;
+    }
+    Token t;
+    t.kind = TokKind::kIdent;
+    t.text = in_.substr(start, pos_ - start);
+    return t;
+  }
+
+  Result<Token> LexNumber() {
+    size_t start = pos_;
+    if (in_[pos_] == '-') ++pos_;
+    bool has_dot = false;
+    while (pos_ < in_.size() &&
+           (std::isdigit(static_cast<unsigned char>(in_[pos_])) || in_[pos_] == '.')) {
+      if (in_[pos_] == '.') {
+        if (has_dot) return Status::InvalidArgument("malformed number");
+        has_dot = true;
+      }
+      ++pos_;
+    }
+    Token t;
+    t.kind = TokKind::kNumber;
+    t.text = in_.substr(start, pos_ - start);
+    try {
+      t.number = std::stod(t.text);
+    } catch (...) {
+      return Status::InvalidArgument(StrCat("malformed number '", t.text, "'"));
+    }
+    t.is_integer = !has_dot;
+    return t;
+  }
+
+  Result<Token> LexString() {
+    ++pos_;  // opening quote
+    std::string body;
+    while (pos_ < in_.size()) {
+      if (in_[pos_] == '\'') {
+        if (pos_ + 1 < in_.size() && in_[pos_ + 1] == '\'') {
+          body += '\'';
+          pos_ += 2;
+          continue;
+        }
+        ++pos_;
+        Token t;
+        t.kind = TokKind::kString;
+        t.text = std::move(body);
+        return t;
+      }
+      body += in_[pos_++];
+    }
+    return Status::InvalidArgument("unterminated string literal");
+  }
+
+  Result<Token> LexSymbol() {
+    static const char* kTwoChar[] = {"<=", ">=", "<>", "!="};
+    for (const char* s : kTwoChar) {
+      if (in_.compare(pos_, 2, s) == 0) {
+        Token t;
+        t.kind = TokKind::kSymbol;
+        t.text = (std::string(s) == "!=") ? "<>" : s;
+        pos_ += 2;
+        return t;
+      }
+    }
+    char c = in_[pos_];
+    if (std::string("=<>,().*").find(c) == std::string::npos) {
+      return Status::InvalidArgument(StrCat("unexpected character '", std::string(1, c), "'"));
+    }
+    ++pos_;
+    Token t;
+    t.kind = TokKind::kSymbol;
+    t.text = std::string(1, c);
+    return t;
+  }
+
+  const std::string& in_;
+  size_t pos_ = 0;
+};
+
+struct SelectItem {
+  bool is_aggregate = false;
+  AggFunc agg = AggFunc::kCount;
+  std::string attr;      // raw attribute text (possibly unqualified)
+  std::string out_name;  // AS name, may be empty
+};
+
+class Parser {
+ public:
+  Parser(const DatabaseSchema& db_schema, std::vector<Token> tokens)
+      : db_(db_schema), toks_(std::move(tokens)) {}
+
+  Result<QueryPtr> ParseQuery() {
+    BEAS_ASSIGN_OR_RETURN(QueryPtr q, ParseCore());
+    while (true) {
+      if (AcceptKeyword("union")) {
+        BEAS_ASSIGN_OR_RETURN(QueryPtr rhs, ParseCore());
+        BEAS_ASSIGN_OR_RETURN(q, QueryNode::Union(std::move(q), std::move(rhs)));
+      } else if (AcceptKeyword("except")) {
+        BEAS_ASSIGN_OR_RETURN(QueryPtr rhs, ParseCore());
+        BEAS_ASSIGN_OR_RETURN(q, QueryNode::Difference(std::move(q), std::move(rhs)));
+      } else {
+        break;
+      }
+    }
+    if (Peek().kind != TokKind::kEnd) {
+      return Status::InvalidArgument(StrCat("trailing input at '", Peek().text, "'"));
+    }
+    return q;
+  }
+
+ private:
+  const Token& Peek() const { return toks_[pos_]; }
+  const Token& Next() { return toks_[pos_++]; }
+
+  bool AcceptKeyword(const std::string& kw) {
+    if (Peek().kind == TokKind::kIdent && ToLower(Peek().text) == kw) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool AcceptSymbol(const std::string& sym) {
+    if (Peek().kind == TokKind::kSymbol && Peek().text == sym) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const std::string& kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::InvalidArgument(StrCat("expected '", kw, "', got '", Peek().text, "'"));
+    }
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(const std::string& sym) {
+    if (!AcceptSymbol(sym)) {
+      return Status::InvalidArgument(StrCat("expected '", sym, "', got '", Peek().text, "'"));
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != TokKind::kIdent) {
+      return Status::InvalidArgument(StrCat("expected identifier, got '", Peek().text, "'"));
+    }
+    return Next().text;
+  }
+
+  static std::optional<AggFunc> AggFromName(const std::string& name) {
+    std::string n = ToLower(name);
+    if (n == "min") return AggFunc::kMin;
+    if (n == "max") return AggFunc::kMax;
+    if (n == "sum") return AggFunc::kSum;
+    if (n == "count") return AggFunc::kCount;
+    if (n == "avg") return AggFunc::kAvg;
+    return std::nullopt;
+  }
+
+  // Parses "alias.column" or "column".
+  Result<std::string> ParseAttrRef() {
+    BEAS_ASSIGN_OR_RETURN(std::string first, ExpectIdent());
+    if (AcceptSymbol(".")) {
+      BEAS_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+      return StrCat(first, ".", col);
+    }
+    return first;
+  }
+
+  // Resolves a possibly-unqualified attribute against \p schema.
+  static Result<std::string> ResolveAttr(const RelationSchema& schema,
+                                         const std::string& raw) {
+    if (schema.FindAttribute(raw)) return raw;
+    // Unqualified: match by suffix ".raw"; must be unique.
+    std::string suffix = StrCat(".", raw);
+    std::string found;
+    for (const auto& a : schema.attributes()) {
+      if (a.name.size() > suffix.size() &&
+          a.name.compare(a.name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+        if (!found.empty()) {
+          return Status::InvalidArgument(StrCat("ambiguous attribute '", raw, "'"));
+        }
+        found = a.name;
+      }
+    }
+    if (found.empty()) {
+      return Status::NotFound(StrCat("unknown attribute '", raw, "'"));
+    }
+    return found;
+  }
+
+  Result<QueryPtr> ParseCore() {
+    BEAS_RETURN_IF_ERROR(ExpectKeyword("select"));
+    bool distinct = AcceptKeyword("distinct");
+
+    bool star = false;
+    std::vector<SelectItem> items;
+    if (AcceptSymbol("*")) {
+      star = true;
+    } else {
+      do {
+        BEAS_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+        items.push_back(std::move(item));
+      } while (AcceptSymbol(","));
+    }
+
+    BEAS_RETURN_IF_ERROR(ExpectKeyword("from"));
+    QueryPtr plan;
+    do {
+      BEAS_ASSIGN_OR_RETURN(std::string rel, ExpectIdent());
+      std::string alias = rel;
+      if (AcceptKeyword("as")) {
+        BEAS_ASSIGN_OR_RETURN(alias, ExpectIdent());
+      } else if (Peek().kind == TokKind::kIdent) {
+        std::string lower = ToLower(Peek().text);
+        if (lower != "where" && lower != "group" && lower != "union" && lower != "except") {
+          alias = Next().text;
+        }
+      }
+      BEAS_ASSIGN_OR_RETURN(QueryPtr leaf, QueryNode::Relation(db_, rel, alias));
+      if (plan) {
+        BEAS_ASSIGN_OR_RETURN(plan, QueryNode::Product(std::move(plan), std::move(leaf)));
+      } else {
+        plan = std::move(leaf);
+      }
+    } while (AcceptSymbol(","));
+
+    if (AcceptKeyword("where")) {
+      Predicate pred;
+      do {
+        BEAS_ASSIGN_OR_RETURN(Comparison cmp, ParseComparison(plan->output_schema()));
+        pred.push_back(std::move(cmp));
+      } while (AcceptKeyword("and"));
+      BEAS_ASSIGN_OR_RETURN(plan, QueryNode::Select(std::move(plan), std::move(pred)));
+    }
+
+    std::vector<std::string> group_attrs;
+    bool has_group_by = false;
+    if (AcceptKeyword("group")) {
+      BEAS_RETURN_IF_ERROR(ExpectKeyword("by"));
+      has_group_by = true;
+      do {
+        BEAS_ASSIGN_OR_RETURN(std::string raw, ParseAttrRef());
+        BEAS_ASSIGN_OR_RETURN(std::string attr, ResolveAttr(plan->output_schema(), raw));
+        group_attrs.push_back(std::move(attr));
+      } while (AcceptSymbol(","));
+    }
+
+    size_t num_aggs = 0;
+    for (const auto& it : items) num_aggs += it.is_aggregate ? 1 : 0;
+
+    if (num_aggs > 1) {
+      return Status::Unimplemented("at most one aggregate per SELECT is supported");
+    }
+    if (num_aggs == 1 || has_group_by) {
+      if (num_aggs != 1) {
+        return Status::InvalidArgument("GROUP BY requires an aggregate select item");
+      }
+      if (star) return Status::InvalidArgument("SELECT * cannot be combined with aggregates");
+      // Non-aggregate items must be exactly the group-by attributes.
+      std::vector<std::string> x_attrs;
+      std::string agg_attr;
+      AggFunc agg = AggFunc::kCount;
+      std::string agg_name;
+      for (const auto& it : items) {
+        if (it.is_aggregate) {
+          agg = it.agg;
+          BEAS_ASSIGN_OR_RETURN(agg_attr, ResolveAttr(plan->output_schema(), it.attr));
+          agg_name = it.out_name;
+        } else {
+          BEAS_ASSIGN_OR_RETURN(std::string attr, ResolveAttr(plan->output_schema(), it.attr));
+          x_attrs.push_back(std::move(attr));
+        }
+      }
+      if (!has_group_by && !x_attrs.empty()) {
+        return Status::InvalidArgument("non-aggregate select items require GROUP BY");
+      }
+      for (const auto& x : x_attrs) {
+        bool in_group = false;
+        for (const auto& g : group_attrs) in_group |= (g == x);
+        if (!in_group) {
+          return Status::InvalidArgument(
+              StrCat("select item '", x, "' not in GROUP BY"));
+        }
+      }
+      // Q' is the bag projection onto X and V (paper Section 3.2): grouping
+      // and aggregation happen over the bag of qualifying tuples. Any
+      // occurrence-weight columns ("*.__w", present when querying fetched
+      // representative data) ride along so weighted aggregation sees them.
+      std::vector<std::string> keep = group_attrs;
+      bool v_in_x = false;
+      for (const auto& g : group_attrs) v_in_x |= (g == agg_attr);
+      if (!v_in_x) keep.push_back(agg_attr);
+      for (const auto& attr : plan->output_schema().attributes()) {
+        const std::string& name = attr.name;
+        if (name.size() >= 4 && name.compare(name.size() - 4, 4, ".__w") == 0 &&
+            std::find(keep.begin(), keep.end(), name) == keep.end()) {
+          keep.push_back(name);
+        }
+      }
+      BEAS_ASSIGN_OR_RETURN(QueryPtr prime,
+                            QueryNode::Project(std::move(plan), keep, /*distinct=*/false));
+      return QueryNode::GroupBy(std::move(prime), group_attrs, agg, agg_attr, agg_name);
+    }
+
+    if (star) {
+      if (distinct) {
+        std::vector<std::string> all;
+        for (const auto& a : plan->output_schema().attributes()) all.push_back(a.name);
+        return QueryNode::Project(std::move(plan), all, /*distinct=*/true);
+      }
+      return plan;
+    }
+
+    std::vector<std::string> attrs;
+    std::vector<std::string> out_names;
+    bool any_rename = false;
+    for (const auto& it : items) {
+      BEAS_ASSIGN_OR_RETURN(std::string attr, ResolveAttr(plan->output_schema(), it.attr));
+      attrs.push_back(attr);
+      out_names.push_back(it.out_name.empty() ? attr : it.out_name);
+      any_rename |= !it.out_name.empty();
+    }
+    // RA queries are evaluated under set semantics (paper Section 3.1), so
+    // the projection deduplicates whether or not DISTINCT was written.
+    return QueryNode::Project(std::move(plan), std::move(attrs), /*distinct=*/true,
+                              any_rename ? std::move(out_names) : std::vector<std::string>{});
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    BEAS_ASSIGN_OR_RETURN(std::string first, ExpectIdent());
+    auto agg = AggFromName(first);
+    if (agg && Peek().kind == TokKind::kSymbol && Peek().text == "(") {
+      BEAS_RETURN_IF_ERROR(ExpectSymbol("("));
+      item.is_aggregate = true;
+      item.agg = *agg;
+      BEAS_ASSIGN_OR_RETURN(item.attr, ParseAttrRef());
+      BEAS_RETURN_IF_ERROR(ExpectSymbol(")"));
+    } else {
+      if (AcceptSymbol(".")) {
+        BEAS_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+        item.attr = StrCat(first, ".", col);
+      } else {
+        item.attr = first;
+      }
+    }
+    if (AcceptKeyword("as")) {
+      BEAS_ASSIGN_OR_RETURN(item.out_name, ExpectIdent());
+    }
+    return item;
+  }
+
+  Result<Comparison> ParseComparison(const RelationSchema& schema) {
+    BEAS_ASSIGN_OR_RETURN(Operand lhs, ParseOperand(schema));
+    if (Peek().kind != TokKind::kSymbol) {
+      return Status::InvalidArgument(StrCat("expected comparison op, got '", Peek().text, "'"));
+    }
+    std::string sym = Next().text;
+    CompareOp op;
+    if (sym == "=") {
+      op = CompareOp::kEq;
+    } else if (sym == "<>") {
+      op = CompareOp::kNe;
+    } else if (sym == "<") {
+      op = CompareOp::kLt;
+    } else if (sym == "<=") {
+      op = CompareOp::kLe;
+    } else if (sym == ">") {
+      op = CompareOp::kGt;
+    } else if (sym == ">=") {
+      op = CompareOp::kGe;
+    } else {
+      return Status::InvalidArgument(StrCat("unknown comparison op '", sym, "'"));
+    }
+    BEAS_ASSIGN_OR_RETURN(Operand rhs, ParseOperand(schema));
+    // Normalize const-op-attr to attr-op-const.
+    if (!lhs.is_attr && rhs.is_attr) {
+      std::swap(lhs, rhs);
+      switch (op) {
+        case CompareOp::kLt:
+          op = CompareOp::kGt;
+          break;
+        case CompareOp::kLe:
+          op = CompareOp::kGe;
+          break;
+        case CompareOp::kGt:
+          op = CompareOp::kLt;
+          break;
+        case CompareOp::kGe:
+          op = CompareOp::kLe;
+          break;
+        default:
+          break;
+      }
+    }
+    if (!lhs.is_attr) {
+      return Status::InvalidArgument("comparison must reference at least one attribute");
+    }
+    Comparison cmp;
+    cmp.lhs = std::move(lhs);
+    cmp.op = op;
+    cmp.rhs = std::move(rhs);
+    return cmp;
+  }
+
+  Result<Operand> ParseOperand(const RelationSchema& schema) {
+    if (Peek().kind == TokKind::kNumber) {
+      Token t = Next();
+      if (t.is_integer) return Operand::Const(Value(static_cast<int64_t>(t.number)));
+      return Operand::Const(Value(t.number));
+    }
+    if (Peek().kind == TokKind::kString) {
+      return Operand::Const(Value(Next().text));
+    }
+    BEAS_ASSIGN_OR_RETURN(std::string raw, ParseAttrRef());
+    BEAS_ASSIGN_OR_RETURN(std::string attr, ResolveAttr(schema, raw));
+    return Operand::Attr(std::move(attr));
+  }
+
+  const DatabaseSchema& db_;
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<QueryPtr> ParseSql(const DatabaseSchema& db_schema, const std::string& sql) {
+  Lexer lexer(sql);
+  BEAS_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(db_schema, std::move(tokens));
+  return parser.ParseQuery();
+}
+
+}  // namespace beas

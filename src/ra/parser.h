@@ -1,0 +1,30 @@
+// A SQL parser for the fragment BEAS answers (paper Sections 1-3):
+//
+//   query   := core ( (UNION | EXCEPT) core )*          -- left associative
+//   core    := SELECT [DISTINCT] items FROM tables [WHERE conj] [GROUP BY attrs]
+//   items   := item (',' item)*
+//   item    := attr [AS name] | AGG '(' attr ')' [AS name]
+//   tables  := rel [AS] alias (',' rel [AS] alias)*
+//   conj    := cmp (AND cmp)*
+//   cmp     := operand op operand        op in { = <> < <= > >= }
+//   operand := attr | number | 'string'
+//   attr    := alias '.' column | column  (unqualified must be unambiguous)
+//
+// A core with aggregates must have exactly one aggregate item and all other
+// items listed in GROUP BY, matching the RA_aggr form gpBy(Q', X, agg(V)).
+
+#ifndef BEAS_RA_PARSER_H_
+#define BEAS_RA_PARSER_H_
+
+#include <string>
+
+#include "ra/ast.h"
+
+namespace beas {
+
+/// Parses \p sql against \p db_schema into a bound RA_aggr query tree.
+Result<QueryPtr> ParseSql(const DatabaseSchema& db_schema, const std::string& sql);
+
+}  // namespace beas
+
+#endif  // BEAS_RA_PARSER_H_

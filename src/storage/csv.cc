@@ -1,0 +1,131 @@
+#include "storage/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace beas {
+
+namespace {
+
+std::string EscapeCsv(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+// Splits one CSV record honoring quotes. Assumes records do not span lines.
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"' && i + 1 < line.size() && line[i + 1] == '"') {
+        cur += '"';
+        ++i;
+      } else if (c == '"') {
+        quoted = false;
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+Result<Value> ParseCell(const std::string& cell, DataType type) {
+  if (cell == "NULL") return Value();
+  switch (type) {
+    case DataType::kInt64: {
+      try {
+        return Value(static_cast<int64_t>(std::stoll(cell)));
+      } catch (...) {
+        return Status::InvalidArgument(StrCat("bad int64 cell '", cell, "'"));
+      }
+    }
+    case DataType::kDouble: {
+      try {
+        return Value(std::stod(cell));
+      } catch (...) {
+        return Status::InvalidArgument(StrCat("bad double cell '", cell, "'"));
+      }
+    }
+    case DataType::kString:
+      return Value(cell);
+    case DataType::kNull:
+      return Value();
+  }
+  return Status::InvalidArgument("unknown data type");
+}
+
+}  // namespace
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument(StrCat("cannot open '", path, "' for writing"));
+  out << Join(table.schema().AttributeNames(), ",") << "\n";
+  for (const auto& row : table.rows()) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ",";
+      out << EscapeCsv(row[i].ToString());
+    }
+    out << "\n";
+  }
+  return Status::OK();
+}
+
+Result<Table> ReadCsv(const RelationSchema& schema, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound(StrCat("cannot open '", path, "'"));
+  std::string line;
+  if (!std::getline(in, line)) return Status::InvalidArgument("empty CSV file");
+  std::vector<std::string> header = SplitCsvLine(line);
+  // Map schema attribute -> column index in the file.
+  std::vector<size_t> col_of_attr(schema.arity());
+  for (size_t a = 0; a < schema.arity(); ++a) {
+    bool found = false;
+    for (size_t c = 0; c < header.size(); ++c) {
+      if (header[c] == schema.attribute(a).name) {
+        col_of_attr[a] = c;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument(
+          StrCat("CSV missing column '", schema.attribute(a).name, "'"));
+    }
+  }
+  Table table(schema);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> cells = SplitCsvLine(line);
+    Tuple t(schema.arity());
+    for (size_t a = 0; a < schema.arity(); ++a) {
+      if (col_of_attr[a] >= cells.size()) {
+        return Status::InvalidArgument("CSV row with too few cells");
+      }
+      BEAS_ASSIGN_OR_RETURN(t[a], ParseCell(cells[col_of_attr[a]], schema.attribute(a).type));
+    }
+    table.AppendUnchecked(std::move(t));
+  }
+  return table;
+}
+
+}  // namespace beas

@@ -1,0 +1,23 @@
+// Minimal CSV import/export for tables (used by examples and tooling).
+
+#ifndef BEAS_STORAGE_CSV_H_
+#define BEAS_STORAGE_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace beas {
+
+/// Writes \p table to \p path as CSV with a header row. Strings containing
+/// commas/quotes/newlines are quoted.
+Status WriteCsv(const Table& table, const std::string& path);
+
+/// Reads a CSV file with a header into a table under \p schema: columns are
+/// matched by header name, cells parsed per the attribute's DataType.
+Result<Table> ReadCsv(const RelationSchema& schema, const std::string& path);
+
+}  // namespace beas
+
+#endif  // BEAS_STORAGE_CSV_H_

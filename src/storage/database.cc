@@ -1,0 +1,47 @@
+#include "storage/database.h"
+
+#include "common/string_util.h"
+
+namespace beas {
+
+Status Database::AddTable(Table table) {
+  std::string name = table.schema().name();
+  if (tables_.count(name) > 0) {
+    return Status::InvalidArgument(StrCat("duplicate table '", name, "'"));
+  }
+  tables_.emplace(std::move(name), std::move(table));
+  return Status::OK();
+}
+
+Result<const Table*> Database::FindTable(const std::string& relation_name) const {
+  auto it = tables_.find(relation_name);
+  if (it == tables_.end()) {
+    return Status::NotFound(StrCat("table '", relation_name, "' not in database"));
+  }
+  return &it->second;
+}
+
+Result<Table*> Database::FindMutableTable(const std::string& relation_name) {
+  auto it = tables_.find(relation_name);
+  if (it == tables_.end()) {
+    return Status::NotFound(StrCat("table '", relation_name, "' not in database"));
+  }
+  return &it->second;
+}
+
+size_t Database::TotalTuples() const {
+  size_t n = 0;
+  for (const auto& [name, table] : tables_) n += table.size();
+  return n;
+}
+
+DatabaseSchema Database::Schema() const {
+  DatabaseSchema schema;
+  for (const auto& [name, table] : tables_) {
+    // Names are unique by construction, so AddRelation cannot fail.
+    (void)schema.AddRelation(table.schema());
+  }
+  return schema;
+}
+
+}  // namespace beas

@@ -1,0 +1,44 @@
+// Database: a catalog of named tables (an instance D of a schema R).
+
+#ifndef BEAS_STORAGE_DATABASE_H_
+#define BEAS_STORAGE_DATABASE_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "storage/table.h"
+#include "types/schema.h"
+
+namespace beas {
+
+/// \brief An instance D of a database schema R: one Table per relation.
+class Database {
+ public:
+  Database() = default;
+
+  /// Adds a table; fails on duplicate relation names.
+  Status AddTable(Table table);
+
+  /// Looks up the table for \p relation_name.
+  Result<const Table*> FindTable(const std::string& relation_name) const;
+
+  /// Mutable lookup (for loaders and incremental maintenance).
+  Result<Table*> FindMutableTable(const std::string& relation_name);
+
+  /// |D|: the total number of tuples across all relations, the quantity
+  /// the resource ratio alpha multiplies (paper Section 1).
+  size_t TotalTuples() const;
+
+  /// The database schema induced by the stored tables.
+  DatabaseSchema Schema() const;
+
+  const std::map<std::string, Table>& tables() const { return tables_; }
+
+ private:
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_STORAGE_DATABASE_H_

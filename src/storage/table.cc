@@ -1,0 +1,62 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace beas {
+
+Status Table::Append(Tuple t) {
+  if (t.size() != schema_.arity()) {
+    return Status::InvalidArgument(
+        StrCat("tuple arity ", t.size(), " does not match schema '", schema_.name(),
+               "' arity ", schema_.arity()));
+  }
+  rows_.push_back(std::move(t));
+  return Status::OK();
+}
+
+Status Table::SetSchema(RelationSchema schema) {
+  if (schema.arity() != schema_.arity()) {
+    return Status::InvalidArgument("SetSchema: arity mismatch");
+  }
+  schema_ = std::move(schema);
+  return Status::OK();
+}
+
+void Table::Distinct() {
+  std::unordered_set<Tuple, TupleHasher> seen;
+  std::vector<Tuple> out;
+  out.reserve(rows_.size());
+  for (auto& r : rows_) {
+    if (seen.insert(r).second) out.push_back(std::move(r));
+  }
+  rows_ = std::move(out);
+}
+
+void Table::SortRows() {
+  std::sort(rows_.begin(), rows_.end(),
+            [](const Tuple& a, const Tuple& b) {
+              return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+            });
+}
+
+bool Table::Contains(const Tuple& t) const {
+  for (const auto& r : rows_) {
+    if (r == t) return true;
+  }
+  return false;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::string out = schema_.ToString();
+  out += StrCat("  [", rows_.size(), " rows]\n");
+  for (size_t i = 0; i < rows_.size() && i < max_rows; ++i) {
+    out += "  " + TupleToString(rows_[i]) + "\n";
+  }
+  if (rows_.size() > max_rows) out += StrCat("  ... (", rows_.size() - max_rows, " more)\n");
+  return out;
+}
+
+}  // namespace beas

@@ -1,0 +1,62 @@
+// In-memory table: a bag of tuples with a RelationSchema.
+
+#ifndef BEAS_STORAGE_TABLE_H_
+#define BEAS_STORAGE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace beas {
+
+/// \brief A bag (multiset) of tuples under a fixed schema.
+///
+/// Base relations and intermediate results are both Tables. RA set
+/// semantics (paper Section 3.1) is applied by the engine via Distinct().
+class Table {
+ public:
+  Table() = default;
+  explicit Table(RelationSchema schema) : schema_(std::move(schema)) {}
+
+  const RelationSchema& schema() const { return schema_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  const std::vector<Tuple>& rows() const { return rows_; }
+  const Tuple& row(size_t i) const { return rows_[i]; }
+
+  /// Appends a tuple; fails if the arity does not match the schema.
+  Status Append(Tuple t);
+
+  /// Appends without arity checking (hot path for generators/engine).
+  void AppendUnchecked(Tuple t) { rows_.push_back(std::move(t)); }
+
+  /// Reserves capacity for \p n rows.
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+  /// Replaces the schema (same arity required): used by offline passes
+  /// that retune attribute distance functions after data generation.
+  Status SetSchema(RelationSchema schema);
+
+  /// Removes duplicate rows (set semantics), preserving first occurrence.
+  void Distinct();
+
+  /// Sorts rows lexicographically (for deterministic output and tests).
+  void SortRows();
+
+  /// True iff \p t occurs in the table.
+  bool Contains(const Tuple& t) const;
+
+  /// Renders up to \p max_rows rows as an aligned text table.
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  RelationSchema schema_;
+  std::vector<Tuple> rows_;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_STORAGE_TABLE_H_

@@ -1,0 +1,17 @@
+#include "types/distance.h"
+
+#include <cmath>
+
+namespace beas {
+
+double AttributeDistance(const DistanceSpec& spec, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) {
+    return (a.is_null() && b.is_null()) ? 0.0 : kInfDistance;
+  }
+  if (spec.kind == DistanceKind::kNumeric && a.is_numeric() && b.is_numeric()) {
+    return std::abs(a.numeric() - b.numeric()) * spec.scale;
+  }
+  return a == b ? 0.0 : kInfDistance;
+}
+
+}  // namespace beas

@@ -1,0 +1,51 @@
+// Per-attribute distance functions (paper Section 2.1).
+//
+// Each attribute A carries a distance dis_A satisfying the triangle
+// inequality. The paper's default is the trivial distance (0 if equal,
+// +inf otherwise), used for identifiers and categorical codes; numeric
+// measures use |x - y|, optionally scaled to commensurate units.
+
+#ifndef BEAS_TYPES_DISTANCE_H_
+#define BEAS_TYPES_DISTANCE_H_
+
+#include <limits>
+
+#include "types/value.h"
+
+namespace beas {
+
+/// Positive infinity, the distance between unequal trivial-metric values.
+inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
+
+/// Families of attribute distance functions.
+enum class DistanceKind {
+  /// dis(x, y) = 0 if x == y else +inf (paper default; IDs, categoricals).
+  kTrivial = 0,
+  /// dis(x, y) = |x - y| * scale (numeric measures such as price, delay).
+  kNumeric = 1,
+};
+
+/// \brief Distance function attached to an attribute.
+///
+/// `scale` rescales numeric distances so that resolutions from different
+/// attributes are comparable inside the RC measure (e.g. dollars vs days).
+struct DistanceSpec {
+  DistanceKind kind = DistanceKind::kTrivial;
+  double scale = 1.0;
+
+  /// Convenience factory for the trivial metric.
+  static DistanceSpec Trivial() { return DistanceSpec{DistanceKind::kTrivial, 1.0}; }
+  /// Convenience factory for |x-y| * scale.
+  static DistanceSpec Numeric(double scale = 1.0) {
+    return DistanceSpec{DistanceKind::kNumeric, scale};
+  }
+};
+
+/// Computes dis_A(a, b) under \p spec. Nulls are at distance 0 from nulls
+/// and +inf from everything else. Non-numeric values under a numeric spec
+/// fall back to the trivial metric (strings in a numeric column).
+double AttributeDistance(const DistanceSpec& spec, const Value& a, const Value& b);
+
+}  // namespace beas
+
+#endif  // BEAS_TYPES_DISTANCE_H_

@@ -1,0 +1,56 @@
+#include "types/schema.h"
+
+#include "common/string_util.h"
+
+namespace beas {
+
+std::optional<size_t> RelationSchema::FindAttribute(const std::string& attr_name) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name == attr_name) return i;
+  }
+  return std::nullopt;
+}
+
+Result<size_t> RelationSchema::AttributeIndex(const std::string& attr_name) const {
+  auto idx = FindAttribute(attr_name);
+  if (!idx) {
+    return Status::NotFound(
+        StrCat("attribute '", attr_name, "' not in relation '", name_, "'"));
+  }
+  return *idx;
+}
+
+std::vector<std::string> RelationSchema::AttributeNames() const {
+  std::vector<std::string> names;
+  names.reserve(attrs_.size());
+  for (const auto& a : attrs_) names.push_back(a.name);
+  return names;
+}
+
+std::string RelationSchema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(attrs_.size());
+  for (const auto& a : attrs_) {
+    parts.push_back(StrCat(a.name, ":", DataTypeToString(a.type)));
+  }
+  return StrCat(name_, "(", Join(parts, ", "), ")");
+}
+
+Status DatabaseSchema::AddRelation(RelationSchema schema) {
+  for (const auto& r : relations_) {
+    if (r.name() == schema.name()) {
+      return Status::InvalidArgument(StrCat("duplicate relation '", schema.name(), "'"));
+    }
+  }
+  relations_.push_back(std::move(schema));
+  return Status::OK();
+}
+
+Result<const RelationSchema*> DatabaseSchema::FindRelation(const std::string& name) const {
+  for (const auto& r : relations_) {
+    if (r.name() == name) return &r;
+  }
+  return Status::NotFound(StrCat("relation '", name, "' not in schema"));
+}
+
+}  // namespace beas

@@ -1,0 +1,76 @@
+// Relation and database schemas.
+
+#ifndef BEAS_TYPES_SCHEMA_H_
+#define BEAS_TYPES_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/distance.h"
+#include "types/value.h"
+
+namespace beas {
+
+/// \brief An attribute: name, domain, and its distance function.
+struct AttributeDef {
+  std::string name;
+  DataType type = DataType::kInt64;
+  DistanceSpec distance = DistanceSpec::Trivial();
+
+  AttributeDef() = default;
+  AttributeDef(std::string n, DataType t,
+               DistanceSpec d = DistanceSpec::Trivial())
+      : name(std::move(n)), type(t), distance(d) {}
+};
+
+/// \brief Schema of one relation: an ordered list of attributes.
+class RelationSchema {
+ public:
+  RelationSchema() = default;
+  RelationSchema(std::string name, std::vector<AttributeDef> attrs)
+      : name_(std::move(name)), attrs_(std::move(attrs)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<AttributeDef>& attributes() const { return attrs_; }
+  size_t arity() const { return attrs_.size(); }
+  const AttributeDef& attribute(size_t i) const { return attrs_[i]; }
+
+  /// Index of attribute \p attr_name, or nullopt.
+  std::optional<size_t> FindAttribute(const std::string& attr_name) const;
+
+  /// Index of attribute \p attr_name, or NotFound.
+  Result<size_t> AttributeIndex(const std::string& attr_name) const;
+
+  /// Names of all attributes, in order.
+  std::vector<std::string> AttributeNames() const;
+
+  /// Human-readable "name(attr:type, ...)".
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<AttributeDef> attrs_;
+};
+
+/// \brief Schema of a database: a collection of relation schemas.
+class DatabaseSchema {
+ public:
+  DatabaseSchema() = default;
+
+  /// Adds a relation schema; fails on duplicate relation names.
+  Status AddRelation(RelationSchema schema);
+
+  /// Looks up a relation schema by name.
+  Result<const RelationSchema*> FindRelation(const std::string& name) const;
+
+  const std::vector<RelationSchema>& relations() const { return relations_; }
+
+ private:
+  std::vector<RelationSchema> relations_;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_TYPES_SCHEMA_H_

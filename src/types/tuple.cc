@@ -1,0 +1,46 @@
+#include "types/tuple.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/string_util.h"
+#include "types/distance.h"
+
+namespace beas {
+
+double TupleDistance(const RelationSchema& schema, const Tuple& a, const Tuple& b) {
+  assert(a.size() == schema.arity() && b.size() == schema.arity());
+  double worst = 0;
+  for (size_t i = 0; i < schema.arity(); ++i) {
+    worst = std::max(worst, AttributeDistance(schema.attribute(i).distance, a[i], b[i]));
+    if (worst == kInfDistance) return worst;
+  }
+  return worst;
+}
+
+double TupleDistanceOn(const RelationSchema& schema, const std::vector<size_t>& attrs,
+                       const Tuple& a, const Tuple& b) {
+  double worst = 0;
+  for (size_t i : attrs) {
+    worst = std::max(worst, AttributeDistance(schema.attribute(i).distance, a[i], b[i]));
+    if (worst == kInfDistance) return worst;
+  }
+  return worst;
+}
+
+size_t TupleHash(const Tuple& t) {
+  size_t h = 0x84222325cbf29ce4ULL;
+  for (const auto& v : t) {
+    h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::string TupleToString(const Tuple& t) {
+  std::vector<std::string> parts;
+  parts.reserve(t.size());
+  for (const auto& v : t) parts.push_back(v.ToString());
+  return StrCat("(", Join(parts, ", "), ")");
+}
+
+}  // namespace beas

@@ -1,0 +1,39 @@
+// Tuples and tuple-level distance (paper Section 3.1).
+
+#ifndef BEAS_TYPES_TUPLE_H_
+#define BEAS_TYPES_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace beas {
+
+/// A tuple is an ordered list of values matching some RelationSchema.
+using Tuple = std::vector<Value>;
+
+/// d(t, t') = max_A dis_A(t[A], t'[A]) over the schema's attributes
+/// (the "worst of attribute differences" of Section 3.1). Tuples must have
+/// the schema's arity.
+double TupleDistance(const RelationSchema& schema, const Tuple& a, const Tuple& b);
+
+/// Like TupleDistance but restricted to the attribute indices in \p attrs.
+double TupleDistanceOn(const RelationSchema& schema, const std::vector<size_t>& attrs,
+                       const Tuple& a, const Tuple& b);
+
+/// Hash of a tuple consistent with element-wise Value equality.
+size_t TupleHash(const Tuple& t);
+
+/// Renders "(v1, v2, ...)".
+std::string TupleToString(const Tuple& t);
+
+/// Hash functor for containers keyed by Tuple.
+struct TupleHasher {
+  size_t operator()(const Tuple& t) const { return TupleHash(t); }
+};
+
+}  // namespace beas
+
+#endif  // BEAS_TYPES_TUPLE_H_

@@ -1,0 +1,83 @@
+#include "types/value.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace beas {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return "null";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+DataType Value::type() const {
+  if (std::holds_alternative<std::monostate>(repr_)) return DataType::kNull;
+  if (std::holds_alternative<int64_t>(repr_)) return DataType::kInt64;
+  if (std::holds_alternative<double>(repr_)) return DataType::kDouble;
+  return DataType::kString;
+}
+
+double Value::numeric() const {
+  if (std::holds_alternative<int64_t>(repr_)) {
+    return static_cast<double>(std::get<int64_t>(repr_));
+  }
+  assert(std::holds_alternative<double>(repr_));
+  return std::get<double>(repr_);
+}
+
+bool Value::operator==(const Value& other) const {
+  if (is_null() || other.is_null()) return is_null() && other.is_null();
+  if (is_numeric() && other.is_numeric()) return numeric() == other.numeric();
+  if (is_string() && other.is_string()) return as_string() == other.as_string();
+  return false;
+}
+
+bool Value::operator<(const Value& other) const {
+  // Rank: null < numeric < string; within numeric compare by value.
+  auto rank = [](const Value& v) { return v.is_null() ? 0 : (v.is_numeric() ? 1 : 2); };
+  int lr = rank(*this), rr = rank(other);
+  if (lr != rr) return lr < rr;
+  if (lr == 0) return false;
+  if (lr == 1) return numeric() < other.numeric();
+  return as_string() < other.as_string();
+}
+
+size_t Value::Hash() const {
+  if (is_null()) return 0x9e3779b97f4a7c15ULL;
+  if (is_numeric()) {
+    double d = numeric();
+    // Hash integral doubles as the integer so 1 and 1.0 collide.
+    if (d == std::floor(d) && std::abs(d) < 9.0e18) {
+      return std::hash<int64_t>()(static_cast<int64_t>(d));
+    }
+    return std::hash<double>()(d);
+  }
+  return std::hash<std::string>()(as_string());
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kInt64:
+      return std::to_string(as_int64());
+    case DataType::kDouble:
+      return FormatDouble(as_double());
+    case DataType::kString:
+      return as_string();
+  }
+  return "?";
+}
+
+}  // namespace beas

@@ -1,0 +1,91 @@
+// Value: the dynamically-typed cell type of the BEAS relational substrate.
+
+#ifndef BEAS_TYPES_VALUE_H_
+#define BEAS_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <variant>
+
+namespace beas {
+
+/// Attribute domains supported by the engine.
+enum class DataType {
+  kNull = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+/// Returns "null" / "int64" / "double" / "string".
+const char* DataTypeToString(DataType type);
+
+/// \brief A single attribute value: null, 64-bit integer, double or string.
+///
+/// Values order and hash across numeric types by numeric value (1 == 1.0),
+/// matching SQL comparison semantics; strings compare lexicographically and
+/// never equal numerics.
+class Value {
+ public:
+  /// Constructs a NULL value.
+  Value() : repr_(std::monostate{}) {}
+  /// Constructs an integer value.
+  Value(int64_t v) : repr_(v) {}  // NOLINT(runtime/explicit)
+  /// Constructs an integer value from int (convenience for literals).
+  Value(int v) : repr_(static_cast<int64_t>(v)) {}  // NOLINT
+  /// Constructs a double value.
+  Value(double v) : repr_(v) {}  // NOLINT
+  /// Constructs a string value.
+  Value(std::string v) : repr_(std::move(v)) {}  // NOLINT
+  /// Constructs a string value from a C string literal.
+  Value(const char* v) : repr_(std::string(v)) {}  // NOLINT
+
+  /// The dynamic type of this value.
+  DataType type() const;
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(repr_); }
+  bool is_numeric() const {
+    return std::holds_alternative<int64_t>(repr_) || std::holds_alternative<double>(repr_);
+  }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+
+  /// The integer payload; must hold kInt64.
+  int64_t as_int64() const { return std::get<int64_t>(repr_); }
+  /// The double payload; must hold kDouble.
+  double as_double() const { return std::get<double>(repr_); }
+  /// The string payload; must hold kString.
+  const std::string& as_string() const { return std::get<std::string>(repr_); }
+
+  /// Numeric view of an int64 or double value (asserts otherwise).
+  double numeric() const;
+
+  /// SQL-style equality: numerics compare by value across int/double.
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  /// Total order used for sorting and set semantics: null < numerics < strings.
+  bool operator<(const Value& other) const;
+
+  /// Hash consistent with operator== (ints and equal doubles collide).
+  size_t Hash() const;
+
+  /// Renders the value for debugging and CSV output.
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> repr_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+/// Hash functor for containers keyed by Value.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace beas
+
+#endif  // BEAS_TYPES_VALUE_H_

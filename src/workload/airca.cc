@@ -1,0 +1,176 @@
+#include "workload/airca.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "workload/normalize.h"
+#include "common/string_util.h"
+
+namespace beas {
+
+namespace {
+DistanceSpec Triv() { return DistanceSpec::Trivial(); }
+DistanceSpec Num(double scale = 1.0) { return DistanceSpec::Numeric(scale); }
+}  // namespace
+
+Dataset MakeAirca(int64_t n_flights, uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds;
+  ds.name = "AIRCA";
+
+  int64_t n_carriers = 18;
+  int64_t n_airports = std::max<int64_t>(20, n_flights / 400);
+  int64_t n_years = 6;
+
+  // carriers(carrier_id, name, lcc)
+  {
+    Table t(RelationSchema("carriers", {{"carrier_id", DataType::kInt64, Triv()},
+                                        {"carrier_name", DataType::kString, Triv()},
+                                        {"lcc", DataType::kInt64, Triv()}}));
+    for (int64_t c = 0; c < n_carriers; ++c) {
+      t.AppendUnchecked(
+          {Value(c), Value(StrCat("Carrier_", rng.String(5))), Value(rng.Uniform(0, 1))});
+    }
+    (void)ds.db.AddTable(std::move(t));
+  }
+  // airports(airport_id, state, lat, lon)
+  std::vector<std::pair<double, double>> coords;
+  {
+    Table t(RelationSchema("airports", {{"airport_id", DataType::kInt64, Triv()},
+                                        {"state", DataType::kInt64, Triv()},
+                                        {"lat", DataType::kDouble, Num()},
+                                        {"lon", DataType::kDouble, Num()}}));
+    for (int64_t a = 0; a < n_airports; ++a) {
+      double lat = rng.UniformReal(25, 49);
+      double lon = rng.UniformReal(-124, -67);
+      coords.emplace_back(lat, lon);
+      t.AppendUnchecked({Value(a), Value(rng.Uniform(0, 49)), Value(lat), Value(lon)});
+    }
+    (void)ds.db.AddTable(std::move(t));
+  }
+  // routes(route_id, origin, dest, distance): at most 6 routes per origin.
+  int64_t n_routes = n_airports * 4;
+  {
+    Table t(RelationSchema("routes", {{"route_id", DataType::kInt64, Triv()},
+                                      {"origin", DataType::kInt64, Triv()},
+                                      {"dest", DataType::kInt64, Triv()},
+                                      {"distance", DataType::kDouble, Num()}}));
+    for (int64_t r = 0; r < n_routes; ++r) {
+      int64_t origin = r % n_airports;
+      int64_t dest = rng.Uniform(0, n_airports - 1);
+      if (dest == origin) dest = (dest + 1) % n_airports;
+      auto [lat1, lon1] = coords[static_cast<size_t>(origin)];
+      auto [lat2, lon2] = coords[static_cast<size_t>(dest)];
+      double dist = 69.0 * std::hypot(lat1 - lat2, (lon1 - lon2) * 0.8);
+      t.AppendUnchecked({Value(r), Value(origin), Value(dest), Value(std::round(dist))});
+    }
+    (void)ds.db.AddTable(std::move(t));
+  }
+  // flights(flight_id, carrier_id, route_id, year, month, dep_delay,
+  //         arr_delay, cancelled)
+  {
+    Table t(RelationSchema("flights", {{"flight_id", DataType::kInt64, Triv()},
+                                       {"carrier_id", DataType::kInt64, Triv()},
+                                       {"route_id", DataType::kInt64, Triv()},
+                                       {"year", DataType::kInt64, Num()},
+                                       {"month", DataType::kInt64, Num()},
+                                       {"dep_delay", DataType::kDouble, Num()},
+                                       {"arr_delay", DataType::kDouble, Num()},
+                                       {"cancelled", DataType::kInt64, Triv()}}));
+    for (int64_t f = 0; f < n_flights; ++f) {
+      int64_t carrier = rng.Zipf(n_carriers, 1.1) - 1;  // big carriers dominate
+      int64_t route = rng.Zipf(n_routes, 1.05) - 1;     // hub routes dominate
+      // Delays: mostly small, heavy right tail (lognormal-ish).
+      double dep = std::round(std::exp(rng.Normal(2.0, 1.1)) - 8.0);
+      double arr = std::round(dep + rng.Normal(0, 12));
+      bool cancelled = rng.Bernoulli(0.015);
+      t.AppendUnchecked({Value(f), Value(carrier), Value(route),
+                         Value(2009 + rng.Uniform(0, n_years - 1)), Value(rng.Uniform(1, 12)),
+                         Value(dep), Value(arr), Value(static_cast<int64_t>(cancelled))});
+    }
+    (void)ds.db.AddTable(std::move(t));
+  }
+  // carrier_stats(carrier_id, year, month, passengers, freight)
+  {
+    Table t(RelationSchema("carrier_stats", {{"carrier_id", DataType::kInt64, Triv()},
+                                             {"year", DataType::kInt64, Num()},
+                                             {"month", DataType::kInt64, Num()},
+                                             {"passengers", DataType::kDouble, Num()},
+                                             {"freight", DataType::kDouble, Num()}}));
+    for (int64_t c = 0; c < n_carriers; ++c) {
+      double scale = rng.UniformReal(0.3, 3.0);
+      for (int64_t y = 0; y < n_years; ++y) {
+        for (int64_t m = 1; m <= 12; ++m) {
+          t.AppendUnchecked({Value(c), Value(2009 + y), Value(m),
+                             Value(std::round(scale * rng.UniformReal(50000, 900000))),
+                             Value(std::round(scale * rng.UniformReal(1000, 90000)))});
+        }
+      }
+    }
+    (void)ds.db.AddTable(std::move(t));
+  }
+
+  ds.constraints = {
+      {"carriers", {"carrier_id"}, {"carrier_name", "lcc"}, 1},
+      {"airports", {"airport_id"}, {"state", "lat", "lon"}, 1},
+      {"routes", {"route_id"}, {"origin", "dest", "distance"}, 1},
+      {"routes", {"origin"}, {"route_id", "dest", "distance"}, 6},
+      {"carrier_stats",
+       {"carrier_id", "year", "month"},
+       {"passengers", "freight"},
+       1},
+      {"carrier_stats", {"carrier_id", "year"}, {"month", "passengers", "freight"}, 12},
+      {"flights", {"flight_id"},
+       {"carrier_id", "route_id", "year", "month", "dep_delay", "arr_delay", "cancelled"},
+       1},
+  };
+
+  ds.spec.joins = {
+      {"flights", "carrier_id", "carriers", "carrier_id"},
+      {"flights", "route_id", "routes", "route_id"},
+      {"routes", "origin", "airports", "airport_id"},
+      {"carrier_stats", "carrier_id", "carriers", "carrier_id"},
+  };
+  ds.spec.filters = {
+      {"flights", "year", false},        {"flights", "month", false},
+      {"flights", "dep_delay", false},   {"flights", "arr_delay", false},
+      {"flights", "cancelled", true},    {"routes", "distance", false},
+      {"airports", "state", true},       {"carriers", "lcc", true},
+      {"carrier_stats", "year", false},  {"carrier_stats", "passengers", false},
+  };
+  ds.spec.group_attrs = {
+      {"flights", "year", true},
+      {"flights", "month", true},
+      {"carriers", "lcc", true},
+      {"airports", "state", true},
+  };
+  ds.spec.agg_attrs = {
+      {"flights", "dep_delay", false},
+      {"flights", "arr_delay", false},
+      {"routes", "distance", false},
+      {"carrier_stats", "passengers", false},
+      {"carrier_stats", "freight", false},
+  };
+  ds.spec.output_prefs = {"flights.dep_delay", "flights.arr_delay", "flights.year",
+                          "routes.distance", "carrier_stats.passengers",
+                          "airports.lat", "airports.lon"};
+
+  ds.spec.point_keys = {
+      {"carriers", "carrier_id", true},
+      {"airports", "airport_id", true},
+      {"routes", "route_id", true},
+      {"routes", "origin", true},
+      {"flights", "flight_id", true},
+      {"carrier_stats", "carrier_id", true},
+  };
+  ds.qcs = {
+      {"flights", {"year", "month"}},
+      {"flights", {"cancelled"}},
+      {"carriers", {"lcc"}},
+  };
+  NormalizeNumericDistances(&ds.db);
+  return ds;
+}
+
+}  // namespace beas

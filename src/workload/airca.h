@@ -1,0 +1,21 @@
+// Synthetic stand-in for the paper's AIRCA dataset (US flight on-time
+// performance [1] + carrier statistics [2], Section 8). The real data is
+// not redistributable here; this generator reproduces the schema shape
+// the experiments need: multi-table key/FK joins, numeric delay/distance
+// measures with realistic skew, and monthly carrier statistics. See
+// DESIGN.md ("substitutions").
+
+#ifndef BEAS_WORKLOAD_AIRCA_H_
+#define BEAS_WORKLOAD_AIRCA_H_
+
+#include "workload/workload.h"
+
+namespace beas {
+
+/// Generates the AIRCA stand-in with roughly \p n_flights flight rows
+/// (plus carriers, airports, routes and carrier_stats dimension tables).
+Dataset MakeAirca(int64_t n_flights, uint64_t seed);
+
+}  // namespace beas
+
+#endif  // BEAS_WORKLOAD_AIRCA_H_

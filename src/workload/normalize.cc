@@ -1,0 +1,30 @@
+#include "workload/normalize.h"
+
+#include <vector>
+
+namespace beas {
+
+void NormalizeNumericDistances(Database* db) {
+  std::vector<std::string> names;
+  for (const auto& [name, table] : db->tables()) names.push_back(name);
+  for (const auto& name : names) {
+    Table* table = *db->FindMutableTable(name);
+    RelationSchema schema = table->schema();
+    std::vector<AttributeDef> attrs = schema.attributes();
+    for (size_t a = 0; a < attrs.size(); ++a) {
+      if (attrs[a].distance.kind != DistanceKind::kNumeric) continue;
+      double lo = 1e300, hi = -1e300;
+      bool any = false;
+      for (const auto& row : table->rows()) {
+        if (!row[a].is_numeric()) continue;
+        lo = std::min(lo, row[a].numeric());
+        hi = std::max(hi, row[a].numeric());
+        any = true;
+      }
+      if (any && hi > lo) attrs[a].distance.scale = 1.0 / (hi - lo);
+    }
+    (void)table->SetSchema(RelationSchema(schema.name(), std::move(attrs)));
+  }
+}
+
+}  // namespace beas

@@ -1,0 +1,20 @@
+// Distance normalization: rescales every numeric attribute's distance by
+// 1/(max - min) so distances from different attributes are commensurate
+// inside the RC measure and the K-D tree resolutions. The paper leaves
+// the choice of dis_A open (Section 2.1); normalized units make the
+// accuracy numbers comparable across attributes and datasets.
+
+#ifndef BEAS_WORKLOAD_NORMALIZE_H_
+#define BEAS_WORKLOAD_NORMALIZE_H_
+
+#include "storage/database.h"
+
+namespace beas {
+
+/// Sets scale = 1/(max-min) for every numeric-metric attribute with a
+/// non-degenerate range (observed over the current rows).
+void NormalizeNumericDistances(Database* db);
+
+}  // namespace beas
+
+#endif  // BEAS_WORKLOAD_NORMALIZE_H_

@@ -1,0 +1,277 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace beas {
+
+namespace {
+
+struct ChosenRelations {
+  std::vector<std::string> relations;          // in join order
+  std::map<std::string, std::string> alias;    // relation -> alias
+  std::vector<std::string> join_conditions;    // "a.x = b.y"
+};
+
+// Picks a connected chain of relations along the dataset's join edges.
+ChosenRelations PickRelations(const Dataset& ds, int want, Rng* rng) {
+  ChosenRelations out;
+  std::set<std::string> chosen;
+  // Seed with a relation that has join edges if we need more than one.
+  std::vector<std::string> all;
+  for (const auto& [name, t] : ds.db.tables()) all.push_back(name);
+  std::string first = want > 1 && !ds.spec.joins.empty()
+                          ? (rng->Bernoulli(0.5) ? rng->Pick(ds.spec.joins).rel_a
+                                                 : rng->Pick(ds.spec.joins).rel_b)
+                          : rng->Pick(all);
+  out.relations.push_back(first);
+  chosen.insert(first);
+  while (static_cast<int>(out.relations.size()) < want) {
+    // Candidate edges touching a chosen relation and a new one.
+    std::vector<const JoinEdge*> candidates;
+    for (const auto& e : ds.spec.joins) {
+      bool a_in = chosen.count(e.rel_a) > 0, b_in = chosen.count(e.rel_b) > 0;
+      if (a_in != b_in) candidates.push_back(&e);
+    }
+    if (candidates.empty()) break;
+    const JoinEdge* e = candidates[static_cast<size_t>(
+        rng->Uniform(0, static_cast<int64_t>(candidates.size()) - 1))];
+    std::string next = chosen.count(e->rel_a) > 0 ? e->rel_b : e->rel_a;
+    out.relations.push_back(next);
+    chosen.insert(next);
+  }
+  // Aliases: first letters + index for uniqueness.
+  std::set<std::string> used_aliases;
+  for (const auto& rel : out.relations) {
+    std::string a(1, rel[0]);
+    int i = 1;
+    while (used_aliases.count(a) > 0) a = StrCat(std::string(1, rel[0]), i++);
+    used_aliases.insert(a);
+    out.alias[rel] = a;
+  }
+  // Join conditions along edges internal to the chosen set.
+  for (const auto& e : ds.spec.joins) {
+    if (chosen.count(e.rel_a) > 0 && chosen.count(e.rel_b) > 0) {
+      out.join_conditions.push_back(StrCat(out.alias[e.rel_a], ".", e.attr_a, " = ",
+                                           out.alias[e.rel_b], ".", e.attr_b));
+    }
+  }
+  return out;
+}
+
+// Samples an attribute value from the data.
+Value SampleValue(const Dataset& ds, const std::string& rel, const std::string& attr,
+                  Rng* rng) {
+  auto table = ds.db.FindTable(rel);
+  if (!table.ok() || (*table)->empty()) return Value(int64_t{0});
+  auto idx = (*table)->schema().FindAttribute(attr);
+  if (!idx) return Value(int64_t{0});
+  const Tuple& row =
+      (*table)->row(static_cast<size_t>(rng->Uniform(0, (*table)->size() - 1)));
+  return row[*idx];
+}
+
+std::string Literal(const Value& v) {
+  if (v.is_string()) {
+    std::string escaped;
+    for (char c : v.as_string()) {
+      escaped += c;
+      if (c == '\'') escaped += '\'';
+    }
+    return StrCat("'", escaped, "'");
+  }
+  return v.ToString();
+}
+
+// Builds the WHERE filters (non-join selection predicates). With
+// probability `point_prob` the first filter is a point predicate on a
+// constraint-covered key (the paper draws half the query attributes from
+// the access constraints; cf. Example 1's "f.pid = p0"), which lets the
+// chase start a constraint chain.
+std::vector<std::string> MakeFilters(const Dataset& ds, const ChosenRelations& rels,
+                                     int n_sel, double point_prob, Rng* rng) {
+  std::vector<const WorkloadAttr*> pool;
+  for (const auto& f : ds.spec.filters) {
+    if (rels.alias.count(f.relation) > 0) pool.push_back(&f);
+  }
+  std::vector<std::string> filters;
+  if (n_sel > 0 && rng->Bernoulli(point_prob)) {
+    std::vector<const WorkloadAttr*> keys;
+    for (const auto& k : ds.spec.point_keys) {
+      if (rels.alias.count(k.relation) > 0) keys.push_back(&k);
+    }
+    if (!keys.empty()) {
+      const WorkloadAttr* k = keys[static_cast<size_t>(
+          rng->Uniform(0, static_cast<int64_t>(keys.size()) - 1))];
+      Value v = SampleValue(ds, k->relation, k->attr, rng);
+      filters.push_back(
+          StrCat(rels.alias.at(k->relation), ".", k->attr, " = ", Literal(v)));
+    }
+  }
+  if (pool.empty()) return filters;
+  while (static_cast<int>(filters.size()) < n_sel) {
+    const WorkloadAttr* f =
+        pool[static_cast<size_t>(rng->Uniform(0, static_cast<int64_t>(pool.size()) - 1))];
+    std::string lhs = StrCat(rels.alias.at(f->relation), ".", f->attr);
+    if (f->categorical) {
+      Value v = SampleValue(ds, f->relation, f->attr, rng);
+      filters.push_back(StrCat(lhs, " = ", Literal(v)));
+    } else {
+      // Bias toward permissive ranges (max-of-2 for <=, min-of-2 for >=):
+      // expected per-predicate selectivity ~2/3, so conjunctions of up to
+      // 7 predicates still leave answers to approximate.
+      Value v1 = SampleValue(ds, f->relation, f->attr, rng);
+      Value v2 = SampleValue(ds, f->relation, f->attr, rng);
+      bool le = rng->Bernoulli(0.5);
+      Value v = v1;
+      if (v1.is_numeric() && v2.is_numeric()) {
+        bool pick_first = le ? v2.numeric() < v1.numeric() : v1.numeric() < v2.numeric();
+        v = pick_first ? v1 : v2;
+      }
+      filters.push_back(StrCat(lhs, " ", le ? "<=" : ">=", " ", Literal(v)));
+    }
+  }
+  return filters;
+}
+
+// Output attributes: prefer the dataset's preferred (numeric) outputs.
+std::vector<std::string> MakeOutputs(const Dataset& ds, const ChosenRelations& rels,
+                                     int want, Rng* rng) {
+  std::vector<std::string> prefs;
+  for (const auto& p : ds.spec.output_prefs) {
+    size_t dot = p.find('.');
+    std::string rel = p.substr(0, dot);
+    if (rels.alias.count(rel) > 0) {
+      prefs.push_back(StrCat(rels.alias.at(rel), ".", p.substr(dot + 1)));
+    }
+  }
+  std::vector<std::string> out;
+  while (static_cast<int>(out.size()) < want && !prefs.empty()) {
+    std::string pick =
+        prefs[static_cast<size_t>(rng->Uniform(0, static_cast<int64_t>(prefs.size()) - 1))];
+    if (std::find(out.begin(), out.end(), pick) == out.end()) out.push_back(pick);
+    if (out.size() == prefs.size()) break;
+  }
+  if (out.empty()) {
+    // Fall back to any filterable attribute of a chosen relation.
+    for (const auto& f : ds.spec.filters) {
+      if (rels.alias.count(f.relation) > 0) {
+        out.push_back(StrCat(rels.alias.at(f.relation), ".", f.attr));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string FromClause(const ChosenRelations& rels) {
+  std::vector<std::string> parts;
+  for (const auto& rel : rels.relations) {
+    parts.push_back(StrCat(rel, " as ", rels.alias.at(rel)));
+  }
+  return Join(parts, ", ");
+}
+
+}  // namespace
+
+std::vector<GeneratedQuery> GenerateQueries(const Dataset& ds, int count,
+                                            const QueryGenConfig& config) {
+  Rng rng(config.seed);
+  std::vector<GeneratedQuery> queries;
+  queries.reserve(static_cast<size_t>(count));
+
+  while (static_cast<int>(queries.size()) < count) {
+    GeneratedQuery gq;
+    int want_rel =
+        static_cast<int>(rng.Uniform(config.min_prod, config.max_prod)) + 1;
+    ChosenRelations rels = PickRelations(ds, want_rel, &rng);
+    gq.n_prod = static_cast<int>(rels.relations.size()) - 1;
+    gq.n_sel = static_cast<int>(rng.Uniform(config.min_sel, config.max_sel));
+    std::vector<std::string> filters = MakeFilters(ds, rels, gq.n_sel, 0.45, &rng);
+    gq.n_sel = static_cast<int>(filters.size());
+    std::vector<std::string> where = rels.join_conditions;
+    for (const auto& f : filters) where.push_back(f);
+
+    gq.has_agg = rng.Bernoulli(config.frac_agg);
+    if (gq.has_agg) {
+      // Grouping and aggregation attrs available on the chosen relations?
+      std::vector<const WorkloadAttr*> groups, values;
+      for (const auto& g : ds.spec.group_attrs) {
+        if (rels.alias.count(g.relation) > 0) groups.push_back(&g);
+      }
+      for (const auto& v : ds.spec.agg_attrs) {
+        if (rels.alias.count(v.relation) > 0) values.push_back(&v);
+      }
+      if (groups.empty() || values.empty()) {
+        gq.has_agg = false;
+      } else {
+        const WorkloadAttr* g = groups[static_cast<size_t>(
+            rng.Uniform(0, static_cast<int64_t>(groups.size()) - 1))];
+        const WorkloadAttr* v = values[static_cast<size_t>(
+            rng.Uniform(0, static_cast<int64_t>(values.size()) - 1))];
+        static const AggFunc kAggs[] = {AggFunc::kCount, AggFunc::kSum, AggFunc::kAvg,
+                                        AggFunc::kMin, AggFunc::kMax};
+        gq.agg = kAggs[rng.Uniform(0, 4)];
+        std::string gattr = StrCat(rels.alias.at(g->relation), ".", g->attr);
+        std::string vattr = StrCat(rels.alias.at(v->relation), ".", v->attr);
+        gq.sql = StrCat("select ", gattr, ", ", AggFuncToString(gq.agg), "(", vattr,
+                        ") from ", FromClause(rels));
+        if (!where.empty()) gq.sql += StrCat(" where ", Join(where, " and "));
+        gq.sql += StrCat(" group by ", gattr);
+        queries.push_back(std::move(gq));
+        continue;
+      }
+    }
+
+    // Non-aggregate: projection, possibly with EXCEPT blocks.
+    std::vector<std::string> outputs = MakeOutputs(ds, rels, rng.Bernoulli(0.5) ? 2 : 1,
+                                                   &rng);
+    if (outputs.empty()) continue;
+    gq.sql = StrCat("select ", Join(outputs, ", "), " from ", FromClause(rels));
+    if (!where.empty()) gq.sql += StrCat(" where ", Join(where, " and "));
+
+    if (rng.Bernoulli(config.frac_diff)) {
+      gq.n_diff = static_cast<int>(rng.Uniform(1, config.max_diff));
+      // EXCEPT blocks project the same attributes from their home
+      // relations under fresh filters.
+      for (int d = 0; d < gq.n_diff; ++d) {
+        // Relations that own the output attributes.
+        std::set<std::string> needed_rels;
+        std::vector<std::string> out2;
+        for (const auto& o : outputs) {
+          std::string alias = o.substr(0, o.find('.'));
+          for (const auto& [rel, a] : rels.alias) {
+            if (a == alias) needed_rels.insert(rel);
+          }
+        }
+        ChosenRelations rels2;
+        for (const auto& rel : needed_rels) {
+          rels2.relations.push_back(rel);
+          rels2.alias[rel] = rels.alias.at(rel);
+        }
+        // Keep join conditions among the needed relations.
+        for (const auto& e : ds.spec.joins) {
+          if (needed_rels.count(e.rel_a) > 0 && needed_rels.count(e.rel_b) > 0) {
+            rels2.join_conditions.push_back(StrCat(rels2.alias[e.rel_a], ".", e.attr_a,
+                                                   " = ", rels2.alias[e.rel_b], ".",
+                                                   e.attr_b));
+          }
+        }
+        std::vector<std::string> f2 = MakeFilters(ds, rels2, 2, 0.0, &rng);
+        std::vector<std::string> where2 = rels2.join_conditions;
+        for (const auto& f : f2) where2.push_back(f);
+        gq.sql += StrCat(" except select ", Join(outputs, ", "), " from ",
+                         FromClause(rels2));
+        if (!where2.empty()) gq.sql += StrCat(" where ", Join(where2, " and "));
+      }
+    }
+    queries.push_back(std::move(gq));
+  }
+  return queries;
+}
+
+}  // namespace beas

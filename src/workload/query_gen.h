@@ -1,0 +1,45 @@
+// Random query generator reproducing the Section 8 workload recipe:
+// per dataset, queries with #-sel in [3,7] selection predicates, #-prod
+// in [0,4] products (joins along key/FK edges), 0-3 set differences, and
+// ~30% aggregate queries; constants are drawn from the data.
+
+#ifndef BEAS_WORKLOAD_QUERY_GEN_H_
+#define BEAS_WORKLOAD_QUERY_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "ra/analysis.h"
+#include "workload/workload.h"
+
+namespace beas {
+
+/// Knobs for the generator (defaults follow the paper).
+struct QueryGenConfig {
+  int min_sel = 3;
+  int max_sel = 7;
+  int min_prod = 0;
+  int max_prod = 4;
+  double frac_agg = 0.3;   ///< fraction of aggregate queries
+  double frac_diff = 0.5;  ///< fraction of non-aggregate queries with EXCEPT
+  int max_diff = 3;
+  uint64_t seed = 42;
+};
+
+/// A generated query with the knobs it realizes.
+struct GeneratedQuery {
+  std::string sql;
+  int n_sel = 0;
+  int n_prod = 0;
+  int n_diff = 0;
+  bool has_agg = false;
+  AggFunc agg = AggFunc::kCount;
+};
+
+/// Generates \p count queries over \p dataset. Deterministic in the seed.
+std::vector<GeneratedQuery> GenerateQueries(const Dataset& dataset, int count,
+                                            const QueryGenConfig& config = {});
+
+}  // namespace beas
+
+#endif  // BEAS_WORKLOAD_QUERY_GEN_H_

@@ -1,0 +1,168 @@
+#include "workload/tfacc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "workload/normalize.h"
+#include "common/string_util.h"
+
+namespace beas {
+
+namespace {
+DistanceSpec Triv() { return DistanceSpec::Trivial(); }
+DistanceSpec Num(double scale = 1.0) { return DistanceSpec::Numeric(scale); }
+}  // namespace
+
+Dataset MakeTfacc(int64_t n_accidents, uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds;
+  ds.name = "TFACC";
+
+  int64_t n_districts = 40;
+
+  // districts(district_id, region)
+  {
+    Table t(RelationSchema("districts", {{"district_id", DataType::kInt64, Triv()},
+                                         {"region", DataType::kInt64, Triv()}}));
+    for (int64_t d = 0; d < n_districts; ++d) {
+      t.AppendUnchecked({Value(d), Value(rng.Uniform(0, 10))});
+    }
+    (void)ds.db.AddTable(std::move(t));
+  }
+
+  // accidents(acc_id, district_id, severity, year, road_class,
+  //           speed_limit, lat, lon, num_vehicles, num_casualties)
+  std::vector<int64_t> veh_count, cas_count;
+  {
+    Table t(RelationSchema("accidents",
+                           {{"acc_id", DataType::kInt64, Triv()},
+                            {"district_id", DataType::kInt64, Triv()},
+                            {"severity", DataType::kInt64, Num()},
+                            {"year", DataType::kInt64, Num()},
+                            {"road_class", DataType::kInt64, Triv()},
+                            {"speed_limit", DataType::kInt64, Num()},
+                            {"lat", DataType::kDouble, Num(69.0)},
+                            {"lon", DataType::kDouble, Num(43.0)},
+                            {"num_vehicles", DataType::kInt64, Num()},
+                            {"num_casualties", DataType::kInt64, Num()}}));
+    static const int64_t kSpeeds[] = {20, 30, 40, 50, 60, 70};
+    for (int64_t a = 0; a < n_accidents; ++a) {
+      // Severity: 1 fatal (rare), 2 serious, 3 slight (dominant).
+      int64_t severity = rng.Bernoulli(0.013) ? 1 : (rng.Bernoulli(0.14) ? 2 : 3);
+      int64_t nveh = std::min<int64_t>(8, 1 + rng.Zipf(4, 1.6));
+      int64_t ncas = std::min<int64_t>(8, rng.Zipf(5, 1.8));
+      veh_count.push_back(nveh);
+      cas_count.push_back(ncas);
+      t.AppendUnchecked({Value(a), Value(rng.Uniform(0, n_districts - 1)), Value(severity),
+                         Value(1995 + rng.Uniform(0, 10)), Value(rng.Uniform(1, 6)),
+                         Value(kSpeeds[rng.Uniform(0, 5)]), Value(rng.UniformReal(50, 58.6)),
+                         Value(rng.UniformReal(-6.0, 1.7)), Value(nveh), Value(ncas)});
+    }
+    (void)ds.db.AddTable(std::move(t));
+  }
+
+  // vehicles(acc_id, veh_seq, veh_type, driver_age)
+  {
+    Table t(RelationSchema("vehicles", {{"acc_id", DataType::kInt64, Triv()},
+                                        {"veh_seq", DataType::kInt64, Triv()},
+                                        {"veh_type", DataType::kInt64, Triv()},
+                                        {"driver_age", DataType::kInt64, Num()}}));
+    for (int64_t a = 0; a < n_accidents; ++a) {
+      for (int64_t v = 0; v < veh_count[static_cast<size_t>(a)]; ++v) {
+        t.AppendUnchecked({Value(a), Value(v + 1), Value(rng.Uniform(1, 9)),
+                           Value(std::max<int64_t>(17, std::llround(rng.Normal(38, 15))))});
+      }
+    }
+    (void)ds.db.AddTable(std::move(t));
+  }
+
+  // casualties(acc_id, cas_seq, cas_class, severity, age)
+  {
+    Table t(RelationSchema("casualties", {{"acc_id", DataType::kInt64, Triv()},
+                                          {"cas_seq", DataType::kInt64, Triv()},
+                                          {"cas_class", DataType::kInt64, Triv()},
+                                          {"severity", DataType::kInt64, Num()},
+                                          {"age", DataType::kInt64, Num()}}));
+    for (int64_t a = 0; a < n_accidents; ++a) {
+      for (int64_t c = 0; c < cas_count[static_cast<size_t>(a)]; ++c) {
+        int64_t severity = rng.Bernoulli(0.02) ? 1 : (rng.Bernoulli(0.16) ? 2 : 3);
+        t.AppendUnchecked({Value(a), Value(c + 1), Value(rng.Uniform(1, 3)), Value(severity),
+                           Value(std::max<int64_t>(0, std::llround(rng.Normal(34, 18))))});
+      }
+    }
+    (void)ds.db.AddTable(std::move(t));
+  }
+
+  // naptan(stop_id, stop_type, lat, lon)
+  {
+    Table t(RelationSchema("naptan", {{"stop_id", DataType::kInt64, Triv()},
+                                      {"stop_type", DataType::kInt64, Triv()},
+                                      {"lat", DataType::kDouble, Num(69.0)},
+                                      {"lon", DataType::kDouble, Num(43.0)}}));
+    int64_t n_stops = std::max<int64_t>(20, n_accidents / 10);
+    for (int64_t s = 0; s < n_stops; ++s) {
+      t.AppendUnchecked({Value(s), Value(rng.Uniform(1, 4)), Value(rng.UniformReal(50, 58.6)),
+                         Value(rng.UniformReal(-6.0, 1.7))});
+    }
+    (void)ds.db.AddTable(std::move(t));
+  }
+
+  ds.constraints = {
+      {"districts", {"district_id"}, {"region"}, 1},
+      {"accidents",
+       {"acc_id"},
+       {"district_id", "severity", "year", "road_class", "speed_limit", "lat", "lon",
+        "num_vehicles", "num_casualties"},
+       1},
+      {"vehicles", {"acc_id"}, {"veh_seq", "veh_type", "driver_age"}, 8},
+      {"casualties", {"acc_id"}, {"cas_seq", "cas_class", "severity", "age"}, 8},
+      {"naptan", {"stop_id"}, {"stop_type", "lat", "lon"}, 1},
+  };
+
+  ds.spec.joins = {
+      {"vehicles", "acc_id", "accidents", "acc_id"},
+      {"casualties", "acc_id", "accidents", "acc_id"},
+      {"accidents", "district_id", "districts", "district_id"},
+  };
+  ds.spec.filters = {
+      {"accidents", "severity", false},    {"accidents", "year", false},
+      {"accidents", "road_class", true},   {"accidents", "speed_limit", false},
+      {"accidents", "num_vehicles", false}, {"accidents", "num_casualties", false},
+      {"vehicles", "veh_type", true},      {"vehicles", "driver_age", false},
+      {"casualties", "cas_class", true},   {"casualties", "age", false},
+      {"districts", "region", true},       {"naptan", "stop_type", true},
+  };
+  ds.spec.group_attrs = {
+      {"accidents", "road_class", true}, {"accidents", "speed_limit", true},
+      {"accidents", "year", true},       {"districts", "region", true},
+      {"vehicles", "veh_type", true},
+  };
+  ds.spec.agg_attrs = {
+      {"accidents", "num_casualties", false},
+      {"accidents", "num_vehicles", false},
+      {"vehicles", "driver_age", false},
+      {"casualties", "age", false},
+      {"accidents", "speed_limit", false},
+  };
+  ds.spec.output_prefs = {"accidents.speed_limit", "accidents.year",
+                          "accidents.num_casualties", "accidents.severity",
+                          "vehicles.driver_age", "casualties.age"};
+
+  ds.spec.point_keys = {
+      {"accidents", "acc_id", true},
+      {"vehicles", "acc_id", true},
+      {"casualties", "acc_id", true},
+      {"districts", "district_id", true},
+      {"naptan", "stop_id", true},
+  };
+  ds.qcs = {
+      {"accidents", {"year", "road_class"}},
+      {"accidents", {"speed_limit"}},
+      {"vehicles", {"veh_type"}},
+  };
+  NormalizeNumericDistances(&ds.db);
+  return ds;
+}
+
+}  // namespace beas

@@ -1,0 +1,21 @@
+// Synthetic stand-in for the paper's TFACC dataset (UK road accidents [3]
+// + NaPTAN public-transport access nodes [4], Section 8). Reproduces the
+// shape the experiments need: an accident fact table with lat/lon
+// geometry and categorical severity codes, per-accident vehicle and
+// casualty detail tables with bounded fanout, and a NaPTAN-style node
+// table sharing the coordinate space. See DESIGN.md ("substitutions").
+
+#ifndef BEAS_WORKLOAD_TFACC_H_
+#define BEAS_WORKLOAD_TFACC_H_
+
+#include "workload/workload.h"
+
+namespace beas {
+
+/// Generates the TFACC stand-in with roughly \p n_accidents accident rows
+/// (vehicles/casualties scale with it; naptan nodes are ~n/10).
+Dataset MakeTfacc(int64_t n_accidents, uint64_t seed);
+
+}  // namespace beas
+
+#endif  // BEAS_WORKLOAD_TFACC_H_

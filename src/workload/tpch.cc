@@ -1,0 +1,260 @@
+#include "workload/tpch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "workload/normalize.h"
+#include "common/string_util.h"
+
+namespace beas {
+
+namespace {
+
+constexpr const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+constexpr const char* kNations[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+    "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM",
+    "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+// Region of each nation, dbgen order.
+constexpr int kNationRegion[] = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                                 4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+constexpr const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+                                     "HOUSEHOLD"};
+constexpr const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED",
+                                       "5-LOW"};
+constexpr const char* kTypes[] = {"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY",
+                                  "PROMO"};
+constexpr const char* kMaterials[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+constexpr const char* kFinishes[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                                     "BRUSHED"};
+
+// Dates are int64 day offsets from 1992-01-01; dbgen spans ~7 years.
+constexpr int64_t kDateSpan = 2406;
+
+DistanceSpec Triv() { return DistanceSpec::Trivial(); }
+DistanceSpec Num(double scale = 1.0) { return DistanceSpec::Numeric(scale); }
+
+}  // namespace
+
+Dataset MakeTpch(double sf, uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds;
+  ds.name = "TPCH";
+
+  auto count = [&](double base, double minimum) {
+    return static_cast<int64_t>(std::max(minimum, std::round(base * sf)));
+  };
+  int64_t n_supplier = count(10000, 10);
+  int64_t n_customer = count(150000, 15);
+  int64_t n_part = count(200000, 20);
+  int64_t n_orders = count(1500000, 30);
+
+  // region
+  {
+    Table t(RelationSchema("region", {{"r_regionkey", DataType::kInt64, Triv()},
+                                      {"r_name", DataType::kString, Triv()}}));
+    for (int64_t r = 0; r < 5; ++r) t.AppendUnchecked({Value(r), Value(kRegions[r])});
+    (void)ds.db.AddTable(std::move(t));
+  }
+  // nation
+  {
+    Table t(RelationSchema("nation", {{"n_nationkey", DataType::kInt64, Triv()},
+                                      {"n_name", DataType::kString, Triv()},
+                                      {"n_regionkey", DataType::kInt64, Triv()}}));
+    for (int64_t n = 0; n < 25; ++n) {
+      t.AppendUnchecked({Value(n), Value(kNations[n]),
+                         Value(static_cast<int64_t>(kNationRegion[n]))});
+    }
+    (void)ds.db.AddTable(std::move(t));
+  }
+  // supplier
+  {
+    Table t(RelationSchema("supplier", {{"s_suppkey", DataType::kInt64, Triv()},
+                                        {"s_name", DataType::kString, Triv()},
+                                        {"s_nationkey", DataType::kInt64, Triv()},
+                                        {"s_acctbal", DataType::kDouble, Num()}}));
+    for (int64_t s = 0; s < n_supplier; ++s) {
+      t.AppendUnchecked({Value(s), Value(StrCat("Supplier#", s)),
+                         Value(rng.Uniform(0, 24)),
+                         Value(std::round(rng.UniformReal(-999.99, 9999.99) * 100) / 100)});
+    }
+    (void)ds.db.AddTable(std::move(t));
+  }
+  // customer
+  {
+    Table t(RelationSchema("customer", {{"c_custkey", DataType::kInt64, Triv()},
+                                        {"c_name", DataType::kString, Triv()},
+                                        {"c_nationkey", DataType::kInt64, Triv()},
+                                        {"c_mktsegment", DataType::kString, Triv()},
+                                        {"c_acctbal", DataType::kDouble, Num()}}));
+    for (int64_t c = 0; c < n_customer; ++c) {
+      t.AppendUnchecked({Value(c), Value(StrCat("Customer#", c)),
+                         Value(rng.Uniform(0, 24)), Value(kSegments[rng.Uniform(0, 4)]),
+                         Value(std::round(rng.UniformReal(-999.99, 9999.99) * 100) / 100)});
+    }
+    (void)ds.db.AddTable(std::move(t));
+  }
+  // part
+  std::vector<double> retail_price(static_cast<size_t>(n_part));
+  {
+    Table t(RelationSchema("part", {{"p_partkey", DataType::kInt64, Triv()},
+                                    {"p_name", DataType::kString, Triv()},
+                                    {"p_brand", DataType::kString, Triv()},
+                                    {"p_type", DataType::kString, Triv()},
+                                    {"p_size", DataType::kInt64, Num()},
+                                    {"p_retailprice", DataType::kDouble, Num()}}));
+    for (int64_t p = 0; p < n_part; ++p) {
+      // dbgen: retailprice = (90000 + (partkey/10) % 20001 + 100*(partkey % 1000))/100
+      double price = (90000.0 + static_cast<double>((p / 10) % 20001) +
+                      100.0 * static_cast<double>(p % 1000)) /
+                     100.0;
+      retail_price[static_cast<size_t>(p)] = price;
+      t.AppendUnchecked(
+          {Value(p), Value(StrCat("part_", rng.String(8))),
+           Value(StrCat("Brand#", rng.Uniform(1, 5), rng.Uniform(1, 5))),
+           Value(StrCat(kTypes[rng.Uniform(0, 5)], " ", kMaterials[rng.Uniform(0, 4)], " ",
+                        kFinishes[rng.Uniform(0, 4)])),
+           Value(rng.Uniform(1, 50)), Value(price)});
+    }
+    (void)ds.db.AddTable(std::move(t));
+  }
+  // partsupp: 4 suppliers per part, as in dbgen.
+  {
+    Table t(RelationSchema("partsupp", {{"ps_partkey", DataType::kInt64, Triv()},
+                                        {"ps_suppkey", DataType::kInt64, Triv()},
+                                        {"ps_availqty", DataType::kInt64, Num()},
+                                        {"ps_supplycost", DataType::kDouble, Num()}}));
+    for (int64_t p = 0; p < n_part; ++p) {
+      for (int64_t j = 0; j < 4; ++j) {
+        int64_t s = (p + j * (n_supplier / 4 + 1)) % n_supplier;
+        t.AppendUnchecked({Value(p), Value(s), Value(rng.Uniform(1, 9999)),
+                           Value(std::round(rng.UniformReal(1.0, 1000.0) * 100) / 100)});
+      }
+    }
+    (void)ds.db.AddTable(std::move(t));
+  }
+  // orders + lineitem
+  {
+    Table orders(RelationSchema("orders", {{"o_orderkey", DataType::kInt64, Triv()},
+                                           {"o_custkey", DataType::kInt64, Triv()},
+                                           {"o_orderstatus", DataType::kString, Triv()},
+                                           {"o_totalprice", DataType::kDouble, Num()},
+                                           {"o_orderdate", DataType::kInt64, Num()},
+                                           {"o_orderpriority", DataType::kString, Triv()}}));
+    Table lineitem(
+        RelationSchema("lineitem", {{"l_orderkey", DataType::kInt64, Triv()},
+                                    {"l_linenumber", DataType::kInt64, Triv()},
+                                    {"l_partkey", DataType::kInt64, Triv()},
+                                    {"l_suppkey", DataType::kInt64, Triv()},
+                                    {"l_quantity", DataType::kInt64, Num()},
+                                    {"l_extendedprice", DataType::kDouble, Num(0.01)},
+                                    {"l_discount", DataType::kDouble, Num(100.0)},
+                                    {"l_tax", DataType::kDouble, Num(100.0)},
+                                    {"l_returnflag", DataType::kString, Triv()},
+                                    {"l_linestatus", DataType::kString, Triv()},
+                                    {"l_shipdate", DataType::kInt64, Num()}}));
+    for (int64_t o = 0; o < n_orders; ++o) {
+      int64_t orderdate = rng.Uniform(0, kDateSpan - 151);
+      int64_t lines = rng.Uniform(1, 7);
+      double total = 0;
+      for (int64_t l = 0; l < lines; ++l) {
+        int64_t partkey = rng.Uniform(0, n_part - 1);
+        int64_t suppkey = (partkey + rng.Uniform(0, 3) * (n_supplier / 4 + 1)) % n_supplier;
+        int64_t qty = rng.Uniform(1, 50);
+        double extended =
+            static_cast<double>(qty) * retail_price[static_cast<size_t>(partkey)];
+        double discount = static_cast<double>(rng.Uniform(0, 10)) / 100.0;
+        double tax = static_cast<double>(rng.Uniform(0, 8)) / 100.0;
+        int64_t shipdate = orderdate + rng.Uniform(1, 121);
+        bool shipped = shipdate <= kDateSpan - 30;
+        const char* flag = !shipped ? "N" : (rng.Bernoulli(0.25) ? "R" : "A");
+        lineitem.AppendUnchecked({Value(o), Value(l + 1), Value(partkey), Value(suppkey),
+                                  Value(qty), Value(std::round(extended * 100) / 100),
+                                  Value(discount), Value(tax), Value(flag),
+                                  Value(shipped ? "F" : "O"), Value(shipdate)});
+        total += extended * (1 - discount) * (1 + tax);
+      }
+      const char* status = rng.Bernoulli(0.49) ? "F" : (rng.Bernoulli(0.5) ? "O" : "P");
+      orders.AppendUnchecked({Value(o), Value(rng.Uniform(0, n_customer - 1)),
+                              Value(status), Value(std::round(total * 100) / 100),
+                              Value(orderdate), Value(kPriorities[rng.Uniform(0, 4)])});
+    }
+    (void)ds.db.AddTable(std::move(orders));
+    (void)ds.db.AddTable(std::move(lineitem));
+  }
+
+  // --- Access constraints (the paper picked 9 for TPCH, Section 8). ---
+  ds.constraints = {
+      {"region", {"r_regionkey"}, {"r_name"}, 1},
+      {"nation", {"n_nationkey"}, {"n_name", "n_regionkey"}, 1},
+      {"nation", {"n_regionkey"}, {"n_nationkey", "n_name"}, 5},
+      {"supplier", {"s_suppkey"}, {"s_name", "s_nationkey", "s_acctbal"}, 1},
+      {"customer", {"c_custkey"}, {"c_name", "c_nationkey", "c_mktsegment", "c_acctbal"}, 1},
+      {"part", {"p_partkey"}, {"p_name", "p_brand", "p_type", "p_size", "p_retailprice"}, 1},
+      {"partsupp", {"ps_partkey"}, {"ps_suppkey", "ps_availqty", "ps_supplycost"}, 4},
+      {"orders",
+       {"o_orderkey"},
+       {"o_custkey", "o_orderstatus", "o_totalprice", "o_orderdate", "o_orderpriority"},
+       1},
+      {"lineitem",
+       {"l_orderkey"},
+       {"l_linenumber", "l_partkey", "l_suppkey", "l_quantity", "l_extendedprice",
+        "l_discount", "l_tax", "l_returnflag", "l_linestatus", "l_shipdate"},
+       7},
+  };
+
+  // --- Workload spec for the query generator. ---
+  ds.spec.joins = {
+      {"customer", "c_nationkey", "nation", "n_nationkey"},
+      {"supplier", "s_nationkey", "nation", "n_nationkey"},
+      {"nation", "n_regionkey", "region", "r_regionkey"},
+      {"orders", "o_custkey", "customer", "c_custkey"},
+      {"lineitem", "l_orderkey", "orders", "o_orderkey"},
+      {"lineitem", "l_partkey", "part", "p_partkey"},
+      {"lineitem", "l_suppkey", "supplier", "s_suppkey"},
+      {"partsupp", "ps_partkey", "part", "p_partkey"},
+      {"partsupp", "ps_suppkey", "supplier", "s_suppkey"},
+  };
+  ds.spec.filters = {
+      {"customer", "c_mktsegment", true},   {"customer", "c_acctbal", false},
+      {"orders", "o_orderstatus", true},    {"orders", "o_orderpriority", true},
+      {"orders", "o_totalprice", false},    {"orders", "o_orderdate", false},
+      {"lineitem", "l_returnflag", true},   {"lineitem", "l_linestatus", true},
+      {"lineitem", "l_quantity", false},    {"lineitem", "l_shipdate", false},
+      {"part", "p_size", false},            {"part", "p_retailprice", false},
+      {"supplier", "s_acctbal", false},     {"partsupp", "ps_availqty", false},
+      {"partsupp", "ps_supplycost", false}, {"region", "r_name", true},
+  };
+  ds.spec.group_attrs = {
+      {"customer", "c_mktsegment", true}, {"orders", "o_orderstatus", true},
+      {"orders", "o_orderpriority", true}, {"lineitem", "l_returnflag", true},
+      {"lineitem", "l_linestatus", true},  {"nation", "n_name", true},
+  };
+  ds.spec.agg_attrs = {
+      {"lineitem", "l_quantity", false},   {"lineitem", "l_extendedprice", false},
+      {"orders", "o_totalprice", false},   {"part", "p_retailprice", false},
+      {"partsupp", "ps_availqty", false},  {"supplier", "s_acctbal", false},
+  };
+  ds.spec.output_prefs = {"orders.o_totalprice", "orders.o_orderdate",
+                          "lineitem.l_quantity", "lineitem.l_shipdate",
+                          "part.p_retailprice", "part.p_size",
+                          "customer.c_acctbal",  "supplier.s_acctbal"};
+
+  ds.spec.point_keys = {
+      {"orders", "o_orderkey", true},   {"customer", "c_custkey", true},
+      {"part", "p_partkey", true},      {"supplier", "s_suppkey", true},
+      {"lineitem", "l_orderkey", true}, {"nation", "n_nationkey", true},
+  };
+  ds.qcs = {
+      {"lineitem", {"l_returnflag", "l_linestatus"}},
+      {"orders", {"o_orderstatus"}},
+      {"orders", {"o_orderpriority"}},
+      {"customer", {"c_mktsegment"}},
+  };
+  NormalizeNumericDistances(&ds.db);
+  return ds;
+}
+
+}  // namespace beas

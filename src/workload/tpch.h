@@ -1,0 +1,20 @@
+// A TPC-H dbgen-style generator (the paper's synthetic dataset, Section
+// 8): the eight standard relations with their key/foreign-key structure
+// and dbgen-like value distributions, scaled by a fractional scale factor.
+// Text columns are simplified (random words instead of the dbgen grammar);
+// see DESIGN.md for the substitution notes.
+
+#ifndef BEAS_WORKLOAD_TPCH_H_
+#define BEAS_WORKLOAD_TPCH_H_
+
+#include "workload/workload.h"
+
+namespace beas {
+
+/// Generates TPC-H at scale factor \p sf (sf=1 is the canonical 1GB
+/// scale; benches use small fractions). Deterministic in \p seed.
+Dataset MakeTpch(double sf, uint64_t seed);
+
+}  // namespace beas
+
+#endif  // BEAS_WORKLOAD_TPCH_H_

@@ -1,0 +1,56 @@
+// Workload descriptors shared by the dataset generators and the random
+// query generator (Section 8 "Queries").
+
+#ifndef BEAS_WORKLOAD_WORKLOAD_H_
+#define BEAS_WORKLOAD_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "accschema/access_schema.h"
+#include "baselines/baselines.h"
+#include "storage/database.h"
+
+namespace beas {
+
+/// A joinable attribute pair (a key/foreign-key edge).
+struct JoinEdge {
+  std::string rel_a, attr_a;
+  std::string rel_b, attr_b;
+};
+
+/// An attribute usable in selections / grouping / aggregation.
+struct WorkloadAttr {
+  std::string relation;
+  std::string attr;
+  bool categorical = false;  ///< trivial metric, equality filters
+};
+
+/// What the query generator may use for a dataset.
+struct WorkloadSpec {
+  std::vector<JoinEdge> joins;
+  std::vector<WorkloadAttr> filters;      ///< selection candidates
+  std::vector<WorkloadAttr> group_attrs;  ///< group-by candidates
+  std::vector<WorkloadAttr> agg_attrs;    ///< numeric aggregation candidates
+  std::vector<std::string> output_prefs;  ///< "rel.attr" preferred outputs
+  /// Key attributes covered by access constraints: the generator emits
+  /// point predicates on them (the paper draws half the query attributes
+  /// from the access constraints, Section 8), seeding constraint chains
+  /// like Example 1's "f.pid = p0".
+  std::vector<WorkloadAttr> point_keys;
+};
+
+/// A generated dataset: the instance, its workload spec, the declared
+/// access constraints (validated at index build), and the QCS patterns
+/// handed to the BlinkDB baseline.
+struct Dataset {
+  std::string name;
+  Database db;
+  WorkloadSpec spec;
+  std::vector<ConstraintSpec> constraints;
+  std::vector<QcsSpec> qcs;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accuracy/measures.h"
+#include "ra/parser.h"
+#include "testing/test_data.h"
+
+namespace beas {
+namespace {
+
+class AccuracyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testing::MakeSocialDb(20, 50, 4, 5, 120);
+    schema_ = db_.Schema();
+  }
+
+  QueryPtr Q(const std::string& sql) {
+    auto q = ParseSql(schema_, sql);
+    EXPECT_TRUE(q.ok()) << q.status();
+    return *q;
+  }
+
+  Table Exact(const QueryPtr& q) {
+    Evaluator ev(db_);
+    auto t = ev.Eval(q);
+    EXPECT_TRUE(t.ok()) << t.status();
+    return *t;
+  }
+
+  Database db_;
+  DatabaseSchema schema_;
+};
+
+TEST_F(AccuracyTest, ExactAnswersScorePerfect) {
+  QueryPtr q = Q("select h.address, h.price from poi as h where h.price <= 60");
+  Table exact = Exact(q);
+  ASSERT_GT(exact.size(), 0u);
+  auto report = RcMeasure(db_, q, exact);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_DOUBLE_EQ(report->f_rel, 1.0);
+  EXPECT_DOUBLE_EQ(report->f_cov, 1.0);
+  EXPECT_DOUBLE_EQ(report->accuracy, 1.0);
+}
+
+TEST_F(AccuracyTest, EmptyAnswersForNonEmptyExactScoreZero) {
+  QueryPtr q = Q("select h.address, h.price from poi as h where h.price <= 60");
+  Table empty(q->output_schema());
+  auto report = RcMeasure(db_, q, empty);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->f_cov, 0.0);
+  EXPECT_DOUBLE_EQ(report->accuracy, 0.0);
+}
+
+TEST_F(AccuracyTest, EmptyExactAnswersGiveFullCoverage) {
+  QueryPtr q = Q("select h.address from poi as h where h.price <= -1");
+  Table empty(q->output_schema());
+  auto report = RcMeasure(db_, q, empty);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->f_cov, 1.0);
+}
+
+TEST_F(AccuracyTest, Example2SensibleAnswersScoreNonZero) {
+  // The paper's Example 2: answers slightly above the price cut (real
+  // hotels at $41-$45 against a $40 cut) have F-measure 0 but positive RC
+  // accuracy thanks to query relaxation.
+  QueryPtr q = Q("select h.price from poi as h where h.type = 'hotel' and h.price <= 40");
+  QueryPtr above =
+      Q("select h.price from poi as h where h.type = 'hotel' and "
+        "h.price >= 41 and h.price <= 60");
+  Table exact = Exact(q);
+  Table approx = Exact(above);
+  ASSERT_GT(exact.size(), 0u);
+  ASSERT_GT(approx.size(), 0u);
+
+  EXPECT_EQ(FMeasure(approx, exact), 0.0);
+  auto report = RcMeasure(db_, q, approx);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GT(report->accuracy, 0.0);
+}
+
+TEST_F(AccuracyTest, RelevanceDistanceMatchesHandComputation) {
+  // Controlled data: prices {10, 30, 100}, query price <= 20, answer 100.
+  //   t=10:  max(r=0,  d=90) = 90
+  //   t=30:  max(r=10, d=70) = 70   <- minimum
+  //   t=100: max(r=80, d=0)  = 80
+  Database db;
+  RelationSchema r("p", {{"price", DataType::kDouble, DistanceSpec::Numeric()}});
+  Table t(r);
+  t.AppendUnchecked({Value(10.0)});
+  t.AppendUnchecked({Value(30.0)});
+  t.AppendUnchecked({Value(100.0)});
+  (void)db.AddTable(std::move(t));
+  DatabaseSchema schema = db.Schema();
+  auto q = *ParseSql(schema, "select a.price from p as a where a.price <= 20");
+  Table approx((*q).output_schema());
+  approx.AppendUnchecked({Value(100.0)});
+  auto report = RcMeasure(db, q, approx);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_NEAR(report->max_rel_distance, 70.0, 1e-9);
+  EXPECT_NEAR(report->f_rel, 1.0 / 71.0, 1e-9);
+}
+
+TEST_F(AccuracyTest, CoverageWorstCaseOverExactAnswers) {
+  QueryPtr q = Q("select h.price from poi as h where h.price <= 60");
+  Table exact = Exact(q);
+  ASSERT_GT(exact.size(), 2u);
+  // Keep only the lowest-price answer: coverage distance = spread.
+  double lo = 1e18, hi = -1e18;
+  for (const auto& row : exact.rows()) {
+    lo = std::min(lo, row[0].numeric());
+    hi = std::max(hi, row[0].numeric());
+  }
+  Table approx(q->output_schema());
+  approx.AppendUnchecked({Value(lo)});
+  auto report = RcMeasure(db_, q, approx);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->max_cov_distance, hi - lo, 1e-9);
+  EXPECT_NEAR(report->f_cov, 1.0 / (1.0 + (hi - lo)), 1e-9);
+}
+
+TEST_F(AccuracyTest, AggregateCountCoverageUsesDagg) {
+  QueryPtr q = Q(
+      "select h.city, count(h.address) as n from poi as h "
+      "where h.type = 'hotel' group by h.city");
+  Table exact = Exact(q);
+  ASSERT_GT(exact.size(), 0u);
+  // Perturb counts by +2: coverage distance should be 2 (X matches, fagg=2).
+  Table approx(q->output_schema());
+  for (const auto& row : exact.rows()) {
+    approx.AppendUnchecked({row[0], Value(row[1].as_int64() + 2)});
+  }
+  auto report = RcMeasure(db_, q, approx);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_NEAR(report->max_cov_distance, 2.0, 1e-9);
+  EXPECT_GT(report->f_rel, 0.0);
+}
+
+TEST_F(AccuracyTest, AggregateDuplicateGroupsAreIrrelevant) {
+  QueryPtr q = Q(
+      "select h.city, count(h.address) as n from poi as h group by h.city");
+  Table exact = Exact(q);
+  ASSERT_GT(exact.size(), 0u);
+  Table approx(q->output_schema());
+  // Two different counts for the same city: violates group-by semantics.
+  approx.AppendUnchecked({exact.row(0)[0], Value(int64_t{1})});
+  approx.AppendUnchecked({exact.row(0)[0], Value(int64_t{2})});
+  auto report = RcMeasure(db_, q, approx);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->f_rel, 0.0);
+}
+
+TEST_F(AccuracyTest, AggregateMinRelevance) {
+  QueryPtr q = Q(
+      "select h.city, min(h.price) from poi as h where h.type = 'hotel' group by h.city");
+  Table exact = Exact(q);
+  ASSERT_GT(exact.size(), 0u);
+  auto report = RcMeasure(db_, q, exact);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_DOUBLE_EQ(report->accuracy, 1.0);
+}
+
+TEST_F(AccuracyTest, MacAccuracyBounds) {
+  QueryPtr q = Q("select h.price from poi as h where h.price <= 60");
+  Table exact = Exact(q);
+  EXPECT_DOUBLE_EQ(MacAccuracy(q->output_schema(), exact, exact), 1.0);
+  Table empty(q->output_schema());
+  EXPECT_DOUBLE_EQ(MacAccuracy(q->output_schema(), empty, exact), 0.0);
+  EXPECT_DOUBLE_EQ(MacAccuracy(q->output_schema(), empty, empty), 1.0);
+  // Perturbed answers land strictly between 0 and 1.
+  Table approx(q->output_schema());
+  for (const auto& row : exact.rows()) approx.AppendUnchecked({Value(row[0].numeric() + 1)});
+  double mac = MacAccuracy(q->output_schema(), approx, exact);
+  EXPECT_GT(mac, 0.0);
+  EXPECT_LT(mac, 1.0);
+}
+
+TEST_F(AccuracyTest, FMeasureBasics) {
+  QueryPtr q = Q("select h.price from poi as h where h.price <= 60");
+  Table exact = Exact(q);
+  EXPECT_DOUBLE_EQ(FMeasure(exact, exact), 1.0);
+  Table empty(q->output_schema());
+  EXPECT_DOUBLE_EQ(FMeasure(empty, exact), 0.0);
+  // Half of the answers: recall 0.5, precision 1 -> F = 2/3.
+  Table half(q->output_schema());
+  for (size_t i = 0; i < exact.size(); i += 2) half.AppendUnchecked(exact.row(i));
+  double f = FMeasure(half, exact);
+  double recall = static_cast<double>(half.size()) / static_cast<double>(exact.size());
+  EXPECT_NEAR(f, 2 * recall / (1 + recall), 1e-9);
+}
+
+TEST_F(AccuracyTest, RcOnDifferenceQuery) {
+  QueryPtr q = Q(
+      "select h.price from poi as h where h.type = 'hotel' except "
+      "select h2.price from poi as h2 where h2.type = 'museum'");
+  Table exact = Exact(q);
+  auto report = RcMeasure(db_, q, exact);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_DOUBLE_EQ(report->accuracy, 1.0);
+}
+
+}  // namespace
+}  // namespace beas

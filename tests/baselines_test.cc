@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "accuracy/measures.h"
+#include "baselines/baselines.h"
+#include "engine/evaluator.h"
+#include "ra/parser.h"
+#include "testing/test_data.h"
+
+namespace beas {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testing::MakeSocialDb(40, 120, 5, 6, 600);
+    schema_ = db_.Schema();
+  }
+
+  Table Exact(const std::string& sql) {
+    auto q = ParseSql(schema_, sql);
+    EXPECT_TRUE(q.ok()) << q.status();
+    Evaluator ev(db_);
+    auto t = ev.Eval(*q);
+    EXPECT_TRUE(t.ok()) << t.status();
+    return *t;
+  }
+
+  Database db_;
+  DatabaseSchema schema_;
+};
+
+TEST_F(BaselinesTest, SamplSynopsisRespectsBudget) {
+  for (double alpha : {0.05, 0.2, 0.5}) {
+    Sampl sampl(db_, alpha, 7);
+    // Proportional sampling with a 1-row floor per relation.
+    size_t budget = static_cast<size_t>(alpha * static_cast<double>(db_.TotalTuples()));
+    EXPECT_LE(sampl.SynopsisSize(), budget + db_.tables().size());
+  }
+}
+
+TEST_F(BaselinesTest, SamplAnswersSubsetOfExact) {
+  Sampl sampl(db_, 0.5, 7);
+  std::string sql = "select h.address, h.price from poi as h where h.price <= 60";
+  auto approx = sampl.Answer(sql);
+  ASSERT_TRUE(approx.ok()) << approx.status();
+  Table exact = Exact(sql);
+  for (const auto& row : approx->rows()) {
+    EXPECT_TRUE(exact.Contains(row));
+  }
+  EXPECT_LE(approx->size(), exact.size());
+}
+
+TEST_F(BaselinesTest, SamplScalesAggregates) {
+  Sampl sampl(db_, 0.5, 7);
+  std::string sql = "select h.city, count(h.address) as n from poi as h group by h.city";
+  auto approx = sampl.Answer(sql);
+  ASSERT_TRUE(approx.ok()) << approx.status();
+  Table exact = Exact(sql);
+  std::map<int64_t, double> exact_counts;
+  for (const auto& row : exact.rows()) exact_counts[row[0].as_int64()] = row[1].numeric();
+  ASSERT_GT(approx->size(), 0u);
+  for (const auto& row : approx->rows()) {
+    double e = exact_counts.at(row[0].as_int64());
+    // Inverse-fraction scaling should land within a factor ~2 at alpha 0.5.
+    EXPECT_GT(row[1].numeric(), e * 0.35);
+    EXPECT_LT(row[1].numeric(), e * 2.5);
+  }
+}
+
+TEST_F(BaselinesTest, HistoBudgetAndAnswers) {
+  Histo histo(db_, 0.2, 7);
+  size_t budget = static_cast<size_t>(0.2 * static_cast<double>(db_.TotalTuples()));
+  EXPECT_LE(histo.SynopsisSize(), budget + db_.tables().size());
+  std::string sql = "select h.price from poi as h where h.price <= 60";
+  auto approx = histo.Answer(sql);
+  ASSERT_TRUE(approx.ok()) << approx.status();
+  // Representatives are real tuples, so answers come from the data.
+  Table all = Exact("select h.price from poi as h");
+  for (const auto& row : approx->rows()) EXPECT_TRUE(all.Contains(row));
+}
+
+TEST_F(BaselinesTest, HistoWeightedCountsApproximateExact) {
+  Histo histo(db_, 0.3, 7);
+  std::string sql = "select h.city, count(h.address) as n from poi as h group by h.city";
+  auto approx = histo.Answer(sql);
+  ASSERT_TRUE(approx.ok()) << approx.status();
+  Table exact = Exact(sql);
+  double exact_total = 0, approx_total = 0;
+  for (const auto& row : exact.rows()) exact_total += row[1].numeric();
+  for (const auto& row : approx->rows()) approx_total += row[1].numeric();
+  // Bucket populations preserve the overall count up to the bucket cap.
+  EXPECT_GT(approx_total, exact_total * 0.5);
+  EXPECT_LT(approx_total, exact_total * 1.5);
+}
+
+TEST_F(BaselinesTest, BlinkDbRejectsNonAggregates) {
+  BlinkDbSim blink(db_, 0.3, {{"poi", {"type"}}}, 7);
+  auto r = blink.Answer("select h.price from poi as h where h.price <= 60");
+  EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented);
+  auto r2 =
+      blink.Answer("select h.city, min(h.price) from poi as h group by h.city");
+  EXPECT_EQ(r2.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(BaselinesTest, BlinkDbAnswersAggregatesOnStratifiedSample) {
+  BlinkDbSim blink(db_, 0.4, {{"poi", {"type", "city"}}}, 7);
+  std::string sql =
+      "select h.city, count(h.address) as n from poi as h where h.type = 'hotel' "
+      "group by h.city";
+  auto approx = blink.Answer(sql);
+  ASSERT_TRUE(approx.ok()) << approx.status();
+  Table exact = Exact(sql);
+  // Stratified on (type, city): every exact group should be represented.
+  EXPECT_EQ(approx->size(), exact.size());
+}
+
+TEST_F(BaselinesTest, MethodsAreDeterministicInSeed) {
+  Sampl a(db_, 0.2, 99), b(db_, 0.2, 99);
+  std::string sql = "select h.price from poi as h where h.price <= 80";
+  auto ra = a.Answer(sql);
+  auto rb = b.Answer(sql);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra->size(), rb->size());
+}
+
+}  // namespace
+}  // namespace beas

@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accuracy/measures.h"
+#include "beas/beas.h"
+#include "beas/chase.h"
+#include "beas/tableau.h"
+#include "ra/parser.h"
+#include "testing/test_data.h"
+
+namespace beas {
+namespace {
+
+std::vector<ConstraintSpec> SocialConstraints() {
+  return {
+      {"person", {"pid"}, {"city"}, 1},    // phi2: each pid lives in 1 city
+      {"friend", {"pid"}, {"fid"}, 12},    // phi1: bounded friend lists
+  };
+}
+
+class BeasCoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testing::MakeSocialDb(30, 100, 5, 8, 400);
+    schema_ = db_.Schema();
+    BeasOptions options;
+    options.constraints = SocialConstraints();
+    auto built = Beas::Build(&db_, options);
+    ASSERT_TRUE(built.ok()) << built.status();
+    beas_ = std::move(*built);
+  }
+
+  QueryPtr Q(const std::string& sql) {
+    auto q = beas_->Parse(sql);
+    EXPECT_TRUE(q.ok()) << q.status();
+    return *q;
+  }
+
+  Table Exact(const QueryPtr& q) {
+    Evaluator ev(db_);
+    auto t = ev.Eval(q);
+    EXPECT_TRUE(t.ok()) << t.status();
+    return *t;
+  }
+
+  Database db_;
+  DatabaseSchema schema_;
+  std::unique_ptr<Beas> beas_;
+};
+
+// --- Tableau ---
+
+TEST_F(BeasCoreTest, TableauUnifiesJoinVariables) {
+  QueryPtr q = Q(
+      "select h.address, h.price from poi as h, friend as f, person as p "
+      "where f.pid = 0 and f.fid = p.pid and p.city = h.city and "
+      "h.type = 'hotel' and h.price <= 95");
+  auto tb = BuildTableau(q);
+  ASSERT_TRUE(tb.ok()) << tb.status();
+  EXPECT_EQ(tb->atoms.size(), 3u);
+  // f.fid and p.pid share one variable; p.city and h.city share another.
+  ASSERT_TRUE(tb->VarOf("f.fid").has_value());
+  ASSERT_TRUE(tb->VarOf("p.pid").has_value());
+  EXPECT_EQ(*tb->VarOf("f.fid"), *tb->VarOf("p.pid"));
+  EXPECT_EQ(*tb->VarOf("p.city"), *tb->VarOf("h.city"));
+  // f.pid is bound to the constant 0.
+  ASSERT_TRUE(tb->VarOf("f.pid").has_value());
+  auto c = tb->ConstOf(*tb->VarOf("f.pid"));
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, Value(int64_t{0}));
+  EXPECT_FALSE(tb->unsatisfiable);
+}
+
+TEST_F(BeasCoreTest, TableauDetectsUnsatisfiable) {
+  QueryPtr q = Q("select p.pid from person as p where p.pid = 1 and p.pid = 2");
+  auto tb = BuildTableau(q);
+  ASSERT_TRUE(tb.ok());
+  EXPECT_TRUE(tb->unsatisfiable);
+}
+
+// --- Chase / plans ---
+
+TEST_F(BeasCoreTest, ChaseUsesConstraintChainForExample1) {
+  QueryPtr q = Q(
+      "select h.address, h.price from poi as h, friend as f, person as p "
+      "where f.pid = 0 and f.fid = p.pid and p.city = h.city and "
+      "h.type = 'hotel' and h.price <= 95");
+  auto plan = beas_->PlanOnly(q, 0.5);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan->units.size(), 1u);
+  const FetchPlan& fetch = plan->units[0].fetch;
+  // friend and person atoms should be covered by the declared constraints.
+  bool friend_by_constraint = false, person_by_constraint = false;
+  for (const auto& op : fetch.ops) {
+    if (op.family->relation == "friend" && op.family->is_constraint) {
+      friend_by_constraint = true;
+    }
+    if (op.family->relation == "person" && op.family->is_constraint) {
+      person_by_constraint = true;
+    }
+  }
+  EXPECT_TRUE(friend_by_constraint) << plan->ToString();
+  EXPECT_TRUE(person_by_constraint) << plan->ToString();
+}
+
+TEST_F(BeasCoreTest, PlanRespectsBudgetEstimate) {
+  QueryPtr q = Q("select h.address, h.price from poi as h where h.price <= 60");
+  for (double alpha : {0.02, 0.05, 0.2, 0.8}) {
+    auto plan = beas_->PlanOnly(q, alpha);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    EXPECT_LE(plan->est_tariff, plan->budget + 1e-9) << "alpha=" << alpha;
+  }
+}
+
+TEST_F(BeasCoreTest, EtaMonotoneInAlpha) {
+  QueryPtr q = Q("select h.address, h.price from poi as h where h.price <= 60");
+  double prev_eta = -1;
+  for (double alpha : {0.01, 0.05, 0.1, 0.3, 0.9}) {
+    auto plan = beas_->PlanOnly(q, alpha);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    EXPECT_GE(plan->eta, prev_eta - 1e-12) << "alpha=" << alpha;
+    prev_eta = plan->eta;
+  }
+}
+
+TEST_F(BeasCoreTest, BoundedlyEvaluableQueryIsExactUnderTinyAlpha) {
+  // The paper's Q2: cities of my friends — answered via the constraints
+  // alone, independent of |D|.
+  QueryPtr q = Q(
+      "select p.city from friend as f, person as p where f.pid = 7 and f.fid = p.pid");
+  double alpha_exact = *beas_->AlphaExact(q);
+  EXPECT_LT(alpha_exact, 0.2);
+  auto answer = beas_->Answer(q, std::max(alpha_exact * 1.5, 0.05));
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_TRUE(answer->exact);
+  EXPECT_DOUBLE_EQ(answer->eta, 1.0);
+  Table exact = Exact(q);
+  exact.SortRows();
+  Table got = answer->table;
+  got.SortRows();
+  ASSERT_EQ(got.size(), exact.size());
+  for (size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got.row(i), exact.row(i));
+}
+
+TEST_F(BeasCoreTest, AnswerStaysWithinBudget) {
+  QueryPtr q = Q(
+      "select h.address, h.price from poi as h, friend as f, person as p "
+      "where f.pid = 0 and f.fid = p.pid and p.city = h.city and "
+      "h.type = 'hotel' and h.price <= 95");
+  for (double alpha : {0.05, 0.1, 0.3}) {
+    auto answer = beas_->Answer(q, alpha);
+    ASSERT_TRUE(answer.ok()) << answer.status();
+    uint64_t budget =
+        static_cast<uint64_t>(alpha * static_cast<double>(beas_->db_size()));
+    EXPECT_LE(answer->accessed, budget) << "alpha=" << alpha;
+  }
+}
+
+TEST_F(BeasCoreTest, EtaIsValidLowerBoundOnRcAccuracy) {
+  std::vector<std::string> queries = {
+      "select h.address, h.price from poi as h where h.type = 'hotel' and h.price <= 95",
+      "select h.price from poi as h where h.price <= 50",
+      "select p.city from friend as f, person as p where f.pid = 3 and f.fid = p.pid",
+      "select h.address, h.price from poi as h, friend as f, person as p "
+      "where f.pid = 0 and f.fid = p.pid and p.city = h.city and "
+      "h.type = 'hotel' and h.price <= 95",
+  };
+  for (const auto& sql : queries) {
+    QueryPtr q = Q(sql);
+    for (double alpha : {0.05, 0.2, 0.6}) {
+      auto answer = beas_->Answer(q, alpha);
+      ASSERT_TRUE(answer.ok()) << sql << " " << answer.status();
+      auto report = RcMeasure(db_, q, answer->table);
+      ASSERT_TRUE(report.ok()) << report.status();
+      EXPECT_GE(report->accuracy + 1e-9, answer->eta)
+          << sql << " alpha=" << alpha << " acc=" << report->accuracy
+          << " eta=" << answer->eta;
+    }
+  }
+}
+
+TEST_F(BeasCoreTest, FullAlphaGivesExactAnswers) {
+  QueryPtr q = Q(
+      "select h.address, h.price from poi as h, friend as f, person as p "
+      "where f.pid = 0 and f.fid = p.pid and p.city = h.city and "
+      "h.type = 'hotel' and h.price <= 95");
+  auto answer = beas_->Answer(q, 1.0);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  Table exact = Exact(q);
+  if (answer->exact) {
+    EXPECT_EQ(answer->table.size(), exact.size());
+  }
+  auto report = RcMeasure(db_, q, answer->table);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report->accuracy, 0.99) << "alpha=1 should be (near) exact";
+}
+
+TEST_F(BeasCoreTest, DifferenceSoundness) {
+  // Theorem 6(5): no returned tuple is an exact answer of the negated side.
+  QueryPtr q = Q(
+      "select p.city from person as p except "
+      "select h.city from poi as h where h.type = 'hotel'");
+  for (double alpha : {0.05, 0.2, 0.7}) {
+    auto answer = beas_->Answer(q, alpha);
+    ASSERT_TRUE(answer.ok()) << answer.status();
+    QueryPtr negated = Q("select h.city from poi as h where h.type = 'hotel'");
+    Table negated_exact = Exact(negated);
+    for (const auto& row : answer->table.rows()) {
+      EXPECT_FALSE(negated_exact.Contains(row)) << "alpha=" << alpha;
+    }
+  }
+}
+
+TEST_F(BeasCoreTest, UnsatisfiableQueryAnswersEmptyExactly) {
+  QueryPtr q = Q("select p.pid from person as p where p.pid = 1 and p.pid = 2");
+  auto answer = beas_->Answer(q, 0.1);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_EQ(answer->table.size(), 0u);
+  EXPECT_TRUE(answer->exact);
+  EXPECT_EQ(answer->accessed, 0u);
+}
+
+TEST_F(BeasCoreTest, AggregateCountAnswer) {
+  QueryPtr q = Q(
+      "select h.city, count(h.address) as n from poi as h "
+      "where h.type = 'hotel' group by h.city");
+  auto answer = beas_->Answer(q, 0.6);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_GT(answer->table.size(), 0u);
+  // Counts should be in the right ballpark of the exact ones.
+  Table exact = Exact(q);
+  std::map<int64_t, double> exact_counts;
+  for (const auto& row : exact.rows()) exact_counts[row[0].as_int64()] = row[1].numeric();
+  for (const auto& row : answer->table.rows()) {
+    auto it = exact_counts.find(row[0].as_int64());
+    ASSERT_NE(it, exact_counts.end());
+    EXPECT_LE(row[1].numeric(), it->second * 2 + 8);
+    EXPECT_GE(row[1].numeric(), 0.0);
+  }
+}
+
+TEST_F(BeasCoreTest, AggregateMinRespectsEta) {
+  QueryPtr q = Q(
+      "select h.city, min(h.price) from poi as h where h.type = 'hotel' group by h.city");
+  auto answer = beas_->Answer(q, 0.6);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  auto report = RcMeasure(db_, q, answer->table);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GE(report->accuracy + 1e-9, answer->eta);
+}
+
+TEST_F(BeasCoreTest, AlphaExactShrinksRelativeToFullScan) {
+  // Bounded plans should need far less than the whole database.
+  QueryPtr q = Q(
+      "select p.city from friend as f, person as p where f.pid = 7 and f.fid = p.pid");
+  double alpha_exact = *beas_->AlphaExact(q);
+  EXPECT_GT(alpha_exact, 0.0);
+  EXPECT_LT(alpha_exact, 0.1);
+}
+
+TEST_F(BeasCoreTest, PlanGenerationDoesNotTouchData) {
+  QueryPtr q = Q("select h.address, h.price from poi as h where h.price <= 60");
+  beas_->store().meter().StartQuery(0);
+  uint64_t before = beas_->store().meter().accessed();
+  auto plan = beas_->PlanOnly(q, 0.1);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(beas_->store().meter().accessed(), before);
+}
+
+TEST_F(BeasCoreTest, InvalidAlphaRejected) {
+  QueryPtr q = Q("select p.pid from person as p");
+  EXPECT_FALSE(beas_->Answer(q, 0.0).ok());
+  EXPECT_FALSE(beas_->Answer(q, 1.5).ok());
+  EXPECT_FALSE(beas_->Answer(q, -0.1).ok());
+}
+
+TEST_F(BeasCoreTest, MaintenanceInsertVisibleToQueries) {
+  QueryPtr q = Q("select p.city from friend as f, person as p "
+                 "where f.pid = 55 and f.fid = p.pid");
+  Tuple new_person{Value(int64_t{5555}), Value(int64_t{3}), Value(77.0)};
+  ASSERT_TRUE(beas_->Insert("person", new_person).ok());
+  Tuple new_friend{Value(int64_t{55}), Value(int64_t{5555})};
+  ASSERT_TRUE(beas_->Insert("friend", new_friend).ok());
+  auto answer = beas_->Answer(q, 0.3);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  bool found = false;
+  for (const auto& row : answer->table.rows()) found |= row[0] == Value(int64_t{3});
+  EXPECT_TRUE(found);
+}
+
+TEST_F(BeasCoreTest, UnionQueryAnswered) {
+  QueryPtr q = Q(
+      "select h.city from poi as h where h.type = 'hotel' union "
+      "select h2.city from poi as h2 where h2.type = 'museum'");
+  auto answer = beas_->Answer(q, 0.8);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  auto report = RcMeasure(db_, q, answer->table);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report->accuracy + 1e-9, answer->eta);
+}
+
+}  // namespace
+}  // namespace beas

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engine/evaluator.h"
+#include "engine/relaxed.h"
+#include "ra/parser.h"
+#include "testing/test_data.h"
+
+namespace beas {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testing::MakeSocialDb(2, 60, 4, 5, 150);
+    schema_ = db_.Schema();
+  }
+
+  Table Eval(const std::string& sql) {
+    auto q = ParseSql(schema_, sql);
+    EXPECT_TRUE(q.ok()) << q.status();
+    Evaluator ev(db_);
+    auto t = ev.Eval(*q);
+    EXPECT_TRUE(t.ok()) << t.status();
+    return *t;
+  }
+
+  Database db_;
+  DatabaseSchema schema_;
+};
+
+TEST_F(EngineTest, ScanAndFilter) {
+  Table all = Eval("select h.address from poi as h");
+  Table hotels = Eval("select h.address from poi as h where h.type = 'hotel'");
+  EXPECT_GT(all.size(), 0u);
+  EXPECT_GT(hotels.size(), 0u);
+  EXPECT_LT(hotels.size(), all.size());
+}
+
+TEST_F(EngineTest, SelectionMatchesManualCount) {
+  Table cheap = Eval("select h.address, h.price from poi as h where h.price <= 50");
+  const Table* poi = *db_.FindTable("poi");
+  size_t expected = 0;
+  for (const auto& row : poi->rows()) expected += row[3].numeric() <= 50 ? 1 : 0;
+  EXPECT_EQ(cheap.size(), expected);
+}
+
+TEST_F(EngineTest, HashJoinMatchesNestedLoopSemantics) {
+  Table joined = Eval(
+      "select f.pid, p.city from friend as f, person as p where f.fid = p.pid");
+  const Table* friends = *db_.FindTable("friend");
+  const Table* people = *db_.FindTable("person");
+  std::set<std::pair<int64_t, int64_t>> expected;
+  for (const auto& f : friends->rows()) {
+    for (const auto& p : people->rows()) {
+      if (f[1] == p[0]) expected.insert({f[0].as_int64(), p[1].as_int64()});
+    }
+  }
+  EXPECT_EQ(joined.size(), expected.size());
+  for (const auto& row : joined.rows()) {
+    EXPECT_TRUE(expected.count({row[0].as_int64(), row[1].as_int64()}) > 0);
+  }
+}
+
+TEST_F(EngineTest, ProjectionDeduplicates) {
+  Table cities = Eval("select p.city from person as p");
+  EXPECT_LE(cities.size(), 4u);  // only 4 cities exist
+  std::set<int64_t> seen;
+  for (const auto& row : cities.rows()) {
+    EXPECT_TRUE(seen.insert(row[0].as_int64()).second) << "duplicate city";
+  }
+}
+
+TEST_F(EngineTest, UnionDeduplicates) {
+  Table u = Eval(
+      "select p.city from person as p union select p.city from person as p");
+  Table single = Eval("select p.city from person as p");
+  EXPECT_EQ(u.size(), single.size());
+}
+
+TEST_F(EngineTest, DifferenceSemantics) {
+  Table diff = Eval(
+      "select p.city from person as p except select h.city from poi as h "
+      "where h.type = 'hotel'");
+  Table hotel_cities = Eval("select h.city from poi as h where h.type = 'hotel'");
+  for (const auto& row : diff.rows()) {
+    EXPECT_FALSE(hotel_cities.Contains(row));
+  }
+}
+
+TEST_F(EngineTest, GroupByCount) {
+  Table counts = Eval(
+      "select h.city, count(h.address) as n from poi as h group by h.city");
+  const Table* poi = *db_.FindTable("poi");
+  std::map<int64_t, int64_t> expected;
+  for (const auto& row : poi->rows()) expected[row[2].as_int64()] += 1;
+  ASSERT_EQ(counts.size(), expected.size());
+  for (const auto& row : counts.rows()) {
+    EXPECT_EQ(row[1].as_int64(), expected.at(row[0].as_int64()));
+  }
+}
+
+TEST_F(EngineTest, GroupByMinMaxAvgSum) {
+  Table mins = Eval("select h.city, min(h.price) from poi as h group by h.city");
+  Table maxs = Eval("select h.city, max(h.price) from poi as h group by h.city");
+  Table avgs = Eval("select h.city, avg(h.price) from poi as h group by h.city");
+  Table sums = Eval("select h.city, sum(h.price) from poi as h group by h.city");
+  ASSERT_EQ(mins.size(), maxs.size());
+  ASSERT_EQ(mins.size(), avgs.size());
+  ASSERT_EQ(mins.size(), sums.size());
+  std::map<int64_t, std::pair<double, double>> minmax;
+  for (const auto& r : mins.rows()) minmax[r[0].as_int64()].first = r[1].numeric();
+  for (const auto& r : maxs.rows()) minmax[r[0].as_int64()].second = r[1].numeric();
+  for (const auto& r : avgs.rows()) {
+    auto [lo, hi] = minmax.at(r[0].as_int64());
+    EXPECT_GE(r[1].numeric(), lo);
+    EXPECT_LE(r[1].numeric(), hi);
+  }
+}
+
+TEST_F(EngineTest, WeightedCountUsesWeightColumns) {
+  // A table with a __w column: count should sum the weights.
+  Database db;
+  RelationSchema r("t", {{"g", DataType::kInt64},
+                         {"v", DataType::kDouble, DistanceSpec::Numeric()},
+                         {"__w", DataType::kInt64, DistanceSpec::Numeric()}});
+  Table t(r);
+  t.AppendUnchecked({Value(int64_t{1}), Value(10.0), Value(int64_t{3})});
+  t.AppendUnchecked({Value(int64_t{1}), Value(20.0), Value(int64_t{2})});
+  t.AppendUnchecked({Value(int64_t{2}), Value(5.0), Value(int64_t{1})});
+  (void)db.AddTable(std::move(t));
+  DatabaseSchema schema = db.Schema();
+  // "t.__w" ends with ".__w" after aliasing, triggering weighted mode.
+  auto q = *ParseSql(schema, "select a.g, count(a.v) as n from t as a group by a.g");
+  Evaluator ev(db);
+  auto out = ev.Eval(q);
+  ASSERT_TRUE(out.ok()) << out.status();
+  std::map<int64_t, int64_t> got;
+  for (const auto& row : out->rows()) got[row[0].as_int64()] = row[1].as_int64();
+  EXPECT_EQ(got.at(1), 5);  // 3 + 2
+  EXPECT_EQ(got.at(2), 1);
+  // Weighted sum: 3*10 + 2*20 = 70.
+  auto qs = *ParseSql(schema, "select a.g, sum(a.v) as s from t as a group by a.g");
+  auto sums = ev.Eval(qs);
+  ASSERT_TRUE(sums.ok());
+  for (const auto& row : sums->rows()) {
+    if (row[0].as_int64() == 1) EXPECT_DOUBLE_EQ(row[1].numeric(), 70.0);
+  }
+}
+
+TEST_F(EngineTest, CrossProductCapEnforced) {
+  EvalOptions opts;
+  opts.max_intermediate_rows = 100;
+  Evaluator ev(db_, opts);
+  auto q = *ParseSql(schema_, "select p.pid, q.pid from person as p, person as q");
+  auto out = ev.Eval(q);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kOutOfBudget);
+}
+
+TEST_F(EngineTest, RelaxedSelectionWithSlack) {
+  // price = 95 with slack 5 should admit prices in [90, 100].
+  auto rel = *QueryNode::Relation(schema_, "poi", "h");
+  Predicate pred{{Operand::Attr("h.price"), CompareOp::kEq, Operand::Const(Value(95.0)),
+                  5.0}};
+  auto sel = *QueryNode::Select(rel, pred);
+  auto proj = *QueryNode::Project(sel, {"h.price"}, true);
+  Evaluator ev(db_);
+  auto out = ev.Eval(proj);
+  ASSERT_TRUE(out.ok());
+  for (const auto& row : out->rows()) {
+    EXPECT_GE(row[0].numeric(), 90.0);
+    EXPECT_LE(row[0].numeric(), 100.0);
+  }
+}
+
+// --- Relaxed evaluator ---
+
+TEST_F(EngineTest, RelaxedEvalTracksEntryRelaxation) {
+  auto q = *ParseSql(schema_,
+                     "select h.address, h.price from poi as h "
+                     "where h.type = 'hotel' and h.price <= 50");
+  RelaxedEvaluator relaxed(db_);
+  auto rows = relaxed.Eval(q, /*r_cap=*/30.0);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  const Table* poi = *db_.FindTable("poi");
+  size_t within_relaxation = 0;
+  for (const auto& row : poi->rows()) {
+    if (row[1] == Value("hotel") && row[3].numeric() <= 80.0) ++within_relaxation;
+  }
+  EXPECT_EQ(rows->size(), within_relaxation);
+  for (const auto& r : *rows) {
+    double price = r.tuple[1].numeric();
+    if (price <= 50) {
+      EXPECT_DOUBLE_EQ(r.r_enter, 0.0);
+    } else {
+      EXPECT_NEAR(r.r_enter, price - 50.0, 1e-9);
+    }
+    EXPECT_TRUE(std::isinf(r.r_exit));
+  }
+}
+
+TEST_F(EngineTest, RelaxedEvalPrunesBeyondCap) {
+  auto q = *ParseSql(schema_, "select h.price from poi as h where h.price <= 50");
+  RelaxedEvaluator relaxed(db_);
+  auto rows = relaxed.Eval(q, 10.0);
+  ASSERT_TRUE(rows.ok());
+  for (const auto& r : *rows) EXPECT_LE(r.tuple[0].numeric(), 60.0);
+}
+
+TEST_F(EngineTest, RelaxedEvalDifferenceProducesExitBounds) {
+  auto q = *ParseSql(schema_,
+                     "select h.price from poi as h where h.type = 'hotel' except "
+                     "select h2.price from poi as h2 where h2.type = 'museum'");
+  RelaxedEvaluator relaxed(db_);
+  auto rows = relaxed.Eval(q, 5.0);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  for (const auto& r : *rows) {
+    EXPECT_LT(r.r_enter, r.r_exit);
+  }
+}
+
+TEST_F(EngineTest, RelaxedEvalRejectsGroupBy) {
+  auto q = *ParseSql(schema_,
+                     "select h.city, count(h.price) from poi as h group by h.city");
+  RelaxedEvaluator relaxed(db_);
+  EXPECT_EQ(relaxed.Eval(q, 1.0).status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(EngineTest, RelaxedEvalAtZeroCapMatchesExact) {
+  auto q = *ParseSql(schema_,
+                     "select h.address, h.price from poi as h "
+                     "where h.type = 'hotel' and h.price <= 60");
+  RelaxedEvaluator relaxed(db_);
+  auto rows = relaxed.Eval(q, 0.0);
+  ASSERT_TRUE(rows.ok());
+  Evaluator ev(db_);
+  auto exact = ev.Eval(q);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(rows->size(), exact->size());
+  for (const auto& r : *rows) {
+    EXPECT_DOUBLE_EQ(r.r_enter, 0.0);
+    EXPECT_TRUE(exact->Contains(r.tuple));
+  }
+}
+
+}  // namespace
+}  // namespace beas

@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "index/conformance.h"
+#include "index/index_store.h"
+#include "index/kd_tree.h"
+#include "testing/test_data.h"
+#include "types/distance.h"
+
+namespace beas {
+namespace {
+
+std::vector<AttributeDef> NumericAttrs() {
+  return {{"a", DataType::kDouble, DistanceSpec::Numeric()},
+          {"b", DataType::kDouble, DistanceSpec::Numeric()}};
+}
+
+TEST(KdTreeTest, SingleTuple) {
+  KdTree tree;
+  tree.Build(NumericAttrs(), {{Value(1.0), Value(2.0)}});
+  EXPECT_TRUE(tree.built());
+  EXPECT_EQ(tree.depth(), 0);
+  EXPECT_EQ(tree.distinct_count(), 1u);
+  std::vector<KdTree::FrontierEntry> f;
+  tree.Frontier(0, &f);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].count, 1);
+}
+
+TEST(KdTreeTest, DuplicatesCollapseWithCounts) {
+  KdTree tree;
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 5; ++i) rows.push_back({Value(1.0), Value(2.0)});
+  rows.push_back({Value(3.0), Value(4.0)});
+  tree.Build(NumericAttrs(), rows);
+  EXPECT_EQ(tree.distinct_count(), 2u);
+  EXPECT_EQ(tree.total_count(), 6);
+  std::vector<KdTree::FrontierEntry> f;
+  tree.Frontier(10, &f);
+  int64_t total = 0;
+  for (const auto& e : f) total += e.count;
+  EXPECT_EQ(total, 6);
+}
+
+TEST(KdTreeTest, FrontierSizesBounded) {
+  Rng rng(3);
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 300; ++i) {
+    rows.push_back({Value(rng.UniformReal(0, 100)), Value(rng.UniformReal(0, 100))});
+  }
+  KdTree tree;
+  tree.Build(NumericAttrs(), rows);
+  for (int k = 0; k <= tree.depth(); ++k) {
+    EXPECT_LE(tree.FrontierSize(k), static_cast<size_t>(1) << k);
+  }
+  EXPECT_EQ(tree.FrontierSize(tree.depth()), tree.distinct_count());
+}
+
+TEST(KdTreeTest, FrontierCountsAlwaysSumToTotal) {
+  Rng rng(4);
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 200; ++i) {
+    rows.push_back({Value(rng.UniformReal(0, 10)), Value(rng.UniformReal(0, 10))});
+  }
+  KdTree tree;
+  tree.Build(NumericAttrs(), rows);
+  for (int k = 0; k <= tree.depth(); ++k) {
+    std::vector<KdTree::FrontierEntry> f;
+    tree.Frontier(k, &f);
+    int64_t total = 0;
+    for (const auto& e : f) total += e.count;
+    EXPECT_EQ(total, 200) << "level " << k;
+  }
+}
+
+TEST(KdTreeTest, ResolutionNonIncreasingInLevel) {
+  Rng rng(5);
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 256; ++i) {
+    rows.push_back({Value(rng.UniformReal(0, 100)), Value(rng.UniformReal(0, 100))});
+  }
+  KdTree tree;
+  tree.Build(NumericAttrs(), rows);
+  std::vector<double> prev = tree.FrontierResolution(0);
+  for (int k = 1; k <= tree.depth(); ++k) {
+    std::vector<double> cur = tree.FrontierResolution(k);
+    for (size_t a = 0; a < cur.size(); ++a) {
+      EXPECT_LE(cur[a], prev[a] + 1e-9) << "level " << k << " attr " << a;
+    }
+    prev = cur;
+  }
+  // Leaves are exact.
+  for (double r : tree.FrontierResolution(tree.depth())) EXPECT_DOUBLE_EQ(r, 0.0);
+}
+
+TEST(KdTreeTest, FrontierCoversWithinResolution) {
+  Rng rng(6);
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 128; ++i) {
+    rows.push_back({Value(rng.UniformReal(0, 50)), Value(rng.UniformReal(0, 50))});
+  }
+  KdTree tree;
+  auto attrs = NumericAttrs();
+  tree.Build(attrs, rows);
+  for (int k = 0; k <= tree.depth(); k += 2) {
+    std::vector<KdTree::FrontierEntry> f;
+    tree.Frontier(k, &f);
+    std::vector<double> res = tree.FrontierResolution(k);
+    for (const auto& row : rows) {
+      bool covered = false;
+      for (const auto& e : f) {
+        bool within = true;
+        for (size_t a = 0; a < attrs.size() && within; ++a) {
+          within = AttributeDistance(attrs[a].distance, row[a], (*e.representative)[a]) <=
+                   res[a] + 1e-9;
+        }
+        if (within) {
+          covered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(covered) << "level " << k;
+    }
+  }
+}
+
+TEST(KdTreeTest, TrivialAttrsReachZeroResolution) {
+  // A categorical column with 4 distinct values must reach resolution 0
+  // once the frontier separates the values.
+  std::vector<AttributeDef> attrs{{"c", DataType::kInt64, DistanceSpec::Trivial()},
+                                  {"v", DataType::kDouble, DistanceSpec::Numeric()}};
+  Rng rng(7);
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 64; ++i) {
+    rows.push_back({Value(rng.Uniform(0, 3)), Value(rng.UniformReal(0, 10))});
+  }
+  KdTree tree;
+  tree.Build(attrs, rows);
+  EXPECT_TRUE(std::isinf(tree.FrontierResolution(0)[0]));
+  EXPECT_DOUBLE_EQ(tree.FrontierResolution(tree.depth())[0], 0.0);
+  // At some moderate level the categorical spread should already be 0.
+  bool zero_before_leaves = false;
+  for (int k = 2; k < tree.depth(); ++k) {
+    if (tree.FrontierResolution(k)[0] == 0.0) {
+      zero_before_leaves = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(zero_before_leaves);
+}
+
+TEST(KdTreeTest, NodeCountLinear) {
+  Rng rng(8);
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 500; ++i) {
+    rows.push_back({Value(rng.UniformReal(0, 1000)), Value(rng.UniformReal(0, 1000))});
+  }
+  KdTree tree;
+  tree.Build(NumericAttrs(), rows);
+  EXPECT_LE(tree.node_count(), 2 * tree.distinct_count());
+}
+
+// --- IndexStore ---
+
+class IndexStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testing::MakeSocialDb(10, 80, 5, 6, 200);
+    schema_ = db_.Schema();
+  }
+  Database db_;
+  DatabaseSchema schema_;
+};
+
+TEST_F(IndexStoreTest, BuildsUniversalSchema) {
+  IndexStore store;
+  ASSERT_TRUE(store.Build(db_, UniversalFamilies(schema_), {}).ok());
+  EXPECT_EQ(store.schema().families().size(), 3u);
+  for (const auto& f : store.schema().families()) {
+    EXPECT_FALSE(f.is_constraint);
+    EXPECT_TRUE(f.x_attrs.empty());
+    EXPECT_GT(f.max_level, 0);
+    // Top level is exact.
+    for (double r : f.level_resolution.back()) EXPECT_DOUBLE_EQ(r, 0.0);
+  }
+}
+
+TEST_F(IndexStoreTest, ConstraintValidated) {
+  ConstraintSpec ok{"person", {"pid"}, {"city"}, 1};
+  IndexStore store;
+  EXPECT_TRUE(store.Build(db_, {}, {ok}).ok());
+  // A deliberately false bound: a person can have up to 6 friends.
+  ConstraintSpec bad{"friend", {"pid"}, {"fid"}, 1};
+  IndexStore store2;
+  EXPECT_FALSE(store2.Build(db_, {}, {bad}).ok());
+  ConstraintSpec good{"friend", {"pid"}, {"fid"}, 6};
+  IndexStore store3;
+  EXPECT_TRUE(store3.Build(db_, {}, {good}).ok());
+}
+
+TEST_F(IndexStoreTest, FetchConstraintReturnsExactGroup) {
+  IndexStore store;
+  ASSERT_TRUE(store.Build(db_, {}, {{"person", {"pid"}, {"city"}, 1}}).ok());
+  store.meter().StartQuery(0);
+  auto entries = store.Fetch("person(pid->city)!1", 0, {Value(int64_t{3})});
+  ASSERT_TRUE(entries.ok()) << entries.status();
+  ASSERT_EQ(entries->size(), 1u);
+  const Table* person = *db_.FindTable("person");
+  Value expected;
+  for (const auto& row : person->rows()) {
+    if (row[0] == Value(int64_t{3})) expected = row[1];
+  }
+  EXPECT_EQ((*(*entries)[0].y)[0], expected);
+}
+
+TEST_F(IndexStoreTest, MeterChargesAndEnforcesBudget) {
+  IndexStore store;
+  ASSERT_TRUE(store.Build(db_, UniversalFamilies(schema_), {}).ok());
+  const BoundFamily& poi = **store.schema().FindFamily("poi(->address,type,city,price)");
+  store.meter().StartQuery(4);
+  auto r1 = store.Fetch(poi.id, 2, {});
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  EXPECT_LE(store.meter().accessed(), 4u);
+  auto r2 = store.Fetch(poi.id, 3, {});
+  EXPECT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kOutOfBudget);
+}
+
+TEST_F(IndexStoreTest, UnknownFamilyFails) {
+  IndexStore store;
+  ASSERT_TRUE(store.Build(db_, {}, {}).ok());
+  store.meter().StartQuery(0);
+  EXPECT_FALSE(store.Fetch("nope", 0, {}).ok());
+}
+
+TEST_F(IndexStoreTest, ConformanceOfAllFamilies) {
+  IndexStore store;
+  std::vector<ConstraintSpec> constraints{{"person", {"pid"}, {"city"}, 1},
+                                          {"friend", {"pid"}, {"fid"}, 6}};
+  auto families = UniversalFamilies(schema_);
+  auto derived = FamiliesFromConstraints(schema_, constraints);
+  ASSERT_TRUE(derived.ok());
+  for (auto& f : *derived) families.push_back(f);
+  ASSERT_TRUE(store.Build(db_, families, constraints).ok());
+  Status st = CheckAllConformance(db_, &store);
+  EXPECT_TRUE(st.ok()) << st;
+}
+
+TEST_F(IndexStoreTest, SizeAccounting) {
+  IndexStore store;
+  std::vector<ConstraintSpec> constraints{{"person", {"pid"}, {"city"}, 1}};
+  ASSERT_TRUE(store.Build(db_, UniversalFamilies(schema_), constraints).ok());
+  EXPECT_GT(store.TotalEntries(), 0u);
+  EXPECT_GT(store.ConstraintEntries(), 0u);
+  EXPECT_LT(store.ConstraintEntries(), store.TotalEntries());
+  auto fam = store.FamilyEntries("person(pid->city)!1");
+  ASSERT_TRUE(fam.ok());
+  EXPECT_EQ(*fam, 80u);  // one entry per person
+}
+
+TEST_F(IndexStoreTest, IncrementalInsertKeepsConformance) {
+  IndexStore store;
+  std::vector<ConstraintSpec> constraints{{"person", {"pid"}, {"city"}, 1}};
+  ASSERT_TRUE(store.Build(db_, UniversalFamilies(schema_), constraints).ok());
+  Tuple row{Value(int64_t{1000}), Value(int64_t{2}), Value(123.0)};
+  ASSERT_TRUE(store.ApplyInsert("person", row).ok());
+  Table* person = *db_.FindMutableTable("person");
+  ASSERT_TRUE(person->Append(row).ok());
+  Status st = CheckAllConformance(db_, &store);
+  EXPECT_TRUE(st.ok()) << st;
+}
+
+TEST_F(IndexStoreTest, IncrementalInsertRejectsConstraintViolation) {
+  IndexStore store;
+  std::vector<ConstraintSpec> constraints{{"person", {"pid"}, {"city"}, 1}};
+  ASSERT_TRUE(store.Build(db_, UniversalFamilies(schema_), constraints).ok());
+  // pid 0 already has a city; adding a second distinct city violates N=1.
+  Tuple row{Value(int64_t{0}), Value(int64_t{999}), Value(1.0)};
+  EXPECT_FALSE(store.ApplyInsert("person", row).ok());
+}
+
+TEST_F(IndexStoreTest, IncrementalRemove) {
+  IndexStore store;
+  ASSERT_TRUE(store.Build(db_, UniversalFamilies(schema_), {}).ok());
+  Table* person = *db_.FindMutableTable("person");
+  Tuple victim = person->row(0);
+  ASSERT_TRUE(store.ApplyRemove("person", victim).ok());
+  // Remove from the table too, then everything should still conform.
+  Table rebuilt(person->schema());
+  for (size_t i = 1; i < person->size(); ++i) rebuilt.AppendUnchecked(person->row(i));
+  *person = std::move(rebuilt);
+  Status st = CheckAllConformance(db_, &store);
+  EXPECT_TRUE(st.ok()) << st;
+}
+
+}  // namespace
+}  // namespace beas

@@ -1,0 +1,154 @@
+// Planner-internals tests: chAT behaviour, exact-plan statistics,
+// fetch-plan accounting, and the infinite-resolution coverage policy.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "beas/beas.h"
+#include "ra/parser.h"
+#include "testing/test_data.h"
+#include "workload/tpch.h"
+
+namespace beas {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = MakeTpch(0.001, 55);
+    BeasOptions options;
+    options.constraints = ds_.constraints;
+    auto built = Beas::Build(&ds_.db, options);
+    ASSERT_TRUE(built.ok()) << built.status();
+    beas_ = std::move(*built);
+    schema_ = ds_.db.Schema();
+  }
+
+  QueryPtr Q(const std::string& sql) {
+    auto q = ParseSql(schema_, sql);
+    EXPECT_TRUE(q.ok()) << q.status();
+    return *q;
+  }
+
+  Dataset ds_;
+  DatabaseSchema schema_;
+  std::unique_ptr<Beas> beas_;
+};
+
+TEST_F(PlannerTest, ChatSpendsMoreBudgetAtHigherAlpha) {
+  QueryPtr q = Q("select l.l_quantity, l.l_extendedprice from lineitem as l "
+                 "where l.l_quantity <= 30 and l.l_shipdate >= 500");
+  auto lo = beas_->PlanOnly(q, 0.01);
+  auto hi = beas_->PlanOnly(q, 0.3);
+  ASSERT_TRUE(lo.ok() && hi.ok());
+  EXPECT_GE(hi->est_tariff, lo->est_tariff);
+  EXPECT_LE(lo->est_tariff, lo->budget + 1e-9);
+  EXPECT_LE(hi->est_tariff, hi->budget + 1e-9);
+  // chAT must actually raise levels when budget allows.
+  auto max_level = [](const BeasPlan& p) {
+    int k = 0;
+    for (const auto& u : p.units) {
+      for (const auto& op : u.fetch.ops) k = std::max(k, op.level);
+    }
+    return k;
+  };
+  EXPECT_GT(max_level(*hi), max_level(*lo));
+}
+
+TEST_F(PlannerTest, DisablingChatKeepsLevelZero) {
+  BeasOptions options;
+  options.constraints = ds_.constraints;
+  options.planner.optimize_levels = false;
+  Dataset copy = MakeTpch(0.001, 55);
+  auto ablated = Beas::Build(&copy.db, options);
+  ASSERT_TRUE(ablated.ok());
+  auto q = ParseSql(copy.db.Schema(),
+                    "select l.l_quantity from lineitem as l where l.l_quantity <= 30");
+  ASSERT_TRUE(q.ok());
+  auto plan = (*ablated)->PlanOnly(*q, 0.3);
+  ASSERT_TRUE(plan.ok());
+  for (const auto& u : plan->units) {
+    for (const auto& op : u.fetch.ops) {
+      if (!op.family->is_constraint) EXPECT_EQ(op.level, 0);
+    }
+  }
+}
+
+TEST_F(PlannerTest, ExactPlanStatsClassifiesBoundedEvaluability) {
+  // Point lookup through key constraints: boundedly evaluable.
+  QueryPtr bounded = Q(
+      "select l.l_quantity from lineitem as l, orders as o "
+      "where l.l_orderkey = o.o_orderkey and o.o_orderkey = 5");
+  auto s1 = beas_->ExactPlanStats(bounded);
+  ASSERT_TRUE(s1.ok());
+  EXPECT_TRUE(s1->constraints_only);
+  EXPECT_LT(s1->tariff, 100);
+
+  // Range scan: needs template enumeration, not bounded.
+  QueryPtr unbounded = Q("select l.l_quantity from lineitem as l "
+                         "where l.l_quantity <= 30");
+  auto s2 = beas_->ExactPlanStats(unbounded);
+  ASSERT_TRUE(s2.ok());
+  EXPECT_FALSE(s2->constraints_only);
+  EXPECT_GT(s2->tariff, s1->tariff);
+}
+
+TEST_F(PlannerTest, PlanToStringMentionsFetches) {
+  QueryPtr q = Q(
+      "select l.l_quantity from lineitem as l, orders as o "
+      "where l.l_orderkey = o.o_orderkey and o.o_orderkey = 5");
+  auto plan = beas_->PlanOnly(q, 0.1);
+  ASSERT_TRUE(plan.ok());
+  std::string text = plan->ToString();
+  EXPECT_NE(text.find("fetch"), std::string::npos);
+  EXPECT_NE(text.find("eta="), std::string::npos);
+}
+
+TEST_F(PlannerTest, InfiniteResolutionSelectionZeroesEta) {
+  // A selection on a categorical attribute fetched through a level-0
+  // universal template cannot claim coverage: at a budget that cannot
+  // raise the template to a uniform frontier, eta must be ~0, yet at a
+  // generous budget the planner recovers a positive eta.
+  Database db = testing::MakeNumericDb(5, 512);
+  auto built = Beas::Build(&db, {});
+  ASSERT_TRUE(built.ok());
+  auto q = ParseSql(db.Schema(), "select r.a from r as r where r.c = 3");
+  ASSERT_TRUE(q.ok());
+  auto tight = (*built)->PlanOnly(*q, 0.01);  // budget 5: level ~2
+  ASSERT_TRUE(tight.ok());
+  EXPECT_LT(tight->eta, 1e-6);
+  auto generous = (*built)->PlanOnly(*q, 0.9);
+  ASSERT_TRUE(generous.ok());
+  EXPECT_GT(generous->eta, 0.01);
+}
+
+TEST_F(PlannerTest, EstimatedTariffDominatesActualAccesses) {
+  // The tariff is a worst-case estimate from the N constants: actual
+  // metered accesses never exceed it (for plans without self-pruning).
+  QueryPtr q = Q(
+      "select l.l_quantity from lineitem as l, orders as o "
+      "where l.l_orderkey = o.o_orderkey and o.o_orderstatus = 'F' "
+      "and l.l_quantity <= 25");
+  for (double alpha : {0.05, 0.2}) {
+    auto plan = beas_->PlanOnly(q, alpha);
+    ASSERT_TRUE(plan.ok());
+    auto answer = beas_->Answer(q, alpha);
+    ASSERT_TRUE(answer.ok());
+    EXPECT_LE(answer->accessed, static_cast<uint64_t>(plan->est_tariff) + 1);
+  }
+}
+
+TEST_F(PlannerTest, UnionOfUnitsPlansBothSides) {
+  QueryPtr q = Q(
+      "select o.o_totalprice from orders as o where o.o_orderstatus = 'F' union "
+      "select o2.o_totalprice from orders as o2 where o2.o_orderstatus = 'O'");
+  auto plan = beas_->PlanOnly(q, 0.1);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->units.size(), 2u);
+  EXPECT_GT(plan->units[0].fetch.ops.size(), 0u);
+  EXPECT_GT(plan->units[1].fetch.ops.size(), 0u);
+}
+
+}  // namespace
+}  // namespace beas

@@ -1,0 +1,158 @@
+// Property-based tests of the paper's central guarantees over random
+// workloads (parameterized across datasets and resource ratios):
+//
+//   P1 (Theorems 5/6): eta <= measured RC accuracy, for SPC, RA and
+//       min/max aggregate queries. (Additive aggregates carry a count
+//       drift the static bound does not cover; see DESIGN.md.)
+//   P2 (alpha-boundedness): tuples accessed <= alpha * |D|.
+//   P3 (Theorem 1): eta is monotone non-decreasing in alpha.
+//   P4 (Theorem 6(5)): set-difference answers never contain an exact
+//       answer of the negated side.
+
+#include <gtest/gtest.h>
+
+#include "accuracy/measures.h"
+#include "beas/beas.h"
+#include "engine/evaluator.h"
+#include "ra/parser.h"
+#include "workload/query_gen.h"
+#include "workload/tfacc.h"
+#include "workload/tpch.h"
+
+namespace beas {
+namespace {
+
+struct PropertyCase {
+  const char* dataset;
+  double alpha;
+};
+
+class BeasPropertyTest : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  void SetUp() override {
+    const auto& p = GetParam();
+    if (std::string(p.dataset) == "tpch") {
+      ds_ = MakeTpch(0.001, 77);
+    } else {
+      ds_ = MakeTfacc(1200, 77);
+    }
+    BeasOptions options;
+    options.constraints = ds_.constraints;
+    auto built = Beas::Build(&ds_.db, options);
+    ASSERT_TRUE(built.ok()) << built.status();
+    beas_ = std::move(*built);
+
+    QueryGenConfig cfg;
+    cfg.seed = 4242;
+    queries_ = GenerateQueries(ds_, 16, cfg);
+    schema_ = ds_.db.Schema();
+  }
+
+  bool IsAdditiveAgg(const QueryPtr& q) {
+    return q->kind() == QueryNode::Kind::kGroupBy && q->agg() != AggFunc::kMin &&
+           q->agg() != AggFunc::kMax;
+  }
+
+  Dataset ds_;
+  DatabaseSchema schema_;
+  std::unique_ptr<Beas> beas_;
+  std::vector<GeneratedQuery> queries_;
+};
+
+TEST_P(BeasPropertyTest, EtaLowerBoundsAccuracyAndBudgetHolds) {
+  double alpha = GetParam().alpha;
+  Evaluator exact_engine(ds_.db);
+  RcOptions rc;
+  rc.max_relaxation = 64;
+  int checked = 0;
+  for (const auto& gq : queries_) {
+    auto q = ParseSql(schema_, gq.sql);
+    ASSERT_TRUE(q.ok()) << gq.sql;
+    auto answer = beas_->Answer(*q, alpha);
+    if (!answer.ok()) continue;  // budget too small for this plan
+    // P2: budget compliance.
+    uint64_t budget = static_cast<uint64_t>(alpha * static_cast<double>(beas_->db_size()));
+    EXPECT_LE(answer->accessed, budget) << gq.sql;
+    // P1: eta validity (skip additive aggregates, see header comment).
+    if (IsAdditiveAgg(*q)) continue;
+    auto exact = exact_engine.Eval(*q);
+    if (!exact.ok()) continue;
+    auto rep = RcMeasureWithExact(ds_.db, *q, answer->table, *exact, rc);
+    if (!rep.ok()) continue;
+    EXPECT_GE(rep->accuracy + 1e-9, answer->eta)
+        << gq.sql << "\n acc=" << rep->accuracy << " eta=" << answer->eta;
+    ++checked;
+  }
+  EXPECT_GT(checked, 5) << "too few queries exercised the eta property";
+}
+
+TEST_P(BeasPropertyTest, EtaMonotoneInAlpha) {
+  double alpha = GetParam().alpha;
+  for (const auto& gq : queries_) {
+    auto q = ParseSql(schema_, gq.sql);
+    ASSERT_TRUE(q.ok());
+    auto lo = beas_->PlanOnly(*q, alpha);
+    auto hi = beas_->PlanOnly(*q, std::min(1.0, alpha * 4));
+    if (!lo.ok() || !hi.ok()) continue;
+    EXPECT_GE(hi->eta + 1e-12, lo->eta) << gq.sql;
+  }
+}
+
+TEST_P(BeasPropertyTest, DifferenceAnswersExcludeNegatedSide) {
+  double alpha = GetParam().alpha;
+  Evaluator exact_engine(ds_.db);
+  QueryGenConfig cfg;
+  cfg.seed = 999;
+  cfg.frac_agg = 0;
+  cfg.frac_diff = 1.0;
+  auto diff_queries = GenerateQueries(ds_, 10, cfg);
+  for (const auto& gq : diff_queries) {
+    auto q = ParseSql(schema_, gq.sql);
+    ASSERT_TRUE(q.ok()) << gq.sql;
+    if ((*q)->kind() != QueryNode::Kind::kDifference) continue;
+    auto answer = beas_->Answer(*q, alpha);
+    if (!answer.ok()) continue;
+    auto negated = exact_engine.Eval((*q)->right());
+    if (!negated.ok()) continue;
+    for (const auto& row : answer->table.rows()) {
+      EXPECT_FALSE(negated->Contains(row)) << gq.sql;
+    }
+  }
+}
+
+TEST_P(BeasPropertyTest, ExactPlansMatchEngine) {
+  // Whenever the plan claims exactness, the answers must equal Q(D).
+  double alpha = GetParam().alpha;
+  Evaluator exact_engine(ds_.db);
+  for (const auto& gq : queries_) {
+    auto q = ParseSql(schema_, gq.sql);
+    ASSERT_TRUE(q.ok());
+    auto answer = beas_->Answer(*q, alpha);
+    if (!answer.ok() || !answer->exact) continue;
+    auto exact = exact_engine.Eval(*q);
+    ASSERT_TRUE(exact.ok());
+    Table got = answer->table;
+    Table want = *exact;
+    got.SortRows();
+    want.SortRows();
+    ASSERT_EQ(got.size(), want.size()) << gq.sql;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got.row(i), want.row(i)) << gq.sql;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BeasPropertyTest,
+    ::testing::Values(PropertyCase{"tpch", 0.02}, PropertyCase{"tpch", 0.1},
+                      PropertyCase{"tpch", 0.5}, PropertyCase{"tfacc", 0.02},
+                      PropertyCase{"tfacc", 0.1}, PropertyCase{"tfacc", 0.5}),
+    [](const ::testing::TestParamInfo<PropertyCase>& info) {
+      std::string name = info.param.dataset;
+      name += "_a";
+      name += std::to_string(static_cast<int>(info.param.alpha * 100));
+      return name;
+    });
+
+}  // namespace
+}  // namespace beas

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include "ra/analysis.h"
+#include "ra/ast.h"
+#include "ra/parser.h"
+#include "testing/test_data.h"
+
+namespace beas {
+namespace {
+
+class RaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testing::MakeSocialDb(1, 50, 5, 4, 100);
+    schema_ = db_.Schema();
+  }
+  Database db_;
+  DatabaseSchema schema_;
+};
+
+TEST_F(RaTest, RelationLeafQualifiesAttributes) {
+  auto q = QueryNode::Relation(schema_, "person", "p");
+  ASSERT_TRUE(q.ok()) << q.status();
+  const RelationSchema& out = (*q)->output_schema();
+  EXPECT_EQ(out.arity(), 3u);
+  EXPECT_TRUE(out.FindAttribute("p.pid").has_value());
+  EXPECT_TRUE(out.FindAttribute("p.city").has_value());
+}
+
+TEST_F(RaTest, RelationUnknownFails) {
+  EXPECT_FALSE(QueryNode::Relation(schema_, "nope", "n").ok());
+}
+
+TEST_F(RaTest, SelectValidatesAttributes) {
+  auto rel = *QueryNode::Relation(schema_, "person", "p");
+  Predicate good{{Operand::Attr("p.pid"), CompareOp::kEq, Operand::Const(Value(1))}};
+  EXPECT_TRUE(QueryNode::Select(rel, good).ok());
+  Predicate bad{{Operand::Attr("p.zzz"), CompareOp::kEq, Operand::Const(Value(1))}};
+  EXPECT_FALSE(QueryNode::Select(rel, bad).ok());
+}
+
+TEST_F(RaTest, ProductRejectsSharedAliases) {
+  auto a = *QueryNode::Relation(schema_, "person", "p");
+  auto b = *QueryNode::Relation(schema_, "person", "p");
+  EXPECT_FALSE(QueryNode::Product(a, b).ok());
+  auto c = *QueryNode::Relation(schema_, "person", "q");
+  EXPECT_TRUE(QueryNode::Product(a, c).ok());
+}
+
+TEST_F(RaTest, ProjectRenames) {
+  auto rel = *QueryNode::Relation(schema_, "person", "p");
+  auto proj = QueryNode::Project(rel, {"p.city"}, true, {"city_out"});
+  ASSERT_TRUE(proj.ok());
+  EXPECT_TRUE((*proj)->output_schema().FindAttribute("city_out").has_value());
+}
+
+TEST_F(RaTest, GroupBySchema) {
+  auto rel = *QueryNode::Relation(schema_, "poi", "h");
+  auto gp = QueryNode::GroupBy(rel, {"h.city"}, AggFunc::kCount, "h.address", "n");
+  ASSERT_TRUE(gp.ok()) << gp.status();
+  const RelationSchema& out = (*gp)->output_schema();
+  ASSERT_EQ(out.arity(), 2u);
+  EXPECT_EQ(out.attribute(0).name, "h.city");
+  EXPECT_EQ(out.attribute(1).name, "n");
+  EXPECT_EQ(out.attribute(1).type, DataType::kInt64);
+}
+
+TEST_F(RaTest, GroupByAvgRequiresNumeric) {
+  auto rel = *QueryNode::Relation(schema_, "poi", "h");
+  EXPECT_FALSE(QueryNode::GroupBy(rel, {"h.city"}, AggFunc::kAvg, "h.type").ok());
+  EXPECT_TRUE(QueryNode::GroupBy(rel, {"h.city"}, AggFunc::kAvg, "h.price").ok());
+}
+
+TEST_F(RaTest, NeededRelaxationEquality) {
+  auto rel = *QueryNode::Relation(schema_, "poi", "h");
+  const RelationSchema& s = rel->output_schema();
+  Tuple t{Value(10.0), Value("hotel"), Value(int64_t{1}), Value(99.0)};
+  Comparison price_eq{Operand::Attr("h.price"), CompareOp::kEq, Operand::Const(Value(95.0)),
+                      0.0};
+  EXPECT_DOUBLE_EQ(NeededRelaxation(s, t, price_eq), 4.0);
+  Comparison type_eq{Operand::Attr("h.type"), CompareOp::kEq,
+                     Operand::Const(Value("museum")), 0.0};
+  EXPECT_TRUE(std::isinf(NeededRelaxation(s, t, type_eq)));
+}
+
+TEST_F(RaTest, NeededRelaxationInequalities) {
+  auto rel = *QueryNode::Relation(schema_, "poi", "h");
+  const RelationSchema& s = rel->output_schema();
+  Tuple t{Value(10.0), Value("hotel"), Value(int64_t{1}), Value(99.0)};
+  Comparison le{Operand::Attr("h.price"), CompareOp::kLe, Operand::Const(Value(95.0)), 0.0};
+  EXPECT_DOUBLE_EQ(NeededRelaxation(s, t, le), 4.0);
+  Comparison le_ok{Operand::Attr("h.price"), CompareOp::kLe, Operand::Const(Value(100.0)),
+                   0.0};
+  EXPECT_DOUBLE_EQ(NeededRelaxation(s, t, le_ok), 0.0);
+  Comparison ge{Operand::Attr("h.price"), CompareOp::kGe, Operand::Const(Value(99.0)), 0.0};
+  EXPECT_DOUBLE_EQ(NeededRelaxation(s, t, ge), 0.0);
+  Comparison ne{Operand::Attr("h.price"), CompareOp::kNe, Operand::Const(Value(99.0)), 0.0};
+  EXPECT_TRUE(std::isinf(NeededRelaxation(s, t, ne)));
+}
+
+TEST_F(RaTest, EvalComparisonWithSlack) {
+  auto rel = *QueryNode::Relation(schema_, "poi", "h");
+  const RelationSchema& s = rel->output_schema();
+  Tuple t{Value(10.0), Value("hotel"), Value(int64_t{1}), Value(99.0)};
+  Comparison cmp{Operand::Attr("h.price"), CompareOp::kEq, Operand::Const(Value(95.0)), 0.0};
+  EXPECT_FALSE(EvalComparison(s, t, cmp));
+  cmp.slack = 4.0;
+  EXPECT_TRUE(EvalComparison(s, t, cmp));
+  cmp.slack = 3.9;
+  EXPECT_FALSE(EvalComparison(s, t, cmp));
+}
+
+TEST_F(RaTest, StrictInequalityAtTieNeedsPositiveRelaxation) {
+  auto rel = *QueryNode::Relation(schema_, "poi", "h");
+  const RelationSchema& s = rel->output_schema();
+  Tuple t{Value(10.0), Value("hotel"), Value(int64_t{1}), Value(95.0)};
+  Comparison lt{Operand::Attr("h.price"), CompareOp::kLt, Operand::Const(Value(95.0)), 0.0};
+  EXPECT_FALSE(EvalComparison(s, t, lt));
+  double needed = NeededRelaxation(s, t, lt);
+  EXPECT_GT(needed, 0.0);
+  EXPECT_LT(needed, 1e-100);  // the tie epsilon, not a real distance
+}
+
+// --- Parser ---
+
+TEST_F(RaTest, ParsesExample1Query) {
+  auto q = ParseSql(schema_,
+                    "select h.address, h.price from poi as h, friend as f, person as p "
+                    "where f.pid = 0 and f.fid = p.pid and p.city = h.city and "
+                    "h.type = 'hotel' and h.price <= 95");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(ClassifyQuery(*q), QueryClass::kSpc);
+  const RelationSchema& out = (*q)->output_schema();
+  ASSERT_EQ(out.arity(), 2u);
+  EXPECT_EQ(out.attribute(0).name, "h.address");
+  EXPECT_EQ(out.attribute(1).name, "h.price");
+}
+
+TEST_F(RaTest, ParsesAggregate) {
+  auto q = ParseSql(schema_,
+                    "select h.city, count(h.address) as n from poi as h "
+                    "where h.type = 'hotel' group by h.city");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(ClassifyQuery(*q), QueryClass::kAggSpc);
+  EXPECT_EQ((*q)->agg(), AggFunc::kCount);
+}
+
+TEST_F(RaTest, ParsesExcept) {
+  auto q = ParseSql(schema_,
+                    "select p.city from person as p except "
+                    "select h.city from poi as h where h.type = 'hotel'");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(ClassifyQuery(*q), QueryClass::kRa);
+}
+
+TEST_F(RaTest, ParsesUnion) {
+  auto q = ParseSql(schema_,
+                    "select p.city from person as p union select h.city from poi as h");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ((*q)->kind(), QueryNode::Kind::kUnion);
+}
+
+TEST_F(RaTest, ParserResolvesUnqualified) {
+  auto q = ParseSql(schema_, "select price from poi as h where type = 'hotel'");
+  ASSERT_TRUE(q.ok()) << q.status();
+}
+
+TEST_F(RaTest, ParserRejectsAmbiguous) {
+  auto q = ParseSql(schema_, "select city from person as p, poi as h");
+  EXPECT_FALSE(q.ok());
+}
+
+TEST_F(RaTest, ParserRejectsGarbage) {
+  EXPECT_FALSE(ParseSql(schema_, "selek * from person p").ok());
+  EXPECT_FALSE(ParseSql(schema_, "select p.pid from person p where").ok());
+  EXPECT_FALSE(ParseSql(schema_, "select p.pid frm person p").ok());
+  EXPECT_FALSE(ParseSql(schema_, "select p.pid from person p where p.pid = 'unterminated")
+                   .ok());
+}
+
+TEST_F(RaTest, ParserNormalizesConstOnLeft) {
+  auto q = ParseSql(schema_, "select p.pid from person as p where 3 >= p.pid");
+  ASSERT_TRUE(q.ok()) << q.status();
+  // The comparison should be attr <= const after normalization.
+  Predicate preds = CollectComparisons(*q);
+  ASSERT_EQ(preds.size(), 1u);
+  EXPECT_TRUE(preds[0].lhs.is_attr);
+  EXPECT_EQ(preds[0].op, CompareOp::kLe);
+}
+
+// --- Analysis ---
+
+TEST_F(RaTest, ClassifyQueryVariants) {
+  auto spc = *ParseSql(schema_, "select p.pid from person as p");
+  EXPECT_EQ(ClassifyQuery(spc), QueryClass::kSpc);
+  auto ra = *ParseSql(schema_,
+                      "select p.city from person as p except select h.city from poi as h");
+  EXPECT_EQ(ClassifyQuery(ra), QueryClass::kRa);
+  auto agg = *ParseSql(schema_, "select p.city, count(p.pid) from person as p group by "
+                                "p.city");
+  EXPECT_EQ(ClassifyQuery(agg), QueryClass::kAggSpc);
+}
+
+TEST_F(RaTest, NormalizeSpcCollectsAtomsAndComparisons) {
+  auto q = *ParseSql(schema_,
+                     "select h.address from poi as h, person as p "
+                     "where p.city = h.city and h.price <= 95");
+  auto nf = NormalizeSpc(q);
+  ASSERT_TRUE(nf.ok()) << nf.status();
+  EXPECT_EQ(nf->atoms.size(), 2u);
+  EXPECT_EQ(nf->comparisons.size(), 2u);
+  ASSERT_EQ(nf->output_attrs.size(), 1u);
+  EXPECT_EQ(nf->output_attrs[0], "h.address");
+}
+
+TEST_F(RaTest, NormalizeSpcRejectsRa) {
+  auto q = *ParseSql(schema_,
+                     "select p.city from person as p except select h.city from poi as h");
+  EXPECT_FALSE(NormalizeSpc(q).ok());
+}
+
+TEST_F(RaTest, MaxSpcSubqueriesOfDifference) {
+  auto q = *ParseSql(schema_,
+                     "select p.city from person as p except select h.city from poi as h");
+  auto subs = MaxSpcSubqueries(q);
+  EXPECT_EQ(subs.size(), 2u);
+}
+
+TEST_F(RaTest, MaximalInducedDropsNegation) {
+  auto q = *ParseSql(schema_,
+                     "select p.city from person as p except select h.city from poi as h");
+  auto hat = MaximalInduced(q);
+  ASSERT_TRUE(hat.ok());
+  EXPECT_TRUE(IsSpc(*hat));
+  EXPECT_EQ(ClassifyQuery(*hat), QueryClass::kSpc);
+}
+
+TEST_F(RaTest, MaximalInducedKeepsUnions) {
+  auto q = *ParseSql(schema_,
+                     "select p.city from person as p union select h.city from poi as h");
+  auto hat = MaximalInduced(q);
+  ASSERT_TRUE(hat.ok());
+  EXPECT_EQ((*hat)->kind(), QueryNode::Kind::kUnion);
+}
+
+TEST_F(RaTest, OutputOriginsTracksRenames) {
+  auto q = *ParseSql(schema_, "select p.city as c from person as p");
+  auto origins = OutputOrigins(q);
+  ASSERT_TRUE(origins.count("c") > 0);
+  EXPECT_EQ(origins.at("c"), "p.city");
+}
+
+}  // namespace
+}  // namespace beas

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "storage/csv.h"
+#include "storage/database.h"
+#include "storage/table.h"
+
+namespace beas {
+namespace {
+
+RelationSchema TestSchema() {
+  return RelationSchema("r", {{"id", DataType::kInt64},
+                              {"x", DataType::kDouble, DistanceSpec::Numeric()},
+                              {"name", DataType::kString}});
+}
+
+TEST(TableTest, AppendChecksArity) {
+  Table t(TestSchema());
+  EXPECT_TRUE(t.Append({Value(int64_t{1}), Value(1.5), Value("a")}).ok());
+  EXPECT_FALSE(t.Append({Value(int64_t{1})}).ok());
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TableTest, DistinctRemovesDuplicatesPreservingOrder) {
+  Table t(TestSchema());
+  t.AppendUnchecked({Value(int64_t{2}), Value(1.0), Value("b")});
+  t.AppendUnchecked({Value(int64_t{1}), Value(1.0), Value("a")});
+  t.AppendUnchecked({Value(int64_t{2}), Value(1.0), Value("b")});
+  t.Distinct();
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.row(0)[0], Value(int64_t{2}));
+  EXPECT_EQ(t.row(1)[0], Value(int64_t{1}));
+}
+
+TEST(TableTest, SortRowsIsLexicographic) {
+  Table t(TestSchema());
+  t.AppendUnchecked({Value(int64_t{2}), Value(1.0), Value("b")});
+  t.AppendUnchecked({Value(int64_t{1}), Value(9.0), Value("z")});
+  t.SortRows();
+  EXPECT_EQ(t.row(0)[0], Value(int64_t{1}));
+}
+
+TEST(TableTest, Contains) {
+  Table t(TestSchema());
+  t.AppendUnchecked({Value(int64_t{1}), Value(1.0), Value("a")});
+  EXPECT_TRUE(t.Contains({Value(int64_t{1}), Value(1.0), Value("a")}));
+  EXPECT_FALSE(t.Contains({Value(int64_t{2}), Value(1.0), Value("a")}));
+}
+
+TEST(DatabaseTest, AddAndFind) {
+  Database db;
+  ASSERT_TRUE(db.AddTable(Table(TestSchema())).ok());
+  EXPECT_FALSE(db.AddTable(Table(TestSchema())).ok());  // duplicate
+  EXPECT_TRUE(db.FindTable("r").ok());
+  EXPECT_FALSE(db.FindTable("missing").ok());
+}
+
+TEST(DatabaseTest, TotalTuplesSumsTables) {
+  Database db;
+  Table t1(TestSchema());
+  t1.AppendUnchecked({Value(int64_t{1}), Value(1.0), Value("a")});
+  t1.AppendUnchecked({Value(int64_t{2}), Value(2.0), Value("b")});
+  (void)db.AddTable(std::move(t1));
+  Table t2(RelationSchema("s", {{"y", DataType::kInt64}}));
+  t2.AppendUnchecked({Value(int64_t{3})});
+  (void)db.AddTable(std::move(t2));
+  EXPECT_EQ(db.TotalTuples(), 3u);
+}
+
+TEST(DatabaseTest, SchemaReflectsTables) {
+  Database db;
+  (void)db.AddTable(Table(TestSchema()));
+  DatabaseSchema schema = db.Schema();
+  ASSERT_TRUE(schema.FindRelation("r").ok());
+  EXPECT_EQ((*schema.FindRelation("r"))->arity(), 3u);
+}
+
+TEST(CsvTest, RoundTrip) {
+  Table t(TestSchema());
+  t.AppendUnchecked({Value(int64_t{1}), Value(1.5), Value("plain")});
+  t.AppendUnchecked({Value(int64_t{2}), Value(-2.25), Value("with,comma")});
+  t.AppendUnchecked({Value(int64_t{3}), Value(0.0), Value("quote\"inside")});
+
+  std::string path =
+      (std::filesystem::temp_directory_path() / "beas_csv_test.csv").string();
+  ASSERT_TRUE(WriteCsv(t, path).ok());
+  auto back = ReadCsv(TestSchema(), path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->size(), 3u);
+  EXPECT_EQ(back->row(1)[2], Value("with,comma"));
+  EXPECT_EQ(back->row(2)[2], Value("quote\"inside"));
+  EXPECT_EQ(back->row(0)[1], Value(1.5));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingColumnFails) {
+  Table t(RelationSchema("r", {{"only", DataType::kInt64}}));
+  t.AppendUnchecked({Value(int64_t{1})});
+  std::string path =
+      (std::filesystem::temp_directory_path() / "beas_csv_test2.csv").string();
+  ASSERT_TRUE(WriteCsv(t, path).ok());
+  auto back = ReadCsv(TestSchema(), path);
+  EXPECT_FALSE(back.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace beas

@@ -1,0 +1,86 @@
+#include "testing/test_data.h"
+
+#include <cmath>
+
+namespace beas {
+namespace testing {
+
+Database MakeSocialDb(uint64_t seed, int num_people, int num_cities, int max_friends,
+                      int num_pois) {
+  Rng rng(seed);
+  Database db;
+
+  RelationSchema person("person", {
+                                      {"pid", DataType::kInt64, DistanceSpec::Trivial()},
+                                      {"city", DataType::kInt64, DistanceSpec::Trivial()},
+                                      {"address", DataType::kDouble, DistanceSpec::Numeric()},
+                                  });
+  Table person_t(person);
+  std::vector<int64_t> city_of(static_cast<size_t>(num_people));
+  for (int p = 0; p < num_people; ++p) {
+    int64_t city = rng.Uniform(0, num_cities - 1);
+    city_of[static_cast<size_t>(p)] = city;
+    person_t.AppendUnchecked({Value(static_cast<int64_t>(p)), Value(city),
+                              Value(rng.UniformReal(0, 1000))});
+  }
+  (void)db.AddTable(std::move(person_t));
+
+  RelationSchema friend_rel("friend", {
+                                          {"pid", DataType::kInt64, DistanceSpec::Trivial()},
+                                          {"fid", DataType::kInt64, DistanceSpec::Trivial()},
+                                      });
+  Table friend_t(friend_rel);
+  for (int p = 0; p < num_people; ++p) {
+    int n = static_cast<int>(rng.Uniform(0, max_friends));
+    std::vector<int64_t> friends;
+    for (int i = 0; i < n; ++i) {
+      int64_t f = rng.Uniform(0, num_people - 1);
+      if (f == p) continue;
+      bool dup = false;
+      for (int64_t existing : friends) dup |= existing == f;
+      if (!dup) friends.push_back(f);
+    }
+    for (int64_t f : friends) {
+      friend_t.AppendUnchecked({Value(static_cast<int64_t>(p)), Value(f)});
+    }
+  }
+  (void)db.AddTable(std::move(friend_t));
+
+  RelationSchema poi("poi", {
+                                {"address", DataType::kDouble, DistanceSpec::Numeric()},
+                                {"type", DataType::kString, DistanceSpec::Trivial()},
+                                {"city", DataType::kInt64, DistanceSpec::Trivial()},
+                                {"price", DataType::kDouble, DistanceSpec::Numeric()},
+                            });
+  Table poi_t(poi);
+  const char* kTypes[] = {"hotel", "restaurant", "museum"};
+  for (int i = 0; i < num_pois; ++i) {
+    poi_t.AppendUnchecked({Value(rng.UniformReal(0, 1000)),
+                           Value(kTypes[rng.Uniform(0, 2)]),
+                           Value(rng.Uniform(0, num_cities - 1)),
+                           Value(std::floor(rng.UniformReal(20, 200)))});
+  }
+  (void)db.AddTable(std::move(poi_t));
+  return db;
+}
+
+Database MakeNumericDb(uint64_t seed, int rows) {
+  Rng rng(seed);
+  Database db;
+  RelationSchema r("r", {
+                            {"k", DataType::kInt64, DistanceSpec::Trivial()},
+                            {"a", DataType::kDouble, DistanceSpec::Numeric()},
+                            {"b", DataType::kDouble, DistanceSpec::Numeric()},
+                            {"c", DataType::kInt64, DistanceSpec::Trivial()},
+                        });
+  Table t(r);
+  for (int i = 0; i < rows; ++i) {
+    t.AppendUnchecked({Value(static_cast<int64_t>(i)), Value(rng.UniformReal(0, 100)),
+                       Value(rng.UniformReal(0, 100)), Value(rng.Uniform(0, 5))});
+  }
+  (void)db.AddTable(std::move(t));
+  return db;
+}
+
+}  // namespace testing
+}  // namespace beas

@@ -1,0 +1,29 @@
+// Shared test fixtures: the paper's Example 1 social/POI database and a
+// small numeric dataset for index and accuracy tests.
+
+#ifndef BEAS_TESTS_TESTING_TEST_DATA_H_
+#define BEAS_TESTS_TESTING_TEST_DATA_H_
+
+#include "common/rng.h"
+#include "storage/database.h"
+
+namespace beas {
+namespace testing {
+
+/// The Example 1 schema:
+///   person(pid, city, address)   -- pid/city trivial, address numeric
+///   friend(pid, fid)
+///   poi(address, type, city, price)  -- price/address numeric distances
+/// Each pid lives in one city (constraint phi2), has at most
+/// `max_friends` friends (phi1). POI prices are uniform in [20, 200].
+Database MakeSocialDb(uint64_t seed, int num_people, int num_cities, int max_friends,
+                      int num_pois);
+
+/// A single-relation database r(k, a, b, c): k a trivial-metric key,
+/// a/b numeric uniform, c a categorical code (trivial metric) in [0,5].
+Database MakeNumericDb(uint64_t seed, int rows);
+
+}  // namespace testing
+}  // namespace beas
+
+#endif  // BEAS_TESTS_TESTING_TEST_DATA_H_

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "types/distance.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace beas {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value().type(), DataType::kNull);
+  EXPECT_EQ(Value(int64_t{5}).type(), DataType::kInt64);
+  EXPECT_EQ(Value(2.5).type(), DataType::kDouble);
+  EXPECT_EQ(Value("hi").type(), DataType::kString);
+  EXPECT_EQ(Value(int64_t{5}).as_int64(), 5);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value("hi").as_string(), "hi");
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_EQ(Value(int64_t{1}), Value(1.0));
+  EXPECT_NE(Value(int64_t{1}), Value(1.5));
+  EXPECT_EQ(Value(int64_t{1}).Hash(), Value(1.0).Hash());
+}
+
+TEST(ValueTest, StringNeverEqualsNumeric) {
+  EXPECT_NE(Value("1"), Value(int64_t{1}));
+}
+
+TEST(ValueTest, NullSemantics) {
+  EXPECT_EQ(Value(), Value());
+  EXPECT_NE(Value(), Value(int64_t{0}));
+  EXPECT_TRUE(Value().is_null());
+}
+
+TEST(ValueTest, TotalOrder) {
+  EXPECT_LT(Value(), Value(int64_t{0}));
+  EXPECT_LT(Value(int64_t{1}), Value(2.0));
+  EXPECT_LT(Value(int64_t{100}), Value("a"));
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_FALSE(Value("b") < Value("a"));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value("x").ToString(), "x");
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value(1.25).ToString(), "1.25");
+}
+
+TEST(DistanceTest, TrivialMetric) {
+  DistanceSpec spec = DistanceSpec::Trivial();
+  EXPECT_EQ(AttributeDistance(spec, Value(int64_t{1}), Value(int64_t{1})), 0.0);
+  EXPECT_EQ(AttributeDistance(spec, Value(int64_t{1}), Value(int64_t{2})), kInfDistance);
+  EXPECT_EQ(AttributeDistance(spec, Value("a"), Value("a")), 0.0);
+  EXPECT_EQ(AttributeDistance(spec, Value("a"), Value("b")), kInfDistance);
+}
+
+TEST(DistanceTest, NumericMetric) {
+  DistanceSpec spec = DistanceSpec::Numeric();
+  EXPECT_DOUBLE_EQ(AttributeDistance(spec, Value(95.0), Value(99.0)), 4.0);
+  EXPECT_DOUBLE_EQ(AttributeDistance(spec, Value(int64_t{5}), Value(2.5)), 2.5);
+}
+
+TEST(DistanceTest, NumericScale) {
+  DistanceSpec spec = DistanceSpec::Numeric(0.5);
+  EXPECT_DOUBLE_EQ(AttributeDistance(spec, Value(0.0), Value(10.0)), 5.0);
+}
+
+TEST(DistanceTest, NumericSpecOnStringsFallsBackToTrivial) {
+  DistanceSpec spec = DistanceSpec::Numeric();
+  EXPECT_EQ(AttributeDistance(spec, Value("a"), Value("b")), kInfDistance);
+  EXPECT_EQ(AttributeDistance(spec, Value("a"), Value("a")), 0.0);
+}
+
+TEST(DistanceTest, NullDistance) {
+  DistanceSpec spec = DistanceSpec::Numeric();
+  EXPECT_EQ(AttributeDistance(spec, Value(), Value()), 0.0);
+  EXPECT_EQ(AttributeDistance(spec, Value(), Value(1.0)), kInfDistance);
+}
+
+TEST(DistanceTest, TriangleInequalityNumericSample) {
+  DistanceSpec spec = DistanceSpec::Numeric();
+  Value a(1.0), b(5.0), c(9.0);
+  EXPECT_LE(AttributeDistance(spec, a, c),
+            AttributeDistance(spec, a, b) + AttributeDistance(spec, b, c));
+}
+
+TEST(SchemaTest, AttributeLookup) {
+  RelationSchema r("r", {{"a", DataType::kInt64}, {"b", DataType::kDouble}});
+  EXPECT_EQ(r.arity(), 2u);
+  ASSERT_TRUE(r.FindAttribute("b").has_value());
+  EXPECT_EQ(*r.FindAttribute("b"), 1u);
+  EXPECT_FALSE(r.FindAttribute("z").has_value());
+  EXPECT_FALSE(r.AttributeIndex("z").ok());
+}
+
+TEST(SchemaTest, DatabaseSchemaRejectsDuplicates) {
+  DatabaseSchema db;
+  ASSERT_TRUE(db.AddRelation(RelationSchema("r", {{"a", DataType::kInt64}})).ok());
+  EXPECT_FALSE(db.AddRelation(RelationSchema("r", {{"b", DataType::kInt64}})).ok());
+  ASSERT_TRUE(db.FindRelation("r").ok());
+  EXPECT_FALSE(db.FindRelation("missing").ok());
+}
+
+TEST(TupleTest, DistanceIsWorstAttribute) {
+  RelationSchema r("r", {{"a", DataType::kDouble, DistanceSpec::Numeric()},
+                         {"b", DataType::kDouble, DistanceSpec::Numeric()}});
+  Tuple t1{Value(1.0), Value(10.0)};
+  Tuple t2{Value(2.0), Value(15.0)};
+  EXPECT_DOUBLE_EQ(TupleDistance(r, t1, t2), 5.0);
+}
+
+TEST(TupleTest, DistanceInfiniteOnTrivialMismatch) {
+  RelationSchema r("r", {{"a", DataType::kInt64, DistanceSpec::Trivial()},
+                         {"b", DataType::kDouble, DistanceSpec::Numeric()}});
+  Tuple t1{Value(int64_t{1}), Value(10.0)};
+  Tuple t2{Value(int64_t{2}), Value(10.0)};
+  EXPECT_EQ(TupleDistance(r, t1, t2), kInfDistance);
+}
+
+TEST(TupleTest, DistanceOnSubset) {
+  RelationSchema r("r", {{"a", DataType::kInt64, DistanceSpec::Trivial()},
+                         {"b", DataType::kDouble, DistanceSpec::Numeric()}});
+  Tuple t1{Value(int64_t{1}), Value(10.0)};
+  Tuple t2{Value(int64_t{2}), Value(13.0)};
+  EXPECT_DOUBLE_EQ(TupleDistanceOn(r, {1}, t1, t2), 3.0);
+}
+
+TEST(TupleTest, HashConsistentWithEquality) {
+  Tuple a{Value(int64_t{1}), Value("x")};
+  Tuple b{Value(1.0), Value("x")};
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(TupleHash(a), TupleHash(b));
+}
+
+TEST(TupleTest, ToString) {
+  Tuple t{Value(int64_t{1}), Value("x")};
+  EXPECT_EQ(TupleToString(t), "(1, x)");
+}
+
+}  // namespace
+}  // namespace beas

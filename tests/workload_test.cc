@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "engine/evaluator.h"
+#include "index/index_store.h"
+#include "ra/parser.h"
+#include "workload/airca.h"
+#include "workload/query_gen.h"
+#include "workload/tfacc.h"
+#include "workload/tpch.h"
+
+namespace beas {
+namespace {
+
+TEST(TpchTest, TableShapesAndKeys) {
+  Dataset ds = MakeTpch(0.001, 1);
+  EXPECT_EQ(ds.db.tables().size(), 8u);
+  EXPECT_EQ((*ds.db.FindTable("region"))->size(), 5u);
+  EXPECT_EQ((*ds.db.FindTable("nation"))->size(), 25u);
+  const Table* part = *ds.db.FindTable("part");
+  const Table* partsupp = *ds.db.FindTable("partsupp");
+  EXPECT_EQ(partsupp->size(), part->size() * 4);
+  const Table* lineitem = *ds.db.FindTable("lineitem");
+  const Table* orders = *ds.db.FindTable("orders");
+  EXPECT_GE(lineitem->size(), orders->size());
+  EXPECT_LE(lineitem->size(), orders->size() * 7);
+}
+
+TEST(TpchTest, DeterministicInSeed) {
+  Dataset a = MakeTpch(0.001, 5);
+  Dataset b = MakeTpch(0.001, 5);
+  EXPECT_EQ(a.db.TotalTuples(), b.db.TotalTuples());
+  const Table* la = *a.db.FindTable("lineitem");
+  const Table* lb = *b.db.FindTable("lineitem");
+  ASSERT_EQ(la->size(), lb->size());
+  EXPECT_EQ(la->row(0), lb->row(0));
+  EXPECT_EQ(la->row(la->size() - 1), lb->row(lb->size() - 1));
+}
+
+TEST(TpchTest, ScaleFactorScalesRows) {
+  Dataset small = MakeTpch(0.001, 1);
+  Dataset large = MakeTpch(0.004, 1);
+  EXPECT_GT(large.db.TotalTuples(), 2 * small.db.TotalTuples());
+}
+
+TEST(TpchTest, DeclaredConstraintsHold) {
+  Dataset ds = MakeTpch(0.002, 2);
+  IndexStore store;
+  Status st = store.Build(ds.db, {}, ds.constraints);
+  EXPECT_TRUE(st.ok()) << st;
+}
+
+TEST(AircaTest, ConstraintsHoldAndJoinsResolve) {
+  Dataset ds = MakeAirca(3000, 3);
+  IndexStore store;
+  Status st = store.Build(ds.db, {}, ds.constraints);
+  EXPECT_TRUE(st.ok()) << st;
+  // All join edges reference existing attributes.
+  DatabaseSchema schema = ds.db.Schema();
+  for (const auto& e : ds.spec.joins) {
+    ASSERT_TRUE(schema.FindRelation(e.rel_a).ok());
+    ASSERT_TRUE(schema.FindRelation(e.rel_b).ok());
+    EXPECT_TRUE((*schema.FindRelation(e.rel_a))->FindAttribute(e.attr_a).has_value());
+    EXPECT_TRUE((*schema.FindRelation(e.rel_b))->FindAttribute(e.attr_b).has_value());
+  }
+}
+
+TEST(TfaccTest, ConstraintsHoldAndFanoutBounded) {
+  Dataset ds = MakeTfacc(2000, 4);
+  IndexStore store;
+  Status st = store.Build(ds.db, {}, ds.constraints);
+  EXPECT_TRUE(st.ok()) << st;
+  const Table* accidents = *ds.db.FindTable("accidents");
+  EXPECT_EQ(accidents->size(), 2000u);
+}
+
+class QueryGenTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ds_ = MakeTfacc(1500, 11); }
+  Dataset ds_;
+};
+
+TEST_F(QueryGenTest, GeneratesRequestedCount) {
+  auto queries = GenerateQueries(ds_, 30);
+  EXPECT_EQ(queries.size(), 30u);
+}
+
+TEST_F(QueryGenTest, AllQueriesParse) {
+  DatabaseSchema schema = ds_.db.Schema();
+  auto queries = GenerateQueries(ds_, 40);
+  for (const auto& gq : queries) {
+    auto q = ParseSql(schema, gq.sql);
+    EXPECT_TRUE(q.ok()) << gq.sql << "\n" << q.status();
+  }
+}
+
+TEST_F(QueryGenTest, AllQueriesEvaluate) {
+  DatabaseSchema schema = ds_.db.Schema();
+  Evaluator ev(ds_.db);
+  auto queries = GenerateQueries(ds_, 25);
+  size_t nonempty = 0;
+  for (const auto& gq : queries) {
+    auto q = ParseSql(schema, gq.sql);
+    ASSERT_TRUE(q.ok()) << gq.sql;
+    auto t = ev.Eval(*q);
+    ASSERT_TRUE(t.ok()) << gq.sql << "\n" << t.status();
+    nonempty += t->size() > 0 ? 1 : 0;
+  }
+  // Constants are drawn from the data: a decent share must be non-empty.
+  EXPECT_GT(nonempty, queries.size() / 3);
+}
+
+TEST_F(QueryGenTest, KnobsAreRespected) {
+  QueryGenConfig cfg;
+  cfg.min_sel = 4;
+  cfg.max_sel = 4;
+  cfg.min_prod = 1;
+  cfg.max_prod = 1;
+  cfg.frac_agg = 0.0;
+  cfg.frac_diff = 0.0;
+  auto queries = GenerateQueries(ds_, 15, cfg);
+  for (const auto& gq : queries) {
+    EXPECT_FALSE(gq.has_agg);
+    EXPECT_EQ(gq.n_diff, 0);
+    EXPECT_LE(gq.n_prod, 1);
+    EXPECT_LE(gq.n_sel, 4);
+  }
+}
+
+TEST_F(QueryGenTest, AggregateFractionRoughlyHonored) {
+  QueryGenConfig cfg;
+  cfg.frac_agg = 1.0;
+  auto queries = GenerateQueries(ds_, 20, cfg);
+  size_t aggs = 0;
+  for (const auto& gq : queries) aggs += gq.has_agg ? 1 : 0;
+  EXPECT_GT(aggs, 15u);  // some may fall back when no group attr available
+}
+
+TEST_F(QueryGenTest, DeterministicInSeed) {
+  auto a = GenerateQueries(ds_, 10);
+  auto b = GenerateQueries(ds_, 10);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].sql, b[i].sql);
+}
+
+TEST_F(QueryGenTest, DifferencesGenerated) {
+  QueryGenConfig cfg;
+  cfg.frac_agg = 0.0;
+  cfg.frac_diff = 1.0;
+  auto queries = GenerateQueries(ds_, 15, cfg);
+  size_t with_diff = 0;
+  for (const auto& gq : queries) with_diff += gq.n_diff > 0 ? 1 : 0;
+  EXPECT_GT(with_diff, 10u);
+}
+
+}  // namespace
+}  // namespace beas

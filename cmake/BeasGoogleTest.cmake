@@ -1,0 +1,52 @@
+# Resolve GoogleTest, preferring what is already on the machine:
+#   1. an installed CMake package (Debian/Ubuntu libgtest-dev, vcpkg, conan, ...)
+#   2. the distro source tree at /usr/src/googletest (Debian ships sources only
+#      on older releases)
+#   3. FetchContent from upstream (needs network; last resort so an offline
+#      build without a system GTest fails with a clear message here, not a
+#      cryptic link error later)
+#
+# Guarantees the targets GTest::gtest and GTest::gtest_main exist afterwards.
+
+include_guard(GLOBAL)
+
+if(TARGET GTest::gtest_main)
+  return()
+endif()
+
+# Gate on the target, not the FOUND variables: module-mode FindGTest only
+# provides GTest::gtest_main from CMake 3.20, and config packages always do.
+find_package(GTest QUIET)
+if(TARGET GTest::gtest_main)
+  message(STATUS "GoogleTest: using installed package")
+  return()
+endif()
+if(TARGET GTest::Main)
+  add_library(GTest::gtest ALIAS GTest::GTest)
+  add_library(GTest::gtest_main ALIAS GTest::Main)
+  message(STATUS "GoogleTest: using installed package (legacy targets)")
+  return()
+endif()
+
+if(EXISTS /usr/src/googletest/CMakeLists.txt)
+  message(STATUS "GoogleTest: building from /usr/src/googletest")
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  add_subdirectory(/usr/src/googletest "${CMAKE_BINARY_DIR}/_deps/googletest"
+    EXCLUDE_FROM_ALL)
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest ALIAS gtest)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+  return()
+endif()
+
+message(STATUS "GoogleTest: not found locally, fetching from upstream")
+include(FetchContent)
+FetchContent_Declare(googletest
+  URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+  URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7)
+set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+FetchContent_MakeAvailable(googletest)

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "baselines/baselines.h"
 #include "common/string_util.h"
@@ -17,6 +18,44 @@ namespace {
 double MillisSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
       .count();
+}
+
+// Minimal JSON string escaping (quotes, backslashes, control characters).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
 }
 
 }  // namespace
@@ -166,7 +205,41 @@ void PrintSeries(const std::string& title, const std::string& x_label,
                   series[s].c_str(), values[x][s]);
     }
   }
+  std::string json = SeriesToJson(title, x_label, x_values, series, values);
+  std::printf("JSON %s\n", json.c_str());
+  if (const char* path = std::getenv("BEAS_BENCH_JSON"); path != nullptr && *path) {
+    if (std::FILE* f = std::fopen(path, "a")) {
+      std::fprintf(f, "%s\n", json.c_str());
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "warning: cannot append to BEAS_BENCH_JSON=%s\n", path);
+    }
+  }
   std::fflush(stdout);
+}
+
+std::string SeriesToJson(const std::string& title, const std::string& x_label,
+                         const std::vector<std::string>& x_values,
+                         const std::vector<std::string>& series,
+                         const std::vector<std::vector<double>>& values) {
+  std::string out = StrCat("{\"type\":\"series\",\"title\":\"", JsonEscape(title),
+                           "\",\"x_label\":\"", JsonEscape(x_label), "\",\"series\":[");
+  for (size_t s = 0; s < series.size(); ++s) {
+    if (s > 0) out += ",";
+    out += StrCat("\"", JsonEscape(series[s]), "\"");
+  }
+  out += "],\"points\":[";
+  for (size_t x = 0; x < x_values.size(); ++x) {
+    if (x > 0) out += ",";
+    out += StrCat("{\"x\":\"", JsonEscape(x_values[x]), "\",\"values\":{");
+    for (size_t s = 0; s < series.size(); ++s) {
+      if (s > 0) out += ",";
+      out += StrCat("\"", JsonEscape(series[s]), "\":", JsonNumber(values[x][s]));
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
 }
 
 QueryGenConfig PaperQueryMix(uint64_t seed) {

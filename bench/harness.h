@@ -93,11 +93,23 @@ double AvgScore(const std::vector<PerQueryResult>& results, const std::string& m
 double AvgEta(const std::vector<PerQueryResult>& results, std::vector<QueryClass> want);
 
 /// Prints a Figure-6-style series table: one row per x value, one column
-/// per series.
+/// per series. Also emits the same data machine-readably: legacy
+/// "DATA,<title>,<x>,<series>,<value>" CSV lines, plus one single-line
+/// JSON object prefixed "JSON " (schema documented in bench/README.md).
+/// When the environment variable BEAS_BENCH_JSON names a file, the JSON
+/// object is additionally appended to it (JSONL, one object per series).
 void PrintSeries(const std::string& title, const std::string& x_label,
                  const std::vector<std::string>& x_values,
                  const std::vector<std::string>& series,
                  const std::vector<std::vector<double>>& values /* [x][series] */);
+
+/// Renders one PrintSeries dataset as the single-line JSON object the
+/// "JSON " stdout lines and BEAS_BENCH_JSON sink use. Non-finite values
+/// serialize as null.
+std::string SeriesToJson(const std::string& title, const std::string& x_label,
+                         const std::vector<std::string>& x_values,
+                         const std::vector<std::string>& series,
+                         const std::vector<std::vector<double>>& values);
 
 /// Parses "NAME=value"-style overrides from argv ("sf=0.002 queries=30").
 double ArgOr(int argc, char** argv, const std::string& key, double fallback);

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Docs-presence check: every public header under src/ must open with a
+# file-level comment (what the file is for), and headers in the
+# batching-contract directories must carry doxygen (///) API comments.
+# Run from the repo root; exits non-zero listing offenders.
+
+set -u
+
+fail=0
+
+# 1) File-level comment: the first line of every src/**/*.h must be a
+#    comment line.
+while IFS= read -r header; do
+  first_line=$(head -n 1 "$header")
+  case "$first_line" in
+    //*) ;;
+    *)
+      echo "MISSING FILE-LEVEL COMMENT: $header"
+      fail=1
+      ;;
+  esac
+done < <(find src -name '*.h' | sort)
+
+# 2) Doxygen coverage in the directories the batch/chunk contract spans:
+#    each header there must contain at least one '///' doc comment.
+for dir in src/types src/storage src/engine src/beas src/index; do
+  while IFS= read -r header; do
+    if ! grep -q '///' "$header"; then
+      echo "MISSING DOXYGEN COMMENTS (no /// found): $header"
+      fail=1
+    fi
+  done < <(find "$dir" -name '*.h' | sort)
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "Header documentation check FAILED (see offenders above)."
+  exit 1
+fi
+echo "Header documentation check passed."

@@ -9,6 +9,7 @@
 
 #include "common/string_util.h"
 #include "engine/aggregate.h"
+#include "types/column_chunk.h"
 #include "types/distance.h"
 
 namespace beas {
@@ -147,9 +148,7 @@ Result<BeasAnswer> PlanExecutor::Execute(const BeasPlan& plan, uint64_t budget) 
       }
       for (const auto& y : op.family->y_attrs) next.cols.push_back(y);
 
-      for (const auto& probe : probes) {
-        BEAS_ASSIGN_OR_RETURN(std::vector<FetchEntry> entries,
-                              store_->Fetch(op.family_id, op.level, probe.xkey));
+      auto extend = [&](const ProbeCtx& probe, const std::vector<FetchEntry>& entries) {
         for (const auto& e : entries) {
           Tuple row;
           row.reserve(next.cols.size());
@@ -162,6 +161,29 @@ Result<BeasAnswer> PlanExecutor::Execute(const BeasPlan& plan, uint64_t budget) 
           for (const auto& v : *e.y) row.push_back(v);
           next.rows.push_back(std::move(row));
           next.weights.push_back(probe.weight * e.count);
+        }
+      };
+      if (eval_options_.vectorized) {
+        // Batched fetch: one family resolution per chunk of probes
+        // instead of per probe (the meter still charges per key). Same
+        // accessed totals and the same rows in the same order as the
+        // scalar loop below.
+        std::vector<const Tuple*> keys;
+        std::vector<std::vector<FetchEntry>> fetched;
+        for (size_t base = 0; base < probes.size(); base += kDefaultChunkCapacity) {
+          size_t m = std::min(kDefaultChunkCapacity, probes.size() - base);
+          keys.clear();
+          keys.reserve(m);
+          for (size_t i = 0; i < m; ++i) keys.push_back(&probes[base + i].xkey);
+          BEAS_RETURN_IF_ERROR(
+              store_->FetchBatch(op.family_id, op.level, keys, &fetched));
+          for (size_t i = 0; i < m; ++i) extend(probes[base + i], fetched[i]);
+        }
+      } else {
+        for (const auto& probe : probes) {
+          BEAS_ASSIGN_OR_RETURN(std::vector<FetchEntry> entries,
+                                store_->Fetch(op.family_id, op.level, probe.xkey));
+          extend(probe, entries);
         }
       }
       // Rows without self context start from scratch; rows with self
@@ -245,15 +267,22 @@ Result<BeasAnswer> PlanExecutor::Execute(const BeasPlan& plan, uint64_t budget) 
           }
         } else {
           // Guard: drop answers within the dangerous distance of any
-          // E(Q2-hat) tuple on every column (Section 6).
+          // E(Q2-hat) tuple on every column (Section 6). Distance specs
+          // are hoisted out of the row loops; the scan itself stays
+          // row-major — each S value is read once, so a chunk transpose
+          // would only add copies (docs/ARCHITECTURE.md).
           out.s = Table(schema);
+          std::vector<DistanceSpec> specs;
+          specs.reserve(schema.arity());
+          for (size_t c = 0; c < schema.arity(); ++c) {
+            specs.push_back(schema.attribute(c).distance);
+          }
           for (const auto& srow : l.s.rows()) {
             bool dangerous = false;
             for (const auto& trow : r.s_hat.rows()) {
               bool within = true;
               for (size_t c = 0; c < schema.arity() && within; ++c) {
-                double d =
-                    AttributeDistance(schema.attribute(c).distance, srow[c], trow[c]);
+                double d = AttributeDistance(specs[c], srow[c], trow[c]);
                 within = d <= node.guard_tolerance[c];
               }
               if (within) {

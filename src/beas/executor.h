@@ -2,6 +2,15 @@
 // metered IndexStore (building the per-query data D_Q), evaluates the
 // relaxed evaluation plan over D_Q, applies the set-difference guard, and
 // computes the runtime accuracy bound eta' (paper Fig 5, lines 6-7).
+//
+// When EvalOptions::vectorized is set (the default), index probes are
+// fetched in kDefaultChunkCapacity-sized batches with the family lookup
+// amortized per batch (the meter still charges per key, keeping the
+// alpha bound tight), and the rewritten tree is evaluated through the
+// engine's batched paths (docs/ARCHITECTURE.md). The tuple-at-a-time
+// path is kept as the reference fallback; both produce identical
+// BeasAnswers — same rows, same eta, same accessed count (asserted by
+// the beas_core equivalence tests).
 
 #ifndef BEAS_BEAS_EXECUTOR_H_
 #define BEAS_BEAS_EXECUTOR_H_

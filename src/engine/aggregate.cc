@@ -1,68 +1,68 @@
 #include "engine/aggregate.h"
 
 #include <cmath>
-#include <unordered_map>
 
 namespace beas {
 
-Result<Table> GroupByAggregate(const Table& input, const RelationSchema& out_schema,
-                               const std::vector<std::string>& group_attrs, AggFunc agg,
-                               const std::string& agg_attr, bool weighted) {
-  const RelationSchema& cs = input.schema();
-  std::vector<size_t> gidx;
+Status GroupByAccumulator::Init(const RelationSchema& input_schema,
+                                const RelationSchema& out_schema,
+                                const std::vector<std::string>& group_attrs, AggFunc agg,
+                                const std::string& agg_attr, bool weighted) {
+  out_schema_ = out_schema;
+  agg_ = agg;
+  gidx_.clear();
   for (const auto& g : group_attrs) {
-    BEAS_ASSIGN_OR_RETURN(size_t i, cs.AttributeIndex(g));
-    gidx.push_back(i);
+    BEAS_ASSIGN_OR_RETURN(size_t i, input_schema.AttributeIndex(g));
+    gidx_.push_back(i);
   }
-  BEAS_ASSIGN_OR_RETURN(size_t vidx, cs.AttributeIndex(agg_attr));
+  BEAS_ASSIGN_OR_RETURN(vidx_, input_schema.AttributeIndex(agg_attr));
 
-  std::vector<size_t> widx;
+  widx_.clear();
   if (weighted) {
-    for (size_t i = 0; i < cs.arity(); ++i) {
-      const std::string& name = cs.attribute(i).name;
+    for (size_t i = 0; i < input_schema.arity(); ++i) {
+      const std::string& name = input_schema.attribute(i).name;
       if (name.size() >= 4 && name.compare(name.size() - 4, 4, ".__w") == 0) {
-        widx.push_back(i);
+        widx_.push_back(i);
       }
     }
   }
+  groups_.clear();
+  group_order_.clear();
+  return Status::OK();
+}
 
-  struct Acc {
-    double sum = 0;
-    double weight = 0;
-    bool all_int = true;
-    bool has_minmax = false;
-    Value min_v, max_v;
-  };
-  std::unordered_map<Tuple, Acc, TupleHasher> groups;
-  std::vector<Tuple> group_order;
-  for (const auto& row : input.rows()) {
-    Tuple key;
-    key.reserve(gidx.size());
-    for (size_t i : gidx) key.push_back(row[i]);
-    auto [it, inserted] = groups.try_emplace(key);
-    if (inserted) group_order.push_back(key);
-    Acc& acc = it->second;
-    double w = 1;
-    for (size_t i : widx) {
-      if (row[i].is_numeric()) w *= row[i].numeric();
-    }
-    const Value& v = row[vidx];
-    acc.weight += w;
-    if (v.is_numeric()) {
-      acc.sum += w * v.numeric();
-      acc.all_int &= v.type() == DataType::kInt64;
-    }
-    if (!acc.has_minmax || v < acc.min_v) acc.min_v = v;
-    if (!acc.has_minmax || acc.max_v < v) acc.max_v = v;
-    acc.has_minmax = true;
+void GroupByAccumulator::Fold(Tuple key, const Value& v, double w) {
+  auto [it, inserted] = groups_.try_emplace(std::move(key));
+  if (inserted) group_order_.push_back(it->first);
+  Acc& acc = it->second;
+  acc.weight += w;
+  if (v.is_numeric()) {
+    acc.sum += w * v.numeric();
+    acc.all_int &= v.type() == DataType::kInt64;
   }
+  if (!acc.has_minmax || v < acc.min_v) acc.min_v = v;
+  if (!acc.has_minmax || acc.max_v < v) acc.max_v = v;
+  acc.has_minmax = true;
+}
 
-  Table out(out_schema);
-  out.Reserve(groups.size());
-  for (const auto& key : group_order) {
-    const Acc& acc = groups.at(key);
+void GroupByAccumulator::ConsumeRow(const Tuple& row) {
+  Tuple key;
+  key.reserve(gidx_.size());
+  for (size_t i : gidx_) key.push_back(row[i]);
+  double w = 1;
+  for (size_t i : widx_) {
+    if (row[i].is_numeric()) w *= row[i].numeric();
+  }
+  Fold(std::move(key), row[vidx_], w);
+}
+
+Result<Table> GroupByAccumulator::Finish() const {
+  Table out(out_schema_);
+  out.Reserve(groups_.size());
+  for (const auto& key : group_order_) {
+    const Acc& acc = groups_.at(key);
     Tuple t = key;
-    switch (agg) {
+    switch (agg_) {
       case AggFunc::kMin:
         t.push_back(acc.min_v);
         break;
@@ -86,6 +86,16 @@ Result<Table> GroupByAggregate(const Table& input, const RelationSchema& out_sch
     out.AppendUnchecked(std::move(t));
   }
   return out;
+}
+
+Result<Table> GroupByAggregate(const Table& input, const RelationSchema& out_schema,
+                               const std::vector<std::string>& group_attrs, AggFunc agg,
+                               const std::string& agg_attr, bool weighted) {
+  GroupByAccumulator acc;
+  BEAS_RETURN_IF_ERROR(
+      acc.Init(input.schema(), out_schema, group_attrs, agg, agg_attr, weighted));
+  for (const auto& row : input.rows()) acc.ConsumeRow(row);
+  return acc.Finish();
 }
 
 }  // namespace beas

@@ -1,11 +1,16 @@
 // Standalone group-by aggregation over a materialized table, shared by the
 // exact evaluator and the BEAS plan executor (which aggregates fetched,
 // occurrence-weighted representatives, paper Section 7).
+//
+// Two entry points share one accumulator (one semantics): the one-shot
+// GroupByAggregate over a whole Table, and the streaming
+// GroupByAccumulator for incremental producers (docs/ARCHITECTURE.md).
 
 #ifndef BEAS_ENGINE_AGGREGATE_H_
 #define BEAS_ENGINE_AGGREGATE_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -13,6 +18,51 @@
 #include "storage/table.h"
 
 namespace beas {
+
+/// \brief Streaming group-by state: Init once (resolving all attribute
+/// positions), Consume rows in table order, Finish into the output table.
+///
+/// Group order is first-appearance order, so any producer that streams
+/// the same rows in the same order — whole-table, chunked, incremental —
+/// gets identical results; the engine equivalence tests assert this.
+/// Weight semantics as in GroupByAggregate below.
+class GroupByAccumulator {
+ public:
+  /// Resolves all attribute positions against \p input_schema. Must be
+  /// called before any Consume; fails if an attribute is missing.
+  Status Init(const RelationSchema& input_schema, const RelationSchema& out_schema,
+              const std::vector<std::string>& group_attrs, AggFunc agg,
+              const std::string& agg_attr, bool weighted);
+
+  /// Folds one input row (arity = the Init input schema's) into its group.
+  /// All positions were resolved by Init, so streaming rows through this
+  /// is already batch-friendly — each value is read exactly once, which
+  /// is why there is deliberately no chunk-transposing variant
+  /// (docs/ARCHITECTURE.md, "where batching applies").
+  void ConsumeRow(const Tuple& row);
+
+  /// Emits one output row per group, in first-appearance order.
+  Result<Table> Finish() const;
+
+ private:
+  struct Acc {
+    double sum = 0;
+    double weight = 0;
+    bool all_int = true;
+    bool has_minmax = false;
+    Value min_v, max_v;
+  };
+
+  void Fold(Tuple key, const Value& v, double w);
+
+  RelationSchema out_schema_;
+  AggFunc agg_ = AggFunc::kCount;
+  std::vector<size_t> gidx_;
+  size_t vidx_ = 0;
+  std::vector<size_t> widx_;
+  std::unordered_map<Tuple, Acc, TupleHasher> groups_;
+  std::vector<Tuple> group_order_;
+};
 
 /// Groups \p input by \p group_attrs and aggregates \p agg_attr with \p agg.
 /// The output schema is \p out_schema (group columns then the aggregate).

@@ -8,6 +8,8 @@
 
 #include "common/string_util.h"
 #include "engine/aggregate.h"
+#include "engine/vectorized.h"
+#include "types/column_chunk.h"
 #include "types/distance.h"
 
 namespace beas {
@@ -139,6 +141,10 @@ class EvalImpl {
       BEAS_ASSIGN_OR_RETURN(size_t i, in.schema().AttributeIndex(a));
       idx.push_back(i);
     }
+    // Projection is pure materialization with the positions resolved
+    // once above — there is no per-row interpretation to amortize, so a
+    // chunk round-trip would only add copies; the row gather serves both
+    // execution modes (docs/ARCHITECTURE.md, "where batching applies").
     Table out(q->output_schema());
     out.Reserve(in.size());
     for (const auto& row : in.rows()) {
@@ -179,6 +185,9 @@ class EvalImpl {
 
   Result<Table> EvalGroupBy(const QueryPtr& q) {
     BEAS_ASSIGN_OR_RETURN(Table in, Eval(q->child()));
+    // Both execution modes stream the same GroupByAccumulator (positions
+    // resolved once in Init, each value read once) — a chunk transpose
+    // here would only add copies, so there is no separate batched path.
     BEAS_ASSIGN_OR_RETURN(
         Table out, GroupByAggregate(in, q->output_schema(), q->group_attrs(), q->agg(),
                                     q->agg_attr(), options_.weighted_aggregates));
@@ -187,6 +196,18 @@ class EvalImpl {
   }
 
   // --- Join block: Select/Product sub-tree executed with hash joins. ---
+
+  // Scalar fallback: one conjunct interpreted per row (EvalComparison
+  // resolves attribute names for every tuple). The vectorized mode uses
+  // FilterTableBatched instead. Filtering is not Charge()d in either
+  // mode (it never grows intermediate state).
+  Result<Table> ApplyFilter(Table in, const Comparison& cmp) {
+    Table out(in.schema());
+    for (const auto& row : in.rows()) {
+      if (EvalComparison(in.schema(), row, cmp)) out.AppendUnchecked(row);
+    }
+    return out;
+  }
 
   Result<Table> EvalJoinBlock(const QueryPtr& q) {
     FlatBlock block;
@@ -199,17 +220,37 @@ class EvalImpl {
       BEAS_ASSIGN_OR_RETURN(Table t, Eval(leaf));
       tables.push_back(std::move(t));
     }
-    for (size_t p = 0; p < block.preds.size(); ++p) {
-      const Comparison& cmp = block.preds[p];
-      for (auto& t : tables) {
-        if (SchemaHasCmpAttrs(t.schema(), cmp)) {
-          Table filtered(t.schema());
-          for (const auto& row : t.rows()) {
-            if (EvalComparison(t.schema(), row, cmp)) filtered.AppendUnchecked(row);
+    if (options_.vectorized) {
+      // Fused cascade: assign each single-leaf predicate to the first
+      // table holding its attributes (same assignment as the scalar
+      // loop), then filter every table in one batched pass over all of
+      // its predicates instead of one rebuild per predicate.
+      std::vector<std::vector<const Comparison*>> per_table(tables.size());
+      for (size_t p = 0; p < block.preds.size(); ++p) {
+        const Comparison& cmp = block.preds[p];
+        for (size_t ti = 0; ti < tables.size(); ++ti) {
+          if (SchemaHasCmpAttrs(tables[ti].schema(), cmp)) {
+            per_table[ti].push_back(&cmp);
+            pred_used[p] = true;
+            break;
           }
-          t = std::move(filtered);
-          pred_used[p] = true;
-          break;
+        }
+      }
+      for (size_t ti = 0; ti < tables.size(); ++ti) {
+        if (per_table[ti].empty()) continue;
+        Table filtered(tables[ti].schema());
+        BEAS_RETURN_IF_ERROR(FilterTableBatched(tables[ti], per_table[ti], &filtered));
+        tables[ti] = std::move(filtered);
+      }
+    } else {
+      for (size_t p = 0; p < block.preds.size(); ++p) {
+        const Comparison& cmp = block.preds[p];
+        for (auto& t : tables) {
+          if (SchemaHasCmpAttrs(t.schema(), cmp)) {
+            BEAS_ASSIGN_OR_RETURN(t, ApplyFilter(std::move(t), cmp));
+            pred_used[p] = true;
+            break;
+          }
         }
       }
     }
@@ -276,18 +317,30 @@ class EvalImpl {
       joined[pick] = true;
       --remaining;
 
-      // Apply any now-evaluable residual predicates.
-      for (size_t p = 0; p < block.preds.size(); ++p) {
-        if (pred_used[p]) continue;
-        if (SchemaHasCmpAttrs(current.schema(), block.preds[p])) {
-          Table filtered(current.schema());
-          for (const auto& row : current.rows()) {
-            if (EvalComparison(current.schema(), row, block.preds[p])) {
-              filtered.AppendUnchecked(row);
-            }
+      // Apply any now-evaluable residual predicates (fused into one
+      // cascade pass in vectorized mode).
+      if (options_.vectorized) {
+        std::vector<const Comparison*> applicable;
+        for (size_t p = 0; p < block.preds.size(); ++p) {
+          if (pred_used[p]) continue;
+          if (SchemaHasCmpAttrs(current.schema(), block.preds[p])) {
+            applicable.push_back(&block.preds[p]);
+            pred_used[p] = true;
           }
+        }
+        if (!applicable.empty()) {
+          Table filtered(current.schema());
+          BEAS_RETURN_IF_ERROR(FilterTableBatched(current, applicable, &filtered));
           current = std::move(filtered);
-          pred_used[p] = true;
+        }
+      } else {
+        for (size_t p = 0; p < block.preds.size(); ++p) {
+          if (pred_used[p]) continue;
+          if (SchemaHasCmpAttrs(current.schema(), block.preds[p])) {
+            BEAS_ASSIGN_OR_RETURN(current,
+                                  ApplyFilter(std::move(current), block.preds[p]));
+            pred_used[p] = true;
+          }
         }
       }
     }

@@ -5,6 +5,17 @@
 // hash equi-joins), set operations and group-by aggregates. It doubles as
 // the "exact answers" oracle of the RC measure and as the full-scan
 // comparator in the scalability experiment (Fig 6(l)).
+//
+// Selections run batch-at-a-time (docs/ARCHITECTURE.md): predicates are
+// compiled once per stream (attribute positions, distance specs) and
+// applied as a cascade that shrinks a selection vector per fixed-size
+// window, with all predicates of a join-block table fused into one pass.
+// Aggregates stream through a position-resolved accumulator; pure
+// materialization (scans, projections, join output) stays row-major
+// because it has no per-row interpretation to amortize. The original
+// tuple-at-a-time interpreter is kept as a fallback behind
+// EvalOptions::vectorized; both paths produce identical results
+// (asserted by the engine equivalence tests).
 
 #ifndef BEAS_ENGINE_EVALUATOR_H_
 #define BEAS_ENGINE_EVALUATOR_H_
@@ -28,6 +39,17 @@ struct EvalOptions {
   /// representatives, paper Section 7). Weight columns are multiplied
   /// together per row; count sums weights, sum/avg weight their terms.
   bool weighted_aggregates = true;
+
+  /// When true (default), selections run as a compiled predicate
+  /// cascade over fixed-size windows (all of a table's predicates fused
+  /// into one pass) and the executor fetches index probes in batches;
+  /// when false, every comparison is interpreted per row with
+  /// per-tuple attribute resolution (the original reference path, kept
+  /// for equivalence testing). Both modes are result-identical —
+  /// same rows, same order, same eta/budget accounting — asserted by
+  /// the equivalence tests. Aggregates and pure materialization are
+  /// shared between modes.
+  bool vectorized = true;
 };
 
 /// \brief Evaluates bound query trees against a database.

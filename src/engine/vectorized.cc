@@ -1,0 +1,124 @@
+#include "engine/vectorized.h"
+
+#include <algorithm>
+
+namespace beas {
+
+namespace {
+
+// Type-specialized cascade step for exact (slack == 0) comparisons
+// against a numeric constant — the dominant predicate shape in the
+// generated workloads. Inlines the rank logic of Value::operator< /
+// operator== (null < numerics < strings; numerics compare via the
+// numeric() double view), avoiding an out-of-line Value call per row.
+// \p get maps a selection index to the lhs Value.
+template <typename GetValue>
+void FilterSelExactNumericConst(CompareOp op, double c, GetValue get,
+                                SelectionVector* sel) {
+  auto run = [&](auto pred) {
+    size_t kept = 0;
+    for (uint32_t r : *sel) {
+      if (pred(get(r))) (*sel)[kept++] = r;
+    }
+    sel->resize(kept);
+  };
+  switch (op) {
+    case CompareOp::kLt:  // null sorts below the numeric constant
+      run([c](const Value& a) { return a.is_null() || (a.is_numeric() && a.numeric() < c); });
+      return;
+    case CompareOp::kLe:
+      run([c](const Value& a) { return a.is_null() || (a.is_numeric() && a.numeric() <= c); });
+      return;
+    case CompareOp::kGt:  // strings sort above the numeric constant
+      run([c](const Value& a) { return a.is_string() || (a.is_numeric() && a.numeric() > c); });
+      return;
+    case CompareOp::kGe:
+      run([c](const Value& a) { return a.is_string() || (a.is_numeric() && a.numeric() >= c); });
+      return;
+    case CompareOp::kEq:
+      run([c](const Value& a) { return a.is_numeric() && a.numeric() == c; });
+      return;
+    case CompareOp::kNe:
+      run([c](const Value& a) { return !(a.is_numeric() && a.numeric() == c); });
+      return;
+  }
+}
+
+}  // namespace
+
+Result<CompiledComparison> CompileComparison(const RelationSchema& schema,
+                                             const Comparison& cmp) {
+  CompiledComparison cc;
+  BEAS_ASSIGN_OR_RETURN(cc.lhs, schema.AttributeIndex(cmp.lhs.attr));
+  cc.rhs_is_attr = cmp.rhs.is_attr;
+  if (cmp.rhs.is_attr) {
+    BEAS_ASSIGN_OR_RETURN(cc.rhs, schema.AttributeIndex(cmp.rhs.attr));
+  } else {
+    cc.constant = &cmp.rhs.constant;
+  }
+  cc.op = cmp.op;
+  cc.slack = cmp.slack;
+  cc.spec = schema.attribute(cc.lhs).distance;
+  // Every slack-0 operator except kEq reduces to the Value comparisons
+  // NeededRelaxation's own satisfaction tests use (a failed test always
+  // needs a strictly positive relaxation). kEq additionally requires the
+  // trivial metric: under a non-trivial metric a zero distance need not
+  // mean equality (e.g. a zero scale).
+  cc.exact_direct = cmp.slack == 0.0 &&
+                    (cmp.op != CompareOp::kEq || cc.spec.kind == DistanceKind::kTrivial);
+  return cc;
+}
+
+Status FilterTableBatched(const Table& in, const std::vector<const Comparison*>& cmps,
+                          Table* out) {
+  const RelationSchema& schema = in.schema();
+  std::vector<CompiledComparison> compiled;
+  compiled.reserve(cmps.size());
+  for (const Comparison* cmp : cmps) {
+    BEAS_ASSIGN_OR_RETURN(CompiledComparison cc, CompileComparison(schema, *cmp));
+    compiled.push_back(cc);
+  }
+
+  // Predicate cascade over fixed-size windows: every compiled comparison
+  // shrinks the window's selection vector in place, reading operands at
+  // resolved positions straight from the row store (Values are
+  // heavyweight variants, so copying them into columns costs more than
+  // it saves for one-shot filters; chunk transposition pays only where
+  // columns are re-read, e.g. aggregates and the executor guard).
+  const std::vector<Tuple>& rows = in.rows();
+  SelectionVector sel;
+  for (size_t start = 0; start < rows.size(); start += kDefaultChunkCapacity) {
+    size_t n = std::min(kDefaultChunkCapacity, rows.size() - start);
+    SelectIdentity(n, &sel);
+    for (const auto& cc : compiled) {
+      if (sel.empty()) break;
+      if (cc.rhs_is_attr) {
+        size_t kept = 0;
+        for (uint32_t r : sel) {
+          const Tuple& row = rows[start + r];
+          if (cc.Matches(row[cc.lhs], row[cc.rhs])) sel[kept++] = r;
+        }
+        sel.resize(kept);
+      } else if (cc.exact_direct && cc.constant->is_numeric()) {
+        const size_t lhs = cc.lhs;
+        FilterSelExactNumericConst(
+            cc.op, cc.constant->numeric(),
+            [&rows, start, lhs](uint32_t r) -> const Value& {
+              return rows[start + r][lhs];
+            },
+            &sel);
+      } else {
+        const Value& b = *cc.constant;
+        size_t kept = 0;
+        for (uint32_t r : sel) {
+          if (cc.Matches(rows[start + r][cc.lhs], b)) sel[kept++] = r;
+        }
+        sel.resize(kept);
+      }
+    }
+    for (uint32_t r : sel) out->AppendUnchecked(rows[start + r]);
+  }
+  return Status::OK();
+}
+
+}  // namespace beas

@@ -1,0 +1,82 @@
+// Vectorized predicate primitives: comparisons compiled once against a
+// fixed schema and applied batch-at-a-time to ColumnChunk columns through
+// a selection vector (docs/ARCHITECTURE.md). Shared by the exact
+// evaluator's filter path, the BEAS executor's batched loops, and the
+// scalar-vs-batched micro-benchmarks.
+
+#ifndef BEAS_ENGINE_VECTORIZED_H_
+#define BEAS_ENGINE_VECTORIZED_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "ra/ast.h"
+#include "storage/table.h"
+#include "types/column_chunk.h"
+
+namespace beas {
+
+/// \brief A Comparison with operand positions and the lhs distance spec
+/// resolved once, so per-row evaluation does no attribute-name lookups and
+/// no constant copies.
+///
+/// Semantics are identical to EvalComparison on every row: Matches() calls
+/// the same NeededRelaxationResolved the scalar path uses, except that
+/// exact (slack == 0) comparisons reduce to the direct Value comparisons
+/// NeededRelaxation's own satisfaction tests are built from (the reduction
+/// is only taken where it is provably equivalent; see CompileComparison).
+///
+/// Lifetime: a CompiledComparison borrows the rhs constant from the
+/// Comparison it was compiled from, which must outlive it.
+struct CompiledComparison {
+  size_t lhs = 0;            ///< lhs attribute position in the schema
+  bool rhs_is_attr = false;  ///< rhs is a column (else `constant`)
+  size_t rhs = 0;            ///< rhs attribute position when rhs_is_attr
+  const Value* constant = nullptr;  ///< borrowed rhs constant otherwise
+  CompareOp op = CompareOp::kEq;
+  double slack = 0;
+  DistanceSpec spec;         ///< lhs attribute's distance function
+  bool exact_direct = false; ///< slack==0 path reduces to Value compares
+
+  /// True iff a row with lhs value \p a and rhs value \p b passes.
+  bool Matches(const Value& a, const Value& b) const {
+    if (exact_direct) {
+      switch (op) {
+        case CompareOp::kEq:
+          return a == b;
+        case CompareOp::kNe:
+          return !(a == b);
+        case CompareOp::kLt:
+          return a < b;
+        case CompareOp::kLe:
+          return a < b || a == b;
+        case CompareOp::kGt:
+          return b < a;
+        case CompareOp::kGe:
+          return b < a || a == b;
+      }
+    }
+    return NeededRelaxationResolved(spec, a, b, rhs_is_attr, op) <= slack;
+  }
+};
+
+/// Resolves \p cmp against \p schema. Fails with NotFound if an operand
+/// attribute is missing from the schema.
+Result<CompiledComparison> CompileComparison(const RelationSchema& schema,
+                                             const Comparison& cmp);
+
+/// The batched scan+filter kernel: streams \p in window-at-a-time
+/// (kDefaultChunkCapacity rows) through the conjunction \p cmps and
+/// appends the surviving rows to \p out — the same rows, in the same
+/// order, as interpreting EvalComparison per row. Each compiled
+/// comparison shrinks the window's selection vector in place, reading
+/// operands at resolved positions directly from the row store (no
+/// transposition: Value variants are heavyweight, and a one-shot filter
+/// reads each value once — see docs/ARCHITECTURE.md). Fails if an
+/// operand attribute is missing.
+Status FilterTableBatched(const Table& in, const std::vector<const Comparison*>& cmps,
+                          Table* out);
+
+}  // namespace beas
+
+#endif  // BEAS_ENGINE_VECTORIZED_H_

@@ -113,6 +113,38 @@ Result<std::vector<FetchEntry>> IndexStore::Fetch(const std::string& family_id, 
   return out;
 }
 
+Status IndexStore::FetchBatch(const std::string& family_id, int level,
+                              const std::vector<const Tuple*>& xkeys,
+                              std::vector<std::vector<FetchEntry>>* out) {
+  out->clear();
+  out->resize(xkeys.size());
+  // The family is resolved once per batch (the per-probe cost FetchBatch
+  // amortizes); the meter is still charged per key so the access bound
+  // stays exactly as tight as the scalar Fetch loop — on exhaustion the
+  // fetch stops at the first over-budget key, with identical accessed_.
+  auto cit = constraint_indices_.find(family_id);
+  if (cit != constraint_indices_.end()) {
+    for (size_t k = 0; k < xkeys.size(); ++k) {
+      auto git = cit->second.groups.find(*xkeys[k]);
+      if (git == cit->second.groups.end()) continue;
+      std::vector<FetchEntry>& entries = (*out)[k];
+      entries.reserve(git->second.size());
+      for (const auto& [y, m] : git->second) entries.push_back(FetchEntry{&y, m});
+      BEAS_RETURN_IF_ERROR(meter_.Charge(entries.size()));
+    }
+    return Status::OK();
+  }
+  auto tit = template_indices_.find(family_id);
+  if (tit == template_indices_.end()) {
+    return Status::NotFound(StrCat("no index for family '", family_id, "'"));
+  }
+  for (size_t k = 0; k < xkeys.size(); ++k) {
+    tit->second.Fetch(*xkeys[k], level, &(*out)[k]);
+    BEAS_RETURN_IF_ERROR(meter_.Charge((*out)[k].size()));
+  }
+  return Status::OK();
+}
+
 size_t IndexStore::TotalEntries() const {
   size_t n = 0;
   for (const auto& [id, idx] : template_indices_) n += idx.TotalEntries();

@@ -61,6 +61,17 @@ class IndexStore {
   Result<std::vector<FetchEntry>> Fetch(const std::string& family_id, int level,
                                         const Tuple& xkey);
 
+  /// Batched Fetch for the vectorized executor: fetches representatives
+  /// for every key in \p xkeys (non-null, borrowed) from one family,
+  /// filling \p out with one entry vector per key (parallel to xkeys).
+  /// The family lookup — the dominant per-probe overhead — is resolved
+  /// once per batch; the meter is still charged per key, so accessed
+  /// counts and the OutOfBudget failure point are identical to issuing
+  /// the fetches one by one (the alpha bound stays tight).
+  Status FetchBatch(const std::string& family_id, int level,
+                    const std::vector<const Tuple*>& xkeys,
+                    std::vector<std::vector<FetchEntry>>* out);
+
   AccessMeter& meter() { return meter_; }
 
   /// Total index entries across all families (Fig 6(k) "total").

@@ -80,24 +80,10 @@ std::string Comparison::ToString() const {
   return s;
 }
 
-double NeededRelaxation(const RelationSchema& schema, const Tuple& t, const Comparison& cmp) {
-  auto lhs_idx = schema.FindAttribute(cmp.lhs.attr);
-  assert(lhs_idx.has_value());
-  const Value& a = t[*lhs_idx];
-  const DistanceSpec& spec = schema.attribute(*lhs_idx).distance;
-
-  Value b;
-  bool attr_attr = cmp.rhs.is_attr;
-  if (attr_attr) {
-    auto rhs_idx = schema.FindAttribute(cmp.rhs.attr);
-    assert(rhs_idx.has_value());
-    b = t[*rhs_idx];
-  } else {
-    b = cmp.rhs.constant;
-  }
-
+double NeededRelaxationResolved(const DistanceSpec& spec, const Value& a, const Value& b,
+                                bool attr_attr, CompareOp op) {
   double dist = AttributeDistance(spec, a, b);
-  switch (cmp.op) {
+  switch (op) {
     case CompareOp::kEq:
       // sigma_{A=c} relaxes to |dis(A,c)| <= r; sigma_{A=B} to <= 2r.
       return attr_attr ? dist / 2.0 : dist;
@@ -105,7 +91,7 @@ double NeededRelaxation(const RelationSchema& schema, const Tuple& t, const Comp
       return a == b ? kInfDistance : 0.0;
     case CompareOp::kLt:
     case CompareOp::kLe: {
-      bool sat = cmp.op == CompareOp::kLt ? (a < b) : (a < b || a == b);
+      bool sat = op == CompareOp::kLt ? (a < b) : (a < b || a == b);
       if (sat) return 0.0;
       if (dist == kInfDistance) return kInfDistance;
       double needed = attr_attr ? dist / 2.0 : dist;
@@ -113,7 +99,7 @@ double NeededRelaxation(const RelationSchema& schema, const Tuple& t, const Comp
     }
     case CompareOp::kGt:
     case CompareOp::kGe: {
-      bool sat = cmp.op == CompareOp::kGt ? (b < a) : (b < a || a == b);
+      bool sat = op == CompareOp::kGt ? (b < a) : (b < a || a == b);
       if (sat) return 0.0;
       if (dist == kInfDistance) return kInfDistance;
       double needed = attr_attr ? dist / 2.0 : dist;
@@ -121,6 +107,20 @@ double NeededRelaxation(const RelationSchema& schema, const Tuple& t, const Comp
     }
   }
   return kInfDistance;
+}
+
+double NeededRelaxation(const RelationSchema& schema, const Tuple& t, const Comparison& cmp) {
+  auto lhs_idx = schema.FindAttribute(cmp.lhs.attr);
+  assert(lhs_idx.has_value());
+  const Value& a = t[*lhs_idx];
+  const DistanceSpec& spec = schema.attribute(*lhs_idx).distance;
+
+  if (cmp.rhs.is_attr) {
+    auto rhs_idx = schema.FindAttribute(cmp.rhs.attr);
+    assert(rhs_idx.has_value());
+    return NeededRelaxationResolved(spec, a, t[*rhs_idx], /*attr_attr=*/true, cmp.op);
+  }
+  return NeededRelaxationResolved(spec, a, cmp.rhs.constant, /*attr_attr=*/false, cmp.op);
 }
 
 bool EvalComparison(const RelationSchema& schema, const Tuple& t, const Comparison& cmp) {

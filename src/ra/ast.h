@@ -173,6 +173,15 @@ class QueryNode {
 /// helps (trivial-metric mismatch, failed <>). See Comparison::slack.
 double NeededRelaxation(const RelationSchema& schema, const Tuple& t, const Comparison& cmp);
 
+/// NeededRelaxation with the operands already resolved: \p a is the lhs
+/// attribute's value, \p b the rhs value (attribute or constant), \p
+/// attr_attr whether the rhs is an attribute (both sides relax, Section
+/// 3.1), and \p spec the lhs attribute's distance. The vectorized engine
+/// paths resolve operands once per batch and call this per row, so scalar
+/// and batched evaluation share one semantics (docs/ARCHITECTURE.md).
+double NeededRelaxationResolved(const DistanceSpec& spec, const Value& a, const Value& b,
+                                bool attr_attr, CompareOp op);
+
 /// True iff NeededRelaxation(t) <= cmp.slack (exact evaluation at slack 0).
 bool EvalComparison(const RelationSchema& schema, const Tuple& t, const Comparison& cmp);
 

@@ -42,6 +42,26 @@ void Table::SortRows() {
             });
 }
 
+size_t Table::FillBatch(size_t start, RowBatch* batch) const {
+  batch->chunk.Clear();
+  batch->sel.clear();
+  if (start >= rows_.size()) return 0;
+  size_t n = std::min(batch->chunk.capacity(), rows_.size() - start);
+  batch->chunk.AppendFromRows(rows_, start, n);
+  batch->SelectAll();
+  return n;
+}
+
+void Table::AppendBatch(const RowBatch& batch) { AppendChunk(batch.chunk, batch.sel); }
+
+void Table::AppendChunk(const ColumnChunk& chunk, const SelectionVector& sel) {
+  // No reserve: per-batch exact reserves would defeat the vector's
+  // geometric growth across a long stream of batches.
+  for (uint32_t r : sel) {
+    rows_.push_back(chunk.RowAt(r));
+  }
+}
+
 bool Table::Contains(const Tuple& t) const {
   for (const auto& r : rows_) {
     if (r == t) return true;

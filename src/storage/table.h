@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "types/column_chunk.h"
 #include "types/schema.h"
 #include "types/tuple.h"
 
@@ -48,6 +49,35 @@ class Table {
 
   /// True iff \p t occurs in the table.
   bool Contains(const Tuple& t) const;
+
+  // --- Chunked scan/materialize boundary; see docs/ARCHITECTURE.md.
+  // Query operators currently filter over windows + selection vectors
+  // without transposing (Value copies outweigh the benefit for one-shot
+  // reads); these APIs are the batch hand-off contract for consumers
+  // that need a transferable unit (parallel fetch, chunked generation),
+  // with their invariants pinned by the storage/types contract tests. ---
+
+  /// Fills \p batch with up to `batch->chunk.capacity()` rows starting at
+  /// row \p start, transposing them into the batch's columns and marking
+  /// all of them live (SelectAll). The batch must have been Reset against
+  /// this table's schema (same arity). Returns the number of rows
+  /// transferred (0 iff \p start >= size()); scan loops advance by it:
+  ///
+  ///   RowBatch batch;
+  ///   batch.Reset(t.schema());
+  ///   for (size_t pos = 0, n; (n = t.FillBatch(pos, &batch)) > 0; pos += n)
+  ///     ...consume batch...
+  size_t FillBatch(size_t start, RowBatch* batch) const;
+
+  /// Appends the live (selected) rows of \p batch, in selection order.
+  /// The batch's arity must equal this table's schema arity; rows are
+  /// copied out (the batch keeps ownership of its chunk).
+  void AppendBatch(const RowBatch& batch);
+
+  /// Like AppendBatch for a bare chunk + selection: appends the rows of
+  /// \p chunk whose indices appear in \p sel, in selection order. The
+  /// chunk's column count must equal this table's schema arity.
+  void AppendChunk(const ColumnChunk& chunk, const SelectionVector& sel);
 
   /// Renders up to \p max_rows rows as an aligned text table.
   std::string ToString(size_t max_rows = 20) const;

@@ -1,0 +1,58 @@
+#include "types/column_chunk.h"
+
+namespace beas {
+
+void ColumnChunk::Reset(size_t num_columns, size_t capacity) {
+  columns_.resize(num_columns);
+  for (auto& col : columns_) {
+    col.clear();
+    col.reserve(capacity);
+  }
+  size_ = 0;
+  capacity_ = capacity;
+}
+
+void ColumnChunk::Clear() {
+  for (auto& col : columns_) col.clear();
+  size_ = 0;
+}
+
+void ColumnChunk::AppendRowUnchecked(const Tuple& t) {
+  for (size_t c = 0; c < columns_.size(); ++c) columns_[c].push_back(t[c]);
+  ++size_;
+}
+
+void ColumnChunk::AppendFromRows(const std::vector<Tuple>& rows, size_t start, size_t n,
+                                 const std::vector<size_t>& col_map) {
+  for (size_t j = 0; j < columns_.size(); ++j) {
+    std::vector<Value>& col = columns_[j];
+    const size_t src = col_map[j];
+    for (size_t r = 0; r < n; ++r) col.push_back(rows[start + r][src]);
+  }
+  size_ += n;
+}
+
+void ColumnChunk::AppendFromRows(const std::vector<Tuple>& rows, size_t start, size_t n) {
+  for (size_t j = 0; j < columns_.size(); ++j) {
+    std::vector<Value>& col = columns_[j];
+    for (size_t r = 0; r < n; ++r) col.push_back(rows[start + r][j]);
+  }
+  size_ += n;
+}
+
+Tuple ColumnChunk::RowAt(size_t r) const {
+  Tuple t;
+  t.reserve(columns_.size());
+  for (const auto& col : columns_) t.push_back(col[r]);
+  return t;
+}
+
+void RowBatch::Reset(const RelationSchema& schema_ref, size_t capacity) {
+  schema = &schema_ref;
+  chunk.Reset(schema_ref.arity(), capacity);
+  sel.clear();
+}
+
+void RowBatch::SelectAll() { SelectIdentity(chunk.size(), &sel); }
+
+}  // namespace beas

@@ -1,0 +1,132 @@
+// ColumnChunk / RowBatch: the fixed-capacity columnar batch format and
+// SelectionVector of the vectorized execution paths. Selection vectors
+// over kDefaultChunkCapacity-sized windows drive the engine's compiled
+// predicate cascade and the executor's batched fetch loops; the chunk
+// types are the scan/materialize hand-off unit (Table::FillBatch /
+// AppendBatch). docs/ARCHITECTURE.md specifies the layout, ownership
+// and selection-vector semantics as the binding contract; the doc
+// comments here restate the invariants each API relies on.
+
+#ifndef BEAS_TYPES_COLUMN_CHUNK_H_
+#define BEAS_TYPES_COLUMN_CHUNK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "types/schema.h"
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace beas {
+
+/// Default number of rows per chunk. 1024 keeps a chunk of a few columns
+/// within L1/L2 while amortizing per-batch setup (attribute resolution,
+/// budget accounting) over enough rows that per-row overhead vanishes.
+inline constexpr size_t kDefaultChunkCapacity = 1024;
+
+/// \brief A selection vector: indices of the live rows of a ColumnChunk.
+///
+/// Invariants (the "selection-vector contract", docs/ARCHITECTURE.md):
+///  - entries are strictly increasing (sorted, no duplicates);
+///  - every entry is < the chunk's row count;
+///  - operators only ever *shrink* a selection (filters remove indices,
+///    they never reorder, duplicate or resurrect rows).
+/// A row of a chunk is visible to downstream operators iff its index
+/// appears in the batch's selection vector.
+using SelectionVector = std::vector<uint32_t>;
+
+/// Resets \p sel to the identity selection [0, n) — every row live.
+inline void SelectIdentity(size_t n, SelectionVector* sel) {
+  sel->resize(n);
+  for (uint32_t i = 0; i < n; ++i) (*sel)[i] = i;
+}
+
+/// \brief A fixed-capacity columnar chunk: `num_columns` parallel vectors
+/// of Values, all holding exactly `size()` rows.
+///
+/// Layout contract:
+///  - column-major: `column(c)[r]` is the value of row `r` in column `c`;
+///  - all columns always have identical length (`size()` rows);
+///  - `size() <= capacity()`; capacity is fixed at Reset time and rows are
+///    only appended, never inserted or reordered;
+///  - a chunk owns its values (copies in, copies out).
+class ColumnChunk {
+ public:
+  ColumnChunk() = default;
+
+  /// Re-shapes the chunk to \p num_columns empty columns, each with
+  /// storage reserved for \p capacity rows. Keeps allocations when the
+  /// shape is unchanged (the intended reuse pattern for scan loops).
+  void Reset(size_t num_columns, size_t capacity = kDefaultChunkCapacity);
+
+  /// Drops all rows but keeps the column count, capacity and allocations.
+  void Clear();
+
+  size_t num_columns() const { return columns_.size(); }
+  /// Rows currently held; identical across all columns by invariant.
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ >= capacity_; }
+
+  /// Read access to column \p c (length == size()).
+  const std::vector<Value>& column(size_t c) const { return columns_[c]; }
+
+  /// The value of row \p r in column \p c.
+  const Value& at(size_t r, size_t c) const { return columns_[c][r]; }
+
+  /// Appends one row given as a tuple; the caller guarantees
+  /// `t.size() == num_columns()` and `!full()` (hot path, unchecked).
+  void AppendRowUnchecked(const Tuple& t);
+
+  /// Gathers row \p r back into a row-major Tuple.
+  Tuple RowAt(size_t r) const;
+
+  /// Appends rows [\p start, \p start + \p n) of the row-major \p rows,
+  /// transposing only the tuple positions in \p col_map (chunk column j
+  /// reads tuple position col_map[j]). This is the projection-pushdown
+  /// gather of scan kernels: operators transpose just the columns they
+  /// interpret and late-materialize survivors from the row-major source.
+  /// Caller guarantees `col_map.size() == num_columns()` and capacity.
+  void AppendFromRows(const std::vector<Tuple>& rows, size_t start, size_t n,
+                      const std::vector<size_t>& col_map);
+
+  /// AppendFromRows with the identity column map: chunk column j reads
+  /// tuple position j. Caller guarantees the tuples' arity equals
+  /// num_columns() and that the result stays within capacity.
+  void AppendFromRows(const std::vector<Tuple>& rows, size_t start, size_t n);
+
+ private:
+  std::vector<std::vector<Value>> columns_;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+/// \brief A ColumnChunk plus the selection vector of its live rows and the
+/// schema the columns are bound to.
+///
+/// Ownership contract: the batch owns its chunk and selection; `schema` is
+/// a non-owning pointer into the producing Table/plan and must outlive the
+/// batch. After a producer fills the chunk it calls SelectAll(); filters
+/// then shrink `sel` in place without touching the chunk.
+struct RowBatch {
+  const RelationSchema* schema = nullptr;  ///< non-owning; outlives the batch
+  ColumnChunk chunk;
+  SelectionVector sel;  ///< live rows; see SelectionVector invariants
+
+  /// Number of live (selected) rows.
+  size_t live() const { return sel.size(); }
+
+  /// Re-shapes the chunk for \p schema_ref and clears the selection.
+  void Reset(const RelationSchema& schema_ref,
+             size_t capacity = kDefaultChunkCapacity);
+
+  /// Marks every chunk row live: sel = [0, chunk.size()).
+  void SelectAll();
+};
+// Materializing live rows back into a Table lives on Table::AppendBatch
+// (storage layer) so that types/ stays below storage/ in the layering.
+
+}  // namespace beas
+
+#endif  // BEAS_TYPES_COLUMN_CHUNK_H_

@@ -28,14 +28,6 @@ DataType Value::type() const {
   return DataType::kString;
 }
 
-double Value::numeric() const {
-  if (std::holds_alternative<int64_t>(repr_)) {
-    return static_cast<double>(std::get<int64_t>(repr_));
-  }
-  assert(std::holds_alternative<double>(repr_));
-  return std::get<double>(repr_);
-}
-
 bool Value::operator==(const Value& other) const {
   if (is_null() || other.is_null()) return is_null() && other.is_null();
   if (is_numeric() && other.is_numeric()) return numeric() == other.numeric();

@@ -3,6 +3,7 @@
 #ifndef BEAS_TYPES_VALUE_H_
 #define BEAS_TYPES_VALUE_H_
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <ostream>
@@ -59,7 +60,14 @@ class Value {
   const std::string& as_string() const { return std::get<std::string>(repr_); }
 
   /// Numeric view of an int64 or double value (asserts otherwise).
-  double numeric() const;
+  /// Inline: this is the innermost accessor of the vectorized kernels.
+  double numeric() const {
+    if (std::holds_alternative<int64_t>(repr_)) {
+      return static_cast<double>(std::get<int64_t>(repr_));
+    }
+    assert(std::holds_alternative<double>(repr_));
+    return std::get<double>(repr_);
+  }
 
   /// SQL-style equality: numerics compare by value across int/double.
   bool operator==(const Value& other) const;

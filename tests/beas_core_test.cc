@@ -289,6 +289,73 @@ TEST_F(BeasCoreTest, MaintenanceInsertVisibleToQueries) {
   EXPECT_TRUE(found);
 }
 
+// --- Batched vs. scalar executor equivalence ---
+//
+// The vectorized executor (batched index fetches with per-batch meter
+// charges, chunked guard filtering, batched xi_E evaluation) must produce
+// BeasAnswers identical to the tuple-at-a-time fallback: same rows in the
+// same order, same eta, same accessed count, same exact flag.
+
+TEST_F(BeasCoreTest, BatchedExecutorMatchesScalarOnRandomizedQueries) {
+  std::vector<std::string> queries = {
+      "select h.address, h.price from poi as h where h.price <= 60",
+      "select h.address, h.price from poi as h, friend as f, person as p "
+      "where f.pid = 0 and f.fid = p.pid and p.city = h.city and "
+      "h.type = 'hotel' and h.price <= 95",
+      "select p.city from person as p except "
+      "select h.city from poi as h where h.type = 'hotel'",
+      "select h.city, count(h.address) as n from poi as h "
+      "where h.type = 'hotel' group by h.city",
+      "select h.city, min(h.price) from poi as h where h.type = 'hotel' "
+      "group by h.city",
+      "select h.city from poi as h where h.type = 'hotel' union "
+      "select h2.city from poi as h2 where h2.type = 'museum'",
+  };
+  // Randomized variants: random pivots and thresholds over the social db.
+  Rng rng(424242);
+  for (int i = 0; i < 12; ++i) {
+    queries.push_back(
+        "select p.city from friend as f, person as p where f.pid = " +
+        std::to_string(rng.Uniform(0, 30)) + " and f.fid = p.pid");
+    queries.push_back("select h.address from poi as h where h.price <= " +
+                      std::to_string(rng.Uniform(30, 190)));
+  }
+
+  EvalOptions scalar_opts;
+  scalar_opts.vectorized = false;
+  EvalOptions batched_opts;
+  batched_opts.vectorized = true;
+  for (const auto& sql : queries) {
+    QueryPtr q = Q(sql);
+    for (double alpha : {0.05, 0.2, 0.7}) {
+      auto plan = beas_->PlanOnly(q, alpha);
+      ASSERT_TRUE(plan.ok()) << sql << ": " << plan.status();
+      uint64_t budget =
+          static_cast<uint64_t>(alpha * static_cast<double>(beas_->db_size()));
+      PlanExecutor scalar(&beas_->store(), scalar_opts);
+      PlanExecutor batched(&beas_->store(), batched_opts);
+      auto a = scalar.Execute(*plan, budget);
+      auto b = batched.Execute(*plan, budget);
+      ASSERT_EQ(a.ok(), b.ok()) << sql << " alpha=" << alpha << "\nscalar: "
+                                << a.status() << "\nbatched: " << b.status();
+      if (!a.ok()) {
+        EXPECT_EQ(a.status().code(), b.status().code()) << sql;
+        continue;
+      }
+      // Answers: same rows in the same order.
+      ASSERT_EQ(a->table.size(), b->table.size()) << sql << " alpha=" << alpha;
+      for (size_t r = 0; r < a->table.size(); ++r) {
+        EXPECT_EQ(a->table.row(r), b->table.row(r)) << sql << " row " << r;
+      }
+      // Accuracy bound and budget accounting.
+      EXPECT_EQ(a->eta, b->eta) << sql << " alpha=" << alpha;
+      EXPECT_EQ(a->accessed, b->accessed) << sql << " alpha=" << alpha;
+      EXPECT_EQ(a->exact, b->exact) << sql << " alpha=" << alpha;
+      EXPECT_EQ(a->d_prime, b->d_prime) << sql << " alpha=" << alpha;
+    }
+  }
+}
+
 TEST_F(BeasCoreTest, UnionQueryAnswered) {
   QueryPtr q = Q(
       "select h.city from poi as h where h.type = 'hotel' union "

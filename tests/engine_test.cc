@@ -175,6 +175,131 @@ TEST_F(EngineTest, RelaxedSelectionWithSlack) {
   }
 }
 
+// --- Batched vs. scalar equivalence (vectorized executor work) ---
+//
+// The vectorized paths must produce *identical* tables to the
+// tuple-at-a-time fallback: same rows, same order, same engine cost
+// accounting (rows materialized), same failures.
+
+class EngineEquivalenceTest : public EngineTest {
+ protected:
+  // Evaluates `sql` under both EvalOptions::vectorized settings and
+  // asserts identical outcomes.
+  void ExpectEquivalent(const std::string& sql) {
+    auto q = ParseSql(schema_, sql);
+    ASSERT_TRUE(q.ok()) << sql << ": " << q.status();
+    EvalOptions scalar_opts;
+    scalar_opts.vectorized = false;
+    EvalOptions batched_opts;
+    batched_opts.vectorized = true;
+    Evaluator scalar(db_, scalar_opts);
+    Evaluator batched(db_, batched_opts);
+    auto a = scalar.Eval(*q);
+    auto b = batched.Eval(*q);
+    ASSERT_EQ(a.ok(), b.ok()) << sql << "\nscalar: " << a.status()
+                              << "\nbatched: " << b.status();
+    if (!a.ok()) {
+      EXPECT_EQ(a.status().code(), b.status().code()) << sql;
+      return;
+    }
+    ASSERT_EQ(a->size(), b->size()) << sql;
+    for (size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ(a->row(i), b->row(i)) << sql << " row " << i;
+    }
+    EXPECT_EQ(scalar.last_rows_materialized(), batched.last_rows_materialized()) << sql;
+  }
+};
+
+TEST_F(EngineEquivalenceTest, FixedQueryShapes) {
+  const std::vector<std::string> queries = {
+      "select h.address from poi as h",
+      "select h.address, h.price from poi as h where h.price <= 50",
+      "select h.address from poi as h where h.type = 'hotel' and h.price > 80",
+      "select h.address from poi as h where h.type <> 'hotel'",
+      "select f.pid, p.city from friend as f, person as p where f.fid = p.pid",
+      "select p.city from person as p union select h.city from poi as h",
+      "select p.city from person as p except select h.city from poi as h "
+      "where h.type = 'hotel'",
+      "select h.city, count(h.address) as n from poi as h group by h.city",
+      "select h.city, sum(h.price) as s from poi as h where h.price >= 40 "
+      "group by h.city",
+      "select h.city, avg(h.price) as a from poi as h group by h.city",
+      "select h.city, min(h.price) from poi as h group by h.city",
+      "select h.city, max(h.price) from poi as h group by h.city",
+  };
+  for (const auto& sql : queries) ExpectEquivalent(sql);
+}
+
+TEST_F(EngineEquivalenceTest, RandomizedSelections) {
+  Rng rng(20260730);
+  const std::vector<std::string> num_ops = {"<", "<=", ">", ">=", "="};
+  const std::vector<std::string> types = {"hotel", "museum", "cafe", "park"};
+  for (int i = 0; i < 40; ++i) {
+    std::string sql = "select h.address, h.type, h.price from poi as h where ";
+    int nsel = static_cast<int>(rng.Uniform(1, 3));
+    for (int s = 0; s < nsel; ++s) {
+      if (s > 0) sql += " and ";
+      if (rng.Bernoulli(0.3)) {
+        sql += "h.type = '" + types[static_cast<size_t>(rng.Uniform(0, 3))] + "'";
+      } else {
+        sql += "h.price " + num_ops[static_cast<size_t>(rng.Uniform(0, 4))] + " " +
+               std::to_string(rng.Uniform(20, 200));
+      }
+    }
+    ExpectEquivalent(sql);
+  }
+}
+
+TEST_F(EngineEquivalenceTest, RandomizedJoins) {
+  Rng rng(77);
+  for (int i = 0; i < 15; ++i) {
+    int64_t pid = rng.Uniform(0, 60);
+    int64_t price = rng.Uniform(30, 150);
+    std::string sql =
+        "select h.address, h.price from poi as h, friend as f, person as p "
+        "where f.pid = " + std::to_string(pid) +
+        " and f.fid = p.pid and p.city = h.city and h.price <= " +
+        std::to_string(price);
+    ExpectEquivalent(sql);
+  }
+}
+
+TEST_F(EngineEquivalenceTest, RelaxedPredicateWithSlack) {
+  // Slack > 0 exercises the NeededRelaxationResolved (non-direct) batch
+  // path.
+  auto rel = *QueryNode::Relation(schema_, "poi", "h");
+  Predicate pred{{Operand::Attr("h.price"), CompareOp::kEq, Operand::Const(Value(95.0)),
+                  5.0}};
+  auto sel = *QueryNode::Select(rel, pred);
+  auto proj = *QueryNode::Project(sel, {"h.address", "h.price"}, true);
+  EvalOptions scalar_opts;
+  scalar_opts.vectorized = false;
+  Evaluator scalar(db_, scalar_opts);
+  Evaluator batched(db_);
+  auto a = scalar.Eval(proj);
+  auto b = batched.Eval(proj);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) EXPECT_EQ(a->row(i), b->row(i));
+}
+
+TEST_F(EngineEquivalenceTest, IntermediateCapFailsIdentically) {
+  EvalOptions scalar_opts;
+  scalar_opts.vectorized = false;
+  scalar_opts.max_intermediate_rows = 100;
+  EvalOptions batched_opts;
+  batched_opts.max_intermediate_rows = 100;
+  Evaluator scalar(db_, scalar_opts);
+  Evaluator batched(db_, batched_opts);
+  auto q = *ParseSql(schema_, "select p.pid, q.pid from person as p, person as q");
+  auto a = scalar.Eval(q);
+  auto b = batched.Eval(q);
+  ASSERT_FALSE(a.ok());
+  ASSERT_FALSE(b.ok());
+  EXPECT_EQ(a.status().code(), b.status().code());
+}
+
 // --- Relaxed evaluator ---
 
 TEST_F(EngineTest, RelaxedEvalTracksEntryRelaxation) {

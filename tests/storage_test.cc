@@ -106,5 +106,48 @@ TEST(CsvTest, MissingColumnFails) {
   std::remove(path.c_str());
 }
 
+// --- Chunked scans (Table::FillBatch / Table::AppendBatch) ---
+
+TEST(TableTest, FillBatchCoversTableInChunkOrder) {
+  RelationSchema schema = TestSchema();
+  Table t(schema);
+  for (int i = 0; i < 10; ++i) {
+    t.AppendUnchecked({Value(int64_t{i}), Value(i * 0.5), Value("n")});
+  }
+  RowBatch batch;
+  batch.Reset(schema, /*capacity=*/4);
+  std::vector<int64_t> seen;
+  size_t batches = 0;
+  for (size_t pos = 0, n; (n = t.FillBatch(pos, &batch)) > 0; pos += n) {
+    ++batches;
+    EXPECT_EQ(batch.live(), batch.chunk.size());  // scans select all rows
+    EXPECT_LE(batch.chunk.size(), 4u);
+    for (uint32_t r : batch.sel) seen.push_back(batch.chunk.at(r, 0).as_int64());
+  }
+  EXPECT_EQ(batches, 3u);  // 4 + 4 + 2
+  ASSERT_EQ(seen.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(seen[static_cast<size_t>(i)], i);
+  // Past-the-end fill transfers nothing.
+  EXPECT_EQ(t.FillBatch(t.size(), &batch), 0u);
+}
+
+TEST(TableTest, AppendBatchHonorsSelectionOrder) {
+  RelationSchema schema = TestSchema();
+  Table t(schema);
+  for (int i = 0; i < 6; ++i) {
+    t.AppendUnchecked({Value(int64_t{i}), Value(1.0), Value("n")});
+  }
+  RowBatch batch;
+  batch.Reset(schema);
+  ASSERT_EQ(t.FillBatch(0, &batch), 6u);
+  batch.sel = {1, 3, 4};  // a filter kept these rows
+  Table out(schema);
+  out.AppendBatch(batch);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.row(0)[0], Value(int64_t{1}));
+  EXPECT_EQ(out.row(1)[0], Value(int64_t{3}));
+  EXPECT_EQ(out.row(2)[0], Value(int64_t{4}));
+}
+
 }  // namespace
 }  // namespace beas

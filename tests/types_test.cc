@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "types/column_chunk.h"
 #include "types/distance.h"
 #include "types/schema.h"
 #include "types/tuple.h"
@@ -138,6 +139,66 @@ TEST(TupleTest, HashConsistentWithEquality) {
 TEST(TupleTest, ToString) {
   Tuple t{Value(int64_t{1}), Value("x")};
   EXPECT_EQ(TupleToString(t), "(1, x)");
+}
+
+// --- ColumnChunk / RowBatch (the columnar batch contract) ---
+
+TEST(ColumnChunkTest, ResetAppendAndRowRoundTrip) {
+  ColumnChunk chunk;
+  chunk.Reset(3, 4);
+  EXPECT_EQ(chunk.num_columns(), 3u);
+  EXPECT_EQ(chunk.capacity(), 4u);
+  EXPECT_TRUE(chunk.empty());
+  chunk.AppendRowUnchecked({Value(int64_t{1}), Value(2.5), Value("a")});
+  chunk.AppendRowUnchecked({Value(int64_t{2}), Value(3.5), Value("b")});
+  EXPECT_EQ(chunk.size(), 2u);
+  EXPECT_FALSE(chunk.full());
+  // Columnar layout: column(c)[r] == row r's value in column c.
+  EXPECT_EQ(chunk.column(0)[1], Value(int64_t{2}));
+  EXPECT_EQ(chunk.at(1, 2), Value("b"));
+  EXPECT_EQ(chunk.RowAt(0), (Tuple{Value(int64_t{1}), Value(2.5), Value("a")}));
+  // All columns hold exactly size() rows (layout invariant).
+  for (size_t c = 0; c < chunk.num_columns(); ++c) {
+    EXPECT_EQ(chunk.column(c).size(), chunk.size());
+  }
+  chunk.Clear();
+  EXPECT_EQ(chunk.size(), 0u);
+  EXPECT_EQ(chunk.num_columns(), 3u);
+}
+
+TEST(ColumnChunkTest, AppendFromRowsGathersColumnSubset) {
+  std::vector<Tuple> rows = {
+      {Value(int64_t{1}), Value(10.0), Value("x")},
+      {Value(int64_t{2}), Value(20.0), Value("y")},
+      {Value(int64_t{3}), Value(30.0), Value("z")},
+  };
+  // Projection-pushdown gather: only columns (2, 0), window [1, 3).
+  ColumnChunk chunk;
+  chunk.Reset(2, 4);
+  chunk.AppendFromRows(rows, /*start=*/1, /*n=*/2, {2, 0});
+  ASSERT_EQ(chunk.size(), 2u);
+  EXPECT_EQ(chunk.RowAt(0), (Tuple{Value("y"), Value(int64_t{2})}));
+  EXPECT_EQ(chunk.RowAt(1), (Tuple{Value("z"), Value(int64_t{3})}));
+  // Identity overload transposes every column.
+  ColumnChunk full;
+  full.Reset(3, 4);
+  full.AppendFromRows(rows, 0, 3);
+  ASSERT_EQ(full.size(), 3u);
+  EXPECT_EQ(full.RowAt(2), rows[2]);
+}
+
+TEST(RowBatchTest, SelectAllIsIdentityAndSorted) {
+  RelationSchema schema("r", {{"a", DataType::kInt64}});
+  RowBatch batch;
+  batch.Reset(schema, 8);
+  EXPECT_EQ(batch.schema, &schema);
+  for (int i = 0; i < 5; ++i) batch.chunk.AppendRowUnchecked({Value(int64_t{i})});
+  batch.SelectAll();
+  ASSERT_EQ(batch.live(), 5u);
+  // Selection-vector invariant: strictly increasing, all < chunk.size().
+  for (size_t i = 0; i < batch.sel.size(); ++i) {
+    EXPECT_EQ(batch.sel[i], i);
+  }
 }
 
 }  // namespace

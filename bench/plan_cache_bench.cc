@@ -1,0 +1,118 @@
+// Repeated-query planning micro-benchmark: the fig6g-style TFACC query
+// families (#-sel sweep) planned over and over, plan cache on vs off.
+// Repeated workloads re-submit the same query structures (constants and
+// alpha fixed per sweep here; the structural fingerprint would hit across
+// constant changes too), so cache-on planning pays one chase + chAT run
+// per family and O(hash) per repetition afterwards.
+//
+// Series (per #-sel): avg per-query planning ms with the cache off
+// (off_ms), on a cold cache (miss_ms), on a warm cache (hit_ms), and the
+// off/hit speedup. Acceptance bar for the plan-cache work: speedup >= 5x.
+
+#include <chrono>
+
+#include "harness.h"
+#include "workload/tfacc.h"
+
+using namespace beas;
+using namespace beas::bench;
+
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// One planning sweep over the parsed queries; returns total milliseconds.
+double PlanSweep(Beas& beas, const std::vector<QueryPtr>& queries, double alpha) {
+  auto t0 = std::chrono::steady_clock::now();
+  for (const auto& q : queries) {
+    auto plan = beas.PlanOnly(q, alpha);
+    (void)plan;  // OutOfBudget queries still exercise the planner
+  }
+  return MillisSince(t0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double alpha = ArgOr(argc, argv, "alpha", 0.04);
+  int64_t rows = static_cast<int64_t>(ArgOr(argc, argv, "rows", 3000));
+  int nq = static_cast<int>(ArgOr(argc, argv, "queries", 20));
+  int reps = static_cast<int>(ArgOr(argc, argv, "reps", 10));
+  if (reps < 2) reps = 2;
+
+  Dataset ds = MakeTfacc(rows, /*seed=*/107);
+  BeasOptions off_options;
+  off_options.constraints = ds.constraints;
+  auto off_built = Beas::Build(&ds.db, off_options);
+  BeasOptions on_options = off_options;
+  on_options.plan_cache.enabled = true;
+  on_options.plan_cache.capacity = 256;
+  auto on_built = Beas::Build(&ds.db, on_options);
+  if (!off_built.ok() || !on_built.ok()) {
+    std::fprintf(stderr, "FATAL: Beas::Build failed\n");
+    return 1;
+  }
+  Beas& off = **off_built;
+  Beas& on = **on_built;
+
+  std::printf("Plan cache micro-bench: TFACC |D|=%zu, alpha=%g, %d queries per "
+              "#-sel, %d repetitions\n",
+              ds.db.TotalTuples(), alpha, nq, reps);
+
+  std::vector<std::string> series{"off_ms", "miss_ms", "hit_ms", "speedup"};
+  std::vector<std::string> xs;
+  std::vector<std::vector<double>> values;
+  double total_off = 0, total_hit = 0;
+  size_t total_plans = 0;
+
+  DatabaseSchema schema = ds.db.Schema();
+  for (int nsel = 3; nsel <= 7; ++nsel) {
+    QueryGenConfig cfg = PaperQueryMix(1007 + static_cast<uint64_t>(nsel));
+    cfg.min_sel = nsel;
+    cfg.max_sel = nsel;
+    auto generated = GenerateQueries(ds, nq, cfg);
+    std::vector<QueryPtr> queries;
+    for (const auto& gq : generated) {
+      auto q = ParseSql(schema, gq.sql);
+      if (q.ok()) queries.push_back(*q);
+    }
+    if (queries.empty()) continue;
+
+    // Cache off: every sweep replans from scratch.
+    double off_total = 0;
+    for (int r = 0; r < reps; ++r) off_total += PlanSweep(off, queries, alpha);
+    double off_ms = off_total / static_cast<double>(reps * queries.size());
+
+    // Cache on: sweep 1 populates (misses), sweeps 2..reps hit.
+    double miss_total = PlanSweep(on, queries, alpha);
+    double hit_total = 0;
+    for (int r = 1; r < reps; ++r) hit_total += PlanSweep(on, queries, alpha);
+    double miss_ms = miss_total / static_cast<double>(queries.size());
+    double hit_ms = hit_total / static_cast<double>((reps - 1) * queries.size());
+
+    total_off += off_total / static_cast<double>(reps);
+    total_hit += hit_total / static_cast<double>(reps - 1);
+    total_plans += queries.size();
+
+    xs.push_back(std::to_string(nsel));
+    values.push_back({off_ms, miss_ms, hit_ms, hit_ms > 0 ? off_ms / hit_ms : 0.0});
+  }
+
+  PrintSeries("PlanCache planning time, repeated fig6g families (TFACC)", "#-sel",
+              xs, series, values);
+
+  PlanCacheStats stats = on.plan_cache_stats();
+  double speedup = total_hit > 0 ? total_off / total_hit : 0.0;
+  std::printf("\ncache stats: hits=%llu misses=%llu evictions=%llu entries=%llu\n",
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses),
+              static_cast<unsigned long long>(stats.evictions),
+              static_cast<unsigned long long>(stats.entries));
+  std::printf("overall planning speedup on warm cache: %.1fx over %zu plans "
+              "(acceptance bar: >= 5x)\n",
+              speedup, total_plans);
+  return 0;
+}

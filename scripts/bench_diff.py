@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Diff two BEAS_BENCH_JSON JSONL run logs and flag accuracy/perf drift.
+
+Each input is a JSONL file of ``{"type": "series", ...}`` objects as
+emitted by the bench harness (schema in bench/README.md). The two logs
+are joined on (title, x, series) cells and every shared cell is compared:
+
+  * accuracy cells (the default): a *drop* beyond --abs-tol flags drift
+    (improvements are reported as info only — accuracy series are
+    "higher is better" scores in [0, 1]);
+  * perf cells (series or title matching --perf-pattern, e.g. "_ms",
+    "time", "latency"): an *increase* beyond --rel-tol (relative, over a
+    --perf-floor absolute noise floor) flags drift — lower is better;
+  * "speedup" cells are higher-is-better perf: a relative drop beyond
+    --rel-tol flags drift;
+  * cells present in the baseline but missing from the current log flag
+    drift unless --allow-missing is given; extra cells are info only.
+
+Exit status: 0 when no drift is flagged, 1 on drift, 2 on usage errors.
+
+Example (the CI smoke gate — these parameters must match the ones the
+committed baseline was generated with, see .github/workflows/ci.yml and
+bench/README.md):
+
+  BEAS_BENCH_JSON=/tmp/run.jsonl ./build/bench/fig6g_rc_nsel_tfacc rows=1500 queries=12
+  python3 scripts/bench_diff.py bench/baselines/fig6g_smoke.jsonl /tmp/run.jsonl
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def load_cells(path):
+    """Returns {(title, x, series): value} for every finite cell in a JSONL log.
+
+    Non-finite values (serialized as null) are kept as None so that a
+    measurement that *became* unmeasurable still shows up as drift.
+    """
+    cells = {}
+    with open(path, "r", encoding="utf-8") as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise ValueError(f"{path}:{line_no}: not valid JSON: {e}") from e
+            if obj.get("type") != "series":
+                continue
+            title = obj.get("title", "")
+            for point in obj.get("points", []):
+                x = point.get("x", "")
+                for series, value in point.get("values", {}).items():
+                    cells[(title, x, series)] = value
+    return cells
+
+
+def is_perf(title, series, perf_re):
+    return bool(perf_re.search(series)) or bool(perf_re.search(title))
+
+
+def is_speedup(series):
+    return "speedup" in series.lower()
+
+
+def compare(base_cells, cur_cells, args):
+    """Returns (drifts, infos): lists of human-readable findings."""
+    perf_re = re.compile(args.perf_pattern, re.IGNORECASE)
+    drifts, infos = [], []
+    for key in sorted(base_cells):
+        title, x, series = key
+        base = base_cells[key]
+        label = f"[{title}] x={x} {series}"
+        if key not in cur_cells:
+            (infos if args.allow_missing else drifts).append(
+                f"{label}: missing from current log (baseline {base})")
+            continue
+        cur = cur_cells[key]
+        if base is None and cur is None:
+            continue
+        if base is None or cur is None:
+            drifts.append(f"{label}: finiteness changed ({base} -> {cur})")
+            continue
+        if is_speedup(series):
+            floor = max(abs(base), 1e-12)
+            if (base - cur) / floor > args.rel_tol:
+                drifts.append(
+                    f"{label}: speedup dropped {base:.6g} -> {cur:.6g} "
+                    f"(> {args.rel_tol:.0%} relative)")
+            elif cur != base:
+                infos.append(f"{label}: speedup {base:.6g} -> {cur:.6g}")
+        elif is_perf(title, series, perf_re):
+            floor = max(abs(base), args.perf_floor)
+            if (cur - base) / floor > args.rel_tol:
+                drifts.append(
+                    f"{label}: slower {base:.6g} -> {cur:.6g} "
+                    f"(> {args.rel_tol:.0%} relative over floor {args.perf_floor})")
+            elif cur != base:
+                infos.append(f"{label}: perf {base:.6g} -> {cur:.6g}")
+        else:
+            delta = cur - base
+            if -delta > args.abs_tol:
+                drifts.append(
+                    f"{label}: accuracy dropped {base:.6g} -> {cur:.6g} "
+                    f"(> {args.abs_tol} absolute)")
+            elif delta > args.abs_tol:
+                infos.append(f"{label}: accuracy improved {base:.6g} -> {cur:.6g}")
+            elif cur != base:
+                infos.append(f"{label}: accuracy {base:.6g} -> {cur:.6g}")
+    for key in sorted(set(cur_cells) - set(base_cells)):
+        title, x, series = key
+        infos.append(f"[{title}] x={x} {series}: new cell (not in baseline)")
+    return drifts, infos
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", help="baseline JSONL run log")
+    parser.add_argument("current", help="current JSONL run log")
+    parser.add_argument("--abs-tol", type=float, default=0.05,
+                        help="max tolerated accuracy drop per cell (default 0.05)")
+    parser.add_argument("--rel-tol", type=float, default=0.5,
+                        help="max tolerated relative perf regression (default 0.5)")
+    parser.add_argument("--perf-floor", type=float, default=1.0,
+                        help="absolute perf noise floor, same unit as the series "
+                             "(default 1.0, i.e. 1ms for *_ms series)")
+    parser.add_argument("--perf-pattern", default=r"_ms\b|_s\b|\btime\b|latency",
+                        help="regex marking perf (lower-is-better) cells")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="cells missing from the current log are info, not drift")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the info lines")
+    args = parser.parse_args(argv)
+
+    try:
+        base_cells = load_cells(args.baseline)
+        cur_cells = load_cells(args.current)
+    except (OSError, ValueError) as e:
+        print(f"bench_diff: {e}", file=sys.stderr)
+        return 2
+    if not base_cells:
+        print(f"bench_diff: no series cells in baseline {args.baseline}",
+              file=sys.stderr)
+        return 2
+
+    drifts, infos = compare(base_cells, cur_cells, args)
+    if not args.quiet:
+        for line in infos:
+            print(f"INFO  {line}")
+    for line in drifts:
+        print(f"DRIFT {line}")
+    print(f"bench_diff: {len(base_cells)} baseline cells, "
+          f"{len(drifts)} drift(s), {len(infos)} info line(s)")
+    return 1 if drifts else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_diff.py on the fixture logs in scripts/testdata/.
+
+Run directly (python3 scripts/bench_diff_test.py) or via ctest
+(test name: bench_diff_unit).
+"""
+
+import io
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_diff  # noqa: E402
+
+TESTDATA = os.path.join(os.path.dirname(os.path.abspath(__file__)), "testdata")
+BASE = os.path.join(TESTDATA, "bench_base.jsonl")
+DRIFT = os.path.join(TESTDATA, "bench_drift.jsonl")
+
+
+def run(argv):
+    out = io.StringIO()
+    with redirect_stdout(out):
+        code = bench_diff.main(argv)
+    return code, out.getvalue()
+
+
+class LoadCellsTest(unittest.TestCase):
+    def test_loads_all_cells_keyed_on_title_x_series(self):
+        cells = bench_diff.load_cells(BASE)
+        self.assertEqual(
+            cells[("Fig6g RC accuracy vs #-sel (TFACC)", "3", "BEAS")], 0.82)
+        self.assertEqual(
+            cells[("PlanCache planning time, repeated fig6g families (TFACC)",
+                   "3", "speedup")], 76.0)
+        # null (non-finite) cells load as None, not as a number.
+        self.assertIsNone(cells[("Unmeasurable panel", "1", "score")])
+        self.assertEqual(len(cells), 10)
+
+    def test_rejects_malformed_jsonl(self):
+        with tempfile.NamedTemporaryFile("w", suffix=".jsonl", delete=False) as f:
+            f.write("{not json\n")
+            path = f.name
+        try:
+            with self.assertRaises(ValueError):
+                bench_diff.load_cells(path)
+        finally:
+            os.unlink(path)
+
+
+class CompareTest(unittest.TestCase):
+    def test_identical_logs_pass(self):
+        code, out = run([BASE, BASE])
+        self.assertEqual(code, 0)
+        self.assertNotIn("DRIFT", out)
+
+    def test_drift_log_flags_expected_cells(self):
+        code, out = run([BASE, DRIFT])
+        self.assertEqual(code, 1)
+        drifts = [l for l in out.splitlines() if l.startswith("DRIFT")]
+        self.assertEqual(len(drifts), 5, out)
+        joined = "\n".join(drifts)
+        # Accuracy drop beyond abs-tol.
+        self.assertIn("BEAS: accuracy dropped 0.82 -> 0.7", joined)
+        # Cell missing from the current log.
+        self.assertIn("Sampl: missing from current log", joined)
+        # Perf regression beyond rel-tol (lower is better).
+        self.assertIn("off_ms: slower 4.6 -> 9.8", joined)
+        # Speedup collapse (higher is better).
+        self.assertIn("speedup dropped 76 -> 21", joined)
+        # null -> finite measurement regime change.
+        self.assertIn("finiteness changed", joined)
+        # Small moves stay informational.
+        self.assertNotIn("hit_ms: slower", joined)
+        self.assertIn("BEAS(eta): accuracy 0.61 -> 0.62", out)
+
+    def test_allow_missing_downgrades_missing_cells(self):
+        code, out = run([BASE, DRIFT, "--allow-missing"])
+        self.assertEqual(code, 1)
+        drifts = [l for l in out.splitlines() if l.startswith("DRIFT")]
+        self.assertEqual(len(drifts), 4, out)
+        self.assertNotIn("missing from current log",
+                         "\n".join(drifts))
+
+    def test_loose_tolerances_pass(self):
+        code, _ = run([BASE, DRIFT, "--abs-tol", "1.0", "--rel-tol", "100",
+                       "--allow-missing", "--quiet"])
+        # Only the finiteness change remains: it ignores tolerances.
+        self.assertEqual(code, 1)
+        code, _ = run([BASE, BASE, "--abs-tol", "0", "--rel-tol", "0"])
+        self.assertEqual(code, 0)
+
+    def test_empty_baseline_is_usage_error(self):
+        with tempfile.NamedTemporaryFile("w", suffix=".jsonl", delete=False) as f:
+            path = f.name
+        try:
+            code, _ = run([path, BASE])
+            self.assertEqual(code, 2)
+        finally:
+            os.unlink(path)
+
+
+if __name__ == "__main__":
+    unittest.main()

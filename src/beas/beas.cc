@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "ra/fingerprint.h"
 
 namespace beas {
 
@@ -28,6 +29,9 @@ Result<std::unique_ptr<Beas>> Beas::Build(Database* db, BeasOptions options) {
     }
   }
   BEAS_RETURN_IF_ERROR(beas->store_.Build(*db, families, options.constraints));
+  if (options.plan_cache.enabled) {
+    beas->plan_cache_ = std::make_unique<PlanCache>(options.plan_cache);
+  }
   return beas;
 }
 
@@ -36,7 +40,20 @@ Result<BeasPlan> Beas::PlanOnly(const QueryPtr& q, double alpha) const {
     return Status::InvalidArgument(StrCat("resource ratio must be in (0,1], got ", alpha));
   }
   Planner planner(db_schema_, store_.schema(), db_size_, options_.planner);
-  return planner.Plan(q, alpha);
+  if (plan_cache_ == nullptr) return planner.Plan(q, alpha);
+
+  QueryFingerprint fp = FingerprintQuery(q);
+  if (const PlanTemplate* tmpl = plan_cache_->Lookup(fp, alpha)) {
+    BEAS_ASSIGN_OR_RETURN(std::optional<BeasPlan> cached,
+                          planner.PlanFromTemplate(q, alpha, *tmpl));
+    if (cached.has_value()) return std::move(*cached);
+    // Template not instantiable for this query (its constant-conflict
+    // pattern differs): plan from scratch and re-book the hit as a miss.
+    plan_cache_->DemoteLastHit();
+  }
+  BEAS_ASSIGN_OR_RETURN(BeasPlan plan, planner.Plan(q, alpha));
+  plan_cache_->Insert(fp, alpha, Planner::ExtractTemplate(plan));
+  return plan;
 }
 
 Result<BeasAnswer> Beas::Answer(const QueryPtr& q, double alpha) {
@@ -44,7 +61,10 @@ Result<BeasAnswer> Beas::Answer(const QueryPtr& q, double alpha) {
   PlanExecutor executor(&store_, options_.eval);
   uint64_t budget = static_cast<uint64_t>(
       std::floor(alpha * static_cast<double>(db_size_)));
-  return executor.Execute(plan, budget);
+  BEAS_ASSIGN_OR_RETURN(BeasAnswer answer, executor.Execute(plan, budget));
+  answer.plan_cached = plan.from_cache;
+  answer.plan_cache = plan_cache_stats();
+  return answer;
 }
 
 Result<BeasAnswer> Beas::AnswerSql(const std::string& sql, double alpha) {
@@ -68,8 +88,16 @@ Result<Planner::ExactPlanStats> Beas::ExactPlanStats(const QueryPtr& q) const {
   return planner.ExactPlan(q);
 }
 
+PlanCacheStats Beas::plan_cache_stats() const {
+  return plan_cache_ ? plan_cache_->stats() : PlanCacheStats{};
+}
+
 Status Beas::Insert(const std::string& relation, const Tuple& row) {
   BEAS_ASSIGN_OR_RETURN(Table * table, db_->FindMutableTable(relation));
+  // Invalidate before the mutation becomes visible: |D| feeds every
+  // cached budget and the chase's degradation choices, so no cached plan
+  // may outlive an index-maintenance step (even a partially failed one).
+  if (plan_cache_) plan_cache_->InvalidateAll();
   BEAS_RETURN_IF_ERROR(store_.ApplyInsert(relation, row));
   BEAS_RETURN_IF_ERROR(table->Append(row));
   db_size_ += 1;
@@ -81,6 +109,7 @@ Status Beas::Remove(const std::string& relation, const Tuple& row) {
   if (!table->Contains(row)) {
     return Status::NotFound(StrCat("tuple not in '", relation, "'"));
   }
+  if (plan_cache_) plan_cache_->InvalidateAll();
   BEAS_RETURN_IF_ERROR(store_.ApplyRemove(relation, row));
   // Rebuild the table without one occurrence of the row.
   Table rebuilt(table->schema());

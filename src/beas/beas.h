@@ -11,6 +11,7 @@
 
 #include "accschema/access_schema.h"
 #include "beas/executor.h"
+#include "beas/plan_cache.h"
 #include "beas/planner.h"
 #include "common/result.h"
 #include "index/index_store.h"
@@ -34,6 +35,13 @@ struct BeasOptions {
   EvalOptions eval;
   /// Planner knobs (ablation switches; keep defaults in production).
   PlannerKnobs planner;
+  /// Plan-cache knob: off keeps today's plan-every-query behavior; on
+  /// reuses chase/chAT results across queries that share a structural
+  /// fingerprint (only constants differ), invalidated on Insert/Remove.
+  /// With the cache on, Answer/PlanOnly mutate cache state (even through
+  /// const references), so concurrent use of one Beas instance needs
+  /// external synchronization (see PlanCache docs).
+  PlanCacheOptions plan_cache;
 };
 
 /// \brief Resource-bounded query answering over one database instance.
@@ -81,6 +89,9 @@ class Beas {
   const DatabaseSchema& db_schema() const { return db_schema_; }
   size_t db_size() const { return db_size_; }
 
+  /// Plan-cache counters (all zeros when BeasOptions::plan_cache is off).
+  PlanCacheStats plan_cache_stats() const;
+
  private:
   Beas() = default;
 
@@ -89,6 +100,11 @@ class Beas {
   size_t db_size_ = 0;
   IndexStore store_;
   BeasOptions options_;
+  /// Mutable: PlanOnly is logically const but records hits/misses and
+  /// bumps LRU order — so with the cache enabled, even const methods are
+  /// NOT safe to call concurrently on one instance without external
+  /// synchronization. Null when the cache is disabled.
+  mutable std::unique_ptr<PlanCache> plan_cache_;
 };
 
 }  // namespace beas

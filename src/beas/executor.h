@@ -18,6 +18,7 @@
 #include <cstdint>
 
 #include "beas/plan.h"
+#include "beas/plan_cache.h"
 #include "common/result.h"
 #include "engine/evaluator.h"
 #include "index/index_store.h"
@@ -33,6 +34,11 @@ struct BeasAnswer {
   bool exact = false;   ///< the answers are exactly Q(D)
   double est_tariff = 0;
   double d_prime = 0;   ///< runtime coverage correction d' (Section 6)
+  /// The plan came from the plan cache (identical answers either way;
+  /// filled by Beas::Answer, false when the cache is disabled).
+  bool plan_cached = false;
+  /// Plan-cache counters at answer time (zeros when the cache is off).
+  PlanCacheStats plan_cache;
 };
 
 /// \brief Executes BeasPlans against an IndexStore.

@@ -93,6 +93,10 @@ struct BeasPlan {
   /// True when every fetch is exact: the plan computes exact Q(D).
   bool exact = false;
 
+  /// True when the plan was instantiated from a PlanCache template
+  /// (Planner::PlanFromTemplate) instead of a full chase + chAT run.
+  bool from_cache = false;
+
   std::string ToString() const;
 };
 

@@ -1,0 +1,73 @@
+#include "beas/plan_cache.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace beas {
+
+PlanCache::PlanCache(PlanCacheOptions options) : options_(options) {
+  if (options_.capacity == 0) options_.capacity = 1;
+}
+
+std::string PlanCache::MakeKey(const QueryFingerprint& fp, double alpha) {
+  // The fixed-size map key: fingerprint hash plus alpha, both bit-exact
+  // (plans at different resource ratios pick different template levels
+  // and must never alias). The canonical form stays out of the key — it
+  // is stored in the entry and compared on lookup, so a 64-bit hash
+  // collision is detected and served as a miss.
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(alpha), "double must be 64-bit");
+  std::memcpy(&bits, &alpha, sizeof(bits));
+  char key[40];
+  std::snprintf(key, sizeof(key), "%016llx#%016llx",
+                static_cast<unsigned long long>(fp.hash),
+                static_cast<unsigned long long>(bits));
+  return key;
+}
+
+const PlanTemplate* PlanCache::Lookup(const QueryFingerprint& fp, double alpha) {
+  auto it = index_.find(MakeKey(fp, alpha));
+  if (it == index_.end() || it->second->canonical != fp.canonical) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  entries_.splice(entries_.begin(), entries_, it->second);
+  ++stats_.hits;
+  return &entries_.front().tmpl;
+}
+
+void PlanCache::Insert(const QueryFingerprint& fp, double alpha, PlanTemplate tmpl) {
+  std::string key = MakeKey(fp, alpha);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Same key: refresh the entry (and let a colliding canonical form
+    // take the slot over — the previous entry would only miss anyway).
+    it->second->canonical = fp.canonical;
+    it->second->tmpl = std::move(tmpl);
+    entries_.splice(entries_.begin(), entries_, it->second);
+  } else {
+    entries_.push_front(Entry{key, fp.canonical, std::move(tmpl)});
+    index_[std::move(key)] = entries_.begin();
+    while (entries_.size() > options_.capacity) {
+      index_.erase(entries_.back().key);
+      entries_.pop_back();
+      ++stats_.evictions;
+    }
+  }
+  stats_.entries = entries_.size();
+}
+
+void PlanCache::DemoteLastHit() {
+  if (stats_.hits == 0) return;
+  --stats_.hits;
+  ++stats_.misses;
+}
+
+void PlanCache::InvalidateAll() {
+  entries_.clear();
+  index_.clear();
+  ++stats_.invalidations;
+  stats_.entries = 0;
+}
+
+}  // namespace beas

@@ -1,0 +1,119 @@
+// The plan cache: stores reusable planning results (chase/rewrite output
+// and chAT-optimized fetch templates) keyed on (query fingerprint, alpha),
+// with LRU eviction and hit/miss/evict/invalidation counters.
+//
+// Contract (docs/ARCHITECTURE.md "Plan cache"):
+//   - A template may only be instantiated for a query whose fingerprint
+//     (src/ra/fingerprint.h) equals the entry's key — constants are the
+//     only allowed difference, and they are rebound from the new query's
+//     tableau at instantiation time (Planner::PlanFromTemplate).
+//   - Any mutation of the database or its indices (Beas::Insert/Remove)
+//     must call InvalidateAll() before the mutation is visible to
+//     queries: |D| feeds every budget and the chase's degradation
+//     decisions, so every cached template is stale after a mutation. A
+//     stale plan can therefore never execute.
+//   - The cache stores templates, never answers: instantiation re-runs
+//     the (cheap, deterministic) tableau build and unit rewrite against
+//     the *current* query, so cached and fresh plans are semantically
+//     identical by construction.
+
+#ifndef BEAS_BEAS_PLAN_CACHE_H_
+#define BEAS_BEAS_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "beas/fetch_plan.h"
+#include "ra/fingerprint.h"
+
+namespace beas {
+
+/// Configuration knob for the plan cache (BeasOptions::plan_cache).
+struct PlanCacheOptions {
+  /// Off by default: planning behaves exactly as without a cache.
+  bool enabled = false;
+  /// Maximum number of (fingerprint, alpha) entries before LRU eviction.
+  size_t capacity = 64;
+};
+
+/// Counters surfaced through BeasAnswer and Beas::plan_cache_stats().
+struct PlanCacheStats {
+  uint64_t hits = 0;           ///< lookups answered from the cache
+  uint64_t misses = 0;         ///< lookups that fell through to planning
+  uint64_t evictions = 0;      ///< entries dropped by the LRU policy
+  uint64_t invalidations = 0;  ///< InvalidateAll calls (Insert/Remove)
+  uint64_t entries = 0;        ///< current number of cached templates
+};
+
+/// \brief The reusable part of a BeasPlan for one query structure.
+///
+/// Per SPC unit: the chAT-optimized fetch plan (families, levels, chain
+/// structure, probe sources) and whether the unit was unsatisfiable.
+/// Constant probe values inside the fetch plans are placeholders from the
+/// query that populated the entry; instantiation rebinds them from the
+/// new query's tableau before the plan can execute.
+struct PlanTemplate {
+  struct UnitTemplate {
+    FetchPlan fetch;
+    bool unsatisfiable = false;
+  };
+  std::vector<UnitTemplate> units;
+};
+
+/// \brief An LRU map from (query fingerprint, alpha) to plan templates.
+///
+/// Entries are keyed on the fixed-size (fingerprint hash, alpha bits)
+/// pair; the stored canonical form is compared on every lookup, so a
+/// hash collision degrades to a miss, never to reuse of a wrong plan.
+///
+/// Not thread-safe, and it makes `const Beas` methods stateful: with the
+/// cache enabled, Beas::PlanOnly/Answer mutate LRU order and counters
+/// through this object, so concurrent use of one Beas instance — even
+/// through const references — requires external synchronization.
+/// Lookup() pointers are valid only until the next non-const call.
+class PlanCache {
+ public:
+  explicit PlanCache(PlanCacheOptions options);
+
+  /// Returns the template for (\p fp, \p alpha) and bumps it to
+  /// most-recently-used (counted as a hit), or nullptr (counted as a
+  /// miss). Hash collisions compare the canonical form and miss.
+  const PlanTemplate* Lookup(const QueryFingerprint& fp, double alpha);
+
+  /// Inserts (or replaces) the template for (\p fp, \p alpha), evicting
+  /// the least-recently-used entry beyond capacity.
+  void Insert(const QueryFingerprint& fp, double alpha, PlanTemplate tmpl);
+
+  /// Re-books the most recent hit as a miss: the template turned out not
+  /// to be instantiable for the query (e.g. its constant-conflict pattern
+  /// differs) and the caller fell back to fresh planning.
+  void DemoteLastHit();
+
+  /// Drops every entry (database mutation); counted as one invalidation.
+  void InvalidateAll();
+
+  const PlanCacheStats& stats() const { return stats_; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string key;        ///< hash + alpha bits (the map key)
+    std::string canonical;  ///< full canonical form, checked on lookup
+    PlanTemplate tmpl;
+  };
+
+  static std::string MakeKey(const QueryFingerprint& fp, double alpha);
+
+  PlanCacheOptions options_;
+  /// Front = most recently used.
+  std::list<Entry> entries_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_BEAS_PLAN_CACHE_H_

@@ -234,8 +234,23 @@ Status OptimizeLevels(BeasPlan* plan, const DatabaseSchema& base) {
     fetch.Recompute();
     badness = best_badness;
   }
-  // Restore the rewrites to the final levels.
+  // FinalizeBounds restores the rewrites to the final levels.
+  return Status::OK();
+}
+
+// Rewrites every unit at its current template levels, installs the
+// set-difference guards, and fills the plan-level bounds, eta and tariff.
+// Shared tail of fresh planning and cache-template instantiation: given
+// the same fetch plans, both paths produce identical accuracy bookkeeping.
+Status FinalizeBounds(BeasPlan* plan, const DatabaseSchema& base) {
   BEAS_RETURN_IF_ERROR(PlanBadness(plan, base).status());
+  BEAS_ASSIGN_OR_RETURN(NodeBounds root, CombineBounds(plan->root.get(), &plan->units));
+  plan->d_rel = root.d_rel;
+  plan->d_cov = root.extra_cov;
+  for (double r : root.col_res) plan->d_cov = std::max(plan->d_cov, r);
+  plan->exact = IsExactSubtree(*plan->root, plan->units) && plan->d_rel == 0;
+  plan->eta = plan->exact ? 1.0 : 1.0 / (1.0 + std::max(plan->d_rel, plan->d_cov));
+  plan->est_tariff = TotalTariff(*plan);
   return Status::OK();
 }
 
@@ -267,19 +282,72 @@ Result<BeasPlan> Planner::Plan(const QueryPtr& q, double alpha) const {
 
   if (knobs_.optimize_levels) {
     BEAS_RETURN_IF_ERROR(OptimizeLevels(&plan, base_));
-  } else {
-    // Still rewrite the units at their level-0 plans.
-    BEAS_RETURN_IF_ERROR(PlanBadness(&plan, base_).status());
   }
 
-  BEAS_ASSIGN_OR_RETURN(NodeBounds root, CombineBounds(plan.root.get(), &plan.units));
-  plan.d_rel = root.d_rel;
-  plan.d_cov = root.extra_cov;
-  for (double r : root.col_res) plan.d_cov = std::max(plan.d_cov, r);
-  plan.exact = IsExactSubtree(*plan.root, plan.units) && plan.d_rel == 0;
-  plan.eta = plan.exact ? 1.0 : 1.0 / (1.0 + std::max(plan.d_rel, plan.d_cov));
-  plan.est_tariff = TotalTariff(plan);
+  BEAS_RETURN_IF_ERROR(FinalizeBounds(&plan, base_));
   return plan;
+}
+
+PlanTemplate Planner::ExtractTemplate(const BeasPlan& plan) {
+  PlanTemplate tmpl;
+  tmpl.units.reserve(plan.units.size());
+  for (const auto& unit : plan.units) {
+    PlanTemplate::UnitTemplate ut;
+    ut.fetch = unit.fetch;
+    ut.unsatisfiable = unit.unsatisfiable;
+    tmpl.units.push_back(std::move(ut));
+  }
+  return tmpl;
+}
+
+Result<std::optional<BeasPlan>> Planner::PlanFromTemplate(const QueryPtr& q, double alpha,
+                                                          const PlanTemplate& tmpl) const {
+  BeasPlan plan;
+  plan.query = q;
+  plan.budget = alpha * static_cast<double>(db_size_);
+
+  BEAS_ASSIGN_OR_RETURN(plan.root, BuildEvalTree(q, /*weighted=*/false, &plan.units));
+  if (plan.units.size() != tmpl.units.size()) return std::optional<BeasPlan>{};
+
+  for (size_t i = 0; i < plan.units.size(); ++i) {
+    SpcUnit& unit = plan.units[i];
+    BEAS_ASSIGN_OR_RETURN(unit.tableau, BuildTableau(unit.query));
+    unit.unsatisfiable = unit.tableau.unsatisfiable;
+    // Unsatisfiability is the one chase-relevant property that depends on
+    // constant *values* (conflicting sigma_{A=c} bindings); equal
+    // fingerprints do not imply it matches, so re-check per unit and let
+    // the caller plan from scratch on a mismatch.
+    if (unit.unsatisfiable != tmpl.units[i].unsatisfiable) {
+      return std::optional<BeasPlan>{};
+    }
+    if (unit.unsatisfiable) continue;
+    unit.fetch = tmpl.units[i].fetch;
+    if (unit.fetch.atoms.size() != unit.tableau.atoms.size()) {
+      return std::optional<BeasPlan>{};
+    }
+    // Rebind constant probes to this query's constants. Every kConst
+    // source carries the constant its tableau variable is bound to
+    // (chase.cc ExactExternalBindings), and equal fingerprints make the
+    // two tableaux structurally identical, so the new value is the new
+    // tableau's binding of the same "alias.column" variable.
+    for (auto& op : unit.fetch.ops) {
+      const std::string& alias = unit.fetch.atoms[op.atom].alias;
+      for (size_t x = 0; x < op.x_sources.size(); ++x) {
+        XSource& src = op.x_sources[x];
+        if (src.kind != XSource::Kind::kConst) continue;
+        auto var = unit.tableau.VarOf(StrCat(alias, ".", op.family->x_attrs[x]));
+        if (!var) return std::optional<BeasPlan>{};
+        auto value = unit.tableau.ConstOf(*var);
+        if (!value) return std::optional<BeasPlan>{};
+        src.constant = std::move(*value);
+      }
+    }
+    unit.fetch.Recompute();
+  }
+
+  BEAS_RETURN_IF_ERROR(FinalizeBounds(&plan, base_));
+  plan.from_cache = true;
+  return std::optional<BeasPlan>{std::move(plan)};
 }
 
 Result<Planner::ExactPlanStats> Planner::ExactPlan(const QueryPtr& q) const {

@@ -6,8 +6,11 @@
 #ifndef BEAS_BEAS_PLANNER_H_
 #define BEAS_BEAS_PLANNER_H_
 
+#include <optional>
+
 #include "accschema/access_schema.h"
 #include "beas/plan.h"
+#include "beas/plan_cache.h"
 #include "common/result.h"
 #include "ra/ast.h"
 
@@ -50,6 +53,22 @@ class Planner {
 
   /// Tariff of the cheapest exact plan (shorthand for ExactPlan().tariff).
   Result<double> ExactTariff(const QueryPtr& q) const;
+
+  /// The reusable part of \p plan for the plan cache: per-unit fetch
+  /// plans (with their final chAT levels) and unsatisfiability flags.
+  static PlanTemplate ExtractTemplate(const BeasPlan& plan);
+
+  /// Instantiates a cached \p tmpl for \p q, which must have the same
+  /// fingerprint as the query that produced the template. Skips the chase
+  /// and the chAT level search: rebuilds the (cheap) eval tree and
+  /// tableaux for \p q, rebinds the templates' constant probes from the
+  /// new tableaux, and re-runs the unit rewrite so the evaluation plan
+  /// carries \p q's constants. Returns nullopt when the template is not
+  /// usable for \p q — the per-unit constant-conflict (unsatisfiable)
+  /// pattern differs, the one plan-relevant property that depends on
+  /// constant values — in which case the caller must plan from scratch.
+  Result<std::optional<BeasPlan>> PlanFromTemplate(const QueryPtr& q, double alpha,
+                                                   const PlanTemplate& tmpl) const;
 
   size_t db_size() const { return db_size_; }
 

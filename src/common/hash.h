@@ -1,0 +1,28 @@
+// Non-cryptographic hashing helpers (FNV-1a) for structural keys such as
+// query fingerprints. Stable across platforms and runs (no ASLR or
+// std::hash dependence): the plan cache keys its entries on these values.
+
+#ifndef BEAS_COMMON_HASH_H_
+#define BEAS_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace beas {
+
+/// FNV-1a offset basis / prime (64-bit variant).
+inline constexpr uint64_t kFnv1a64Seed = 0xcbf29ce484222325ull;
+inline constexpr uint64_t kFnv1a64Prime = 0x100000001b3ull;
+
+/// Folds \p data into the running FNV-1a state \p h byte by byte.
+inline uint64_t Fnv1a64(std::string_view data, uint64_t h = kFnv1a64Seed) {
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= kFnv1a64Prime;
+  }
+  return h;
+}
+
+}  // namespace beas
+
+#endif  // BEAS_COMMON_HASH_H_

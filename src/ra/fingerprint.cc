@@ -1,0 +1,143 @@
+#include "ra/fingerprint.h"
+
+#include <cstdio>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace beas {
+
+namespace {
+
+// Exact, locale-independent rendering of a double (hex float): relaxation
+// slack and distance scales enter the fingerprint bit-for-bit, so queries
+// that differ only in a bound never share an entry.
+std::string ExactDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+void AppendAttrDef(const AttributeDef& attr, std::string* out) {
+  *out += attr.name;
+  *out += ':';
+  *out += DataTypeToString(attr.type);
+  *out += ':';
+  *out += attr.distance.kind == DistanceKind::kTrivial ? "triv" : "num";
+  *out += ':';
+  *out += ExactDouble(attr.distance.scale);
+}
+
+// Output schema rendered at nodes that introduce names (relation leaves,
+// projections, group-bys); the other node kinds derive their schemas from
+// the children deterministically.
+void AppendSchema(const RelationSchema& schema, std::string* out) {
+  *out += '{';
+  for (size_t i = 0; i < schema.arity(); ++i) {
+    if (i > 0) *out += ',';
+    AppendAttrDef(schema.attribute(i), out);
+  }
+  *out += '}';
+}
+
+void AppendOperand(const Operand& op, std::string* out) {
+  if (op.is_attr) {
+    *out += "a(";
+    *out += op.attr;
+    *out += ')';
+  } else {
+    // The constant value is abstracted: plans are structurally identical
+    // across constant renamings (the tableau's conflict pattern, which is
+    // value-dependent, is re-checked at cache-instantiation time).
+    *out += '?';
+  }
+}
+
+void AppendPredicate(const Predicate& pred, std::string* out) {
+  for (size_t i = 0; i < pred.size(); ++i) {
+    if (i > 0) *out += '&';
+    const Comparison& cmp = pred[i];
+    AppendOperand(cmp.lhs, out);
+    *out += CompareOpToString(cmp.op);
+    AppendOperand(cmp.rhs, out);
+    *out += '@';
+    *out += ExactDouble(cmp.slack);
+  }
+}
+
+void Canonicalize(const QueryPtr& q, std::string* out) {
+  switch (q->kind()) {
+    case QueryNode::Kind::kRelation:
+      *out += "R(";
+      *out += q->relation();
+      *out += ',';
+      *out += q->alias();
+      *out += ')';
+      AppendSchema(q->output_schema(), out);
+      return;
+    case QueryNode::Kind::kSelect:
+      *out += "S[";
+      AppendPredicate(q->predicate(), out);
+      *out += "](";
+      Canonicalize(q->child(), out);
+      *out += ')';
+      return;
+    case QueryNode::Kind::kProject:
+      *out += "P[";
+      *out += Join(q->project_attrs(), ",");
+      *out += q->distinct() ? "|d" : "|b";
+      *out += ']';
+      AppendSchema(q->output_schema(), out);
+      *out += '(';
+      Canonicalize(q->child(), out);
+      *out += ')';
+      return;
+    case QueryNode::Kind::kProduct:
+      *out += "X(";
+      Canonicalize(q->left(), out);
+      *out += ',';
+      Canonicalize(q->right(), out);
+      *out += ')';
+      return;
+    case QueryNode::Kind::kUnion:
+      *out += "U(";
+      Canonicalize(q->left(), out);
+      *out += ',';
+      Canonicalize(q->right(), out);
+      *out += ')';
+      return;
+    case QueryNode::Kind::kDifference:
+      *out += "D(";
+      Canonicalize(q->left(), out);
+      *out += ',';
+      Canonicalize(q->right(), out);
+      *out += ')';
+      return;
+    case QueryNode::Kind::kGroupBy:
+      *out += "G[";
+      *out += Join(q->group_attrs(), ",");
+      *out += '|';
+      *out += AggFuncToString(q->agg());
+      *out += '(';
+      *out += q->agg_attr();
+      *out += ")]";
+      AppendSchema(q->output_schema(), out);
+      *out += '(';
+      Canonicalize(q->child(), out);
+      *out += ')';
+      return;
+  }
+  *out += "<?>";
+}
+
+}  // namespace
+
+QueryFingerprint FingerprintQuery(const QueryPtr& q) {
+  QueryFingerprint fp;
+  fp.canonical.reserve(256);
+  Canonicalize(q, &fp.canonical);
+  fp.hash = Fnv1a64(fp.canonical);
+  return fp;
+}
+
+}  // namespace beas

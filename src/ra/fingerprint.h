@@ -1,0 +1,46 @@
+// Structural query fingerprints: a canonicalized serialization (and hash)
+// of an RA_aggr tree that abstracts constant *values* but keeps everything
+// the BEAS planner's decisions can depend on — node kinds, relation names
+// and aliases, attribute names with their types and distance specs,
+// comparison operators and relaxation slack, projection/grouping shapes.
+//
+// Two queries with equal fingerprints chase to structurally identical
+// plans (same tableau variables, same fetch families, same template
+// levels at a given alpha); only the constants bound into probes and
+// rewritten predicates differ. This is the key of the plan cache
+// (src/beas/plan_cache.h): repeated-workload queries that vary constants
+// alone hit the same entry, while queries that differ in any predicate
+// shape, distance spec or relaxation bound never share one.
+
+#ifndef BEAS_RA_FINGERPRINT_H_
+#define BEAS_RA_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ra/ast.h"
+
+namespace beas {
+
+/// \brief A structural query fingerprint: hash plus the canonical form.
+///
+/// The canonical string is kept alongside the hash so that lookups can
+/// verify equality exactly — a 64-bit collision degrades to a cache miss,
+/// never to reuse of a wrong plan.
+struct QueryFingerprint {
+  uint64_t hash = 0;
+  std::string canonical;
+
+  bool operator==(const QueryFingerprint& other) const {
+    return hash == other.hash && canonical == other.canonical;
+  }
+  bool operator!=(const QueryFingerprint& other) const { return !(*this == other); }
+};
+
+/// Computes the fingerprint of \p q. Deterministic: depends only on the
+/// tree structure and the bound schemas, never on pointer identity.
+QueryFingerprint FingerprintQuery(const QueryPtr& q);
+
+}  // namespace beas
+
+#endif  // BEAS_RA_FINGERPRINT_H_

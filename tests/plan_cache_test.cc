@@ -1,0 +1,327 @@
+// Plan-cache tests (ctest label: cache):
+//
+//   - fingerprint canonicalization: constants are abstracted; predicate
+//     shape, relaxation slack and attribute distance specs are not (two
+//     queries differing only in a distance spec or a relaxation bound
+//     never share a cache entry);
+//   - PlanCache mechanics: keying on (fingerprint, alpha), LRU eviction,
+//     hit/miss/evict/invalidation counters;
+//   - end-to-end equivalence: cached plans produce byte-identical rows,
+//     eta and accessed counts to fresh plans, across constant renamings,
+//     constant-conflict flips, and Insert/Remove invalidation.
+
+#include <gtest/gtest.h>
+
+#include "beas/beas.h"
+#include "beas/plan_cache.h"
+#include "common/hash.h"
+#include "ra/fingerprint.h"
+#include "ra/parser.h"
+#include "testing/test_data.h"
+
+namespace beas {
+namespace {
+
+std::vector<ConstraintSpec> SocialConstraints() {
+  return {
+      {"person", {"pid"}, {"city"}, 1},
+      {"friend", {"pid"}, {"fid"}, 12},
+  };
+}
+
+class PlanCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testing::MakeSocialDb(30, 100, 5, 8, 400);
+    schema_ = db_.Schema();
+  }
+
+  std::unique_ptr<Beas> Build(Database* db, bool cache_enabled, size_t capacity = 64) {
+    BeasOptions options;
+    options.constraints = SocialConstraints();
+    options.plan_cache.enabled = cache_enabled;
+    options.plan_cache.capacity = capacity;
+    auto built = Beas::Build(db, options);
+    EXPECT_TRUE(built.ok()) << built.status();
+    return std::move(*built);
+  }
+
+  QueryPtr Q(const std::string& sql) {
+    auto q = ParseSql(schema_, sql);
+    EXPECT_TRUE(q.ok()) << q.status() << " for " << sql;
+    return *q;
+  }
+
+  static void ExpectSameAnswer(const BeasAnswer& got, const BeasAnswer& want,
+                               const std::string& context) {
+    EXPECT_EQ(got.eta, want.eta) << context;
+    EXPECT_EQ(got.accessed, want.accessed) << context;
+    EXPECT_EQ(got.exact, want.exact) << context;
+    ASSERT_EQ(got.table.size(), want.table.size()) << context;
+    for (size_t i = 0; i < got.table.size(); ++i) {
+      EXPECT_EQ(got.table.row(i), want.table.row(i)) << context << " row " << i;
+    }
+  }
+
+  Database db_;
+  DatabaseSchema schema_;
+};
+
+// --- Fingerprint canonicalization ---
+
+TEST_F(PlanCacheTest, FingerprintAbstractsConstants) {
+  QueryPtr a = Q("select p.pid from person as p where p.city = 'c1'");
+  QueryPtr b = Q("select p.pid from person as p where p.city = 'c4'");
+  EXPECT_EQ(FingerprintQuery(a), FingerprintQuery(b));
+
+  QueryPtr c = Q(
+      "select h.address from poi as h, person as p "
+      "where p.pid = 3 and p.city = h.city and h.price <= 95");
+  QueryPtr d = Q(
+      "select h.address from poi as h, person as p "
+      "where p.pid = 77 and p.city = h.city and h.price <= 40");
+  EXPECT_EQ(FingerprintQuery(c), FingerprintQuery(d));
+  EXPECT_NE(FingerprintQuery(a), FingerprintQuery(c));
+}
+
+TEST_F(PlanCacheTest, FingerprintKeepsPredicateShape) {
+  QueryPtr le = Q("select h.address from poi as h where h.price <= 95");
+  QueryPtr lt = Q("select h.address from poi as h where h.price < 95");
+  QueryPtr other_attr = Q("select h.address from poi as h where h.address <= 95");
+  EXPECT_NE(FingerprintQuery(le), FingerprintQuery(lt));
+  EXPECT_NE(FingerprintQuery(le), FingerprintQuery(other_attr));
+
+  // Set- vs bag-semantics projections (the parser always emits distinct,
+  // so build both by hand) must not alias.
+  auto leaf = QueryNode::Relation(schema_, "poi", "h");
+  ASSERT_TRUE(leaf.ok());
+  auto distinct_proj = QueryNode::Project(*leaf, {"h.type"}, /*distinct=*/true);
+  auto bag_proj = QueryNode::Project(*leaf, {"h.type"}, /*distinct=*/false);
+  ASSERT_TRUE(distinct_proj.ok() && bag_proj.ok());
+  EXPECT_NE(FingerprintQuery(*distinct_proj), FingerprintQuery(*bag_proj));
+}
+
+TEST_F(PlanCacheTest, FingerprintDistinguishesRelaxationBounds) {
+  // Queries that differ only in Comparison::slack (the relaxation bound)
+  // must never share an entry: the slack feeds the rewrite's relaxed
+  // semantics directly.
+  auto base_leaf = QueryNode::Relation(schema_, "poi", "h");
+  ASSERT_TRUE(base_leaf.ok());
+  QueryPtr base = *base_leaf;
+  Comparison cmp;
+  cmp.lhs = Operand::Attr("h.price");
+  cmp.op = CompareOp::kEq;
+  cmp.rhs = Operand::Const(Value(95.0));
+  cmp.slack = 0.0;
+  auto exact_sel = QueryNode::Select(base, {cmp});
+  ASSERT_TRUE(exact_sel.ok()) << exact_sel.status();
+  cmp.slack = 2.5;
+  auto relaxed_sel = QueryNode::Select(base, {cmp});
+  ASSERT_TRUE(relaxed_sel.ok()) << relaxed_sel.status();
+  EXPECT_NE(FingerprintQuery(*exact_sel), FingerprintQuery(*relaxed_sel));
+}
+
+TEST_F(PlanCacheTest, FingerprintDistinguishesDistanceSpecs) {
+  // Same SQL over two schemas that differ only in one attribute's
+  // distance spec: the fingerprints must differ, so instances with
+  // different metrics can never share plans.
+  auto make_schema = [](DistanceSpec price_distance) {
+    DatabaseSchema s;
+    EXPECT_TRUE(s.AddRelation(RelationSchema(
+                                  "poi", {AttributeDef("address", DataType::kInt64,
+                                                       DistanceSpec::Numeric(1.0)),
+                                          AttributeDef("price", DataType::kDouble,
+                                                       price_distance)}))
+                    .ok());
+    return s;
+  };
+  DatabaseSchema numeric = make_schema(DistanceSpec::Numeric(1.0));
+  DatabaseSchema scaled = make_schema(DistanceSpec::Numeric(0.25));
+  DatabaseSchema trivial = make_schema(DistanceSpec::Trivial());
+
+  const std::string sql = "select h.address from poi as h where h.price <= 95";
+  auto qn = ParseSql(numeric, sql);
+  auto qs = ParseSql(scaled, sql);
+  auto qt = ParseSql(trivial, sql);
+  ASSERT_TRUE(qn.ok() && qs.ok() && qt.ok());
+  EXPECT_NE(FingerprintQuery(*qn), FingerprintQuery(*qs));
+  EXPECT_NE(FingerprintQuery(*qn), FingerprintQuery(*qt));
+  EXPECT_NE(FingerprintQuery(*qs), FingerprintQuery(*qt));
+
+  // And at the cache level: an entry stored under one spec's fingerprint
+  // is invisible to the other's.
+  PlanCache cache(PlanCacheOptions{true, 8});
+  cache.Insert(FingerprintQuery(*qn), 0.1, PlanTemplate{});
+  EXPECT_EQ(cache.Lookup(FingerprintQuery(*qs), 0.1), nullptr);
+  EXPECT_EQ(cache.Lookup(FingerprintQuery(*qt), 0.1), nullptr);
+  EXPECT_NE(cache.Lookup(FingerprintQuery(*qn), 0.1), nullptr);
+}
+
+// --- PlanCache mechanics ---
+
+QueryFingerprint FakeFp(const std::string& canonical) {
+  QueryFingerprint fp;
+  fp.canonical = canonical;
+  fp.hash = Fnv1a64(canonical);
+  return fp;
+}
+
+TEST_F(PlanCacheTest, HashCollisionDegradesToMiss) {
+  // Two distinct canonical forms forced onto one hash: the entry must
+  // never be served for the other form — a collision is a miss.
+  PlanCache cache(PlanCacheOptions{true, 8});
+  QueryFingerprint a, b;
+  a.canonical = "q-a";
+  b.canonical = "q-b";
+  a.hash = b.hash = 42;
+  cache.Insert(a, 0.1, PlanTemplate{});
+  EXPECT_EQ(cache.Lookup(b, 0.1), nullptr);
+  EXPECT_NE(cache.Lookup(a, 0.1), nullptr);
+}
+
+TEST_F(PlanCacheTest, CacheKeysOnAlpha) {
+  PlanCache cache(PlanCacheOptions{true, 8});
+  cache.Insert(FakeFp("q"), 0.1, PlanTemplate{});
+  EXPECT_EQ(cache.Lookup(FakeFp("q"), 0.2), nullptr);
+  EXPECT_NE(cache.Lookup(FakeFp("q"), 0.1), nullptr);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST_F(PlanCacheTest, LruEvictionAndStats) {
+  PlanCache cache(PlanCacheOptions{true, 2});
+  cache.Insert(FakeFp("q1"), 0.1, PlanTemplate{});
+  cache.Insert(FakeFp("q2"), 0.1, PlanTemplate{});
+  // Touch q1 so q2 is the LRU entry when q3 arrives.
+  EXPECT_NE(cache.Lookup(FakeFp("q1"), 0.1), nullptr);
+  cache.Insert(FakeFp("q3"), 0.1, PlanTemplate{});
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Lookup(FakeFp("q2"), 0.1), nullptr);  // evicted
+  EXPECT_NE(cache.Lookup(FakeFp("q1"), 0.1), nullptr);
+  EXPECT_NE(cache.Lookup(FakeFp("q3"), 0.1), nullptr);
+
+  cache.InvalidateAll();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_EQ(cache.Lookup(FakeFp("q1"), 0.1), nullptr);
+}
+
+TEST_F(PlanCacheTest, DemoteLastHitRebooks) {
+  PlanCache cache(PlanCacheOptions{true, 2});
+  cache.Insert(FakeFp("q1"), 0.1, PlanTemplate{});
+  EXPECT_NE(cache.Lookup(FakeFp("q1"), 0.1), nullptr);
+  cache.DemoteLastHit();
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+// --- End-to-end equivalence ---
+
+TEST_F(PlanCacheTest, CachedAnswersMatchFreshAcrossConstants) {
+  auto cached = Build(&db_, /*cache_enabled=*/true);
+  auto fresh = Build(&db_, /*cache_enabled=*/false);
+
+  // Query families sharing a structure, varying only constants (the
+  // fig6g/fig6i repeated-workload shape).
+  std::vector<std::string> sqls;
+  for (int pid : {0, 3, 7, 12, 25}) {
+    sqls.push_back(
+        "select h.address, h.price from poi as h, friend as f, person as p "
+        "where f.pid = " + std::to_string(pid) +
+        " and f.fid = p.pid and p.city = h.city and h.price <= " +
+        std::to_string(40 + pid));
+  }
+  for (int city : {0, 1, 2}) {
+    sqls.push_back("select p.pid from person as p where p.city = " +
+                   std::to_string(city));
+  }
+
+  for (double alpha : {0.05, 0.3}) {
+    for (const auto& sql : sqls) {
+      QueryPtr q = Q(sql);
+      auto from_cache_path = cached->Answer(q, alpha);
+      auto from_fresh_path = fresh->Answer(q, alpha);
+      ASSERT_EQ(from_cache_path.ok(), from_fresh_path.ok()) << sql;
+      if (!from_cache_path.ok()) continue;
+      ExpectSameAnswer(*from_cache_path, *from_fresh_path, sql);
+    }
+  }
+  // The families repeat per alpha, so the cache must have seen hits.
+  PlanCacheStats stats = cached->plan_cache_stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+  // Re-answering everything again must be all hits and still identical.
+  uint64_t misses_before = cached->plan_cache_stats().misses;
+  for (const auto& sql : sqls) {
+    QueryPtr q = Q(sql);
+    auto again = cached->Answer(q, 0.3);
+    auto reference = fresh->Answer(q, 0.3);
+    ASSERT_EQ(again.ok(), reference.ok()) << sql;
+    if (!again.ok()) continue;
+    EXPECT_TRUE(again->plan_cached) << sql;
+    ExpectSameAnswer(*again, *reference, sql);
+  }
+  EXPECT_EQ(cached->plan_cache_stats().misses, misses_before);
+}
+
+TEST_F(PlanCacheTest, ConstantConflictNeverReusesTemplate) {
+  auto cached = Build(&db_, /*cache_enabled=*/true);
+  auto fresh = Build(&db_, /*cache_enabled=*/false);
+
+  // Same fingerprint (constants abstracted), opposite satisfiability.
+  QueryPtr sat = Q("select p.pid from person as p where p.city = 1 and p.city = 1");
+  QueryPtr unsat = Q("select p.pid from person as p where p.city = 1 and p.city = 2");
+  ASSERT_EQ(FingerprintQuery(sat), FingerprintQuery(unsat));
+
+  auto a1 = cached->Answer(sat, 0.3);
+  ASSERT_TRUE(a1.ok()) << a1.status();
+  auto a2 = cached->Answer(unsat, 0.3);
+  ASSERT_TRUE(a2.ok()) << a2.status();
+  EXPECT_FALSE(a2->plan_cached);  // template bailed out, planned fresh
+  EXPECT_EQ(a2->table.size(), 0u);
+  ExpectSameAnswer(*a2, *fresh->Answer(unsat, 0.3), "unsat after sat");
+
+  // And the flip side: the unsat plan now cached must not serve sat.
+  auto a3 = cached->Answer(sat, 0.3);
+  ASSERT_TRUE(a3.ok());
+  ExpectSameAnswer(*a3, *fresh->Answer(sat, 0.3), "sat after unsat");
+  EXPECT_GT(a3->table.size(), 0u);
+}
+
+TEST_F(PlanCacheTest, InsertRemoveInvalidatesCachedPlans) {
+  auto cached = Build(&db_, /*cache_enabled=*/true);
+
+  QueryPtr q = Q("select p.pid from person as p where p.city = 'c1'");
+  ASSERT_TRUE(cached->Answer(q, 0.3).ok());
+  auto warm = cached->Answer(q, 0.3);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->plan_cached);
+
+  // Remove one person row, then re-insert it: |D| passes through a
+  // different value, and both maintenance steps must clear the cache.
+  auto person = db_.FindTable("person");
+  ASSERT_TRUE(person.ok());
+  Tuple row = (*person)->row(0);
+  ASSERT_TRUE(cached->Remove("person", row).ok());
+  auto after_remove = cached->Answer(q, 0.3);
+  ASSERT_TRUE(after_remove.ok());
+  EXPECT_FALSE(after_remove->plan_cached) << "stale plan served after Remove";
+
+  ASSERT_TRUE(cached->Insert("person", row).ok());
+  auto after_insert = cached->Answer(q, 0.3);
+  ASSERT_TRUE(after_insert.ok());
+  EXPECT_FALSE(after_insert->plan_cached) << "stale plan served after Insert";
+  EXPECT_EQ(cached->plan_cache_stats().invalidations, 2u);
+
+  // The database is back to its original content: a fresh instance over
+  // it must agree with the (re-cached) answers.
+  auto fresh = Build(&db_, /*cache_enabled=*/false);
+  auto again = cached->Answer(q, 0.3);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->plan_cached);
+  ExpectSameAnswer(*again, *fresh->Answer(q, 0.3), "after remove+insert roundtrip");
+}
+
+}  // namespace
+}  // namespace beas

@@ -1,0 +1,143 @@
+// Golden plan-snapshot tests (ctest label: cache): plans the fig6 query
+// families (TFACC and TPC-H paper mixes at fixed seeds/alphas), serializes
+// the chosen plans — SPC decomposition, fetch families, chAT template
+// levels, probe sources, tariff and eta — and diffs them against the
+// checked-in snapshot, so chase/rewrite/chAT regressions fail loudly with
+// a plan-level diff instead of a silent accuracy drift.
+//
+// To regenerate after an *intentional* planner change:
+//   BEAS_UPDATE_SNAPSHOTS=1 ./build/tests/plan_snapshot_test
+// and commit the rewritten tests/golden/plan_snapshots.txt.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "beas/beas.h"
+#include "ra/parser.h"
+#include "workload/query_gen.h"
+#include "workload/tfacc.h"
+#include "workload/tpch.h"
+
+namespace beas {
+namespace {
+
+constexpr const char* kSnapshotPath =
+    BEAS_SOURCE_DIR "/tests/golden/plan_snapshots.txt";
+
+// The Section 8 paper mix (mirrors bench::PaperQueryMix; kept inline so
+// the test does not depend on the bench harness).
+QueryGenConfig PaperMix(uint64_t seed) {
+  QueryGenConfig cfg;
+  cfg.min_sel = 3;
+  cfg.max_sel = 7;
+  cfg.min_prod = 0;
+  cfg.max_prod = 4;
+  cfg.frac_agg = 0.3;
+  cfg.frac_diff = 0.5;
+  cfg.max_diff = 3;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::string SnapshotFor(const std::string& dataset_name, Dataset* ds,
+                        const std::vector<GeneratedQuery>& queries, double alpha) {
+  BeasOptions options;
+  options.constraints = ds->constraints;
+  auto built = Beas::Build(&ds->db, options);
+  EXPECT_TRUE(built.ok()) << built.status();
+  std::ostringstream out;
+  out << "=== " << dataset_name << " |D|=" << ds->db.TotalTuples()
+      << " alpha=" << alpha << " ===\n";
+  for (const auto& gq : queries) {
+    auto q = (*built)->Parse(gq.sql);
+    if (!q.ok()) continue;
+    out << "--- " << gq.sql << "\n";
+    auto plan = (*built)->PlanOnly(*q, alpha);
+    if (!plan.ok()) {
+      out << "status: " << plan.status().ToString() << "\n";
+      continue;
+    }
+    out << plan->ToString();
+  }
+  return out.str();
+}
+
+std::string BuildSnapshots() {
+  std::string all;
+  {
+    Dataset tfacc = MakeTfacc(900, /*seed=*/107);
+    auto queries = GenerateQueries(tfacc, 8, PaperMix(1007));
+    all += SnapshotFor("tfacc", &tfacc, queries, 0.05);
+  }
+  {
+    Dataset tpch = MakeTpch(0.001, /*seed=*/77);
+    auto queries = GenerateQueries(tpch, 8, PaperMix(4242));
+    all += SnapshotFor("tpch", &tpch, queries, 0.05);
+  }
+  return all;
+}
+
+TEST(PlanSnapshotTest, Fig6FamiliesMatchGolden) {
+  std::string got = BuildSnapshots();
+
+  if (const char* update = std::getenv("BEAS_UPDATE_SNAPSHOTS");
+      update != nullptr && *update == '1') {
+    std::ofstream out(kSnapshotPath, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << kSnapshotPath;
+    out << got;
+    GTEST_SKIP() << "snapshot regenerated at " << kSnapshotPath;
+  }
+
+  std::ifstream in(kSnapshotPath);
+  ASSERT_TRUE(in.good()) << "missing golden file " << kSnapshotPath
+                         << " (run with BEAS_UPDATE_SNAPSHOTS=1 to create)";
+  std::stringstream want;
+  want << in.rdbuf();
+
+  // Compare block by block so a regression names the query that moved.
+  std::istringstream got_stream(got), want_stream(want.str());
+  std::string got_line, want_line;
+  size_t line_no = 0;
+  while (true) {
+    bool got_more = static_cast<bool>(std::getline(got_stream, got_line));
+    bool want_more = static_cast<bool>(std::getline(want_stream, want_line));
+    ++line_no;
+    if (!got_more && !want_more) break;
+    ASSERT_EQ(got_more, want_more)
+        << "snapshot length changed at line " << line_no
+        << " (BEAS_UPDATE_SNAPSHOTS=1 regenerates after intentional changes)";
+    ASSERT_EQ(got_line, want_line)
+        << "plan drift at line " << line_no
+        << " (BEAS_UPDATE_SNAPSHOTS=1 regenerates after intentional changes)";
+  }
+}
+
+// Cached instantiation must reproduce the snapshotted plans exactly: the
+// serialized plan of a cache hit equals the fresh plan's serialization.
+TEST(PlanSnapshotTest, CachedPlansSerializeIdentically) {
+  Dataset tfacc = MakeTfacc(900, /*seed=*/107);
+  auto queries = GenerateQueries(tfacc, 8, PaperMix(1007));
+
+  BeasOptions options;
+  options.constraints = tfacc.constraints;
+  options.plan_cache.enabled = true;
+  auto built = Beas::Build(&tfacc.db, options);
+  ASSERT_TRUE(built.ok()) << built.status();
+
+  for (const auto& gq : queries) {
+    auto q = (*built)->Parse(gq.sql);
+    if (!q.ok()) continue;
+    auto fresh = (*built)->PlanOnly(*q, 0.05);
+    if (!fresh.ok()) continue;
+    auto hit = (*built)->PlanOnly(*q, 0.05);
+    ASSERT_TRUE(hit.ok()) << gq.sql;
+    EXPECT_TRUE(hit->from_cache) << gq.sql;
+    EXPECT_EQ(fresh->ToString(), hit->ToString()) << gq.sql;
+  }
+}
+
+}  // namespace
+}  // namespace beas

@@ -8,6 +8,10 @@
 //   P3 (Theorem 1): eta is monotone non-decreasing in alpha.
 //   P4 (Theorem 6(5)): set-difference answers never contain an exact
 //       answer of the negated side.
+//   P5 (plan-cache equivalence): with BeasOptions::plan_cache enabled,
+//       cached plans produce answers byte-identical to fresh plans —
+//       same rows, same eta, same accessed counts — across repeated
+//       random workloads, alpha sweeps, and Insert/Remove invalidation.
 
 #include <gtest/gtest.h>
 
@@ -138,6 +142,106 @@ TEST_P(BeasPropertyTest, ExactPlansMatchEngine) {
     ASSERT_EQ(got.size(), want.size()) << gq.sql;
     for (size_t i = 0; i < got.size(); ++i) {
       EXPECT_EQ(got.row(i), want.row(i)) << gq.sql;
+    }
+  }
+}
+
+TEST_P(BeasPropertyTest, CachedAnswersAreByteIdenticalToFresh) {
+  double alpha = GetParam().alpha;
+  BeasOptions options;
+  options.constraints = ds_.constraints;
+  options.plan_cache.enabled = true;
+  auto built = Beas::Build(&ds_.db, options);
+  ASSERT_TRUE(built.ok()) << built.status();
+  std::unique_ptr<Beas> cached = std::move(*built);
+
+  // Two passes over the workload at two alphas: the first run of each
+  // (query, alpha) is a fresh plan that populates the cache, the second
+  // must hit and be indistinguishable. `beas_` (cache off, same data) is
+  // the external reference for both.
+  int hits_checked = 0;
+  for (double a : {alpha, std::min(1.0, alpha * 4)}) {
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const auto& gq : queries_) {
+        auto q = ParseSql(schema_, gq.sql);
+        ASSERT_TRUE(q.ok()) << gq.sql;
+        auto got = cached->Answer(*q, a);
+        auto want = beas_->Answer(*q, a);
+        ASSERT_EQ(got.ok(), want.ok()) << gq.sql;
+        if (!got.ok()) continue;
+        if (pass == 1) {
+          EXPECT_TRUE(got->plan_cached) << gq.sql;
+          ++hits_checked;
+        }
+        EXPECT_EQ(got->eta, want->eta) << gq.sql;
+        EXPECT_EQ(got->accessed, want->accessed) << gq.sql;
+        EXPECT_EQ(got->exact, want->exact) << gq.sql;
+        ASSERT_EQ(got->table.size(), want->table.size()) << gq.sql;
+        for (size_t i = 0; i < got->table.size(); ++i) {
+          EXPECT_EQ(got->table.row(i), want->table.row(i)) << gq.sql << " row " << i;
+        }
+      }
+    }
+  }
+  EXPECT_GT(hits_checked, 5) << "too few queries exercised the cache-hit path";
+  EXPECT_GT(cached->plan_cache_stats().hits, 0u);
+}
+
+TEST_P(BeasPropertyTest, CachedAnswersMatchFreshAfterInsertRemove) {
+  double alpha = GetParam().alpha;
+  // A private dataset copy: this test mutates the database.
+  Dataset ds = std::string(GetParam().dataset) == "tpch" ? MakeTpch(0.001, 77)
+                                                         : MakeTfacc(1200, 77);
+  BeasOptions options;
+  options.constraints = ds.constraints;
+  options.plan_cache.enabled = true;
+  auto built = Beas::Build(&ds.db, options);
+  ASSERT_TRUE(built.ok()) << built.status();
+  std::unique_ptr<Beas> cached = std::move(*built);
+
+  DatabaseSchema ds_schema = ds.db.Schema();
+  // Warm the cache on the workload.
+  for (const auto& gq : queries_) {
+    auto q = ParseSql(ds_schema, gq.sql);
+    ASSERT_TRUE(q.ok());
+    (void)cached->Answer(*q, alpha);
+  }
+  ASSERT_GT(cached->plan_cache_stats().entries, 0u);
+
+  // Remove one row from every base relation, then re-insert it: the
+  // cache must invalidate on each maintenance step, never serving plans
+  // computed against the old |D|.
+  for (const auto& rel : ds_schema.relations()) {
+    auto table = ds.db.FindTable(rel.name());
+    ASSERT_TRUE(table.ok());
+    if ((*table)->size() == 0) continue;
+    Tuple row = (*table)->row((*table)->size() / 2);
+    ASSERT_TRUE(cached->Remove(rel.name(), row).ok()) << rel.name();
+    ASSERT_TRUE(cached->Insert(rel.name(), row).ok()) << rel.name();
+  }
+  EXPECT_GT(cached->plan_cache_stats().invalidations, 0u);
+
+  // Reference instance built fresh over the (net-unchanged) database.
+  BeasOptions fresh_options;
+  fresh_options.constraints = ds.constraints;
+  auto fresh_built = Beas::Build(&ds.db, fresh_options);
+  ASSERT_TRUE(fresh_built.ok());
+  std::unique_ptr<Beas> fresh = std::move(*fresh_built);
+
+  for (int pass = 0; pass < 2; ++pass) {  // second pass re-exercises hits
+    for (const auto& gq : queries_) {
+      auto q = ParseSql(ds.db.Schema(), gq.sql);
+      ASSERT_TRUE(q.ok());
+      auto got = cached->Answer(*q, alpha);
+      auto want = fresh->Answer(*q, alpha);
+      ASSERT_EQ(got.ok(), want.ok()) << gq.sql;
+      if (!got.ok()) continue;
+      EXPECT_EQ(got->eta, want->eta) << gq.sql;
+      EXPECT_EQ(got->accessed, want->accessed) << gq.sql;
+      ASSERT_EQ(got->table.size(), want->table.size()) << gq.sql;
+      for (size_t i = 0; i < got->table.size(); ++i) {
+        EXPECT_EQ(got->table.row(i), want->table.row(i)) << gq.sql << " row " << i;
+      }
     }
   }
 }

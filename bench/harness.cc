@@ -13,12 +13,12 @@
 namespace beas {
 namespace bench {
 
-namespace {
-
 double MillisSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
       .count();
 }
+
+namespace {
 
 // Minimal JSON string escaping (quotes, backslashes, control characters).
 std::string JsonEscape(const std::string& s) {
@@ -81,6 +81,11 @@ std::vector<PerQueryResult> Bench::Run(const std::vector<GeneratedQuery>& querie
   Histo histo(dataset_.db, alpha, options.seed);
   BlinkDbSim blink(dataset_.db, alpha, dataset_.qcs, options.seed);
 
+  // One executor for the whole run: with rc.eval.fetch_threads > 1 it
+  // keeps its worker pool alive across queries instead of re-spawning
+  // threads per query.
+  PlanExecutor executor(&beas_->store(), options.rc.eval);
+
   std::vector<PerQueryResult> results;
   for (const auto& gq : queries) {
     PerQueryResult r;
@@ -120,7 +125,6 @@ std::vector<PerQueryResult> Bench::Run(const std::vector<GeneratedQuery>& querie
       r.beas_plan_ms = MillisSince(tp);
       if (plan.ok()) {
         auto te = std::chrono::steady_clock::now();
-        PlanExecutor executor(&beas_->store(), options.rc.eval);
         uint64_t budget = static_cast<uint64_t>(
             std::floor(alpha * static_cast<double>(db_size())));
         auto answer = executor.Execute(*plan, budget);

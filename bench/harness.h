@@ -11,6 +11,7 @@
 #ifndef BEAS_BENCH_HARNESS_H_
 #define BEAS_BENCH_HARNESS_H_
 
+#include <chrono>
 #include <map>
 #include <memory>
 #include <optional>
@@ -113,6 +114,9 @@ std::string SeriesToJson(const std::string& title, const std::string& x_label,
 
 /// Parses "NAME=value"-style overrides from argv ("sf=0.002 queries=30").
 double ArgOr(int argc, char** argv, const std::string& key, double fallback);
+
+/// Milliseconds elapsed since \p start (the benches' shared stopwatch).
+double MillisSince(std::chrono::steady_clock::time_point start);
 
 /// The Section 8 query mix: 30% aggregates, the rest RA with 0-3
 /// differences, #-sel in [3,7], #-prod in [0,4].

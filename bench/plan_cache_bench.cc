@@ -19,11 +19,6 @@ using namespace beas::bench;
 
 namespace {
 
-double MillisSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
-      .count();
-}
-
 // One planning sweep over the parsed queries; returns total milliseconds.
 double PlanSweep(Beas& beas, const std::vector<QueryPtr>& queries, double alpha) {
   auto t0 = std::chrono::steady_clock::now();

@@ -50,6 +50,45 @@ class LoadCellsTest(unittest.TestCase):
             os.unlink(path)
 
 
+class QuoteBearingLabelTest(unittest.TestCase):
+    """Labels with quotes/backslashes survive the harness -> diff pipeline.
+
+    The line below is byte-for-byte what the harness's SeriesToJson emits
+    for a quote-bearing title/series (kept in sync with the C++ unit test
+    tests/bench_json_test.cc): the escaper must produce JSON that
+    load_cells parses back to the original strings.
+    """
+
+    ESCAPED_LINE = ('{"type":"series","title":"title with \\"quotes\\"",'
+                    '"x_label":"x\\\\label",'
+                    '"series":["ser\\"ies\\\\1"],'
+                    '"points":[{"x":"x=\\"a\\"","values":{"ser\\"ies\\\\1":1}}]}')
+
+    def _write(self, text):
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".jsonl", delete=False) as f:
+            f.write(text + "\n")
+            return f.name
+
+    def test_escaped_labels_parse_back_to_originals(self):
+        path = self._write(self.ESCAPED_LINE)
+        try:
+            cells = bench_diff.load_cells(path)
+        finally:
+            os.unlink(path)
+        self.assertEqual(
+            cells[('title with "quotes"', 'x="a"', 'ser"ies\\1')], 1)
+
+    def test_quote_bearing_logs_diff_cleanly(self):
+        path = self._write(self.ESCAPED_LINE)
+        try:
+            code, out = run([path, path])
+        finally:
+            os.unlink(path)
+        self.assertEqual(code, 0)
+        self.assertNotIn("DRIFT", out)
+
+
 class CompareTest(unittest.TestCase):
     def test_identical_logs_pass(self):
         code, out = run([BASE, BASE])

@@ -29,6 +29,7 @@ Result<std::unique_ptr<Beas>> Beas::Build(Database* db, BeasOptions options) {
     }
   }
   BEAS_RETURN_IF_ERROR(beas->store_.Build(*db, families, options.constraints));
+  beas->executor_ = std::make_unique<PlanExecutor>(&beas->store_, options.eval);
   if (options.plan_cache.enabled) {
     beas->plan_cache_ = std::make_unique<PlanCache>(options.plan_cache);
   }
@@ -43,7 +44,7 @@ Result<BeasPlan> Beas::PlanOnly(const QueryPtr& q, double alpha) const {
   if (plan_cache_ == nullptr) return planner.Plan(q, alpha);
 
   QueryFingerprint fp = FingerprintQuery(q);
-  if (const PlanTemplate* tmpl = plan_cache_->Lookup(fp, alpha)) {
+  if (std::shared_ptr<const PlanTemplate> tmpl = plan_cache_->Lookup(fp, alpha)) {
     BEAS_ASSIGN_OR_RETURN(std::optional<BeasPlan> cached,
                           planner.PlanFromTemplate(q, alpha, *tmpl));
     if (cached.has_value()) return std::move(*cached);
@@ -58,10 +59,9 @@ Result<BeasPlan> Beas::PlanOnly(const QueryPtr& q, double alpha) const {
 
 Result<BeasAnswer> Beas::Answer(const QueryPtr& q, double alpha) {
   BEAS_ASSIGN_OR_RETURN(BeasPlan plan, PlanOnly(q, alpha));
-  PlanExecutor executor(&store_, options_.eval);
   uint64_t budget = static_cast<uint64_t>(
       std::floor(alpha * static_cast<double>(db_size_)));
-  BEAS_ASSIGN_OR_RETURN(BeasAnswer answer, executor.Execute(plan, budget));
+  BEAS_ASSIGN_OR_RETURN(BeasAnswer answer, executor_->Execute(plan, budget));
   answer.plan_cached = plan.from_cache;
   answer.plan_cache = plan_cache_stats();
   return answer;

@@ -31,7 +31,11 @@ struct BeasOptions {
   /// The Section 8 recipe: derive template families R(XY -> Z) from each
   /// declared constraint.
   bool add_constraint_templates = true;
-  /// Engine limits for evaluating xi_E over the fetched data.
+  /// Engine limits for evaluating xi_E over the fetched data; also
+  /// carries `fetch_threads`, the executor's parallel-fetch knob (1 =
+  /// sequential; > 1 fetches independent plan atoms concurrently with
+  /// answers bit-identical to sequential execution — see
+  /// EvalOptions::fetch_threads).
   EvalOptions eval;
   /// Planner knobs (ablation switches; keep defaults in production).
   PlannerKnobs planner;
@@ -100,10 +104,14 @@ class Beas {
   size_t db_size_ = 0;
   IndexStore store_;
   BeasOptions options_;
+  /// Persistent executor: keeps the parallel-fetch thread pool (created
+  /// lazily when eval.fetch_threads > 1) alive across Answer calls.
+  std::unique_ptr<PlanExecutor> executor_;
   /// Mutable: PlanOnly is logically const but records hits/misses and
-  /// bumps LRU order — so with the cache enabled, even const methods are
-  /// NOT safe to call concurrently on one instance without external
-  /// synchronization. Null when the cache is disabled.
+  /// bumps LRU order through this object. The cache itself is internally
+  /// mutex-guarded (safe under the executor's fetch threads); a Beas
+  /// *instance* is still single-query-at-a-time — the store's meter and
+  /// the database are unsynchronized. Null when the cache is disabled.
   mutable std::unique_ptr<PlanCache> plan_cache_;
 };
 

@@ -1,9 +1,12 @@
 #include "beas/executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <condition_variable>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <set>
 #include <unordered_set>
 
@@ -45,157 +48,439 @@ std::vector<Value> DistinctColumn(const AtomRows& rows, const std::string& col) 
   return out;
 }
 
+// One probe of a fetch op: the X-key, plus the self-context row it
+// extends (and that row's weight). `row` points into the op's atom
+// materialization, which is stable until the op's output replaces it.
+struct ProbeCtx {
+  const Tuple* row = nullptr;  // self context
+  int64_t weight = 1;
+  Tuple xkey;
+};
+
+// The enumerated probes of one op against the unit's current atom
+// materializations. `skip` marks a self-chaining op whose atom has no
+// rows to extend: the op is a no-op and the atom stays as it is (an op
+// *without* self context and zero probes still replaces the atom with an
+// empty materialization carrying the new columns).
+struct ProbeSet {
+  bool skip = false;
+  std::vector<ProbeCtx> probes;
+};
+
+// Enumerates op's probe contexts: (existing row or none) x external
+// value combos, in the deterministic row-major order the sequential
+// executor has always used. Reads the op's own atom and any kExternal
+// source atoms; the caller guarantees those are fully materialized.
+Result<ProbeSet> EnumerateProbes(const FetchOp& op, const std::vector<AtomRows>& atoms) {
+  const AtomRows& atom = atoms[op.atom];
+  const auto& x_attrs = op.family->x_attrs;
+  ProbeSet out;
+
+  bool has_self = false;
+  for (const auto& src : op.x_sources) {
+    has_self |= src.kind == XSource::Kind::kSelfChain;
+  }
+  // Enumerate external combinations (cross product of distinct column
+  // values per external source; usually at most one).
+  std::vector<std::vector<Value>> ext_values;  // per x position (empty = const/self)
+  ext_values.resize(x_attrs.size());
+  for (size_t i = 0; i < op.x_sources.size(); ++i) {
+    const XSource& src = op.x_sources[i];
+    if (src.kind == XSource::Kind::kExternal) {
+      ext_values[i] = DistinctColumn(atoms[src.source_atom], src.column);
+    }
+  }
+
+  // Recursive enumeration over external positions.
+  auto enumerate = [&](const Tuple* row, int64_t weight) -> Status {
+    ProbeCtx base;
+    base.row = row;
+    base.weight = weight;
+    base.xkey.resize(x_attrs.size());
+    // Fill const and self positions.
+    for (size_t i = 0; i < op.x_sources.size(); ++i) {
+      const XSource& src = op.x_sources[i];
+      if (src.kind == XSource::Kind::kConst) {
+        base.xkey[i] = src.constant;
+      } else if (src.kind == XSource::Kind::kSelfChain) {
+        int ci = atom.ColIndex(src.column);
+        if (ci < 0 || row == nullptr) {
+          return Status::Internal("self-chain probe without materialized column");
+        }
+        base.xkey[i] = (*row)[static_cast<size_t>(ci)];
+      }
+    }
+    std::vector<ProbeCtx> partial{std::move(base)};
+    for (size_t i = 0; i < x_attrs.size(); ++i) {
+      if (ext_values[i].empty() &&
+          op.x_sources[i].kind == XSource::Kind::kExternal) {
+        // External source with no values: no probes at all.
+        partial.clear();
+        break;
+      }
+      if (op.x_sources[i].kind != XSource::Kind::kExternal) continue;
+      std::vector<ProbeCtx> next;
+      next.reserve(partial.size() * ext_values[i].size());
+      for (const auto& p : partial) {
+        for (const auto& v : ext_values[i]) {
+          ProbeCtx q = p;
+          q.xkey[i] = v;
+          next.push_back(std::move(q));
+        }
+      }
+      partial = std::move(next);
+    }
+    for (auto& p : partial) out.probes.push_back(std::move(p));
+    return Status::OK();
+  };
+
+  if (has_self) {
+    if (atom.rows.empty()) {
+      out.skip = true;  // nothing to extend
+      return out;
+    }
+    for (size_t r = 0; r < atom.rows.size(); ++r) {
+      BEAS_RETURN_IF_ERROR(enumerate(&atom.rows[r], atom.weights[r]));
+    }
+  } else {
+    BEAS_RETURN_IF_ERROR(enumerate(nullptr, 1));
+  }
+  return out;
+}
+
+// Builds the op's output materialization from the fetched entries
+// (`fetched` parallel to `probes`), extending each probe's self context
+// in probe order. Pure function of its inputs: both execution modes
+// produce the same rows in the same order.
+AtomRows BuildNextRows(const FetchOp& op, const AtomRows& atom,
+                       const std::vector<ProbeCtx>& probes,
+                       const std::vector<std::vector<FetchEntry>>& fetched) {
+  const auto& x_attrs = op.family->x_attrs;
+  // Which X columns are new to the atom's rows?
+  std::vector<bool> x_is_new(x_attrs.size());
+  for (size_t i = 0; i < x_attrs.size(); ++i) {
+    x_is_new[i] = atom.ColIndex(x_attrs[i]) < 0;
+  }
+  AtomRows next;
+  next.cols = atom.cols;
+  size_t ctx_width = atom.cols.size();
+  for (size_t i = 0; i < x_attrs.size(); ++i) {
+    if (x_is_new[i]) next.cols.push_back(x_attrs[i]);
+  }
+  for (const auto& y : op.family->y_attrs) next.cols.push_back(y);
+
+  for (size_t p = 0; p < probes.size(); ++p) {
+    const ProbeCtx& probe = probes[p];
+    for (const auto& e : fetched[p]) {
+      Tuple row;
+      row.reserve(next.cols.size());
+      if (probe.row != nullptr) {
+        for (size_t c = 0; c < ctx_width; ++c) row.push_back((*probe.row)[c]);
+      }
+      for (size_t i = 0; i < x_attrs.size(); ++i) {
+        if (x_is_new[i]) row.push_back(probe.xkey[i]);
+      }
+      for (const auto& v : *e.y) row.push_back(v);
+      next.rows.push_back(std::move(row));
+      next.weights.push_back(probe.weight * e.count);
+    }
+  }
+  return next;
+}
+
+// ---------------------------------------------------------------------------
+// Sequential fetch (the reference path): ops in plan order, fetches
+// metered as they go through IndexStore::Fetch/FetchBatch.
+// ---------------------------------------------------------------------------
+
+Status FetchUnitSequential(IndexStore* store, const SpcUnit& unit, bool vectorized,
+                           std::vector<AtomRows>* atoms) {
+  for (const auto& op : unit.fetch.ops) {
+    BEAS_ASSIGN_OR_RETURN(ProbeSet ps, EnumerateProbes(op, *atoms));
+    if (ps.skip) continue;
+    const std::vector<ProbeCtx>& probes = ps.probes;
+    std::vector<std::vector<FetchEntry>> fetched(probes.size());
+    if (vectorized) {
+      // Batched fetch: one family resolution per chunk of probes
+      // instead of per probe (the meter still charges per key). Same
+      // accessed totals and the same rows in the same order as the
+      // scalar loop below.
+      std::vector<const Tuple*> keys;
+      std::vector<std::vector<FetchEntry>> chunk;
+      for (size_t base = 0; base < probes.size(); base += kDefaultChunkCapacity) {
+        size_t m = std::min(kDefaultChunkCapacity, probes.size() - base);
+        keys.clear();
+        keys.reserve(m);
+        for (size_t i = 0; i < m; ++i) keys.push_back(&probes[base + i].xkey);
+        BEAS_RETURN_IF_ERROR(store->FetchBatch(op.family_id, op.level, keys, &chunk));
+        for (size_t i = 0; i < m; ++i) fetched[base + i] = std::move(chunk[i]);
+      }
+    } else {
+      for (size_t p = 0; p < probes.size(); ++p) {
+        BEAS_ASSIGN_OR_RETURN(fetched[p],
+                              store->Fetch(op.family_id, op.level, probes[p].xkey));
+      }
+    }
+    // Rows without self context start from scratch; rows with self
+    // context replace the previous materialization.
+    (*atoms)[op.atom] = BuildNextRows(op, (*atoms)[op.atom], probes, fetched);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Parallel fetch: ops scheduled over the per-unit dependency DAGs
+// (BuildFetchDag), sub-batches of one op's probes fetched concurrently,
+// charges committed through the meter's deposit protocol in sequential
+// order (docs/ARCHITECTURE.md "Parallel atom fetching"). Deterministic
+// by construction: every op reads exactly the atom state it reads under
+// sequential order, and the meter commits slot-by-slot, so answers and
+// the OutOfBudget failure point match fetch_threads = 1 bit-for-bit.
+// ---------------------------------------------------------------------------
+
+// One schedulable fetch op. Its index in ParallelFetchScheduler::ops_ is
+// its deposit slot: the position in the sequential execution order
+// across all units (unit-major, then ops order).
+struct GlobalOp {
+  size_t unit = 0;
+  size_t op = 0;  // index into the unit's fetch.ops
+};
+
+class ParallelFetchScheduler {
+ public:
+  ParallelFetchScheduler(IndexStore* store, ThreadPool* pool, const BeasPlan& plan,
+                         std::vector<std::vector<AtomRows>>* unit_atoms)
+      : store_(store), pool_(pool), plan_(plan), unit_atoms_(unit_atoms) {}
+
+  Status Run() {
+    // Flatten ops across units in sequential order; per-unit DAGs (units
+    // are independent: they materialize disjoint atom vectors).
+    std::vector<size_t> slot_base(plan_.units.size(), 0);
+    for (size_t u = 0; u < plan_.units.size(); ++u) {
+      slot_base[u] = ops_.size();
+      for (size_t o = 0; o < plan_.units[u].fetch.ops.size(); ++o) {
+        ops_.push_back(GlobalOp{u, o});
+      }
+    }
+    pending_deps_.assign(ops_.size(), 0);
+    dependents_.assign(ops_.size(), {});
+    std::vector<size_t> ready;
+    for (size_t u = 0; u < plan_.units.size(); ++u) {
+      FetchDag dag = BuildFetchDag(plan_.units[u].fetch);
+      if (!dag.sequential_consistent) {
+        // Defensive: no planner path produces such plans. Serialize the
+        // whole unit by chaining its ops in sequential order instead.
+        const size_t n = plan_.units[u].fetch.ops.size();
+        dag.deps.assign(n, {});
+        dag.dependents.assign(n, {});
+        for (size_t o = 0; o + 1 < n; ++o) {
+          dag.deps[o + 1] = {o};
+          dag.dependents[o] = {o + 1};
+        }
+      }
+      for (size_t o = 0; o < dag.deps.size(); ++o) {
+        size_t g = slot_base[u] + o;
+        pending_deps_[g] = dag.deps[o].size();
+        for (size_t d : dag.dependents[o]) dependents_[g].push_back(slot_base[u] + d);
+        if (pending_deps_[g] == 0) ready.push_back(g);
+      }
+    }
+
+    store_->meter().BeginDeposits(ops_.size());
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      unfinished_ = ops_.size();
+      for (size_t g : ready) DispatchLocked(g);
+      cv_.wait(lock, [this] {
+        return inflight_ == 0 &&
+               (unfinished_ == 0 || abort_ || error_slot_ != SIZE_MAX);
+      });
+      // Resolve exactly as sequential execution would. A worker error
+      // (defensive paths only) does not abort dispatching, so every op
+      // at a slot below the erroring one still fetches and deposits:
+      // if any of them exhausts the budget the meter's sticky failure
+      // is the sequential outcome; otherwise the lowest-slot error is.
+      if (error_slot_ != SIZE_MAX && !store_->meter().failed()) return error_;
+    }
+    // All slots deposited on success; the sticky OutOfBudget on failure.
+    return store_->meter().FinishDeposits();
+  }
+
+ private:
+  void DispatchLocked(size_t g) {
+    ++inflight_;
+    pool_->Submit([this, g] { RunOp(g); });
+  }
+
+  // Finishing under the lock: unblock dependents, fold in failures, and
+  // wake the coordinator when the fetch phase is over. Worker errors are
+  // recorded by slot (lowest wins, the sequential order); only a meter
+  // failure aborts dispatching — an erroring op's own dependents stay
+  // blocked, but independent lower slots must still run so the meter can
+  // settle the sequential outcome (see Run()).
+  void CompleteOp(size_t g, bool finished, Status error) {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+    if (finished) {
+      --unfinished_;
+      for (size_t d : dependents_[g]) {
+        if (--pending_deps_[d] == 0 && !abort_) DispatchLocked(d);
+      }
+    }
+    if (!error.ok() && g < error_slot_) {
+      error_slot_ = g;
+      error_ = std::move(error);
+    }
+    if (store_->meter().failed()) abort_ = true;
+    cv_.notify_all();
+  }
+
+  void RunOp(size_t g) {
+    if (abort_.load(std::memory_order_relaxed) || store_->meter().failed()) {
+      // The outcome is already decided by an earlier slot; anything this
+      // op would deposit past the failure point gets discarded anyway.
+      CompleteOp(g, /*finished=*/false, Status::OK());
+      return;
+    }
+    const GlobalOp& gop = ops_[g];
+    const FetchOp& op = plan_.units[gop.unit].fetch.ops[gop.op];
+    std::vector<AtomRows>& atoms = (*unit_atoms_)[gop.unit];
+
+    Result<ProbeSet> ps = EnumerateProbes(op, atoms);
+    if (!ps.ok()) {
+      CompleteOp(g, /*finished=*/false, ps.status());
+      return;
+    }
+    if (ps->skip) {
+      store_->meter().Deposit(g, {});
+      CompleteOp(g, /*finished=*/true, Status::OK());
+      return;
+    }
+
+    auto state = std::make_shared<OpState>();
+    state->probes = std::move(ps->probes);
+    state->fetched.resize(state->probes.size());
+    size_t n = state->probes.size();
+    size_t num_sub = n == 0 ? 1 : (n + kDefaultChunkCapacity - 1) / kDefaultChunkCapacity;
+    state->remaining.store(num_sub, std::memory_order_relaxed);
+
+    // Fan the op's probe chunks out to the pool (this worker keeps the
+    // first chunk); the last chunk to finish runs the finalize step.
+    // Continuation-passing, never blocking: a 1-thread pool cannot
+    // deadlock, it just runs the chunks in submission order.
+    for (size_t sub = 1; sub < num_sub; ++sub) {
+      pool_->Submit([this, g, state, sub] { RunSubBatch(g, state, sub); });
+    }
+    RunSubBatch(g, state, 0);
+  }
+
+  struct OpState {
+    std::vector<ProbeCtx> probes;
+    std::vector<std::vector<FetchEntry>> fetched;  // parallel to probes
+    std::atomic<size_t> remaining{0};
+    std::mutex mu;          // guards error
+    Status error;           // first fetch error of any sub-batch
+  };
+
+  void RunSubBatch(size_t g, const std::shared_ptr<OpState>& state, size_t sub) {
+    const GlobalOp& gop = ops_[g];
+    const FetchOp& op = plan_.units[gop.unit].fetch.ops[gop.op];
+    size_t base = sub * kDefaultChunkCapacity;
+    size_t m = std::min(kDefaultChunkCapacity, state->probes.size() - base);
+    if (!abort_.load(std::memory_order_relaxed)) {
+      std::vector<const Tuple*> keys;
+      keys.reserve(m);
+      for (size_t i = 0; i < m; ++i) keys.push_back(&state->probes[base + i].xkey);
+      std::vector<std::vector<FetchEntry>> chunk;
+      Status st = store_->FetchBatchUnmetered(op.family_id, op.level, keys, &chunk);
+      if (st.ok()) {
+        for (size_t i = 0; i < m; ++i) state->fetched[base + i] = std::move(chunk[i]);
+      } else {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (state->error.ok()) state->error = std::move(st);
+      }
+    }
+    if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) > 1) return;
+    FinalizeOp(g, *state);
+  }
+
+  void FinalizeOp(size_t g, OpState& state) {
+    // fetch_sub's acq_rel handoff makes every sub-batch's writes visible
+    // to this (single) finalizer thread.
+    if (!state.error.ok()) {
+      CompleteOp(g, /*finished=*/false, std::move(state.error));
+      return;
+    }
+    if (abort_.load(std::memory_order_relaxed)) {
+      // Some chunk may have been skipped: the fetch is incomplete and
+      // must not be deposited. Correctness is unaffected — abort means
+      // an earlier slot already fixed the query's outcome.
+      CompleteOp(g, /*finished=*/false, Status::OK());
+      return;
+    }
+    const GlobalOp& gop = ops_[g];
+    const FetchOp& op = plan_.units[gop.unit].fetch.ops[gop.op];
+    std::vector<AtomRows>& atoms = (*unit_atoms_)[gop.unit];
+
+    std::vector<uint64_t> counts(state.fetched.size());
+    for (size_t i = 0; i < state.fetched.size(); ++i) counts[i] = state.fetched[i].size();
+    store_->meter().Deposit(g, std::move(counts));
+
+    atoms[op.atom] = BuildNextRows(op, atoms[op.atom], state.probes, state.fetched);
+    CompleteOp(g, /*finished=*/true, Status::OK());
+  }
+
+  IndexStore* store_;
+  ThreadPool* pool_;
+  const BeasPlan& plan_;
+  std::vector<std::vector<AtomRows>>* unit_atoms_;
+
+  std::vector<GlobalOp> ops_;
+  std::vector<size_t> pending_deps_;
+  std::vector<std::vector<size_t>> dependents_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t unfinished_ = 0;
+  size_t inflight_ = 0;
+  std::atomic<bool> abort_{false};
+  size_t error_slot_ = SIZE_MAX;  ///< lowest slot with a worker error
+  Status error_ = Status::OK();   ///< its status
+};
+
 }  // namespace
 
 Result<BeasAnswer> PlanExecutor::Execute(const BeasPlan& plan, uint64_t budget) {
   store_->meter().StartQuery(budget);
 
   // --- xi_F: materialize every unit's atoms through the index store. ---
-  Database dq;
-  for (const auto& unit : plan.units) {
-    std::vector<AtomRows> atoms(unit.fetch.atoms.size());
-    for (const auto& op : unit.fetch.ops) {
-      AtomRows& atom = atoms[op.atom];
-      const auto& x_attrs = op.family->x_attrs;
-
-      // Which X columns are new to the atom's rows?
-      std::vector<bool> x_is_new(x_attrs.size());
-      for (size_t i = 0; i < x_attrs.size(); ++i) {
-        x_is_new[i] = atom.ColIndex(x_attrs[i]) < 0;
-      }
-
-      // Probe contexts: (existing row or none) x external value combos.
-      bool has_self = false;
-      for (const auto& src : op.x_sources) {
-        has_self |= src.kind == XSource::Kind::kSelfChain;
-      }
-      // Enumerate external combinations (cross product of distinct column
-      // values per external source; usually at most one).
-      std::vector<std::vector<Value>> ext_values;  // per x position (empty = const/self)
-      ext_values.resize(x_attrs.size());
-      for (size_t i = 0; i < op.x_sources.size(); ++i) {
-        const XSource& src = op.x_sources[i];
-        if (src.kind == XSource::Kind::kExternal) {
-          ext_values[i] = DistinctColumn(atoms[src.source_atom], src.column);
-        }
-      }
-
-      struct ProbeCtx {
-        const Tuple* row = nullptr;  // self context
-        int64_t weight = 1;
-        Tuple xkey;
-      };
-      std::vector<ProbeCtx> probes;
-
-      // Recursive enumeration over external positions.
-      auto enumerate = [&](const Tuple* row, int64_t weight) -> Status {
-        ProbeCtx base;
-        base.row = row;
-        base.weight = weight;
-        base.xkey.resize(x_attrs.size());
-        // Fill const and self positions.
-        for (size_t i = 0; i < op.x_sources.size(); ++i) {
-          const XSource& src = op.x_sources[i];
-          if (src.kind == XSource::Kind::kConst) {
-            base.xkey[i] = src.constant;
-          } else if (src.kind == XSource::Kind::kSelfChain) {
-            int ci = atom.ColIndex(src.column);
-            if (ci < 0 || row == nullptr) {
-              return Status::Internal("self-chain probe without materialized column");
-            }
-            base.xkey[i] = (*row)[static_cast<size_t>(ci)];
-          }
-        }
-        std::vector<ProbeCtx> partial{std::move(base)};
-        for (size_t i = 0; i < x_attrs.size(); ++i) {
-          if (ext_values[i].empty() &&
-              op.x_sources[i].kind == XSource::Kind::kExternal) {
-            // External source with no values: no probes at all.
-            partial.clear();
-            break;
-          }
-          if (op.x_sources[i].kind != XSource::Kind::kExternal) continue;
-          std::vector<ProbeCtx> next;
-          next.reserve(partial.size() * ext_values[i].size());
-          for (const auto& p : partial) {
-            for (const auto& v : ext_values[i]) {
-              ProbeCtx q = p;
-              q.xkey[i] = v;
-              next.push_back(std::move(q));
-            }
-          }
-          partial = std::move(next);
-        }
-        for (auto& p : partial) probes.push_back(std::move(p));
-        return Status::OK();
-      };
-
-      if (has_self) {
-        if (atom.rows.empty()) continue;  // nothing to extend
-        for (size_t r = 0; r < atom.rows.size(); ++r) {
-          BEAS_RETURN_IF_ERROR(enumerate(&atom.rows[r], atom.weights[r]));
-        }
-      } else {
-        BEAS_RETURN_IF_ERROR(enumerate(nullptr, 1));
-      }
-
-      // Execute the probes and extend the atom's rows.
-      AtomRows next;
-      next.cols = atom.cols;
-      size_t ctx_width = atom.cols.size();
-      for (size_t i = 0; i < x_attrs.size(); ++i) {
-        if (x_is_new[i]) next.cols.push_back(x_attrs[i]);
-      }
-      for (const auto& y : op.family->y_attrs) next.cols.push_back(y);
-
-      auto extend = [&](const ProbeCtx& probe, const std::vector<FetchEntry>& entries) {
-        for (const auto& e : entries) {
-          Tuple row;
-          row.reserve(next.cols.size());
-          if (probe.row != nullptr) {
-            for (size_t c = 0; c < ctx_width; ++c) row.push_back((*probe.row)[c]);
-          }
-          for (size_t i = 0; i < x_attrs.size(); ++i) {
-            if (x_is_new[i]) row.push_back(probe.xkey[i]);
-          }
-          for (const auto& v : *e.y) row.push_back(v);
-          next.rows.push_back(std::move(row));
-          next.weights.push_back(probe.weight * e.count);
-        }
-      };
-      if (eval_options_.vectorized) {
-        // Batched fetch: one family resolution per chunk of probes
-        // instead of per probe (the meter still charges per key). Same
-        // accessed totals and the same rows in the same order as the
-        // scalar loop below.
-        std::vector<const Tuple*> keys;
-        std::vector<std::vector<FetchEntry>> fetched;
-        for (size_t base = 0; base < probes.size(); base += kDefaultChunkCapacity) {
-          size_t m = std::min(kDefaultChunkCapacity, probes.size() - base);
-          keys.clear();
-          keys.reserve(m);
-          for (size_t i = 0; i < m; ++i) keys.push_back(&probes[base + i].xkey);
-          BEAS_RETURN_IF_ERROR(
-              store_->FetchBatch(op.family_id, op.level, keys, &fetched));
-          for (size_t i = 0; i < m; ++i) extend(probes[base + i], fetched[i]);
-        }
-      } else {
-        for (const auto& probe : probes) {
-          BEAS_ASSIGN_OR_RETURN(std::vector<FetchEntry> entries,
-                                store_->Fetch(op.family_id, op.level, probe.xkey));
-          extend(probe, entries);
-        }
-      }
-      // Rows without self context start from scratch; rows with self
-      // context replace the previous materialization.
-      atom = std::move(next);
+  std::vector<std::vector<AtomRows>> unit_atoms(plan.units.size());
+  for (size_t u = 0; u < plan.units.size(); ++u) {
+    unit_atoms[u].resize(plan.units[u].fetch.atoms.size());
+  }
+  if (eval_options_.fetch_threads > 1) {
+    if (!pool_) {
+      pool_ = std::make_unique<ThreadPool>(
+          static_cast<size_t>(eval_options_.fetch_threads));
     }
+    ParallelFetchScheduler scheduler(store_, pool_.get(), plan, &unit_atoms);
+    BEAS_RETURN_IF_ERROR(scheduler.Run());
+  } else {
+    for (size_t u = 0; u < plan.units.size(); ++u) {
+      BEAS_RETURN_IF_ERROR(FetchUnitSequential(store_, plan.units[u],
+                                               eval_options_.vectorized,
+                                               &unit_atoms[u]));
+    }
+  }
 
-    // Emit DQ tables in the planner's atom schemas.
+  // Emit DQ tables in the planner's atom schemas.
+  Database dq;
+  for (size_t u = 0; u < plan.units.size(); ++u) {
+    const SpcUnit& unit = plan.units[u];
     for (size_t a = 0; a < unit.fetch.atoms.size(); ++a) {
       const RelationSchema& schema = unit.atom_schemas[a];
       Table table(schema);
-      const AtomRows& rows = atoms[a];
+      const AtomRows& rows = unit_atoms[u][a];
       std::vector<int> perm;  // schema position -> rows column (-1 = __w)
       for (const auto& attr : schema.attributes()) {
         perm.push_back(attr.name == "__w" ? -1 : rows.ColIndex(attr.name));

@@ -11,15 +11,27 @@
 // path is kept as the reference fallback; both produce identical
 // BeasAnswers — same rows, same eta, same accessed count (asserted by
 // the beas_core equivalence tests).
+//
+// When EvalOptions::fetch_threads > 1, the fetch phase additionally runs
+// independent fetch ops — and sub-batches of one op's probe keys —
+// concurrently on a thread pool, scheduled over the dependency DAG of
+// BuildFetchDag. Fetches are unmetered in flight; per-key entry counts
+// are committed to the AccessMeter through its deposit protocol in the
+// sequential execution order, so rows, eta, accessed counts, d', and the
+// OutOfBudget failure point are bit-identical to fetch_threads = 1
+// (docs/ARCHITECTURE.md "Parallel atom fetching"; asserted by the
+// property suite's parallel-vs-sequential tests).
 
 #ifndef BEAS_BEAS_EXECUTOR_H_
 #define BEAS_BEAS_EXECUTOR_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "beas/plan.h"
 #include "beas/plan_cache.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "engine/evaluator.h"
 #include "index/index_store.h"
 #include "storage/table.h"
@@ -42,6 +54,11 @@ struct BeasAnswer {
 };
 
 /// \brief Executes BeasPlans against an IndexStore.
+///
+/// Not thread-safe: one executor runs one query at a time (it owns the
+/// store's meter for the duration of Execute). The fetch worker pool is
+/// created lazily on the first Execute with fetch_threads > 1 and reused
+/// across subsequent Execute calls on the same instance.
 class PlanExecutor {
  public:
   PlanExecutor(IndexStore* store, EvalOptions eval_options = {})
@@ -54,6 +71,7 @@ class PlanExecutor {
  private:
   IndexStore* store_;
   EvalOptions eval_options_;
+  std::unique_ptr<ThreadPool> pool_;  ///< lazily created fetch workers
 };
 
 }  // namespace beas

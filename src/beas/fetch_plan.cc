@@ -7,6 +7,46 @@
 
 namespace beas {
 
+FetchDag BuildFetchDag(const FetchPlan& plan) {
+  FetchDag dag;
+  dag.deps.resize(plan.ops.size());
+  dag.dependents.resize(plan.ops.size());
+  // Position of each op within its atom's chain, to find predecessors;
+  // last op index per atom, the dependency external sources bind to.
+  std::vector<size_t> last_op_of_atom(plan.atoms.size(), 0);
+  std::vector<bool> atom_has_ops(plan.atoms.size(), false);
+  for (size_t a = 0; a < plan.atoms.size(); ++a) {
+    const auto& chain = plan.atoms[a].op_indices;
+    if (chain.empty()) continue;
+    atom_has_ops[a] = true;
+    last_op_of_atom[a] = *std::max_element(chain.begin(), chain.end());
+    for (size_t i = 1; i < chain.size(); ++i) {
+      // Chain order must agree with the global ops order, or the
+      // sequential loop (which runs ops in vector order) and the DAG
+      // (which runs chain edges) would execute different programs.
+      if (chain[i - 1] >= chain[i]) dag.sequential_consistent = false;
+      dag.deps[chain[i]].push_back(chain[i - 1]);
+    }
+  }
+  for (size_t j = 0; j < plan.ops.size(); ++j) {
+    for (const auto& src : plan.ops[j].x_sources) {
+      if (src.kind != XSource::Kind::kExternal) continue;
+      if (src.source_atom >= plan.atoms.size() || !atom_has_ops[src.source_atom]) {
+        dag.sequential_consistent = false;
+        continue;
+      }
+      size_t dep = last_op_of_atom[src.source_atom];
+      if (dep >= j) dag.sequential_consistent = false;
+      dag.deps[j].push_back(dep);
+    }
+    std::sort(dag.deps[j].begin(), dag.deps[j].end());
+    dag.deps[j].erase(std::unique(dag.deps[j].begin(), dag.deps[j].end()),
+                      dag.deps[j].end());
+    for (size_t dep : dag.deps[j]) dag.dependents[dep].push_back(j);
+  }
+  return dag;
+}
+
 void FetchPlan::Recompute() {
   for (auto& atom : atoms) atom.est_rows = 1;
   std::vector<bool> atom_started(atoms.size(), false);

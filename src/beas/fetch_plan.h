@@ -78,6 +78,32 @@ struct FetchPlan {
   std::string ToString() const;
 };
 
+/// \brief Dependency DAG over one FetchPlan's ops, for parallel fetching.
+///
+/// Edges reconstruct exactly the data each op reads under the sequential
+/// `ops` order: the op's chain predecessor in the same atom (covers
+/// kSelfChain probes and the chain's row-context extension), and — for
+/// every kExternal probe source — the *last* op of the source atom's
+/// chain, since the chase commits whole chains and external sources only
+/// reference fully-materialized atoms. Running ops in any topological
+/// order of this DAG therefore produces bit-identical atom tables to the
+/// sequential loop.
+struct FetchDag {
+  /// deps[j] = op indices that must complete before op j may run
+  /// (deduplicated; each < j when sequential_consistent).
+  std::vector<std::vector<size_t>> deps;
+  /// dependents[j] = op indices unblocked (in part) by op j's completion.
+  std::vector<std::vector<size_t>> dependents;
+  /// True iff every kExternal source's atom has all of its ops strictly
+  /// before the referencing op — the invariant the chase maintains. When
+  /// false (defensive; no current planner path produces it), parallel
+  /// execution must fall back to the sequential order.
+  bool sequential_consistent = true;
+};
+
+/// Builds the dependency DAG for \p plan (see FetchDag).
+FetchDag BuildFetchDag(const FetchPlan& plan);
+
 }  // namespace beas
 
 #endif  // BEAS_BEAS_FETCH_PLAN_H_

@@ -25,7 +25,9 @@ std::string PlanCache::MakeKey(const QueryFingerprint& fp, double alpha) {
   return key;
 }
 
-const PlanTemplate* PlanCache::Lookup(const QueryFingerprint& fp, double alpha) {
+std::shared_ptr<const PlanTemplate> PlanCache::Lookup(const QueryFingerprint& fp,
+                                                      double alpha) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(MakeKey(fp, alpha));
   if (it == index_.end() || it->second->canonical != fp.canonical) {
     ++stats_.misses;
@@ -33,20 +35,25 @@ const PlanTemplate* PlanCache::Lookup(const QueryFingerprint& fp, double alpha) 
   }
   entries_.splice(entries_.begin(), entries_, it->second);
   ++stats_.hits;
-  return &entries_.front().tmpl;
+  // Shared ownership: the pointer stays usable even if a concurrent
+  // Insert evicts or replaces the entry before the caller instantiates
+  // it, with no per-hit copy under the lock.
+  return entries_.front().tmpl;
 }
 
 void PlanCache::Insert(const QueryFingerprint& fp, double alpha, PlanTemplate tmpl) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string key = MakeKey(fp, alpha);
+  auto shared = std::make_shared<const PlanTemplate>(std::move(tmpl));
   auto it = index_.find(key);
   if (it != index_.end()) {
     // Same key: refresh the entry (and let a colliding canonical form
     // take the slot over — the previous entry would only miss anyway).
     it->second->canonical = fp.canonical;
-    it->second->tmpl = std::move(tmpl);
+    it->second->tmpl = std::move(shared);
     entries_.splice(entries_.begin(), entries_, it->second);
   } else {
-    entries_.push_front(Entry{key, fp.canonical, std::move(tmpl)});
+    entries_.push_front(Entry{key, fp.canonical, std::move(shared)});
     index_[std::move(key)] = entries_.begin();
     while (entries_.size() > options_.capacity) {
       index_.erase(entries_.back().key);
@@ -58,16 +65,28 @@ void PlanCache::Insert(const QueryFingerprint& fp, double alpha, PlanTemplate tm
 }
 
 void PlanCache::DemoteLastHit() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (stats_.hits == 0) return;
   --stats_.hits;
   ++stats_.misses;
 }
 
 void PlanCache::InvalidateAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   index_.clear();
   ++stats_.invalidations;
   stats_.entries = 0;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
 }
 
 }  // namespace beas

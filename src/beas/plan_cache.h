@@ -22,6 +22,8 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -69,19 +71,26 @@ struct PlanTemplate {
 /// pair; the stored canonical form is compared on every lookup, so a
 /// hash collision degrades to a miss, never to reuse of a wrong plan.
 ///
-/// Not thread-safe, and it makes `const Beas` methods stateful: with the
-/// cache enabled, Beas::PlanOnly/Answer mutate LRU order and counters
-/// through this object, so concurrent use of one Beas instance — even
-/// through const references — requires external synchronization.
-/// Lookup() pointers are valid only until the next non-const call.
+/// Thread-safety contract: every method is internally mutex-guarded,
+/// and templates are stored behind shared ownership — a Lookup result
+/// stays valid even if a concurrent Insert evicts or replaces its entry
+/// before the caller instantiates it. Cache state can therefore never
+/// be corrupted, nor a returned template invalidated under the caller,
+/// by concurrent use (a requirement now that the executor runs fetch
+/// threads; previously acknowledged as unsafe here). The cache still
+/// makes `const Beas` methods stateful: PlanOnly/Answer mutate LRU
+/// order and counters through this object. Note the guard covers the
+/// *cache*, not the Beas instance: the meter, database, and indices
+/// remain single-query-at-a-time.
 class PlanCache {
  public:
   explicit PlanCache(PlanCacheOptions options);
 
   /// Returns the template for (\p fp, \p alpha) and bumps it to
   /// most-recently-used (counted as a hit), or nullptr (counted as a
-  /// miss). Hash collisions compare the canonical form and miss.
-  const PlanTemplate* Lookup(const QueryFingerprint& fp, double alpha);
+  /// miss). Hash collisions compare the canonical form and miss. The
+  /// returned template is immutable and outlives eviction/replacement.
+  std::shared_ptr<const PlanTemplate> Lookup(const QueryFingerprint& fp, double alpha);
 
   /// Inserts (or replaces) the template for (\p fp, \p alpha), evicting
   /// the least-recently-used entry beyond capacity.
@@ -95,18 +104,20 @@ class PlanCache {
   /// Drops every entry (database mutation); counted as one invalidation.
   void InvalidateAll();
 
-  const PlanCacheStats& stats() const { return stats_; }
-  size_t size() const { return entries_.size(); }
+  /// Snapshot of the counters (copied under the lock).
+  PlanCacheStats stats() const;
+  size_t size() const;
 
  private:
   struct Entry {
     std::string key;        ///< hash + alpha bits (the map key)
     std::string canonical;  ///< full canonical form, checked on lookup
-    PlanTemplate tmpl;
+    std::shared_ptr<const PlanTemplate> tmpl;
   };
 
   static std::string MakeKey(const QueryFingerprint& fp, double alpha);
 
+  mutable std::mutex mu_;
   PlanCacheOptions options_;
   /// Front = most recently used.
   std::list<Entry> entries_;

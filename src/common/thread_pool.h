@@ -1,0 +1,57 @@
+// A small fixed-size thread pool for CPU-bound fan-out work (parallel
+// atom fetching in the executor). Tasks are plain std::function<void()>
+// jobs drained FIFO by the worker threads; completion is coordinated by
+// the submitter (continuation tasks or an external latch), never by
+// blocking a pool thread on another task — the executor's scheduler is
+// continuation-passing precisely so that a 1-thread pool cannot
+// deadlock.
+
+#ifndef BEAS_COMMON_THREAD_POOL_H_
+#define BEAS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace beas {
+
+/// \brief A fixed pool of worker threads draining a FIFO task queue.
+///
+/// Submit() never blocks (beyond the queue mutex) and tasks must not
+/// throw: work reports failures through captured state (Status slots),
+/// matching the codebase's no-exceptions error model. The destructor
+/// drains the queue: every task submitted before destruction runs to
+/// completion before the workers join.
+class ThreadPool {
+ public:
+  /// Spawns \p num_threads workers (clamped to at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues \p task for execution on some worker thread.
+  void Submit(std::function<void()> task);
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_COMMON_THREAD_POOL_H_

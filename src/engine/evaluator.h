@@ -50,6 +50,16 @@ struct EvalOptions {
   /// the equivalence tests. Aggregates and pure materialization are
   /// shared between modes.
   bool vectorized = true;
+
+  /// Worker threads for the executor's fetch phase (the xi_F half of a
+  /// bounded plan). 1 (the default) keeps today's strictly sequential
+  /// fetching; > 1 runs independent fetch ops — and sub-batches of one
+  /// op's probe keys — concurrently on a thread pool. Parallel fetching
+  /// is answer-invariant: rows, eta, accessed counts, d', and the
+  /// OutOfBudget failure point are bit-identical to sequential execution
+  /// (docs/ARCHITECTURE.md "Parallel atom fetching"; asserted by the
+  /// property suite). Evaluation (xi_E) is unaffected by this knob.
+  int fetch_threads = 1;
 };
 
 /// \brief Evaluates bound query trees against a database.

@@ -6,13 +6,90 @@
 
 namespace beas {
 
-Status AccessMeter::Charge(uint64_t n) {
+void AccessMeter::StartQuery(uint64_t budget) {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_ = budget;
+  accessed_ = 0;
+  pending_.clear();
+  deposited_.clear();
+  commit_slot_ = 0;
+  failed_ = false;
+  failure_ = Status::OK();
+}
+
+Status AccessMeter::ChargeLocked(uint64_t n) {
+  if (n > UINT64_MAX - accessed_) {
+    // A wrapped counter would silently pass the budget check below;
+    // clamp and fail regardless of enforcement.
+    accessed_ = UINT64_MAX;
+    return Status::OutOfBudget(
+        StrCat("access counter overflow: charge of ", n, " tuples"));
+  }
   accessed_ += n;
   if (budget_ > 0 && accessed_ > budget_) {
     return Status::OutOfBudget(
         StrCat("access budget exceeded: ", accessed_, " > ", budget_));
   }
   return Status::OK();
+}
+
+Status AccessMeter::Charge(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ChargeLocked(n);
+}
+
+void AccessMeter::BeginDeposits(size_t n_slots) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.assign(n_slots, {});
+  deposited_.assign(n_slots, false);
+  commit_slot_ = 0;
+}
+
+void AccessMeter::Deposit(size_t slot, std::vector<uint64_t> per_key_counts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slot >= pending_.size() || deposited_[slot]) return;  // caller bug; harmless
+  pending_[slot] = std::move(per_key_counts);
+  deposited_[slot] = true;
+  // Commit the newly contiguous prefix in slot order, key by key — the
+  // exact charge stream a sequential execution would have issued. The
+  // first failure freezes the counter; later deposits are discarded.
+  while (commit_slot_ < pending_.size() && deposited_[commit_slot_]) {
+    std::vector<uint64_t> counts = std::move(pending_[commit_slot_]);
+    ++commit_slot_;
+    if (failed_) continue;
+    for (uint64_t n : counts) {
+      Status st = ChargeLocked(n);
+      if (!st.ok()) {
+        failed_ = true;
+        failure_ = std::move(st);
+        break;
+      }
+    }
+  }
+}
+
+bool AccessMeter::failed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failed_;
+}
+
+Status AccessMeter::FinishDeposits() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (failed_) return failure_;
+  if (commit_slot_ < pending_.size()) {
+    return Status::Internal("AccessMeter: missing deposits at finish");
+  }
+  return Status::OK();
+}
+
+uint64_t AccessMeter::accessed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return accessed_;
+}
+
+uint64_t AccessMeter::budget() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return budget_;
 }
 
 Status IndexStore::Build(const Database& db,
@@ -113,15 +190,19 @@ Result<std::vector<FetchEntry>> IndexStore::Fetch(const std::string& family_id, 
   return out;
 }
 
-Status IndexStore::FetchBatch(const std::string& family_id, int level,
-                              const std::vector<const Tuple*>& xkeys,
-                              std::vector<std::vector<FetchEntry>>* out) {
+Status IndexStore::FetchBatchImpl(const std::string& family_id, int level,
+                                  const std::vector<const Tuple*>& xkeys,
+                                  std::vector<std::vector<FetchEntry>>* out,
+                                  AccessMeter* meter) const {
   out->clear();
   out->resize(xkeys.size());
   // The family is resolved once per batch (the per-probe cost FetchBatch
-  // amortizes); the meter is still charged per key so the access bound
-  // stays exactly as tight as the scalar Fetch loop — on exhaustion the
-  // fetch stops at the first over-budget key, with identical accessed_.
+  // amortizes). With a meter, each key is charged as it is fetched, so
+  // the access bound stays exactly as tight as the scalar Fetch loop —
+  // on exhaustion the fetch stops at the first over-budget key, with
+  // identical accessed_. Without one (the parallel executor), the same
+  // entries come back in the same order and the caller charges through
+  // the deposit protocol.
   auto cit = constraint_indices_.find(family_id);
   if (cit != constraint_indices_.end()) {
     for (size_t k = 0; k < xkeys.size(); ++k) {
@@ -130,7 +211,7 @@ Status IndexStore::FetchBatch(const std::string& family_id, int level,
       std::vector<FetchEntry>& entries = (*out)[k];
       entries.reserve(git->second.size());
       for (const auto& [y, m] : git->second) entries.push_back(FetchEntry{&y, m});
-      BEAS_RETURN_IF_ERROR(meter_.Charge(entries.size()));
+      if (meter != nullptr) BEAS_RETURN_IF_ERROR(meter->Charge(entries.size()));
     }
     return Status::OK();
   }
@@ -140,9 +221,21 @@ Status IndexStore::FetchBatch(const std::string& family_id, int level,
   }
   for (size_t k = 0; k < xkeys.size(); ++k) {
     tit->second.Fetch(*xkeys[k], level, &(*out)[k]);
-    BEAS_RETURN_IF_ERROR(meter_.Charge((*out)[k].size()));
+    if (meter != nullptr) BEAS_RETURN_IF_ERROR(meter->Charge((*out)[k].size()));
   }
   return Status::OK();
+}
+
+Status IndexStore::FetchBatch(const std::string& family_id, int level,
+                              const std::vector<const Tuple*>& xkeys,
+                              std::vector<std::vector<FetchEntry>>* out) {
+  return FetchBatchImpl(family_id, level, xkeys, out, &meter_);
+}
+
+Status IndexStore::FetchBatchUnmetered(const std::string& family_id, int level,
+                                       const std::vector<const Tuple*>& xkeys,
+                                       std::vector<std::vector<FetchEntry>>* out) const {
+  return FetchBatchImpl(family_id, level, xkeys, out, /*meter=*/nullptr);
 }
 
 size_t IndexStore::TotalEntries() const {

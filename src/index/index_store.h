@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -18,25 +19,75 @@ namespace beas {
 
 /// \brief Counts every tuple that crosses the index boundary and enforces
 /// an optional budget B = alpha * |D| (paper Section 4).
+///
+/// Thread-safe: all methods may be called concurrently. Two charging
+/// protocols share one counter:
+///
+///  - Charge(n): the sequential protocol. Adds n and fails with
+///    OutOfBudget once the total exceeds the budget. The charge order is
+///    the caller's call order.
+///  - Deposit/commit: the parallel executor's protocol
+///    (docs/ARCHITECTURE.md "Parallel atom fetching"). The caller
+///    enumerates its charge stream as `slots` 0..n-1 in *sequential
+///    execution order* (one slot per fetch op), fetches unmetered and in
+///    any interleaving, then deposits each slot's per-key entry counts
+///    exactly once. The meter commits deposits in slot order as the
+///    contiguous prefix becomes available, so the running total, the
+///    OutOfBudget failure point, and the failure message are bit-exactly
+///    those of a sequential Charge loop — regardless of the actual
+///    thread interleaving. After a failing commit the counter freezes
+///    (later deposits are discarded) and failed()/failure() report the
+///    sticky outcome.
+///
+/// Both protocols clamp on arithmetic overflow: a charge that would wrap
+/// the uint64 counter pins it to UINT64_MAX and fails with OutOfBudget
+/// even when enforcement is disabled (a wrapped count could otherwise
+/// silently pass the budget check).
 class AccessMeter {
  public:
-  /// Resets the counter and sets the budget; 0 disables enforcement.
-  void StartQuery(uint64_t budget) {
-    budget_ = budget;
-    accessed_ = 0;
-  }
+  /// Resets the counter, the deposit sequence, and sets the budget;
+  /// budget 0 disables enforcement (but not the overflow clamp).
+  void StartQuery(uint64_t budget);
 
   /// Charges \p n fetched tuples; OutOfBudget once the total exceeds the
-  /// budget (when enforcement is enabled).
+  /// budget (when enforcement is enabled) or on counter overflow.
   Status Charge(uint64_t n);
 
+  /// Arms the deposit protocol for \p n_slots fetch ops. Must be called
+  /// after StartQuery and before the first Deposit.
+  void BeginDeposits(size_t n_slots);
+
+  /// Deposits slot \p slot's per-key entry counts (in probe order). Each
+  /// slot must be deposited exactly once; commits happen in slot order.
+  void Deposit(size_t slot, std::vector<uint64_t> per_key_counts);
+
+  /// True once a committed charge went over budget (or overflowed);
+  /// sticky until the next StartQuery. Cheap enough to poll from workers.
+  bool failed() const;
+
+  /// Resolves the deposit protocol: the sticky failure if one committed,
+  /// OK when every armed slot was deposited and committed within budget,
+  /// Internal if slots are missing (caller bug).
+  Status FinishDeposits();
+
   /// Tuples fetched since StartQuery.
-  uint64_t accessed() const { return accessed_; }
-  uint64_t budget() const { return budget_; }
+  uint64_t accessed() const;
+  uint64_t budget() const;
 
  private:
+  /// Shared charge path; both protocols funnel through it.
+  Status ChargeLocked(uint64_t n);
+
+  mutable std::mutex mu_;
   uint64_t budget_ = 0;
   uint64_t accessed_ = 0;
+  // Deposit protocol state: pending[slot] holds not-yet-committed counts;
+  // slots below commit_slot_ are committed.
+  std::vector<std::vector<uint64_t>> pending_;
+  std::vector<bool> deposited_;
+  size_t commit_slot_ = 0;
+  bool failed_ = false;
+  Status failure_ = Status::OK();
 };
 
 /// \brief Owns the physical indices for template families and declared
@@ -72,6 +123,16 @@ class IndexStore {
                     const std::vector<const Tuple*>& xkeys,
                     std::vector<std::vector<FetchEntry>>* out);
 
+  /// FetchBatch minus the metering: identical entries in identical order,
+  /// but the meter is not touched — the caller charges through the
+  /// AccessMeter deposit protocol to keep the OutOfBudget failure point
+  /// deterministic under parallel fetching. Const and safe to call
+  /// concurrently with other (unmetered) reads; must not run concurrently
+  /// with Build/ApplyInsert/ApplyRemove.
+  Status FetchBatchUnmetered(const std::string& family_id, int level,
+                             const std::vector<const Tuple*>& xkeys,
+                             std::vector<std::vector<FetchEntry>>* out) const;
+
   AccessMeter& meter() { return meter_; }
 
   /// Total index entries across all families (Fig 6(k) "total").
@@ -88,6 +149,16 @@ class IndexStore {
   Status ApplyRemove(const std::string& relation, const Tuple& row);
 
  private:
+  /// Shared body of FetchBatch / FetchBatchUnmetered: one family
+  /// resolution, then per-key fetches in key order, charging \p meter
+  /// per key when non-null. Keeping both public entry points on one
+  /// implementation is what guarantees byte-identical entries across
+  /// the metered and deposit-protocol paths.
+  Status FetchBatchImpl(const std::string& family_id, int level,
+                        const std::vector<const Tuple*>& xkeys,
+                        std::vector<std::vector<FetchEntry>>* out,
+                        AccessMeter* meter) const;
+
   struct ConstraintIndex {
     ConstraintSpec spec;
     std::vector<size_t> x_idx;

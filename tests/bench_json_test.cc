@@ -1,0 +1,60 @@
+// Unit tests for the bench harness's machine-readable JSON emission
+// (SeriesToJson): quote/backslash/control-character escaping in titles,
+// labels and series names, and null serialization of non-finite values.
+// The parser side (scripts/bench_diff.py) has a matching quote-bearing
+// fixture case in scripts/bench_diff_test.py.
+
+#include "harness.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace beas {
+namespace bench {
+namespace {
+
+TEST(SeriesToJsonTest, PlainSeriesRoundTrips) {
+  std::string json = SeriesToJson("Fig6x", "alpha", {"0.1", "0.2"}, {"BEAS", "Sampl"},
+                                  {{0.5, 0.25}, {0.75, 0.5}});
+  EXPECT_EQ(json,
+            "{\"type\":\"series\",\"title\":\"Fig6x\",\"x_label\":\"alpha\","
+            "\"series\":[\"BEAS\",\"Sampl\"],"
+            "\"points\":[{\"x\":\"0.1\",\"values\":{\"BEAS\":0.5,\"Sampl\":0.25}},"
+            "{\"x\":\"0.2\",\"values\":{\"BEAS\":0.75,\"Sampl\":0.5}}]}");
+}
+
+TEST(SeriesToJsonTest, EscapesQuotesAndBackslashes) {
+  // A quote-bearing config string (e.g. a label built from a SQL
+  // fragment or a Windows-style path) must stay valid JSON.
+  std::string json = SeriesToJson("title with \"quotes\"", "x\\label",
+                                  {"x=\"a\""}, {"ser\"ies\\1"}, {{1.0}});
+  EXPECT_EQ(json,
+            "{\"type\":\"series\",\"title\":\"title with \\\"quotes\\\"\","
+            "\"x_label\":\"x\\\\label\","
+            "\"series\":[\"ser\\\"ies\\\\1\"],"
+            "\"points\":[{\"x\":\"x=\\\"a\\\"\",\"values\":{\"ser\\\"ies\\\\1\":1}}]}");
+  // No unescaped payload quote may survive in the emitted object.
+  EXPECT_EQ(json.find("ser\"i"), std::string::npos);
+}
+
+TEST(SeriesToJsonTest, EscapesControlCharacters) {
+  std::string json =
+      SeriesToJson("line\nbreak\ttab\x01", "x", {"a"}, {"s"}, {{2.0}});
+  EXPECT_NE(json.find("line\\nbreak\\ttab\\u0001"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_EQ(json.find('\t'), std::string::npos);
+}
+
+TEST(SeriesToJsonTest, NonFiniteValuesSerializeAsNull) {
+  std::string json = SeriesToJson("t", "x", {"a"}, {"nanv", "infv"},
+                                  {{std::nan(""), INFINITY}});
+  EXPECT_NE(json.find("\"nanv\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"infv\":null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace beas

@@ -227,6 +227,41 @@ TEST_F(IndexStoreTest, MeterChargesAndEnforcesBudget) {
   EXPECT_EQ(r2.status().code(), StatusCode::kOutOfBudget);
 }
 
+TEST(AccessMeterTest, ChargeOverflowClampsAndFails) {
+  // Regression: accessed_ + n used to wrap for adversarial n (e.g. a
+  // corrupt batch size), silently passing the budget check.
+  AccessMeter meter;
+  meter.StartQuery(1000);
+  ASSERT_TRUE(meter.Charge(5).ok());
+  Status st = meter.Charge(UINT64_MAX - 2);
+  EXPECT_EQ(st.code(), StatusCode::kOutOfBudget);
+  EXPECT_EQ(meter.accessed(), UINT64_MAX);  // clamped, not wrapped
+  // The meter stays exhausted afterwards.
+  EXPECT_FALSE(meter.Charge(1).ok());
+}
+
+TEST(AccessMeterTest, ChargeOverflowFailsEvenWithoutEnforcement) {
+  // budget 0 disables the alpha bound, but a wrapped counter is still
+  // meaningless and must not be reported as a valid accessed count.
+  AccessMeter meter;
+  meter.StartQuery(0);
+  ASSERT_TRUE(meter.Charge(UINT64_MAX).ok());
+  EXPECT_EQ(meter.Charge(1).code(), StatusCode::kOutOfBudget);
+  EXPECT_EQ(meter.accessed(), UINT64_MAX);
+}
+
+TEST(AccessMeterTest, DepositCommitOverflowClampsAndFails) {
+  // The parallel deposit protocol funnels through the same guard.
+  AccessMeter meter;
+  meter.StartQuery(1000);
+  meter.BeginDeposits(2);
+  meter.Deposit(0, {5});
+  meter.Deposit(1, {UINT64_MAX - 2});
+  EXPECT_TRUE(meter.failed());
+  EXPECT_EQ(meter.FinishDeposits().code(), StatusCode::kOutOfBudget);
+  EXPECT_EQ(meter.accessed(), UINT64_MAX);
+}
+
 TEST_F(IndexStoreTest, UnknownFamilyFails) {
   IndexStore store;
   ASSERT_TRUE(store.Build(db_, {}, {}).ok());

@@ -12,6 +12,11 @@
 //       cached plans produce answers byte-identical to fresh plans —
 //       same rows, same eta, same accessed counts — across repeated
 //       random workloads, alpha sweeps, and Insert/Remove invalidation.
+//   P6 (parallel-fetch equivalence): with EvalOptions::fetch_threads > 1,
+//       answers are byte-identical to sequential execution — same rows,
+//       eta, accessed, d' — and plans that run out of budget mid-fetch
+//       fail at the same point with the same status, for any thread
+//       count (docs/ARCHITECTURE.md "Parallel atom fetching").
 
 #include <gtest/gtest.h>
 
@@ -244,6 +249,87 @@ TEST_P(BeasPropertyTest, CachedAnswersMatchFreshAfterInsertRemove) {
       }
     }
   }
+}
+
+TEST_P(BeasPropertyTest, ParallelFetchMatchesSequentialByteForByte) {
+  double alpha = GetParam().alpha;
+  // Multi-atom fig6-family workload: force products (joins) so plans
+  // carry several fetch atoms with external probe edges, plus the
+  // default mix for difference/aggregate coverage.
+  QueryGenConfig join_cfg;
+  join_cfg.seed = 20260730;
+  join_cfg.min_prod = 1;
+  std::vector<GeneratedQuery> workload = queries_;
+  for (auto& gq : GenerateQueries(ds_, 12, join_cfg)) workload.push_back(gq);
+
+  for (int threads : {2, 8}) {
+    BeasOptions options;
+    options.constraints = ds_.constraints;
+    options.eval.fetch_threads = threads;
+    auto built = Beas::Build(&ds_.db, options);
+    ASSERT_TRUE(built.ok()) << built.status();
+    std::unique_ptr<Beas> parallel = std::move(*built);
+
+    for (const auto& gq : workload) {
+      auto q = ParseSql(schema_, gq.sql);
+      ASSERT_TRUE(q.ok()) << gq.sql;
+      auto want = beas_->Answer(*q, alpha);      // fetch_threads = 1
+      auto got = parallel->Answer(*q, alpha);
+      ASSERT_EQ(got.ok(), want.ok())
+          << gq.sql << "\n seq: " << want.status() << "\n par: " << got.status();
+      if (!got.ok()) {
+        // The failure point must match bit-exactly: same code, same
+        // accessed/budget rendered into the message. (The dedicated
+        // OutOfBudget test below guarantees this path gets exercised.)
+        EXPECT_EQ(got.status().ToString(), want.status().ToString()) << gq.sql;
+        continue;
+      }
+      EXPECT_EQ(got->eta, want->eta) << gq.sql;
+      EXPECT_EQ(got->accessed, want->accessed) << gq.sql;
+      EXPECT_EQ(got->d_prime, want->d_prime) << gq.sql;
+      EXPECT_EQ(got->exact, want->exact) << gq.sql;
+      ASSERT_EQ(got->table.size(), want->table.size()) << gq.sql;
+      for (size_t i = 0; i < got->table.size(); ++i) {
+        EXPECT_EQ(got->table.row(i), want->table.row(i)) << gq.sql << " row " << i;
+      }
+    }
+  }
+}
+
+TEST_P(BeasPropertyTest, ParallelFetchOutOfBudgetPointMatchesSequential) {
+  // Directly drive the executor at budgets below the plan's tariff so
+  // the meter exhausts mid-fetch, and compare the failure byte-for-byte
+  // across thread counts.
+  double alpha = GetParam().alpha;
+  int compared = 0;
+  for (const auto& gq : queries_) {
+    auto q = ParseSql(schema_, gq.sql);
+    ASSERT_TRUE(q.ok()) << gq.sql;
+    auto plan = beas_->PlanOnly(*q, alpha);
+    if (!plan.ok()) continue;
+    // Budgets deliberately below what the plan needs: 1 exhausts on the
+    // first multi-entry fetch, the others part-way through the DAG.
+    uint64_t full = static_cast<uint64_t>(alpha * static_cast<double>(beas_->db_size()));
+    for (uint64_t budget : {uint64_t{1}, full / 7 + 1, full / 2 + 1}) {
+      PlanExecutor seq(&beas_->store(), EvalOptions{});
+      auto want = seq.Execute(*plan, budget);
+      for (int threads : {2, 8}) {
+        EvalOptions opts;
+        opts.fetch_threads = threads;
+        PlanExecutor par(&beas_->store(), opts);
+        auto got = par.Execute(*plan, budget);
+        ASSERT_EQ(got.ok(), want.ok()) << gq.sql << " budget " << budget;
+        if (!want.ok()) {
+          EXPECT_EQ(got.status().ToString(), want.status().ToString())
+              << gq.sql << " budget " << budget;
+          ++compared;
+        } else {
+          EXPECT_EQ(got->accessed, want->accessed) << gq.sql;
+        }
+      }
+    }
+  }
+  EXPECT_GT(compared, 0) << "no query exhausted its budget mid-fetch";
 }
 
 INSTANTIATE_TEST_SUITE_P(

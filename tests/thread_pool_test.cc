@@ -1,0 +1,222 @@
+// ThreadPool unit tests, plus the AccessMeter deposit-protocol
+// concurrency tests that back the parallel executor's determinism claim
+// (docs/ARCHITECTURE.md "Parallel atom fetching").
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "index/index_store.h"
+
+namespace beas {
+namespace {
+
+// A countdown the submitter blocks on; tasks never block, matching the
+// executor's continuation-passing discipline.
+struct Latch {
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t remaining;
+
+  explicit Latch(size_t n) : remaining(n) {}
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (--remaining == 0) cv.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return remaining == 0; });
+  }
+};
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  constexpr int kTasks = 1000;
+  std::atomic<int> counter{0};
+  Latch latch(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      counter.fetch_add(1, std::memory_order_relaxed);
+      latch.CountDown();
+    });
+  }
+  latch.Wait();
+  EXPECT_EQ(counter.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  Latch latch(1);
+  pool.Submit([&] { latch.CountDown(); });
+  latch.Wait();
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&] { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // No wait: ~ThreadPool must run all 100 before joining.
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, TasksMaySubmitContinuations) {
+  // The executor's sub-batch fan-out submits from inside pool tasks;
+  // a 1-thread pool must make progress (no blocking waits in tasks).
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  Latch latch(2);
+  pool.Submit([&] {
+    counter.fetch_add(1);
+    latch.CountDown();
+    pool.Submit([&] {
+      counter.fetch_add(1);
+      latch.CountDown();
+    });
+  });
+  latch.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+// --- AccessMeter deposit protocol under real concurrency ---
+
+TEST(AccessMeterDepositTest, OutOfOrderDepositsCommitInSlotOrder) {
+  AccessMeter meter;
+  meter.StartQuery(10);
+  meter.BeginDeposits(3);
+  // Slot 2 arrives first; nothing commits until 0 and 1 are in.
+  meter.Deposit(2, {4});
+  EXPECT_EQ(meter.accessed(), 0u);
+  meter.Deposit(0, {3});
+  EXPECT_EQ(meter.accessed(), 3u);
+  meter.Deposit(1, {2, 1});
+  EXPECT_EQ(meter.accessed(), 10u);
+  EXPECT_FALSE(meter.failed());
+  EXPECT_TRUE(meter.FinishDeposits().ok());
+}
+
+TEST(AccessMeterDepositTest, FailurePointMatchesSequentialCharges) {
+  // Sequential reference: charges 3, 5, 7 against budget 10 fail on the
+  // third charge with accessed == 15 (the first total *exceeding* 10).
+  AccessMeter seq;
+  seq.StartQuery(10);
+  EXPECT_TRUE(seq.Charge(3).ok());
+  EXPECT_TRUE(seq.Charge(5).ok());
+  Status failure = seq.Charge(7);
+  EXPECT_EQ(failure.code(), StatusCode::kOutOfBudget);
+  uint64_t seq_accessed = seq.accessed();
+
+  // Deposits in the worst-case order: the failing slot lands last.
+  AccessMeter par;
+  par.StartQuery(10);
+  par.BeginDeposits(3);
+  par.Deposit(2, {7});
+  par.Deposit(0, {3});
+  EXPECT_FALSE(par.failed());
+  par.Deposit(1, {5});
+  EXPECT_TRUE(par.failed());
+  Status got = par.FinishDeposits();
+  EXPECT_EQ(got.code(), StatusCode::kOutOfBudget);
+  EXPECT_EQ(got.ToString(), failure.ToString());
+  EXPECT_EQ(par.accessed(), seq_accessed);
+
+  // Budget 7 moves the sequential failure to the second charge
+  // (3 + 5 = 8 > 7): a later slot already deposited when the failure
+  // commits must be discarded, freezing accessed at the failure value.
+  AccessMeter seq7;
+  seq7.StartQuery(7);
+  EXPECT_TRUE(seq7.Charge(3).ok());
+  Status failure7 = seq7.Charge(5);
+  EXPECT_EQ(failure7.code(), StatusCode::kOutOfBudget);
+
+  AccessMeter par7;
+  par7.StartQuery(7);
+  par7.BeginDeposits(3);
+  par7.Deposit(2, {7});  // past the eventual failure point; discarded
+  par7.Deposit(1, {5});
+  par7.Deposit(0, {3});
+  EXPECT_TRUE(par7.failed());
+  EXPECT_EQ(par7.FinishDeposits().ToString(), failure7.ToString());
+  EXPECT_EQ(par7.accessed(), seq7.accessed());
+}
+
+TEST(AccessMeterDepositTest, MissingSlotsAreACallerBug) {
+  AccessMeter meter;
+  meter.StartQuery(0);
+  meter.BeginDeposits(2);
+  meter.Deposit(0, {1});
+  EXPECT_EQ(meter.FinishDeposits().code(), StatusCode::kInternal);
+}
+
+TEST(AccessMeterDepositTest, DeterministicUnderConcurrentDeposits) {
+  // Many threads deposit disjoint slots in racing order; the total and
+  // the failure point must equal the sequential charge stream's —
+  // both on an in-budget run and on one that exhausts mid-stream.
+  constexpr size_t kSlots = 64;
+  std::vector<std::vector<uint64_t>> counts(kSlots);
+  for (size_t s = 0; s < kSlots; ++s) counts[s] = {s % 7, (s * 13) % 11, 3};
+
+  for (uint64_t budget : {uint64_t{100000}, uint64_t{200}}) {
+    AccessMeter seq;
+    seq.StartQuery(budget);
+    Status seq_status = Status::OK();
+    for (size_t s = 0; s < kSlots && seq_status.ok(); ++s) {
+      for (uint64_t n : counts[s]) {
+        seq_status = seq.Charge(n);
+        if (!seq_status.ok()) break;
+      }
+    }
+    EXPECT_EQ(seq_status.ok(), budget == 100000);
+
+    for (int round = 0; round < 10; ++round) {
+      AccessMeter par;
+      par.StartQuery(budget);
+      par.BeginDeposits(kSlots);
+      {
+        ThreadPool pool(8);
+        Latch latch(kSlots);
+        for (size_t s = 0; s < kSlots; ++s) {
+          pool.Submit([&, s] {
+            par.Deposit(s, counts[s]);
+            latch.CountDown();
+          });
+        }
+        latch.Wait();
+      }
+      Status par_status = par.FinishDeposits();
+      EXPECT_EQ(par_status.ToString(), seq_status.ToString())
+          << "budget " << budget << " round " << round;
+      EXPECT_EQ(par.accessed(), seq.accessed())
+          << "budget " << budget << " round " << round;
+    }
+  }
+}
+
+TEST(AccessMeterDepositTest, StartQueryResetsDepositState) {
+  AccessMeter meter;
+  meter.StartQuery(1);
+  meter.BeginDeposits(1);
+  meter.Deposit(0, {5});
+  EXPECT_TRUE(meter.failed());
+  meter.StartQuery(10);
+  EXPECT_FALSE(meter.failed());
+  EXPECT_EQ(meter.accessed(), 0u);
+  meter.BeginDeposits(1);
+  meter.Deposit(0, {5});
+  EXPECT_TRUE(meter.FinishDeposits().ok());
+  EXPECT_EQ(meter.accessed(), 5u);
+}
+
+}  // namespace
+}  // namespace beas

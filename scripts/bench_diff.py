@@ -13,6 +13,14 @@ are joined on (title, x, series) cells and every shared cell is compared:
     --perf-floor absolute noise floor) flags drift — lower is better;
   * "speedup" cells are higher-is-better perf: a relative drop beyond
     --rel-tol flags drift;
+  * throughput cells (series matching --throughput-pattern, e.g. "qps",
+    "_per_s"): higher-is-better perf like speedups — a relative drop
+    beyond --throughput-rel-tol (which defaults to --rel-tol) flags
+    drift (service_throughput_bench emits these). Note a relative drop
+    of a non-negative cell is bounded by 1.0, so tolerances >= 1 make
+    higher-is-better drift unflaggable — pass --throughput-rel-tol < 1
+    when --rel-tol is loosened for machine-dependent lower-is-better
+    cells (the CI service smoke gate does);
   * cells present in the baseline but missing from the current log flag
     drift unless --allow-missing is given; extra cells are info only.
 
@@ -66,9 +74,14 @@ def is_speedup(series):
     return "speedup" in series.lower()
 
 
+def is_throughput(series, throughput_re):
+    return bool(throughput_re.search(series))
+
+
 def compare(base_cells, cur_cells, args):
     """Returns (drifts, infos): lists of human-readable findings."""
     perf_re = re.compile(args.perf_pattern, re.IGNORECASE)
+    throughput_re = re.compile(args.throughput_pattern, re.IGNORECASE)
     drifts, infos = [], []
     for key in sorted(base_cells):
         title, x, series = key
@@ -84,14 +97,17 @@ def compare(base_cells, cur_cells, args):
         if base is None or cur is None:
             drifts.append(f"{label}: finiteness changed ({base} -> {cur})")
             continue
-        if is_speedup(series):
+        if is_speedup(series) or is_throughput(series, throughput_re):
+            kind = "speedup" if is_speedup(series) else "throughput"
+            tol = args.rel_tol if args.throughput_rel_tol is None \
+                else args.throughput_rel_tol
             floor = max(abs(base), 1e-12)
-            if (base - cur) / floor > args.rel_tol:
+            if (base - cur) / floor > tol:
                 drifts.append(
-                    f"{label}: speedup dropped {base:.6g} -> {cur:.6g} "
-                    f"(> {args.rel_tol:.0%} relative)")
+                    f"{label}: {kind} dropped {base:.6g} -> {cur:.6g} "
+                    f"(> {tol:.0%} relative)")
             elif cur != base:
-                infos.append(f"{label}: speedup {base:.6g} -> {cur:.6g}")
+                infos.append(f"{label}: {kind} {base:.6g} -> {cur:.6g}")
         elif is_perf(title, series, perf_re):
             floor = max(abs(base), args.perf_floor)
             if (cur - base) / floor > args.rel_tol:
@@ -130,6 +146,13 @@ def main(argv=None):
                              "(default 1.0, i.e. 1ms for *_ms series)")
     parser.add_argument("--perf-pattern", default=r"_ms\b|_s\b|\btime\b|latency",
                         help="regex marking perf (lower-is-better) cells")
+    parser.add_argument("--throughput-pattern", default=r"qps|throughput|_per_s\b",
+                        help="regex marking throughput (higher-is-better) cells")
+    parser.add_argument("--throughput-rel-tol", type=float, default=None,
+                        help="max tolerated relative drop for speedup/throughput "
+                             "cells (default: --rel-tol; must be < 1 to be able "
+                             "to flag anything, since a non-negative cell cannot "
+                             "drop by more than 100%%)")
     parser.add_argument("--allow-missing", action="store_true",
                         help="cells missing from the current log are info, not drift")
     parser.add_argument("--quiet", action="store_true",

@@ -37,7 +37,7 @@ class LoadCellsTest(unittest.TestCase):
                    "3", "speedup")], 76.0)
         # null (non-finite) cells load as None, not as a number.
         self.assertIsNone(cells[("Unmeasurable panel", "1", "score")])
-        self.assertEqual(len(cells), 10)
+        self.assertEqual(len(cells), 14)
 
     def test_rejects_malformed_jsonl(self):
         with tempfile.NamedTemporaryFile("w", suffix=".jsonl", delete=False) as f:
@@ -99,10 +99,12 @@ class CompareTest(unittest.TestCase):
         code, out = run([BASE, DRIFT])
         self.assertEqual(code, 1)
         drifts = [l for l in out.splitlines() if l.startswith("DRIFT")]
-        self.assertEqual(len(drifts), 5, out)
+        self.assertEqual(len(drifts), 6, out)
         joined = "\n".join(drifts)
         # Accuracy drop beyond abs-tol.
         self.assertIn("BEAS: accuracy dropped 0.82 -> 0.7", joined)
+        # Throughput collapse (higher is better, relative tolerance).
+        self.assertIn("qps: throughput dropped 5000 -> 1000", joined)
         # Cell missing from the current log.
         self.assertIn("Sampl: missing from current log", joined)
         # Perf regression beyond rel-tol (lower is better).
@@ -114,14 +116,30 @@ class CompareTest(unittest.TestCase):
         # Small moves stay informational.
         self.assertNotIn("hit_ms: slower", joined)
         self.assertIn("BEAS(eta): accuracy 0.61 -> 0.62", out)
+        self.assertIn("qps: throughput 12000 -> 11500", out)
 
     def test_allow_missing_downgrades_missing_cells(self):
         code, out = run([BASE, DRIFT, "--allow-missing"])
         self.assertEqual(code, 1)
         drifts = [l for l in out.splitlines() if l.startswith("DRIFT")]
-        self.assertEqual(len(drifts), 4, out)
+        self.assertEqual(len(drifts), 5, out)
         self.assertNotIn("missing from current log",
                          "\n".join(drifts))
+
+    def test_throughput_rel_tol_keeps_collapse_canary_alive(self):
+        # A loosened --rel-tol >= 1 can never flag higher-is-better cells
+        # (their relative drop is bounded by 1.0); --throughput-rel-tol
+        # restores the collapse canary, as the CI service gate relies on.
+        code, out = run([BASE, DRIFT, "--rel-tol", "9", "--allow-missing",
+                         "--abs-tol", "1.0", "--quiet"])
+        self.assertEqual(code, 1)  # only the finiteness change
+        self.assertNotIn("qps", out)
+        code, out = run([BASE, DRIFT, "--rel-tol", "9", "--allow-missing",
+                         "--abs-tol", "1.0", "--throughput-rel-tol", "0.5",
+                         "--quiet"])
+        self.assertEqual(code, 1)
+        self.assertIn("qps: throughput dropped 5000 -> 1000", out)
+        self.assertIn("speedup dropped 76 -> 21", out)
 
     def test_loose_tolerances_pass(self):
         code, _ = run([BASE, DRIFT, "--abs-tol", "1.0", "--rel-tol", "100",

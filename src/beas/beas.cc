@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "beas/query_context.h"
 #include "common/string_util.h"
+#include "ra/analysis.h"
 #include "ra/fingerprint.h"
 
 namespace beas {
@@ -44,30 +46,48 @@ Result<BeasPlan> Beas::PlanOnly(const QueryPtr& q, double alpha) const {
   if (plan_cache_ == nullptr) return planner.Plan(q, alpha);
 
   QueryFingerprint fp = FingerprintQuery(q);
+  // A cached OutOfBudget verdict short-circuits planning entirely: the
+  // stored Status is returned bit-identically (negative caching;
+  // verdicts are dropped on every Insert/Remove since |D| moves).
+  if (std::optional<Status> verdict = plan_cache_->LookupNegative(fp, alpha)) {
+    return *verdict;
+  }
   if (std::shared_ptr<const PlanTemplate> tmpl = plan_cache_->Lookup(fp, alpha)) {
     BEAS_ASSIGN_OR_RETURN(std::optional<BeasPlan> cached,
                           planner.PlanFromTemplate(q, alpha, *tmpl));
     if (cached.has_value()) return std::move(*cached);
     // Template not instantiable for this query (its constant-conflict
-    // pattern differs): plan from scratch and re-book the hit as a miss.
+    // pattern differs, or |D| drifted past its tariff): plan from
+    // scratch and re-book the hit as a miss.
     plan_cache_->DemoteLastHit();
   }
-  BEAS_ASSIGN_OR_RETURN(BeasPlan plan, planner.Plan(q, alpha));
-  plan_cache_->Insert(fp, alpha, Planner::ExtractTemplate(plan));
-  return plan;
+  Result<BeasPlan> plan = planner.Plan(q, alpha);
+  if (!plan.ok()) {
+    if (plan.status().code() == StatusCode::kOutOfBudget) {
+      plan_cache_->InsertNegative(fp, alpha, plan.status());
+    }
+    return plan.status();
+  }
+  plan_cache_->Insert(fp, alpha, Planner::ExtractTemplate(*plan), QueryRelations(q));
+  return std::move(*plan);
 }
 
-Result<BeasAnswer> Beas::Answer(const QueryPtr& q, double alpha) {
+Result<BeasAnswer> Beas::Answer(const QueryPtr& q, double alpha) const {
   BEAS_ASSIGN_OR_RETURN(BeasPlan plan, PlanOnly(q, alpha));
   uint64_t budget = static_cast<uint64_t>(
       std::floor(alpha * static_cast<double>(db_size_)));
-  BEAS_ASSIGN_OR_RETURN(BeasAnswer answer, executor_->Execute(plan, budget));
+  // All mutable execution state lives in this per-call context, so any
+  // number of Answer calls may run concurrently (each with its own meter
+  // and budget) against the shared read-only indices.
+  QueryContext ctx;
+  ctx.eval = options_.eval;
+  BEAS_ASSIGN_OR_RETURN(BeasAnswer answer, executor_->Execute(plan, budget, &ctx));
   answer.plan_cached = plan.from_cache;
   answer.plan_cache = plan_cache_stats();
   return answer;
 }
 
-Result<BeasAnswer> Beas::AnswerSql(const std::string& sql, double alpha) {
+Result<BeasAnswer> Beas::AnswerSql(const std::string& sql, double alpha) const {
   BEAS_ASSIGN_OR_RETURN(QueryPtr q, Parse(sql));
   return Answer(q, alpha);
 }
@@ -94,10 +114,12 @@ PlanCacheStats Beas::plan_cache_stats() const {
 
 Status Beas::Insert(const std::string& relation, const Tuple& row) {
   BEAS_ASSIGN_OR_RETURN(Table * table, db_->FindMutableTable(relation));
-  // Invalidate before the mutation becomes visible: |D| feeds every
-  // cached budget and the chase's degradation choices, so no cached plan
-  // may outlive an index-maintenance step (even a partially failed one).
-  if (plan_cache_) plan_cache_->InvalidateAll();
+  // Invalidate before the mutation becomes visible (even a partially
+  // failed one): templates reading `relation` chase over its changed
+  // fanouts, and every negative verdict keys on the moving |D|. Entries
+  // on other relations stay warm — the |D| drift they inherit is caught
+  // at instantiation time (PlanFromTemplate's budget re-check).
+  if (plan_cache_) plan_cache_->InvalidateRelation(relation);
   BEAS_RETURN_IF_ERROR(store_.ApplyInsert(relation, row));
   BEAS_RETURN_IF_ERROR(table->Append(row));
   db_size_ += 1;
@@ -109,7 +131,7 @@ Status Beas::Remove(const std::string& relation, const Tuple& row) {
   if (!table->Contains(row)) {
     return Status::NotFound(StrCat("tuple not in '", relation, "'"));
   }
-  if (plan_cache_) plan_cache_->InvalidateAll();
+  if (plan_cache_) plan_cache_->InvalidateRelation(relation);
   BEAS_RETURN_IF_ERROR(store_.ApplyRemove(relation, row));
   // Rebuild the table without one occurrence of the row.
   Table rebuilt(table->schema());

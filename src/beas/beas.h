@@ -41,10 +41,10 @@ struct BeasOptions {
   PlannerKnobs planner;
   /// Plan-cache knob: off keeps today's plan-every-query behavior; on
   /// reuses chase/chAT results across queries that share a structural
-  /// fingerprint (only constants differ), invalidated on Insert/Remove.
-  /// With the cache on, Answer/PlanOnly mutate cache state (even through
-  /// const references), so concurrent use of one Beas instance needs
-  /// external synchronization (see PlanCache docs).
+  /// fingerprint (only constants differ), invalidated per relation on
+  /// Insert/Remove, with OutOfBudget verdicts cached negatively. The
+  /// cache is internally synchronized and safe under concurrent Answer
+  /// calls (it still makes logically-const planning stateful).
   PlanCacheOptions plan_cache;
 };
 
@@ -54,6 +54,18 @@ struct BeasOptions {
 ///   auto beas = Beas::Build(&db, options);
 ///   auto answer = (*beas)->AnswerSql("select ...", /*alpha=*/1e-3);
 ///   answer->table, answer->eta, answer->accessed
+///
+/// Thread-safety: the query paths (Answer / AnswerSql / PlanOnly /
+/// AlphaExact / Parse) are const and safe to call from any number of
+/// threads at once — each call carries its own QueryContext (meter +
+/// eval options), the indices are only read, and the plan cache is
+/// internally synchronized. Every concurrent Answer returns exactly the
+/// rows/eta/accessed a solo sequential run would. The maintenance paths
+/// (Insert / Remove) mutate the database and indices and require
+/// exclusive access: no query may be in flight. service/QueryService
+/// wraps this contract in an epoch guard that drains in-flight queries
+/// around each mutation; direct multi-threaded callers must provide the
+/// same exclusion themselves.
 class Beas {
  public:
   /// Offline phase: builds all access-schema indices over \p db (kept as a
@@ -63,11 +75,12 @@ class Beas {
 
   /// Answers \p q with resource ratio \p alpha: generates an alpha-bounded
   /// plan (no data access), executes it fetching at most alpha*|D| tuples,
-  /// and returns the answers with the deterministic RC bound eta.
-  Result<BeasAnswer> Answer(const QueryPtr& q, double alpha);
+  /// and returns the answers with the deterministic RC bound eta. Safe to
+  /// call concurrently (see class comment).
+  Result<BeasAnswer> Answer(const QueryPtr& q, double alpha) const;
 
   /// Parses \p sql against the database schema and answers it.
-  Result<BeasAnswer> AnswerSql(const std::string& sql, double alpha);
+  Result<BeasAnswer> AnswerSql(const std::string& sql, double alpha) const;
 
   /// Plan generation only (component C3; touches no data).
   Result<BeasPlan> PlanOnly(const QueryPtr& q, double alpha) const;
@@ -105,13 +118,15 @@ class Beas {
   IndexStore store_;
   BeasOptions options_;
   /// Persistent executor: keeps the parallel-fetch thread pool (created
-  /// lazily when eval.fetch_threads > 1) alive across Answer calls.
+  /// lazily when eval.fetch_threads > 1) alive across Answer calls. The
+  /// executor is stateless per call (every query runs in its own
+  /// QueryContext), so concurrent Answers share it safely.
   std::unique_ptr<PlanExecutor> executor_;
   /// Mutable: PlanOnly is logically const but records hits/misses and
-  /// bumps LRU order through this object. The cache itself is internally
-  /// mutex-guarded (safe under the executor's fetch threads); a Beas
-  /// *instance* is still single-query-at-a-time — the store's meter and
-  /// the database are unsynchronized. Null when the cache is disabled.
+  /// bumps LRU order through this object. The cache is internally
+  /// mutex-guarded, so concurrent query threads share it safely; see the
+  /// class comment for the maintenance exclusion queries still need.
+  /// Null when the cache is disabled.
   mutable std::unique_ptr<PlanCache> plan_cache_;
 };
 

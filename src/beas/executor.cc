@@ -193,8 +193,8 @@ AtomRows BuildNextRows(const FetchOp& op, const AtomRows& atom,
 // metered as they go through IndexStore::Fetch/FetchBatch.
 // ---------------------------------------------------------------------------
 
-Status FetchUnitSequential(IndexStore* store, const SpcUnit& unit, bool vectorized,
-                           std::vector<AtomRows>* atoms) {
+Status FetchUnitSequential(const IndexStore* store, const SpcUnit& unit, bool vectorized,
+                           std::vector<AtomRows>* atoms, AccessMeter* meter) {
   for (const auto& op : unit.fetch.ops) {
     BEAS_ASSIGN_OR_RETURN(ProbeSet ps, EnumerateProbes(op, *atoms));
     if (ps.skip) continue;
@@ -212,13 +212,14 @@ Status FetchUnitSequential(IndexStore* store, const SpcUnit& unit, bool vectoriz
         keys.clear();
         keys.reserve(m);
         for (size_t i = 0; i < m; ++i) keys.push_back(&probes[base + i].xkey);
-        BEAS_RETURN_IF_ERROR(store->FetchBatch(op.family_id, op.level, keys, &chunk));
+        BEAS_RETURN_IF_ERROR(
+            store->FetchBatch(op.family_id, op.level, keys, &chunk, meter));
         for (size_t i = 0; i < m; ++i) fetched[base + i] = std::move(chunk[i]);
       }
     } else {
       for (size_t p = 0; p < probes.size(); ++p) {
-        BEAS_ASSIGN_OR_RETURN(fetched[p],
-                              store->Fetch(op.family_id, op.level, probes[p].xkey));
+        BEAS_ASSIGN_OR_RETURN(
+            fetched[p], store->Fetch(op.family_id, op.level, probes[p].xkey, meter));
       }
     }
     // Rows without self context start from scratch; rows with self
@@ -248,9 +249,10 @@ struct GlobalOp {
 
 class ParallelFetchScheduler {
  public:
-  ParallelFetchScheduler(IndexStore* store, ThreadPool* pool, const BeasPlan& plan,
+  ParallelFetchScheduler(const IndexStore* store, AccessMeter* meter, ThreadPool* pool,
+                         const BeasPlan& plan,
                          std::vector<std::vector<AtomRows>>* unit_atoms)
-      : store_(store), pool_(pool), plan_(plan), unit_atoms_(unit_atoms) {}
+      : store_(store), meter_(meter), pool_(pool), plan_(plan), unit_atoms_(unit_atoms) {}
 
   Status Run() {
     // Flatten ops across units in sequential order; per-unit DAGs (units
@@ -286,7 +288,7 @@ class ParallelFetchScheduler {
       }
     }
 
-    store_->meter().BeginDeposits(ops_.size());
+    meter_->BeginDeposits(ops_.size());
     {
       std::unique_lock<std::mutex> lock(mu_);
       unfinished_ = ops_.size();
@@ -300,10 +302,10 @@ class ParallelFetchScheduler {
       // at a slot below the erroring one still fetches and deposits:
       // if any of them exhausts the budget the meter's sticky failure
       // is the sequential outcome; otherwise the lowest-slot error is.
-      if (error_slot_ != SIZE_MAX && !store_->meter().failed()) return error_;
+      if (error_slot_ != SIZE_MAX && !meter_->failed()) return error_;
     }
     // All slots deposited on success; the sticky OutOfBudget on failure.
-    return store_->meter().FinishDeposits();
+    return meter_->FinishDeposits();
   }
 
  private:
@@ -331,12 +333,12 @@ class ParallelFetchScheduler {
       error_slot_ = g;
       error_ = std::move(error);
     }
-    if (store_->meter().failed()) abort_ = true;
+    if (meter_->failed()) abort_ = true;
     cv_.notify_all();
   }
 
   void RunOp(size_t g) {
-    if (abort_.load(std::memory_order_relaxed) || store_->meter().failed()) {
+    if (abort_.load(std::memory_order_relaxed) || meter_->failed()) {
       // The outcome is already decided by an earlier slot; anything this
       // op would deposit past the failure point gets discarded anyway.
       CompleteOp(g, /*finished=*/false, Status::OK());
@@ -352,7 +354,7 @@ class ParallelFetchScheduler {
       return;
     }
     if (ps->skip) {
-      store_->meter().Deposit(g, {});
+      meter_->Deposit(g, {});
       CompleteOp(g, /*finished=*/true, Status::OK());
       return;
     }
@@ -424,13 +426,14 @@ class ParallelFetchScheduler {
 
     std::vector<uint64_t> counts(state.fetched.size());
     for (size_t i = 0; i < state.fetched.size(); ++i) counts[i] = state.fetched[i].size();
-    store_->meter().Deposit(g, std::move(counts));
+    meter_->Deposit(g, std::move(counts));
 
     atoms[op.atom] = BuildNextRows(op, atoms[op.atom], state.probes, state.fetched);
     CompleteOp(g, /*finished=*/true, Status::OK());
   }
 
-  IndexStore* store_;
+  const IndexStore* store_;
+  AccessMeter* meter_;  ///< the query's meter (deposit protocol target)
   ThreadPool* pool_;
   const BeasPlan& plan_;
   std::vector<std::vector<AtomRows>>* unit_atoms_;
@@ -450,26 +453,36 @@ class ParallelFetchScheduler {
 
 }  // namespace
 
-Result<BeasAnswer> PlanExecutor::Execute(const BeasPlan& plan, uint64_t budget) {
-  store_->meter().StartQuery(budget);
+ThreadPool* PlanExecutor::EnsurePool(size_t threads) const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(threads);
+  return pool_.get();
+}
+
+Result<BeasAnswer> PlanExecutor::Execute(const BeasPlan& plan, uint64_t budget) const {
+  QueryContext ctx;
+  ctx.eval = eval_options_;
+  return Execute(plan, budget, &ctx);
+}
+
+Result<BeasAnswer> PlanExecutor::Execute(const BeasPlan& plan, uint64_t budget,
+                                         QueryContext* ctx) const {
+  ctx->meter.StartQuery(budget);
 
   // --- xi_F: materialize every unit's atoms through the index store. ---
   std::vector<std::vector<AtomRows>> unit_atoms(plan.units.size());
   for (size_t u = 0; u < plan.units.size(); ++u) {
     unit_atoms[u].resize(plan.units[u].fetch.atoms.size());
   }
-  if (eval_options_.fetch_threads > 1) {
-    if (!pool_) {
-      pool_ = std::make_unique<ThreadPool>(
-          static_cast<size_t>(eval_options_.fetch_threads));
-    }
-    ParallelFetchScheduler scheduler(store_, pool_.get(), plan, &unit_atoms);
+  if (ctx->eval.fetch_threads > 1) {
+    ThreadPool* pool = EnsurePool(static_cast<size_t>(ctx->eval.fetch_threads));
+    ParallelFetchScheduler scheduler(store_, &ctx->meter, pool, plan, &unit_atoms);
     BEAS_RETURN_IF_ERROR(scheduler.Run());
   } else {
     for (size_t u = 0; u < plan.units.size(); ++u) {
       BEAS_RETURN_IF_ERROR(FetchUnitSequential(store_, plan.units[u],
-                                               eval_options_.vectorized,
-                                               &unit_atoms[u]));
+                                               ctx->eval.vectorized,
+                                               &unit_atoms[u], &ctx->meter));
     }
   }
 
@@ -502,7 +515,7 @@ Result<BeasAnswer> PlanExecutor::Execute(const BeasPlan& plan, uint64_t budget) 
   }
 
   // --- xi_E: evaluate the tree, tracking both S and S-hat. ---
-  Evaluator evaluator(dq, eval_options_);
+  Evaluator evaluator(dq, ctx->eval);
 
   struct EvalOut {
     Table s;
@@ -601,7 +614,7 @@ Result<BeasAnswer> PlanExecutor::Execute(const BeasPlan& plan, uint64_t budget) 
 
   // --- Runtime accuracy bound eta' (Fig 5 lines 6-7). ---
   BeasAnswer answer;
-  answer.accessed = store_->meter().accessed();
+  answer.accessed = ctx->meter.accessed();
   answer.est_tariff = plan.est_tariff;
   answer.exact = plan.exact;
 

@@ -1,7 +1,9 @@
 // Executes alpha-bounded plans: runs the fetching plan through the
-// metered IndexStore (building the per-query data D_Q), evaluates the
-// relaxed evaluation plan over D_Q, applies the set-difference guard, and
-// computes the runtime accuracy bound eta' (paper Fig 5, lines 6-7).
+// IndexStore (building the per-query data D_Q) metered against the
+// query's own AccessMeter (carried in its QueryContext, so concurrent
+// executions never share a counter), evaluates the relaxed evaluation
+// plan over D_Q, applies the set-difference guard, and computes the
+// runtime accuracy bound eta' (paper Fig 5, lines 6-7).
 //
 // When EvalOptions::vectorized is set (the default), index probes are
 // fetched in kDefaultChunkCapacity-sized batches with the family lookup
@@ -27,9 +29,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 
 #include "beas/plan.h"
 #include "beas/plan_cache.h"
+#include "beas/query_context.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "engine/evaluator.h"
@@ -55,23 +59,40 @@ struct BeasAnswer {
 
 /// \brief Executes BeasPlans against an IndexStore.
 ///
-/// Not thread-safe: one executor runs one query at a time (it owns the
-/// store's meter for the duration of Execute). The fetch worker pool is
-/// created lazily on the first Execute with fetch_threads > 1 and reused
-/// across subsequent Execute calls on the same instance.
+/// Thread-safe for concurrent Execute calls: every per-query mutable —
+/// the access meter, the materialized atoms, the evaluator — lives in a
+/// QueryContext owned by one call, and the store is only read (through
+/// its const fetch paths), so N sessions can execute plans against one
+/// executor and one IndexStore at once. The caller must still guarantee
+/// that no index maintenance runs while queries are in flight (the query
+/// service's epoch guard does). The fetch worker pool is created lazily
+/// (mutex-guarded) on the first Execute with fetch_threads > 1, sized by
+/// that first request, and shared by all subsequent Execute calls.
 class PlanExecutor {
  public:
-  PlanExecutor(IndexStore* store, EvalOptions eval_options = {})
+  PlanExecutor(const IndexStore* store, EvalOptions eval_options = {})
       : store_(store), eval_options_(eval_options) {}
 
   /// Runs \p plan with run-time budget enforcement (\p budget tuples; the
-  /// plan was constructed to respect it, the meter double-checks).
-  Result<BeasAnswer> Execute(const BeasPlan& plan, uint64_t budget);
+  /// plan was constructed to respect it, the meter double-checks),
+  /// charging \p ctx's meter and honoring \p ctx's EvalOptions.
+  Result<BeasAnswer> Execute(const BeasPlan& plan, uint64_t budget,
+                             QueryContext* ctx) const;
+
+  /// Single-session convenience: runs \p plan against an internal
+  /// QueryContext carrying the constructor's EvalOptions.
+  Result<BeasAnswer> Execute(const BeasPlan& plan, uint64_t budget) const;
 
  private:
-  IndexStore* store_;
+  /// Returns the shared fetch pool, creating it with \p threads workers
+  /// on first use (later calls reuse the existing pool regardless of
+  /// their thread count; see class comment).
+  ThreadPool* EnsurePool(size_t threads) const;
+
+  const IndexStore* store_;
   EvalOptions eval_options_;
-  std::unique_ptr<ThreadPool> pool_;  ///< lazily created fetch workers
+  mutable std::mutex pool_mu_;        ///< guards lazy pool creation
+  mutable std::unique_ptr<ThreadPool> pool_;  ///< shared fetch workers
 };
 
 }  // namespace beas

@@ -1,5 +1,6 @@
 #include "beas/plan_cache.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
@@ -41,19 +42,29 @@ std::shared_ptr<const PlanTemplate> PlanCache::Lookup(const QueryFingerprint& fp
   return entries_.front().tmpl;
 }
 
-void PlanCache::Insert(const QueryFingerprint& fp, double alpha, PlanTemplate tmpl) {
+void PlanCache::Insert(const QueryFingerprint& fp, double alpha, PlanTemplate tmpl,
+                       std::vector<std::string> relations) {
   std::lock_guard<std::mutex> lock(mu_);
   std::string key = MakeKey(fp, alpha);
   auto shared = std::make_shared<const PlanTemplate>(std::move(tmpl));
+  // A successful plan supersedes any cached verdict under the same key
+  // (can happen when |D| grew past the old budget between the two).
+  auto nit = negative_index_.find(key);
+  if (nit != negative_index_.end()) {
+    negatives_.erase(nit->second);
+    negative_index_.erase(nit);
+    stats_.negative_entries = negatives_.size();
+  }
   auto it = index_.find(key);
   if (it != index_.end()) {
     // Same key: refresh the entry (and let a colliding canonical form
     // take the slot over — the previous entry would only miss anyway).
     it->second->canonical = fp.canonical;
     it->second->tmpl = std::move(shared);
+    it->second->relations = std::move(relations);
     entries_.splice(entries_.begin(), entries_, it->second);
   } else {
-    entries_.push_front(Entry{key, fp.canonical, std::move(shared)});
+    entries_.push_front(Entry{key, fp.canonical, std::move(shared), std::move(relations)});
     index_[std::move(key)] = entries_.begin();
     while (entries_.size() > options_.capacity) {
       index_.erase(entries_.back().key);
@@ -62,6 +73,50 @@ void PlanCache::Insert(const QueryFingerprint& fp, double alpha, PlanTemplate tm
     }
   }
   stats_.entries = entries_.size();
+}
+
+std::optional<Status> PlanCache::LookupNegative(const QueryFingerprint& fp, double alpha) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = negative_index_.find(MakeKey(fp, alpha));
+  if (it == negative_index_.end() || it->second->canonical != fp.canonical) {
+    return std::nullopt;
+  }
+  negatives_.splice(negatives_.begin(), negatives_, it->second);
+  ++stats_.negative_hits;
+  return negatives_.front().verdict;
+}
+
+void PlanCache::InsertNegative(const QueryFingerprint& fp, double alpha, Status verdict) {
+  if (verdict.ok()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.negative_capacity == 0) return;
+  std::string key = MakeKey(fp, alpha);
+  // Mirror of Insert: a key is either negative or positive. A stale
+  // template can coexist-in-waiting here when |D| drift pushed its
+  // tariff past the budget (PlanFromTemplate bailed, planning failed);
+  // it would never be served again, so drop it rather than let it pin
+  // an LRU slot.
+  auto pit = index_.find(key);
+  if (pit != index_.end()) {
+    entries_.erase(pit->second);
+    index_.erase(pit);
+    stats_.entries = entries_.size();
+  }
+  auto it = negative_index_.find(key);
+  if (it != negative_index_.end()) {
+    it->second->canonical = fp.canonical;
+    it->second->verdict = std::move(verdict);
+    negatives_.splice(negatives_.begin(), negatives_, it->second);
+  } else {
+    negatives_.push_front(NegativeEntry{key, fp.canonical, std::move(verdict)});
+    negative_index_[std::move(key)] = negatives_.begin();
+    while (negatives_.size() > options_.negative_capacity) {
+      negative_index_.erase(negatives_.back().key);
+      negatives_.pop_back();
+      ++stats_.evictions;
+    }
+  }
+  stats_.negative_entries = negatives_.size();
 }
 
 void PlanCache::DemoteLastHit() {
@@ -73,10 +128,38 @@ void PlanCache::DemoteLastHit() {
 
 void PlanCache::InvalidateAll() {
   std::lock_guard<std::mutex> lock(mu_);
+  stats_.entries_invalidated += entries_.size() + negatives_.size();
   entries_.clear();
   index_.clear();
+  DropNegativesLocked();
   ++stats_.invalidations;
   stats_.entries = 0;
+}
+
+void PlanCache::InvalidateRelation(const std::string& relation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    bool touches = it->relations.empty() ||
+                   std::binary_search(it->relations.begin(), it->relations.end(), relation);
+    if (touches) {
+      index_.erase(it->key);
+      it = entries_.erase(it);
+      ++stats_.entries_invalidated;
+    } else {
+      ++it;
+    }
+  }
+  // Every mutation moves |D|, so every cached budget verdict is suspect.
+  stats_.entries_invalidated += negatives_.size();
+  DropNegativesLocked();
+  ++stats_.invalidations;
+  stats_.entries = entries_.size();
+}
+
+void PlanCache::DropNegativesLocked() {
+  negatives_.clear();
+  negative_index_.clear();
+  stats_.negative_entries = 0;
 }
 
 PlanCacheStats PlanCache::stats() const {

@@ -8,10 +8,23 @@
 //     only allowed difference, and they are rebound from the new query's
 //     tableau at instantiation time (Planner::PlanFromTemplate).
 //   - Any mutation of the database or its indices (Beas::Insert/Remove)
-//     must call InvalidateAll() before the mutation is visible to
-//     queries: |D| feeds every budget and the chase's degradation
-//     decisions, so every cached template is stale after a mutation. A
-//     stale plan can therefore never execute.
+//     must call InvalidateRelation(R) — or InvalidateAll() — before the
+//     mutation is visible to queries. Entries are keyed by the set of
+//     relations their fingerprint touches: a mutation of R drops exactly
+//     the entries reading R (whose index fanouts and chase inputs
+//     changed), keeping unrelated templates warm. The residual staleness
+//     — |D| shifts by one on *every* mutation, moving each alpha's
+//     budget — is handled at instantiation time: PlanFromTemplate bails
+//     out (and the caller re-plans) when the cached tariff no longer
+//     fits the current budget, so a surviving entry can never overrun
+//     the bound; it may at worst carry chAT levels chosen at a slightly
+//     different |D| (still alpha-bounded, with eta re-derived for the
+//     actual levels).
+//   - Negative entries cache an OutOfBudget *verdict* for (fingerprint,
+//     alpha): repeated unanswerable queries skip re-planning and fail
+//     with the identical Status. Because the verdict depends on the
+//     budget alpha * |D|, negative entries are dropped on every
+//     mutation, whichever relation it touches.
 //   - The cache stores templates, never answers: instantiation re-runs
 //     the (cheap, deterministic) tableau build and unit rewrite against
 //     the *current* query, so cached and fresh plans are semantically
@@ -24,6 +37,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -39,6 +53,9 @@ struct PlanCacheOptions {
   bool enabled = false;
   /// Maximum number of (fingerprint, alpha) entries before LRU eviction.
   size_t capacity = 64;
+  /// Maximum number of cached OutOfBudget verdicts (negative entries);
+  /// 0 disables negative caching.
+  size_t negative_capacity = 64;
 };
 
 /// Counters surfaced through BeasAnswer and Beas::plan_cache_stats().
@@ -46,8 +63,14 @@ struct PlanCacheStats {
   uint64_t hits = 0;           ///< lookups answered from the cache
   uint64_t misses = 0;         ///< lookups that fell through to planning
   uint64_t evictions = 0;      ///< entries dropped by the LRU policy
-  uint64_t invalidations = 0;  ///< InvalidateAll calls (Insert/Remove)
+  uint64_t invalidations = 0;  ///< invalidation events (Insert/Remove)
   uint64_t entries = 0;        ///< current number of cached templates
+  uint64_t negative_hits = 0;     ///< lookups answered by a cached verdict
+  uint64_t negative_entries = 0;  ///< current number of cached verdicts
+  /// Cumulative entries (templates + verdicts) dropped by invalidation
+  /// events; with per-relation invalidation this is the actual blast
+  /// radius of maintenance, while `invalidations` counts the events.
+  uint64_t entries_invalidated = 0;
 };
 
 /// \brief The reusable part of a BeasPlan for one query structure.
@@ -92,17 +115,38 @@ class PlanCache {
   /// returned template is immutable and outlives eviction/replacement.
   std::shared_ptr<const PlanTemplate> Lookup(const QueryFingerprint& fp, double alpha);
 
+  /// Returns the cached OutOfBudget verdict for (\p fp, \p alpha), or
+  /// nullopt. A hit is counted as negative_hits (not hits) and returns
+  /// the stored Status bit-identically, so repeated unanswerable queries
+  /// fail exactly as the first one did — without re-planning. Callers
+  /// check this before Lookup (a key is either negative or positive).
+  std::optional<Status> LookupNegative(const QueryFingerprint& fp, double alpha);
+
   /// Inserts (or replaces) the template for (\p fp, \p alpha), evicting
-  /// the least-recently-used entry beyond capacity.
-  void Insert(const QueryFingerprint& fp, double alpha, PlanTemplate tmpl);
+  /// the least-recently-used entry beyond capacity. \p relations is the
+  /// sorted relation set of the fingerprint (ra/analysis.h
+  /// QueryRelations), the key of per-relation invalidation.
+  void Insert(const QueryFingerprint& fp, double alpha, PlanTemplate tmpl,
+              std::vector<std::string> relations = {});
+
+  /// Caches \p verdict (an OutOfBudget failure) for (\p fp, \p alpha).
+  /// No-op when negative_capacity is 0 or \p verdict is OK.
+  void InsertNegative(const QueryFingerprint& fp, double alpha, Status verdict);
 
   /// Re-books the most recent hit as a miss: the template turned out not
   /// to be instantiable for the query (e.g. its constant-conflict pattern
   /// differs) and the caller fell back to fresh planning.
   void DemoteLastHit();
 
-  /// Drops every entry (database mutation); counted as one invalidation.
+  /// Drops every entry (bulk maintenance); counted as one invalidation.
   void InvalidateAll();
+
+  /// Targeted maintenance on \p relation: drops the templates whose
+  /// relation set contains it — and every negative entry, since any
+  /// mutation moves |D| and with it each alpha's budget. Counted as one
+  /// invalidation event. Templates inserted without a relation set are
+  /// conservatively treated as touching every relation.
+  void InvalidateRelation(const std::string& relation);
 
   /// Snapshot of the counters (copied under the lock).
   PlanCacheStats stats() const;
@@ -113,15 +157,28 @@ class PlanCache {
     std::string key;        ///< hash + alpha bits (the map key)
     std::string canonical;  ///< full canonical form, checked on lookup
     std::shared_ptr<const PlanTemplate> tmpl;
+    /// Sorted base relations the fingerprint reads; empty = unknown
+    /// (treated as touching everything by InvalidateRelation).
+    std::vector<std::string> relations;
+  };
+  struct NegativeEntry {
+    std::string key;
+    std::string canonical;
+    Status verdict;
   };
 
   static std::string MakeKey(const QueryFingerprint& fp, double alpha);
+
+  void DropNegativesLocked();
 
   mutable std::mutex mu_;
   PlanCacheOptions options_;
   /// Front = most recently used.
   std::list<Entry> entries_;
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  /// Negative (OutOfBudget-verdict) entries; front = most recently used.
+  std::list<NegativeEntry> negatives_;
+  std::unordered_map<std::string, std::list<NegativeEntry>::iterator> negative_index_;
   PlanCacheStats stats_;
 };
 

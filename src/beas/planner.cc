@@ -346,6 +346,14 @@ Result<std::optional<BeasPlan>> Planner::PlanFromTemplate(const QueryPtr& q, dou
   }
 
   BEAS_RETURN_IF_ERROR(FinalizeBounds(&plan, base_));
+  // Per-relation invalidation lets an entry outlive mutations of *other*
+  // relations, which still shift |D| and with it this alpha's budget. A
+  // template whose tariff was within the budget it was created under may
+  // no longer fit after |D| shrank: bail out so the caller re-plans (and
+  // re-degrades levels) instead of executing into a guaranteed
+  // OutOfBudget. At unchanged |D| the tariff is bit-identical to the
+  // populating plan's, so this never rejects a same-|D| hit.
+  if (plan.est_tariff > plan.budget) return std::optional<BeasPlan>{};
   plan.from_cache = true;
   return std::optional<BeasPlan>{std::move(plan)};
 }

@@ -1,0 +1,38 @@
+// Per-query execution state, split out of the shared engine so that N
+// sessions can run Answer concurrently against one Beas instance: the
+// access meter (the only mutable state the alpha bound needs) and the
+// evaluation options of one call live here, while the database, the
+// IndexStore's indices, and the plan cache stay shared and read-only
+// during execution (docs/ARCHITECTURE.md "Concurrent query service").
+
+#ifndef BEAS_BEAS_QUERY_CONTEXT_H_
+#define BEAS_BEAS_QUERY_CONTEXT_H_
+
+#include "engine/evaluator.h"
+#include "index/index_store.h"
+
+namespace beas {
+
+/// \brief The mutable state of one Answer/Execute call.
+///
+/// A QueryContext is owned by exactly one query for the duration of its
+/// execution and must not be shared across concurrent calls (the meter
+/// inside is thread-safe, but it counts *one* query's budget). Everything
+/// the executor touches outside this context is const: concurrent
+/// executions over one IndexStore are safe as long as no maintenance
+/// (Build/ApplyInsert/ApplyRemove) runs at the same time — the query
+/// service's epoch guard provides exactly that exclusion.
+struct QueryContext {
+  /// This query's access meter: charged (directly or through the deposit
+  /// protocol) for every tuple the query fetches, enforcing its own
+  /// alpha * |D| budget independently of any concurrent session.
+  AccessMeter meter;
+  /// Evaluation options of this call (vectorization, fetch threads,
+  /// intermediate-row caps). Copied from the engine defaults by
+  /// Beas::Answer; per-call overrides are allowed.
+  EvalOptions eval;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_BEAS_QUERY_CONTEXT_H_

@@ -26,6 +26,9 @@ enum class StatusCode {
   kUnimplemented = 4,
   /// Internal invariant violation; indicates a bug in the library.
   kInternal = 5,
+  /// The operation cannot be served right now (e.g. the query service's
+  /// admission queue is full); retrying later may succeed.
+  kUnavailable = 6,
 };
 
 /// Returns a human-readable name for a status code, e.g. "InvalidArgument".
@@ -65,6 +68,10 @@ class Status {
   /// Returns an Internal status with \p message.
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  /// Returns an Unavailable status with \p message.
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
 
   /// True iff this status represents success.

@@ -170,6 +170,12 @@ Result<BoundFamily> IndexStore::BuildConstraint(const ConstraintSpec& spec,
 
 Result<std::vector<FetchEntry>> IndexStore::Fetch(const std::string& family_id, int level,
                                                   const Tuple& xkey) {
+  return Fetch(family_id, level, xkey, &meter_);
+}
+
+Result<std::vector<FetchEntry>> IndexStore::Fetch(const std::string& family_id, int level,
+                                                  const Tuple& xkey,
+                                                  AccessMeter* meter) const {
   std::vector<FetchEntry> out;
   auto cit = constraint_indices_.find(family_id);
   if (cit != constraint_indices_.end()) {
@@ -178,7 +184,7 @@ Result<std::vector<FetchEntry>> IndexStore::Fetch(const std::string& family_id, 
       out.reserve(git->second.size());
       for (const auto& [y, m] : git->second) out.push_back(FetchEntry{&y, m});
     }
-    BEAS_RETURN_IF_ERROR(meter_.Charge(out.size()));
+    if (meter != nullptr) BEAS_RETURN_IF_ERROR(meter->Charge(out.size()));
     return out;
   }
   auto tit = template_indices_.find(family_id);
@@ -186,7 +192,7 @@ Result<std::vector<FetchEntry>> IndexStore::Fetch(const std::string& family_id, 
     return Status::NotFound(StrCat("no index for family '", family_id, "'"));
   }
   tit->second.Fetch(xkey, level, &out);
-  BEAS_RETURN_IF_ERROR(meter_.Charge(out.size()));
+  if (meter != nullptr) BEAS_RETURN_IF_ERROR(meter->Charge(out.size()));
   return out;
 }
 
@@ -230,6 +236,13 @@ Status IndexStore::FetchBatch(const std::string& family_id, int level,
                               const std::vector<const Tuple*>& xkeys,
                               std::vector<std::vector<FetchEntry>>* out) {
   return FetchBatchImpl(family_id, level, xkeys, out, &meter_);
+}
+
+Status IndexStore::FetchBatch(const std::string& family_id, int level,
+                              const std::vector<const Tuple*>& xkeys,
+                              std::vector<std::vector<FetchEntry>>* out,
+                              AccessMeter* meter) const {
+  return FetchBatchImpl(family_id, level, xkeys, out, meter);
 }
 
 Status IndexStore::FetchBatchUnmetered(const std::string& family_id, int level,

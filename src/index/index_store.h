@@ -96,6 +96,15 @@ class AccessMeter {
 /// Build() validates declared constraints against the data (D |= A) and
 /// produces the bound AccessSchema the planner consumes. All data access
 /// during query execution goes through Fetch(), which meters tuples.
+///
+/// Thread-safety: the fetch paths (Fetch / FetchBatch / FetchBatch-
+/// Unmetered, including the const overloads charging per-query meters)
+/// only read the index structures, so any number of queries may fetch
+/// concurrently. Build / ApplyInsert / ApplyRemove mutate them and
+/// require exclusive access — no fetch may be in flight. The query
+/// service's epoch guard enforces this drain-then-mutate protocol
+/// (docs/ARCHITECTURE.md "Concurrent query service"); single-session
+/// callers get it for free.
 class IndexStore {
  public:
   /// Builds indices for \p template_families and \p constraints over
@@ -107,10 +116,17 @@ class IndexStore {
   const AccessSchema& schema() const { return schema_; }
 
   /// Fetches representatives for (\p family_id, \p level, \p xkey),
-  /// charging the meter one unit per returned entry. For constraint
-  /// families \p level is ignored (the fetch is exact).
+  /// charging the store's legacy meter one unit per returned entry. For
+  /// constraint families \p level is ignored (the fetch is exact).
   Result<std::vector<FetchEntry>> Fetch(const std::string& family_id, int level,
                                         const Tuple& xkey);
+
+  /// Fetch charging \p meter (a per-query AccessMeter) instead of the
+  /// store's legacy meter. Const: this is the concurrent read path — any
+  /// number of queries may fetch at once, each against its own meter, as
+  /// long as no maintenance runs concurrently (see class comment).
+  Result<std::vector<FetchEntry>> Fetch(const std::string& family_id, int level,
+                                        const Tuple& xkey, AccessMeter* meter) const;
 
   /// Batched Fetch for the vectorized executor: fetches representatives
   /// for every key in \p xkeys (non-null, borrowed) from one family,
@@ -118,14 +134,22 @@ class IndexStore {
   /// The family lookup — the dominant per-probe overhead — is resolved
   /// once per batch; the meter is still charged per key, so accessed
   /// counts and the OutOfBudget failure point are identical to issuing
-  /// the fetches one by one (the alpha bound stays tight).
+  /// the fetches one by one (the alpha bound stays tight). Charges the
+  /// store's legacy meter.
   Status FetchBatch(const std::string& family_id, int level,
                     const std::vector<const Tuple*>& xkeys,
                     std::vector<std::vector<FetchEntry>>* out);
 
+  /// FetchBatch charging \p meter (a per-query AccessMeter). Const and
+  /// safe concurrently with other reads; the per-query metered path of
+  /// the executor.
+  Status FetchBatch(const std::string& family_id, int level,
+                    const std::vector<const Tuple*>& xkeys,
+                    std::vector<std::vector<FetchEntry>>* out, AccessMeter* meter) const;
+
   /// FetchBatch minus the metering: identical entries in identical order,
-  /// but the meter is not touched — the caller charges through the
-  /// AccessMeter deposit protocol to keep the OutOfBudget failure point
+  /// but no meter is touched — the caller charges through an
+  /// AccessMeter's deposit protocol to keep the OutOfBudget failure point
   /// deterministic under parallel fetching. Const and safe to call
   /// concurrently with other (unmetered) reads; must not run concurrently
   /// with Build/ApplyInsert/ApplyRemove.
@@ -133,6 +157,9 @@ class IndexStore {
                              const std::vector<const Tuple*>& xkeys,
                              std::vector<std::vector<FetchEntry>>* out) const;
 
+  /// The legacy store-wide meter. Kept for single-session callers and
+  /// tests; the executor now meters each query through its QueryContext,
+  /// so concurrent sessions never contend on (or corrupt) this counter.
   AccessMeter& meter() { return meter_; }
 
   /// Total index entries across all families (Fig 6(k) "total").

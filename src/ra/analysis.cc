@@ -1,5 +1,6 @@
 #include "ra/analysis.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/string_util.h"
@@ -306,6 +307,14 @@ Predicate CollectComparisons(const QueryPtr& q) {
     }
   }
   return preds;
+}
+
+std::vector<std::string> QueryRelations(const QueryPtr& q) {
+  std::vector<std::string> out;
+  for (const SpcAtom& atom : CollectAtoms(q)) out.push_back(atom.relation);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 }  // namespace beas

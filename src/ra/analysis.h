@@ -75,6 +75,12 @@ std::map<std::string, std::string> OutputOrigins(const QueryPtr& q);
 /// Collects the aliases of all base-relation leaves under \p q.
 std::vector<SpcAtom> CollectAtoms(const QueryPtr& q);
 
+/// The distinct base relation names \p q reads, sorted. This is the
+/// invalidation key of the plan cache: a maintenance step on relation R
+/// can only stale plans whose query touches R (plus the |D| shift every
+/// mutation causes, which instantiation re-checks against the budget).
+std::vector<std::string> QueryRelations(const QueryPtr& q);
+
 /// Collects every comparison from all Select nodes under \p q.
 Predicate CollectComparisons(const QueryPtr& q);
 

@@ -1,0 +1,58 @@
+#include "service/epoch_guard.h"
+
+namespace beas {
+
+EpochGuard::ReadLock::~ReadLock() {
+  if (guard_ != nullptr) guard_->UnlockRead();
+}
+
+EpochGuard::WriteLock::~WriteLock() {
+  if (guard_ != nullptr) guard_->UnlockWrite(changed_);
+}
+
+EpochGuard::ReadLock EpochGuard::LockRead() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Writer preference: a waiting writer gates new readers so maintenance
+  // cannot be starved by a steady query stream.
+  cv_.wait(lock, [this] { return !writer_active_ && waiting_writers_ == 0; });
+  ++active_readers_;
+  return ReadLock(this, epoch_);
+}
+
+void EpochGuard::UnlockRead() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--active_readers_ == 0) cv_.notify_all();
+}
+
+EpochGuard::WriteLock EpochGuard::LockWrite() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++waiting_writers_;
+  cv_.wait(lock, [this] { return !writer_active_ && active_readers_ == 0; });
+  --waiting_writers_;
+  writer_active_ = true;
+  return WriteLock(this);
+}
+
+void EpochGuard::UnlockWrite(bool bump_epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  writer_active_ = false;
+  if (bump_epoch) ++epoch_;
+  cv_.notify_all();
+}
+
+uint64_t EpochGuard::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+int EpochGuard::active_readers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_readers_;
+}
+
+int EpochGuard::waiting_writers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiting_writers_;
+}
+
+}  // namespace beas

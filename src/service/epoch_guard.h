@@ -1,0 +1,109 @@
+// The drain-then-mutate gate of the concurrent query service: queries
+// run under shared read locks, maintenance (Insert/Remove) under an
+// exclusive write lock that first blocks new readers, then waits for the
+// in-flight ones to drain. Every completed write bumps a monotonically
+// increasing epoch, so each query can report which database version it
+// observed — the observable that makes "no torn reads" testable
+// (docs/ARCHITECTURE.md "Concurrent query service").
+
+#ifndef BEAS_SERVICE_EPOCH_GUARD_H_
+#define BEAS_SERVICE_EPOCH_GUARD_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace beas {
+
+/// \brief A writer-preferring read/write gate with an epoch counter.
+///
+/// Readers (queries) enter concurrently; a writer (maintenance step)
+/// excludes everyone. Writers are preferred: once one is waiting, new
+/// readers block until it finishes, so a steady stream of queries cannot
+/// starve maintenance. Epochs count *completed* writes; a reader holding
+/// the guard is guaranteed the epoch it observed at entry stays valid —
+/// the state cannot change under it — until it releases.
+///
+/// Not recursive: a thread must not re-enter the guard while holding it
+/// (a reader taking the write lock would deadlock against itself).
+class EpochGuard {
+ public:
+  /// RAII shared (reader) hold. Movable, not copyable.
+  class ReadLock {
+   public:
+    ReadLock(ReadLock&& other) noexcept : guard_(other.guard_), epoch_(other.epoch_) {
+      other.guard_ = nullptr;
+    }
+    ReadLock(const ReadLock&) = delete;
+    ReadLock& operator=(const ReadLock&) = delete;
+    ReadLock& operator=(ReadLock&&) = delete;
+    ~ReadLock();
+
+    /// The epoch observed at entry; stable for the lifetime of the hold.
+    uint64_t epoch() const { return epoch_; }
+
+   private:
+    friend class EpochGuard;
+    ReadLock(EpochGuard* guard, uint64_t epoch) : guard_(guard), epoch_(epoch) {}
+    EpochGuard* guard_;
+    uint64_t epoch_;
+  };
+
+  /// RAII exclusive (writer) hold. Movable, not copyable. Release bumps
+  /// the epoch (the write is assumed to have changed the guarded state)
+  /// unless the hold was marked unchanged.
+  class WriteLock {
+   public:
+    WriteLock(WriteLock&& other) noexcept
+        : guard_(other.guard_), changed_(other.changed_) {
+      other.guard_ = nullptr;
+    }
+    WriteLock(const WriteLock&) = delete;
+    WriteLock& operator=(const WriteLock&) = delete;
+    WriteLock& operator=(WriteLock&&) = delete;
+    ~WriteLock();
+
+    /// Declares that the guarded state was NOT mutated (the write failed
+    /// before changing anything): release keeps the epoch, so readers'
+    /// "database version observed" stays truthful across failed
+    /// maintenance attempts.
+    void MarkUnchanged() { changed_ = false; }
+
+   private:
+    friend class EpochGuard;
+    explicit WriteLock(EpochGuard* guard) : guard_(guard) {}
+    EpochGuard* guard_;
+    bool changed_ = true;
+  };
+
+  /// Blocks while a writer is active or waiting, then enters shared.
+  ReadLock LockRead();
+
+  /// Blocks new readers, drains active ones, then enters exclusive.
+  WriteLock LockWrite();
+
+  /// Completed writes so far (the current database version).
+  uint64_t epoch() const;
+
+  /// Readers currently inside the guard (diagnostic; racy by nature).
+  int active_readers() const;
+
+  /// Writers currently blocked in LockWrite (diagnostic; lets tests and
+  /// monitors detect a pending drain deterministically).
+  int waiting_writers() const;
+
+ private:
+  void UnlockRead();
+  void UnlockWrite(bool bump_epoch);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int active_readers_ = 0;
+  int waiting_writers_ = 0;
+  bool writer_active_ = false;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_SERVICE_EPOCH_GUARD_H_

@@ -1,0 +1,199 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace beas {
+
+namespace {
+
+double MsBetween(std::chrono::steady_clock::time_point from,
+                 std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+/// One submitted query's result slot. Shared between the worker job and
+/// the (at most one) waiter; owned past service shutdown by whichever
+/// side still holds it.
+struct QueryService::Pending {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Result<ServiceAnswer> result = Status::Internal("query still pending");
+};
+
+QueryService::QueryService(Beas* beas, ServiceOptions options)
+    : beas_(beas), options_(options) {
+  options_.workers = std::max<size_t>(1, options_.workers);
+  options_.max_queue = std::max<size_t>(1, options_.max_queue);
+  options_.latency_window = std::max<size_t>(1, options_.latency_window);
+  latency_ring_.assign(options_.latency_window, 0.0);
+  pool_ = std::make_unique<ThreadPool>(options_.workers);
+}
+
+QueryService::~QueryService() {
+  // ThreadPool's destructor drains the queue: every admitted query runs
+  // to completion (unredeemed tickets resolve into their slots and are
+  // dropped with the pending_ map).
+  pool_.reset();
+}
+
+Result<QueryTicket> QueryService::Submit(QueryPtr q, double alpha) {
+  if (q == nullptr) return Status::InvalidArgument("query must not be null");
+  auto submitted_at = std::chrono::steady_clock::now();
+  std::shared_ptr<Pending> slot = std::make_shared<Pending>();
+  QueryTicket ticket;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (counters_.queued >= options_.max_queue) {
+      ++counters_.rejected;
+      return Status::Unavailable(
+          StrCat("admission queue full (", counters_.queued, " queued, cap ",
+                 options_.max_queue, "); retry later"));
+    }
+    ++counters_.queued;
+    ++counters_.submitted;
+    ticket.id = next_ticket_++;
+    pending_[ticket.id] = slot;
+  }
+  pool_->Submit([this, slot = std::move(slot), q = std::move(q), alpha, submitted_at] {
+    RunQuery(slot, q, alpha, submitted_at);
+  });
+  return ticket;
+}
+
+Result<QueryTicket> QueryService::SubmitSql(const std::string& sql, double alpha) {
+  BEAS_ASSIGN_OR_RETURN(QueryPtr q, beas_->Parse(sql));
+  return Submit(std::move(q), alpha);
+}
+
+Result<ServiceAnswer> QueryService::Wait(QueryTicket ticket) {
+  std::shared_ptr<Pending> slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pending_.find(ticket.id);
+    if (it == pending_.end()) {
+      return Status::NotFound(StrCat("unknown or already-redeemed ticket ", ticket.id));
+    }
+    slot = std::move(it->second);
+    pending_.erase(it);
+  }
+  std::unique_lock<std::mutex> lock(slot->mu);
+  slot->cv.wait(lock, [&slot] { return slot->done; });
+  return std::move(slot->result);
+}
+
+Result<ServiceAnswer> QueryService::Answer(QueryPtr q, double alpha) {
+  BEAS_ASSIGN_OR_RETURN(QueryTicket ticket, Submit(std::move(q), alpha));
+  return Wait(ticket);
+}
+
+void QueryService::RunQuery(std::shared_ptr<Pending> slot, QueryPtr q, double alpha,
+                            std::chrono::steady_clock::time_point submitted_at) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --counters_.queued;
+    ++counters_.in_flight;
+  }
+  Result<ServiceAnswer> out = Status::Internal("query did not run");
+  {
+    // The read hold spans the whole execution: plan (the cache must not
+    // be invalidated between lookup and insert of one query), fetch, and
+    // evaluate all see one epoch's database.
+    EpochGuard::ReadLock read = guard_.LockRead();
+    Result<BeasAnswer> answer = beas_->Answer(q, alpha);
+    if (answer.ok()) {
+      ServiceAnswer sa;
+      sa.answer = std::move(*answer);
+      sa.epoch = read.epoch();
+      out = std::move(sa);
+    } else {
+      out = answer.status();
+    }
+  }
+  double latency_ms = MsBetween(submitted_at, std::chrono::steady_clock::now());
+  if (out.ok()) out->latency_ms = latency_ms;
+  RecordDone(latency_ms, out.ok());
+  {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    slot->result = std::move(out);
+    slot->done = true;
+  }
+  slot->cv.notify_all();
+}
+
+void QueryService::RecordDone(double latency_ms, bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --counters_.in_flight;
+  if (ok) {
+    ++counters_.completed;
+  } else {
+    ++counters_.failed;
+  }
+  latency_ring_[latency_next_] = latency_ms;
+  latency_next_ = (latency_next_ + 1) % latency_ring_.size();
+  ++latency_count_;
+}
+
+namespace {
+
+// A NotFound failure (unknown relation, row not in the table) is raised
+// before any mutation: the database version did not change, so the
+// epoch must not advance and readers keep correlating answers with
+// actual mutations. Any other failure may have mutated partially (index
+// maintenance is not atomic across families), so the epoch bumps
+// conservatively.
+bool MaintenanceLeftStateUnchanged(const Status& st) {
+  return !st.ok() && st.code() == StatusCode::kNotFound;
+}
+
+}  // namespace
+
+Status QueryService::Insert(const std::string& relation, const Tuple& row) {
+  EpochGuard::WriteLock write = guard_.LockWrite();
+  Status st = beas_->Insert(relation, row);
+  if (MaintenanceLeftStateUnchanged(st)) write.MarkUnchanged();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (st.ok()) ++counters_.maintenance_ops;
+  return st;
+}
+
+Status QueryService::Remove(const std::string& relation, const Tuple& row) {
+  EpochGuard::WriteLock write = guard_.LockWrite();
+  Status st = beas_->Remove(relation, row);
+  if (MaintenanceLeftStateUnchanged(st)) write.MarkUnchanged();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (st.ok()) ++counters_.maintenance_ops;
+  return st;
+}
+
+ServiceStats QueryService::stats() const {
+  ServiceStats out;
+  std::vector<double> window;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = counters_;
+    size_t n = static_cast<size_t>(
+        std::min<uint64_t>(latency_count_, latency_ring_.size()));
+    window.assign(latency_ring_.begin(), latency_ring_.begin() + n);
+  }
+  out.epoch = guard_.epoch();
+  if (!window.empty()) {
+    auto percentile = [&window](double p) {
+      size_t idx = static_cast<size_t>(p * static_cast<double>(window.size() - 1));
+      std::nth_element(window.begin(), window.begin() + idx, window.end());
+      return window[idx];
+    };
+    out.p50_ms = percentile(0.50);
+    out.p95_ms = percentile(0.95);
+  }
+  return out;
+}
+
+}  // namespace beas

@@ -1,0 +1,149 @@
+// The concurrent query service: a multi-session server layer over one
+// Beas instance. Sessions Submit() queries and Wait() on tickets; a
+// bounded admission queue feeds a fixed worker pool, every query runs in
+// its own QueryContext (meter + eval options) against the shared
+// read-only indices, and maintenance (Insert/Remove) goes through the
+// EpochGuard: drain in-flight queries, apply the mutation (database +
+// indices + plan-cache invalidation), bump the epoch, resume. Per-query
+// answers are bit-identical to solo sequential runs — concurrency never
+// changes rows, eta, or accessed counts (docs/ARCHITECTURE.md
+// "Concurrent query service").
+
+#ifndef BEAS_SERVICE_QUERY_SERVICE_H_
+#define BEAS_SERVICE_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "beas/beas.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "service/epoch_guard.h"
+
+namespace beas {
+
+/// Configuration of a QueryService.
+struct ServiceOptions {
+  /// Worker threads executing queries (clamped to at least 1). This is
+  /// the cross-query parallelism knob; each worker may additionally fan
+  /// its fetch phase out when BeasOptions::eval.fetch_threads > 1.
+  size_t workers = 4;
+  /// Admission bound: maximum queries admitted but not yet started
+  /// (clamped to at least 1). Submit rejects with Unavailable beyond it,
+  /// so a traffic spike degrades into fast rejections instead of an
+  /// unbounded backlog.
+  size_t max_queue = 256;
+  /// Completed-query latencies kept for the p50/p95 stats (ring buffer).
+  size_t latency_window = 512;
+};
+
+/// Handle of one submitted query; redeemed (once) by Wait.
+struct QueryTicket {
+  uint64_t id = 0;
+};
+
+/// A served answer with its service-level observables.
+struct ServiceAnswer {
+  BeasAnswer answer;
+  /// The maintenance epoch the query ran under: the database version it
+  /// observed. Queries never straddle epochs (no torn reads) — the
+  /// epoch guard holds mutations off until in-flight queries drain.
+  uint64_t epoch = 0;
+  /// Submit-to-completion latency (queue wait + execution).
+  double latency_ms = 0;
+};
+
+/// Service counters; snapshot via QueryService::stats().
+struct ServiceStats {
+  uint64_t submitted = 0;    ///< admitted queries (excludes rejections)
+  uint64_t rejected = 0;     ///< Submit calls bounced off the full queue
+  uint64_t completed = 0;    ///< queries finished with an answer
+  uint64_t failed = 0;       ///< queries finished with a non-OK status
+  uint64_t queued = 0;       ///< admitted, not yet started (instantaneous)
+  uint64_t in_flight = 0;    ///< currently executing (instantaneous)
+  uint64_t maintenance_ops = 0;  ///< successful Insert/Remove mutations
+  /// Database versions: bumps on every completed mutation (and,
+  /// conservatively, on partially-failed ones; never on a NotFound that
+  /// touched nothing).
+  uint64_t epoch = 0;
+  double p50_ms = 0;         ///< median latency over the recent window
+  double p95_ms = 0;         ///< 95th-percentile latency over the window
+};
+
+/// \brief A multi-session query server over one Beas instance.
+///
+/// All public methods are thread-safe. Queries admitted by Submit run
+/// concurrently on the worker pool; Insert/Remove serialize against all
+/// queries through the epoch guard. The destructor drains every admitted
+/// query (their tickets become unredeemable). The Beas instance and its
+/// database must outlive the service, and must not be mutated behind its
+/// back — route all maintenance through the service.
+class QueryService {
+ public:
+  explicit QueryService(Beas* beas, ServiceOptions options = {});
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Admits \p q at resource ratio \p alpha. Returns Unavailable when
+  /// the admission queue is full (the caller may retry later).
+  Result<QueryTicket> Submit(QueryPtr q, double alpha);
+
+  /// Parses \p sql (in the caller's thread) and admits it.
+  Result<QueryTicket> SubmitSql(const std::string& sql, double alpha);
+
+  /// Blocks until \p ticket's query finishes and returns its answer (or
+  /// its failure). Each ticket can be redeemed once; a second Wait — or
+  /// a ticket this service never issued — returns NotFound.
+  Result<ServiceAnswer> Wait(QueryTicket ticket);
+
+  /// Submit + Wait in one call: the synchronous session API.
+  Result<ServiceAnswer> Answer(QueryPtr q, double alpha);
+
+  /// Epoch-guarded maintenance: drains in-flight queries, applies the
+  /// mutation to the database and every index, invalidates the affected
+  /// plan-cache entries, bumps the epoch, and resumes admission.
+  Status Insert(const std::string& relation, const Tuple& row);
+  Status Remove(const std::string& relation, const Tuple& row);
+
+  /// Snapshot of the service counters.
+  ServiceStats stats() const;
+
+  /// The maintenance gate. Exposed for coordination of external bulk
+  /// maintenance (hold LockWrite while rebuilding offline) and for
+  /// deterministic scheduling in tests; routine callers never need it.
+  EpochGuard& epoch_guard() { return guard_; }
+
+ private:
+  struct Pending;
+
+  void RunQuery(std::shared_ptr<Pending> slot, QueryPtr q, double alpha,
+                std::chrono::steady_clock::time_point submitted_at);
+  void RecordDone(double latency_ms, bool ok);
+
+  Beas* beas_;
+  ServiceOptions options_;
+  EpochGuard guard_;
+
+  mutable std::mutex mu_;
+  uint64_t next_ticket_ = 1;
+  std::unordered_map<uint64_t, std::shared_ptr<Pending>> pending_;
+  ServiceStats counters_;            ///< p50/p95 fields unused here
+  std::vector<double> latency_ring_; ///< last latency_window latencies
+  size_t latency_next_ = 0;          ///< ring write cursor
+  uint64_t latency_count_ = 0;       ///< total recorded (ring may be partial)
+
+  /// Declared last: destroyed first, so the pool drains (running every
+  /// admitted query to completion) while the rest of the service state
+  /// is still alive for the jobs to use.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_SERVICE_QUERY_SERVICE_H_

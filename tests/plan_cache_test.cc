@@ -298,8 +298,10 @@ TEST_F(PlanCacheTest, InsertRemoveInvalidatesCachedPlans) {
   ASSERT_TRUE(warm.ok());
   EXPECT_TRUE(warm->plan_cached);
 
-  // Remove one person row, then re-insert it: |D| passes through a
-  // different value, and both maintenance steps must clear the cache.
+  // Remove one person row, then re-insert it: the query reads person, so
+  // both maintenance steps must drop its entry (per-relation
+  // invalidation; unrelated entries would survive — see
+  // MutationInvalidatesOnlyTouchedRelations).
   auto person = db_.FindTable("person");
   ASSERT_TRUE(person.ok());
   Tuple row = (*person)->row(0);
@@ -321,6 +323,144 @@ TEST_F(PlanCacheTest, InsertRemoveInvalidatesCachedPlans) {
   ASSERT_TRUE(again.ok());
   EXPECT_TRUE(again->plan_cached);
   ExpectSameAnswer(*again, *fresh->Answer(q, 0.3), "after remove+insert roundtrip");
+}
+
+// --- Per-relation invalidation ---
+
+TEST_F(PlanCacheTest, InvalidateRelationDropsOnlyTouchingEntries) {
+  PlanCache cache(PlanCacheOptions{true, 8, 8});
+  QueryFingerprint person_fp{1, "person-query"};
+  QueryFingerprint poi_fp{2, "poi-query"};
+  QueryFingerprint join_fp{3, "join-query"};
+  QueryFingerprint unknown_fp{4, "unknown-relations"};
+  cache.Insert(person_fp, 0.1, PlanTemplate{}, {"person"});
+  cache.Insert(poi_fp, 0.1, PlanTemplate{}, {"poi"});
+  cache.Insert(join_fp, 0.1, PlanTemplate{}, {"friend", "person"});
+  cache.Insert(unknown_fp, 0.1, PlanTemplate{});  // no relation set
+
+  cache.InvalidateRelation("person");
+  // person + join entries touch "person"; the relation-less entry is
+  // conservatively treated as touching everything.
+  EXPECT_EQ(cache.Lookup(person_fp, 0.1), nullptr);
+  EXPECT_EQ(cache.Lookup(join_fp, 0.1), nullptr);
+  EXPECT_EQ(cache.Lookup(unknown_fp, 0.1), nullptr);
+  EXPECT_NE(cache.Lookup(poi_fp, 0.1), nullptr);
+
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.entries_invalidated, 3u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST_F(PlanCacheTest, MutationInvalidatesOnlyTouchedRelations) {
+  auto cached = Build(&db_, /*cache_enabled=*/true);
+  QueryPtr person_q = Q("select p.pid from person as p where p.city = 'c2'");
+  QueryPtr poi_q = Q("select h.address from poi as h where h.type = 'hotel'");
+  ASSERT_TRUE(cached->Answer(person_q, 0.3).ok());
+  ASSERT_TRUE(cached->Answer(poi_q, 0.3).ok());
+
+  // Mutate poi (remove + re-insert: |D| net unchanged, so surviving
+  // templates stay byte-equivalent to fresh planning).
+  auto poi = db_.FindTable("poi");
+  ASSERT_TRUE(poi.ok());
+  Tuple row = (*poi)->row(0);
+  ASSERT_TRUE(cached->Remove("poi", row).ok());
+  ASSERT_TRUE(cached->Insert("poi", row).ok());
+
+  // The person entry survived both maintenance steps...
+  auto person_hit = cached->Answer(person_q, 0.3);
+  ASSERT_TRUE(person_hit.ok());
+  EXPECT_TRUE(person_hit->plan_cached) << "unrelated entry was invalidated";
+  // ... while the poi entry was dropped and re-planned fresh.
+  auto poi_miss = cached->Answer(poi_q, 0.3);
+  ASSERT_TRUE(poi_miss.ok());
+  EXPECT_FALSE(poi_miss->plan_cached) << "stale poi plan served after mutation";
+
+  // Surviving and re-planned answers both match a cache-less instance.
+  auto fresh = Build(&db_, /*cache_enabled=*/false);
+  ExpectSameAnswer(*person_hit, *fresh->Answer(person_q, 0.3), "warm survivor");
+  ExpectSameAnswer(*poi_miss, *fresh->Answer(poi_q, 0.3), "re-planned");
+}
+
+// --- Negative caching of OutOfBudget verdicts ---
+
+TEST_F(PlanCacheTest, NegativeEntriesRoundTripAndAgeOut) {
+  PlanCacheOptions options;
+  options.enabled = true;
+  options.negative_capacity = 2;
+  PlanCache cache(options);
+  QueryFingerprint fp{10, "starved-query"};
+  EXPECT_FALSE(cache.LookupNegative(fp, 1e-9).has_value());
+
+  Status verdict = Status::OutOfBudget("cannot fund one representative");
+  cache.InsertNegative(fp, 1e-9, verdict);
+  auto hit = cache.LookupNegative(fp, 1e-9);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, verdict);  // bit-identical Status, message included
+  EXPECT_FALSE(cache.LookupNegative(fp, 0.5).has_value());  // other alpha
+
+  // LRU bound: two more distinct keys evict the oldest.
+  cache.InsertNegative(QueryFingerprint{11, "b"}, 1e-9, verdict);
+  cache.InsertNegative(QueryFingerprint{12, "c"}, 1e-9, verdict);
+  EXPECT_FALSE(cache.LookupNegative(fp, 1e-9).has_value());
+
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.negative_entries, 2u);
+  EXPECT_EQ(stats.negative_hits, 1u);
+
+  // A successful plan under the same key supersedes the verdict...
+  cache.Insert(QueryFingerprint{11, "b"}, 1e-9, PlanTemplate{}, {"r"});
+  EXPECT_FALSE(cache.LookupNegative(QueryFingerprint{11, "b"}, 1e-9).has_value());
+  EXPECT_NE(cache.Lookup(QueryFingerprint{11, "b"}, 1e-9), nullptr);
+  // ... and a verdict supersedes a (now unreachable) template: a key is
+  // either negative or positive, never both.
+  cache.InsertNegative(QueryFingerprint{11, "b"}, 1e-9, verdict);
+  EXPECT_EQ(cache.Lookup(QueryFingerprint{11, "b"}, 1e-9), nullptr);
+  EXPECT_TRUE(cache.LookupNegative(QueryFingerprint{11, "b"}, 1e-9).has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST_F(PlanCacheTest, NegativeEntriesDropOnAnyMutation) {
+  PlanCache cache(PlanCacheOptions{true, 8, 8});
+  Status verdict = Status::OutOfBudget("starved");
+  cache.InsertNegative(QueryFingerprint{20, "q"}, 1e-9, verdict);
+  // The verdict depends on alpha * |D|, so even a mutation of a relation
+  // the query never reads invalidates it.
+  cache.InvalidateRelation("some-unrelated-relation");
+  EXPECT_FALSE(cache.LookupNegative(QueryFingerprint{20, "q"}, 1e-9).has_value());
+  EXPECT_EQ(cache.stats().negative_entries, 0u);
+}
+
+TEST_F(PlanCacheTest, RepeatedOutOfBudgetQueriesSkipReplanning) {
+  auto cached = Build(&db_, /*cache_enabled=*/true);
+  // alpha small enough that the budget cannot fund one representative:
+  // planning itself fails OutOfBudget.
+  QueryPtr q = Q("select p.pid from person as p where p.city = 'c1'");
+  const double alpha = 1e-9;
+  auto first = cached->Answer(q, alpha);
+  ASSERT_FALSE(first.ok());
+  ASSERT_EQ(first.status().code(), StatusCode::kOutOfBudget);
+  EXPECT_EQ(cached->plan_cache_stats().negative_entries, 1u);
+
+  // The second failure is served from the negative cache, bit-identical.
+  auto second = cached->Answer(q, alpha);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status(), first.status());
+  EXPECT_EQ(cached->plan_cache_stats().negative_hits, 1u);
+
+  // The same query at a workable alpha still answers (separate key).
+  auto ok_alpha = cached->Answer(q, 0.3);
+  ASSERT_TRUE(ok_alpha.ok()) << ok_alpha.status();
+
+  // Any mutation moves |D| and clears the verdicts.
+  auto person = db_.FindTable("person");
+  ASSERT_TRUE(person.ok());
+  Tuple row = (*person)->row(0);
+  ASSERT_TRUE(cached->Remove("person", row).ok());
+  EXPECT_EQ(cached->plan_cache_stats().negative_entries, 0u);
+  auto after = cached->Answer(q, alpha);
+  EXPECT_FALSE(after.ok());  // still unanswerable at this |D|, re-planned
+  EXPECT_EQ(cached->plan_cache_stats().negative_entries, 1u);
 }
 
 }  // namespace

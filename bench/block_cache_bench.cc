@@ -1,0 +1,126 @@
+// Disk-backed index tier sweep: the same TFACC workload answered through
+// the block-file backend reopened cold under cache budgets at fixed
+// fractions of the on-disk index size. Reports, per budget point, the
+// block-cache hit rate, the average per-query execution time, and the
+// process peak RSS — the memory-for-latency trade the bounded cache
+// buys. Answers are bit-identical at every point (asserted by the P9
+// property suite); this bench measures only the observables.
+//
+// Series (per cache budget, in % of the on-disk index size):
+//   hit_rate   — cache hits / (hits + misses) over the whole sweep point
+//   exec_ms    — average per-query Answer() time
+//   max_rss_kb — process peak RSS after the point (monotone across
+//                points; budget-driven growth shows in the deltas)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "workload/tfacc.h"
+
+using namespace beas;
+using namespace beas::bench;
+
+namespace {
+
+std::string BenchFilePath() {
+  const char* tmp = std::getenv("TMPDIR");
+  return std::string(tmp != nullptr && *tmp ? tmp : "/tmp") +
+         "/beas_block_cache_bench.blk";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double alpha = ArgOr(argc, argv, "alpha", 0.1);
+  int64_t rows = static_cast<int64_t>(ArgOr(argc, argv, "rows", 2000));
+  int nq = static_cast<int>(ArgOr(argc, argv, "queries", 16));
+  int reps = static_cast<int>(ArgOr(argc, argv, "reps", 3));
+  if (reps < 1) reps = 1;
+
+  Dataset ds = MakeTfacc(rows, /*seed=*/77);
+  DatabaseSchema schema = ds.db.Schema();
+  auto generated = GenerateQueries(ds, nq, PaperQueryMix(4242));
+  std::vector<QueryPtr> queries;
+  for (const auto& gq : generated) {
+    auto q = ParseSql(schema, gq.sql);
+    if (q.ok()) queries.push_back(*q);
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr, "FATAL: no parsable queries\n");
+    return 1;
+  }
+
+  const std::string path = BenchFilePath();
+  BeasOptions options;
+  options.constraints = ds.constraints;
+  options.index.backend = IndexBackendKind::kBlockFile;
+  options.index.path = path;
+  options.index.block_bytes = 4096;
+
+  // Phase 1: build the index on disk once and measure its footprint.
+  uint64_t disk_bytes = 0;
+  {
+    auto built = Beas::Build(&ds.db, options);
+    if (!built.ok()) {
+      std::fprintf(stderr, "FATAL: build failed: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    disk_bytes = (*built)->store().disk_bytes();
+  }
+  std::printf("Block cache sweep: TFACC |D|=%zu, %zu queries, alpha=%g, "
+              "index file %.1f KB\n",
+              ds.db.TotalTuples(), queries.size(), alpha,
+              static_cast<double>(disk_bytes) / 1024.0);
+
+  // Phase 2: reopen cold at each budget fraction and run the workload.
+  std::vector<std::string> series{"hit_rate", "exec_ms", "max_rss_kb"};
+  std::vector<std::string> xs;
+  std::vector<std::vector<double>> values;
+  for (int pct : {0, 5, 10, 25, 50, 100}) {
+    BeasOptions point = options;
+    point.index.open_existing = true;
+    point.index.cache_bytes = disk_bytes * static_cast<uint64_t>(pct) / 100;
+    auto built = Beas::Build(&ds.db, point);
+    if (!built.ok()) {
+      std::fprintf(stderr, "FATAL: reopen failed: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    Beas& beas = **built;
+
+    size_t answered = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < reps; ++rep) {
+      for (const auto& q : queries) {
+        auto answer = beas.Answer(q, alpha);
+        answered += answer.ok() ? 1 : 0;  // OutOfBudget still pays fetches
+      }
+    }
+    double total_ms = MillisSince(t0);
+
+    BlockCacheStats cache = beas.store().cache_stats();
+    uint64_t traffic = cache.hits + cache.misses;
+    double hit_rate =
+        traffic > 0 ? static_cast<double>(cache.hits) / static_cast<double>(traffic)
+                    : 0.0;
+    double exec_ms =
+        total_ms / (static_cast<double>(queries.size()) * static_cast<double>(reps));
+    xs.push_back(std::to_string(pct));
+    values.push_back({hit_rate, exec_ms, static_cast<double>(CurrentMaxRssKb())});
+    std::printf("  budget %3d%% (%8.1f KB): hit rate %.3f, resident %.1f KB, "
+                "%zu answered\n",
+                pct, static_cast<double>(point.index.cache_bytes) / 1024.0,
+                hit_rate, static_cast<double>(cache.resident_bytes) / 1024.0,
+                answered);
+  }
+
+  PrintSeries("BlockCache hit rate and exec time vs budget (TFACC)",
+              "budget_pct", xs, series, values);
+  std::remove(path.c_str());
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "harness.h"
 
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -209,7 +211,8 @@ void PrintSeries(const std::string& title, const std::string& x_label,
                   series[s].c_str(), values[x][s]);
     }
   }
-  std::string json = SeriesToJson(title, x_label, x_values, series, values);
+  std::string json =
+      SeriesToJson(title, x_label, x_values, series, values, CurrentMaxRssKb());
   std::printf("JSON %s\n", json.c_str());
   if (const char* path = std::getenv("BEAS_BENCH_JSON"); path != nullptr && *path) {
     if (std::FILE* f = std::fopen(path, "a")) {
@@ -244,6 +247,26 @@ std::string SeriesToJson(const std::string& title, const std::string& x_label,
   }
   out += "]}";
   return out;
+}
+
+std::string SeriesToJson(const std::string& title, const std::string& x_label,
+                         const std::vector<std::string>& x_values,
+                         const std::vector<std::string>& series,
+                         const std::vector<std::vector<double>>& values,
+                         uint64_t max_rss_kb) {
+  std::string out = SeriesToJson(title, x_label, x_values, series, values);
+  // Splice the footprint field into the object (before the closing brace)
+  // so the base rendering stays byte-identical for callers without it.
+  out.pop_back();
+  out += StrCat(",\"max_rss_kb\":", max_rss_kb, "}");
+  return out;
+}
+
+uint64_t CurrentMaxRssKb() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes already.
+  return usage.ru_maxrss > 0 ? static_cast<uint64_t>(usage.ru_maxrss) : 0;
 }
 
 QueryGenConfig PaperQueryMix(uint64_t seed) {

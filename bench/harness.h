@@ -12,6 +12,7 @@
 #define BEAS_BENCH_HARNESS_H_
 
 #include <chrono>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
@@ -111,6 +112,19 @@ std::string SeriesToJson(const std::string& title, const std::string& x_label,
                          const std::vector<std::string>& x_values,
                          const std::vector<std::string>& series,
                          const std::vector<std::vector<double>>& values);
+
+/// Same, with the process peak RSS appended as a top-level
+/// "max_rss_kb" field — the memory-footprint cell bench_diff.py gates
+/// as lower-is-better (--rss-rel-tol). PrintSeries emits this form.
+std::string SeriesToJson(const std::string& title, const std::string& x_label,
+                         const std::vector<std::string>& x_values,
+                         const std::vector<std::string>& series,
+                         const std::vector<std::vector<double>>& values,
+                         uint64_t max_rss_kb);
+
+/// Peak resident-set size of this process so far, in KB (getrusage's
+/// ru_maxrss; 0 where unavailable).
+uint64_t CurrentMaxRssKb();
 
 /// Parses "NAME=value"-style overrides from argv ("sf=0.002 queries=30").
 double ArgOr(int argc, char** argv, const std::string& key, double fallback);

@@ -1,0 +1,135 @@
+// Disk-backed index tier walkthrough: build a TPC-H access-schema index
+// into a block file, drop all in-process state, reopen the file cold
+// with a cache budget of 25% of the on-disk index size, and answer a
+// fig6-family workload — checking every answer byte-for-byte against a
+// fresh in-memory build. The bounded cache trades only latency, never
+// answers; this example exits nonzero on any divergence.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "beas/beas.h"
+#include "types/tuple.h"
+#include "workload/query_gen.h"
+#include "workload/tpch.h"
+
+using namespace beas;
+
+namespace {
+
+std::string IndexFilePath() {
+  const char* tmp = std::getenv("TMPDIR");
+  return std::string(tmp != nullptr && *tmp ? tmp : "/tmp") +
+         "/beas_disk_backed_store_example.blk";
+}
+
+std::string TableDump(const Table& table) {
+  std::string out;
+  for (const Tuple& row : table.rows()) {
+    out += TupleToString(row);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Dataset ds = MakeTpch(/*sf=*/0.002, /*seed=*/23);
+  const std::string path = IndexFilePath();
+
+  // The in-memory reference build: same data, same constraints.
+  BeasOptions mem_options;
+  mem_options.constraints = ds.constraints;
+  auto mem = Beas::Build(&ds.db, mem_options);
+  if (!mem.ok()) {
+    std::printf("in-memory build failed: %s\n", mem.status().ToString().c_str());
+    return 1;
+  }
+
+  // Phase 1: build the same index into a block file, then drop every
+  // in-process structure. Only the file survives.
+  BeasOptions disk_options = mem_options;
+  disk_options.index.backend = IndexBackendKind::kBlockFile;
+  disk_options.index.path = path;
+  uint64_t disk_bytes = 0;
+  {
+    auto builder = Beas::Build(&ds.db, disk_options);
+    if (!builder.ok()) {
+      std::printf("disk build failed: %s\n", builder.status().ToString().c_str());
+      return 1;
+    }
+    disk_bytes = (*builder)->store().disk_bytes();
+  }
+  std::printf("TPC-H sf=0.002: |D| = %zu tuples, index file %.1f KB\n",
+              (*mem)->db_size(), static_cast<double>(disk_bytes) / 1024.0);
+
+  // Phase 2: reopen cold under a hard cache budget of a quarter of the
+  // index. Every block beyond the budget is re-read from disk on demand.
+  disk_options.index.open_existing = true;
+  disk_options.index.cache_bytes = disk_bytes / 4;
+  auto disk = Beas::Build(&ds.db, disk_options);
+  if (!disk.ok()) {
+    std::printf("reopen failed: %s\n", disk.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("reopened cold with cache budget %.1f KB (25%% of index)\n\n",
+              static_cast<double>(disk_options.index.cache_bytes) / 1024.0);
+
+  // The Section 8 query recipe at fig6(a)'s alpha points, including one
+  // tight enough that some queries exceed their budget: OutOfBudget must
+  // surface identically on both backends too.
+  QueryGenConfig mix;
+  mix.seed = 1001;
+  auto workload = GenerateQueries(ds, /*count=*/12, mix);
+
+  int compared = 0;
+  int mismatches = 0;
+  uint64_t traffic = 0;
+  for (const auto& gq : workload) {
+    auto query = (*mem)->Parse(gq.sql);
+    if (!query.ok()) continue;
+    for (double alpha : {0.005, 0.03}) {
+      auto want = (*mem)->Answer(*query, alpha);
+      auto got = (*disk)->Answer(*query, alpha);
+      ++compared;
+      if (want.ok() != got.ok()) {
+        std::printf("MISMATCH (alpha=%.3f): status %s vs %s\n   %s\n", alpha,
+                    want.status().ToString().c_str(),
+                    got.status().ToString().c_str(), gq.sql.c_str());
+        ++mismatches;
+        continue;
+      }
+      if (!want.ok()) continue;  // identical failure (e.g. OutOfBudget)
+      traffic += got->cache_hits + got->cache_misses;
+      bool same = want->eta == got->eta && want->accessed == got->accessed &&
+                  want->exact == got->exact && want->d_prime == got->d_prime &&
+                  TableDump(want->table) == TableDump(got->table);
+      if (!same) {
+        std::printf("MISMATCH (alpha=%.3f): answers diverge\n   %s\n", alpha,
+                    gq.sql.c_str());
+        ++mismatches;
+      }
+    }
+  }
+
+  BlockCacheStats cache = (*disk)->store().cache_stats();
+  std::printf("%d answer pairs compared, %d mismatches\n", compared, mismatches);
+  std::printf("block cache: %llu hits / %llu misses (%.1f%% hit rate), "
+              "%.1f KB resident\n",
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses),
+              cache.hits + cache.misses > 0
+                  ? 100.0 * static_cast<double>(cache.hits) /
+                        static_cast<double>(cache.hits + cache.misses)
+                  : 0.0,
+              static_cast<double>(cache.resident_bytes) / 1024.0);
+  std::remove(path.c_str());
+  if (compared == 0 || traffic == 0) {
+    std::printf("FAIL: the disk backend was never exercised\n");
+    return 1;
+  }
+  return mismatches == 0 ? 0 : 1;
+}

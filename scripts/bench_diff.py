@@ -21,6 +21,12 @@ are joined on (title, x, series) cells and every shared cell is compared:
     higher-is-better drift unflaggable — pass --throughput-rel-tol < 1
     when --rel-tol is loosened for machine-dependent lower-is-better
     cells (the CI service smoke gate does);
+  * memory cells ("max_rss_kb", whether a per-point series or the
+    top-level per-series field every harness JSON object carries):
+    lower-is-better with its own tolerance — an increase beyond
+    --rss-rel-tol (relative, over a --rss-floor absolute noise floor in
+    KB) flags drift. Top-level fields load as pseudo-cells with
+    x="__run__";
   * cells present in the baseline but missing from the current log flag
     drift unless --allow-missing is given; extra cells are info only.
 
@@ -63,6 +69,10 @@ def load_cells(path):
                 x = point.get("x", "")
                 for series, value in point.get("values", {}).items():
                     cells[(title, x, series)] = value
+            # The per-series peak-RSS field (one value per JSON object,
+            # not per point) joins the cell space under a reserved x.
+            if "max_rss_kb" in obj:
+                cells[(title, "__run__", "max_rss_kb")] = obj["max_rss_kb"]
     return cells
 
 
@@ -76,6 +86,10 @@ def is_speedup(series):
 
 def is_throughput(series, throughput_re):
     return bool(throughput_re.search(series))
+
+
+def is_rss(series):
+    return series == "max_rss_kb"
 
 
 def compare(base_cells, cur_cells, args):
@@ -97,7 +111,16 @@ def compare(base_cells, cur_cells, args):
         if base is None or cur is None:
             drifts.append(f"{label}: finiteness changed ({base} -> {cur})")
             continue
-        if is_speedup(series) or is_throughput(series, throughput_re):
+        if is_rss(series):
+            floor = max(abs(base), args.rss_floor)
+            if (cur - base) / floor > args.rss_rel_tol:
+                drifts.append(
+                    f"{label}: peak RSS grew {base:.6g} -> {cur:.6g} KB "
+                    f"(> {args.rss_rel_tol:.0%} relative over floor "
+                    f"{args.rss_floor} KB)")
+            elif cur != base:
+                infos.append(f"{label}: peak RSS {base:.6g} -> {cur:.6g} KB")
+        elif is_speedup(series) or is_throughput(series, throughput_re):
             kind = "speedup" if is_speedup(series) else "throughput"
             tol = args.rel_tol if args.throughput_rel_tol is None \
                 else args.throughput_rel_tol
@@ -153,6 +176,13 @@ def main(argv=None):
                              "cells (default: --rel-tol; must be < 1 to be able "
                              "to flag anything, since a non-negative cell cannot "
                              "drop by more than 100%%)")
+    parser.add_argument("--rss-rel-tol", type=float, default=0.5,
+                        help="max tolerated relative peak-RSS growth for "
+                             "max_rss_kb cells (default 0.5)")
+    parser.add_argument("--rss-floor", type=float, default=4096.0,
+                        help="absolute RSS noise floor in KB (default 4096): "
+                             "growth is measured relative to "
+                             "max(baseline, floor)")
     parser.add_argument("--allow-missing", action="store_true",
                         help="cells missing from the current log are info, not drift")
     parser.add_argument("--quiet", action="store_true",

@@ -89,6 +89,101 @@ class QuoteBearingLabelTest(unittest.TestCase):
         self.assertNotIn("DRIFT", out)
 
 
+class RssCellTest(unittest.TestCase):
+    """max_rss_kb cells: lower-is-better with their own tolerance."""
+
+    def _write(self, text):
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".jsonl", delete=False) as f:
+            f.write(text + "\n")
+            return f.name
+
+    @staticmethod
+    def _series(rss_field=None, rss_point=None):
+        points = '{"x":"25","values":{"hit_rate":0.9'
+        if rss_point is not None:
+            points += f',"max_rss_kb":{rss_point}'
+        points += '}}'
+        obj = ('{"type":"series","title":"BlockCache sweep","x_label":"pct",'
+               f'"series":["hit_rate"],"points":[{points}]')
+        if rss_field is not None:
+            obj += f',"max_rss_kb":{rss_field}'
+        return obj + '}'
+
+    def test_top_level_field_loads_as_run_pseudo_cell(self):
+        path = self._write(self._series(rss_field=50000))
+        try:
+            cells = bench_diff.load_cells(path)
+        finally:
+            os.unlink(path)
+        self.assertEqual(cells[("BlockCache sweep", "__run__", "max_rss_kb")],
+                         50000)
+
+    def test_rss_growth_beyond_tolerance_is_drift(self):
+        base = self._write(self._series(rss_field=50000, rss_point=40000))
+        cur = self._write(self._series(rss_field=90000, rss_point=40000))
+        try:
+            code, out = run([base, cur])
+        finally:
+            os.unlink(base)
+            os.unlink(cur)
+        self.assertEqual(code, 1)
+        self.assertIn("peak RSS grew 50000 -> 90000 KB", out)
+        # The unchanged per-point cell stays quiet.
+        self.assertNotIn("x=25 max_rss_kb", out)
+
+    def test_per_point_rss_uses_same_rule(self):
+        base = self._write(self._series(rss_point=40000))
+        cur = self._write(self._series(rss_point=90000))
+        try:
+            code, out = run([base, cur])
+        finally:
+            os.unlink(base)
+            os.unlink(cur)
+        self.assertEqual(code, 1)
+        self.assertIn("peak RSS grew 40000 -> 90000 KB", out)
+
+    def test_rss_shrink_and_small_growth_are_info(self):
+        base = self._write(self._series(rss_field=50000))
+        for cur_val in (30000, 60000):  # shrink, and growth within 50%
+            cur = self._write(self._series(rss_field=cur_val))
+            try:
+                code, out = run([base, cur])
+            finally:
+                os.unlink(cur)
+            self.assertEqual(code, 0, out)
+            self.assertIn(f"peak RSS 50000 -> {cur_val} KB", out)
+        os.unlink(base)
+
+    def test_rss_rel_tol_is_independent_of_rel_tol(self):
+        base = self._write(self._series(rss_field=50000))
+        cur = self._write(self._series(rss_field=90000))
+        try:
+            # Loosening the perf tolerance does not loosen the RSS gate...
+            code, _ = run([base, cur, "--rel-tol", "100"])
+            self.assertEqual(code, 1)
+            # ...and --rss-rel-tol alone lets it through.
+            code, _ = run([base, cur, "--rss-rel-tol", "2.0"])
+            self.assertEqual(code, 0)
+        finally:
+            os.unlink(base)
+            os.unlink(cur)
+
+    def test_rss_floor_absorbs_small_absolute_noise(self):
+        # 2 MB -> 5 MB is a 150% jump but only 3 MB absolute; a floor of
+        # 8192 KB keeps tiny-process noise out of the gate.
+        base = self._write(self._series(rss_field=2048))
+        cur = self._write(self._series(rss_field=5120))
+        try:
+            code, _ = run([base, cur, "--rss-floor", "8192"])
+            self.assertEqual(code, 0)
+            code, _ = run([base, cur, "--rss-floor", "1"])
+            self.assertEqual(code, 1)
+        finally:
+            os.unlink(base)
+            os.unlink(cur)
+
+
 class CompareTest(unittest.TestCase):
     def test_identical_logs_pass(self):
         code, out = run([BASE, BASE])

@@ -30,7 +30,15 @@ Result<std::unique_ptr<Beas>> Beas::Build(Database* db, BeasOptions options) {
       if (!dup) families.push_back(std::move(f));
     }
   }
-  BEAS_RETURN_IF_ERROR(beas->store_.Build(*db, families, options.constraints));
+  if (options.index.open_existing) {
+    // Cold reopen of a previously built block file: the schema and group
+    // maps come from the file's directory, not from the database (which
+    // must of course hold the same data the file was built from).
+    BEAS_RETURN_IF_ERROR(beas->store_.Open(options.index));
+  } else {
+    BEAS_RETURN_IF_ERROR(
+        beas->store_.Build(*db, families, options.constraints, options.index));
+  }
   beas->executor_ = std::make_unique<PlanExecutor>(&beas->store_, options.eval);
   if (options.plan_cache.enabled) {
     beas->plan_cache_ = std::make_unique<PlanCache>(options.plan_cache);

@@ -46,6 +46,12 @@ struct BeasOptions {
   /// cache is internally synchronized and safe under concurrent Answer
   /// calls (it still makes logically-const planning stateful).
   PlanCacheOptions plan_cache;
+  /// Storage tier of the indices: the in-memory backend (default), or a
+  /// disk-backed block file read through a bounded LRU cache. With
+  /// index.open_existing set, Build reopens index.path cold instead of
+  /// building — the database is only consulted for its schema and size.
+  /// Answers are bit-identical across backends and cache budgets.
+  IndexStoreOptions index;
 };
 
 /// \brief Resource-bounded query answering over one database instance.
@@ -103,6 +109,7 @@ class Beas {
 
   const AccessSchema& access_schema() const { return store_.schema(); }
   IndexStore& store() { return store_; }
+  const IndexStore& store() const { return store_; }
   const DatabaseSchema& db_schema() const { return db_schema_; }
   size_t db_size() const { return db_size_; }
 

@@ -200,6 +200,10 @@ Status FetchUnitSequential(const IndexStore* store, const SpcUnit& unit, bool ve
     if (ps.skip) continue;
     const std::vector<ProbeCtx>& probes = ps.probes;
     std::vector<std::vector<FetchEntry>> fetched(probes.size());
+    // Keep-alive pins for the op's fetched entries (the block-file
+    // backend decodes groups out of cached blocks); they must outlive
+    // BuildNextRows below, which copies the entry values out.
+    FetchPins pins;
     if (vectorized) {
       // Batched fetch: one family resolution per chunk of probes
       // instead of per probe (the meter still charges per key). Same
@@ -213,13 +217,15 @@ Status FetchUnitSequential(const IndexStore* store, const SpcUnit& unit, bool ve
         keys.reserve(m);
         for (size_t i = 0; i < m; ++i) keys.push_back(&probes[base + i].xkey);
         BEAS_RETURN_IF_ERROR(
-            store->FetchBatch(op.family_id, op.level, keys, &chunk, meter));
+            store->FetchBatch(op.family_id, op.level, keys, &chunk, &pins, meter));
         for (size_t i = 0; i < m; ++i) fetched[base + i] = std::move(chunk[i]);
       }
     } else {
       for (size_t p = 0; p < probes.size(); ++p) {
         BEAS_ASSIGN_OR_RETURN(
-            fetched[p], store->Fetch(op.family_id, op.level, probes[p].xkey, meter));
+            FetchResult r, store->Fetch(op.family_id, op.level, probes[p].xkey, meter));
+        fetched[p] = std::move(r.entries);
+        for (auto& pin : r.pins) pins.push_back(std::move(pin));
       }
     }
     // Rows without self context start from scratch; rows with self
@@ -364,6 +370,7 @@ class ParallelFetchScheduler {
     state->fetched.resize(state->probes.size());
     size_t n = state->probes.size();
     size_t num_sub = n == 0 ? 1 : (n + kDefaultChunkCapacity - 1) / kDefaultChunkCapacity;
+    state->sub_pins.resize(num_sub);
     state->remaining.store(num_sub, std::memory_order_relaxed);
 
     // Fan the op's probe chunks out to the pool (this worker keeps the
@@ -379,6 +386,10 @@ class ParallelFetchScheduler {
   struct OpState {
     std::vector<ProbeCtx> probes;
     std::vector<std::vector<FetchEntry>> fetched;  // parallel to probes
+    // Per-sub-batch keep-alive pins (each sub-batch writes only its own
+    // slot — no lock needed); they hold the fetched entries' backing
+    // storage alive through FinalizeOp's BuildNextRows.
+    std::vector<FetchPins> sub_pins;
     std::atomic<size_t> remaining{0};
     std::mutex mu;          // guards error
     Status error;           // first fetch error of any sub-batch
@@ -394,7 +405,9 @@ class ParallelFetchScheduler {
       keys.reserve(m);
       for (size_t i = 0; i < m; ++i) keys.push_back(&state->probes[base + i].xkey);
       std::vector<std::vector<FetchEntry>> chunk;
-      Status st = store_->FetchBatchUnmetered(op.family_id, op.level, keys, &chunk);
+      Status st = store_->FetchBatchUnmetered(op.family_id, op.level, keys, &chunk,
+                                              &state->sub_pins[sub],
+                                              meter_->cache_counters());
       if (st.ok()) {
         for (size_t i = 0; i < m; ++i) state->fetched[base + i] = std::move(chunk[i]);
       } else {
@@ -617,6 +630,9 @@ Result<BeasAnswer> PlanExecutor::Execute(const BeasPlan& plan, uint64_t budget,
   answer.accessed = ctx->meter.accessed();
   answer.est_tariff = plan.est_tariff;
   answer.exact = plan.exact;
+  answer.cache_hits = ctx->meter.cache_counters()->hits.load(std::memory_order_relaxed);
+  answer.cache_misses =
+      ctx->meter.cache_counters()->misses.load(std::memory_order_relaxed);
 
   const RelationSchema& out_schema = plan.query->output_schema();
   bool additive_agg = plan.query->kind() == QueryNode::Kind::kGroupBy &&

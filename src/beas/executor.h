@@ -55,6 +55,11 @@ struct BeasAnswer {
   bool plan_cached = false;
   /// Plan-cache counters at answer time (zeros when the cache is off).
   PlanCacheStats plan_cache;
+  /// Block-cache traffic of this query's fetches (zeros on the in-memory
+  /// backend). Observational only — never part of the accessed count or
+  /// the budget, so answers are identical at any hit rate.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
 };
 
 /// \brief Executes BeasPlans against an IndexStore.

@@ -29,6 +29,9 @@ enum class StatusCode {
   /// The operation cannot be served right now (e.g. the query service's
   /// admission queue is full); retrying later may succeed.
   kUnavailable = 6,
+  /// Stored data is unrecoverably lost or corrupted (e.g. a block-file
+  /// checksum mismatch); the on-disk artifact must be rebuilt.
+  kDataLoss = 7,
 };
 
 /// Returns a human-readable name for a status code, e.g. "InvalidArgument".
@@ -72,6 +75,10 @@ class Status {
   /// Returns an Unavailable status with \p message.
   static Status Unavailable(std::string message) {
     return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  /// Returns a DataLoss status with \p message.
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
   }
 
   /// True iff this status represents success.

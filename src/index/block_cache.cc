@@ -1,0 +1,90 @@
+#include "index/block_cache.h"
+
+#include <algorithm>
+
+namespace beas {
+
+namespace {
+
+/// Bookkeeping overhead charged per entry on top of the block bytes, so
+/// that many tiny blocks cannot blow past the budget through map/list
+/// nodes the byte count would otherwise ignore.
+constexpr uint64_t kEntryOverhead = 64;
+
+}  // namespace
+
+BlockCache::BlockCache(uint64_t capacity_bytes, size_t shards)
+    : capacity_(capacity_bytes), shards_(std::max<size_t>(1, shards)) {
+  shard_capacity_ = capacity_ / shards_.size();
+}
+
+Result<std::shared_ptr<const std::string>> BlockCache::Get(uint64_t index,
+                                                           const Loader& loader,
+                                                           CacheCounters* counters) {
+  Shard& shard = ShardFor(index);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(index);
+    if (it != shard.map.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.pos);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (counters != nullptr) counters->hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second.data;
+    }
+  }
+  // Miss: load outside the shard lock (disk reads must not serialize
+  // unrelated lookups). Two racing misses both load; last insert wins.
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (counters != nullptr) counters->misses.fetch_add(1, std::memory_order_relaxed);
+  BEAS_ASSIGN_OR_RETURN(std::string bytes, loader(index));
+  auto data = std::make_shared<const std::string>(std::move(bytes));
+  uint64_t charge = data->size() + kEntryOverhead;
+  if (charge > shard_capacity_) return data;  // read-through: never overshoot
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(index);
+  if (it != shard.map.end()) return it->second.data;  // racer beat us
+  shard.lru.push_front(index);
+  shard.map.emplace(index, Shard::Entry{data, shard.lru.begin(), charge});
+  shard.bytes += charge;
+  while (shard.bytes > shard_capacity_) {
+    uint64_t victim = shard.lru.back();
+    shard.lru.pop_back();
+    auto vit = shard.map.find(victim);
+    shard.bytes -= vit->second.charge;
+    shard.map.erase(vit);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return data;
+}
+
+void BlockCache::InvalidateFrom(uint64_t first_block) {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.map.begin(); it != shard.map.end();) {
+      if (it->first >= first_block) {
+        shard.bytes -= it->second.charge;
+        shard.lru.erase(it->second.pos);
+        it = shard.map.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void BlockCache::Clear() { InvalidateFrom(0); }
+
+BlockCacheStats BlockCache::stats() const {
+  BlockCacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.capacity_bytes = capacity_;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.resident_bytes += shard.bytes;
+  }
+  return out;
+}
+
+}  // namespace beas

@@ -1,0 +1,105 @@
+// Sharded LRU block cache with a hard byte budget: the bounded-memory
+// read path of the disk-backed index tier. Caches raw block bytes keyed
+// by block index; entries are handed out as shared_ptrs, so an evicted
+// block stays alive for readers that already hold it (no dangling reads
+// under eviction). Capacity 0 degenerates to pure read-through, as does
+// any block larger than a shard's budget — the budget is a ceiling, never
+// a target the cache is allowed to overshoot.
+
+#ifndef BEAS_INDEX_BLOCK_CACHE_H_
+#define BEAS_INDEX_BLOCK_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace beas {
+
+/// Per-query block-cache observables, threaded from the executor's fetch
+/// paths through the query's AccessMeter (like the access counter itself).
+/// Atomic: the parallel fetch scheduler bumps them from worker threads.
+struct CacheCounters {
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+
+  void Reset() {
+    hits.store(0, std::memory_order_relaxed);
+    misses.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// Store-wide cache counters; snapshot via BlockCache::stats() (all zero
+/// for the in-memory backend, which has no cache).
+struct BlockCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t resident_bytes = 0;   ///< bytes currently cached (<= capacity)
+  uint64_t capacity_bytes = 0;   ///< the hard budget (0 = read-through)
+};
+
+/// \brief Sharded LRU cache over block bytes.
+///
+/// Thread-safe: Get may be called from any number of fetch threads; each
+/// shard is guarded by its own mutex and the loader runs outside it (two
+/// racing misses on one block may both load; the winner's copy is cached).
+/// Invalidate* requires no external exclusion but is only called under
+/// the store's drain-then-mutate protocol anyway.
+class BlockCache {
+ public:
+  using Loader = std::function<Result<std::string>(uint64_t)>;
+
+  BlockCache(uint64_t capacity_bytes, size_t shards);
+
+  /// Returns block \p index, loading it via \p loader on a miss. Counts
+  /// the hit/miss into \p counters when non-null (and always into the
+  /// store-wide stats).
+  Result<std::shared_ptr<const std::string>> Get(uint64_t index, const Loader& loader,
+                                                 CacheCounters* counters);
+
+  /// Drops every cached block with index >= \p first_block (mutations are
+  /// append-only, so only tail blocks can change content).
+  void InvalidateFrom(uint64_t first_block);
+
+  /// Drops everything.
+  void Clear();
+
+  BlockCacheStats stats() const;
+
+  uint64_t capacity_bytes() const { return capacity_; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used.
+    std::list<uint64_t> lru;
+    struct Entry {
+      std::shared_ptr<const std::string> data;
+      std::list<uint64_t>::iterator pos;
+      uint64_t charge = 0;
+    };
+    std::unordered_map<uint64_t, Entry> map;
+    uint64_t bytes = 0;
+  };
+
+  Shard& ShardFor(uint64_t index) { return shards_[index % shards_.size()]; }
+
+  uint64_t capacity_ = 0;
+  uint64_t shard_capacity_ = 0;
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace beas
+
+#endif  // BEAS_INDEX_BLOCK_CACHE_H_

@@ -1,0 +1,594 @@
+#include "index/block_file.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace beas {
+
+namespace {
+
+constexpr uint32_t kDirVersion = 1;
+
+using ConstraintList = std::vector<std::pair<Tuple, int64_t>>;
+
+/// Constraint group record: u32 count + (Tuple y, i64 multiplicity) pairs,
+/// in list order — the order the in-memory backend serves them in.
+std::string EncodeConstraintList(const std::vector<std::pair<Tuple, int64_t>>& list) {
+  std::string rec;
+  PutU32(&rec, static_cast<uint32_t>(list.size()));
+  for (const auto& [y, m] : list) {
+    PutTuple(&rec, y);
+    PutI64(&rec, m);
+  }
+  return rec;
+}
+
+/// Raw Y-bag record: u32 count + tuples in group_rows order, so a rebuild
+/// from disk feeds KdTree::Build the exact sequence the in-memory backend
+/// would (duplicate collapse and node layout are insertion-order functions).
+std::string EncodeRows(const std::vector<Tuple>& rows) {
+  std::string rec;
+  PutU32(&rec, static_cast<uint32_t>(rows.size()));
+  for (const Tuple& t : rows) PutTuple(&rec, t);
+  return rec;
+}
+
+/// A decoded constraint group, handed to callers as a fetch pin.
+struct DecodedConstraintGroup {
+  std::vector<std::pair<Tuple, int64_t>> list;
+};
+
+Result<std::vector<std::pair<Tuple, int64_t>>> DecodeConstraintList(const std::string& rec) {
+  ByteReader reader(rec);
+  BEAS_ASSIGN_OR_RETURN(uint32_t n, reader.ReadU32());
+  std::vector<std::pair<Tuple, int64_t>> list;
+  list.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    BEAS_ASSIGN_OR_RETURN(Tuple y, reader.ReadTuple());
+    BEAS_ASSIGN_OR_RETURN(int64_t m, reader.ReadI64());
+    list.emplace_back(std::move(y), m);
+  }
+  return list;
+}
+
+void EncodeAttributeDef(std::string* dst, const AttributeDef& attr) {
+  PutString(dst, attr.name);
+  PutU8(dst, static_cast<uint8_t>(attr.type));
+  PutU8(dst, static_cast<uint8_t>(attr.distance.kind));
+  PutF64(dst, attr.distance.scale);
+}
+
+Result<AttributeDef> DecodeAttributeDef(ByteReader* reader) {
+  AttributeDef attr;
+  BEAS_ASSIGN_OR_RETURN(attr.name, reader->ReadString());
+  BEAS_ASSIGN_OR_RETURN(uint8_t type, reader->ReadU8());
+  if (type > static_cast<uint8_t>(DataType::kString)) {
+    return Status::DataLoss(StrCat("attribute record: invalid data type ", type));
+  }
+  attr.type = static_cast<DataType>(type);
+  BEAS_ASSIGN_OR_RETURN(uint8_t kind, reader->ReadU8());
+  if (kind > static_cast<uint8_t>(DistanceKind::kNumeric)) {
+    return Status::DataLoss(StrCat("attribute record: invalid distance kind ", kind));
+  }
+  attr.distance.kind = static_cast<DistanceKind>(kind);
+  BEAS_ASSIGN_OR_RETURN(attr.distance.scale, reader->ReadF64());
+  return attr;
+}
+
+void EncodeStringList(std::string* dst, const std::vector<std::string>& list) {
+  PutU32(dst, static_cast<uint32_t>(list.size()));
+  for (const auto& s : list) PutString(dst, s);
+}
+
+Result<std::vector<std::string>> DecodeStringList(ByteReader* reader) {
+  BEAS_ASSIGN_OR_RETURN(uint32_t n, reader->ReadU32());
+  std::vector<std::string> list;
+  list.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    BEAS_ASSIGN_OR_RETURN(std::string s, reader->ReadString());
+    list.push_back(std::move(s));
+  }
+  return list;
+}
+
+void EncodeBoundFamily(std::string* dst, const BoundFamily& f) {
+  PutString(dst, f.id);
+  PutString(dst, f.relation);
+  EncodeStringList(dst, f.x_attrs);
+  EncodeStringList(dst, f.y_attrs);
+  PutU8(dst, f.is_constraint ? 1 : 0);
+  PutU64(dst, f.constraint_n);
+  PutU32(dst, static_cast<uint32_t>(f.max_level));
+  PutU32(dst, static_cast<uint32_t>(f.level_resolution.size()));
+  for (const auto& level : f.level_resolution) {
+    PutU32(dst, static_cast<uint32_t>(level.size()));
+    for (double d : level) PutF64(dst, d);
+  }
+  PutU32(dst, static_cast<uint32_t>(f.level_fanout.size()));
+  for (uint64_t v : f.level_fanout) PutU64(dst, v);
+}
+
+Result<BoundFamily> DecodeBoundFamily(ByteReader* reader) {
+  BoundFamily f;
+  BEAS_ASSIGN_OR_RETURN(f.id, reader->ReadString());
+  BEAS_ASSIGN_OR_RETURN(f.relation, reader->ReadString());
+  BEAS_ASSIGN_OR_RETURN(f.x_attrs, DecodeStringList(reader));
+  BEAS_ASSIGN_OR_RETURN(f.y_attrs, DecodeStringList(reader));
+  BEAS_ASSIGN_OR_RETURN(uint8_t is_constraint, reader->ReadU8());
+  f.is_constraint = is_constraint != 0;
+  BEAS_ASSIGN_OR_RETURN(f.constraint_n, reader->ReadU64());
+  BEAS_ASSIGN_OR_RETURN(uint32_t max_level, reader->ReadU32());
+  f.max_level = static_cast<int>(max_level);
+  BEAS_ASSIGN_OR_RETURN(uint32_t n_levels, reader->ReadU32());
+  f.level_resolution.resize(n_levels);
+  for (uint32_t k = 0; k < n_levels; ++k) {
+    BEAS_ASSIGN_OR_RETURN(uint32_t arity, reader->ReadU32());
+    f.level_resolution[k].resize(arity);
+    for (uint32_t a = 0; a < arity; ++a) {
+      BEAS_ASSIGN_OR_RETURN(f.level_resolution[k][a], reader->ReadF64());
+    }
+  }
+  BEAS_ASSIGN_OR_RETURN(uint32_t n_fanout, reader->ReadU32());
+  f.level_fanout.resize(n_fanout);
+  for (uint32_t k = 0; k < n_fanout; ++k) {
+    BEAS_ASSIGN_OR_RETURN(f.level_fanout[k], reader->ReadU64());
+  }
+  return f;
+}
+
+}  // namespace
+
+/// Cursor over one block-file family: every fetch reads the group's record
+/// through the cache, decodes it to heap storage, and hands that storage
+/// back as a pin — the entries stay valid after any cache eviction.
+class BlockCursor : public StorageBackend::FamilyCursor {
+ public:
+  BlockCursor(const BlockFileBackend* backend, const BlockFileBackend::FamilyMeta* meta,
+              CacheCounters* counters)
+      : backend_(backend), meta_(meta), counters_(counters) {}
+
+  Status Fetch(const Tuple& xkey, int level, std::vector<FetchEntry>* out,
+               FetchPins* pins) override {
+    if (pins == nullptr) {
+      return Status::Internal("block-file fetch requires a pin set for entry lifetime");
+    }
+    auto git = meta_->groups.find(xkey);
+    if (git == meta_->groups.end()) return Status::OK();
+    const BlockFileBackend::GroupRef& ref = git->second;
+    BEAS_ASSIGN_OR_RETURN(std::string rec,
+                          backend_->ReadRecord(ref.data_off, ref.data_len, counters_));
+    if (meta_->is_constraint) {
+      auto group = std::make_shared<DecodedConstraintGroup>();
+      BEAS_ASSIGN_OR_RETURN(group->list, DecodeConstraintList(rec));
+      out->reserve(out->size() + group->list.size());
+      for (const auto& [y, m] : group->list) out->push_back(FetchEntry{&y, m});
+      pins->push_back(std::move(group));
+      return Status::OK();
+    }
+    ByteReader reader(rec);
+    BEAS_ASSIGN_OR_RETURN(KdTree decoded, KdTree::DecodeFrom(&reader));
+    auto tree = std::make_shared<const KdTree>(std::move(decoded));
+    std::vector<KdTree::FrontierEntry> entries;
+    tree->Frontier(level, &entries);
+    out->reserve(out->size() + entries.size());
+    for (const auto& e : entries) out->push_back(FetchEntry{e.representative, e.count});
+    pins->push_back(std::move(tree));
+    return Status::OK();
+  }
+
+ private:
+  const BlockFileBackend* backend_;
+  const BlockFileBackend::FamilyMeta* meta_;
+  CacheCounters* counters_;
+};
+
+BlockFileBackend::BlockFileBackend(BlockFileOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_bytes, options_.cache_shards) {}
+
+Status BlockFileBackend::Build(const Database& db,
+                               const std::vector<FamilySpec>& template_families,
+                               const std::vector<ConstraintSpec>& constraints,
+                               AccessSchema* schema) {
+  // Build in memory first: identical structures, validation, and schema
+  // metadata by construction. The memory is released when `mem` dies.
+  InMemoryBackend mem;
+  BEAS_RETURN_IF_ERROR(mem.Build(db, template_families, constraints, schema));
+
+  BEAS_ASSIGN_OR_RETURN(file_, BlockFile::Create(options_.path, options_.block_bytes));
+  cache_.Clear();
+  families_.clear();
+
+  for (const auto& [id, index] : mem.constraint_indices()) {
+    FamilyMeta meta;
+    meta.id = id;
+    meta.relation = index.spec.relation;
+    meta.is_constraint = true;
+    meta.constraint_n = index.spec.n;
+    for (size_t i : index.x_idx) meta.x_idx.push_back(static_cast<uint32_t>(i));
+    for (size_t i : index.y_idx) meta.y_idx.push_back(static_cast<uint32_t>(i));
+    meta.total_entries = index.total_entries;
+    for (const auto& [xkey, list] : index.groups) {
+      std::string rec = EncodeConstraintList(list);
+      GroupRef ref;
+      BEAS_ASSIGN_OR_RETURN(ref.data_off, file_->Append(rec));
+      ref.data_len = rec.size();
+      ref.entries = list.size();
+      meta.groups.emplace(xkey, ref);
+    }
+    families_.emplace(id, std::move(meta));
+  }
+
+  for (const auto& [id, index] : mem.template_indices()) {
+    BEAS_ASSIGN_OR_RETURN(const BoundFamily* family, schema->FindFamily(id));
+    FamilyMeta meta;
+    meta.id = id;
+    meta.relation = family->relation;
+    meta.is_constraint = false;
+    for (size_t i : index.x_idx()) meta.x_idx.push_back(static_cast<uint32_t>(i));
+    for (size_t i : index.y_idx()) meta.y_idx.push_back(static_cast<uint32_t>(i));
+    meta.y_attrs = index.y_attrs();
+    meta.total_entries = index.TotalEntries();
+    for (const auto& [xkey, tree] : index.groups()) {
+      std::string tree_rec;
+      tree.EncodeTo(&tree_rec);
+      std::string rows_rec = EncodeRows(index.group_rows().at(xkey));
+      GroupRef ref;
+      BEAS_ASSIGN_OR_RETURN(ref.data_off, file_->Append(tree_rec));
+      ref.data_len = tree_rec.size();
+      BEAS_ASSIGN_OR_RETURN(ref.rows_off, file_->Append(rows_rec));
+      ref.rows_len = rows_rec.size();
+      ref.entries = tree.node_count();
+      meta.groups.emplace(xkey, ref);
+    }
+    families_.emplace(id, std::move(meta));
+  }
+
+  return SyncDirectory(*schema);
+}
+
+Status BlockFileBackend::Open(AccessSchema* schema) {
+  BEAS_ASSIGN_OR_RETURN(file_, BlockFile::Open(options_.path));
+  cache_.Clear();
+  families_.clear();
+
+  ByteReader reader(file_->dir_payload());
+  BEAS_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
+  if (version != kDirVersion) {
+    return Status::DataLoss(StrCat("block file '", options_.path,
+                                   "': unsupported directory version ", version));
+  }
+
+  BEAS_ASSIGN_OR_RETURN(uint32_t n_families, reader.ReadU32());
+  for (uint32_t i = 0; i < n_families; ++i) {
+    BEAS_ASSIGN_OR_RETURN(BoundFamily family, DecodeBoundFamily(&reader));
+    BEAS_RETURN_IF_ERROR(schema->AddFamily(std::move(family)));
+  }
+
+  BEAS_ASSIGN_OR_RETURN(uint32_t n_metas, reader.ReadU32());
+  for (uint32_t i = 0; i < n_metas; ++i) {
+    FamilyMeta meta;
+    BEAS_ASSIGN_OR_RETURN(meta.id, reader.ReadString());
+    BEAS_ASSIGN_OR_RETURN(meta.relation, reader.ReadString());
+    BEAS_ASSIGN_OR_RETURN(uint8_t is_constraint, reader.ReadU8());
+    meta.is_constraint = is_constraint != 0;
+    BEAS_ASSIGN_OR_RETURN(meta.constraint_n, reader.ReadU64());
+    BEAS_ASSIGN_OR_RETURN(uint32_t nx, reader.ReadU32());
+    for (uint32_t k = 0; k < nx; ++k) {
+      BEAS_ASSIGN_OR_RETURN(uint32_t idx, reader.ReadU32());
+      meta.x_idx.push_back(idx);
+    }
+    BEAS_ASSIGN_OR_RETURN(uint32_t ny, reader.ReadU32());
+    for (uint32_t k = 0; k < ny; ++k) {
+      BEAS_ASSIGN_OR_RETURN(uint32_t idx, reader.ReadU32());
+      meta.y_idx.push_back(idx);
+    }
+    BEAS_ASSIGN_OR_RETURN(uint32_t n_attrs, reader.ReadU32());
+    for (uint32_t k = 0; k < n_attrs; ++k) {
+      BEAS_ASSIGN_OR_RETURN(AttributeDef attr, DecodeAttributeDef(&reader));
+      meta.y_attrs.push_back(std::move(attr));
+    }
+    BEAS_ASSIGN_OR_RETURN(meta.total_entries, reader.ReadU64());
+    BEAS_ASSIGN_OR_RETURN(uint64_t n_groups, reader.ReadU64());
+    for (uint64_t g = 0; g < n_groups; ++g) {
+      BEAS_ASSIGN_OR_RETURN(Tuple xkey, reader.ReadTuple());
+      GroupRef ref;
+      BEAS_ASSIGN_OR_RETURN(ref.data_off, reader.ReadU64());
+      BEAS_ASSIGN_OR_RETURN(ref.data_len, reader.ReadU64());
+      BEAS_ASSIGN_OR_RETURN(ref.rows_off, reader.ReadU64());
+      BEAS_ASSIGN_OR_RETURN(ref.rows_len, reader.ReadU64());
+      BEAS_ASSIGN_OR_RETURN(ref.entries, reader.ReadU64());
+      if (ref.data_off + ref.data_len > file_->data_len() ||
+          ref.rows_off + ref.rows_len > file_->data_len()) {
+        return Status::DataLoss(StrCat("block file '", options_.path, "': family '",
+                                       meta.id, "' group record out of range"));
+      }
+      meta.groups.emplace(std::move(xkey), ref);
+    }
+    families_.emplace(meta.id, std::move(meta));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<StorageBackend::FamilyCursor>> BlockFileBackend::OpenFamily(
+    const std::string& family_id, CacheCounters* counters) const {
+  auto it = families_.find(family_id);
+  if (it == families_.end()) {
+    return Status::NotFound(StrCat("no index for family '", family_id, "'"));
+  }
+  return std::unique_ptr<FamilyCursor>(new BlockCursor(this, &it->second, counters));
+}
+
+size_t BlockFileBackend::TotalEntries() const {
+  size_t n = 0;
+  for (const auto& [id, meta] : families_) n += meta.total_entries;
+  return n;
+}
+
+size_t BlockFileBackend::ConstraintEntries() const {
+  size_t n = 0;
+  for (const auto& [id, meta] : families_) {
+    if (meta.is_constraint) n += meta.total_entries;
+  }
+  return n;
+}
+
+Result<size_t> BlockFileBackend::FamilyEntries(const std::string& family_id) const {
+  auto it = families_.find(family_id);
+  if (it == families_.end()) {
+    return Status::NotFound(StrCat("no index for family '", family_id, "'"));
+  }
+  return static_cast<size_t>(it->second.total_entries);
+}
+
+Result<std::string> BlockFileBackend::ReadRecord(uint64_t off, uint64_t len,
+                                                 CacheCounters* counters) const {
+  std::string out;
+  out.reserve(len);
+  const uint64_t block_bytes = file_->block_bytes();
+  const uint64_t end = off + len;
+  uint64_t pos = off;
+  while (pos < end) {
+    const uint64_t block = pos / block_bytes;
+    BEAS_ASSIGN_OR_RETURN(
+        std::shared_ptr<const std::string> data,
+        cache_.Get(block, [this](uint64_t index) { return file_->ReadBlockVerified(index); },
+                   counters));
+    const uint64_t in_block = pos - block * block_bytes;
+    if (in_block >= data->size()) {
+      return Status::DataLoss(StrCat("block file '", options_.path, "': record at offset ",
+                                     off, " extends past block ", block));
+    }
+    const uint64_t take = std::min<uint64_t>(end - pos, data->size() - in_block);
+    out.append(data->data() + in_block, take);
+    pos += take;
+  }
+  return out;
+}
+
+Result<std::vector<Tuple>> BlockFileBackend::DecodeRows(const GroupRef& ref) const {
+  BEAS_ASSIGN_OR_RETURN(std::string rec, ReadRecord(ref.rows_off, ref.rows_len, nullptr));
+  ByteReader reader(rec);
+  BEAS_ASSIGN_OR_RETURN(uint32_t n, reader.ReadU32());
+  std::vector<Tuple> rows;
+  rows.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    BEAS_ASSIGN_OR_RETURN(Tuple t, reader.ReadTuple());
+    rows.push_back(std::move(t));
+  }
+  return rows;
+}
+
+Status BlockFileBackend::WriteTemplateGroup(FamilyMeta* meta, const Tuple& xkey,
+                                            std::vector<Tuple> rows) {
+  auto git = meta->groups.find(xkey);
+  const uint64_t old_entries = git != meta->groups.end() ? git->second.entries : 0;
+  if (rows.empty()) {
+    if (git != meta->groups.end()) {
+      meta->total_entries -= old_entries;
+      meta->groups.erase(git);
+    }
+    return Status::OK();
+  }
+  // Rebuild exactly as TemplateIndex::ApplyInsert/ApplyRemove do: the tree
+  // over the full row bag in insertion order.
+  KdTree tree;
+  tree.Build(meta->y_attrs, rows);
+  std::string tree_rec;
+  tree.EncodeTo(&tree_rec);
+  std::string rows_rec = EncodeRows(rows);
+  GroupRef ref;
+  BEAS_ASSIGN_OR_RETURN(ref.data_off, file_->Append(tree_rec));
+  ref.data_len = tree_rec.size();
+  BEAS_ASSIGN_OR_RETURN(ref.rows_off, file_->Append(rows_rec));
+  ref.rows_len = rows_rec.size();
+  ref.entries = tree.node_count();
+  meta->total_entries = meta->total_entries - old_entries + ref.entries;
+  meta->groups[xkey] = ref;
+  // Appends may rewrite the shared tail block; drop any cached copy before
+  // the refresh below (or a concurrent-free future fetch) reads it back.
+  cache_.InvalidateFrom(ref.data_off / file_->block_bytes());
+  return Status::OK();
+}
+
+Status BlockFileBackend::RefreshTemplateFamily(const FamilyMeta& meta,
+                                               BoundFamily* family) const {
+  std::vector<KdTree> trees;
+  trees.reserve(meta.groups.size());
+  for (const auto& [xkey, ref] : meta.groups) {
+    BEAS_ASSIGN_OR_RETURN(std::string rec, ReadRecord(ref.data_off, ref.data_len, nullptr));
+    ByteReader reader(rec);
+    BEAS_ASSIGN_OR_RETURN(KdTree tree, KdTree::DecodeFrom(&reader));
+    trees.push_back(std::move(tree));
+  }
+  std::vector<const KdTree*> ptrs;
+  ptrs.reserve(trees.size());
+  for (const KdTree& t : trees) ptrs.push_back(&t);
+  RefreshFamilyLevels(ptrs, meta.y_attrs.size(), family);
+  return Status::OK();
+}
+
+Status BlockFileBackend::ApplyInsert(const std::string& relation, const Tuple& row,
+                                     AccessSchema* schema) {
+  if (file_ == nullptr) return Status::Internal("block-file backend has no open file");
+  // Same family order as InMemoryBackend: template families by id, then
+  // constraint families by id.
+  for (auto& [id, meta] : families_) {
+    if (meta.is_constraint) continue;
+    BEAS_ASSIGN_OR_RETURN(BoundFamily* family, schema->FindMutableFamily(id));
+    if (family->relation != relation) continue;
+    Tuple xkey;
+    xkey.reserve(meta.x_idx.size());
+    for (uint32_t i : meta.x_idx) xkey.push_back(row[i]);
+    Tuple y;
+    y.reserve(meta.y_idx.size());
+    for (uint32_t i : meta.y_idx) y.push_back(row[i]);
+    std::vector<Tuple> rows;
+    auto git = meta.groups.find(xkey);
+    if (git != meta.groups.end()) {
+      BEAS_ASSIGN_OR_RETURN(rows, DecodeRows(git->second));
+    }
+    rows.push_back(std::move(y));
+    BEAS_RETURN_IF_ERROR(WriteTemplateGroup(&meta, xkey, std::move(rows)));
+    BEAS_RETURN_IF_ERROR(RefreshTemplateFamily(meta, family));
+  }
+  for (auto& [id, meta] : families_) {
+    if (!meta.is_constraint || meta.relation != relation) continue;
+    Tuple xkey;
+    xkey.reserve(meta.x_idx.size());
+    for (uint32_t i : meta.x_idx) xkey.push_back(row[i]);
+    Tuple y;
+    y.reserve(meta.y_idx.size());
+    for (uint32_t i : meta.y_idx) y.push_back(row[i]);
+    std::vector<std::pair<Tuple, int64_t>> list;
+    auto git = meta.groups.find(xkey);
+    if (git != meta.groups.end()) {
+      BEAS_ASSIGN_OR_RETURN(std::string rec,
+                            ReadRecord(git->second.data_off, git->second.data_len, nullptr));
+      BEAS_ASSIGN_OR_RETURN(list, DecodeConstraintList(rec));
+    }
+    bool found = false;
+    for (auto& [t, m] : list) {
+      if (t == y) {
+        m += 1;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      if (list.size() + 1 > meta.constraint_n) {
+        return Status::InvalidArgument(StrCat("insert violates constraint ", id));
+      }
+      list.emplace_back(std::move(y), 1);
+      meta.total_entries += 1;
+    }
+    BEAS_RETURN_IF_ERROR(WriteConstraintGroup(&meta, xkey, list));
+  }
+  return SyncDirectory(*schema);
+}
+
+Status BlockFileBackend::ApplyRemove(const std::string& relation, const Tuple& row,
+                                     AccessSchema* schema) {
+  if (file_ == nullptr) return Status::Internal("block-file backend has no open file");
+  for (auto& [id, meta] : families_) {
+    if (meta.is_constraint) continue;
+    BEAS_ASSIGN_OR_RETURN(BoundFamily* family, schema->FindMutableFamily(id));
+    if (family->relation != relation) continue;
+    Tuple xkey;
+    xkey.reserve(meta.x_idx.size());
+    for (uint32_t i : meta.x_idx) xkey.push_back(row[i]);
+    Tuple y;
+    y.reserve(meta.y_idx.size());
+    for (uint32_t i : meta.y_idx) y.push_back(row[i]);
+    auto git = meta.groups.find(xkey);
+    if (git == meta.groups.end()) {
+      return Status::NotFound("ApplyRemove: no such group");
+    }
+    BEAS_ASSIGN_OR_RETURN(std::vector<Tuple> rows, DecodeRows(git->second));
+    auto pos = std::find(rows.begin(), rows.end(), y);
+    if (pos == rows.end()) {
+      return Status::NotFound("ApplyRemove: tuple not present in group");
+    }
+    rows.erase(pos);
+    BEAS_RETURN_IF_ERROR(WriteTemplateGroup(&meta, xkey, std::move(rows)));
+    BEAS_RETURN_IF_ERROR(RefreshTemplateFamily(meta, family));
+  }
+  for (auto& [id, meta] : families_) {
+    if (!meta.is_constraint || meta.relation != relation) continue;
+    Tuple xkey;
+    xkey.reserve(meta.x_idx.size());
+    for (uint32_t i : meta.x_idx) xkey.push_back(row[i]);
+    Tuple y;
+    y.reserve(meta.y_idx.size());
+    for (uint32_t i : meta.y_idx) y.push_back(row[i]);
+    auto git = meta.groups.find(xkey);
+    if (git == meta.groups.end()) {
+      return Status::NotFound("ApplyRemove: no such constraint group");
+    }
+    BEAS_ASSIGN_OR_RETURN(std::string rec,
+                          ReadRecord(git->second.data_off, git->second.data_len, nullptr));
+    BEAS_ASSIGN_OR_RETURN(ConstraintList list, DecodeConstraintList(rec));
+    for (auto it = list.begin(); it != list.end(); ++it) {
+      if (it->first == y) {
+        if (--it->second == 0) {
+          list.erase(it);
+          meta.total_entries -= 1;
+        }
+        break;
+      }
+    }
+    BEAS_RETURN_IF_ERROR(WriteConstraintGroup(&meta, xkey, list));
+  }
+  return SyncDirectory(*schema);
+}
+
+Status BlockFileBackend::WriteConstraintGroup(FamilyMeta* meta, const Tuple& xkey,
+                                              const std::vector<std::pair<Tuple, int64_t>>& list) {
+  if (list.empty()) {
+    meta->groups.erase(xkey);
+    return Status::OK();
+  }
+  std::string rec = EncodeConstraintList(list);
+  GroupRef ref;
+  BEAS_ASSIGN_OR_RETURN(ref.data_off, file_->Append(rec));
+  ref.data_len = rec.size();
+  ref.entries = list.size();
+  meta->groups[xkey] = ref;
+  cache_.InvalidateFrom(ref.data_off / file_->block_bytes());
+  return Status::OK();
+}
+
+Status BlockFileBackend::SyncDirectory(const AccessSchema& schema) {
+  std::string payload;
+  PutU32(&payload, kDirVersion);
+  PutU32(&payload, static_cast<uint32_t>(schema.families().size()));
+  for (const BoundFamily& f : schema.families()) EncodeBoundFamily(&payload, f);
+  PutU32(&payload, static_cast<uint32_t>(families_.size()));
+  for (const auto& [id, meta] : families_) {
+    PutString(&payload, meta.id);
+    PutString(&payload, meta.relation);
+    PutU8(&payload, meta.is_constraint ? 1 : 0);
+    PutU64(&payload, meta.constraint_n);
+    PutU32(&payload, static_cast<uint32_t>(meta.x_idx.size()));
+    for (uint32_t i : meta.x_idx) PutU32(&payload, i);
+    PutU32(&payload, static_cast<uint32_t>(meta.y_idx.size()));
+    for (uint32_t i : meta.y_idx) PutU32(&payload, i);
+    PutU32(&payload, static_cast<uint32_t>(meta.y_attrs.size()));
+    for (const AttributeDef& attr : meta.y_attrs) EncodeAttributeDef(&payload, attr);
+    PutU64(&payload, meta.total_entries);
+    PutU64(&payload, meta.groups.size());
+    for (const auto& [xkey, ref] : meta.groups) {
+      PutTuple(&payload, xkey);
+      PutU64(&payload, ref.data_off);
+      PutU64(&payload, ref.data_len);
+      PutU64(&payload, ref.rows_off);
+      PutU64(&payload, ref.rows_len);
+      PutU64(&payload, ref.entries);
+    }
+  }
+  return file_->Sync(payload);
+}
+
+}  // namespace beas

@@ -1,0 +1,129 @@
+// The disk-backed index backend: every index family serialized into a
+// single block-structured file (storage/block_io.h), fetched back through
+// a bounded sharded LRU block cache (block_cache.h).
+//
+// File contents per family group:
+//   - template families: one K-D-tree record (the fetch structure) plus
+//     one raw Y-row-bag record (kept for incremental rebuilds, mirroring
+//     TemplateIndex::group_rows_),
+//   - constraint families: one ordered (y, multiplicity) list record.
+// The directory payload holds the bound AccessSchema and the per-family
+// group maps (xkey -> record offsets), so a file reopens cold with no
+// access to the original database (IndexStore::Open / open_existing).
+//
+// Proof obligation (property test P9, conformance suite): because Build
+// serializes the structures the in-memory backend would have served —
+// same trees, same list orders — and fetches decode them back losslessly,
+// every fetch returns byte-identical entries in identical order at ANY
+// cache budget, and the metering loop above this layer charges per key,
+// so accessed counts and the OutOfBudget point are unchanged too.
+//
+// Mutations (ApplyInsert/ApplyRemove) are append-only: the affected
+// group's records are rewritten at the tail, the directory is re-synced,
+// and cached blocks from the first dirty (tail) block onward are
+// invalidated. They require the same exclusive access as the in-memory
+// backend (the query service's epoch guard).
+
+#ifndef BEAS_INDEX_BLOCK_FILE_H_
+#define BEAS_INDEX_BLOCK_FILE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "index/storage_backend.h"
+#include "storage/block_io.h"
+
+namespace beas {
+
+/// Block-file backend knobs (IndexStore translates IndexStoreOptions).
+struct BlockFileOptions {
+  std::string path;
+  uint32_t block_bytes = 4096;
+  /// Hard byte budget of the block cache; 0 = pure read-through.
+  uint64_t cache_bytes = 0;
+  size_t cache_shards = 8;
+};
+
+/// \brief StorageBackend over one checksummed block file.
+class BlockFileBackend : public StorageBackend {
+ public:
+  explicit BlockFileBackend(BlockFileOptions options);
+
+  /// Builds the indices in memory (identical structures and validation to
+  /// InMemoryBackend), serializes them to options.path, and serves all
+  /// subsequent fetches from disk through the cache.
+  Status Build(const Database& db, const std::vector<FamilySpec>& template_families,
+               const std::vector<ConstraintSpec>& constraints, AccessSchema* schema) override;
+
+  /// Cold reopen: restores the schema and group maps from options.path's
+  /// directory without touching the original database.
+  Status Open(AccessSchema* schema);
+
+  Result<std::unique_ptr<FamilyCursor>> OpenFamily(const std::string& family_id,
+                                                   CacheCounters* counters) const override;
+  size_t TotalEntries() const override;
+  size_t ConstraintEntries() const override;
+  Result<size_t> FamilyEntries(const std::string& family_id) const override;
+  Status ApplyInsert(const std::string& relation, const Tuple& row,
+                     AccessSchema* schema) override;
+  Status ApplyRemove(const std::string& relation, const Tuple& row,
+                     AccessSchema* schema) override;
+  BlockCacheStats cache_stats() const override { return cache_.stats(); }
+  uint64_t disk_bytes() const override { return file_ ? file_->file_bytes() : 0; }
+
+ private:
+  friend class BlockCursor;
+
+  /// Where one group's records live in the data region.
+  struct GroupRef {
+    uint64_t data_off = 0;  ///< tree record (template) / list record (constraint)
+    uint64_t data_len = 0;
+    uint64_t rows_off = 0;  ///< raw Y-bag record (template families only)
+    uint64_t rows_len = 0;
+    uint64_t entries = 0;   ///< tree node count / list size (index-size unit)
+  };
+
+  /// Resident metadata of one family; the data itself stays on disk.
+  struct FamilyMeta {
+    std::string id;
+    std::string relation;
+    bool is_constraint = false;
+    uint64_t constraint_n = 0;
+    std::vector<uint32_t> x_idx;
+    std::vector<uint32_t> y_idx;
+    std::vector<AttributeDef> y_attrs;  ///< for tree rebuilds on mutation
+    std::unordered_map<Tuple, GroupRef, TupleHasher> groups;
+    uint64_t total_entries = 0;
+  };
+
+  /// Reads record bytes [off, off+len) through the block cache, CRC-
+  /// verified per block. Thread-safe (const read path).
+  Result<std::string> ReadRecord(uint64_t off, uint64_t len, CacheCounters* counters) const;
+
+  Result<std::vector<Tuple>> DecodeRows(const GroupRef& ref) const;
+  /// Rebuilds \p xkey's tree from \p rows, appends fresh records, and
+  /// updates the group ref and entry totals (empty rows erase the group).
+  Status WriteTemplateGroup(FamilyMeta* meta, const Tuple& xkey, std::vector<Tuple> rows);
+  /// Appends a fresh constraint-list record and updates the group ref
+  /// (an empty list erases the group; entry totals are the caller's).
+  Status WriteConstraintGroup(FamilyMeta* meta, const Tuple& xkey,
+                              const std::vector<std::pair<Tuple, int64_t>>& list);
+  /// Decodes every tree of \p meta and recomputes the family's level
+  /// metadata (order-independent maxes — identical to the in-memory
+  /// backend's refresh).
+  Status RefreshTemplateFamily(const FamilyMeta& meta, BoundFamily* family) const;
+  Status SyncDirectory(const AccessSchema& schema);
+
+  BlockFileOptions options_;
+  std::unique_ptr<BlockFile> file_;
+  mutable BlockCache cache_;
+  std::map<std::string, FamilyMeta> families_;  ///< by family id
+};
+
+}  // namespace beas
+
+#endif  // BEAS_INDEX_BLOCK_FILE_H_

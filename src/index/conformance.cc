@@ -1,6 +1,8 @@
 #include "index/conformance.h"
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -8,6 +10,60 @@
 #include "types/distance.h"
 
 namespace beas {
+
+namespace {
+
+/// Resolves the X-attribute positions of \p family in its base relation.
+Result<std::vector<size_t>> ResolveXIdx(const Database& db, const BoundFamily& family) {
+  BEAS_ASSIGN_OR_RETURN(const Table* table, db.FindTable(family.relation));
+  const RelationSchema& schema = table->schema();
+  std::vector<size_t> x_idx;
+  for (const auto& x : family.x_attrs) {
+    BEAS_ASSIGN_OR_RETURN(size_t i, schema.AttributeIndex(x));
+    x_idx.push_back(i);
+  }
+  return x_idx;
+}
+
+/// Distinct X-values of \p family's relation, in first-occurrence row
+/// order (deterministic for a given table), plus one all-null probe key —
+/// exercising the unknown-X path on every backend.
+Result<std::vector<Tuple>> CollectXKeys(const Database& db, const BoundFamily& family) {
+  BEAS_ASSIGN_OR_RETURN(const Table* table, db.FindTable(family.relation));
+  BEAS_ASSIGN_OR_RETURN(std::vector<size_t> x_idx, ResolveXIdx(db, family));
+  std::vector<Tuple> keys;
+  std::unordered_set<Tuple, TupleHasher> seen;
+  for (const auto& row : table->rows()) {
+    Tuple xkey;
+    xkey.reserve(x_idx.size());
+    for (size_t i : x_idx) xkey.push_back(row[i]);
+    if (seen.insert(xkey).second) keys.push_back(std::move(xkey));
+  }
+  keys.push_back(Tuple(x_idx.size(), Value()));
+  return keys;
+}
+
+/// Entries materialized by value, so results survive their pins.
+using OwnedEntries = std::vector<std::pair<Tuple, int64_t>>;
+
+OwnedEntries Materialize(const std::vector<FetchEntry>& entries) {
+  OwnedEntries owned;
+  owned.reserve(entries.size());
+  for (const auto& e : entries) owned.emplace_back(*e.y, e.count);
+  return owned;
+}
+
+Status CompareEntries(const BoundFamily& family, int level, const Tuple& xkey,
+                      const OwnedEntries& expected, const OwnedEntries& got,
+                      const char* path) {
+  if (expected == got) return Status::OK();
+  return Status::InvalidArgument(
+      StrCat(family.id, " level ", level, ": ", path, " returned ", got.size(),
+             " entries for X = ", TupleToString(xkey), " where the scalar fetch returned ",
+             expected.size(), " (or a different order/content)"));
+}
+
+}  // namespace
 
 Status CheckConformance(const Database& db, IndexStore* store, const BoundFamily& family) {
   BEAS_ASSIGN_OR_RETURN(const Table* table, db.FindTable(family.relation));
@@ -40,7 +96,7 @@ Status CheckConformance(const Database& db, IndexStore* store, const BoundFamily
     uint64_t bound = family.is_constraint ? family.constraint_n : (uint64_t{1} << k);
     for (const auto& [xkey, ys] : truth) {
       store->meter().StartQuery(0);  // unmetered
-      BEAS_ASSIGN_OR_RETURN(std::vector<FetchEntry> reps, store->Fetch(family.id, k, xkey));
+      BEAS_ASSIGN_OR_RETURN(FetchResult reps, store->Fetch(family.id, k, xkey));
       if (reps.size() > bound) {
         return Status::InvalidArgument(
             StrCat(family.id, " level ", k, ": X-value ", TupleToString(xkey), " returned ",
@@ -86,9 +142,147 @@ Status CheckConformance(const Database& db, IndexStore* store, const BoundFamily
   return Status::OK();
 }
 
-Status CheckAllConformance(const Database& db, IndexStore* store) {
+Status CheckBatchConformance(const Database& db, const IndexStore& store,
+                             const BoundFamily& family) {
+  BEAS_ASSIGN_OR_RETURN(std::vector<Tuple> keys, CollectXKeys(db, family));
+  std::vector<const Tuple*> key_ptrs;
+  key_ptrs.reserve(keys.size());
+  for (const Tuple& k : keys) key_ptrs.push_back(&k);
+
+  int max_level = family.is_constraint ? 0 : family.max_level;
+  for (int level = 0; level <= max_level; ++level) {
+    // Scalar metered loop: the reference for entries, order, and accessed.
+    AccessMeter ref_meter;
+    ref_meter.StartQuery(0);
+    std::vector<OwnedEntries> reference;
+    reference.reserve(keys.size());
+    for (const Tuple& key : keys) {
+      BEAS_ASSIGN_OR_RETURN(FetchResult r, store.Fetch(family.id, level, key, &ref_meter));
+      reference.push_back(Materialize(r.entries));
+    }
+    const uint64_t ref_accessed = ref_meter.accessed();
+
+    AccessMeter batch_meter;
+    batch_meter.StartQuery(0);
+    std::vector<std::vector<FetchEntry>> metered;
+    FetchPins metered_pins;
+    BEAS_RETURN_IF_ERROR(store.FetchBatch(family.id, level, key_ptrs, &metered,
+                                          &metered_pins, &batch_meter));
+    std::vector<std::vector<FetchEntry>> unmetered;
+    FetchPins unmetered_pins;
+    BEAS_RETURN_IF_ERROR(
+        store.FetchBatchUnmetered(family.id, level, key_ptrs, &unmetered, &unmetered_pins));
+
+    if (metered.size() != keys.size() || unmetered.size() != keys.size()) {
+      return Status::InvalidArgument(
+          StrCat(family.id, " level ", level, ": batch output size mismatch"));
+    }
+    for (size_t k = 0; k < keys.size(); ++k) {
+      BEAS_RETURN_IF_ERROR(CompareEntries(family, level, keys[k], reference[k],
+                                          Materialize(metered[k]), "FetchBatch"));
+      BEAS_RETURN_IF_ERROR(CompareEntries(family, level, keys[k], reference[k],
+                                          Materialize(unmetered[k]), "FetchBatchUnmetered"));
+    }
+    if (batch_meter.accessed() != ref_accessed) {
+      return Status::InvalidArgument(
+          StrCat(family.id, " level ", level, ": FetchBatch accessed ",
+                 batch_meter.accessed(), " != scalar loop's ", ref_accessed));
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckMeterProtocolConformance(const Database& db, const IndexStore& store,
+                                     const BoundFamily& family, int fetch_threads) {
+  if (fetch_threads < 1) {
+    return Status::InvalidArgument("fetch_threads must be >= 1");
+  }
+  BEAS_ASSIGN_OR_RETURN(std::vector<Tuple> keys, CollectXKeys(db, family));
+  const int level = family.is_constraint ? 0 : family.max_level;
+
+  // Per-key entry counts — the charge stream both protocols must replay.
+  std::vector<const Tuple*> key_ptrs;
+  for (const Tuple& k : keys) key_ptrs.push_back(&k);
+  std::vector<std::vector<FetchEntry>> all;
+  FetchPins all_pins;
+  BEAS_RETURN_IF_ERROR(
+      store.FetchBatchUnmetered(family.id, level, key_ptrs, &all, &all_pins));
+  std::vector<uint64_t> counts;
+  uint64_t total = 0;
+  for (const auto& entries : all) {
+    counts.push_back(entries.size());
+    total += entries.size();
+  }
+
+  for (uint64_t budget : {uint64_t{0}, total / 2}) {
+    // Sequential reference: a plain Charge loop, stopping at the first
+    // failure exactly as the sequential executor does.
+    AccessMeter seq;
+    seq.StartQuery(budget);
+    Status seq_status = Status::OK();
+    for (uint64_t n : counts) {
+      seq_status = seq.Charge(n);
+      if (!seq_status.ok()) break;
+    }
+
+    // Parallel deposit protocol: one slot per key, deposited by
+    // fetch_threads workers claiming slots in reverse order (plus
+    // thread-racing), each slot re-fetching its key unmetered — the
+    // executor's exact shape under a worst-case deposit schedule.
+    AccessMeter par;
+    par.StartQuery(budget);
+    par.BeginDeposits(counts.size());
+    std::atomic<size_t> next{0};
+    std::atomic<bool> fetch_failed{false};
+    const size_t n_slots = counts.size();
+    std::vector<std::thread> workers;
+    for (int t = 0; t < fetch_threads; ++t) {
+      workers.emplace_back([&]() {
+        for (;;) {
+          const size_t i = next.fetch_add(1);
+          if (i >= n_slots) return;
+          // Claim slots in reverse, so the commit prefix only unblocks at
+          // the very end — the maximally out-of-order deposit schedule.
+          const size_t slot = n_slots - 1 - i;
+          std::vector<std::vector<FetchEntry>> out;
+          FetchPins pins;
+          std::vector<const Tuple*> one{&keys[slot]};
+          if (!store.FetchBatchUnmetered(family.id, level, one, &out, &pins).ok()) {
+            fetch_failed.store(true);
+            par.Deposit(slot, {0});
+            continue;
+          }
+          par.Deposit(slot, {static_cast<uint64_t>(out[0].size())});
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    if (fetch_failed.load()) {
+      return Status::Internal(
+          StrCat(family.id, ": unmetered fetch failed during meter protocol check"));
+    }
+    Status par_status = par.FinishDeposits();
+
+    if (par_status.code() != seq_status.code()) {
+      return Status::InvalidArgument(
+          StrCat(family.id, " budget ", budget, ": deposit protocol outcome '",
+                 StatusCodeToString(par_status.code()), "' != sequential '",
+                 StatusCodeToString(seq_status.code()), "'"));
+    }
+    if (par.accessed() != seq.accessed()) {
+      return Status::InvalidArgument(
+          StrCat(family.id, " budget ", budget, ": deposit protocol accessed ",
+                 par.accessed(), " != sequential ", seq.accessed()));
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckAllConformance(const Database& db, IndexStore* store, int fetch_threads) {
   for (const auto& family : store->schema().families()) {
     BEAS_RETURN_IF_ERROR(CheckConformance(db, store, family));
+    BEAS_RETURN_IF_ERROR(CheckBatchConformance(db, *store, family));
+    BEAS_RETURN_IF_ERROR(CheckMeterProtocolConformance(db, *store, family, fetch_threads));
   }
   return Status::OK();
 }

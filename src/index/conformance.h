@@ -1,6 +1,11 @@
 // Conformance checking: does D |= A hold for the built indices?
 // (Paper Section 2.1.) Used by tests and by the offline pipeline to
 // validate discovered/declared schemas.
+//
+// The suite is backend-agnostic — every check goes through IndexStore's
+// public fetch paths, so running it against a store built on the
+// in-memory and the block-file backend (tests do both) certifies that the
+// backends serve identical, schema-conforming answers.
 
 #ifndef BEAS_INDEX_CONFORMANCE_H_
 #define BEAS_INDEX_CONFORMANCE_H_
@@ -20,8 +25,24 @@ namespace beas {
 /// counterexample description on violation.
 Status CheckConformance(const Database& db, IndexStore* store, const BoundFamily& family);
 
-/// Checks every family of \p store's schema.
-Status CheckAllConformance(const Database& db, IndexStore* store);
+/// Verifies the batch fetch contract for \p family at every level: both
+/// FetchBatch (per-query metered) and FetchBatchUnmetered return exactly
+/// the scalar Fetch loop's entries, key by key in key order, and the
+/// metered batch lands on the scalar loop's accessed count.
+Status CheckBatchConformance(const Database& db, const IndexStore& store,
+                             const BoundFamily& family);
+
+/// Verifies the AccessMeter deposit/commit protocol for \p family under
+/// \p fetch_threads concurrent workers depositing slots out of order:
+/// the final accessed count and the failure outcome (none / OutOfBudget)
+/// must equal a sequential Charge loop's, both unbudgeted and at a budget
+/// of half the family's total entries (which forces an OutOfBudget point
+/// mid-stream whenever the family is non-trivial).
+Status CheckMeterProtocolConformance(const Database& db, const IndexStore& store,
+                                     const BoundFamily& family, int fetch_threads);
+
+/// Runs all three checks on every family of \p store's schema.
+Status CheckAllConformance(const Database& db, IndexStore* store, int fetch_threads = 4);
 
 }  // namespace beas
 

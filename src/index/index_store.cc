@@ -1,8 +1,10 @@
 #include "index/index_store.h"
 
-#include <algorithm>
+#include <utility>
 
 #include "common/string_util.h"
+#include "index/block_file.h"
+#include "index/storage_backend.h"
 
 namespace beas {
 
@@ -15,6 +17,7 @@ void AccessMeter::StartQuery(uint64_t budget) {
   commit_slot_ = 0;
   failed_ = false;
   failure_ = Status::OK();
+  cache_counters_.Reset();
 }
 
 Status AccessMeter::ChargeLocked(uint64_t n) {
@@ -92,116 +95,89 @@ uint64_t AccessMeter::budget() const {
   return budget_;
 }
 
+namespace {
+
+BlockFileOptions ToBlockFileOptions(const IndexStoreOptions& options) {
+  BlockFileOptions out;
+  out.path = options.path;
+  out.block_bytes = options.block_bytes;
+  out.cache_bytes = options.cache_bytes;
+  out.cache_shards = options.cache_shards;
+  return out;
+}
+
+}  // namespace
+
+IndexStore::IndexStore() = default;
+IndexStore::~IndexStore() = default;
+
 Status IndexStore::Build(const Database& db,
                          const std::vector<FamilySpec>& template_families,
                          const std::vector<ConstraintSpec>& constraints) {
+  return Build(db, template_families, constraints, IndexStoreOptions{});
+}
+
+Status IndexStore::Build(const Database& db,
+                         const std::vector<FamilySpec>& template_families,
+                         const std::vector<ConstraintSpec>& constraints,
+                         const IndexStoreOptions& options) {
   schema_ = AccessSchema();
-  template_indices_.clear();
-  constraint_indices_.clear();
-
-  for (const auto& spec : constraints) {
-    BEAS_ASSIGN_OR_RETURN(const Table* table, db.FindTable(spec.relation));
-    ConstraintIndex index;
-    BEAS_ASSIGN_OR_RETURN(BoundFamily family, BuildConstraint(spec, *table, &index));
-    BEAS_RETURN_IF_ERROR(schema_.AddFamily(std::move(family)));
-    constraint_indices_.emplace(spec.Id(), std::move(index));
+  std::unique_ptr<StorageBackend> backend;
+  if (options.backend == IndexBackendKind::kBlockFile) {
+    if (options.path.empty()) {
+      return Status::InvalidArgument("block-file index backend requires a path");
+    }
+    backend = std::make_unique<BlockFileBackend>(ToBlockFileOptions(options));
+  } else {
+    backend = std::make_unique<InMemoryBackend>();
   }
-
-  for (const auto& spec : template_families) {
-    BEAS_ASSIGN_OR_RETURN(const Table* table, db.FindTable(spec.relation));
-    TemplateIndex index;
-    BEAS_ASSIGN_OR_RETURN(BoundFamily family, index.Build(spec, *table));
-    BEAS_RETURN_IF_ERROR(schema_.AddFamily(std::move(family)));
-    template_indices_.emplace(spec.Id(), std::move(index));
-  }
+  BEAS_RETURN_IF_ERROR(backend->Build(db, template_families, constraints, &schema_));
+  backend_ = std::move(backend);
   return Status::OK();
 }
 
-Result<BoundFamily> IndexStore::BuildConstraint(const ConstraintSpec& spec,
-                                                const Table& table, ConstraintIndex* out) {
-  const RelationSchema& schema = table.schema();
-  out->spec = spec;
-  for (const auto& x : spec.x_attrs) {
-    BEAS_ASSIGN_OR_RETURN(size_t i, schema.AttributeIndex(x));
-    out->x_idx.push_back(i);
+Status IndexStore::Open(const IndexStoreOptions& options) {
+  if (options.backend != IndexBackendKind::kBlockFile) {
+    return Status::InvalidArgument("IndexStore::Open requires the block-file backend");
   }
-  for (const auto& y : spec.y_attrs) {
-    BEAS_ASSIGN_OR_RETURN(size_t i, schema.AttributeIndex(y));
-    out->y_idx.push_back(i);
+  if (options.path.empty()) {
+    return Status::InvalidArgument("block-file index backend requires a path");
   }
-
-  // Group, collapse duplicates, and validate the cardinality bound N.
-  std::unordered_map<Tuple, std::unordered_map<Tuple, int64_t, TupleHasher>, TupleHasher>
-      grouped;
-  for (const auto& row : table.rows()) {
-    Tuple xkey;
-    xkey.reserve(out->x_idx.size());
-    for (size_t i : out->x_idx) xkey.push_back(row[i]);
-    Tuple y;
-    y.reserve(out->y_idx.size());
-    for (size_t i : out->y_idx) y.push_back(row[i]);
-    grouped[std::move(xkey)][std::move(y)] += 1;
-  }
-  out->total_entries = 0;
-  for (auto& [xkey, ys] : grouped) {
-    if (ys.size() > spec.n) {
-      return Status::InvalidArgument(
-          StrCat("constraint ", spec.Id(), " violated: X-value ", TupleToString(xkey),
-                 " has ", ys.size(), " distinct Y-values > N = ", spec.n));
-    }
-    auto& list = out->groups[xkey];
-    list.reserve(ys.size());
-    for (auto& [y, m] : ys) list.emplace_back(y, m);
-    out->total_entries += list.size();
-  }
-
-  BoundFamily family;
-  family.id = spec.Id();
-  family.relation = spec.relation;
-  family.x_attrs = spec.x_attrs;
-  family.y_attrs = spec.y_attrs;
-  family.is_constraint = true;
-  family.constraint_n = spec.n;
-  family.max_level = 0;
-  family.level_resolution = {std::vector<double>(spec.y_attrs.size(), 0.0)};
-  family.level_fanout = {spec.n};
-  return family;
+  schema_ = AccessSchema();
+  auto backend = std::make_unique<BlockFileBackend>(ToBlockFileOptions(options));
+  BEAS_RETURN_IF_ERROR(backend->Open(&schema_));
+  backend_ = std::move(backend);
+  return Status::OK();
 }
 
-Result<std::vector<FetchEntry>> IndexStore::Fetch(const std::string& family_id, int level,
-                                                  const Tuple& xkey) {
+Result<FetchResult> IndexStore::Fetch(const std::string& family_id, int level,
+                                      const Tuple& xkey) {
   return Fetch(family_id, level, xkey, &meter_);
 }
 
-Result<std::vector<FetchEntry>> IndexStore::Fetch(const std::string& family_id, int level,
-                                                  const Tuple& xkey,
-                                                  AccessMeter* meter) const {
-  std::vector<FetchEntry> out;
-  auto cit = constraint_indices_.find(family_id);
-  if (cit != constraint_indices_.end()) {
-    auto git = cit->second.groups.find(xkey);
-    if (git != cit->second.groups.end()) {
-      out.reserve(git->second.size());
-      for (const auto& [y, m] : git->second) out.push_back(FetchEntry{&y, m});
-    }
-    if (meter != nullptr) BEAS_RETURN_IF_ERROR(meter->Charge(out.size()));
-    return out;
-  }
-  auto tit = template_indices_.find(family_id);
-  if (tit == template_indices_.end()) {
+Result<FetchResult> IndexStore::Fetch(const std::string& family_id, int level,
+                                      const Tuple& xkey, AccessMeter* meter) const {
+  if (backend_ == nullptr) {
     return Status::NotFound(StrCat("no index for family '", family_id, "'"));
   }
-  tit->second.Fetch(xkey, level, &out);
-  if (meter != nullptr) BEAS_RETURN_IF_ERROR(meter->Charge(out.size()));
-  return out;
+  FetchResult result;
+  BEAS_ASSIGN_OR_RETURN(
+      std::unique_ptr<StorageBackend::FamilyCursor> cursor,
+      backend_->OpenFamily(family_id, meter != nullptr ? meter->cache_counters() : nullptr));
+  BEAS_RETURN_IF_ERROR(cursor->Fetch(xkey, level, &result.entries, &result.pins));
+  if (meter != nullptr) BEAS_RETURN_IF_ERROR(meter->Charge(result.entries.size()));
+  return result;
 }
 
 Status IndexStore::FetchBatchImpl(const std::string& family_id, int level,
                                   const std::vector<const Tuple*>& xkeys,
-                                  std::vector<std::vector<FetchEntry>>* out,
-                                  AccessMeter* meter) const {
+                                  std::vector<std::vector<FetchEntry>>* out, FetchPins* pins,
+                                  AccessMeter* meter, CacheCounters* counters) const {
   out->clear();
   out->resize(xkeys.size());
+  if (backend_ == nullptr) {
+    return Status::NotFound(StrCat("no index for family '", family_id, "'"));
+  }
   // The family is resolved once per batch (the per-probe cost FetchBatch
   // amortizes). With a meter, each key is charged as it is fetched, so
   // the access bound stays exactly as tight as the scalar Fetch loop —
@@ -209,24 +185,10 @@ Status IndexStore::FetchBatchImpl(const std::string& family_id, int level,
   // identical accessed_. Without one (the parallel executor), the same
   // entries come back in the same order and the caller charges through
   // the deposit protocol.
-  auto cit = constraint_indices_.find(family_id);
-  if (cit != constraint_indices_.end()) {
-    for (size_t k = 0; k < xkeys.size(); ++k) {
-      auto git = cit->second.groups.find(*xkeys[k]);
-      if (git == cit->second.groups.end()) continue;
-      std::vector<FetchEntry>& entries = (*out)[k];
-      entries.reserve(git->second.size());
-      for (const auto& [y, m] : git->second) entries.push_back(FetchEntry{&y, m});
-      if (meter != nullptr) BEAS_RETURN_IF_ERROR(meter->Charge(entries.size()));
-    }
-    return Status::OK();
-  }
-  auto tit = template_indices_.find(family_id);
-  if (tit == template_indices_.end()) {
-    return Status::NotFound(StrCat("no index for family '", family_id, "'"));
-  }
+  BEAS_ASSIGN_OR_RETURN(std::unique_ptr<StorageBackend::FamilyCursor> cursor,
+                        backend_->OpenFamily(family_id, counters));
   for (size_t k = 0; k < xkeys.size(); ++k) {
-    tit->second.Fetch(*xkeys[k], level, &(*out)[k]);
+    BEAS_RETURN_IF_ERROR(cursor->Fetch(*xkeys[k], level, &(*out)[k], pins));
     if (meter != nullptr) BEAS_RETURN_IF_ERROR(meter->Charge((*out)[k].size()));
   }
   return Status::OK();
@@ -234,106 +196,57 @@ Status IndexStore::FetchBatchImpl(const std::string& family_id, int level,
 
 Status IndexStore::FetchBatch(const std::string& family_id, int level,
                               const std::vector<const Tuple*>& xkeys,
-                              std::vector<std::vector<FetchEntry>>* out) {
-  return FetchBatchImpl(family_id, level, xkeys, out, &meter_);
+                              std::vector<std::vector<FetchEntry>>* out, FetchPins* pins) {
+  return FetchBatchImpl(family_id, level, xkeys, out, pins, &meter_,
+                        meter_.cache_counters());
 }
 
 Status IndexStore::FetchBatch(const std::string& family_id, int level,
                               const std::vector<const Tuple*>& xkeys,
-                              std::vector<std::vector<FetchEntry>>* out,
+                              std::vector<std::vector<FetchEntry>>* out, FetchPins* pins,
                               AccessMeter* meter) const {
-  return FetchBatchImpl(family_id, level, xkeys, out, meter);
+  return FetchBatchImpl(family_id, level, xkeys, out, pins, meter,
+                        meter != nullptr ? meter->cache_counters() : nullptr);
 }
 
 Status IndexStore::FetchBatchUnmetered(const std::string& family_id, int level,
                                        const std::vector<const Tuple*>& xkeys,
-                                       std::vector<std::vector<FetchEntry>>* out) const {
-  return FetchBatchImpl(family_id, level, xkeys, out, /*meter=*/nullptr);
+                                       std::vector<std::vector<FetchEntry>>* out,
+                                       FetchPins* pins, CacheCounters* counters) const {
+  return FetchBatchImpl(family_id, level, xkeys, out, pins, /*meter=*/nullptr, counters);
 }
 
 size_t IndexStore::TotalEntries() const {
-  size_t n = 0;
-  for (const auto& [id, idx] : template_indices_) n += idx.TotalEntries();
-  for (const auto& [id, idx] : constraint_indices_) n += idx.total_entries;
-  return n;
+  return backend_ != nullptr ? backend_->TotalEntries() : 0;
 }
 
 size_t IndexStore::ConstraintEntries() const {
-  size_t n = 0;
-  for (const auto& [id, idx] : constraint_indices_) n += idx.total_entries;
-  return n;
+  return backend_ != nullptr ? backend_->ConstraintEntries() : 0;
 }
 
 Result<size_t> IndexStore::FamilyEntries(const std::string& family_id) const {
-  auto tit = template_indices_.find(family_id);
-  if (tit != template_indices_.end()) return tit->second.TotalEntries();
-  auto cit = constraint_indices_.find(family_id);
-  if (cit != constraint_indices_.end()) return cit->second.total_entries;
-  return Status::NotFound(StrCat("no index for family '", family_id, "'"));
+  if (backend_ == nullptr) {
+    return Status::NotFound(StrCat("no index for family '", family_id, "'"));
+  }
+  return backend_->FamilyEntries(family_id);
 }
 
 Status IndexStore::ApplyInsert(const std::string& relation, const Tuple& row) {
-  for (auto& [id, index] : template_indices_) {
-    BEAS_ASSIGN_OR_RETURN(BoundFamily* family, schema_.FindMutableFamily(id));
-    if (family->relation != relation) continue;
-    BEAS_RETURN_IF_ERROR(index.ApplyInsert(row, family));
-  }
-  for (auto& [id, index] : constraint_indices_) {
-    if (index.spec.relation != relation) continue;
-    Tuple xkey;
-    for (size_t i : index.x_idx) xkey.push_back(row[i]);
-    Tuple y;
-    for (size_t i : index.y_idx) y.push_back(row[i]);
-    auto& list = index.groups[xkey];
-    bool found = false;
-    for (auto& [t, m] : list) {
-      if (t == y) {
-        m += 1;
-        found = true;
-        break;
-      }
-    }
-    if (!found) {
-      if (list.size() + 1 > index.spec.n) {
-        return Status::InvalidArgument(
-            StrCat("insert violates constraint ", index.spec.Id()));
-      }
-      list.emplace_back(std::move(y), 1);
-      index.total_entries += 1;
-    }
-  }
-  return Status::OK();
+  if (backend_ == nullptr) return Status::OK();  // empty store: nothing to maintain
+  return backend_->ApplyInsert(relation, row, &schema_);
 }
 
 Status IndexStore::ApplyRemove(const std::string& relation, const Tuple& row) {
-  for (auto& [id, index] : template_indices_) {
-    BEAS_ASSIGN_OR_RETURN(BoundFamily* family, schema_.FindMutableFamily(id));
-    if (family->relation != relation) continue;
-    BEAS_RETURN_IF_ERROR(index.ApplyRemove(row, family));
-  }
-  for (auto& [id, index] : constraint_indices_) {
-    if (index.spec.relation != relation) continue;
-    Tuple xkey;
-    for (size_t i : index.x_idx) xkey.push_back(row[i]);
-    Tuple y;
-    for (size_t i : index.y_idx) y.push_back(row[i]);
-    auto git = index.groups.find(xkey);
-    if (git == index.groups.end()) {
-      return Status::NotFound("ApplyRemove: no such constraint group");
-    }
-    auto& list = git->second;
-    for (auto it = list.begin(); it != list.end(); ++it) {
-      if (it->first == y) {
-        if (--it->second == 0) {
-          list.erase(it);
-          index.total_entries -= 1;
-        }
-        break;
-      }
-    }
-    if (list.empty()) index.groups.erase(git);
-  }
-  return Status::OK();
+  if (backend_ == nullptr) return Status::OK();
+  return backend_->ApplyRemove(relation, row, &schema_);
+}
+
+BlockCacheStats IndexStore::cache_stats() const {
+  return backend_ != nullptr ? backend_->cache_stats() : BlockCacheStats{};
+}
+
+uint64_t IndexStore::disk_bytes() const {
+  return backend_ != nullptr ? backend_->disk_bytes() : 0;
 }
 
 }  // namespace beas

@@ -1,21 +1,32 @@
 // IndexStore: all physical access-schema indices of a database, with
 // metered fetches that enforce the resource budget alpha * |D|.
+//
+// The physical storage is pluggable (storage_backend.h): the store owns a
+// StorageBackend — in-memory maps and K-D trees, or a disk-backed block
+// file read through a bounded LRU cache — while the metering loop that
+// defines accessed counts and the OutOfBudget failure point lives here,
+// shared verbatim by every backend. Because the meter charges per key
+// (never per block or per cache event), answers are bit-identical across
+// backends and across any cache budget.
 
 #ifndef BEAS_INDEX_INDEX_STORE_H_
 #define BEAS_INDEX_INDEX_STORE_H_
 
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "accschema/access_schema.h"
 #include "common/result.h"
+#include "index/block_cache.h"
 #include "index/template_index.h"
 #include "storage/database.h"
 
 namespace beas {
+
+class StorageBackend;
 
 /// \brief Counts every tuple that crosses the index boundary and enforces
 /// an optional budget B = alpha * |D| (paper Section 4).
@@ -45,8 +56,9 @@ namespace beas {
 /// silently pass the budget check).
 class AccessMeter {
  public:
-  /// Resets the counter, the deposit sequence, and sets the budget;
-  /// budget 0 disables enforcement (but not the overflow clamp).
+  /// Resets the counter, the deposit sequence, the cache counters, and
+  /// sets the budget; budget 0 disables enforcement (but not the
+  /// overflow clamp).
   void StartQuery(uint64_t budget);
 
   /// Charges \p n fetched tuples; OutOfBudget once the total exceeds the
@@ -74,6 +86,11 @@ class AccessMeter {
   uint64_t accessed() const;
   uint64_t budget() const;
 
+  /// This query's block-cache hit/miss counters (zero for in-memory
+  /// backends). Reset by StartQuery; safe to bump from fetch workers
+  /// (atomic), observational only — never part of the budget.
+  CacheCounters* cache_counters() const { return &cache_counters_; }
+
  private:
   /// Shared charge path; both protocols funnel through it.
   Status ChargeLocked(uint64_t n);
@@ -88,6 +105,48 @@ class AccessMeter {
   size_t commit_slot_ = 0;
   bool failed_ = false;
   Status failure_ = Status::OK();
+  mutable CacheCounters cache_counters_;
+};
+
+/// Which StorageBackend an IndexStore builds on.
+enum class IndexBackendKind {
+  kMemory = 0,     ///< resident maps + K-D trees (the original store)
+  kBlockFile = 1,  ///< one checksummed block file + bounded LRU cache
+};
+
+/// Build/open options for the storage tier. All knobs except `backend`
+/// apply to kBlockFile only.
+struct IndexStoreOptions {
+  IndexBackendKind backend = IndexBackendKind::kMemory;
+  /// Path of the block file (created by Build, reused by Open).
+  std::string path;
+  /// Fixed block size of the data region.
+  uint32_t block_bytes = 4096;
+  /// Hard byte budget of the block cache; 0 = pure read-through. Answers
+  /// are bit-identical at every setting — this knob trades only speed
+  /// for memory.
+  uint64_t cache_bytes = 256 * 1024;
+  size_t cache_shards = 8;
+  /// Reopen an existing file instead of building (Beas::Build routes to
+  /// IndexStore::Open; the original database is not touched).
+  bool open_existing = false;
+};
+
+/// \brief One scalar fetch's entries plus the pins keeping them alive.
+///
+/// Entries may point into backend-owned pinned storage (the block-file
+/// backend decodes groups out of cached blocks); they stay valid while
+/// this object lives. Container sugar keeps call sites reading like the
+/// plain vector the in-memory path used to return.
+struct FetchResult {
+  std::vector<FetchEntry> entries;
+  FetchPins pins;
+
+  size_t size() const { return entries.size(); }
+  bool empty() const { return entries.empty(); }
+  const FetchEntry& operator[](size_t i) const { return entries[i]; }
+  std::vector<FetchEntry>::const_iterator begin() const { return entries.begin(); }
+  std::vector<FetchEntry>::const_iterator end() const { return entries.end(); }
 };
 
 /// \brief Owns the physical indices for template families and declared
@@ -99,18 +158,32 @@ class AccessMeter {
 ///
 /// Thread-safety: the fetch paths (Fetch / FetchBatch / FetchBatch-
 /// Unmetered, including the const overloads charging per-query meters)
-/// only read the index structures, so any number of queries may fetch
-/// concurrently. Build / ApplyInsert / ApplyRemove mutate them and
-/// require exclusive access — no fetch may be in flight. The query
-/// service's epoch guard enforces this drain-then-mutate protocol
-/// (docs/ARCHITECTURE.md "Concurrent query service"); single-session
-/// callers get it for free.
+/// only read the index structures (the block cache synchronizes itself),
+/// so any number of queries may fetch concurrently. Build / Open /
+/// ApplyInsert / ApplyRemove mutate them and require exclusive access —
+/// no fetch may be in flight. The query service's epoch guard enforces
+/// this drain-then-mutate protocol (docs/ARCHITECTURE.md "Concurrent
+/// query service"); single-session callers get it for free.
 class IndexStore {
  public:
+  IndexStore();
+  ~IndexStore();
+
   /// Builds indices for \p template_families and \p constraints over
-  /// \p db. Fails if a declared constraint's cardinality bound is violated.
+  /// \p db on the in-memory backend. Fails if a declared constraint's
+  /// cardinality bound is violated.
   Status Build(const Database& db, const std::vector<FamilySpec>& template_families,
                const std::vector<ConstraintSpec>& constraints);
+
+  /// Build on an explicit backend (IndexStoreOptions::backend).
+  Status Build(const Database& db, const std::vector<FamilySpec>& template_families,
+               const std::vector<ConstraintSpec>& constraints,
+               const IndexStoreOptions& options);
+
+  /// Cold-reopens a block file built earlier (kBlockFile only): restores
+  /// the access schema and group maps from the file's directory without
+  /// touching any database.
+  Status Open(const IndexStoreOptions& options);
 
   /// The bound access schema (metadata only).
   const AccessSchema& schema() const { return schema_; }
@@ -118,44 +191,47 @@ class IndexStore {
   /// Fetches representatives for (\p family_id, \p level, \p xkey),
   /// charging the store's legacy meter one unit per returned entry. For
   /// constraint families \p level is ignored (the fetch is exact).
-  Result<std::vector<FetchEntry>> Fetch(const std::string& family_id, int level,
-                                        const Tuple& xkey);
+  Result<FetchResult> Fetch(const std::string& family_id, int level, const Tuple& xkey);
 
   /// Fetch charging \p meter (a per-query AccessMeter) instead of the
   /// store's legacy meter. Const: this is the concurrent read path — any
   /// number of queries may fetch at once, each against its own meter, as
   /// long as no maintenance runs concurrently (see class comment).
-  Result<std::vector<FetchEntry>> Fetch(const std::string& family_id, int level,
-                                        const Tuple& xkey, AccessMeter* meter) const;
+  Result<FetchResult> Fetch(const std::string& family_id, int level, const Tuple& xkey,
+                            AccessMeter* meter) const;
 
   /// Batched Fetch for the vectorized executor: fetches representatives
   /// for every key in \p xkeys (non-null, borrowed) from one family,
-  /// filling \p out with one entry vector per key (parallel to xkeys).
-  /// The family lookup — the dominant per-probe overhead — is resolved
-  /// once per batch; the meter is still charged per key, so accessed
-  /// counts and the OutOfBudget failure point are identical to issuing
-  /// the fetches one by one (the alpha bound stays tight). Charges the
-  /// store's legacy meter.
+  /// filling \p out with one entry vector per key (parallel to xkeys)
+  /// and appending keep-alive pins to \p pins — entries stay valid while
+  /// the pins are held. The family lookup — the dominant per-probe
+  /// overhead — is resolved once per batch; the meter is still charged
+  /// per key, so accessed counts and the OutOfBudget failure point are
+  /// identical to issuing the fetches one by one (the alpha bound stays
+  /// tight). Charges the store's legacy meter.
   Status FetchBatch(const std::string& family_id, int level,
                     const std::vector<const Tuple*>& xkeys,
-                    std::vector<std::vector<FetchEntry>>* out);
+                    std::vector<std::vector<FetchEntry>>* out, FetchPins* pins);
 
   /// FetchBatch charging \p meter (a per-query AccessMeter). Const and
   /// safe concurrently with other reads; the per-query metered path of
-  /// the executor.
+  /// the executor. Cache hits/misses land in meter->cache_counters().
   Status FetchBatch(const std::string& family_id, int level,
                     const std::vector<const Tuple*>& xkeys,
-                    std::vector<std::vector<FetchEntry>>* out, AccessMeter* meter) const;
+                    std::vector<std::vector<FetchEntry>>* out, FetchPins* pins,
+                    AccessMeter* meter) const;
 
   /// FetchBatch minus the metering: identical entries in identical order,
   /// but no meter is touched — the caller charges through an
   /// AccessMeter's deposit protocol to keep the OutOfBudget failure point
-  /// deterministic under parallel fetching. Const and safe to call
+  /// deterministic under parallel fetching. \p counters (nullable)
+  /// receives the cache hit/miss counts. Const and safe to call
   /// concurrently with other (unmetered) reads; must not run concurrently
   /// with Build/ApplyInsert/ApplyRemove.
   Status FetchBatchUnmetered(const std::string& family_id, int level,
                              const std::vector<const Tuple*>& xkeys,
-                             std::vector<std::vector<FetchEntry>>* out) const;
+                             std::vector<std::vector<FetchEntry>>* out, FetchPins* pins,
+                             CacheCounters* counters = nullptr) const;
 
   /// The legacy store-wide meter. Kept for single-session callers and
   /// tests; the executor now meters each query through its QueryContext,
@@ -171,9 +247,18 @@ class IndexStore {
 
   /// Incremental maintenance (paper Fig 2, C2): updates every index over
   /// \p relation for an inserted/removed base tuple \p row. The caller
-  /// updates the Database itself.
+  /// updates the Database itself. On the block-file backend this also
+  /// invalidates the cached blocks the mutation rewrote.
   Status ApplyInsert(const std::string& relation, const Tuple& row);
   Status ApplyRemove(const std::string& relation, const Tuple& row);
+
+  /// Store-wide block-cache counters since build/open; all zero on the
+  /// in-memory backend.
+  BlockCacheStats cache_stats() const;
+
+  /// On-disk footprint in bytes; 0 on the in-memory backend. The basis
+  /// for "cache_bytes as a fraction of index size" budgets.
+  uint64_t disk_bytes() const;
 
  private:
   /// Shared body of FetchBatch / FetchBatchUnmetered: one family
@@ -183,24 +268,11 @@ class IndexStore {
   /// the metered and deposit-protocol paths.
   Status FetchBatchImpl(const std::string& family_id, int level,
                         const std::vector<const Tuple*>& xkeys,
-                        std::vector<std::vector<FetchEntry>>* out,
-                        AccessMeter* meter) const;
-
-  struct ConstraintIndex {
-    ConstraintSpec spec;
-    std::vector<size_t> x_idx;
-    std::vector<size_t> y_idx;
-    // Distinct Y-tuples with multiplicities, per X-key.
-    std::unordered_map<Tuple, std::vector<std::pair<Tuple, int64_t>>, TupleHasher> groups;
-    size_t total_entries = 0;
-  };
-
-  Result<BoundFamily> BuildConstraint(const ConstraintSpec& spec, const Table& table,
-                                      ConstraintIndex* out);
+                        std::vector<std::vector<FetchEntry>>* out, FetchPins* pins,
+                        AccessMeter* meter, CacheCounters* counters) const;
 
   AccessSchema schema_;
-  std::map<std::string, TemplateIndex> template_indices_;  // by family id
-  std::map<std::string, ConstraintIndex> constraint_indices_;
+  std::unique_ptr<StorageBackend> backend_;
   AccessMeter meter_;
 };
 

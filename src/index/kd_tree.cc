@@ -187,6 +187,71 @@ std::vector<double> KdTree::FrontierResolution(int k) const {
   return res;
 }
 
+void KdTree::EncodeTo(std::string* dst) const {
+  PutU32(dst, static_cast<uint32_t>(depth_));
+  PutU32(dst, static_cast<uint32_t>(tuples_.size()));
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    PutTuple(dst, tuples_[i]);
+    PutI64(dst, mults_[i]);
+  }
+  PutU32(dst, static_cast<uint32_t>(nodes_.size()));
+  for (const Node& n : nodes_) {
+    PutU32(dst, static_cast<uint32_t>(n.rep));
+    PutI64(dst, n.count);
+    PutU32(dst, static_cast<uint32_t>(n.left));
+    PutU32(dst, static_cast<uint32_t>(n.right));
+    PutU32(dst, static_cast<uint32_t>(n.spread.size()));
+    for (double s : n.spread) PutF64(dst, s);
+  }
+}
+
+Result<KdTree> KdTree::DecodeFrom(ByteReader* reader) {
+  KdTree tree;
+  BEAS_ASSIGN_OR_RETURN(uint32_t depth, reader->ReadU32());
+  tree.depth_ = static_cast<int>(depth);
+  BEAS_ASSIGN_OR_RETURN(uint32_t n_tuples, reader->ReadU32());
+  tree.tuples_.reserve(n_tuples);
+  tree.mults_.reserve(n_tuples);
+  for (uint32_t i = 0; i < n_tuples; ++i) {
+    BEAS_ASSIGN_OR_RETURN(Tuple t, reader->ReadTuple());
+    BEAS_ASSIGN_OR_RETURN(int64_t m, reader->ReadI64());
+    tree.tuples_.push_back(std::move(t));
+    tree.mults_.push_back(m);
+  }
+  BEAS_ASSIGN_OR_RETURN(uint32_t n_nodes, reader->ReadU32());
+  tree.nodes_.reserve(n_nodes);
+  for (uint32_t i = 0; i < n_nodes; ++i) {
+    Node n;
+    BEAS_ASSIGN_OR_RETURN(uint32_t rep, reader->ReadU32());
+    n.rep = static_cast<int32_t>(rep);
+    BEAS_ASSIGN_OR_RETURN(n.count, reader->ReadI64());
+    BEAS_ASSIGN_OR_RETURN(uint32_t left, reader->ReadU32());
+    n.left = static_cast<int32_t>(left);
+    BEAS_ASSIGN_OR_RETURN(uint32_t right, reader->ReadU32());
+    n.right = static_cast<int32_t>(right);
+    BEAS_ASSIGN_OR_RETURN(uint32_t n_spread, reader->ReadU32());
+    n.spread.reserve(n_spread);
+    for (uint32_t a = 0; a < n_spread; ++a) {
+      BEAS_ASSIGN_OR_RETURN(double s, reader->ReadF64());
+      n.spread.push_back(s);
+    }
+    // Bound-check the structural indices so a corrupted (but checksum-
+    // colliding) record cannot produce out-of-range accesses later.
+    if (n.rep < 0 || static_cast<uint32_t>(n.rep) >= n_tuples ||
+        n.left >= static_cast<int32_t>(n_nodes) || n.right >= static_cast<int32_t>(n_nodes)) {
+      return Status::DataLoss("kd-tree record: node index out of range");
+    }
+    tree.nodes_.push_back(std::move(n));
+  }
+  // Attribute defs are not serialized (decoded trees are fetch-only), but
+  // FrontierResolution sizes its result by attrs_.size() — restore the
+  // arity with placeholder defs so resolutions keep their width.
+  if (!tree.nodes_.empty()) {
+    tree.attrs_.resize(tree.nodes_[0].spread.size());
+  }
+  return tree;
+}
+
 size_t KdTree::FrontierSize(int k) const {
   if (nodes_.empty()) return 0;
   k = std::clamp(k, 0, depth_);

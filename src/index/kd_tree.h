@@ -13,8 +13,11 @@
 #define BEAS_INDEX_KD_TREE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "common/result.h"
+#include "storage/codec.h"
 #include "types/schema.h"
 #include "types/tuple.h"
 
@@ -66,6 +69,15 @@ class KdTree {
 
   /// Number of entries in the level-\p k frontier (<= 2^k).
   size_t FrontierSize(int k) const;
+
+  /// Serializes the tree (distinct tuples, multiplicities, nodes, depth)
+  /// for the block-file backend. DecodeFrom reproduces Frontier /
+  /// FrontierResolution / FrontierSize output bit-identically. Attribute
+  /// defs are not stored (per-node spreads are precomputed), so a decoded
+  /// tree serves fetches but is not re-Build()-able — incremental rebuilds
+  /// go through the raw Y-row bags instead.
+  void EncodeTo(std::string* dst) const;
+  static Result<KdTree> DecodeFrom(ByteReader* reader);
 
  private:
   struct Node {

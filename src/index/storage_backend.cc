@@ -1,0 +1,217 @@
+#include "index/storage_backend.h"
+
+#include "common/string_util.h"
+
+namespace beas {
+
+namespace {
+
+/// Cursor over one in-memory family. Entries point into the backend's own
+/// structures, which outlive any query (maintenance is excluded while
+/// fetches are in flight), so no pins are emitted.
+class MemoryCursor : public StorageBackend::FamilyCursor {
+ public:
+  explicit MemoryCursor(const TemplateIndex* index) : template_(index) {}
+  explicit MemoryCursor(const InMemoryBackend::ConstraintIndex* index)
+      : constraint_(index) {}
+
+  Status Fetch(const Tuple& xkey, int level, std::vector<FetchEntry>* out,
+               FetchPins* pins) override {
+    (void)pins;
+    if (constraint_ != nullptr) {
+      auto git = constraint_->groups.find(xkey);
+      if (git == constraint_->groups.end()) return Status::OK();
+      out->reserve(out->size() + git->second.size());
+      for (const auto& [y, m] : git->second) out->push_back(FetchEntry{&y, m});
+      return Status::OK();
+    }
+    template_->Fetch(xkey, level, out);
+    return Status::OK();
+  }
+
+ private:
+  const TemplateIndex* template_ = nullptr;
+  const InMemoryBackend::ConstraintIndex* constraint_ = nullptr;
+};
+
+}  // namespace
+
+Status InMemoryBackend::Build(const Database& db,
+                              const std::vector<FamilySpec>& template_families,
+                              const std::vector<ConstraintSpec>& constraints,
+                              AccessSchema* schema) {
+  template_indices_.clear();
+  constraint_indices_.clear();
+
+  for (const auto& spec : constraints) {
+    BEAS_ASSIGN_OR_RETURN(const Table* table, db.FindTable(spec.relation));
+    ConstraintIndex index;
+    BEAS_ASSIGN_OR_RETURN(BoundFamily family, BuildConstraint(spec, *table, &index));
+    BEAS_RETURN_IF_ERROR(schema->AddFamily(std::move(family)));
+    constraint_indices_.emplace(spec.Id(), std::move(index));
+  }
+
+  for (const auto& spec : template_families) {
+    BEAS_ASSIGN_OR_RETURN(const Table* table, db.FindTable(spec.relation));
+    TemplateIndex index;
+    BEAS_ASSIGN_OR_RETURN(BoundFamily family, index.Build(spec, *table));
+    BEAS_RETURN_IF_ERROR(schema->AddFamily(std::move(family)));
+    template_indices_.emplace(spec.Id(), std::move(index));
+  }
+  return Status::OK();
+}
+
+Result<BoundFamily> InMemoryBackend::BuildConstraint(const ConstraintSpec& spec,
+                                                     const Table& table,
+                                                     ConstraintIndex* out) {
+  const RelationSchema& schema = table.schema();
+  out->spec = spec;
+  for (const auto& x : spec.x_attrs) {
+    BEAS_ASSIGN_OR_RETURN(size_t i, schema.AttributeIndex(x));
+    out->x_idx.push_back(i);
+  }
+  for (const auto& y : spec.y_attrs) {
+    BEAS_ASSIGN_OR_RETURN(size_t i, schema.AttributeIndex(y));
+    out->y_idx.push_back(i);
+  }
+
+  // Group, collapse duplicates, and validate the cardinality bound N.
+  std::unordered_map<Tuple, std::unordered_map<Tuple, int64_t, TupleHasher>, TupleHasher>
+      grouped;
+  for (const auto& row : table.rows()) {
+    Tuple xkey;
+    xkey.reserve(out->x_idx.size());
+    for (size_t i : out->x_idx) xkey.push_back(row[i]);
+    Tuple y;
+    y.reserve(out->y_idx.size());
+    for (size_t i : out->y_idx) y.push_back(row[i]);
+    grouped[std::move(xkey)][std::move(y)] += 1;
+  }
+  out->total_entries = 0;
+  for (auto& [xkey, ys] : grouped) {
+    if (ys.size() > spec.n) {
+      return Status::InvalidArgument(
+          StrCat("constraint ", spec.Id(), " violated: X-value ", TupleToString(xkey),
+                 " has ", ys.size(), " distinct Y-values > N = ", spec.n));
+    }
+    auto& list = out->groups[xkey];
+    list.reserve(ys.size());
+    for (auto& [y, m] : ys) list.emplace_back(y, m);
+    out->total_entries += list.size();
+  }
+
+  BoundFamily family;
+  family.id = spec.Id();
+  family.relation = spec.relation;
+  family.x_attrs = spec.x_attrs;
+  family.y_attrs = spec.y_attrs;
+  family.is_constraint = true;
+  family.constraint_n = spec.n;
+  family.max_level = 0;
+  family.level_resolution = {std::vector<double>(spec.y_attrs.size(), 0.0)};
+  family.level_fanout = {spec.n};
+  return family;
+}
+
+Result<std::unique_ptr<StorageBackend::FamilyCursor>> InMemoryBackend::OpenFamily(
+    const std::string& family_id, CacheCounters* counters) const {
+  (void)counters;  // no cache: every fetch reads resident structures
+  auto cit = constraint_indices_.find(family_id);
+  if (cit != constraint_indices_.end()) {
+    return std::unique_ptr<FamilyCursor>(new MemoryCursor(&cit->second));
+  }
+  auto tit = template_indices_.find(family_id);
+  if (tit != template_indices_.end()) {
+    return std::unique_ptr<FamilyCursor>(new MemoryCursor(&tit->second));
+  }
+  return Status::NotFound(StrCat("no index for family '", family_id, "'"));
+}
+
+size_t InMemoryBackend::TotalEntries() const {
+  size_t n = 0;
+  for (const auto& [id, idx] : template_indices_) n += idx.TotalEntries();
+  for (const auto& [id, idx] : constraint_indices_) n += idx.total_entries;
+  return n;
+}
+
+size_t InMemoryBackend::ConstraintEntries() const {
+  size_t n = 0;
+  for (const auto& [id, idx] : constraint_indices_) n += idx.total_entries;
+  return n;
+}
+
+Result<size_t> InMemoryBackend::FamilyEntries(const std::string& family_id) const {
+  auto tit = template_indices_.find(family_id);
+  if (tit != template_indices_.end()) return tit->second.TotalEntries();
+  auto cit = constraint_indices_.find(family_id);
+  if (cit != constraint_indices_.end()) return cit->second.total_entries;
+  return Status::NotFound(StrCat("no index for family '", family_id, "'"));
+}
+
+Status InMemoryBackend::ApplyInsert(const std::string& relation, const Tuple& row,
+                                    AccessSchema* schema) {
+  for (auto& [id, index] : template_indices_) {
+    BEAS_ASSIGN_OR_RETURN(BoundFamily* family, schema->FindMutableFamily(id));
+    if (family->relation != relation) continue;
+    BEAS_RETURN_IF_ERROR(index.ApplyInsert(row, family));
+  }
+  for (auto& [id, index] : constraint_indices_) {
+    if (index.spec.relation != relation) continue;
+    Tuple xkey;
+    for (size_t i : index.x_idx) xkey.push_back(row[i]);
+    Tuple y;
+    for (size_t i : index.y_idx) y.push_back(row[i]);
+    auto& list = index.groups[xkey];
+    bool found = false;
+    for (auto& [t, m] : list) {
+      if (t == y) {
+        m += 1;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      if (list.size() + 1 > index.spec.n) {
+        return Status::InvalidArgument(
+            StrCat("insert violates constraint ", index.spec.Id()));
+      }
+      list.emplace_back(std::move(y), 1);
+      index.total_entries += 1;
+    }
+  }
+  return Status::OK();
+}
+
+Status InMemoryBackend::ApplyRemove(const std::string& relation, const Tuple& row,
+                                    AccessSchema* schema) {
+  for (auto& [id, index] : template_indices_) {
+    BEAS_ASSIGN_OR_RETURN(BoundFamily* family, schema->FindMutableFamily(id));
+    if (family->relation != relation) continue;
+    BEAS_RETURN_IF_ERROR(index.ApplyRemove(row, family));
+  }
+  for (auto& [id, index] : constraint_indices_) {
+    if (index.spec.relation != relation) continue;
+    Tuple xkey;
+    for (size_t i : index.x_idx) xkey.push_back(row[i]);
+    Tuple y;
+    for (size_t i : index.y_idx) y.push_back(row[i]);
+    auto git = index.groups.find(xkey);
+    if (git == index.groups.end()) {
+      return Status::NotFound("ApplyRemove: no such constraint group");
+    }
+    auto& list = git->second;
+    for (auto it = list.begin(); it != list.end(); ++it) {
+      if (it->first == y) {
+        if (--it->second == 0) {
+          list.erase(it);
+          index.total_entries -= 1;
+        }
+        break;
+      }
+    }
+    if (list.empty()) index.groups.erase(git);
+  }
+  return Status::OK();
+}
+
+}  // namespace beas

@@ -1,0 +1,134 @@
+// The pluggable storage layer under IndexStore: every physical fetch,
+// size accounting and incremental maintenance call goes through this
+// interface, while the metering loop — the part that defines accessed
+// counts and the OutOfBudget failure point — stays in IndexStore, shared
+// verbatim by every backend. Two implementations exist:
+//
+//  - InMemoryBackend (here): the original hash-map + K-D-tree store,
+//    extracted behavior-identically.
+//  - BlockFileBackend (block_file.h): the same structures serialized into
+//    fixed-size checksummed blocks on disk, read through a bounded LRU
+//    block cache.
+//
+// Contract: for one database + family set, all backends return identical
+// entries in identical order for every (family, level, xkey) fetch — the
+// property the conformance suite and property test P9 assert — so answers
+// are bit-identical regardless of where the bytes live.
+
+#ifndef BEAS_INDEX_STORAGE_BACKEND_H_
+#define BEAS_INDEX_STORAGE_BACKEND_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "accschema/access_schema.h"
+#include "common/result.h"
+#include "index/block_cache.h"
+#include "index/template_index.h"
+#include "storage/database.h"
+
+namespace beas {
+
+/// \brief Physical storage of all index families of one database.
+///
+/// Thread-safety mirrors IndexStore's: OpenFamily and cursor fetches are
+/// const reads, safe from any number of query threads at once; Build /
+/// ApplyInsert / ApplyRemove require exclusive access (the drain-then-
+/// mutate protocol of the query service's epoch guard).
+class StorageBackend {
+ public:
+  /// A per-batch fetch handle with the family resolved once — the
+  /// dominant per-probe overhead FetchBatch amortizes.
+  class FamilyCursor {
+   public:
+    virtual ~FamilyCursor() = default;
+
+    /// Appends the entries for (\p xkey, \p level) to \p out (an unknown
+    /// X-value yields none) and any keep-alive pins to \p pins. The
+    /// entries stay valid while the pins (and the backend) live.
+    virtual Status Fetch(const Tuple& xkey, int level, std::vector<FetchEntry>* out,
+                         FetchPins* pins) = 0;
+  };
+
+  virtual ~StorageBackend() = default;
+
+  /// Builds all indices and populates \p schema with the bound families
+  /// (constraints first, then template families; validation included).
+  virtual Status Build(const Database& db, const std::vector<FamilySpec>& template_families,
+                       const std::vector<ConstraintSpec>& constraints,
+                       AccessSchema* schema) = 0;
+
+  /// Resolves \p family_id for a batch of fetches; NotFound for unknown
+  /// ids. \p counters (nullable) receives block-cache hit/miss counts for
+  /// the cursor's reads (backends without a cache ignore it).
+  virtual Result<std::unique_ptr<FamilyCursor>> OpenFamily(const std::string& family_id,
+                                                           CacheCounters* counters) const = 0;
+
+  virtual size_t TotalEntries() const = 0;
+  virtual size_t ConstraintEntries() const = 0;
+  virtual Result<size_t> FamilyEntries(const std::string& family_id) const = 0;
+
+  /// Incremental maintenance; updates the affected families in \p schema.
+  virtual Status ApplyInsert(const std::string& relation, const Tuple& row,
+                             AccessSchema* schema) = 0;
+  virtual Status ApplyRemove(const std::string& relation, const Tuple& row,
+                             AccessSchema* schema) = 0;
+
+  /// Store-wide block-cache counters; all zero for cache-less backends.
+  virtual BlockCacheStats cache_stats() const { return BlockCacheStats{}; }
+
+  /// On-disk footprint in bytes; 0 for purely in-memory backends.
+  virtual uint64_t disk_bytes() const { return 0; }
+};
+
+/// \brief The original in-memory store: a TemplateIndex per template
+/// family and an exact group map per constraint family.
+class InMemoryBackend : public StorageBackend {
+ public:
+  /// Exact (d = 0) index of one declared constraint family.
+  struct ConstraintIndex {
+    ConstraintSpec spec;
+    std::vector<size_t> x_idx;
+    std::vector<size_t> y_idx;
+    /// Distinct Y-tuples with multiplicities, per X-key.
+    std::unordered_map<Tuple, std::vector<std::pair<Tuple, int64_t>>, TupleHasher> groups;
+    size_t total_entries = 0;
+  };
+
+  Status Build(const Database& db, const std::vector<FamilySpec>& template_families,
+               const std::vector<ConstraintSpec>& constraints, AccessSchema* schema) override;
+  Result<std::unique_ptr<FamilyCursor>> OpenFamily(const std::string& family_id,
+                                                   CacheCounters* counters) const override;
+  size_t TotalEntries() const override;
+  size_t ConstraintEntries() const override;
+  Result<size_t> FamilyEntries(const std::string& family_id) const override;
+  Status ApplyInsert(const std::string& relation, const Tuple& row,
+                     AccessSchema* schema) override;
+  Status ApplyRemove(const std::string& relation, const Tuple& row,
+                     AccessSchema* schema) override;
+
+  /// Structural accessors for the block-file backend, which serializes a
+  /// freshly built in-memory store block by block (guaranteeing identical
+  /// trees and group lists by construction).
+  const std::map<std::string, TemplateIndex>& template_indices() const {
+    return template_indices_;
+  }
+  const std::map<std::string, ConstraintIndex>& constraint_indices() const {
+    return constraint_indices_;
+  }
+
+ private:
+  Result<BoundFamily> BuildConstraint(const ConstraintSpec& spec, const Table& table,
+                                      ConstraintIndex* out);
+
+  std::map<std::string, TemplateIndex> template_indices_;  // by family id
+  std::map<std::string, ConstraintIndex> constraint_indices_;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_INDEX_STORAGE_BACKEND_H_

@@ -45,26 +45,33 @@ Result<BoundFamily> TemplateIndex::Build(const FamilySpec& spec, const Table& ta
   return family;
 }
 
-Status TemplateIndex::RefreshMetadata(BoundFamily* family) {
-  max_level_ = 0;
-  for (const auto& [xkey, tree] : groups_) {
-    max_level_ = std::max(max_level_, tree.depth());
-  }
+void RefreshFamilyLevels(const std::vector<const KdTree*>& trees, size_t y_arity,
+                         BoundFamily* family) {
+  int max_level = 0;
+  for (const KdTree* tree : trees) max_level = std::max(max_level, tree->depth());
   family->is_constraint = false;
-  family->max_level = max_level_;
-  family->level_resolution.assign(static_cast<size_t>(max_level_) + 1,
-                                  std::vector<double>(y_attrs_.size(), 0.0));
-  family->level_fanout.assign(static_cast<size_t>(max_level_) + 1, 0);
-  for (int k = 0; k <= max_level_; ++k) {
+  family->max_level = max_level;
+  family->level_resolution.assign(static_cast<size_t>(max_level) + 1,
+                                  std::vector<double>(y_arity, 0.0));
+  family->level_fanout.assign(static_cast<size_t>(max_level) + 1, 0);
+  for (int k = 0; k <= max_level; ++k) {
     auto& res = family->level_resolution[static_cast<size_t>(k)];
     uint64_t fanout = 0;
-    for (const auto& [xkey, tree] : groups_) {
-      std::vector<double> r = tree.FrontierResolution(k);
+    for (const KdTree* tree : trees) {
+      std::vector<double> r = tree->FrontierResolution(k);
       for (size_t a = 0; a < r.size(); ++a) res[a] = std::max(res[a], r[a]);
-      fanout = std::max<uint64_t>(fanout, tree.FrontierSize(k));
+      fanout = std::max<uint64_t>(fanout, tree->FrontierSize(k));
     }
     family->level_fanout[static_cast<size_t>(k)] = std::max<uint64_t>(fanout, 1);
   }
+}
+
+Status TemplateIndex::RefreshMetadata(BoundFamily* family) {
+  std::vector<const KdTree*> trees;
+  trees.reserve(groups_.size());
+  for (const auto& [xkey, tree] : groups_) trees.push_back(&tree);
+  RefreshFamilyLevels(trees, y_attrs_.size(), family);
+  max_level_ = family->max_level;
   return Status::OK();
 }
 

@@ -5,6 +5,7 @@
 #define BEAS_INDEX_TEMPLATE_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -21,6 +22,23 @@ struct FetchEntry {
   const Tuple* y = nullptr;
   int64_t count = 0;
 };
+
+/// Keep-alive handles for fetched entries. Backends that materialize
+/// groups on demand (the block-file backend decodes them out of cached
+/// blocks) hand the decoded storage back as pins: the FetchEntry pointers
+/// of a fetch stay valid exactly as long as its pins are held, even if
+/// the cache evicts the underlying blocks meanwhile. The in-memory
+/// backend's entries point into the store itself and add no pins.
+using FetchPin = std::shared_ptr<const void>;
+using FetchPins = std::vector<FetchPin>;
+
+/// Recomputes a template family's level metadata — max_level, per-level
+/// resolutions d_k and fanout — from its per-group K-D trees. Every
+/// aggregate is an order-independent max, so any backend iterating its
+/// groups in any order lands on identical metadata (the block-file
+/// backend relies on this after incremental maintenance).
+void RefreshFamilyLevels(const std::vector<const KdTree*>& trees, size_t y_arity,
+                         BoundFamily* family);
 
 /// \brief Index for one template family over one relation instance.
 ///
@@ -54,6 +72,16 @@ class TemplateIndex {
   Status ApplyRemove(const Tuple& row, BoundFamily* family);
 
   int max_level() const { return max_level_; }
+
+  /// Structural accessors for the block-file backend, which serializes
+  /// the freshly built in-memory structures block by block.
+  const std::vector<size_t>& x_idx() const { return x_idx_; }
+  const std::vector<size_t>& y_idx() const { return y_idx_; }
+  const std::vector<AttributeDef>& y_attrs() const { return y_attrs_; }
+  const std::unordered_map<Tuple, KdTree, TupleHasher>& groups() const { return groups_; }
+  const std::unordered_map<Tuple, std::vector<Tuple>, TupleHasher>& group_rows() const {
+    return group_rows_;
+  }
 
  private:
   Status RefreshMetadata(BoundFamily* family);

@@ -184,6 +184,15 @@ ServiceStats QueryService::stats() const {
     window.assign(latency_ring_.begin(), latency_ring_.begin() + n);
   }
   out.epoch = guard_.epoch();
+  BlockCacheStats cache = beas_->store().cache_stats();
+  out.cache_hits = cache.hits;
+  out.cache_misses = cache.misses;
+  uint64_t traffic = cache.hits + cache.misses;
+  if (traffic > 0) {
+    out.cache_hit_rate =
+        static_cast<double>(cache.hits) / static_cast<double>(traffic);
+  }
+  out.cache_resident_bytes = cache.resident_bytes;
   if (!window.empty()) {
     auto percentile = [&window](double p) {
       size_t idx = static_cast<size_t>(p * static_cast<double>(window.size() - 1));

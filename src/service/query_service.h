@@ -72,6 +72,13 @@ struct ServiceStats {
   uint64_t epoch = 0;
   double p50_ms = 0;         ///< median latency over the recent window
   double p95_ms = 0;         ///< 95th-percentile latency over the window
+  /// Block-cache counters of the disk-backed index tier (all zeros on the
+  /// in-memory backend). Observational only: hit rate never changes
+  /// answers, only latency.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  double cache_hit_rate = 0;           ///< hits / (hits + misses); 0 if idle
+  uint64_t cache_resident_bytes = 0;   ///< bytes currently held by the cache
 };
 
 /// \brief A multi-session query server over one Beas instance.

@@ -1,0 +1,227 @@
+#include "storage/block_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+#include "common/string_util.h"
+#include "storage/codec.h"
+
+namespace beas {
+
+namespace {
+
+constexpr char kMagic[8] = {'B', 'E', 'A', 'S', 'B', 'L', 'K', '1'};
+// footer: u64 dir_off | u64 dir_len | u32 dir_crc | u32 block_bytes | magic
+constexpr size_t kFooterBytes = 8 + 8 + 4 + 4 + 8;
+
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+Status PReadExact(int fd, uint64_t off, size_t n, std::string* out) {
+  out->resize(n);
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::pread(fd, &(*out)[done], n - done, static_cast<off_t>(off + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(StrCat("pread failed: ", std::strerror(errno)));
+    }
+    if (r == 0) {
+      return Status::DataLoss(
+          StrCat("unexpected end of file at offset ", off + done, " (wanted ", n, " bytes)"));
+    }
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status PWriteExact(int fd, uint64_t off, const char* data, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::pwrite(fd, data + done, n - done, static_cast<off_t>(off + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(StrCat("pwrite failed: ", std::strerror(errno)));
+    }
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint32_t Crc32(const char* data, size_t n) {
+  const auto& table = CrcTable();
+  uint32_t c = 0xffffffffu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ static_cast<unsigned char>(data[i])) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+BlockFile::~BlockFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<BlockFile>> BlockFile::Create(const std::string& path,
+                                                     uint32_t block_bytes) {
+  if (block_bytes == 0) {
+    return Status::InvalidArgument("block_bytes must be positive");
+  }
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal(
+        StrCat("cannot create block file '", path, "': ", std::strerror(errno)));
+  }
+  auto file = std::unique_ptr<BlockFile>(new BlockFile());
+  file->fd_ = fd;
+  file->path_ = path;
+  file->block_bytes_ = block_bytes;
+  return file;
+}
+
+Result<std::unique_ptr<BlockFile>> BlockFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return Status::NotFound(
+        StrCat("cannot open block file '", path, "': ", std::strerror(errno)));
+  }
+  auto file = std::unique_ptr<BlockFile>(new BlockFile());
+  file->fd_ = fd;
+  file->path_ = path;
+
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < static_cast<off_t>(kFooterBytes)) {
+    return Status::DataLoss(StrCat("block file '", path, "' too short for a footer"));
+  }
+  std::string footer;
+  BEAS_RETURN_IF_ERROR(
+      PReadExact(fd, static_cast<uint64_t>(size) - kFooterBytes, kFooterBytes, &footer));
+  if (std::memcmp(footer.data() + kFooterBytes - sizeof(kMagic), kMagic,
+                  sizeof(kMagic)) != 0) {
+    return Status::DataLoss(StrCat("block file '", path, "': bad magic in footer"));
+  }
+  ByteReader fr(footer);
+  BEAS_ASSIGN_OR_RETURN(uint64_t dir_off, fr.ReadU64());
+  BEAS_ASSIGN_OR_RETURN(uint64_t dir_len, fr.ReadU64());
+  BEAS_ASSIGN_OR_RETURN(uint32_t dir_crc, fr.ReadU32());
+  BEAS_ASSIGN_OR_RETURN(uint32_t block_bytes, fr.ReadU32());
+  if (block_bytes == 0 || dir_off + dir_len + kFooterBytes != static_cast<uint64_t>(size)) {
+    return Status::DataLoss(StrCat("block file '", path, "': inconsistent footer"));
+  }
+  file->block_bytes_ = block_bytes;
+
+  std::string dir;
+  BEAS_RETURN_IF_ERROR(PReadExact(fd, dir_off, dir_len, &dir));
+  if (Crc32(dir) != dir_crc) {
+    return Status::DataLoss(StrCat("block file '", path, "': directory checksum mismatch"));
+  }
+  ByteReader dr(dir);
+  BEAS_ASSIGN_OR_RETURN(file->data_len_, dr.ReadU64());
+  BEAS_ASSIGN_OR_RETURN(uint32_t n_blocks, dr.ReadU32());
+  if (file->data_len_ != dir_off || n_blocks != file->block_count()) {
+    return Status::DataLoss(StrCat("block file '", path, "': inconsistent directory"));
+  }
+  file->crcs_.reserve(n_blocks);
+  for (uint32_t i = 0; i < n_blocks; ++i) {
+    BEAS_ASSIGN_OR_RETURN(uint32_t crc, dr.ReadU32());
+    file->crcs_.push_back(crc);
+  }
+  BEAS_ASSIGN_OR_RETURN(uint64_t payload_len, dr.ReadU64());
+  if (dr.remaining() != payload_len) {
+    return Status::DataLoss(StrCat("block file '", path, "': inconsistent directory"));
+  }
+  file->dir_payload_.assign(dir, dir.size() - payload_len, payload_len);
+  file->file_bytes_ = static_cast<uint64_t>(size);
+
+  // Load the partial tail block so future appends can extend it.
+  uint64_t tail_len = file->data_len_ % file->block_bytes_;
+  if (tail_len > 0) {
+    BEAS_RETURN_IF_ERROR(
+        PReadExact(fd, file->data_len_ - tail_len, tail_len, &file->tail_));
+  }
+  return file;
+}
+
+Result<uint64_t> BlockFile::Append(const std::string& record) {
+  uint64_t offset = data_len_;
+  BEAS_RETURN_IF_ERROR(PWriteExact(fd_, data_len_, record.data(), record.size()));
+  data_len_ += record.size();
+  // Update the block checksum table incrementally through the tail buffer.
+  size_t pos = 0;
+  while (pos < record.size()) {
+    size_t room = block_bytes_ - tail_.size();
+    size_t take = std::min(room, record.size() - pos);
+    bool fresh_block = tail_.empty();
+    tail_.append(record, pos, take);
+    pos += take;
+    uint32_t crc = Crc32(tail_);
+    if (fresh_block) {
+      crcs_.push_back(crc);
+    } else {
+      crcs_.back() = crc;
+    }
+    if (tail_.size() == block_bytes_) tail_.clear();
+  }
+  return offset;
+}
+
+Status BlockFile::Sync(const std::string& dir_payload) {
+  std::string dir;
+  PutU64(&dir, data_len_);
+  PutU32(&dir, static_cast<uint32_t>(crcs_.size()));
+  for (uint32_t crc : crcs_) PutU32(&dir, crc);
+  PutU64(&dir, dir_payload.size());
+  dir += dir_payload;
+
+  std::string footer;
+  PutU64(&footer, data_len_);
+  PutU64(&footer, dir.size());
+  PutU32(&footer, Crc32(dir));
+  PutU32(&footer, block_bytes_);
+  footer.append(kMagic, sizeof(kMagic));
+
+  BEAS_RETURN_IF_ERROR(PWriteExact(fd_, data_len_, dir.data(), dir.size()));
+  BEAS_RETURN_IF_ERROR(
+      PWriteExact(fd_, data_len_ + dir.size(), footer.data(), footer.size()));
+  file_bytes_ = data_len_ + dir.size() + footer.size();
+  // Drop stale bytes of a previous (larger) directory.
+  if (::ftruncate(fd_, static_cast<off_t>(file_bytes_)) != 0) {
+    return Status::Internal(StrCat("ftruncate failed: ", std::strerror(errno)));
+  }
+  dir_payload_ = dir_payload;
+  return Status::OK();
+}
+
+Result<std::string> BlockFile::ReadBlockVerified(uint64_t index) const {
+  if (index >= block_count()) {
+    return Status::InvalidArgument(StrCat("block ", index, " out of range"));
+  }
+  uint64_t off = index * block_bytes_;
+  size_t len = static_cast<size_t>(std::min<uint64_t>(block_bytes_, data_len_ - off));
+  std::string block;
+  BEAS_RETURN_IF_ERROR(PReadExact(fd_, off, len, &block));
+  if (Crc32(block) != crcs_[index]) {
+    return Status::DataLoss(
+        StrCat("block file '", path_, "': checksum mismatch in block ", index,
+               " — the index file is corrupted and must be rebuilt"));
+  }
+  return block;
+}
+
+}  // namespace beas

@@ -1,0 +1,100 @@
+// Block-structured storage file for the disk-backed index tier.
+//
+// Layout (all little-endian):
+//
+//   [data region: records packed back to back, addressed by byte offset]
+//   [directory:  u64 data_len | u32 n_blocks | n_blocks * u32 block CRCs
+//                | u64 payload_len | payload (opaque to this layer)]
+//   [footer:     u64 dir_off | u64 dir_len | u32 dir_crc | u32 block_bytes
+//                | 8-byte magic "BEASBLK1"]
+//
+// The data region is divided into fixed-size blocks of `block_bytes`; a
+// record may span blocks. Each block carries a CRC32 in the directory's
+// checksum table, verified on every read: a flipped bit anywhere in the
+// data region surfaces as a clean DataLoss status, never as undefined
+// behavior. The directory payload (the index backend's serialized schema
+// and group maps) is CRC-protected the same way.
+//
+// Mutations are append-only: new records land at data_len, the directory
+// and footer are rewritten behind them by Sync(). Reads (ReadBlockVerified)
+// use pread on a shared descriptor and are safe from any number of threads
+// concurrently; Append/Sync require exclusive access (the query service's
+// epoch guard provides exactly that drain-then-mutate exclusion).
+
+#ifndef BEAS_STORAGE_BLOCK_IO_H_
+#define BEAS_STORAGE_BLOCK_IO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace beas {
+
+/// CRC-32 (IEEE 802.3 polynomial, the LevelDB/zlib convention) of
+/// \p data[0, n).
+uint32_t Crc32(const char* data, size_t n);
+inline uint32_t Crc32(const std::string& s) { return Crc32(s.data(), s.size()); }
+
+/// \brief One block-structured file: an append-only data region of
+/// checksummed fixed-size blocks plus an opaque directory payload.
+class BlockFile {
+ public:
+  ~BlockFile();
+  BlockFile(const BlockFile&) = delete;
+  BlockFile& operator=(const BlockFile&) = delete;
+
+  /// Creates (truncating) \p path with the given block size.
+  static Result<std::unique_ptr<BlockFile>> Create(const std::string& path,
+                                                   uint32_t block_bytes);
+
+  /// Opens an existing file: reads and CRC-verifies the footer and
+  /// directory (DataLoss on corruption), making dir_payload() available.
+  static Result<std::unique_ptr<BlockFile>> Open(const std::string& path);
+
+  /// Appends \p record to the data region and returns its byte offset.
+  /// Not durable until the next Sync().
+  Result<uint64_t> Append(const std::string& record);
+
+  /// Rewrites the directory (with \p dir_payload) and footer after the
+  /// current data region.
+  Status Sync(const std::string& dir_payload);
+
+  /// The directory payload read by Open (empty for a fresh Create).
+  const std::string& dir_payload() const { return dir_payload_; }
+
+  uint64_t data_len() const { return data_len_; }
+  uint32_t block_bytes() const { return block_bytes_; }
+  /// Number of data blocks (the last one may be partial).
+  uint64_t block_count() const {
+    return (data_len_ + block_bytes_ - 1) / block_bytes_;
+  }
+  /// Total on-disk footprint: data region + directory + footer.
+  uint64_t file_bytes() const { return file_bytes_; }
+
+  /// Reads block \p index (block_bytes long, except a shorter tail) and
+  /// verifies its checksum; DataLoss on mismatch. Thread-safe.
+  Result<std::string> ReadBlockVerified(uint64_t index) const;
+
+ private:
+  BlockFile() = default;
+
+  int fd_ = -1;
+  std::string path_;
+  uint32_t block_bytes_ = 0;
+  uint64_t data_len_ = 0;
+  uint64_t file_bytes_ = 0;
+  /// Contents of the trailing partial block (empty when data_len_ is
+  /// block-aligned); kept so appends can update its checksum in place.
+  std::string tail_;
+  /// Per-block CRCs, one per block_count() block; the last entry covers
+  /// the partial tail and is refreshed on every Append.
+  std::vector<uint32_t> crcs_;
+  std::string dir_payload_;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_STORAGE_BLOCK_IO_H_

@@ -1,0 +1,155 @@
+#include "storage/codec.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace beas {
+
+namespace {
+
+// Value tags; part of the on-disk format, do not renumber.
+constexpr uint8_t kTagNull = 0;
+constexpr uint8_t kTagInt64 = 1;
+constexpr uint8_t kTagDouble = 2;
+constexpr uint8_t kTagString = 3;
+
+}  // namespace
+
+void PutU8(std::string* dst, uint8_t v) { dst->push_back(static_cast<char>(v)); }
+
+void PutU32(std::string* dst, uint32_t v) {
+  for (int i = 0; i < 4; ++i) dst->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void PutU64(std::string* dst, uint64_t v) {
+  for (int i = 0; i < 8; ++i) dst->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void PutI64(std::string* dst, int64_t v) { PutU64(dst, static_cast<uint64_t>(v)); }
+
+void PutF64(std::string* dst, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(dst, bits);
+}
+
+void PutString(std::string* dst, const std::string& s) {
+  PutU32(dst, static_cast<uint32_t>(s.size()));
+  dst->append(s);
+}
+
+void PutValue(std::string* dst, const Value& v) {
+  switch (v.type()) {
+    case DataType::kNull:
+      PutU8(dst, kTagNull);
+      return;
+    case DataType::kInt64:
+      PutU8(dst, kTagInt64);
+      PutI64(dst, v.as_int64());
+      return;
+    case DataType::kDouble:
+      PutU8(dst, kTagDouble);
+      PutF64(dst, v.as_double());
+      return;
+    case DataType::kString:
+      PutU8(dst, kTagString);
+      PutString(dst, v.as_string());
+      return;
+  }
+}
+
+void PutTuple(std::string* dst, const Tuple& t) {
+  PutU32(dst, static_cast<uint32_t>(t.size()));
+  for (const Value& v : t) PutValue(dst, v);
+}
+
+Status ByteReader::Need(size_t n) const {
+  if (size_ - pos_ < n) {
+    return Status::DataLoss(
+        StrCat("truncated record: need ", n, " bytes at offset ", pos_, ", have ",
+               size_ - pos_));
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> ByteReader::ReadU8() {
+  BEAS_RETURN_IF_ERROR(Need(1));
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint32_t> ByteReader::ReadU32() {
+  BEAS_RETURN_IF_ERROR(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> ByteReader::ReadU64() {
+  BEAS_RETURN_IF_ERROR(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<int64_t> ByteReader::ReadI64() {
+  BEAS_ASSIGN_OR_RETURN(uint64_t v, ReadU64());
+  return static_cast<int64_t>(v);
+}
+
+Result<double> ByteReader::ReadF64() {
+  BEAS_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> ByteReader::ReadString() {
+  BEAS_ASSIGN_OR_RETURN(uint32_t len, ReadU32());
+  BEAS_RETURN_IF_ERROR(Need(len));
+  std::string s(data_ + pos_, len);
+  pos_ += len;
+  return s;
+}
+
+Result<Value> ByteReader::ReadValue() {
+  BEAS_ASSIGN_OR_RETURN(uint8_t tag, ReadU8());
+  switch (tag) {
+    case kTagNull:
+      return Value();
+    case kTagInt64: {
+      BEAS_ASSIGN_OR_RETURN(int64_t v, ReadI64());
+      return Value(v);
+    }
+    case kTagDouble: {
+      BEAS_ASSIGN_OR_RETURN(double v, ReadF64());
+      return Value(v);
+    }
+    case kTagString: {
+      BEAS_ASSIGN_OR_RETURN(std::string v, ReadString());
+      return Value(std::move(v));
+    }
+    default:
+      return Status::DataLoss(StrCat("invalid value tag ", tag));
+  }
+}
+
+Result<Tuple> ByteReader::ReadTuple() {
+  BEAS_ASSIGN_OR_RETURN(uint32_t arity, ReadU32());
+  Tuple t;
+  t.reserve(arity);
+  for (uint32_t i = 0; i < arity; ++i) {
+    BEAS_ASSIGN_OR_RETURN(Value v, ReadValue());
+    t.push_back(std::move(v));
+  }
+  return t;
+}
+
+}  // namespace beas

@@ -1,0 +1,69 @@
+// Little-endian binary codec for the disk-backed index tier: fixed-width
+// integers, bit-exact doubles, length-prefixed strings, and tagged Values
+// and Tuples. Records serialized here are byte-deterministic functions of
+// their inputs, which is what lets the block-file backend reproduce the
+// in-memory backend's answers bit-for-bit after a round trip.
+
+#ifndef BEAS_STORAGE_CODEC_H_
+#define BEAS_STORAGE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace beas {
+
+// --- Encoders: append to *dst -----------------------------------------------
+
+void PutU8(std::string* dst, uint8_t v);
+void PutU32(std::string* dst, uint32_t v);
+void PutU64(std::string* dst, uint64_t v);
+void PutI64(std::string* dst, int64_t v);
+/// Doubles are stored as their 8-byte IEEE-754 bit pattern, so +-inf and
+/// every resolution value survive the round trip exactly.
+void PutF64(std::string* dst, double v);
+/// u32 length prefix + raw bytes.
+void PutString(std::string* dst, const std::string& s);
+/// One tag byte (0 null, 1 int64, 2 double, 3 string) + payload.
+void PutValue(std::string* dst, const Value& v);
+/// u32 arity + values.
+void PutTuple(std::string* dst, const Tuple& t);
+
+// --- Decoder ----------------------------------------------------------------
+
+/// \brief Sequential reader over an encoded byte range.
+///
+/// Every Read* validates the remaining length first and returns DataLoss
+/// on truncation or an invalid tag, so a corrupted or short record decodes
+/// into a clean Status instead of undefined behavior.
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::string& s) : ByteReader(s.data(), s.size()) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int64_t> ReadI64();
+  Result<double> ReadF64();
+  Result<std::string> ReadString();
+  Result<Value> ReadValue();
+  Result<Tuple> ReadTuple();
+
+  size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+ private:
+  Status Need(size_t n) const;
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_STORAGE_CODEC_H_

@@ -48,6 +48,22 @@ TEST(SeriesToJsonTest, EscapesControlCharacters) {
   EXPECT_EQ(json.find('\t'), std::string::npos);
 }
 
+TEST(SeriesToJsonTest, MaxRssOverloadAppendsTopLevelField) {
+  std::string base = SeriesToJson("Fig6x", "alpha", {"0.1"}, {"BEAS"}, {{0.5}});
+  std::string with_rss =
+      SeriesToJson("Fig6x", "alpha", {"0.1"}, {"BEAS"}, {{0.5}}, 51200);
+  // The footprint field splices in before the closing brace; everything
+  // else is byte-identical to the base rendering.
+  EXPECT_EQ(with_rss,
+            base.substr(0, base.size() - 1) + ",\"max_rss_kb\":51200}");
+}
+
+TEST(SeriesToJsonTest, MaxRssIsPositiveOnThisPlatform) {
+  // PrintSeries feeds CurrentMaxRssKb into the JSON sink; a zero reading
+  // would make the bench_diff RSS gate vacuous.
+  EXPECT_GT(CurrentMaxRssKb(), 0u);
+}
+
 TEST(SeriesToJsonTest, NonFiniteValuesSerializeAsNull) {
   std::string json = SeriesToJson("t", "x", {"a"}, {"nanv", "infv"},
                                   {{std::nan(""), INFINITY}});

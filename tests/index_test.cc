@@ -163,19 +163,46 @@ TEST(KdTreeTest, NodeCountLinear) {
 
 // --- IndexStore ---
 
-class IndexStoreTest : public ::testing::Test {
+// Every IndexStore test runs against both storage backends: the
+// in-memory tier and the disk-backed block file (small blocks so group
+// records straddle block boundaries, and a modest cache so reads evict).
+// The assertions are backend-agnostic on purpose — fetch results,
+// meter charges, conformance, and maintenance must be bit-identical.
+class IndexStoreTest : public ::testing::TestWithParam<IndexBackendKind> {
  protected:
   void SetUp() override {
     db_ = testing::MakeSocialDb(10, 80, 5, 6, 200);
     schema_ = db_.Schema();
   }
+  IndexStoreOptions Options() const {
+    IndexStoreOptions opts;
+    opts.backend = GetParam();
+    if (opts.backend == IndexBackendKind::kBlockFile) {
+      const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+      std::string tag = std::string(info->test_suite_name()) + "_" + info->name();
+      for (char& c : tag) {
+        if (c == '/') c = '_';
+      }
+      opts.path = ::testing::TempDir() + "beas_index_" + tag + ".blk";
+      opts.block_bytes = 512;
+      opts.cache_bytes = 16 * 1024;
+    }
+    return opts;
+  }
   Database db_;
   DatabaseSchema schema_;
 };
 
-TEST_F(IndexStoreTest, BuildsUniversalSchema) {
+INSTANTIATE_TEST_SUITE_P(
+    Backends, IndexStoreTest,
+    ::testing::Values(IndexBackendKind::kMemory, IndexBackendKind::kBlockFile),
+    [](const ::testing::TestParamInfo<IndexBackendKind>& info) {
+      return info.param == IndexBackendKind::kMemory ? "Memory" : "BlockFile";
+    });
+
+TEST_P(IndexStoreTest, BuildsUniversalSchema) {
   IndexStore store;
-  ASSERT_TRUE(store.Build(db_, UniversalFamilies(schema_), {}).ok());
+  ASSERT_TRUE(store.Build(db_, UniversalFamilies(schema_), {}, Options()).ok());
   EXPECT_EQ(store.schema().families().size(), 3u);
   for (const auto& f : store.schema().families()) {
     EXPECT_FALSE(f.is_constraint);
@@ -186,22 +213,22 @@ TEST_F(IndexStoreTest, BuildsUniversalSchema) {
   }
 }
 
-TEST_F(IndexStoreTest, ConstraintValidated) {
+TEST_P(IndexStoreTest, ConstraintValidated) {
   ConstraintSpec ok{"person", {"pid"}, {"city"}, 1};
   IndexStore store;
-  EXPECT_TRUE(store.Build(db_, {}, {ok}).ok());
+  EXPECT_TRUE(store.Build(db_, {}, {ok}, Options()).ok());
   // A deliberately false bound: a person can have up to 6 friends.
   ConstraintSpec bad{"friend", {"pid"}, {"fid"}, 1};
   IndexStore store2;
-  EXPECT_FALSE(store2.Build(db_, {}, {bad}).ok());
+  EXPECT_FALSE(store2.Build(db_, {}, {bad}, Options()).ok());
   ConstraintSpec good{"friend", {"pid"}, {"fid"}, 6};
   IndexStore store3;
-  EXPECT_TRUE(store3.Build(db_, {}, {good}).ok());
+  EXPECT_TRUE(store3.Build(db_, {}, {good}, Options()).ok());
 }
 
-TEST_F(IndexStoreTest, FetchConstraintReturnsExactGroup) {
+TEST_P(IndexStoreTest, FetchConstraintReturnsExactGroup) {
   IndexStore store;
-  ASSERT_TRUE(store.Build(db_, {}, {{"person", {"pid"}, {"city"}, 1}}).ok());
+  ASSERT_TRUE(store.Build(db_, {}, {{"person", {"pid"}, {"city"}, 1}}, Options()).ok());
   store.meter().StartQuery(0);
   auto entries = store.Fetch("person(pid->city)!1", 0, {Value(int64_t{3})});
   ASSERT_TRUE(entries.ok()) << entries.status();
@@ -214,9 +241,9 @@ TEST_F(IndexStoreTest, FetchConstraintReturnsExactGroup) {
   EXPECT_EQ((*(*entries)[0].y)[0], expected);
 }
 
-TEST_F(IndexStoreTest, MeterChargesAndEnforcesBudget) {
+TEST_P(IndexStoreTest, MeterChargesAndEnforcesBudget) {
   IndexStore store;
-  ASSERT_TRUE(store.Build(db_, UniversalFamilies(schema_), {}).ok());
+  ASSERT_TRUE(store.Build(db_, UniversalFamilies(schema_), {}, Options()).ok());
   const BoundFamily& poi = **store.schema().FindFamily("poi(->address,type,city,price)");
   store.meter().StartQuery(4);
   auto r1 = store.Fetch(poi.id, 2, {});
@@ -262,14 +289,14 @@ TEST(AccessMeterTest, DepositCommitOverflowClampsAndFails) {
   EXPECT_EQ(meter.accessed(), UINT64_MAX);
 }
 
-TEST_F(IndexStoreTest, UnknownFamilyFails) {
+TEST_P(IndexStoreTest, UnknownFamilyFails) {
   IndexStore store;
-  ASSERT_TRUE(store.Build(db_, {}, {}).ok());
+  ASSERT_TRUE(store.Build(db_, {}, {}, Options()).ok());
   store.meter().StartQuery(0);
   EXPECT_FALSE(store.Fetch("nope", 0, {}).ok());
 }
 
-TEST_F(IndexStoreTest, ConformanceOfAllFamilies) {
+TEST_P(IndexStoreTest, ConformanceOfAllFamilies) {
   IndexStore store;
   std::vector<ConstraintSpec> constraints{{"person", {"pid"}, {"city"}, 1},
                                           {"friend", {"pid"}, {"fid"}, 6}};
@@ -277,15 +304,15 @@ TEST_F(IndexStoreTest, ConformanceOfAllFamilies) {
   auto derived = FamiliesFromConstraints(schema_, constraints);
   ASSERT_TRUE(derived.ok());
   for (auto& f : *derived) families.push_back(f);
-  ASSERT_TRUE(store.Build(db_, families, constraints).ok());
+  ASSERT_TRUE(store.Build(db_, families, constraints, Options()).ok());
   Status st = CheckAllConformance(db_, &store);
   EXPECT_TRUE(st.ok()) << st;
 }
 
-TEST_F(IndexStoreTest, SizeAccounting) {
+TEST_P(IndexStoreTest, SizeAccounting) {
   IndexStore store;
   std::vector<ConstraintSpec> constraints{{"person", {"pid"}, {"city"}, 1}};
-  ASSERT_TRUE(store.Build(db_, UniversalFamilies(schema_), constraints).ok());
+  ASSERT_TRUE(store.Build(db_, UniversalFamilies(schema_), constraints, Options()).ok());
   EXPECT_GT(store.TotalEntries(), 0u);
   EXPECT_GT(store.ConstraintEntries(), 0u);
   EXPECT_LT(store.ConstraintEntries(), store.TotalEntries());
@@ -294,10 +321,10 @@ TEST_F(IndexStoreTest, SizeAccounting) {
   EXPECT_EQ(*fam, 80u);  // one entry per person
 }
 
-TEST_F(IndexStoreTest, IncrementalInsertKeepsConformance) {
+TEST_P(IndexStoreTest, IncrementalInsertKeepsConformance) {
   IndexStore store;
   std::vector<ConstraintSpec> constraints{{"person", {"pid"}, {"city"}, 1}};
-  ASSERT_TRUE(store.Build(db_, UniversalFamilies(schema_), constraints).ok());
+  ASSERT_TRUE(store.Build(db_, UniversalFamilies(schema_), constraints, Options()).ok());
   Tuple row{Value(int64_t{1000}), Value(int64_t{2}), Value(123.0)};
   ASSERT_TRUE(store.ApplyInsert("person", row).ok());
   Table* person = *db_.FindMutableTable("person");
@@ -306,18 +333,18 @@ TEST_F(IndexStoreTest, IncrementalInsertKeepsConformance) {
   EXPECT_TRUE(st.ok()) << st;
 }
 
-TEST_F(IndexStoreTest, IncrementalInsertRejectsConstraintViolation) {
+TEST_P(IndexStoreTest, IncrementalInsertRejectsConstraintViolation) {
   IndexStore store;
   std::vector<ConstraintSpec> constraints{{"person", {"pid"}, {"city"}, 1}};
-  ASSERT_TRUE(store.Build(db_, UniversalFamilies(schema_), constraints).ok());
+  ASSERT_TRUE(store.Build(db_, UniversalFamilies(schema_), constraints, Options()).ok());
   // pid 0 already has a city; adding a second distinct city violates N=1.
   Tuple row{Value(int64_t{0}), Value(int64_t{999}), Value(1.0)};
   EXPECT_FALSE(store.ApplyInsert("person", row).ok());
 }
 
-TEST_F(IndexStoreTest, IncrementalRemove) {
+TEST_P(IndexStoreTest, IncrementalRemove) {
   IndexStore store;
-  ASSERT_TRUE(store.Build(db_, UniversalFamilies(schema_), {}).ok());
+  ASSERT_TRUE(store.Build(db_, UniversalFamilies(schema_), {}, Options()).ok());
   Table* person = *db_.FindMutableTable("person");
   Tuple victim = person->row(0);
   ASSERT_TRUE(store.ApplyRemove("person", victim).ok());

@@ -24,6 +24,12 @@
 //   P8 (warm-survivor equivalence): after maintenance churn confined to
 //       one relation, plan-cache entries of untouched relations survive
 //       and still answer byte-identically to a fresh instance.
+//   P9 (storage-tier equivalence): the disk-backed block-file backend,
+//       reopened cold under a cache budget of <= 25% of the on-disk
+//       index size, answers byte-identically to the in-memory backend —
+//       same rows, eta, accessed counts, and the same OutOfBudget
+//       failure point — across the alpha sweep and after Insert/Remove
+//       (docs/ARCHITECTURE.md "Disk-backed index tier").
 
 #include <gtest/gtest.h>
 
@@ -451,6 +457,92 @@ TEST_P(BeasPropertyTest, WarmCacheEntriesSurviveUnrelatedChurn) {
   if (untouched > 0) {
     EXPECT_GT(survivors, 0) << "every warm entry was invalidated by unrelated churn";
   }
+}
+
+TEST_P(BeasPropertyTest, DiskBackedAnswersMatchInMemoryByteForByte) {
+  double alpha = GetParam().alpha;
+  // Two identical dataset copies (same generator seed), so each instance
+  // can run its own maintenance below without desynchronizing the other.
+  const bool tpch = std::string(GetParam().dataset) == "tpch";
+  Dataset ds_disk = tpch ? MakeTpch(0.001, 77) : MakeTfacc(1200, 77);
+
+  const std::string path =
+      ::testing::TempDir() + "beas_p9_" + GetParam().dataset + "_a" +
+      std::to_string(static_cast<int>(alpha * 100)) + ".blk";
+  BeasOptions disk_options;
+  disk_options.constraints = ds_disk.constraints;
+  disk_options.index.backend = IndexBackendKind::kBlockFile;
+  disk_options.index.path = path;
+  disk_options.index.block_bytes = 512;
+  // Phase 1: build the index on disk and measure its footprint.
+  uint64_t disk_bytes = 0;
+  {
+    auto builder = Beas::Build(&ds_disk.db, disk_options);
+    ASSERT_TRUE(builder.ok()) << builder.status();
+    disk_bytes = (*builder)->store().disk_bytes();
+    ASSERT_GT(disk_bytes, 0u);
+  }
+  // Phase 2: reopen cold under a hard cache budget of 25% of the on-disk
+  // index size — the acceptance point of the disk-backed tier.
+  disk_options.index.open_existing = true;
+  disk_options.index.cache_bytes = disk_bytes / 4;
+  auto reopened = Beas::Build(&ds_disk.db, disk_options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  std::unique_ptr<Beas> disk = std::move(*reopened);
+
+  auto compare_all = [&](const char* stage) {
+    uint64_t traffic = 0;
+    for (const auto& gq : queries_) {
+      auto q_mem = ParseSql(schema_, gq.sql);
+      auto q_disk = ParseSql(ds_disk.db.Schema(), gq.sql);
+      ASSERT_TRUE(q_mem.ok() && q_disk.ok()) << gq.sql;
+      auto want = beas_->Answer(*q_mem, alpha);
+      auto got = disk->Answer(*q_disk, alpha);
+      ASSERT_EQ(got.ok(), want.ok())
+          << stage << " " << gq.sql << "\n mem: " << want.status()
+          << "\n disk: " << got.status();
+      if (!got.ok()) {
+        // Same OutOfBudget point, same rendered counters.
+        EXPECT_EQ(got.status().ToString(), want.status().ToString())
+            << stage << " " << gq.sql;
+        continue;
+      }
+      EXPECT_EQ(got->eta, want->eta) << stage << " " << gq.sql;
+      EXPECT_EQ(got->accessed, want->accessed) << stage << " " << gq.sql;
+      EXPECT_EQ(got->d_prime, want->d_prime) << stage << " " << gq.sql;
+      EXPECT_EQ(got->exact, want->exact) << stage << " " << gq.sql;
+      ASSERT_EQ(got->table.size(), want->table.size()) << stage << " " << gq.sql;
+      for (size_t i = 0; i < got->table.size(); ++i) {
+        EXPECT_EQ(got->table.row(i), want->table.row(i))
+            << stage << " " << gq.sql << " row " << i;
+      }
+      traffic += got->cache_hits + got->cache_misses;
+      EXPECT_EQ(want->cache_hits + want->cache_misses, 0u) << gq.sql;
+    }
+    // The disk tier actually went through the block cache.
+    EXPECT_GT(traffic, 0u) << stage;
+  };
+  compare_all("cold");
+
+  // The bounded cache holds at most a quarter of the index.
+  BlockCacheStats cache = disk->store().cache_stats();
+  EXPECT_GT(cache.misses, 0u);
+  EXPECT_LE(cache.resident_bytes, disk_bytes / 4);
+
+  // Maintenance on both instances (remove + re-insert one row of every
+  // relation), then the equivalence must still hold block-for-block.
+  DatabaseSchema mem_schema = ds_.db.Schema();
+  for (const auto& rel : mem_schema.relations()) {
+    auto table = ds_.db.FindTable(rel.name());
+    ASSERT_TRUE(table.ok());
+    if ((*table)->size() == 0) continue;
+    Tuple row = (*table)->row((*table)->size() / 2);
+    ASSERT_TRUE(beas_->Remove(rel.name(), row).ok()) << rel.name();
+    ASSERT_TRUE(beas_->Insert(rel.name(), row).ok()) << rel.name();
+    ASSERT_TRUE(disk->Remove(rel.name(), row).ok()) << rel.name();
+    ASSERT_TRUE(disk->Insert(rel.name(), row).ok()) << rel.name();
+  }
+  compare_all("after-maintenance");
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -3,12 +3,18 @@
 // stand-in for the paper's "PostgreSQL/MySQL could not finish in 3 hours"
 // comparison — full-data exact evaluation time on the same engine.
 //
-// Extended with a fetch-parallelism sweep: plan/baseline/full-scan
-// numbers come from one harness run, then the already-planned queries
-// are re-executed per fetch_threads value (exec_ms_t1/t2/t4 series), all
-// producing byte-identical answers (EvalOptions::fetch_threads). Thread
-// counts beyond the machine's cores measure overhead, not speedup; the
-// bench prints the detected core count for context.
+// Extended with a thread-parallelism sweep across both intra-query
+// axes: plan/baseline/full-scan numbers come from one harness run, then
+// the already-planned queries are re-executed per thread combination —
+// fetch_threads (exec_ms_t1/t2/t4), eval_threads morsel evaluation
+// (exec_ms_e2/e4), and both together (exec_ms_t4e4) — all producing
+// byte-identical answers (EvalOptions::fetch_threads / eval_threads).
+// Thread counts beyond the machine's cores measure overhead, not
+// speedup; the bench prints the detected core count for context.
+//
+// `scales=N` truncates the scale-factor sweep to its first N points
+// (the CI smoke gate runs scales=1 against bench/baselines/
+// fig6l_smoke.jsonl; see bench/README.md).
 
 #include <chrono>
 #include <cmath>
@@ -21,16 +27,36 @@
 using namespace beas;
 using namespace beas::bench;
 
+namespace {
+
+// One (fetch_threads, eval_threads) re-execution cell of the sweep.
+struct ThreadCombo {
+  const char* series;
+  int fetch_threads;
+  int eval_threads;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   double alpha = ArgOr(argc, argv, "alpha", 0.02);
   int nq = static_cast<int>(ArgOr(argc, argv, "queries", 16));
+  int scales = static_cast<int>(ArgOr(argc, argv, "scales", 4));
   std::vector<double> sfs{0.001, 0.002, 0.004, 0.008};
-  const std::vector<int> thread_counts{1, 2, 4};
+  if (scales >= 1 && scales < static_cast<int>(sfs.size())) {
+    sfs.resize(static_cast<size_t>(scales));
+  }
+  const std::vector<ThreadCombo> combos{
+      {"exec_ms_t1", 1, 1}, {"exec_ms_t2", 2, 1},   {"exec_ms_t4", 4, 1},
+      {"exec_ms_e2", 1, 2}, {"exec_ms_e4", 1, 4},   {"exec_ms_t4e4", 4, 4},
+  };
   std::printf("Fig 6(l): TPCH plan times vs |D| at alpha=%g, %d queries, %u cores\n",
               alpha, nq, std::thread::hardware_concurrency());
 
-  std::vector<std::string> series{"plan_ms", "exec_ms_t1", "exec_ms_t2",
-                                  "exec_ms_t4", "beas_total_ms", "engine_full_ms"};
+  std::vector<std::string> series{"plan_ms"};
+  for (const auto& c : combos) series.push_back(c.series);
+  series.push_back("beas_total_ms");
+  series.push_back("engine_full_ms");
   std::vector<std::string> xs;
   std::vector<std::vector<double>> values;
   for (double sf : sfs) {
@@ -46,19 +72,21 @@ int main(int argc, char** argv) {
     }
     double n = results.empty() ? 1.0 : static_cast<double>(results.size());
 
-    // Execution-only sweep: re-run the plans per thread count over the
-    // exact query population the harness scored (`results`), counting a
-    // failed plan as 0 ms — precisely how the harness's own exec_ms
-    // behaved — so every exec_ms_t* cell shares plan_ms's denominator
-    // and beas_total_ms sums averages over one population. Only Execute
-    // is timed (failures included); answers are thread-count-invariant.
+    // Execution-only sweep: re-run the plans per thread combination over
+    // the exact query population the harness scored (`results`),
+    // counting a failed plan as 0 ms — precisely how the harness's own
+    // exec_ms behaved — so every exec_ms_* cell shares plan_ms's
+    // denominator and beas_total_ms sums averages over one population.
+    // Only Execute is timed (failures included); answers are
+    // thread-count-invariant on both axes.
     DatabaseSchema schema = bench.dataset().db.Schema();
     uint64_t budget = static_cast<uint64_t>(
         std::floor(alpha * static_cast<double>(bench.db_size())));
-    std::vector<double> exec_by_threads(thread_counts.size(), 0);
-    for (size_t t = 0; t < thread_counts.size(); ++t) {
+    std::vector<double> exec_by_combo(combos.size(), 0);
+    for (size_t t = 0; t < combos.size(); ++t) {
       RunOptions opts;
-      opts.rc.eval.fetch_threads = thread_counts[t];
+      opts.rc.eval.fetch_threads = combos[t].fetch_threads;
+      opts.rc.eval.eval_threads = combos[t].eval_threads;
       PlanExecutor executor(&bench.beas().store(), opts.rc.eval);
       double exec = 0;
       for (const auto& r : results) {
@@ -71,16 +99,21 @@ int main(int argc, char** argv) {
         (void)answer;
         exec += MillisSince(te);
       }
-      exec_by_threads[t] = exec / n;
+      exec_by_combo[t] = exec / n;
     }
 
     xs.push_back(FormatDouble(sf, 4));
-    values.push_back({plan / n, exec_by_threads[0], exec_by_threads[1],
-                      exec_by_threads[2], (plan / n) + exec_by_threads[0], full / n});
+    std::vector<double> row{plan / n};
+    for (double e : exec_by_combo) row.push_back(e);
+    row.push_back((plan / n) + exec_by_combo[0]);
+    row.push_back(full / n);
+    values.push_back(std::move(row));
     std::printf("  sf=%g |D|=%zu plan=%.2fms exec(t1)=%.2fms exec(t2)=%.2fms "
-                "exec(t4)=%.2fms full=%.2fms\n",
-                sf, bench.db_size(), plan / n, exec_by_threads[0], exec_by_threads[1],
-                exec_by_threads[2], full / n);
+                "exec(t4)=%.2fms exec(e2)=%.2fms exec(e4)=%.2fms "
+                "exec(t4e4)=%.2fms full=%.2fms\n",
+                sf, bench.db_size(), plan / n, exec_by_combo[0], exec_by_combo[1],
+                exec_by_combo[2], exec_by_combo[3], exec_by_combo[4],
+                exec_by_combo[5], full / n);
   }
   PrintSeries("Fig6l time vs |D| (TPCH)", "scale", xs, series, values);
   return 0;

@@ -28,7 +28,16 @@ are joined on (title, x, series) cells and every shared cell is compared:
     KB) flags drift. Top-level fields load as pseudo-cells with
     x="__run__";
   * cells present in the baseline but missing from the current log flag
-    drift unless --allow-missing is given; extra cells are info only.
+    drift unless --allow-missing is given;
+  * cells present only in the current log mean the baseline is stale —
+    a bench gained a series (or a whole panel) the baseline never
+    recorded, so nothing gates it. They flag drift unless
+    --allow-new-series is given (regenerating the baseline is the fix);
+  * a baseline (or current) series object that carries no data cells at
+    all — no points, or points with empty value maps, and no
+    max_rss_kb field — is a truncated or empty run, not a comparable
+    log: loading fails with a usage error (exit 2), as does a baseline
+    file with no series objects whatsoever.
 
 Exit status: 0 when no drift is flagged, 1 on drift, 2 on usage errors.
 
@@ -65,14 +74,21 @@ def load_cells(path):
             if obj.get("type") != "series":
                 continue
             title = obj.get("title", "")
+            added = 0
             for point in obj.get("points", []):
                 x = point.get("x", "")
                 for series, value in point.get("values", {}).items():
                     cells[(title, x, series)] = value
+                    added += 1
             # The per-series peak-RSS field (one value per JSON object,
             # not per point) joins the cell space under a reserved x.
             if "max_rss_kb" in obj:
                 cells[(title, "__run__", "max_rss_kb")] = obj["max_rss_kb"]
+                added += 1
+            if added == 0:
+                raise ValueError(
+                    f"{path}:{line_no}: series object '{title}' carries no "
+                    f"data cells (empty or truncated run?)")
     return cells
 
 
@@ -151,7 +167,9 @@ def compare(base_cells, cur_cells, args):
                 infos.append(f"{label}: accuracy {base:.6g} -> {cur:.6g}")
     for key in sorted(set(cur_cells) - set(base_cells)):
         title, x, series = key
-        infos.append(f"[{title}] x={x} {series}: new cell (not in baseline)")
+        msg = (f"[{title}] x={x} {series}: new cell absent from the baseline "
+               f"(stale baseline — regenerate it, or pass --allow-new-series)")
+        (infos if args.allow_new_series else drifts).append(msg)
     return drifts, infos
 
 
@@ -185,6 +203,9 @@ def main(argv=None):
                              "max(baseline, floor)")
     parser.add_argument("--allow-missing", action="store_true",
                         help="cells missing from the current log are info, not drift")
+    parser.add_argument("--allow-new-series", action="store_true",
+                        help="cells only in the current log (stale baseline) "
+                             "are info, not drift")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the info lines")
     args = parser.parse_args(argv)

@@ -254,5 +254,87 @@ class CompareTest(unittest.TestCase):
             os.unlink(path)
 
 
+class MissingAndEmptySeriesTest(unittest.TestCase):
+    """A baseline must gate every cell the bench emits: series objects
+    without data are load errors, and cells only the current log carries
+    (a stale baseline) are drift unless explicitly allowed."""
+
+    GOOD = ('{"type":"series","title":"Panel","x_label":"x",'
+            '"series":["a_ms"],"points":[{"x":"1","values":{"a_ms":2.0}}]}')
+    EXTRA = ('{"type":"series","title":"Panel","x_label":"x",'
+             '"series":["a_ms","b_ms"],"points":'
+             '[{"x":"1","values":{"a_ms":2.0,"b_ms":3.0}}]}')
+    NO_POINTS = ('{"type":"series","title":"Truncated","x_label":"x",'
+                 '"series":["a_ms"],"points":[]}')
+    EMPTY_VALUES = ('{"type":"series","title":"Hollow","x_label":"x",'
+                    '"series":["a_ms"],"points":[{"x":"1","values":{}}]}')
+
+    def _write(self, *lines):
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".jsonl", delete=False) as f:
+            for line in lines:
+                f.write(line + "\n")
+            return f.name
+
+    def test_series_without_points_fails_loading(self):
+        path = self._write(self.GOOD, self.NO_POINTS)
+        try:
+            with self.assertRaises(ValueError) as ctx:
+                bench_diff.load_cells(path)
+        finally:
+            os.unlink(path)
+        self.assertIn("Truncated", str(ctx.exception))
+        self.assertIn("no data cells", str(ctx.exception))
+
+    def test_series_with_empty_value_maps_fails_loading(self):
+        path = self._write(self.EMPTY_VALUES)
+        try:
+            with self.assertRaises(ValueError):
+                bench_diff.load_cells(path)
+        finally:
+            os.unlink(path)
+
+    def test_empty_series_in_either_log_is_usage_error(self):
+        empty = self._write(self.GOOD, self.NO_POINTS)
+        good = self._write(self.GOOD)
+        try:
+            code, _ = run([empty, good])
+            self.assertEqual(code, 2)  # baseline side
+            code, _ = run([good, empty])
+            self.assertEqual(code, 2)  # current side
+        finally:
+            os.unlink(empty)
+            os.unlink(good)
+
+    def test_cells_only_in_current_log_are_drift(self):
+        base = self._write(self.GOOD)
+        cur = self._write(self.EXTRA)
+        try:
+            code, out = run([base, cur])
+            self.assertEqual(code, 1)
+            self.assertIn("b_ms: new cell absent from the baseline", out)
+            self.assertIn("DRIFT", out)
+            # ...even when every tolerance is wide open: a missing gate
+            # is staleness, not a measured regression.
+            code, _ = run([base, cur, "--rel-tol", "100", "--abs-tol", "1.0",
+                           "--allow-missing", "--quiet"])
+            self.assertEqual(code, 1)
+        finally:
+            os.unlink(base)
+            os.unlink(cur)
+
+    def test_allow_new_series_downgrades_to_info(self):
+        base = self._write(self.GOOD)
+        cur = self._write(self.EXTRA)
+        try:
+            code, out = run([base, cur, "--allow-new-series"])
+            self.assertEqual(code, 0)
+            self.assertIn("INFO", out)
+            self.assertIn("b_ms: new cell absent from the baseline", out)
+        finally:
+            os.unlink(base)
+            os.unlink(cur)
+
+
 if __name__ == "__main__":
     unittest.main()

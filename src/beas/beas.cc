@@ -81,6 +81,11 @@ Result<BeasPlan> Beas::PlanOnly(const QueryPtr& q, double alpha) const {
 }
 
 Result<BeasAnswer> Beas::Answer(const QueryPtr& q, double alpha) const {
+  return Answer(q, alpha, options_.eval);
+}
+
+Result<BeasAnswer> Beas::Answer(const QueryPtr& q, double alpha,
+                                const EvalOptions& eval) const {
   BEAS_ASSIGN_OR_RETURN(BeasPlan plan, PlanOnly(q, alpha));
   uint64_t budget = static_cast<uint64_t>(
       std::floor(alpha * static_cast<double>(db_size_)));
@@ -88,7 +93,7 @@ Result<BeasAnswer> Beas::Answer(const QueryPtr& q, double alpha) const {
   // number of Answer calls may run concurrently (each with its own meter
   // and budget) against the shared read-only indices.
   QueryContext ctx;
-  ctx.eval = options_.eval;
+  ctx.eval = eval;
   BEAS_ASSIGN_OR_RETURN(BeasAnswer answer, executor_->Execute(plan, budget, &ctx));
   answer.plan_cached = plan.from_cache;
   answer.plan_cache = plan_cache_stats();

@@ -85,6 +85,15 @@ class Beas {
   /// call concurrently (see class comment).
   Result<BeasAnswer> Answer(const QueryPtr& q, double alpha) const;
 
+  /// Answer with per-call evaluation options overriding the instance's
+  /// BeasOptions::eval — the seam the query service's per-query thread
+  /// budgeting (and the differential test harness) use to vary
+  /// eval_threads/fetch_threads call-by-call. Thread-count overrides are
+  /// answer-invariant; overriding semantic knobs (weighted_aggregates,
+  /// caps) changes answers exactly as configuring them at Build would.
+  Result<BeasAnswer> Answer(const QueryPtr& q, double alpha,
+                            const EvalOptions& eval) const;
+
   /// Parses \p sql against the database schema and answers it.
   Result<BeasAnswer> AnswerSql(const std::string& sql, double alpha) const;
 
@@ -108,6 +117,9 @@ class Beas {
   Status Remove(const std::string& relation, const Tuple& row);
 
   const AccessSchema& access_schema() const { return store_.schema(); }
+  /// The instance-wide evaluation options (the defaults every Answer
+  /// call without an explicit EvalOptions override runs under).
+  const EvalOptions& eval_options() const { return options_.eval; }
   IndexStore& store() { return store_; }
   const IndexStore& store() const { return store_; }
   const DatabaseSchema& db_schema() const { return db_schema_; }

@@ -6,7 +6,9 @@
 #include <condition_variable>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <unordered_set>
 
@@ -296,9 +298,17 @@ class ParallelFetchScheduler {
 
     meter_->BeginDeposits(ops_.size());
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      std::lock_guard<std::mutex> lock(mu_);
       unfinished_ = ops_.size();
-      for (size_t g : ready) DispatchLocked(g);
+      inflight_ = ready.size();
+    }
+    // Submitted outside mu_: the pool's nested-parallelism guard may run
+    // a task inline, and an inline RunOp re-enters CompleteOp -> mu_.
+    for (size_t g : ready) {
+      pool_->Submit([this, g] { RunOp(g); });
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] {
         return inflight_ == 0 &&
                (unfinished_ == 0 || abort_ || error_slot_ != SIZE_MAX);
@@ -315,32 +325,44 @@ class ParallelFetchScheduler {
   }
 
  private:
-  void DispatchLocked(size_t g) {
-    ++inflight_;
-    pool_->Submit([this, g] { RunOp(g); });
-  }
-
-  // Finishing under the lock: unblock dependents, fold in failures, and
-  // wake the coordinator when the fetch phase is over. Worker errors are
-  // recorded by slot (lowest wins, the sequential order); only a meter
-  // failure aborts dispatching — an erroring op's own dependents stay
-  // blocked, but independent lower slots must still run so the meter can
-  // settle the sequential outcome (see Run()).
+  // Finishing step: unblock dependents, fold in failures, and wake the
+  // coordinator when the fetch phase is over. Worker errors are recorded
+  // by slot (lowest wins, the sequential order); only a meter failure
+  // aborts dispatching — an erroring op's own dependents stay blocked,
+  // but independent lower slots must still run so the meter can settle
+  // the sequential outcome (see Run()). Ready dependents are collected
+  // under the lock but submitted after it drops: Submit may run the
+  // dependent inline (nested-parallelism guard on a saturated pool), and
+  // its own CompleteOp must be able to retake mu_.
   void CompleteOp(size_t g, bool finished, Status error) {
-    std::lock_guard<std::mutex> lock(mu_);
-    --inflight_;
-    if (finished) {
-      --unfinished_;
-      for (size_t d : dependents_[g]) {
-        if (--pending_deps_[d] == 0 && !abort_) DispatchLocked(d);
+    std::vector<size_t> to_dispatch;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (finished) {
+        --unfinished_;
+        for (size_t d : dependents_[g]) {
+          if (--pending_deps_[d] == 0 && !abort_) to_dispatch.push_back(d);
+        }
       }
+      if (!error.ok() && g < error_slot_) {
+        error_slot_ = g;
+        error_ = std::move(error);
+      }
+      if (meter_->failed()) abort_ = true;
+      // Dependents enter flight before this op leaves it (one critical
+      // section), so the coordinator never observes a false quiescent
+      // state between the two updates. The notify must also happen
+      // before mu_ drops: the scheduler lives on the coordinator's
+      // stack, and a notify after the unlock could hit cv_ after the
+      // coordinator woke (spuriously or via an earlier notify), saw the
+      // quiescent state, and destroyed the scheduler.
+      inflight_ += to_dispatch.size();
+      --inflight_;
+      cv_.notify_all();
     }
-    if (!error.ok() && g < error_slot_) {
-      error_slot_ = g;
-      error_ = std::move(error);
+    for (size_t d : to_dispatch) {
+      pool_->Submit([this, d] { RunOp(d); });
     }
-    if (meter_->failed()) abort_ = true;
-    cv_.notify_all();
   }
 
   void RunOp(size_t g) {
@@ -464,6 +486,64 @@ class ParallelFetchScheduler {
   Status error_ = Status::OK();   ///< its status
 };
 
+// ---------------------------------------------------------------------------
+// Morsel-driven parallel evaluation (xi_E): the unit subtrees of the
+// union/difference tree are independent morsels — each one evaluates a
+// distinct rewritten SPC query over the (now read-only) D_Q tables with
+// its own intermediate-row counter, and xi_E touches neither the meter
+// nor the cache counters. Workers claim unit indices from a shared
+// cursor and deposit each unit's Result<Table> into its slot; the
+// single-threaded eval_node recursion then *replays* the deposits in
+// canonical traversal order, so merges, Distinct() calls, and the first
+// surfaced error are byte-identical to sequential evaluation. Finer
+// morsels (the predicate-cascade windows inside one unit) parallelize
+// below this layer, in FilterTableBatched (engine/vectorized.cc), with
+// the same deposit-then-ordered-commit discipline per ColumnChunk
+// window.
+// ---------------------------------------------------------------------------
+
+// Shared state of one unit-morsel fan-out. Heap-held via shared_ptr so a
+// straggler helper that wakes after all morsels are claimed (and the
+// coordinator has moved on) still touches valid memory: it only reads
+// `next` and `total`, sees the cursor exhausted, and exits without
+// dereferencing the coordinator-owned pointers.
+struct UnitEvalState {
+  std::atomic<size_t> next{0};  ///< claim cursor over unit indices
+  size_t total = 0;
+  const BeasPlan* plan = nullptr;
+  const Evaluator* evaluator = nullptr;
+  std::optional<Result<Table>>* slots = nullptr;  ///< one deposit per unit
+
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t done = 0;  ///< units deposited (guarded by mu)
+};
+
+// The claim loop: run by every helper task *and* by the coordinator
+// itself, so progress never depends on a pool worker becoming free (a
+// saturated 1-thread pool just makes the coordinator do all the work).
+// Helpers never block on other morsels.
+void RunUnitEvalClaims(const std::shared_ptr<UnitEvalState>& st) {
+  size_t claimed = 0;
+  for (;;) {
+    size_t u = st->next.fetch_add(1, std::memory_order_relaxed);
+    if (u >= st->total) break;
+    const SpcUnit& unit = st->plan->units[u];
+    if (unit.unsatisfiable) {
+      st->slots[u].emplace(Table(unit.query->output_schema()));
+    } else {
+      size_t rows_materialized = 0;
+      st->slots[u].emplace(st->evaluator->Eval(unit.rewritten, &rows_materialized));
+    }
+    ++claimed;
+  }
+  if (claimed > 0) {
+    std::lock_guard<std::mutex> lock(st->mu);
+    st->done += claimed;
+    if (st->done == st->total) st->cv.notify_all();
+  }
+}
+
 }  // namespace
 
 ThreadPool* PlanExecutor::EnsurePool(size_t threads) const {
@@ -488,7 +568,10 @@ Result<BeasAnswer> PlanExecutor::Execute(const BeasPlan& plan, uint64_t budget,
     unit_atoms[u].resize(plan.units[u].fetch.atoms.size());
   }
   if (ctx->eval.fetch_threads > 1) {
-    ThreadPool* pool = EnsurePool(static_cast<size_t>(ctx->eval.fetch_threads));
+    // Sized for both phases: fetch and eval share one pool (class doc).
+    ThreadPool* pool = EnsurePool(std::max<size_t>(
+        static_cast<size_t>(ctx->eval.fetch_threads),
+        static_cast<size_t>(std::max(ctx->eval.eval_threads, 1))));
     ParallelFetchScheduler scheduler(store_, &ctx->meter, pool, plan, &unit_atoms);
     BEAS_RETURN_IF_ERROR(scheduler.Run());
   } else {
@@ -528,7 +611,37 @@ Result<BeasAnswer> PlanExecutor::Execute(const BeasPlan& plan, uint64_t budget,
   }
 
   // --- xi_E: evaluate the tree, tracking both S and S-hat. ---
-  Evaluator evaluator(dq, ctx->eval);
+  ThreadPool* eval_pool =
+      ctx->eval.eval_threads > 1
+          ? EnsurePool(std::max<size_t>(
+                static_cast<size_t>(std::max(ctx->eval.fetch_threads, 1)),
+                static_cast<size_t>(ctx->eval.eval_threads)))
+          : nullptr;
+  Evaluator evaluator(dq, ctx->eval, eval_pool);
+
+  // Morsel-parallel unit evaluation: pre-evaluate every unit subtree
+  // into its deposit slot, then let the recursion below replay the
+  // slots in canonical traversal order (see UnitEvalState). Evaluation
+  // is side-effect free per unit (own intermediate-row counter, no
+  // meter traffic), so pre-evaluating units that sequential execution
+  // would have skipped after an error changes nothing observable.
+  std::vector<std::optional<Result<Table>>> unit_slots;
+  if (eval_pool != nullptr && plan.units.size() > 1) {
+    unit_slots.resize(plan.units.size());
+    auto state = std::make_shared<UnitEvalState>();
+    state->total = plan.units.size();
+    state->plan = &plan;
+    state->evaluator = &evaluator;
+    state->slots = unit_slots.data();
+    size_t helpers = std::min<size_t>(
+        static_cast<size_t>(ctx->eval.eval_threads) - 1, plan.units.size() - 1);
+    for (size_t h = 0; h < helpers; ++h) {
+      eval_pool->Submit([state] { RunUnitEvalClaims(state); });
+    }
+    RunUnitEvalClaims(state);
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&state] { return state->done == state->total; });
+  }
 
   struct EvalOut {
     Table s;
@@ -540,6 +653,13 @@ Result<BeasAnswer> PlanExecutor::Execute(const BeasPlan& plan, uint64_t budget,
       case EvalNode::Kind::kSpc: {
         const SpcUnit& unit = plan.units[node.unit];
         EvalOut out;
+        if (!unit_slots.empty()) {
+          // Ordered commit: consume this unit's parallel deposit at the
+          // exact point the sequential recursion would evaluate it.
+          BEAS_ASSIGN_OR_RETURN(out.s, std::move(*unit_slots[node.unit]));
+          out.s_hat = out.s;
+          return out;
+        }
         if (unit.unsatisfiable) {
           out.s = Table(unit.query->output_schema());
           out.s_hat = out.s;

@@ -23,6 +23,18 @@
 // OutOfBudget failure point are bit-identical to fetch_threads = 1
 // (docs/ARCHITECTURE.md "Parallel atom fetching"; asserted by the
 // property suite's parallel-vs-sequential tests).
+//
+// When EvalOptions::eval_threads > 1, evaluation (xi_E) is morsel-driven
+// on the same shared pool: unit subtrees of the union/difference tree
+// are evaluated concurrently into per-unit deposit slots that the tree
+// recursion replays in canonical order, and the vectorized predicate
+// cascades parallelize per ColumnChunk window with a window-ordered
+// commit (engine/vectorized.cc). Both granularities are answer-invariant
+// — rows, eta, accessed counts, cache traffic, and failure points are
+// byte-identical to eval_threads = 1 at every fetch_threads/backend/
+// budget combination (docs/ARCHITECTURE.md "Morsel-driven evaluation";
+// pinned by the differential harness, property P10, and the eval-labeled
+// suites).
 
 #ifndef BEAS_BEAS_EXECUTOR_H_
 #define BEAS_BEAS_EXECUTOR_H_
@@ -70,9 +82,11 @@ struct BeasAnswer {
 /// its const fetch paths), so N sessions can execute plans against one
 /// executor and one IndexStore at once. The caller must still guarantee
 /// that no index maintenance runs while queries are in flight (the query
-/// service's epoch guard does). The fetch worker pool is created lazily
-/// (mutex-guarded) on the first Execute with fetch_threads > 1, sized by
-/// that first request, and shared by all subsequent Execute calls.
+/// service's epoch guard does). The worker pool (shared by parallel
+/// fetching and morsel-driven evaluation) is created lazily
+/// (mutex-guarded) on the first Execute with fetch_threads > 1 or
+/// eval_threads > 1, sized by max(fetch_threads, eval_threads) of that
+/// first request, and shared by all subsequent Execute calls.
 class PlanExecutor {
  public:
   PlanExecutor(const IndexStore* store, EvalOptions eval_options = {})
@@ -89,7 +103,7 @@ class PlanExecutor {
   Result<BeasAnswer> Execute(const BeasPlan& plan, uint64_t budget) const;
 
  private:
-  /// Returns the shared fetch pool, creating it with \p threads workers
+  /// Returns the shared worker pool, creating it with \p threads workers
   /// on first use (later calls reuse the existing pool regardless of
   /// their thread count; see class comment).
   ThreadPool* EnsurePool(size_t threads) const;
@@ -97,7 +111,7 @@ class PlanExecutor {
   const IndexStore* store_;
   EvalOptions eval_options_;
   mutable std::mutex pool_mu_;        ///< guards lazy pool creation
-  mutable std::unique_ptr<ThreadPool> pool_;  ///< shared fetch workers
+  mutable std::unique_ptr<ThreadPool> pool_;  ///< shared fetch/eval workers
 };
 
 }  // namespace beas

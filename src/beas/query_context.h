@@ -27,9 +27,12 @@ struct QueryContext {
   /// protocol) for every tuple the query fetches, enforcing its own
   /// alpha * |D| budget independently of any concurrent session.
   AccessMeter meter;
-  /// Evaluation options of this call (vectorization, fetch threads,
-  /// intermediate-row caps). Copied from the engine defaults by
-  /// Beas::Answer; per-call overrides are allowed.
+  /// Evaluation options of this call (vectorization, fetch/eval thread
+  /// counts, intermediate-row caps). Copied from the engine defaults by
+  /// Beas::Answer; per-call overrides are allowed — the query service
+  /// uses them to budget eval_threads/fetch_threads per query under
+  /// load. Thread-count overrides never change answers (parallel fetch
+  /// and morsel evaluation are answer-invariant by construction).
   EvalOptions eval;
 };
 

@@ -4,6 +4,8 @@
 
 namespace beas {
 
+thread_local const ThreadPool* ThreadPool::current_pool_ = nullptr;
+
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
@@ -23,13 +25,26 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    std::unique_lock<std::mutex> lock(mu_);
+    // Nested-parallelism guard: a worker of this pool submitting while
+    // every worker (including itself) is busy would enqueue work that
+    // can only start after the submitter finishes — a deadlock if the
+    // submitter then waits for it. Run the task inline instead; an idle
+    // worker, or a foreign thread, keeps the normal enqueue path.
+    if (current_pool_ != this || busy_ < workers_.size()) {
+      queue_.push_back(std::move(task));
+      // Notify before mu_ drops: a caller may destroy the pool as soon
+      // as the submitted task's effects are observable, and a notify
+      // after the unlock could then touch a destroyed cv_.
+      cv_.notify_one();
+      return;
+    }
   }
-  cv_.notify_one();
+  task();
 }
 
 void ThreadPool::WorkerLoop() {
+  current_pool_ = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -38,8 +53,13 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      ++busy_;
     }
     task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --busy_;
+    }
   }
 }
 

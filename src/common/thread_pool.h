@@ -1,10 +1,14 @@
 // A small fixed-size thread pool for CPU-bound fan-out work (parallel
-// atom fetching in the executor). Tasks are plain std::function<void()>
-// jobs drained FIFO by the worker threads; completion is coordinated by
-// the submitter (continuation tasks or an external latch), never by
-// blocking a pool thread on another task — the executor's scheduler is
-// continuation-passing precisely so that a 1-thread pool cannot
-// deadlock.
+// atom fetching and morsel-driven evaluation in the executor). Tasks are
+// plain std::function<void()> jobs drained FIFO by the worker threads;
+// completion is coordinated by the submitter (continuation tasks or an
+// external latch), never by blocking a pool thread on another task — the
+// executor's scheduler is continuation-passing precisely so that a
+// 1-thread pool cannot deadlock. As a second line of defense, Submit
+// carries a nested-parallelism guard: a task that submits onto its own
+// pool while every worker is busy runs the new task inline in the caller
+// instead of enqueueing it, so even a blocking wait for nested work
+// cannot wedge a saturated pool.
 
 #ifndef BEAS_COMMON_THREAD_POOL_H_
 #define BEAS_COMMON_THREAD_POOL_H_
@@ -21,11 +25,19 @@ namespace beas {
 
 /// \brief A fixed pool of worker threads draining a FIFO task queue.
 ///
-/// Submit() never blocks (beyond the queue mutex) and tasks must not
-/// throw: work reports failures through captured state (Status slots),
-/// matching the codebase's no-exceptions error model. The destructor
-/// drains the queue: every task submitted before destruction runs to
-/// completion before the workers join.
+/// Submit() never blocks on queue space and tasks must not throw: work
+/// reports failures through captured state (Status slots), matching the
+/// codebase's no-exceptions error model. The destructor drains the
+/// queue: every task submitted before destruction runs to completion
+/// before the workers join.
+///
+/// Nested-parallelism guard: when Submit is called *from one of this
+/// pool's own workers* and no other worker is idle (the pool is
+/// saturated), the task runs inline in the calling worker instead of
+/// being enqueued. Without the guard, a worker that enqueues a subtask
+/// and then waits for it deadlocks on a saturated pool — every worker
+/// waits for queued work only an occupied worker could run. Submitting
+/// to a *different* pool, or from a non-worker thread, always enqueues.
 class ThreadPool {
  public:
   /// Spawns \p num_threads workers (clamped to at least 1).
@@ -37,7 +49,11 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues \p task for execution on some worker thread.
+  /// Enqueues \p task for execution on some worker thread — or runs it
+  /// inline when called from a worker of this pool while the pool is
+  /// saturated (see the class comment's nested-parallelism guard).
+  /// Callers that submit while holding a lock the task may need must
+  /// therefore release it first, exactly as if the task ran concurrently.
   void Submit(std::function<void()> task);
 
   size_t num_threads() const { return workers_.size(); }
@@ -49,7 +65,13 @@ class ThreadPool {
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;
+  size_t busy_ = 0;  ///< workers currently executing a task (guarded by mu_)
   std::vector<std::thread> workers_;
+
+  /// The pool whose WorkerLoop the current thread is running, if any
+  /// (nullptr on non-worker threads). Lets Submit detect self-submission
+  /// for the nested-parallelism guard.
+  static thread_local const ThreadPool* current_pool_;
 };
 
 }  // namespace beas

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "engine/aggregate.h"
 #include "engine/vectorized.h"
 #include "types/column_chunk.h"
@@ -91,8 +92,9 @@ namespace {
 
 class EvalImpl {
  public:
-  EvalImpl(const Database& db, const EvalOptions& options, size_t* rows_materialized)
-      : db_(db), options_(options), rows_materialized_(rows_materialized) {}
+  EvalImpl(const Database& db, const EvalOptions& options, size_t* rows_materialized,
+           ThreadPool* pool)
+      : db_(db), options_(options), rows_materialized_(rows_materialized), pool_(pool) {}
 
   Result<Table> Eval(const QueryPtr& q) {
     switch (q->kind()) {
@@ -239,7 +241,8 @@ class EvalImpl {
       for (size_t ti = 0; ti < tables.size(); ++ti) {
         if (per_table[ti].empty()) continue;
         Table filtered(tables[ti].schema());
-        BEAS_RETURN_IF_ERROR(FilterTableBatched(tables[ti], per_table[ti], &filtered));
+        BEAS_RETURN_IF_ERROR(FilterTableBatched(tables[ti], per_table[ti], &filtered,
+                                                pool_, options_.eval_threads));
         tables[ti] = std::move(filtered);
       }
     } else {
@@ -330,7 +333,8 @@ class EvalImpl {
         }
         if (!applicable.empty()) {
           Table filtered(current.schema());
-          BEAS_RETURN_IF_ERROR(FilterTableBatched(current, applicable, &filtered));
+          BEAS_RETURN_IF_ERROR(FilterTableBatched(current, applicable, &filtered,
+                                                  pool_, options_.eval_threads));
           current = std::move(filtered);
         }
       } else {
@@ -449,13 +453,18 @@ class EvalImpl {
   const Database& db_;
   const EvalOptions& options_;
   size_t* rows_materialized_;
+  ThreadPool* pool_;  ///< non-owning; parallel filter windows when set
 };
 
 }  // namespace
 
 Result<Table> Evaluator::Eval(const QueryPtr& q) const {
-  rows_materialized_ = 0;
-  EvalImpl impl(db_, options_, &rows_materialized_);
+  return Eval(q, &rows_materialized_);
+}
+
+Result<Table> Evaluator::Eval(const QueryPtr& q, size_t* rows_materialized) const {
+  *rows_materialized = 0;
+  EvalImpl impl(db_, options_, rows_materialized, pool_);
   return impl.Eval(q);
 }
 

@@ -60,7 +60,23 @@ struct EvalOptions {
   /// (docs/ARCHITECTURE.md "Parallel atom fetching"; asserted by the
   /// property suite). Evaluation (xi_E) is unaffected by this knob.
   int fetch_threads = 1;
+
+  /// Worker threads for morsel-driven evaluation (the xi_E half). 1 (the
+  /// default) keeps strictly sequential evaluation; > 1 evaluates
+  /// independent morsels — the unit subtrees of an executor plan's
+  /// union/difference tree, and the predicate-cascade windows of a
+  /// vectorized filter (ColumnChunk granularity) — concurrently on the
+  /// executor's shared pool. Morsels deposit partial results tagged by
+  /// (subtree, window) order and a single commit step replays them in
+  /// canonical order, so answers are byte-identical to sequential
+  /// evaluation at every fetch_threads/backend/budget combination
+  /// (docs/ARCHITECTURE.md "Morsel-driven evaluation"; pinned by the
+  /// differential harness and property P10). Fetching (xi_F) is
+  /// unaffected by this knob.
+  int eval_threads = 1;
 };
+
+class ThreadPool;
 
 /// \brief Evaluates bound query trees against a database.
 ///
@@ -68,19 +84,32 @@ struct EvalOptions {
 /// Union and Difference deduplicate. Aggregates run over bags.
 class Evaluator {
  public:
-  explicit Evaluator(const Database& db, EvalOptions options = {})
-      : db_(db), options_(options) {}
+  /// \p pool (optional, non-owning, must outlive the Evaluator) enables
+  /// morsel-parallel filter windows when options.eval_threads > 1; with
+  /// no pool, evaluation is sequential regardless of eval_threads.
+  explicit Evaluator(const Database& db, EvalOptions options = {},
+                     ThreadPool* pool = nullptr)
+      : db_(db), options_(options), pool_(pool) {}
 
-  /// Evaluates \p q; the result's schema is q->output_schema().
+  /// Evaluates \p q; the result's schema is q->output_schema(). Not safe
+  /// to call concurrently on one Evaluator (it tracks the materialized
+  /// row count in a member) — concurrent callers use the overload below.
   Result<Table> Eval(const QueryPtr& q) const;
 
-  /// Total rows materialized by the last Eval call (for the full-scan cost
-  /// accounting in the scalability benches).
+  /// Thread-safe Eval: tracks the intermediate-row cap in the
+  /// caller-provided \p rows_materialized (overwritten, not
+  /// accumulated), so any number of morsel workers can evaluate
+  /// independent queries through one shared Evaluator.
+  Result<Table> Eval(const QueryPtr& q, size_t* rows_materialized) const;
+
+  /// Total rows materialized by the last single-argument Eval call (for
+  /// the full-scan cost accounting in the scalability benches).
   size_t last_rows_materialized() const { return rows_materialized_; }
 
  private:
   const Database& db_;
   EvalOptions options_;
+  ThreadPool* pool_ = nullptr;  ///< non-owning; morsel workers when set
   mutable size_t rows_materialized_ = 0;
 };
 

@@ -1,6 +1,12 @@
 #include "engine/vectorized.h"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "common/thread_pool.h"
 
 namespace beas {
 
@@ -44,6 +50,81 @@ void FilterSelExactNumericConst(CompareOp op, double c, GetValue get,
   }
 }
 
+// Runs the compiled cascade over the window of `rows` starting at
+// `start` (`n` rows), leaving the survivors' window-relative indices in
+// `sel`. The per-window kernel of both the sequential and the
+// morsel-parallel paths — identical results by construction.
+void FilterWindow(const std::vector<Tuple>& rows, size_t start, size_t n,
+                  const std::vector<CompiledComparison>& compiled,
+                  SelectionVector* sel) {
+  SelectIdentity(n, sel);
+  for (const auto& cc : compiled) {
+    if (sel->empty()) break;
+    if (cc.rhs_is_attr) {
+      size_t kept = 0;
+      for (uint32_t r : *sel) {
+        const Tuple& row = rows[start + r];
+        if (cc.Matches(row[cc.lhs], row[cc.rhs])) (*sel)[kept++] = r;
+      }
+      sel->resize(kept);
+    } else if (cc.exact_direct && cc.constant->is_numeric()) {
+      const size_t lhs = cc.lhs;
+      FilterSelExactNumericConst(
+          cc.op, cc.constant->numeric(),
+          [&rows, start, lhs](uint32_t r) -> const Value& {
+            return rows[start + r][lhs];
+          },
+          sel);
+    } else {
+      const Value& b = *cc.constant;
+      size_t kept = 0;
+      for (uint32_t r : *sel) {
+        if (cc.Matches(rows[start + r][cc.lhs], b)) (*sel)[kept++] = r;
+      }
+      sel->resize(kept);
+    }
+  }
+}
+
+// Shared state of one window-morsel fan-out. Heap-held via shared_ptr
+// so a straggler helper that wakes after every window is claimed (the
+// coordinator may already have committed and returned) still touches
+// valid memory: it only reads `next`/`windows`, sees the cursor
+// exhausted, and exits without dereferencing the coordinator-owned
+// pointers.
+struct WindowFilterState {
+  std::atomic<size_t> next{0};  ///< claim cursor over window indices
+  size_t windows = 0;
+  const std::vector<Tuple>* rows = nullptr;
+  const std::vector<CompiledComparison>* compiled = nullptr;
+  SelectionVector* deposits = nullptr;  ///< one survivor set per window
+
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t done = 0;  ///< windows deposited (guarded by mu)
+};
+
+// The claim loop: run by every helper task *and* by the caller, so
+// progress never depends on a pool worker becoming free; workers never
+// block on other morsels, only the caller waits (for deposits, under
+// WindowFilterState::mu — which also publishes the deposit writes).
+void RunWindowFilterClaims(const std::shared_ptr<WindowFilterState>& st) {
+  size_t claimed = 0;
+  for (;;) {
+    size_t w = st->next.fetch_add(1, std::memory_order_relaxed);
+    if (w >= st->windows) break;
+    size_t start = w * kDefaultChunkCapacity;
+    size_t n = std::min(kDefaultChunkCapacity, st->rows->size() - start);
+    FilterWindow(*st->rows, start, n, *st->compiled, &st->deposits[w]);
+    ++claimed;
+  }
+  if (claimed > 0) {
+    std::lock_guard<std::mutex> lock(st->mu);
+    st->done += claimed;
+    if (st->done == st->windows) st->cv.notify_all();
+  }
+}
+
 }  // namespace
 
 Result<CompiledComparison> CompileComparison(const RelationSchema& schema,
@@ -70,7 +151,7 @@ Result<CompiledComparison> CompileComparison(const RelationSchema& schema,
 }
 
 Status FilterTableBatched(const Table& in, const std::vector<const Comparison*>& cmps,
-                          Table* out) {
+                          Table* out, ThreadPool* pool, int eval_threads) {
   const RelationSchema& schema = in.schema();
   std::vector<CompiledComparison> compiled;
   compiled.reserve(cmps.size());
@@ -86,36 +167,42 @@ Status FilterTableBatched(const Table& in, const std::vector<const Comparison*>&
   // it saves for one-shot filters; chunk transposition pays only where
   // columns are re-read, e.g. aggregates and the executor guard).
   const std::vector<Tuple>& rows = in.rows();
+  const size_t windows = NumChunkWindows(rows.size());
+
+  if (pool != nullptr && eval_threads > 1 && windows > 1) {
+    // Morsel-parallel path: windows are claimed off a shared cursor and
+    // filtered into per-window deposit slots; the commit below replays
+    // the deposits in window order, producing byte-identical output to
+    // the sequential loop (windows never interact).
+    std::vector<SelectionVector> deposits(windows);
+    auto state = std::make_shared<WindowFilterState>();
+    state->windows = windows;
+    state->rows = &rows;
+    state->compiled = &compiled;
+    state->deposits = deposits.data();
+    size_t helpers =
+        std::min<size_t>(static_cast<size_t>(eval_threads) - 1, windows - 1);
+    for (size_t h = 0; h < helpers; ++h) {
+      pool->Submit([state] { RunWindowFilterClaims(state); });
+    }
+    RunWindowFilterClaims(state);
+    {
+      std::unique_lock<std::mutex> lock(state->mu);
+      state->cv.wait(lock, [&state] { return state->done == state->windows; });
+    }
+    // Ordered commit: survivors appended window-major, then in selection
+    // order — exactly the sequential emission order.
+    for (size_t w = 0; w < windows; ++w) {
+      size_t start = w * kDefaultChunkCapacity;
+      for (uint32_t r : deposits[w]) out->AppendUnchecked(rows[start + r]);
+    }
+    return Status::OK();
+  }
+
   SelectionVector sel;
   for (size_t start = 0; start < rows.size(); start += kDefaultChunkCapacity) {
     size_t n = std::min(kDefaultChunkCapacity, rows.size() - start);
-    SelectIdentity(n, &sel);
-    for (const auto& cc : compiled) {
-      if (sel.empty()) break;
-      if (cc.rhs_is_attr) {
-        size_t kept = 0;
-        for (uint32_t r : sel) {
-          const Tuple& row = rows[start + r];
-          if (cc.Matches(row[cc.lhs], row[cc.rhs])) sel[kept++] = r;
-        }
-        sel.resize(kept);
-      } else if (cc.exact_direct && cc.constant->is_numeric()) {
-        const size_t lhs = cc.lhs;
-        FilterSelExactNumericConst(
-            cc.op, cc.constant->numeric(),
-            [&rows, start, lhs](uint32_t r) -> const Value& {
-              return rows[start + r][lhs];
-            },
-            &sel);
-      } else {
-        const Value& b = *cc.constant;
-        size_t kept = 0;
-        for (uint32_t r : sel) {
-          if (cc.Matches(rows[start + r][cc.lhs], b)) sel[kept++] = r;
-        }
-        sel.resize(kept);
-      }
-    }
+    FilterWindow(rows, start, n, compiled, &sel);
     for (uint32_t r : sel) out->AppendUnchecked(rows[start + r]);
   }
   return Status::OK();

@@ -65,6 +65,8 @@ struct CompiledComparison {
 Result<CompiledComparison> CompileComparison(const RelationSchema& schema,
                                              const Comparison& cmp);
 
+class ThreadPool;
+
 /// The batched scan+filter kernel: streams \p in window-at-a-time
 /// (kDefaultChunkCapacity rows) through the conjunction \p cmps and
 /// appends the surviving rows to \p out — the same rows, in the same
@@ -74,8 +76,18 @@ Result<CompiledComparison> CompileComparison(const RelationSchema& schema,
 /// transposition: Value variants are heavyweight, and a one-shot filter
 /// reads each value once — see docs/ARCHITECTURE.md). Fails if an
 /// operand attribute is missing.
+///
+/// With \p pool set and \p eval_threads > 1, the windows become
+/// independent morsels: workers claim window indices from a shared
+/// cursor, deposit each window's surviving selection into a per-window
+/// slot, and a single commit appends the survivors in window order —
+/// byte-identical output to the sequential path by construction
+/// (windows never interact, and filtering charges no budget). The
+/// caller participates in the claim loop, so a saturated pool degrades
+/// to sequential speed, never to a deadlock.
 Status FilterTableBatched(const Table& in, const std::vector<const Comparison*>& cmps,
-                          Table* out);
+                          Table* out, ThreadPool* pool = nullptr,
+                          int eval_threads = 1);
 
 }  // namespace beas
 

@@ -96,10 +96,24 @@ Result<ServiceAnswer> QueryService::Answer(QueryPtr q, double alpha) {
 
 void QueryService::RunQuery(std::shared_ptr<Pending> slot, QueryPtr q, double alpha,
                             std::chrono::steady_clock::time_point submitted_at) {
+  uint64_t in_flight;
   {
     std::lock_guard<std::mutex> lock(mu_);
     --counters_.queued;
-    ++counters_.in_flight;
+    in_flight = ++counters_.in_flight;
+  }
+  // Per-query thread budgeting: split the configured intra-query thread
+  // budget over the queries in flight right now, so cross-query
+  // parallelism (the worker pool) and intra-query parallelism
+  // (fetch/eval threads) never multiply past the budget. Thread-count
+  // clamping is answer-invariant, so the instantaneous (racy) in_flight
+  // read only affects scheduling, never results.
+  EvalOptions eval = beas_->eval_options();
+  if (options_.eval_thread_budget > 0) {
+    int allowed = static_cast<int>(std::max<uint64_t>(
+        1, options_.eval_thread_budget / std::max<uint64_t>(1, in_flight)));
+    eval.eval_threads = std::min(eval.eval_threads, allowed);
+    eval.fetch_threads = std::min(eval.fetch_threads, allowed);
   }
   Result<ServiceAnswer> out = Status::Internal("query did not run");
   {
@@ -107,7 +121,7 @@ void QueryService::RunQuery(std::shared_ptr<Pending> slot, QueryPtr q, double al
     // be invalidated between lookup and insert of one query), fetch, and
     // evaluate all see one epoch's database.
     EpochGuard::ReadLock read = guard_.LockRead();
-    Result<BeasAnswer> answer = beas_->Answer(q, alpha);
+    Result<BeasAnswer> answer = beas_->Answer(q, alpha, eval);
     if (answer.ok()) {
       ServiceAnswer sa;
       sa.answer = std::move(*answer);

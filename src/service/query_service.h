@@ -30,7 +30,9 @@ namespace beas {
 struct ServiceOptions {
   /// Worker threads executing queries (clamped to at least 1). This is
   /// the cross-query parallelism knob; each worker may additionally fan
-  /// its fetch phase out when BeasOptions::eval.fetch_threads > 1.
+  /// its fetch phase out when BeasOptions::eval.fetch_threads > 1 and
+  /// its evaluation phase when eval.eval_threads > 1 (capped by
+  /// eval_thread_budget below).
   size_t workers = 4;
   /// Admission bound: maximum queries admitted but not yet started
   /// (clamped to at least 1). Submit rejects with Unavailable beyond it,
@@ -39,6 +41,17 @@ struct ServiceOptions {
   size_t max_queue = 256;
   /// Completed-query latencies kept for the p50/p95 stats (ring buffer).
   size_t latency_window = 512;
+  /// Per-query thread budgeting: the total number of intra-query worker
+  /// threads (EvalOptions::eval_threads / fetch_threads) the service
+  /// hands out across all in-flight queries. Each query runs with the
+  /// engine's configured thread counts clamped to budget / in_flight
+  /// (at least 1), so a loaded service degrades to one thread per query
+  /// instead of oversubscribing workers * threads cores. 0 (the
+  /// default) disables budgeting: every query keeps the engine's
+  /// configured EvalOptions verbatim. Clamping never changes answers —
+  /// parallel fetch and morsel evaluation are answer-invariant at any
+  /// thread count.
+  size_t eval_thread_budget = 0;
 };
 
 /// Handle of one submitted query; redeemed (once) by Wait.

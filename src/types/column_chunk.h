@@ -22,7 +22,18 @@ namespace beas {
 /// Default number of rows per chunk. 1024 keeps a chunk of a few columns
 /// within L1/L2 while amortizing per-batch setup (attribute resolution,
 /// budget accounting) over enough rows that per-row overhead vanishes.
+/// Chunk windows are also the morsel granularity of parallel evaluation:
+/// the vectorized filter's windows are claimed as independent morsels
+/// and committed in window order (docs/ARCHITECTURE.md "Morsel-driven
+/// evaluation").
 inline constexpr size_t kDefaultChunkCapacity = 1024;
+
+/// Number of kDefaultChunkCapacity-sized windows covering \p rows rows
+/// (0 for an empty input): the window/morsel count of the vectorized
+/// scan, filter, and batched-fetch loops.
+inline constexpr size_t NumChunkWindows(size_t rows) {
+  return (rows + kDefaultChunkCapacity - 1) / kDefaultChunkCapacity;
+}
 
 /// \brief A selection vector: indices of the live rows of a ColumnChunk.
 ///

@@ -1,0 +1,244 @@
+// Morsel-driven parallel evaluation (EvalOptions::eval_threads): the
+// window-morsel vectorized filter path, the nested-parallelism guard at
+// the engine layer, answer invariance of eval_threads on one instance,
+// and the full differential sweep (thread matrix x backends x budgets x
+// maintenance replays) through tests/testing/differential.h. Carries
+// the ctest label `eval`; runs in the ASan and TSan CI jobs.
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "beas/beas.h"
+#include "common/thread_pool.h"
+#include "engine/vectorized.h"
+#include "storage/table.h"
+#include "testing/differential.h"
+#include "testing/test_data.h"
+#include "types/column_chunk.h"
+
+namespace beas {
+namespace {
+
+using ::beas::testing::DifferentialHarness;
+using ::beas::testing::DifferentialOptions;
+using ::beas::testing::MakeNumericDb;
+using ::beas::testing::MakeSocialDb;
+using ::beas::testing::SerializeAnswer;
+
+std::vector<ConstraintSpec> SocialConstraints() {
+  return {
+      {"person", {"pid"}, {"city"}, 1},
+      {"friend", {"pid"}, {"fid"}, 12},
+  };
+}
+
+// A workload that exercises every morsel granularity: unions and a
+// difference produce multi-unit plans (unit morsels), selections over
+// multi-window tables drive the window morsels, joins and aggregates
+// cover the rest of the evaluation tree.
+std::vector<std::string> SweepQueries() {
+  return {
+      "select p.pid from person as p where p.city = 0 union "
+      "select p.pid from person as p where p.city = 1",
+      "select p.pid from person as p where p.city = 2 except "
+      "select f.pid from friend as f where f.fid = 1",
+      "select p.city from friend as f, person as p "
+      "where f.pid = 7 and f.fid = p.pid",
+      "select h.address, h.price from poi as h "
+      "where h.type = 'hotel' and h.price <= 90",
+      "select f.pid, count(f.fid) from friend as f group by f.pid",
+      "select p.pid from person as p where p.city = 0 union "
+      "select p.pid from person as p where p.city = 1 union "
+      "select p.pid from person as p where p.city = 2",
+  };
+}
+
+// --- Window morsels in the vectorized filter ---
+
+class WindowFilterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeNumericDb(7, 5000);  // ~5 chunk windows of 1024 rows
+    auto table = db_.FindTable("r");
+    ASSERT_TRUE(table.ok());
+    in_ = *table;
+    cmps_ = {
+        {Operand::Attr("a"), CompareOp::kLe, Operand::Const(Value(60.0)), 0.0},
+        {Operand::Attr("b"), CompareOp::kGt, Operand::Const(Value(15.0)), 0.0},
+        {Operand::Attr("c"), CompareOp::kEq, Operand::Const(Value(int64_t{2})), 0.0},
+    };
+  }
+
+  std::vector<const Comparison*> CmpPtrs() const {
+    std::vector<const Comparison*> ptrs;
+    for (const Comparison& c : cmps_) ptrs.push_back(&c);
+    return ptrs;
+  }
+
+  Table Sequential(const std::vector<const Comparison*>& cmps) const {
+    Table out(in_->schema());
+    Status st = FilterTableBatched(*in_, cmps, &out);
+    EXPECT_TRUE(st.ok()) << st;
+    return out;
+  }
+
+  void ExpectSameRows(const Table& got, const Table& want, const char* label) {
+    ASSERT_EQ(got.size(), want.size()) << label;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got.row(i), want.row(i)) << label << " row " << i;
+    }
+  }
+
+  Database db_;
+  const Table* in_ = nullptr;
+  std::vector<Comparison> cmps_;
+};
+
+TEST_F(WindowFilterTest, ParallelWindowsMatchSequentialRowForRow) {
+  ASSERT_GT(NumChunkWindows(in_->size()), 1u) << "fixture must span windows";
+  Table want = Sequential(CmpPtrs());
+  ASSERT_GT(want.size(), 0u);
+  ASSERT_LT(want.size(), in_->size());
+  ThreadPool pool(4);
+  for (int threads : {2, 3, 8}) {
+    Table got(in_->schema());
+    ASSERT_TRUE(FilterTableBatched(*in_, CmpPtrs(), &got, &pool, threads).ok());
+    ExpectSameRows(got, want, "cascade");
+  }
+}
+
+TEST_F(WindowFilterTest, EmptyAndFullSelectionsSurviveParallelism) {
+  ThreadPool pool(4);
+  // No survivors: every window deposits an empty selection.
+  std::vector<Comparison> none = {
+      {Operand::Attr("a"), CompareOp::kLt, Operand::Const(Value(-1.0)), 0.0}};
+  std::vector<const Comparison*> none_ptrs = {&none[0]};
+  Table got_none(in_->schema());
+  ASSERT_TRUE(FilterTableBatched(*in_, none_ptrs, &got_none, &pool, 4).ok());
+  EXPECT_EQ(got_none.size(), 0u);
+
+  // All survive: the ordered commit must reproduce the input verbatim.
+  std::vector<Comparison> all = {
+      {Operand::Attr("a"), CompareOp::kLe, Operand::Const(Value(1000.0)), 0.0}};
+  std::vector<const Comparison*> all_ptrs = {&all[0]};
+  Table got_all(in_->schema());
+  ASSERT_TRUE(FilterTableBatched(*in_, all_ptrs, &got_all, &pool, 4).ok());
+  ExpectSameRows(got_all, *in_, "identity");
+}
+
+TEST_F(WindowFilterTest, SubWindowInputTakesTheSequentialPath) {
+  Database small_db = MakeNumericDb(9, 100);  // one window: no fan-out
+  auto table = small_db.FindTable("r");
+  ASSERT_TRUE(table.ok());
+  std::vector<Comparison> cmp = {
+      {Operand::Attr("c"), CompareOp::kEq, Operand::Const(Value(int64_t{1})), 0.0}};
+  std::vector<const Comparison*> ptrs = {&cmp[0]};
+  Table want((*table)->schema());
+  ASSERT_TRUE(FilterTableBatched(**table, ptrs, &want).ok());
+  ThreadPool pool(4);
+  Table got((*table)->schema());
+  ASSERT_TRUE(FilterTableBatched(**table, ptrs, &got, &pool, 8).ok());
+  ExpectSameRows(got, want, "sub-window");
+}
+
+TEST_F(WindowFilterTest, NestedCallOnSaturatedPoolRunsInlineWithoutDeadlock) {
+  // A unit morsel running on the pool evaluates its own predicate
+  // cascades: the window fan-out then submits onto the already-saturated
+  // pool. The nested-parallelism guard must run those morsels inline in
+  // the submitting worker — this test deadlocks (and times out) if it
+  // regresses to queue-and-wait.
+  Table want = Sequential(CmpPtrs());
+  ThreadPool pool(1);
+  Table got(in_->schema());
+  Status st = Status::Internal("nested filter never ran");
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  pool.Submit([&] {
+    Status nested = FilterTableBatched(*in_, CmpPtrs(), &got, &pool, 4);
+    std::lock_guard<std::mutex> lock(mu);
+    st = nested;
+    done = true;
+    cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done; });
+  ASSERT_TRUE(st.ok()) << st;
+  ExpectSameRows(got, want, "nested");
+}
+
+// --- eval_threads answer invariance on one instance ---
+
+TEST(EvalThreadsTest, AnswersAreByteIdenticalOnOneInstance) {
+  // xi_E never touches the meter or the store, so the *same* Beas
+  // instance must produce byte-identical serializations when only
+  // eval_threads varies call-by-call (the Answer overload the query
+  // service's thread budgeting uses).
+  Database db = MakeSocialDb(33, 80, 4, 6, 200);
+  BeasOptions options;
+  options.constraints = SocialConstraints();
+  auto built = Beas::Build(&db, options);
+  ASSERT_TRUE(built.ok()) << built.status();
+  std::unique_ptr<Beas> beas = std::move(*built);
+
+  int compared = 0;
+  for (const std::string& sql : SweepQueries()) {
+    auto q = beas->Parse(sql);
+    ASSERT_TRUE(q.ok()) << sql << ": " << q.status();
+    for (double alpha : {0.1, 0.4}) {
+      EvalOptions seq;
+      std::string want =
+          SerializeAnswer(beas->Answer(*q, alpha, seq), /*with_cache_counters=*/true);
+      for (int threads : {2, 4, 8}) {
+        EvalOptions par;
+        par.eval_threads = threads;
+        std::string got = SerializeAnswer(beas->Answer(*q, alpha, par),
+                                          /*with_cache_counters=*/true);
+        EXPECT_EQ(got, want) << sql << " alpha " << alpha << " threads " << threads;
+        ++compared;
+      }
+    }
+  }
+  EXPECT_GE(compared, 30);
+}
+
+// --- The full differential sweep ---
+
+TEST(EvalDifferentialTest, SweepPinsMorselEvaluationBitIdentical) {
+  DifferentialOptions options;
+  options.constraints = SocialConstraints();
+  options.eval_threads = {1, 2, 4};
+  options.fetch_threads = {1, 2};
+  options.temp_dir = ::testing::TempDir() + "eval_diff_";
+  auto harness = DifferentialHarness::Create(
+      [] { return MakeSocialDb(33, 60, 4, 6, 150); }, options);
+  ASSERT_TRUE(harness.ok()) << harness.status();
+  EXPECT_EQ((*harness)->instances(), 12u);  // 3 eval x 2 fetch x 2 backends
+
+  int mismatches = 0;
+  for (const std::string& sql : SweepQueries()) {
+    mismatches += (*harness)->CheckQuery(sql, 0.25, "sweep");
+  }
+  // OutOfBudget cuts mid-evaluation: the cut point must not move.
+  mismatches += (*harness)->CheckBudgetCuts(SweepQueries()[0], 0.25, "cut");
+  mismatches += (*harness)->CheckBudgetCuts(SweepQueries()[2], 0.25, "cut");
+
+  // Lockstep maintenance, then replay the sweep post-mutation.
+  const Tuple kRow{Value(int64_t{5000}), Value(int64_t{2}), Value(500.0)};
+  ASSERT_TRUE((*harness)->Insert("person", kRow).ok());
+  for (const std::string& sql : SweepQueries()) {
+    mismatches += (*harness)->CheckQuery(sql, 0.25, "post-insert");
+  }
+  ASSERT_TRUE((*harness)->Remove("person", kRow).ok());
+  mismatches += (*harness)->CheckQuery(SweepQueries()[0], 0.25, "post-remove");
+
+  EXPECT_EQ(mismatches, 0);
+  EXPECT_GT((*harness)->checks(), 100);
+}
+
+}  // namespace
+}  // namespace beas

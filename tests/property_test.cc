@@ -30,6 +30,14 @@
 //       same rows, eta, accessed counts, and the same OutOfBudget
 //       failure point — across the alpha sweep and after Insert/Remove
 //       (docs/ARCHITECTURE.md "Disk-backed index tier").
+//   P10 (morsel-evaluation equivalence): with EvalOptions::eval_threads
+//       > 1, answers are byte-identical to sequential evaluation across
+//       the full knob matrix — eval_threads {1,2,8} x fetch_threads
+//       {1,4} x both storage backends (disk at a 25% cache budget) —
+//       including mid-evaluation OutOfBudget cuts and replays after
+//       Insert/Remove, via the differential harness in
+//       tests/testing/differential.h (docs/ARCHITECTURE.md
+//       "Morsel-driven evaluation").
 
 #include <gtest/gtest.h>
 
@@ -41,6 +49,7 @@
 #include "engine/evaluator.h"
 #include "ra/analysis.h"
 #include "ra/parser.h"
+#include "testing/differential.h"
 #include "workload/query_gen.h"
 #include "workload/tfacc.h"
 #include "workload/tpch.h"
@@ -543,6 +552,57 @@ TEST_P(BeasPropertyTest, DiskBackedAnswersMatchInMemoryByteForByte) {
     ASSERT_TRUE(disk->Insert(rel.name(), row).ok()) << rel.name();
   }
   compare_all("after-maintenance");
+}
+
+TEST_P(BeasPropertyTest, MorselEvaluationIsByteIdenticalAcrossTheKnobMatrix) {
+  // P10: the randomized workload swept over the full morsel-evaluation
+  // knob matrix through the differential harness — every combination
+  // must serialize byte-identically to the sequential reference of its
+  // backend, at full budgets, at starvation budgets (OutOfBudget cuts
+  // mid-evaluation), and after maintenance.
+  double alpha = GetParam().alpha;
+  const bool tpch = std::string(GetParam().dataset) == "tpch";
+  ::beas::testing::DifferentialOptions options;
+  options.constraints = ds_.constraints;
+  options.eval_threads = {1, 2, 8};
+  options.fetch_threads = {1, 4};
+  options.temp_dir = ::testing::TempDir() + "beas_p10_" + GetParam().dataset +
+                     "_a" + std::to_string(static_cast<int>(alpha * 100)) + "_";
+  auto harness = ::beas::testing::DifferentialHarness::Create(
+      [tpch] {
+        return tpch ? MakeTpch(0.001, 77).db : MakeTfacc(1200, 77).db;
+      },
+      options);
+  ASSERT_TRUE(harness.ok()) << harness.status();
+  ASSERT_EQ((*harness)->instances(), 12u);  // 3 eval x 2 fetch x 2 backends
+
+  int mismatches = 0;
+  size_t swept = std::min<size_t>(queries_.size(), 10);
+  for (size_t i = 0; i < swept; ++i) {
+    mismatches += (*harness)->CheckQuery(queries_[i].sql, alpha, "P10 sweep");
+  }
+  // Starvation budgets: the meter must exhaust at the same point with
+  // the same rendered status on every instance.
+  for (size_t i = 0; i < std::min<size_t>(queries_.size(), 3); ++i) {
+    mismatches += (*harness)->CheckBudgetCuts(queries_[i].sql, alpha, "P10 cut");
+  }
+  // Lockstep remove + re-insert of one row per relation, then replay.
+  Dataset ds = tpch ? MakeTpch(0.001, 77) : MakeTfacc(1200, 77);
+  DatabaseSchema ds_schema = ds.db.Schema();
+  for (const auto& rel : ds_schema.relations()) {
+    auto table = ds.db.FindTable(rel.name());
+    ASSERT_TRUE(table.ok());
+    if ((*table)->size() == 0) continue;
+    Tuple row = (*table)->row((*table)->size() / 2);
+    ASSERT_TRUE((*harness)->Remove(rel.name(), row).ok()) << rel.name();
+    ASSERT_TRUE((*harness)->Insert(rel.name(), row).ok()) << rel.name();
+  }
+  for (size_t i = 0; i < std::min<size_t>(queries_.size(), 5); ++i) {
+    mismatches +=
+        (*harness)->CheckQuery(queries_[i].sql, alpha, "P10 post-maintenance");
+  }
+  EXPECT_EQ(mismatches, 0);
+  EXPECT_GT((*harness)->checks(), 100);
 }
 
 INSTANTIATE_TEST_SUITE_P(

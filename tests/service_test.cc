@@ -344,6 +344,74 @@ TEST_F(QueryServiceTest, MaintenanceDrainsAndQueriesSeeOneEpoch) {
   EXPECT_EQ(final_answer->table.size(), stats.epoch % 2 == 1 ? 1u : 0u);
 }
 
+TEST_F(QueryServiceTest, MorselEvalSessionsRaceMaintenanceWithoutTearing) {
+  // The PR's TSan stress point: sessions whose queries fan out into
+  // unit and window morsels (eval_threads > 1) race epoch-guarded
+  // Insert/Remove, with the per-query thread budget splitting the pool
+  // under load. Same epoch-parity oracle as the drain test above: the
+  // probe row exists iff the observed epoch is odd, so any torn read —
+  // or any morsel observing a mid-mutation index — trips the assert.
+  Database db = MakeSocialDb(30, 100, 5, 8, 400);
+  BeasOptions options;
+  options.constraints = SocialConstraints();
+  options.eval.eval_threads = 3;
+  options.eval.fetch_threads = 2;
+  auto built = Beas::Build(&db, options);
+  ASSERT_TRUE(built.ok()) << built.status();
+  std::unique_ptr<Beas> beas = std::move(*built);
+
+  ServiceOptions sopts;
+  sopts.workers = 4;
+  sopts.eval_thread_budget = 6;  // exercises the per-query clamp path
+  QueryService service(beas.get(), sopts);
+
+  const Tuple kRow{Value(int64_t{5000}), Value(int64_t{3}), Value(500.0)};
+  // A union probe: its plan has two kSpc units, so eval_threads > 1
+  // actually fans unit morsels out while maintenance races.
+  QueryPtr probe = *beas->Parse(
+      "select p.city from person as p where p.pid = 5000 union "
+      "select p.city from person as p where p.pid = 5001");
+
+  constexpr int kReaders = 4;
+  constexpr int kQueriesPerReader = 20;
+  constexpr int kMutations = 14;
+  std::vector<std::thread> readers;
+  for (int s = 0; s < kReaders; ++s) {
+    readers.emplace_back([&] {
+      for (int r = 0; r < kQueriesPerReader; ++r) {
+        auto served = service.Answer(probe, 0.3);
+        ASSERT_TRUE(served.ok()) << served.status();
+        size_t want_rows = served->epoch % 2 == 1 ? 1u : 0u;
+        ASSERT_EQ(served->answer.table.size(), want_rows)
+            << "torn morsel read: epoch " << served->epoch << " but "
+            << served->answer.table.size() << " rows";
+        if (want_rows == 1) {
+          EXPECT_EQ(served->answer.table.row(0), Tuple{Value(int64_t{3})});
+        }
+      }
+    });
+  }
+  std::thread maintenance([&] {
+    for (int m = 0; m < kMutations; ++m) {
+      Status st = m % 2 == 0 ? service.Insert("person", kRow)
+                             : service.Remove("person", kRow);
+      ASSERT_TRUE(st.ok()) << st;
+      std::this_thread::yield();
+    }
+  });
+  for (auto& t : readers) t.join();
+  maintenance.join();
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(kReaders * kQueriesPerReader));
+  EXPECT_EQ(stats.maintenance_ops, stats.epoch);
+
+  // Final state agrees with the parity oracle on a solo morsel run.
+  auto final_answer = beas->Answer(probe, 0.3);
+  ASSERT_TRUE(final_answer.ok());
+  EXPECT_EQ(final_answer->table.size(), stats.epoch % 2 == 1 ? 1u : 0u);
+}
+
 TEST_F(QueryServiceTest, FailedMaintenanceDoesNotAdvanceTheEpoch) {
   QueryService service(beas_.get(), {});
   const Tuple ghost{Value(int64_t{7777}), Value(int64_t{1}), Value(1.0)};

@@ -1,0 +1,253 @@
+#include "testing/differential.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+namespace beas {
+namespace testing {
+
+namespace {
+
+// Returns the thread list with 1 guaranteed first and duplicates dropped
+// (the (1,1) combo is the sequential reference every sweep needs).
+std::vector<int> NormalizeThreads(const std::vector<int>& in) {
+  std::vector<int> out = {1};
+  for (int t : in) {
+    if (t > 1 && std::find(out.begin(), out.end(), t) == out.end()) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SerializeAnswer(const Result<BeasAnswer>& answer,
+                            bool with_cache_counters) {
+  std::ostringstream os;
+  if (!answer.ok()) {
+    os << "status=" << answer.status().ToString() << "\n";
+    return os.str();
+  }
+  const BeasAnswer& a = *answer;
+  os << "status=ok\nrows=" << a.table.size() << "\n";
+  for (const Tuple& row : a.table.rows()) {
+    for (const Value& v : row) os << v.ToString() << "|";
+    os << "\n";
+  }
+  // hexfloat: equal strings <=> bit-equal doubles, no rounding slack.
+  os << std::hexfloat << "eta=" << a.eta << "\nd_prime=" << a.d_prime << "\n"
+     << std::defaultfloat;
+  os << "accessed=" << a.accessed << "\nexact=" << (a.exact ? 1 : 0) << "\n";
+  if (with_cache_counters) {
+    os << "cache_hits=" << a.cache_hits << "\ncache_misses=" << a.cache_misses
+       << "\n";
+  }
+  return os.str();
+}
+
+/// One cell of the sweep matrix: a private database copy and a Beas
+/// instance configured with this cell's thread counts and backend.
+struct DifferentialHarness::Instance {
+  std::string name;
+  bool disk = false;
+  int eval_threads = 1;
+  int fetch_threads = 1;
+  std::unique_ptr<Database> db;
+  std::unique_ptr<Beas> beas;
+};
+
+DifferentialHarness::~DifferentialHarness() = default;
+
+Result<std::unique_ptr<DifferentialHarness>> DifferentialHarness::Create(
+    std::function<Database()> make_db, DifferentialOptions options) {
+  options.eval_threads = NormalizeThreads(options.eval_threads);
+  options.fetch_threads = NormalizeThreads(options.fetch_threads);
+  if (options.disk_backend && options.temp_dir.empty()) {
+    return Status::InvalidArgument(
+        "DifferentialOptions::temp_dir is required when disk_backend is set");
+  }
+  auto harness = std::unique_ptr<DifferentialHarness>(new DifferentialHarness());
+  std::vector<bool> backends = {false};
+  if (options.disk_backend) backends.push_back(true);
+  for (bool disk : backends) {
+    for (int f : options.fetch_threads) {
+      for (int e : options.eval_threads) {
+        auto inst = std::make_unique<Instance>();
+        inst->disk = disk;
+        inst->eval_threads = e;
+        inst->fetch_threads = f;
+        inst->name = std::string(disk ? "disk" : "mem") + "_e" +
+                     std::to_string(e) + "_f" + std::to_string(f);
+        inst->db = std::make_unique<Database>(make_db());
+        BeasOptions bo;
+        bo.constraints = options.constraints;
+        bo.eval.eval_threads = e;
+        bo.eval.fetch_threads = f;
+        if (disk) {
+          bo.index.backend = IndexBackendKind::kBlockFile;
+          bo.index.path = options.temp_dir + "diff_" + inst->name + ".blk";
+          bo.index.block_bytes = options.block_bytes;
+          // Build the block file, then reopen it cold under the 25%
+          // cache budget (the P9 acceptance point for the disk tier).
+          uint64_t disk_bytes = 0;
+          {
+            BEAS_ASSIGN_OR_RETURN(std::unique_ptr<Beas> builder,
+                                  Beas::Build(inst->db.get(), bo));
+            disk_bytes = builder->store().disk_bytes();
+          }
+          bo.index.open_existing = true;
+          bo.index.cache_bytes = disk_bytes / 4;
+        }
+        BEAS_ASSIGN_OR_RETURN(inst->beas, Beas::Build(inst->db.get(), bo));
+        harness->instances_.push_back(std::move(inst));
+      }
+    }
+  }
+  harness->options_ = std::move(options);
+  return harness;
+}
+
+size_t DifferentialHarness::ReferenceIndex(bool disk) const {
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    const Instance& inst = *instances_[i];
+    if (inst.disk == disk && inst.eval_threads == 1 && inst.fetch_threads == 1) {
+      return i;
+    }
+  }
+  return 0;  // unreachable: Create always builds the (1,1) combo
+}
+
+int DifferentialHarness::CheckQuery(const std::string& sql, double alpha,
+                                    const std::string& label) {
+  int mismatches = 0;
+  std::vector<std::string> core(instances_.size());
+  std::vector<std::string> full(instances_.size());
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    Instance& inst = *instances_[i];
+    auto q = inst.beas->Parse(sql);
+    if (!q.ok()) {
+      ADD_FAILURE() << label << " [" << inst.name << "] parse failed: "
+                    << q.status() << "\n  sql: " << sql;
+      ++mismatches;
+      continue;
+    }
+    Result<BeasAnswer> answer = inst.beas->Answer(*q, alpha);
+    core[i] = SerializeAnswer(answer, /*with_cache_counters=*/false);
+    full[i] = SerializeAnswer(answer, /*with_cache_counters=*/true);
+  }
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    const Instance& inst = *instances_[i];
+    size_t ref = ReferenceIndex(inst.disk);
+    if (i == ref) continue;
+    // Cache counters are only deterministic when the fetch stream is
+    // (fetch_threads == 1); see the header comment.
+    bool with_cache = inst.fetch_threads == 1;
+    const std::string& got = with_cache ? full[i] : core[i];
+    const std::string& want = with_cache ? full[ref] : core[ref];
+    ++checks_;
+    if (got != want) {
+      ADD_FAILURE() << label << " [" << inst.name << "] diverged from ["
+                    << instances_[ref]->name << "]\n  sql: " << sql
+                    << "\n  alpha: " << alpha << "\n--- reference ---\n"
+                    << want << "--- got ---\n" << got;
+      ++mismatches;
+    }
+  }
+  return mismatches;
+}
+
+int DifferentialHarness::CheckBudgetCuts(const std::string& sql, double alpha,
+                                         const std::string& label) {
+  int mismatches = 0;
+  uint64_t full_budget = static_cast<uint64_t>(
+      std::floor(alpha * static_cast<double>(db_size())));
+  for (uint64_t budget :
+       {uint64_t{1}, full_budget / 7 + 1, full_budget / 2 + 1}) {
+    std::vector<std::string> core(instances_.size());
+    std::vector<std::string> cache(instances_.size());
+    for (size_t i = 0; i < instances_.size(); ++i) {
+      Instance& inst = *instances_[i];
+      auto q = inst.beas->Parse(sql);
+      if (!q.ok()) {
+        ADD_FAILURE() << label << " [" << inst.name << "] parse failed: "
+                      << q.status() << "\n  sql: " << sql;
+        ++mismatches;
+        continue;
+      }
+      Result<BeasAnswer> outcome = Status::Internal("outcome not computed");
+      auto plan = inst.beas->PlanOnly(*q, alpha);
+      if (!plan.ok()) {
+        outcome = plan.status();  // planning cut: compared like any other
+      } else {
+        EvalOptions opts;
+        opts.eval_threads = inst.eval_threads;
+        opts.fetch_threads = inst.fetch_threads;
+        PlanExecutor executor(&inst.beas->store(), opts);
+        outcome = executor.Execute(*plan, budget);
+      }
+      core[i] = SerializeAnswer(outcome, /*with_cache_counters=*/false);
+      cache[i] = SerializeAnswer(outcome, /*with_cache_counters=*/true);
+    }
+    for (size_t i = 0; i < instances_.size(); ++i) {
+      const Instance& inst = *instances_[i];
+      size_t ref = ReferenceIndex(inst.disk);
+      if (i == ref) continue;
+      bool with_cache = inst.fetch_threads == 1;
+      const std::string& got = with_cache ? cache[i] : core[i];
+      const std::string& want = with_cache ? cache[ref] : core[ref];
+      ++checks_;
+      if (got != want) {
+        ADD_FAILURE() << label << " [" << inst.name << "] budget " << budget
+                      << " cut diverged from [" << instances_[ref]->name
+                      << "]\n  sql: " << sql << "\n--- reference ---\n"
+                      << want << "--- got ---\n" << got;
+        ++mismatches;
+      }
+    }
+  }
+  return mismatches;
+}
+
+Status DifferentialHarness::Insert(const std::string& relation, const Tuple& row) {
+  Status first = Status::OK();
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    Status st = instances_[i]->beas->Insert(relation, row);
+    if (i == 0) {
+      first = st;
+    } else if (st.ToString() != first.ToString()) {
+      ADD_FAILURE() << "Insert(" << relation << ") diverged on ["
+                    << instances_[i]->name << "]: " << st
+                    << " vs reference " << first;
+    }
+  }
+  return first;
+}
+
+Status DifferentialHarness::Remove(const std::string& relation, const Tuple& row) {
+  Status first = Status::OK();
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    Status st = instances_[i]->beas->Remove(relation, row);
+    if (i == 0) {
+      first = st;
+    } else if (st.ToString() != first.ToString()) {
+      ADD_FAILURE() << "Remove(" << relation << ") diverged on ["
+                    << instances_[i]->name << "]: " << st
+                    << " vs reference " << first;
+    }
+  }
+  return first;
+}
+
+size_t DifferentialHarness::instances() const { return instances_.size(); }
+
+size_t DifferentialHarness::db_size() const {
+  return instances_.empty() ? 0 : instances_.front()->beas->db_size();
+}
+
+}  // namespace testing
+}  // namespace beas

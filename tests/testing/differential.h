@@ -1,0 +1,143 @@
+// The differential-testing harness behind property P10 and the eval
+// suite: it pins morsel-driven evaluation (EvalOptions::eval_threads)
+// and parallel fetching (fetch_threads) bit-identical to sequential
+// execution across the full knob matrix — thread combos x storage
+// backends x budgets — by running the same query stream on one Beas
+// instance per combination and byte-comparing canonical serializations
+// of every outcome (rows, eta, accessed, exactness, d', failure
+// statuses, and — where the fetch stream is deterministic — the block
+// cache counters).
+//
+// Comparison discipline:
+//   - Core answer state (rows / eta / accessed / d' / exact / status)
+//     is compared against the (eval_threads=1, fetch_threads=1)
+//     reference of the same backend. The deposit protocol makes these
+//     identical at ANY thread count, so equality is asserted across the
+//     whole matrix.
+//   - Block-cache hit/miss counters are recency-dependent observables of
+//     the LRU tier: they are pinned bit-exactly whenever the physical
+//     fetch stream is deterministic, i.e. for every (eval_threads,
+//     fetch_threads=1) combo against the sequential reference — which is
+//     exactly the morsel-evaluation claim (xi_E never touches the
+//     store). With fetch_threads > 1 the block access *order* races by
+//     design, so cache counters are excluded from those comparisons
+//     (answers are still compared in full).
+//
+// Every instance owns a private Database copy (and, on the disk
+// backend, a private block file reopened cold under a 25% cache
+// budget), so maintenance replays (Insert/Remove through the harness)
+// keep all instances in lockstep without sharing mutable state.
+
+#ifndef BEAS_TESTS_TESTING_DIFFERENTIAL_H_
+#define BEAS_TESTS_TESTING_DIFFERENTIAL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "beas/beas.h"
+#include "storage/database.h"
+
+namespace beas {
+namespace testing {
+
+/// Canonical byte-exact rendering of one Answer/Execute outcome. Floats
+/// (eta, d') print as hexfloat so equality means bit equality; failures
+/// render their full Status (code + message, which embeds the
+/// accessed/budget counters at the cut point). Cache counters are
+/// appended only when \p with_cache_counters is set (see the header
+/// comment for when they are comparable).
+std::string SerializeAnswer(const Result<BeasAnswer>& answer,
+                            bool with_cache_counters);
+
+/// Configuration of a DifferentialHarness sweep.
+struct DifferentialOptions {
+  /// Access constraints handed to every instance's Beas::Build.
+  std::vector<ConstraintSpec> constraints;
+  /// Thread matrix: every eval_threads x fetch_threads combination gets
+  /// its own instance. 1 is prepended to either list if missing — the
+  /// (1,1) combo is the sequential reference and always present.
+  std::vector<int> eval_threads = {1, 2, 8};
+  std::vector<int> fetch_threads = {1, 4};
+  /// Mirror the whole thread matrix on the disk-backed block-file
+  /// backend, each instance reopened cold under a cache budget of 25%
+  /// of its on-disk index size (the P9 acceptance point).
+  bool disk_backend = true;
+  /// Block size of the disk instances (small, so multi-block traffic and
+  /// evictions happen even on test-sized indices).
+  uint64_t block_bytes = 512;
+  /// Path prefix for the disk instances' block files (the instance name
+  /// and extension are appended verbatim); must be writable and unique
+  /// per harness (e.g. ::testing::TempDir() + test name). Required when
+  /// disk_backend is set.
+  std::string temp_dir;
+};
+
+/// \brief One-stop differential sweep over the thread/backend matrix.
+///
+/// Typical use (see property P10 and tests/eval_parallel_test.cc):
+///
+///   auto harness = DifferentialHarness::Create(
+///       [] { return MakeDataset().db; }, options);
+///   harness->CheckQuery(sql, alpha, "label");       // full-budget sweep
+///   harness->CheckBudgetCuts(sql, alpha, "label");  // OutOfBudget cuts
+///   harness->Insert("person", row);                  // lockstep mutation
+///   harness->CheckQuery(sql, alpha, "post-insert");  // replay
+///
+/// Check* methods register gtest failures (ADD_FAILURE with the label
+/// and both serializations) for every divergent instance and return the
+/// mismatch count; checks() counts comparisons performed so callers can
+/// assert the sweep actually covered ground.
+class DifferentialHarness {
+ public:
+  /// Builds one instance per (backend x eval_threads x fetch_threads)
+  /// from private Database copies produced by \p make_db (which must be
+  /// deterministic: every call returns identical data).
+  static Result<std::unique_ptr<DifferentialHarness>> Create(
+      std::function<Database()> make_db, DifferentialOptions options);
+
+  /// Answers \p sql at \p alpha on every instance and byte-compares all
+  /// outcomes against the sequential reference of the same backend.
+  /// Returns the number of mismatching instances (0 == identical).
+  int CheckQuery(const std::string& sql, double alpha, const std::string& label);
+
+  /// Drives each instance's executor directly at starvation budgets
+  /// (1, full/7+1, full/2+1 where full = alpha*|D|) so the meter
+  /// exhausts mid-execution, and byte-compares the cut outcomes — the
+  /// OutOfBudget point must not move at any thread count or backend.
+  int CheckBudgetCuts(const std::string& sql, double alpha,
+                      const std::string& label);
+
+  /// Lockstep maintenance: applies the mutation to every instance (all
+  /// must agree on the resulting status).
+  Status Insert(const std::string& relation, const Tuple& row);
+  Status Remove(const std::string& relation, const Tuple& row);
+
+  /// Total byte-comparisons performed so far (coverage assertion hook).
+  int checks() const { return checks_; }
+  /// Number of instances in the sweep.
+  size_t instances() const;
+  /// |D| of the (identical) databases, for budget math in tests.
+  size_t db_size() const;
+
+  ~DifferentialHarness();
+
+ private:
+  struct Instance;
+
+  DifferentialHarness() = default;
+
+  /// Index of the (eval_threads=1, fetch_threads=1) sequential
+  /// reference instance of \p disk backend.
+  size_t ReferenceIndex(bool disk) const;
+
+  DifferentialOptions options_;
+  std::vector<std::unique_ptr<Instance>> instances_;
+  int checks_ = 0;
+};
+
+}  // namespace testing
+}  // namespace beas
+
+#endif  // BEAS_TESTS_TESTING_DIFFERENTIAL_H_

@@ -89,6 +89,90 @@ TEST(ThreadPoolTest, TasksMaySubmitContinuations) {
   EXPECT_EQ(counter.load(), 2);
 }
 
+TEST(ThreadPoolTest, NestedSubmitToSaturatedOwnPoolRunsInline) {
+  // The nested-parallelism guard: a task submitting onto its own pool
+  // while every worker is busy must run the task inline (in Submit, on
+  // the submitting worker's thread) instead of enqueueing it — the
+  // enqueue-and-wait pattern deadlocks a saturated pool. Regression
+  // test for the morsel evaluator's units-inside-windows nesting.
+  ThreadPool pool(1);
+  Latch latch(1);
+  std::thread::id worker_id;
+  std::thread::id nested_id;
+  bool ran_during_submit = false;
+  pool.Submit([&] {
+    worker_id = std::this_thread::get_id();
+    bool ran = false;
+    pool.Submit([&] {
+      nested_id = std::this_thread::get_id();
+      ran = true;
+    });
+    // The guard runs the nested task before Submit returns; without it
+    // the task would still be queued here (and never run, were the
+    // outer task to block on it).
+    ran_during_submit = ran;
+    latch.CountDown();
+  });
+  latch.Wait();
+  EXPECT_TRUE(ran_during_submit);
+  EXPECT_EQ(nested_id, worker_id) << "nested task left the submitting worker";
+}
+
+TEST(ThreadPoolTest, InlineGuardDoesNotApplyAcrossPools) {
+  // Submitting to a *different* pool from inside a worker is ordinary
+  // cross-pool handoff: the task must run on the other pool's worker,
+  // not inline (the guard keys on the submitter's own pool identity).
+  ThreadPool a(1);
+  ThreadPool b(1);
+  std::thread::id b_worker_id;
+  {
+    Latch probe(1);
+    b.Submit([&] {
+      b_worker_id = std::this_thread::get_id();
+      probe.CountDown();
+    });
+    probe.Wait();
+  }
+  Latch latch(1);
+  std::thread::id a_task_id;
+  std::thread::id cross_task_id;
+  a.Submit([&] {
+    a_task_id = std::this_thread::get_id();
+    b.Submit([&] {
+      cross_task_id = std::this_thread::get_id();
+      latch.CountDown();
+    });
+  });
+  latch.Wait();
+  EXPECT_EQ(cross_task_id, b_worker_id);
+  EXPECT_NE(cross_task_id, a_task_id) << "cross-pool submit ran inline";
+}
+
+TEST(ThreadPoolTest, SaturatedSubmitFromOutsideStillEnqueues) {
+  // The guard only fires for a pool's own workers: an external thread
+  // submitting to a saturated pool must enqueue (never steal the work
+  // into the caller), preserving Submit's asynchronous contract for the
+  // executor's coordinator threads.
+  ThreadPool pool(1);
+  Latch gate_entered(1);
+  Latch gate(1);
+  pool.Submit([&] {
+    gate_entered.CountDown();
+    gate.Wait();  // hold the only worker busy
+  });
+  gate_entered.Wait();
+  std::thread::id main_id = std::this_thread::get_id();
+  std::thread::id task_id;
+  Latch latch(1);
+  pool.Submit([&] {
+    task_id = std::this_thread::get_id();
+    latch.CountDown();
+  });  // must return immediately, task still queued
+  gate.CountDown();
+  latch.Wait();
+  EXPECT_NE(task_id, main_id);
+}
+
 // --- AccessMeter deposit protocol under real concurrency ---
 
 TEST(AccessMeterDepositTest, OutOfOrderDepositsCommitInSlotOrder) {

@@ -265,8 +265,15 @@ std::string SeriesToJson(const std::string& title, const std::string& x_label,
 uint64_t CurrentMaxRssKb() {
   struct rusage usage;
   if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
-  // Linux reports ru_maxrss in kilobytes already.
-  return usage.ru_maxrss > 0 ? static_cast<uint64_t>(usage.ru_maxrss) : 0;
+  if (usage.ru_maxrss <= 0) return 0;
+  uint64_t raw = static_cast<uint64_t>(usage.ru_maxrss);
+#if defined(__APPLE__)
+  // macOS reports ru_maxrss in BYTES; Linux reports kilobytes. Without
+  // this normalization the RSS bench gates are 1024x off cross-platform.
+  return raw / 1024;
+#else
+  return raw;
+#endif
 }
 
 QueryGenConfig PaperQueryMix(uint64_t seed) {

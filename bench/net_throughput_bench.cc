@@ -1,0 +1,257 @@
+// Network front-end micro-benchmark: aggregate QPS of one NetServer
+// over loopback TCP, swept across concurrent sessions (at the default
+// page size) and across page sizes (at a fixed session count). Every
+// wire answer is checked against a solo in-process run — the transport
+// must never change rows, eta, or accessed counts — and the request
+// p50/p95 latencies come from the server's own ceil nearest-rank
+// telemetry, so the bench also exercises the stats path the CI latency
+// gate consumes.
+//
+// The session sweep measures dispatch overhead (thread-per-connection,
+// one frame round trip per query plus one per page); the page-size
+// sweep isolates the paging protocol (pages_per_query falls as pages
+// grow while the byte volume stays constant).
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "harness.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "service/query_service.h"
+
+using namespace beas;
+using namespace beas::bench;
+
+namespace {
+
+// One relation of `groups` constraint groups x `rows_per_group` rows —
+// the same shape as service_throughput_bench, so the two benches
+// measure the same query stream with and without the wire in between.
+Table MakeGroupedTable(const std::string& name, int groups, int rows_per_group) {
+  RelationSchema schema(name, {AttributeDef{"x", DataType::kString, {}},
+                               AttributeDef{"y", DataType::kInt64, {}},
+                               AttributeDef{"z", DataType::kInt64, {}},
+                               AttributeDef{"w", DataType::kInt64, {}}});
+  Table table(schema);
+  for (int g = 0; g < groups; ++g) {
+    for (int r = 0; r < rows_per_group; ++r) {
+      table.AppendUnchecked(Tuple{Value(StrCat("g", g)), Value(int64_t{r}),
+                                  Value(int64_t{r * 2}), Value(int64_t{r * 3})});
+    }
+  }
+  return table;
+}
+
+struct Reference {
+  uint64_t accessed = 0;
+  double eta = 0;
+  size_t rows = 0;
+};
+
+struct PhaseResult {
+  double qps = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double pages_per_query = 0;
+  bool answers_match = true;
+};
+
+PhaseResult RunPhase(Beas& beas, const std::vector<std::string>& workload,
+                     const std::vector<Reference>& refs, size_t sessions,
+                     uint32_t page_rows, double alpha) {
+  ServiceOptions service_options;
+  service_options.workers = 4;
+  service_options.max_queue = workload.size();
+  QueryService service(&beas, service_options);
+  NetServer server(&service);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "FATAL: NetServer::Start failed\n");
+    std::abort();
+  }
+
+  std::atomic<bool> all_match{true};
+  std::atomic<uint64_t> pages{0};
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(sessions);
+  for (size_t s = 0; s < sessions; ++s) {
+    threads.emplace_back([&, s] {
+      auto client = NetClient::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        std::fprintf(stderr, "FATAL: connect failed: %s\n",
+                     client.status().ToString().c_str());
+        all_match.store(false);
+        return;
+      }
+      NetClient::QueryOptions opts;
+      opts.page_rows = page_rows;
+      for (size_t i = s; i < workload.size(); i += sessions) {
+        auto remote = client->QueryAll(workload[i], alpha, opts);
+        if (!remote.ok()) {
+          std::fprintf(stderr, "FATAL: wire query failed: %s\n",
+                       remote.status().ToString().c_str());
+          all_match.store(false);
+          continue;
+        }
+        pages.fetch_add(remote->pages);
+        const Reference& want = refs[i];
+        if (remote->accessed != want.accessed || remote->eta != want.eta ||
+            remote->table.size() != want.rows) {
+          all_match.store(false);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  double elapsed_ms = MillisSince(t0);
+
+  PhaseResult out;
+  out.qps = elapsed_ms > 0
+                ? 1000.0 * static_cast<double>(workload.size()) / elapsed_ms
+                : 0;
+  NetStats stats = server.stats();
+  out.p50_ms = stats.request_p50_ms;
+  out.p95_ms = stats.request_p95_ms;
+  out.pages_per_query =
+      static_cast<double>(pages.load()) / static_cast<double>(workload.size());
+  out.answers_match = all_match.load();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int rows = static_cast<int>(ArgOr(argc, argv, "rows", 4000));
+  int num_queries = static_cast<int>(ArgOr(argc, argv, "queries", 200));
+  int reps = static_cast<int>(ArgOr(argc, argv, "reps", 2));
+  const double alpha = 1.0;
+  const std::vector<size_t> session_counts{1, 2, 4, 8};
+  const std::vector<uint32_t> page_sizes{64, 256, 1024, 4096};
+
+  // r1..r4 with two fat groups each, plus s for a join probe chain.
+  Database db;
+  std::vector<ConstraintSpec> constraints;
+  for (int i = 1; i <= 4; ++i) {
+    std::string rel = StrCat("r", i);
+    (void)db.AddTable(MakeGroupedTable(rel, 2, rows));
+    constraints.push_back(
+        ConstraintSpec{rel, {"x"}, {"y", "z", "w"}, static_cast<uint64_t>(rows)});
+  }
+  {
+    RelationSchema schema("s", {AttributeDef{"u", DataType::kInt64, {}},
+                                AttributeDef{"v", DataType::kInt64, {}}});
+    Table table(schema);
+    for (int r = 0; r < rows; ++r) {
+      table.AppendUnchecked(Tuple{Value(int64_t{r}), Value(int64_t{r + 1})});
+    }
+    (void)db.AddTable(std::move(table));
+    constraints.push_back(ConstraintSpec{"s", {"u"}, {"v"}, 1});
+  }
+
+  BeasOptions options;
+  options.constraints = constraints;
+  options.add_universal = false;
+  options.add_constraint_templates = false;
+  options.plan_cache.enabled = true;  // the server configuration
+  auto built = Beas::Build(&db, options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "FATAL: Beas::Build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  Beas& beas = **built;
+
+  // A round-robin mix of single-relation fetches and a join with the
+  // group constant varying (repeated plan-cache fingerprints).
+  std::vector<std::string> templates;
+  for (int i = 1; i <= 4; ++i) {
+    templates.push_back(StrCat("select y from r", i, " where x = 'g%'"));
+  }
+  templates.push_back("select v from r1, s where r1.x = 'g%' and s.u = r1.y");
+  std::vector<std::string> workload;
+  std::vector<Reference> refs;
+  for (int n = 0; n < num_queries; ++n) {
+    std::string sql = templates[static_cast<size_t>(n) % templates.size()];
+    sql.replace(sql.find('%'), 1, std::to_string(n % 2));  // g0 / g1
+    auto q = beas.Parse(sql);
+    if (!q.ok()) {
+      std::fprintf(stderr, "FATAL: parse failed: %s\n", q.status().ToString().c_str());
+      return 1;
+    }
+    // Solo in-process references (also warms the plan cache).
+    auto answer = beas.Answer(*q, alpha);
+    if (!answer.ok()) {
+      std::fprintf(stderr, "FATAL: solo answer failed: %s\n",
+                   answer.status().ToString().c_str());
+      return 1;
+    }
+    refs.push_back(Reference{answer->accessed, answer->eta, answer->table.size()});
+    workload.push_back(std::move(sql));
+  }
+
+  std::printf("Net throughput bench: |D|=%zu, %d queries, %d reps, %u cores\n",
+              beas.db_size(), num_queries, reps, std::thread::hardware_concurrency());
+
+  bool all_match = true;
+
+  // Sweep 1: sessions at the server's default page size.
+  {
+    std::vector<std::string> xs;
+    std::vector<std::vector<double>> values;
+    double qps_s1 = 0;
+    for (size_t sessions : session_counts) {
+      PhaseResult best;
+      for (int r = 0; r < reps; ++r) {
+        PhaseResult phase = RunPhase(beas, workload, refs, sessions,
+                                     /*page_rows=*/0, alpha);
+        all_match &= phase.answers_match;
+        if (phase.qps > best.qps) best = phase;
+      }
+      if (sessions == 1) qps_s1 = best.qps;
+      std::printf("  s%-2zu qps=%8.1f p50=%6.2fms p95=%6.2fms answers_match=%d\n",
+                  sessions, best.qps, best.p50_ms, best.p95_ms,
+                  best.answers_match ? 1 : 0);
+      xs.push_back(StrCat(sessions));
+      values.push_back({best.qps, best.qps / (qps_s1 > 0 ? qps_s1 : 1),
+                        best.p50_ms, best.p95_ms,
+                        best.answers_match ? 1.0 : 0.0});
+    }
+    PrintSeries("Net throughput vs sessions", "sessions", xs,
+                {"qps", "speedup_vs_s1", "p50_ms", "p95_ms", "answers_match"},
+                values);
+  }
+
+  // Sweep 2: page size at a fixed session count — isolates the paging
+  // protocol (frames per query) from dispatch.
+  {
+    std::vector<std::string> xs;
+    std::vector<std::vector<double>> values;
+    for (uint32_t page_rows : page_sizes) {
+      PhaseResult best;
+      best.pages_per_query = 0;
+      for (int r = 0; r < reps; ++r) {
+        PhaseResult phase =
+            RunPhase(beas, workload, refs, /*sessions=*/4, page_rows, alpha);
+        all_match &= phase.answers_match;
+        if (r == 0 || phase.qps > best.qps) best = phase;
+      }
+      std::printf("  page%-5u qps=%8.1f pages/q=%6.2f p95=%6.2fms answers_match=%d\n",
+                  page_rows, best.qps, best.pages_per_query, best.p95_ms,
+                  best.answers_match ? 1 : 0);
+      xs.push_back(StrCat(page_rows));
+      values.push_back({best.qps, best.pages_per_query, best.p50_ms,
+                        best.p95_ms, best.answers_match ? 1.0 : 0.0});
+    }
+    PrintSeries("Net page-size sweep", "page_rows", xs,
+                {"qps", "pages_per_query", "p50_ms", "p95_ms", "answers_match"},
+                values);
+  }
+
+  if (!all_match) {
+    std::fprintf(stderr, "FATAL: a wire answer diverged from the solo run\n");
+    return 1;
+  }
+  return 0;
+}

@@ -11,6 +11,13 @@ are joined on (title, x, series) cells and every shared cell is compared:
   * perf cells (series or title matching --perf-pattern, e.g. "_ms",
     "time", "latency"): an *increase* beyond --rel-tol (relative, over a
     --perf-floor absolute noise floor) flags drift — lower is better;
+  * latency cells (series matching --latency-pattern: percentile tails
+    like "p50_ms"/"p95_ms"/"request_p95_ms" and anything named
+    "latency"): lower-is-better like perf cells, but gated by their own
+    --latency-rel-tol / --latency-floor (defaulting to --rel-tol /
+    --perf-floor). Tail percentiles are noisier than means, so CI gates
+    can loosen them without loosening every timing cell — or tighten
+    them on a quiet runner (the net smoke gate sets these);
   * "speedup" cells are higher-is-better perf: a relative drop beyond
     --rel-tol flags drift;
   * throughput cells (series matching --throughput-pattern, e.g. "qps",
@@ -104,6 +111,10 @@ def is_throughput(series, throughput_re):
     return bool(throughput_re.search(series))
 
 
+def is_latency(series, latency_re):
+    return bool(latency_re.search(series))
+
+
 def is_rss(series):
     return series == "max_rss_kb"
 
@@ -112,6 +123,7 @@ def compare(base_cells, cur_cells, args):
     """Returns (drifts, infos): lists of human-readable findings."""
     perf_re = re.compile(args.perf_pattern, re.IGNORECASE)
     throughput_re = re.compile(args.throughput_pattern, re.IGNORECASE)
+    latency_re = re.compile(args.latency_pattern, re.IGNORECASE)
     drifts, infos = [], []
     for key in sorted(base_cells):
         title, x, series = key
@@ -147,6 +159,21 @@ def compare(base_cells, cur_cells, args):
                     f"(> {tol:.0%} relative)")
             elif cur != base:
                 infos.append(f"{label}: {kind} {base:.6g} -> {cur:.6g}")
+        elif is_latency(series, latency_re):
+            # Lower-is-better like perf, but a percentile tail gets its
+            # own tolerance (checked before the broader perf pattern,
+            # which also matches *_ms names).
+            tol = args.rel_tol if args.latency_rel_tol is None \
+                else args.latency_rel_tol
+            lat_floor = args.perf_floor if args.latency_floor is None \
+                else args.latency_floor
+            floor = max(abs(base), lat_floor)
+            if (cur - base) / floor > tol:
+                drifts.append(
+                    f"{label}: latency grew {base:.6g} -> {cur:.6g} "
+                    f"(> {tol:.0%} relative over floor {lat_floor})")
+            elif cur != base:
+                infos.append(f"{label}: latency {base:.6g} -> {cur:.6g}")
         elif is_perf(title, series, perf_re):
             floor = max(abs(base), args.perf_floor)
             if (cur - base) / floor > args.rel_tol:
@@ -189,6 +216,17 @@ def main(argv=None):
                         help="regex marking perf (lower-is-better) cells")
     parser.add_argument("--throughput-pattern", default=r"qps|throughput|_per_s\b",
                         help="regex marking throughput (higher-is-better) cells")
+    parser.add_argument("--latency-pattern",
+                        default=r"(^|_)p\d+(_ms)?$|latency",
+                        help="regex marking latency-percentile "
+                             "(lower-is-better) cells, e.g. p50_ms / "
+                             "request_p95_ms")
+    parser.add_argument("--latency-rel-tol", type=float, default=None,
+                        help="max tolerated relative latency growth for "
+                             "latency cells (default: --rel-tol)")
+    parser.add_argument("--latency-floor", type=float, default=None,
+                        help="absolute latency noise floor, same unit as the "
+                             "series (default: --perf-floor)")
     parser.add_argument("--throughput-rel-tol", type=float, default=None,
                         help="max tolerated relative drop for speedup/throughput "
                              "cells (default: --rel-tol; must be < 1 to be able "

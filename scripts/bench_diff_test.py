@@ -184,6 +184,95 @@ class RssCellTest(unittest.TestCase):
             os.unlink(cur)
 
 
+class LatencyCellTest(unittest.TestCase):
+    """Percentile-tail cells (p50_ms, p95_ms, request_p95_ms, latency):
+    lower-is-better like perf, but gated by --latency-rel-tol /
+    --latency-floor so CI can tune tails separately from mean timings."""
+
+    def _write(self, text):
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".jsonl", delete=False) as f:
+            f.write(text + "\n")
+            return f.name
+
+    @staticmethod
+    def _series(p95, elapsed=7.0):
+        return ('{"type":"series","title":"Net panel","x_label":"sessions",'
+                '"series":["request_p95_ms","elapsed_ms"],"points":'
+                '[{"x":"4","values":'
+                f'{{"request_p95_ms":{p95},"elapsed_ms":{elapsed}}}}}]}}')
+
+    def test_latency_growth_beyond_tolerance_is_drift(self):
+        base = self._write(self._series(p95=10.0))
+        cur = self._write(self._series(p95=40.0))
+        try:
+            code, out = run([base, cur])
+        finally:
+            os.unlink(base)
+            os.unlink(cur)
+        self.assertEqual(code, 1)
+        self.assertIn("request_p95_ms: latency grew 10 -> 40", out)
+
+    def test_latency_routes_to_its_own_class_not_perf(self):
+        # The same growth on a plain *_ms cell reports through the perf
+        # branch ("slower"), percentile tails through the latency branch.
+        base = self._write(self._series(p95=10.0, elapsed=10.0))
+        cur = self._write(self._series(p95=40.0, elapsed=40.0))
+        try:
+            code, out = run([base, cur])
+        finally:
+            os.unlink(base)
+            os.unlink(cur)
+        self.assertEqual(code, 1)
+        self.assertIn("request_p95_ms: latency grew", out)
+        self.assertIn("elapsed_ms: slower", out)
+
+    def test_latency_rel_tol_overrides_rel_tol_both_ways(self):
+        base = self._write(self._series(p95=10.0))
+        cur = self._write(self._series(p95=40.0))
+        try:
+            # Default: latency inherits --rel-tol, so loosening it also
+            # loosens the tail gate...
+            code, _ = run([base, cur, "--rel-tol", "100"])
+            self.assertEqual(code, 0)
+            # ...unless --latency-rel-tol keeps the tail canary tight...
+            code, out = run([base, cur, "--rel-tol", "100",
+                             "--latency-rel-tol", "0.5"])
+            self.assertEqual(code, 1)
+            self.assertIn("latency grew", out)
+            # ...or loosens only the tails while perf stays strict.
+            code, _ = run([base, cur, "--latency-rel-tol", "10"])
+            self.assertEqual(code, 0)
+        finally:
+            os.unlink(base)
+            os.unlink(cur)
+
+    def test_latency_floor_absorbs_small_absolute_noise(self):
+        # 0.2ms -> 0.6ms is a 200% jump but tiny absolutely; the floor
+        # defaults to --perf-floor (1.0) and can be set on its own.
+        base = self._write(self._series(p95=0.2))
+        cur = self._write(self._series(p95=0.6))
+        try:
+            code, _ = run([base, cur])
+            self.assertEqual(code, 0)
+            code, _ = run([base, cur, "--latency-floor", "0.1"])
+            self.assertEqual(code, 1)
+        finally:
+            os.unlink(base)
+            os.unlink(cur)
+
+    def test_latency_shrink_is_info(self):
+        base = self._write(self._series(p95=40.0))
+        cur = self._write(self._series(p95=10.0))
+        try:
+            code, out = run([base, cur])
+        finally:
+            os.unlink(base)
+            os.unlink(cur)
+        self.assertEqual(code, 0)
+        self.assertIn("request_p95_ms: latency 40 -> 10", out)
+
+
 class CompareTest(unittest.TestCase):
     def test_identical_logs_pass(self):
         code, out = run([BASE, BASE])

@@ -86,6 +86,12 @@ Result<BeasAnswer> Beas::Answer(const QueryPtr& q, double alpha) const {
 
 Result<BeasAnswer> Beas::Answer(const QueryPtr& q, double alpha,
                                 const EvalOptions& eval) const {
+  // Deterministic fast-fail: an already-expired deadline skips planning
+  // (and thus plan-cache traffic) entirely, leaving all shared state
+  // untouched.
+  if (DeadlineExpired(eval)) {
+    return Status::DeadlineExceeded("query deadline expired before planning");
+  }
   BEAS_ASSIGN_OR_RETURN(BeasPlan plan, PlanOnly(q, alpha));
   uint64_t budget = static_cast<uint64_t>(
       std::floor(alpha * static_cast<double>(db_size_)));

@@ -196,8 +196,18 @@ AtomRows BuildNextRows(const FetchOp& op, const AtomRows& atom,
 // ---------------------------------------------------------------------------
 
 Status FetchUnitSequential(const IndexStore* store, const SpcUnit& unit, bool vectorized,
-                           std::vector<AtomRows>* atoms, AccessMeter* meter) {
+                           std::vector<AtomRows>* atoms, AccessMeter* meter,
+                           std::chrono::steady_clock::time_point deadline =
+                               std::chrono::steady_clock::time_point::max()) {
+  const bool has_deadline =
+      deadline != std::chrono::steady_clock::time_point::max();
   for (const auto& op : unit.fetch.ops) {
+    // Each fetch op is a cancellation point (the sequential analogue of
+    // the parallel scheduler's per-op deadline check).
+    if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+      return Status::DeadlineExceeded(
+          "query deadline expired during index fetch");
+    }
     BEAS_ASSIGN_OR_RETURN(ProbeSet ps, EnumerateProbes(op, *atoms));
     if (ps.skip) continue;
     const std::vector<ProbeCtx>& probes = ps.probes;
@@ -259,8 +269,11 @@ class ParallelFetchScheduler {
  public:
   ParallelFetchScheduler(const IndexStore* store, AccessMeter* meter, ThreadPool* pool,
                          const BeasPlan& plan,
-                         std::vector<std::vector<AtomRows>>* unit_atoms)
-      : store_(store), meter_(meter), pool_(pool), plan_(plan), unit_atoms_(unit_atoms) {}
+                         std::vector<std::vector<AtomRows>>* unit_atoms,
+                         std::chrono::steady_clock::time_point deadline =
+                             std::chrono::steady_clock::time_point::max())
+      : store_(store), meter_(meter), pool_(pool), plan_(plan), unit_atoms_(unit_atoms),
+        deadline_(deadline) {}
 
   Status Run() {
     // Flatten ops across units in sequential order; per-unit DAGs (units
@@ -372,6 +385,16 @@ class ParallelFetchScheduler {
       CompleteOp(g, /*finished=*/false, Status::OK());
       return;
     }
+    // Op entry is a cancellation point: an expired op reports through
+    // the error-slot protocol (lowest slot wins) like any worker error,
+    // and every still-queued op drains the same way, so the coordinator
+    // wakes promptly with kDeadlineExceeded.
+    if (DeadlinePassed()) {
+      CompleteOp(g, /*finished=*/false,
+                 Status::DeadlineExceeded(
+                     "query deadline expired during parallel fetch"));
+      return;
+    }
     const GlobalOp& gop = ops_[g];
     const FetchOp& op = plan_.units[gop.unit].fetch.ops[gop.op];
     std::vector<AtomRows>& atoms = (*unit_atoms_)[gop.unit];
@@ -477,6 +500,16 @@ class ParallelFetchScheduler {
   std::vector<size_t> pending_deps_;
   std::vector<std::vector<size_t>> dependents_;
 
+  // True once the scheduler's deadline has passed; the sticky flag saves
+  // clock reads after the first observation.
+  bool DeadlinePassed() {
+    if (deadline_ == std::chrono::steady_clock::time_point::max()) return false;
+    if (deadline_passed_.load(std::memory_order_relaxed)) return true;
+    if (std::chrono::steady_clock::now() < deadline_) return false;
+    deadline_passed_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+
   std::mutex mu_;
   std::condition_variable cv_;
   size_t unfinished_ = 0;
@@ -484,6 +517,8 @@ class ParallelFetchScheduler {
   std::atomic<bool> abort_{false};
   size_t error_slot_ = SIZE_MAX;  ///< lowest slot with a worker error
   Status error_ = Status::OK();   ///< its status
+  std::chrono::steady_clock::time_point deadline_;
+  std::atomic<bool> deadline_passed_{false};
 };
 
 // ---------------------------------------------------------------------------
@@ -513,6 +548,9 @@ struct UnitEvalState {
   const BeasPlan* plan = nullptr;
   const Evaluator* evaluator = nullptr;
   std::optional<Result<Table>>* slots = nullptr;  ///< one deposit per unit
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  std::atomic<bool> expired{false};  ///< deadline passed; deposit errors
 
   std::mutex mu;
   std::condition_variable cv;
@@ -528,8 +566,24 @@ void RunUnitEvalClaims(const std::shared_ptr<UnitEvalState>& st) {
   for (;;) {
     size_t u = st->next.fetch_add(1, std::memory_order_relaxed);
     if (u >= st->total) break;
+    // Each claim is a cancellation point: once the deadline passes the
+    // remaining units deposit kDeadlineExceeded instead of evaluating
+    // (the replay surfaces the first error in canonical order), keeping
+    // the done == total barrier protocol intact. The evaluator itself
+    // re-checks at node entry, so a unit claimed just before expiry
+    // still stops promptly.
+    bool expired = st->expired.load(std::memory_order_relaxed);
+    if (!expired &&
+        st->deadline != std::chrono::steady_clock::time_point::max() &&
+        std::chrono::steady_clock::now() >= st->deadline) {
+      st->expired.store(true, std::memory_order_relaxed);
+      expired = true;
+    }
     const SpcUnit& unit = st->plan->units[u];
-    if (unit.unsatisfiable) {
+    if (expired) {
+      st->slots[u].emplace(Status::DeadlineExceeded(
+          "query deadline expired during unit-eval morsels"));
+    } else if (unit.unsatisfiable) {
       st->slots[u].emplace(Table(unit.query->output_schema()));
     } else {
       size_t rows_materialized = 0;
@@ -560,6 +614,12 @@ Result<BeasAnswer> PlanExecutor::Execute(const BeasPlan& plan, uint64_t budget) 
 
 Result<BeasAnswer> PlanExecutor::Execute(const BeasPlan& plan, uint64_t budget,
                                          QueryContext* ctx) const {
+  // An already-expired deadline fails deterministically before any fetch
+  // or eval work touches the store (the basis of the net determinism
+  // test: expired queries never charge the meter or the cache).
+  if (DeadlineExpired(ctx->eval)) {
+    return Status::DeadlineExceeded("query deadline expired before execution");
+  }
   ctx->meter.StartQuery(budget);
 
   // --- xi_F: materialize every unit's atoms through the index store. ---
@@ -572,13 +632,15 @@ Result<BeasAnswer> PlanExecutor::Execute(const BeasPlan& plan, uint64_t budget,
     ThreadPool* pool = EnsurePool(std::max<size_t>(
         static_cast<size_t>(ctx->eval.fetch_threads),
         static_cast<size_t>(std::max(ctx->eval.eval_threads, 1))));
-    ParallelFetchScheduler scheduler(store_, &ctx->meter, pool, plan, &unit_atoms);
+    ParallelFetchScheduler scheduler(store_, &ctx->meter, pool, plan, &unit_atoms,
+                                     ctx->eval.deadline);
     BEAS_RETURN_IF_ERROR(scheduler.Run());
   } else {
     for (size_t u = 0; u < plan.units.size(); ++u) {
       BEAS_RETURN_IF_ERROR(FetchUnitSequential(store_, plan.units[u],
                                                ctx->eval.vectorized,
-                                               &unit_atoms[u], &ctx->meter));
+                                               &unit_atoms[u], &ctx->meter,
+                                               ctx->eval.deadline));
     }
   }
 
@@ -633,6 +695,7 @@ Result<BeasAnswer> PlanExecutor::Execute(const BeasPlan& plan, uint64_t budget,
     state->plan = &plan;
     state->evaluator = &evaluator;
     state->slots = unit_slots.data();
+    state->deadline = ctx->eval.deadline;
     size_t helpers = std::min<size_t>(
         static_cast<size_t>(ctx->eval.eval_threads) - 1, plan.units.size() - 1);
     for (size_t h = 0; h < helpers; ++h) {

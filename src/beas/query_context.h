@@ -33,6 +33,10 @@ struct QueryContext {
   /// uses them to budget eval_threads/fetch_threads per query under
   /// load. Thread-count overrides never change answers (parallel fetch
   /// and morsel evaluation are answer-invariant by construction).
+  /// EvalOptions::deadline also rides here: the executor checks it at
+  /// morsel boundaries (per fetch op, per unit-eval claim, per filter
+  /// window) and cancels with kDeadlineExceeded, discarding partial
+  /// deposits without committing them.
   EvalOptions eval;
 };
 

@@ -32,6 +32,10 @@ enum class StatusCode {
   /// Stored data is unrecoverably lost or corrupted (e.g. a block-file
   /// checksum mismatch); the on-disk artifact must be rebuilt.
   kDataLoss = 7,
+  /// The caller's deadline expired before the operation completed. The
+  /// executor checks deadlines at morsel boundaries, so an in-flight query
+  /// stops promptly but never mid-morsel; partial work is discarded.
+  kDeadlineExceeded = 8,
 };
 
 /// Returns a human-readable name for a status code, e.g. "InvalidArgument".
@@ -79,6 +83,10 @@ class Status {
   /// Returns a DataLoss status with \p message.
   static Status DataLoss(std::string message) {
     return Status(StatusCode::kDataLoss, std::move(message));
+  }
+  /// Returns a DeadlineExceeded status with \p message.
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
 
   /// True iff this status represents success.

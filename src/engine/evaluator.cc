@@ -97,6 +97,12 @@ class EvalImpl {
       : db_(db), options_(options), rows_materialized_(rows_materialized), pool_(pool) {}
 
   Result<Table> Eval(const QueryPtr& q) {
+    // Node entry is a cancellation point: a deep tree stops within one
+    // node of the deadline passing even when every leaf is small.
+    if (DeadlineExpired(options_)) {
+      return Status::DeadlineExceeded(
+          "query deadline expired during evaluation");
+    }
     switch (q->kind()) {
       case QueryNode::Kind::kRelation:
         return EvalRelation(q);
@@ -242,7 +248,8 @@ class EvalImpl {
         if (per_table[ti].empty()) continue;
         Table filtered(tables[ti].schema());
         BEAS_RETURN_IF_ERROR(FilterTableBatched(tables[ti], per_table[ti], &filtered,
-                                                pool_, options_.eval_threads));
+                                                pool_, options_.eval_threads,
+                                                options_.deadline));
         tables[ti] = std::move(filtered);
       }
     } else {
@@ -334,7 +341,8 @@ class EvalImpl {
         if (!applicable.empty()) {
           Table filtered(current.schema());
           BEAS_RETURN_IF_ERROR(FilterTableBatched(current, applicable, &filtered,
-                                                  pool_, options_.eval_threads));
+                                                  pool_, options_.eval_threads,
+                                                  options_.deadline));
           current = std::move(filtered);
         }
       } else {

@@ -20,6 +20,7 @@
 #ifndef BEAS_ENGINE_EVALUATOR_H_
 #define BEAS_ENGINE_EVALUATOR_H_
 
+#include <chrono>
 #include <cstddef>
 
 #include "common/result.h"
@@ -74,7 +75,25 @@ struct EvalOptions {
   /// differential harness and property P10). Fetching (xi_F) is
   /// unaffected by this knob.
   int eval_threads = 1;
+
+  /// Absolute wall-clock deadline for this evaluation; the default
+  /// (time_point::max()) means "no deadline". Checked at morsel
+  /// boundaries — per fetch op, per unit-eval claim, per filter window
+  /// — and at evaluator node entry, so an expired query cancels
+  /// promptly with kDeadlineExceeded but never mid-morsel; meter and
+  /// cache state stay consistent (partial deposits are discarded, no
+  /// commit happens). Propagated from QueryService::SubmitOptions via
+  /// QueryContext::eval.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
 };
+
+/// True iff \p options carries a deadline and it has already passed.
+/// Cheap when no deadline is set (a single comparison, no clock read).
+inline bool DeadlineExpired(const EvalOptions& options) {
+  return options.deadline != std::chrono::steady_clock::time_point::max() &&
+         std::chrono::steady_clock::now() >= options.deadline;
+}
 
 class ThreadPool;
 

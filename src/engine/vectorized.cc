@@ -98,11 +98,25 @@ struct WindowFilterState {
   const std::vector<Tuple>* rows = nullptr;
   const std::vector<CompiledComparison>* compiled = nullptr;
   SelectionVector* deposits = nullptr;  ///< one survivor set per window
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  std::atomic<bool> expired{false};  ///< deadline passed; skip real work
 
   std::mutex mu;
   std::condition_variable cv;
   size_t done = 0;  ///< windows deposited (guarded by mu)
 };
+
+// True once the state's deadline has passed. The sticky `expired` flag
+// saves clock reads after the first observation and lets late claimants
+// drain the cursor without filtering.
+bool WindowDeadlineExpired(WindowFilterState* st) {
+  if (st->deadline == std::chrono::steady_clock::time_point::max()) return false;
+  if (st->expired.load(std::memory_order_relaxed)) return true;
+  if (std::chrono::steady_clock::now() < st->deadline) return false;
+  st->expired.store(true, std::memory_order_relaxed);
+  return true;
+}
 
 // The claim loop: run by every helper task *and* by the caller, so
 // progress never depends on a pool worker becoming free; workers never
@@ -113,9 +127,14 @@ void RunWindowFilterClaims(const std::shared_ptr<WindowFilterState>& st) {
   for (;;) {
     size_t w = st->next.fetch_add(1, std::memory_order_relaxed);
     if (w >= st->windows) break;
-    size_t start = w * kDefaultChunkCapacity;
-    size_t n = std::min(kDefaultChunkCapacity, st->rows->size() - start);
-    FilterWindow(*st->rows, start, n, *st->compiled, &st->deposits[w]);
+    // An expired claim still counts toward `done` (the barrier needs
+    // every window accounted for) but deposits nothing — the caller
+    // discards all deposits and returns kDeadlineExceeded.
+    if (!WindowDeadlineExpired(st.get())) {
+      size_t start = w * kDefaultChunkCapacity;
+      size_t n = std::min(kDefaultChunkCapacity, st->rows->size() - start);
+      FilterWindow(*st->rows, start, n, *st->compiled, &st->deposits[w]);
+    }
     ++claimed;
   }
   if (claimed > 0) {
@@ -151,7 +170,8 @@ Result<CompiledComparison> CompileComparison(const RelationSchema& schema,
 }
 
 Status FilterTableBatched(const Table& in, const std::vector<const Comparison*>& cmps,
-                          Table* out, ThreadPool* pool, int eval_threads) {
+                          Table* out, ThreadPool* pool, int eval_threads,
+                          std::chrono::steady_clock::time_point deadline) {
   const RelationSchema& schema = in.schema();
   std::vector<CompiledComparison> compiled;
   compiled.reserve(cmps.size());
@@ -180,6 +200,7 @@ Status FilterTableBatched(const Table& in, const std::vector<const Comparison*>&
     state->rows = &rows;
     state->compiled = &compiled;
     state->deposits = deposits.data();
+    state->deadline = deadline;
     size_t helpers =
         std::min<size_t>(static_cast<size_t>(eval_threads) - 1, windows - 1);
     for (size_t h = 0; h < helpers; ++h) {
@@ -190,6 +211,10 @@ Status FilterTableBatched(const Table& in, const std::vector<const Comparison*>&
       std::unique_lock<std::mutex> lock(state->mu);
       state->cv.wait(lock, [&state] { return state->done == state->windows; });
     }
+    if (state->expired.load(std::memory_order_relaxed)) {
+      return Status::DeadlineExceeded(
+          "query deadline expired during filter window morsels");
+    }
     // Ordered commit: survivors appended window-major, then in selection
     // order — exactly the sequential emission order.
     for (size_t w = 0; w < windows; ++w) {
@@ -199,8 +224,14 @@ Status FilterTableBatched(const Table& in, const std::vector<const Comparison*>&
     return Status::OK();
   }
 
+  const bool has_deadline =
+      deadline != std::chrono::steady_clock::time_point::max();
   SelectionVector sel;
   for (size_t start = 0; start < rows.size(); start += kDefaultChunkCapacity) {
+    if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+      return Status::DeadlineExceeded(
+          "query deadline expired during filter windows");
+    }
     size_t n = std::min(kDefaultChunkCapacity, rows.size() - start);
     FilterWindow(rows, start, n, compiled, &sel);
     for (uint32_t r : sel) out->AppendUnchecked(rows[start + r]);

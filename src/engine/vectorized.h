@@ -7,6 +7,7 @@
 #ifndef BEAS_ENGINE_VECTORIZED_H_
 #define BEAS_ENGINE_VECTORIZED_H_
 
+#include <chrono>
 #include <vector>
 
 #include "common/result.h"
@@ -85,9 +86,18 @@ class ThreadPool;
 /// (windows never interact, and filtering charges no budget). The
 /// caller participates in the claim loop, so a saturated pool degrades
 /// to sequential speed, never to a deadlock.
+///
+/// \p deadline (default: none) makes each window boundary a
+/// cancellation point: once it passes, remaining windows are skipped
+/// and the call returns kDeadlineExceeded with \p out left partially
+/// filled (callers discard it). In the morsel path the claim protocol
+/// still runs every window to completion-accounting (expired claims
+/// deposit nothing), so the barrier never wedges.
 Status FilterTableBatched(const Table& in, const std::vector<const Comparison*>& cmps,
                           Table* out, ThreadPool* pool = nullptr,
-                          int eval_threads = 1);
+                          int eval_threads = 1,
+                          std::chrono::steady_clock::time_point deadline =
+                              std::chrono::steady_clock::time_point::max());
 
 }  // namespace beas
 

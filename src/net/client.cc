@@ -1,0 +1,221 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/string_util.h"
+#include "storage/codec.h"
+
+namespace beas {
+
+namespace {
+
+// The client accepts frames up to the protocol default; a page of
+// max_page_rows wide tuples stays far below it.
+constexpr uint32_t kClientMaxFrameBytes = kDefaultMaxFrameBytes;
+
+Result<RelationSchema> ReadSchema(ByteReader* reader) {
+  BEAS_ASSIGN_OR_RETURN(uint32_t arity, reader->ReadU32());
+  std::vector<AttributeDef> attrs;
+  attrs.reserve(arity);
+  for (uint32_t i = 0; i < arity; ++i) {
+    BEAS_ASSIGN_OR_RETURN(std::string name, reader->ReadString());
+    BEAS_ASSIGN_OR_RETURN(uint8_t type, reader->ReadU8());
+    if (type > static_cast<uint8_t>(DataType::kString)) {
+      return Status::DataLoss(StrCat("bad attribute type tag ", type));
+    }
+    attrs.emplace_back(std::move(name), static_cast<DataType>(type));
+  }
+  return RelationSchema("answer", std::move(attrs));
+}
+
+}  // namespace
+
+NetClient::NetClient(NetClient&& other) noexcept
+    : fd_(other.fd_), session_id_(other.session_id_) {
+  other.fd_ = -1;
+}
+
+NetClient& NetClient::operator=(NetClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    session_id_ = other.session_id_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+NetClient::~NetClient() { Close(); }
+
+void NetClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<NetClient> NetClient::Connect(const std::string& host, uint16_t port,
+                                     QueryPriority priority) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unavailable(StrCat("socket failed: ", std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument(StrCat("bad server address ", host));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Status::Unavailable(StrCat("connect to ", host, ":", port,
+                                           " failed: ", std::strerror(errno)));
+    ::close(fd);
+    return st;
+  }
+  // Request/response framing: never let Nagle batch a frame against the
+  // peer's delayed ACK.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  NetClient client;
+  client.fd_ = fd;
+  std::string hello;
+  PutU8(&hello, static_cast<uint8_t>(NetMessage::kHello));
+  PutU8(&hello, static_cast<uint8_t>(priority));
+  BEAS_ASSIGN_OR_RETURN(std::string response, client.RoundTrip(hello));
+  ByteReader reader(response.data() + 1, response.size() - 1);
+  if (static_cast<NetMessage>(response[0]) != NetMessage::kHelloOk) {
+    return Status::Internal("handshake: unexpected response type");
+  }
+  BEAS_ASSIGN_OR_RETURN(client.session_id_, reader.ReadU64());
+  return client;
+}
+
+Result<std::string> NetClient::RoundTrip(const std::string& request) {
+  if (fd_ < 0) return Status::Unavailable("client is closed");
+  Status sent = SendFrame(fd_, request);
+  if (!sent.ok()) {
+    Close();
+    return sent;
+  }
+  Result<std::string> response = RecvFrame(fd_, kClientMaxFrameBytes);
+  if (!response.ok()) {
+    Close();
+    return response.status();
+  }
+  if (response->empty()) {
+    Close();
+    return Status::DataLoss("empty response frame");
+  }
+  // A server-reported error frame translates back into its Status; the
+  // connection stays healthy (the server keeps serving the session).
+  if (static_cast<NetMessage>((*response)[0]) == NetMessage::kError) {
+    ByteReader reader(response->data() + 1, response->size() - 1);
+    BEAS_ASSIGN_OR_RETURN(uint8_t code, reader.ReadU8());
+    BEAS_ASSIGN_OR_RETURN(std::string message, reader.ReadString());
+    return DecodeErrorFrame(code, std::move(message));
+  }
+  return response;
+}
+
+Result<RemoteCursor> NetClient::Query(const std::string& sql, double alpha,
+                                      const QueryOptions& opts) {
+  std::string request;
+  PutU8(&request, static_cast<uint8_t>(NetMessage::kQuery));
+  PutF64(&request, alpha);
+  PutU32(&request, opts.page_rows);
+  PutI64(&request, opts.deadline.count());
+  PutString(&request, sql);
+  BEAS_ASSIGN_OR_RETURN(std::string response, RoundTrip(request));
+  if (static_cast<NetMessage>(response[0]) != NetMessage::kQueryOk) {
+    return Status::Internal("query: unexpected response type");
+  }
+  ByteReader reader(response.data() + 1, response.size() - 1);
+  RemoteCursor cursor;
+  BEAS_ASSIGN_OR_RETURN(cursor.id, reader.ReadU64());
+  BEAS_ASSIGN_OR_RETURN(cursor.total_rows, reader.ReadU64());
+  BEAS_ASSIGN_OR_RETURN(cursor.eta, reader.ReadF64());
+  BEAS_ASSIGN_OR_RETURN(cursor.d_prime, reader.ReadF64());
+  BEAS_ASSIGN_OR_RETURN(cursor.accessed, reader.ReadU64());
+  BEAS_ASSIGN_OR_RETURN(uint8_t exact, reader.ReadU8());
+  cursor.exact = exact != 0;
+  BEAS_ASSIGN_OR_RETURN(cursor.epoch, reader.ReadU64());
+  BEAS_ASSIGN_OR_RETURN(cursor.latency_ms, reader.ReadF64());
+  BEAS_ASSIGN_OR_RETURN(cursor.schema, ReadSchema(&reader));
+  return cursor;
+}
+
+Result<RemotePage> NetClient::Fetch(uint64_t cursor_id) {
+  std::string request;
+  PutU8(&request, static_cast<uint8_t>(NetMessage::kFetch));
+  PutU64(&request, cursor_id);
+  BEAS_ASSIGN_OR_RETURN(std::string response, RoundTrip(request));
+  if (static_cast<NetMessage>(response[0]) != NetMessage::kPage) {
+    return Status::Internal("fetch: unexpected response type");
+  }
+  ByteReader reader(response.data() + 1, response.size() - 1);
+  BEAS_ASSIGN_OR_RETURN(uint64_t id, reader.ReadU64());
+  if (id != cursor_id) {
+    return Status::Internal(
+        StrCat("fetch: page for cursor ", id, ", expected ", cursor_id));
+  }
+  RemotePage page;
+  BEAS_ASSIGN_OR_RETURN(uint8_t done, reader.ReadU8());
+  page.done = done != 0;
+  BEAS_ASSIGN_OR_RETURN(uint32_t nrows, reader.ReadU32());
+  page.rows.reserve(nrows);
+  for (uint32_t i = 0; i < nrows; ++i) {
+    BEAS_ASSIGN_OR_RETURN(Tuple row, reader.ReadTuple());
+    page.rows.push_back(std::move(row));
+  }
+  return page;
+}
+
+Status NetClient::CloseCursor(uint64_t cursor_id) {
+  std::string request;
+  PutU8(&request, static_cast<uint8_t>(NetMessage::kClose));
+  PutU64(&request, cursor_id);
+  BEAS_ASSIGN_OR_RETURN(std::string response, RoundTrip(request));
+  if (static_cast<NetMessage>(response[0]) != NetMessage::kClosed) {
+    return Status::Internal("close: unexpected response type");
+  }
+  return Status::OK();
+}
+
+Result<RemoteAnswer> NetClient::QueryAll(const std::string& sql, double alpha,
+                                         const QueryOptions& opts) {
+  BEAS_ASSIGN_OR_RETURN(RemoteCursor cursor, Query(sql, alpha, opts));
+  RemoteAnswer out;
+  out.table = Table(cursor.schema);
+  out.eta = cursor.eta;
+  out.d_prime = cursor.d_prime;
+  out.accessed = cursor.accessed;
+  out.exact = cursor.exact;
+  out.epoch = cursor.epoch;
+  out.latency_ms = cursor.latency_ms;
+  out.table.Reserve(cursor.total_rows);
+  // An empty answer still takes one Fetch: the cursor only releases
+  // server-side once a done page has been served.
+  for (;;) {
+    BEAS_ASSIGN_OR_RETURN(RemotePage page, Fetch(cursor.id));
+    ++out.pages;
+    for (Tuple& row : page.rows) out.table.AppendUnchecked(std::move(row));
+    if (page.done) break;
+  }
+  if (out.table.size() != cursor.total_rows) {
+    return Status::DataLoss(StrCat("cursor ", cursor.id, " streamed ",
+                                   out.table.size(), " rows, announced ",
+                                   cursor.total_rows));
+  }
+  return out;
+}
+
+}  // namespace beas

@@ -1,0 +1,140 @@
+// Blocking client of the BEAS network front-end: one TCP connection =
+// one session. Connect() performs the kHello handshake; Query() submits
+// SQL with an optional page size and per-query deadline and returns a
+// cursor handle; Fetch() streams one page of rows at a time; QueryAll()
+// drains a whole cursor into a RemoteAnswer whose fields reconstruct the
+// in-process BeasAnswer bit-for-bit (asserted by the net differential
+// test). Used by examples, tests, and bench/net_throughput_bench.
+
+#ifndef BEAS_NET_CLIENT_H_
+#define BEAS_NET_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "beas/executor.h"
+#include "net/protocol.h"
+#include "service/query_service.h"
+#include "storage/table.h"
+
+namespace beas {
+
+/// Handle of a server-side cursor plus the answer's scalar observables
+/// (rows stream separately via Fetch).
+struct RemoteCursor {
+  uint64_t id = 0;
+  RelationSchema schema;
+  uint64_t total_rows = 0;
+  double eta = 0;
+  double d_prime = 0;
+  uint64_t accessed = 0;
+  bool exact = false;
+  uint64_t epoch = 0;       ///< maintenance epoch the query ran under
+  double latency_ms = 0;    ///< service-side submit-to-completion latency
+};
+
+/// One page of a cursor's rows.
+struct RemotePage {
+  std::vector<Tuple> rows;
+  bool done = false;  ///< the cursor is exhausted and released server-side
+};
+
+/// A fully drained answer, reassembled client-side from pages.
+struct RemoteAnswer {
+  Table table;
+  double eta = 0;
+  double d_prime = 0;
+  uint64_t accessed = 0;
+  bool exact = false;
+  uint64_t epoch = 0;
+  double latency_ms = 0;
+  uint64_t pages = 0;  ///< kPage frames it took to drain the cursor
+
+  /// The in-process view of this answer: rows plus the accuracy/access
+  /// observables SerializeAnswer covers. Wire values are bit-exact
+  /// (doubles travel as IEEE-754 bit patterns), so this compares
+  /// byte-identical to a local Beas::Answer of the same query.
+  BeasAnswer ToBeasAnswer() const {
+    BeasAnswer a;
+    a.table = table;
+    a.eta = eta;
+    a.d_prime = d_prime;
+    a.accessed = accessed;
+    a.exact = exact;
+    return a;
+  }
+};
+
+/// Per-query options for NetClient::Query/QueryAll. (Namespace-scoped —
+/// not nested — so it is complete where the member declarations default
+/// it.)
+struct NetQueryOptions {
+  /// Rows per page; 0 (the default) uses the server's default page
+  /// size (one engine ColumnChunk window).
+  uint32_t page_rows = 0;
+  /// Relative per-query deadline; zero (the default) means none. The
+  /// server enforces it inside the engine, so an expired query returns
+  /// kDeadlineExceeded after cancelling at the next morsel boundary.
+  std::chrono::milliseconds deadline{0};
+};
+
+/// \brief A blocking session with a NetServer.
+///
+/// Not thread-safe: one NetClient serves one caller thread (open one
+/// client per concurrent session, as the throughput bench does). Any
+/// transport-level failure closes the connection; server-reported errors
+/// (error frames) leave the session usable.
+class NetClient {
+ public:
+  using QueryOptions = NetQueryOptions;
+
+  NetClient(NetClient&& other) noexcept;
+  NetClient& operator=(NetClient&& other) noexcept;
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+  ~NetClient();
+
+  /// Connects to \p host:\p port and completes the kHello handshake at
+  /// \p priority.
+  static Result<NetClient> Connect(
+      const std::string& host, uint16_t port,
+      QueryPriority priority = QueryPriority::kNormal);
+
+  /// Submits \p sql at resource ratio \p alpha; on success the answer is
+  /// materialized server-side and ready to page through Fetch.
+  Result<RemoteCursor> Query(const std::string& sql, double alpha,
+                             const QueryOptions& opts = QueryOptions());
+
+  /// Next page of \p cursor_id. After a page with done=true the cursor
+  /// is gone server-side; further fetches return NotFound.
+  Result<RemotePage> Fetch(uint64_t cursor_id);
+
+  /// Releases an unfinished cursor.
+  Status CloseCursor(uint64_t cursor_id);
+
+  /// Query + drain all pages into one RemoteAnswer.
+  Result<RemoteAnswer> QueryAll(const std::string& sql, double alpha,
+                                const QueryOptions& opts = QueryOptions());
+
+  /// The server-assigned session id.
+  uint64_t session_id() const { return session_id_; }
+
+  /// Closes the connection (also run by the destructor). Idempotent.
+  void Close();
+
+ private:
+  NetClient() = default;
+
+  /// Sends \p request and decodes the response frame, translating error
+  /// frames into their carried Status.
+  Result<std::string> RoundTrip(const std::string& request);
+
+  int fd_ = -1;
+  uint64_t session_id_ = 0;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_NET_CLIENT_H_

@@ -1,0 +1,103 @@
+#include "net/protocol.h"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/string_util.h"
+#include "storage/codec.h"
+
+// macOS has no MSG_NOSIGNAL; SIGPIPE suppression there would go through
+// SO_NOSIGPIPE. The flag only suppresses a signal we handle as an error
+// return anyway.
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+namespace beas {
+
+namespace {
+
+Status SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(StrCat("send failed: ", std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status RecvAll(int fd, char* data, size_t size) {
+  size_t got = 0;
+  while (got < size) {
+    ssize_t n = ::recv(fd, data + got, size - got, 0);
+    if (n == 0) return Status::Unavailable("peer closed connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(StrCat("recv failed: ", std::strerror(errno)));
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SendFrame(int fd, const std::string& payload) {
+  // One send per frame: a separate header send leaves a tiny trailing
+  // segment for Nagle to hold back against the peer's delayed ACK,
+  // which turns every request/response into a ~40-200ms stall on
+  // loopback (the copy is cheap next to that).
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  frame.append(payload);
+  return SendAll(fd, frame.data(), frame.size());
+}
+
+Result<std::string> RecvFrame(int fd, uint32_t max_frame_bytes) {
+  char header[4];
+  BEAS_RETURN_IF_ERROR(RecvAll(fd, header, sizeof(header)));
+  ByteReader reader(header, sizeof(header));
+  BEAS_ASSIGN_OR_RETURN(uint32_t len, reader.ReadU32());
+  if (len > max_frame_bytes) {
+    return Status::DataLoss(
+        StrCat("frame of ", len, " bytes exceeds the ", max_frame_bytes,
+               "-byte cap"));
+  }
+  std::string payload(len, '\0');
+  if (len > 0) BEAS_RETURN_IF_ERROR(RecvAll(fd, &payload[0], len));
+  return payload;
+}
+
+std::string EncodeErrorFrame(const Status& st) {
+  std::string payload;
+  PutU8(&payload, static_cast<uint8_t>(NetMessage::kError));
+  PutU8(&payload, static_cast<uint8_t>(st.code()));
+  PutString(&payload, st.message());
+  return payload;
+}
+
+Status DecodeErrorFrame(uint8_t code, std::string message) {
+  if (code == 0 || code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
+    return Status::Internal(
+        StrCat("error frame with invalid status code ", code, ": ", message));
+  }
+  return Status(static_cast<StatusCode>(code), std::move(message));
+}
+
+void PutSchema(std::string* dst, const RelationSchema& schema) {
+  PutU32(dst, static_cast<uint32_t>(schema.arity()));
+  for (const AttributeDef& attr : schema.attributes()) {
+    PutString(dst, attr.name);
+    PutU8(dst, static_cast<uint8_t>(attr.type));
+  }
+}
+
+}  // namespace beas

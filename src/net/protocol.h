@@ -1,0 +1,79 @@
+// Wire protocol of the BEAS network front-end: length-prefixed binary
+// frames over a TCP stream, encoded with the storage codec (little-endian
+// fixed-width integers, bit-exact doubles, length-prefixed strings and
+// tagged tuples — storage/codec.h), so every payload is a byte-
+// deterministic function of its contents. One frame = u32 payload length
+// + payload; a payload = one message-type byte + the message body. The
+// full frame layout per message is documented in docs/ARCHITECTURE.md
+// ("Network front-end").
+
+#ifndef BEAS_NET_PROTOCOL_H_
+#define BEAS_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "types/schema.h"
+
+namespace beas {
+
+/// Message types carried in the first payload byte of every frame.
+enum class NetMessage : uint8_t {
+  /// client -> server, once per connection: u8 priority (0 normal, 1
+  /// high). Must be the first frame of a session.
+  kHello = 1,
+  /// server -> client: u64 session_id. Acknowledges kHello.
+  kHelloOk = 2,
+  /// client -> server: f64 alpha, u32 page_rows (0 = server default),
+  /// i64 deadline_ms (0 = none, relative to receipt), string sql.
+  kQuery = 3,
+  /// server -> client: u64 cursor_id, u64 total_rows, f64 eta,
+  /// f64 d_prime, u64 accessed, u8 exact, u64 epoch, f64 latency_ms,
+  /// u32 arity, then per attribute {string name, u8 DataType}. The
+  /// answer is now materialized server-side; rows stream via kFetch.
+  kQueryOk = 4,
+  /// client -> server: u64 cursor_id. Requests the next page.
+  kFetch = 5,
+  /// server -> client: u64 cursor_id, u8 done, u32 nrows, then nrows
+  /// codec-encoded tuples. `done` means the cursor is exhausted and has
+  /// been released server-side (no kClose needed).
+  kPage = 6,
+  /// client -> server: u64 cursor_id. Releases an unfinished cursor.
+  kClose = 7,
+  /// server -> client: u64 cursor_id. Acknowledges kClose.
+  kClosed = 8,
+  /// server -> client: u8 StatusCode, string message. Any request may be
+  /// answered with an error frame; the session stays usable.
+  kError = 9,
+};
+
+/// Hard cap on a single frame's payload (default NetServerOptions value;
+/// both sides reject bigger frames as DataLoss rather than allocating).
+constexpr uint32_t kDefaultMaxFrameBytes = 64u << 20;
+
+/// Writes one frame (u32 length prefix + \p payload) to \p fd, looping
+/// over partial writes. Fails with Unavailable when the peer is gone.
+Status SendFrame(int fd, const std::string& payload);
+
+/// Reads one complete frame payload from \p fd. Fails with Unavailable
+/// on a cleanly closed or broken connection and DataLoss on a frame
+/// bigger than \p max_frame_bytes.
+Result<std::string> RecvFrame(int fd, uint32_t max_frame_bytes);
+
+/// Convenience: encodes an error frame for \p st (non-OK).
+std::string EncodeErrorFrame(const Status& st);
+
+/// Decodes the StatusCode byte of an error frame body back into a
+/// Status; out-of-range codes collapse to Internal.
+Status DecodeErrorFrame(uint8_t code, std::string message);
+
+/// Appends {string name, u8 type} per attribute (after a u32 arity) —
+/// the schema block of kQueryOk. Distance specs are not carried: a
+/// cursor only streams materialized rows, it never re-evaluates
+/// predicates client-side.
+void PutSchema(std::string* dst, const RelationSchema& schema);
+
+}  // namespace beas
+
+#endif  // BEAS_NET_PROTOCOL_H_

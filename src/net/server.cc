@@ -1,0 +1,420 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "common/string_util.h"
+#include "storage/codec.h"
+
+namespace beas {
+
+namespace {
+
+double MsBetween(std::chrono::steady_clock::time_point from,
+                 std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+// One streaming result: the materialized answer (a private copy — safe
+// against concurrent epoch-guarded maintenance by construction) plus the
+// paging cursor over its rows.
+struct Cursor {
+  ServiceAnswer answer;
+  uint32_t page_rows = 0;
+  size_t next_row = 0;
+};
+
+// One connection's state. Owned jointly by the accept loop (for Stop's
+// socket shutdown) and the session thread; all fields except `fd` are
+// touched only by the session thread, so they need no lock.
+struct NetServer::Session {
+  std::atomic<int> fd{-1};
+  uint64_t id = 0;
+  QueryPriority priority = QueryPriority::kNormal;
+  bool hello_done = false;
+  uint64_t queries_used = 0;
+  uint64_t next_cursor_id = 1;
+  std::unordered_map<uint64_t, Cursor> cursors;
+};
+
+NetServer::NetServer(QueryService* service, NetServerOptions options)
+    : service_(service), options_(std::move(options)) {
+  options_.max_sessions = std::max<size_t>(1, options_.max_sessions);
+  options_.max_cursors_per_session =
+      std::max<size_t>(1, options_.max_cursors_per_session);
+  options_.default_page_rows = std::max<uint32_t>(1, options_.default_page_rows);
+  options_.max_page_rows =
+      std::max(options_.max_page_rows, options_.default_page_rows);
+  options_.latency_window = std::max<size_t>(1, options_.latency_window);
+  latency_ring_.assign(options_.latency_window, 0.0);
+}
+
+NetServer::~NetServer() { Stop(); }
+
+Status NetServer::Start() {
+  if (listen_fd_ >= 0) return Status::Internal("server already started");
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unavailable(StrCat("socket failed: ", std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument(StrCat("bad listen address ", options_.host));
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Status::Unavailable(
+        StrCat("bind to ", options_.host, ":", options_.port, " failed: ",
+               std::strerror(errno)));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 64) != 0) {
+    Status st =
+        Status::Unavailable(StrCat("listen failed: ", std::strerror(errno)));
+    ::close(fd);
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    Status st =
+        Status::Unavailable(StrCat("getsockname failed: ", std::strerror(errno)));
+    ::close(fd);
+    return st;
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_relaxed);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void NetServer::Stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  // Shutting the listener down unblocks accept(); shutting session
+  // sockets down unblocks their recv() loops. Threads then drain and
+  // join below — after Stop returns, no server thread is live.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& session : sessions_) {
+      int fd = session->fd.load(std::memory_order_relaxed);
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Session threads are only spawned by the accept loop, so the vector
+  // is final once it is joined.
+  for (std::thread& t : session_threads_) {
+    if (t.joinable()) t.join();
+  }
+  session_threads_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions_.clear();
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void NetServer::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (Stop) or fatal: the loop ends
+    }
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      return;
+    }
+    // Frames are single sends; TCP_NODELAY keeps a response from ever
+    // waiting on the client's delayed ACK.
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto session = std::make_shared<Session>();
+    session->fd.store(fd, std::memory_order_relaxed);
+    bool refused = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (counters_.sessions_active >= options_.max_sessions) {
+        ++counters_.sessions_refused;
+        refused = true;
+      } else {
+        session->id = next_session_id_++;
+        ++counters_.sessions_opened;
+        ++counters_.sessions_active;
+        sessions_.push_back(session);
+      }
+    }
+    if (refused) {
+      std::string err = EncodeErrorFrame(Status::Unavailable(
+          StrCat("session limit of ", options_.max_sessions, " reached")));
+      SendFrame(fd, err);
+      ::close(fd);
+      continue;
+    }
+    session_threads_.emplace_back(
+        [this, session = std::move(session)] { ServeSession(session); });
+  }
+}
+
+void NetServer::ServeSession(std::shared_ptr<Session> session) {
+  const int fd = session->fd.load(std::memory_order_relaxed);
+  for (;;) {
+    Result<std::string> payload = RecvFrame(fd, options_.max_frame_bytes);
+    if (!payload.ok()) break;  // disconnect, shutdown, or oversized frame
+    std::string response = HandleRequest(session.get(), *payload);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      counters_.bytes_received += payload->size();
+      counters_.bytes_sent += response.size();
+    }
+    if (!SendFrame(fd, response).ok()) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --counters_.sessions_active;
+    sessions_.erase(std::remove(sessions_.begin(), sessions_.end(), session),
+                    sessions_.end());
+  }
+  ::close(fd);
+  session->fd.store(-1, std::memory_order_relaxed);
+}
+
+std::string NetServer::HandleRequest(Session* session, const std::string& payload) {
+  ByteReader reader(payload);
+  Result<uint8_t> type = reader.ReadU8();
+  if (!type.ok()) return ErrorResponse(type.status());
+  NetMessage msg = static_cast<NetMessage>(*type);
+  if (!session->hello_done && msg != NetMessage::kHello) {
+    return ErrorResponse(
+        Status::InvalidArgument("first frame of a session must be kHello"));
+  }
+  switch (msg) {
+    case NetMessage::kHello: {
+      Result<uint8_t> prio = reader.ReadU8();
+      if (!prio.ok()) return ErrorResponse(prio.status());
+      if (*prio > static_cast<uint8_t>(QueryPriority::kHigh)) {
+        return ErrorResponse(
+            Status::InvalidArgument(StrCat("bad priority ", *prio)));
+      }
+      session->priority = static_cast<QueryPriority>(*prio);
+      session->hello_done = true;
+      std::string out;
+      PutU8(&out, static_cast<uint8_t>(NetMessage::kHelloOk));
+      PutU64(&out, session->id);
+      return out;
+    }
+    case NetMessage::kQuery:
+      return HandleQuery(session, payload);
+    case NetMessage::kFetch:
+      return HandleFetch(session, payload);
+    case NetMessage::kClose:
+      return HandleClose(session, payload);
+    default:
+      return ErrorResponse(Status::InvalidArgument(
+          StrCat("unexpected message type ", *type)));
+  }
+}
+
+std::string NetServer::HandleQuery(Session* session, const std::string& payload) {
+  auto received_at = std::chrono::steady_clock::now();
+  ByteReader reader(payload.data() + 1, payload.size() - 1);
+  Result<double> alpha = reader.ReadF64();
+  if (!alpha.ok()) return ErrorResponse(alpha.status());
+  Result<uint32_t> page_rows = reader.ReadU32();
+  if (!page_rows.ok()) return ErrorResponse(page_rows.status());
+  Result<int64_t> deadline_ms = reader.ReadI64();
+  if (!deadline_ms.ok()) return ErrorResponse(deadline_ms.status());
+  Result<std::string> sql = reader.ReadString();
+  if (!sql.ok()) return ErrorResponse(sql.status());
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.queries;
+  }
+  // The auth-style session quota: queries beyond it bounce with
+  // Unavailable; existing cursors keep streaming.
+  if (options_.session_query_quota > 0 &&
+      session->queries_used >= options_.session_query_quota) {
+    {
+      // Released before ErrorResponse re-acquires mu_ for its counter.
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.quota_rejections;
+    }
+    return ErrorResponse(Status::Unavailable(
+        StrCat("session quota of ", options_.session_query_quota,
+               " queries exhausted")));
+  }
+  if (session->cursors.size() >= options_.max_cursors_per_session) {
+    return ErrorResponse(Status::Unavailable(
+        StrCat("cursor limit of ", options_.max_cursors_per_session,
+               " reached; fetch or close an open cursor")));
+  }
+  ++session->queries_used;
+
+  SubmitOptions submit;
+  submit.priority = session->priority;
+  const bool has_deadline = *deadline_ms > 0;
+  if (has_deadline) {
+    submit.deadline = received_at + std::chrono::milliseconds(*deadline_ms);
+  }
+  Result<QueryTicket> ticket = service_->SubmitSql(*sql, *alpha, submit);
+  if (!ticket.ok()) {
+    RecordRequestLatency(
+        MsBetween(received_at, std::chrono::steady_clock::now()));
+    return ErrorResponse(ticket.status());
+  }
+  Result<ServiceAnswer> answer = Status::Internal("query did not run");
+  if (has_deadline) {
+    // The engine cancels at the next morsel boundary after the deadline,
+    // so the ticket resolves within one morsel of it; wait_slack covers
+    // that lag. The blocking Wait is a backstop (e.g. a long queue wait
+    // ahead of a fast-failing expired query), not the expected path —
+    // either way the ticket is always redeemed, never leaked.
+    answer = service_->WaitFor(
+        *ticket, std::chrono::milliseconds(*deadline_ms) + options_.wait_slack);
+    if (!answer.ok() &&
+        answer.status().code() == StatusCode::kDeadlineExceeded) {
+      // Ambiguous: either the wait timed out (ticket still pending) or
+      // the query itself finished kDeadlineExceeded (ticket consumed).
+      // Redeem the pending case with a blocking Wait; NotFound here
+      // means WaitFor already delivered the query's own outcome, which
+      // must not be clobbered.
+      Result<ServiceAnswer> redeemed = service_->Wait(*ticket);
+      if (redeemed.status().code() != StatusCode::kNotFound) {
+        answer = std::move(redeemed);
+      }
+    }
+  } else {
+    answer = service_->Wait(*ticket);
+  }
+  double latency_ms = MsBetween(received_at, std::chrono::steady_clock::now());
+  RecordRequestLatency(latency_ms);
+  if (!answer.ok()) {
+    if (answer.status().code() == StatusCode::kDeadlineExceeded) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.deadline_exceeded;
+    }
+    return ErrorResponse(answer.status());
+  }
+
+  Cursor cursor;
+  cursor.answer = std::move(*answer);
+  cursor.page_rows = *page_rows == 0
+                         ? options_.default_page_rows
+                         : std::min(*page_rows, options_.max_page_rows);
+  uint64_t cursor_id = session->next_cursor_id++;
+  const ServiceAnswer& sa = cursor.answer;
+
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(NetMessage::kQueryOk));
+  PutU64(&out, cursor_id);
+  PutU64(&out, sa.answer.table.size());
+  PutF64(&out, sa.answer.eta);
+  PutF64(&out, sa.answer.d_prime);
+  PutU64(&out, sa.answer.accessed);
+  PutU8(&out, sa.answer.exact ? 1 : 0);
+  PutU64(&out, sa.epoch);
+  PutF64(&out, sa.latency_ms);
+  PutSchema(&out, sa.answer.table.schema());
+  session->cursors.emplace(cursor_id, std::move(cursor));
+  return out;
+}
+
+std::string NetServer::HandleFetch(Session* session, const std::string& payload) {
+  ByteReader reader(payload.data() + 1, payload.size() - 1);
+  Result<uint64_t> cursor_id = reader.ReadU64();
+  if (!cursor_id.ok()) return ErrorResponse(cursor_id.status());
+  auto it = session->cursors.find(*cursor_id);
+  if (it == session->cursors.end()) {
+    return ErrorResponse(
+        Status::NotFound(StrCat("unknown or exhausted cursor ", *cursor_id)));
+  }
+  Cursor& cursor = it->second;
+  const Table& table = cursor.answer.answer.table;
+  size_t n = std::min<size_t>(cursor.page_rows, table.size() - cursor.next_row);
+  bool done = cursor.next_row + n >= table.size();
+
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(NetMessage::kPage));
+  PutU64(&out, *cursor_id);
+  PutU8(&out, done ? 1 : 0);
+  PutU32(&out, static_cast<uint32_t>(n));
+  for (size_t i = 0; i < n; ++i) PutTuple(&out, table.row(cursor.next_row + i));
+  cursor.next_row += n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.pages_sent;
+    counters_.rows_sent += n;
+  }
+  // A drained cursor releases its materialized answer immediately; the
+  // final page carries the `done` flag so the client knows not to ask
+  // again.
+  if (done) session->cursors.erase(it);
+  return out;
+}
+
+std::string NetServer::HandleClose(Session* session, const std::string& payload) {
+  ByteReader reader(payload.data() + 1, payload.size() - 1);
+  Result<uint64_t> cursor_id = reader.ReadU64();
+  if (!cursor_id.ok()) return ErrorResponse(cursor_id.status());
+  if (session->cursors.erase(*cursor_id) == 0) {
+    return ErrorResponse(
+        Status::NotFound(StrCat("unknown or exhausted cursor ", *cursor_id)));
+  }
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(NetMessage::kClosed));
+  PutU64(&out, *cursor_id);
+  return out;
+}
+
+std::string NetServer::ErrorResponse(const Status& st) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.errors_sent;
+  return EncodeErrorFrame(st);
+}
+
+void NetServer::RecordRequestLatency(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  latency_ring_[latency_next_] = ms;
+  latency_next_ = (latency_next_ + 1) % latency_ring_.size();
+  ++latency_count_;
+}
+
+NetStats NetServer::stats() const {
+  NetStats out;
+  std::vector<double> window;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = counters_;
+    size_t n = static_cast<size_t>(
+        std::min<uint64_t>(latency_count_, latency_ring_.size()));
+    window.assign(latency_ring_.begin(), latency_ring_.begin() + n);
+  }
+  if (!window.empty()) {
+    out.request_p50_ms = NearestRankPercentile(window, 0.50);
+    out.request_p95_ms = NearestRankPercentile(std::move(window), 0.95);
+  }
+  out.service = service_->stats();
+  return out;
+}
+
+}  // namespace beas

@@ -1,0 +1,150 @@
+// The TCP front-end of the query service: NetServer accepts sessions on
+// a listening socket, speaks the length-prefixed protocol of
+// net/protocol.h, and serves each connection from its own thread. Every
+// session carries an id, an admission priority, and an auth-style query
+// quota; answers materialize server-side and stream to the client in
+// ColumnChunk-sized pages through per-session cursors; per-query
+// deadlines propagate into the engine (QueryContext::eval.deadline), so
+// an expired caller cancels in-flight fetch/eval work at the next morsel
+// boundary instead of holding a worker hostage. See
+// docs/ARCHITECTURE.md "Network front-end".
+
+#ifndef BEAS_NET_SERVER_H_
+#define BEAS_NET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/protocol.h"
+#include "service/query_service.h"
+#include "types/column_chunk.h"
+
+namespace beas {
+
+/// Configuration of a NetServer.
+struct NetServerOptions {
+  /// Listen address. The default binds loopback only — the front-end has
+  /// no transport security, so exposing it beyond the host is opt-in.
+  std::string host = "127.0.0.1";
+  /// Listen port; 0 (the default) picks an ephemeral port, readable via
+  /// NetServer::port() after Start().
+  uint16_t port = 0;
+  /// Concurrent session cap; further connects are refused with an error
+  /// frame. Each session holds a thread, so this bounds the front-end's
+  /// thread count.
+  size_t max_sessions = 64;
+  /// Queries admitted per session before kUnavailable rejections (the
+  /// auth-style quota; fetches on existing cursors stay allowed). 0 (the
+  /// default) means unlimited.
+  uint64_t session_query_quota = 0;
+  /// Open cursors allowed per session; a query beyond it is rejected
+  /// until the client drains or closes one.
+  size_t max_cursors_per_session = 32;
+  /// Rows per kPage frame when the client's kQuery asks for 0. Defaults
+  /// to the engine's ColumnChunk window so one page matches one
+  /// vectorized execution window.
+  uint32_t default_page_rows = static_cast<uint32_t>(kDefaultChunkCapacity);
+  /// Hard cap a client page request is clamped to.
+  uint32_t max_page_rows = 65536;
+  /// Incoming frames above this are rejected as DataLoss (a query frame
+  /// only carries SQL text, so the default is generous).
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Grace added to a deadlined query's WaitFor: the engine cancels at
+  /// the next morsel boundary, which can lag the deadline by one
+  /// morsel's work; the slack keeps the common case on the no-ticket-
+  /// abandoned path (a blocking Wait mops up if even the slack expires).
+  std::chrono::milliseconds wait_slack{250};
+  /// Completed-request latencies kept for the request p50/p95 stats.
+  size_t latency_window = 512;
+};
+
+/// Front-end counters; snapshot via NetServer::stats(). The embedded
+/// ServiceStats snapshot folds the per-session/request telemetry into
+/// the service-level view, so one stats() call shows the whole serving
+/// stack.
+struct NetStats {
+  uint64_t sessions_opened = 0;   ///< accepted sessions, lifetime
+  uint64_t sessions_active = 0;   ///< currently connected (instantaneous)
+  uint64_t sessions_refused = 0;  ///< bounced off max_sessions
+  uint64_t queries = 0;           ///< kQuery frames received
+  uint64_t pages_sent = 0;        ///< kPage frames sent
+  uint64_t rows_sent = 0;         ///< tuples streamed in pages
+  uint64_t bytes_sent = 0;        ///< payload bytes sent (all frames)
+  uint64_t bytes_received = 0;    ///< payload bytes received
+  uint64_t quota_rejections = 0;  ///< queries bounced off the session quota
+  uint64_t deadline_exceeded = 0; ///< queries answered kDeadlineExceeded
+  uint64_t errors_sent = 0;       ///< kError frames sent
+  double request_p50_ms = 0;      ///< kQuery receipt -> response ready
+  double request_p95_ms = 0;      ///< ceil nearest-rank, like the service
+  ServiceStats service;           ///< service snapshot at stats() time
+};
+
+/// \brief A TCP server exposing one QueryService.
+///
+/// Start() binds, listens, and spawns the accept loop; every accepted
+/// connection is served by a dedicated thread until the peer disconnects
+/// or Stop() shuts the socket down. Stop() (idempotent, also run by the
+/// destructor) joins every session thread, so after it returns no
+/// server thread touches the QueryService. The service must outlive the
+/// server.
+class NetServer {
+ public:
+  explicit NetServer(QueryService* service, NetServerOptions options = {});
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds and starts accepting. Fails if the address is unavailable.
+  Status Start();
+
+  /// Shuts the listener and every session socket down and joins all
+  /// server threads. Idempotent.
+  void Stop();
+
+  /// The bound port (the chosen one when options.port was 0). Only valid
+  /// after a successful Start().
+  uint16_t port() const { return port_; }
+
+  /// Snapshot of the front-end counters plus the service's stats.
+  NetStats stats() const;
+
+ private:
+  struct Session;
+
+  void AcceptLoop();
+  void ServeSession(std::shared_ptr<Session> session);
+  /// Dispatches one decoded request frame; returns the response payload.
+  std::string HandleRequest(Session* session, const std::string& payload);
+  std::string HandleQuery(Session* session, const std::string& payload);
+  std::string HandleFetch(Session* session, const std::string& payload);
+  std::string HandleClose(Session* session, const std::string& payload);
+  std::string ErrorResponse(const Status& st);
+  void RecordRequestLatency(double ms);
+
+  QueryService* service_;  ///< non-owning; must outlive the server
+  NetServerOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex mu_;
+  NetStats counters_;                ///< request p50/p95 fields unused here
+  std::vector<double> latency_ring_; ///< last latency_window request latencies
+  size_t latency_next_ = 0;
+  uint64_t latency_count_ = 0;
+  uint64_t next_session_id_ = 1;
+  std::vector<std::shared_ptr<Session>> sessions_;  ///< for Stop() shutdown
+  std::thread accept_thread_;
+  std::vector<std::thread> session_threads_;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_NET_SERVER_H_

@@ -1,6 +1,7 @@
 #include "service/query_service.h"
 
 #include <algorithm>
+#include <cmath>
 #include <condition_variable>
 #include <mutex>
 #include <utility>
@@ -45,32 +46,50 @@ QueryService::~QueryService() {
 }
 
 Result<QueryTicket> QueryService::Submit(QueryPtr q, double alpha) {
+  return Submit(std::move(q), alpha, SubmitOptions{});
+}
+
+Result<QueryTicket> QueryService::Submit(QueryPtr q, double alpha,
+                                         const SubmitOptions& opts) {
   if (q == nullptr) return Status::InvalidArgument("query must not be null");
   auto submitted_at = std::chrono::steady_clock::now();
   std::shared_ptr<Pending> slot = std::make_shared<Pending>();
   QueryTicket ticket;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (counters_.queued >= options_.max_queue) {
+    // Normal priority stops short of the reserved headroom; high
+    // priority may fill the queue to the hard cap. The clamp keeps at
+    // least one normal slot even if reserved_slots >= max_queue.
+    size_t cap = options_.max_queue;
+    if (opts.priority == QueryPriority::kNormal && options_.reserved_slots > 0) {
+      cap -= std::min(options_.reserved_slots, options_.max_queue - 1);
+    }
+    if (counters_.queued >= cap) {
       ++counters_.rejected;
       return Status::Unavailable(
           StrCat("admission queue full (", counters_.queued, " queued, cap ",
-                 options_.max_queue, "); retry later"));
+                 cap, "); retry later"));
     }
     ++counters_.queued;
     ++counters_.submitted;
     ticket.id = next_ticket_++;
     pending_[ticket.id] = slot;
   }
-  pool_->Submit([this, slot = std::move(slot), q = std::move(q), alpha, submitted_at] {
-    RunQuery(slot, q, alpha, submitted_at);
-  });
+  pool_->Submit(
+      [this, slot = std::move(slot), q = std::move(q), alpha, opts, submitted_at] {
+        RunQuery(slot, q, alpha, opts, submitted_at);
+      });
   return ticket;
 }
 
 Result<QueryTicket> QueryService::SubmitSql(const std::string& sql, double alpha) {
+  return SubmitSql(sql, alpha, SubmitOptions{});
+}
+
+Result<QueryTicket> QueryService::SubmitSql(const std::string& sql, double alpha,
+                                            const SubmitOptions& opts) {
   BEAS_ASSIGN_OR_RETURN(QueryPtr q, beas_->Parse(sql));
-  return Submit(std::move(q), alpha);
+  return Submit(std::move(q), alpha, opts);
 }
 
 Result<ServiceAnswer> QueryService::Wait(QueryTicket ticket) {
@@ -89,12 +108,49 @@ Result<ServiceAnswer> QueryService::Wait(QueryTicket ticket) {
   return std::move(slot->result);
 }
 
+Result<ServiceAnswer> QueryService::WaitFor(QueryTicket ticket,
+                                            std::chrono::milliseconds timeout) {
+  // Unlike Wait, the slot is looked up but NOT erased before blocking: a
+  // timeout must leave the ticket redeemable, so only the path that
+  // returns a result consumes it.
+  std::shared_ptr<Pending> slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pending_.find(ticket.id);
+    if (it == pending_.end()) {
+      return Status::NotFound(StrCat("unknown or already-redeemed ticket ", ticket.id));
+    }
+    slot = it->second;
+  }
+  {
+    std::unique_lock<std::mutex> lock(slot->mu);
+    if (!slot->cv.wait_for(lock, timeout, [&slot] { return slot->done; })) {
+      return Status::DeadlineExceeded(
+          StrCat("ticket ", ticket.id, " not done after ", timeout.count(),
+                 " ms; it stays redeemable"));
+    }
+  }
+  // Consume the ticket. A concurrent Wait may have raced us to it (the
+  // single-waiter contract makes that caller error); the eraser wins.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pending_.find(ticket.id);
+    if (it == pending_.end()) {
+      return Status::NotFound(StrCat("ticket ", ticket.id, " already redeemed"));
+    }
+    pending_.erase(it);
+  }
+  std::lock_guard<std::mutex> lock(slot->mu);
+  return std::move(slot->result);
+}
+
 Result<ServiceAnswer> QueryService::Answer(QueryPtr q, double alpha) {
   BEAS_ASSIGN_OR_RETURN(QueryTicket ticket, Submit(std::move(q), alpha));
   return Wait(ticket);
 }
 
 void QueryService::RunQuery(std::shared_ptr<Pending> slot, QueryPtr q, double alpha,
+                            SubmitOptions opts,
                             std::chrono::steady_clock::time_point submitted_at) {
   uint64_t in_flight;
   {
@@ -115,6 +171,11 @@ void QueryService::RunQuery(std::shared_ptr<Pending> slot, QueryPtr q, double al
     eval.eval_threads = std::min(eval.eval_threads, allowed);
     eval.fetch_threads = std::min(eval.fetch_threads, allowed);
   }
+  // The submission's deadline rides into the executor through the
+  // per-query EvalOptions; Beas::Answer fast-fails a deadline that
+  // expired while the query sat in the queue (no planning, no fetching),
+  // and cancels mid-flight work at the next morsel boundary otherwise.
+  eval.deadline = opts.deadline;
   Result<ServiceAnswer> out = Status::Internal("query did not run");
   {
     // The read hold spans the whole execution: plan (the cache must not
@@ -133,7 +194,7 @@ void QueryService::RunQuery(std::shared_ptr<Pending> slot, QueryPtr q, double al
   }
   double latency_ms = MsBetween(submitted_at, std::chrono::steady_clock::now());
   if (out.ok()) out->latency_ms = latency_ms;
-  RecordDone(latency_ms, out.ok());
+  RecordDone(latency_ms, out.ok() ? Status::OK() : out.status());
   {
     std::lock_guard<std::mutex> lock(slot->mu);
     slot->result = std::move(out);
@@ -142,13 +203,16 @@ void QueryService::RunQuery(std::shared_ptr<Pending> slot, QueryPtr q, double al
   slot->cv.notify_all();
 }
 
-void QueryService::RecordDone(double latency_ms, bool ok) {
+void QueryService::RecordDone(double latency_ms, const Status& status) {
   std::lock_guard<std::mutex> lock(mu_);
   --counters_.in_flight;
-  if (ok) {
+  if (status.ok()) {
     ++counters_.completed;
   } else {
     ++counters_.failed;
+    if (status.code() == StatusCode::kDeadlineExceeded) {
+      ++counters_.deadline_exceeded;
+    }
   }
   latency_ring_[latency_next_] = latency_ms;
   latency_next_ = (latency_next_ + 1) % latency_ring_.size();
@@ -208,15 +272,22 @@ ServiceStats QueryService::stats() const {
   }
   out.cache_resident_bytes = cache.resident_bytes;
   if (!window.empty()) {
-    auto percentile = [&window](double p) {
-      size_t idx = static_cast<size_t>(p * static_cast<double>(window.size() - 1));
-      std::nth_element(window.begin(), window.begin() + idx, window.end());
-      return window[idx];
-    };
-    out.p50_ms = percentile(0.50);
-    out.p95_ms = percentile(0.95);
+    out.p50_ms = NearestRankPercentile(window, 0.50);
+    out.p95_ms = NearestRankPercentile(std::move(window), 0.95);
   }
   return out;
+}
+
+double NearestRankPercentile(std::vector<double> window, double p) {
+  if (window.empty()) return 0;
+  const size_t n = window.size();
+  // Ceil-based nearest rank (1-based): the previous floor(p * (n - 1))
+  // index under-reported the tail on small windows — with n=10 it put
+  // p95 at the 9th smallest sample instead of the 10th.
+  size_t rank = static_cast<size_t>(std::ceil(p * static_cast<double>(n)));
+  rank = std::min(std::max<size_t>(rank, 1), n);
+  std::nth_element(window.begin(), window.begin() + (rank - 1), window.end());
+  return window[rank - 1];
 }
 
 }  // namespace beas

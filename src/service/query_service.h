@@ -52,6 +52,32 @@ struct ServiceOptions {
   /// parallel fetch and morsel evaluation are answer-invariant at any
   /// thread count.
   size_t eval_thread_budget = 0;
+  /// Admission slots held back for high-priority submissions: normal
+  /// priority is rejected once queued >= max_queue - reserved_slots
+  /// (clamped so at least one normal slot survives), while high priority
+  /// may fill the queue to max_queue. 0 (the default) disables the
+  /// reservation — priorities then only matter to front-ends that map
+  /// them onto deadlines or quotas.
+  size_t reserved_slots = 0;
+};
+
+/// Admission priority of one submission (see ServiceOptions::reserved_slots).
+enum class QueryPriority {
+  kNormal = 0,
+  kHigh = 1,
+};
+
+/// Per-submission options; the {} default reproduces plain Submit.
+struct SubmitOptions {
+  /// Absolute wall-clock deadline; time_point::max() (the default) means
+  /// none. Propagated into the query's EvalOptions (QueryContext::eval),
+  /// so the executor cancels in-flight fetch/eval work with
+  /// kDeadlineExceeded at the next morsel boundary; a query whose
+  /// deadline expired while queued fails fast without executing at all.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  /// Admission priority (may use the reserved_slots headroom).
+  QueryPriority priority = QueryPriority::kNormal;
 };
 
 /// Handle of one submitted query; redeemed (once) by Wait.
@@ -79,6 +105,10 @@ struct ServiceStats {
   uint64_t queued = 0;       ///< admitted, not yet started (instantaneous)
   uint64_t in_flight = 0;    ///< currently executing (instantaneous)
   uint64_t maintenance_ops = 0;  ///< successful Insert/Remove mutations
+  /// Queries that finished with kDeadlineExceeded — whether they expired
+  /// while queued (never executed) or were cancelled mid-flight at a
+  /// morsel boundary. A subset of `failed`.
+  uint64_t deadline_exceeded = 0;
   /// Database versions: bumps on every completed mutation (and,
   /// conservatively, on partially-failed ones; never on a NotFound that
   /// touched nothing).
@@ -93,6 +123,15 @@ struct ServiceStats {
   double cache_hit_rate = 0;           ///< hits / (hits + misses); 0 if idle
   uint64_t cache_resident_bytes = 0;   ///< bytes currently held by the cache
 };
+
+/// Nearest-rank percentile with the ceil convention: the smallest value
+/// v such that at least ceil(p * n) of the n samples are <= v. Unlike
+/// the floor(p * (n-1)) index this never under-reports the tail on
+/// small windows (n=10, p=0.95 selects the 10th smallest, not the 9th).
+/// \p window is taken by value (the selection is destructive); returns 0
+/// for an empty window. Shared by QueryService::stats() and the net
+/// front-end's request-latency telemetry.
+double NearestRankPercentile(std::vector<double> window, double p);
 
 /// \brief A multi-session query server over one Beas instance.
 ///
@@ -114,13 +153,28 @@ class QueryService {
   /// the admission queue is full (the caller may retry later).
   Result<QueryTicket> Submit(QueryPtr q, double alpha);
 
+  /// Submit with per-query options: a deadline the executor enforces at
+  /// morsel boundaries, and an admission priority.
+  Result<QueryTicket> Submit(QueryPtr q, double alpha, const SubmitOptions& opts);
+
   /// Parses \p sql (in the caller's thread) and admits it.
   Result<QueryTicket> SubmitSql(const std::string& sql, double alpha);
+
+  /// SubmitSql with per-query options (see Submit above).
+  Result<QueryTicket> SubmitSql(const std::string& sql, double alpha,
+                                const SubmitOptions& opts);
 
   /// Blocks until \p ticket's query finishes and returns its answer (or
   /// its failure). Each ticket can be redeemed once; a second Wait — or
   /// a ticket this service never issued — returns NotFound.
   Result<ServiceAnswer> Wait(QueryTicket ticket);
+
+  /// Wait with a timeout: blocks at most \p timeout, then returns
+  /// kDeadlineExceeded *without* consuming the ticket — the query keeps
+  /// running and the ticket stays redeemable by a later Wait/WaitFor, so
+  /// a timed-out caller never leaks the slot. At most one thread may
+  /// wait on a given ticket at a time.
+  Result<ServiceAnswer> WaitFor(QueryTicket ticket, std::chrono::milliseconds timeout);
 
   /// Submit + Wait in one call: the synchronous session API.
   Result<ServiceAnswer> Answer(QueryPtr q, double alpha);
@@ -143,8 +197,9 @@ class QueryService {
   struct Pending;
 
   void RunQuery(std::shared_ptr<Pending> slot, QueryPtr q, double alpha,
+                SubmitOptions opts,
                 std::chrono::steady_clock::time_point submitted_at);
-  void RecordDone(double latency_ms, bool ok);
+  void RecordDone(double latency_ms, const Status& status);
 
   Beas* beas_;
   ServiceOptions options_;

@@ -64,6 +64,18 @@ TEST(SeriesToJsonTest, MaxRssIsPositiveOnThisPlatform) {
   EXPECT_GT(CurrentMaxRssKb(), 0u);
 }
 
+TEST(SeriesToJsonTest, MaxRssIsPlausiblyKilobytes) {
+  // ru_maxrss is kilobytes on Linux but BYTES on macOS; CurrentMaxRssKb
+  // normalizes per platform. An un-normalized bytes reading for this
+  // small test binary would land in the gigabytes-of-"KB" range, so a
+  // sanity band catches a 1024x unit slip on either platform: above the
+  // floor any real process needs, below a cap (64 GB in KB) that a
+  // bytes-mislabeled reading of even this binary would overshoot.
+  uint64_t kb = CurrentMaxRssKb();
+  EXPECT_GE(kb, 256u);
+  EXPECT_LT(kb, 64u * 1024 * 1024);
+}
+
 TEST(SeriesToJsonTest, NonFiniteValuesSerializeAsNull) {
   std::string json = SeriesToJson("t", "x", {"a"}, {"nanv", "infv"},
                                   {{std::nan(""), INFINITY}});

@@ -431,6 +431,125 @@ TEST_F(QueryServiceTest, FailedMaintenanceDoesNotAdvanceTheEpoch) {
   EXPECT_EQ(stats.maintenance_ops, 1u);
 }
 
+TEST(NearestRankPercentileTest, UsesCeilNearestRank) {
+  // n=10 is the regression case: the old floor(p * (n - 1)) index put
+  // p95 at the 9th smallest sample; ceil nearest-rank selects the 10th.
+  std::vector<double> ten;
+  for (int i = 1; i <= 10; ++i) ten.push_back(i);
+  EXPECT_EQ(NearestRankPercentile(ten, 0.95), 10.0);
+  EXPECT_EQ(NearestRankPercentile(ten, 0.50), 5.0);
+
+  // n=20, handed over unsorted (selection must not assume order).
+  std::vector<double> twenty;
+  for (int i = 20; i >= 1; --i) twenty.push_back(i);
+  EXPECT_EQ(NearestRankPercentile(twenty, 0.50), 10.0);
+  EXPECT_EQ(NearestRankPercentile(twenty, 0.95), 19.0);
+  EXPECT_EQ(NearestRankPercentile(twenty, 1.00), 20.0);
+  // The rank clamps into [1, n]: tiny p still selects the minimum.
+  EXPECT_EQ(NearestRankPercentile(twenty, 0.001), 1.0);
+
+  EXPECT_EQ(NearestRankPercentile({42.0}, 0.95), 42.0);
+  EXPECT_EQ(NearestRankPercentile({}, 0.95), 0.0);
+}
+
+TEST_F(QueryServiceTest, WaitForTimesOutWithoutConsumingTheTicket) {
+  ServiceOptions options;
+  options.workers = 1;
+  QueryService service(beas_.get(), options);
+  // Pin the sole worker behind the maintenance gate so the query cannot
+  // finish while we probe the timeout path.
+  std::optional<EpochGuard::WriteLock> gate(service.epoch_guard().LockWrite());
+  auto ticket = service.Submit(Q("select p.pid from person as p where p.city = 2"), 0.2);
+  ASSERT_TRUE(ticket.ok()) << ticket.status();
+
+  auto timed_out = service.WaitFor(*ticket, std::chrono::milliseconds(20));
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kDeadlineExceeded);
+  // The timeout did NOT consume the ticket: a second WaitFor still finds
+  // it (and times out again while the gate is held).
+  auto again = service.WaitFor(*ticket, std::chrono::milliseconds(20));
+  EXPECT_EQ(again.status().code(), StatusCode::kDeadlineExceeded);
+
+  gate.reset();
+  auto served = service.Wait(*ticket);
+  ASSERT_TRUE(served.ok()) << served.status();
+  // Redeeming consumed it: the usual once-only ticket contract resumes.
+  EXPECT_EQ(service.Wait(*ticket).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(QueryServiceTest, ExpiredDeadlineFailsFastAndDeterministically) {
+  QueryService service(beas_.get(), {});
+  QueryPtr q = Q("select p.city from friend as f, person as p "
+                 "where f.pid = 7 and f.fid = p.pid");
+  SubmitOptions opts;
+  opts.deadline = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+
+  // An already-expired deadline fails before planning — no meter, cache,
+  // or index traffic — so the outcome is bitwise repeatable.
+  std::vector<std::string> messages;
+  for (int i = 0; i < 2; ++i) {
+    auto ticket = service.Submit(q, 0.2, opts);
+    ASSERT_TRUE(ticket.ok()) << ticket.status();
+    auto served = service.Wait(*ticket);
+    ASSERT_FALSE(served.ok());
+    EXPECT_EQ(served.status().code(), StatusCode::kDeadlineExceeded);
+    messages.push_back(served.status().ToString());
+  }
+  EXPECT_EQ(messages[0], messages[1]);
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.failed, 2u);
+  EXPECT_EQ(stats.deadline_exceeded, 2u);
+  EXPECT_EQ(stats.completed, 0u);
+
+  // The service stays healthy: the same query without a deadline answers.
+  auto answer = service.Answer(q, 0.2);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_EQ(service.stats().completed, 1u);
+}
+
+TEST_F(QueryServiceTest, ReservedSlotsKeepHeadroomForHighPriority) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.max_queue = 3;
+  options.reserved_slots = 1;
+  QueryService service(beas_.get(), options);
+  QueryPtr q = Q("select p.pid from person as p where p.city = 2");
+
+  // Pin the worker on the first query so subsequent submissions stay
+  // queued deterministically.
+  std::optional<EpochGuard::WriteLock> gate(service.epoch_guard().LockWrite());
+  std::vector<QueryTicket> tickets;
+  auto first = service.Submit(q, 0.2);
+  ASSERT_TRUE(first.ok()) << first.status();
+  tickets.push_back(*first);
+  SpinUntil([&] { return service.stats().in_flight == 1; });
+
+  // Normal priority fills max_queue - reserved_slots = 2 slots...
+  for (int i = 0; i < 2; ++i) {
+    auto t = service.Submit(q, 0.2);
+    ASSERT_TRUE(t.ok()) << t.status();
+    tickets.push_back(*t);
+  }
+  // ...and the next normal submission bounces off the headroom.
+  EXPECT_EQ(service.Submit(q, 0.2).status().code(), StatusCode::kUnavailable);
+
+  // High priority may take the reserved slot up to the hard cap.
+  SubmitOptions high;
+  high.priority = QueryPriority::kHigh;
+  auto vip = service.Submit(q, 0.2, high);
+  ASSERT_TRUE(vip.ok()) << "high priority must use the reserved headroom: "
+                        << vip.status();
+  tickets.push_back(*vip);
+  EXPECT_EQ(service.Submit(q, 0.2, high).status().code(), StatusCode::kUnavailable);
+
+  gate.reset();
+  for (QueryTicket t : tickets) {
+    EXPECT_TRUE(service.Wait(t).ok());
+  }
+  EXPECT_EQ(service.stats().rejected, 2u);
+}
+
 TEST_F(QueryServiceTest, DestructorDrainsUnredeemedTickets) {
   QueryPtr q = Q("select p.pid from person as p where p.city = 4");
   {

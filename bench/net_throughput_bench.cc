@@ -120,6 +120,68 @@ PhaseResult RunPhase(Beas& beas, const std::vector<std::string>& workload,
   return out;
 }
 
+struct StreamingResult {
+  double ttfp_ms = 0;    // Query sent -> first page received
+  double total_ms = 0;   // Query sent -> done page received
+  double peak_cursor_kb = 0;
+  bool answers_match = true;
+};
+
+// One session streaming one large answer: the push pipeline's value is
+// the gap between ttfp_ms and total_ms (first rows arrive while the
+// query is still evaluating), paid for with a bounded cursor queue
+// whose peak the server's resident-bytes gauge reports.
+StreamingResult RunStreamingPhase(Beas& beas, const std::string& sql,
+                                  size_t want_rows, uint32_t page_rows,
+                                  double alpha) {
+  QueryService service(&beas, {});
+  NetServer server(&service);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "FATAL: NetServer::Start failed\n");
+    std::abort();
+  }
+  StreamingResult out;
+  auto client = NetClient::Connect("127.0.0.1", server.port());
+  if (!client.ok()) {
+    std::fprintf(stderr, "FATAL: connect failed: %s\n",
+                 client.status().ToString().c_str());
+    out.answers_match = false;
+    return out;
+  }
+  NetClient::QueryOptions opts;
+  opts.page_rows = page_rows;
+  auto t0 = std::chrono::steady_clock::now();
+  auto cursor = client->Query(sql, alpha, opts);
+  if (!cursor.ok()) {
+    std::fprintf(stderr, "FATAL: streamed query failed: %s\n",
+                 cursor.status().ToString().c_str());
+    out.answers_match = false;
+    return out;
+  }
+  size_t rows = 0;
+  bool first = true;
+  for (;;) {
+    auto page = client->Fetch(cursor->id);
+    if (!page.ok()) {
+      std::fprintf(stderr, "FATAL: fetch failed: %s\n",
+                   page.status().ToString().c_str());
+      out.answers_match = false;
+      return out;
+    }
+    if (first) {
+      out.ttfp_ms = MillisSince(t0);
+      first = false;
+    }
+    rows += page->rows.size();
+    if (page->done) break;
+  }
+  out.total_ms = MillisSince(t0);
+  out.peak_cursor_kb =
+      static_cast<double>(server.stats().cursor_resident_peak_bytes) / 1024.0;
+  out.answers_match = rows == want_rows;
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -246,6 +308,44 @@ int main(int argc, char** argv) {
     }
     PrintSeries("Net page-size sweep", "page_rows", xs,
                 {"qps", "pages_per_query", "p50_ms", "p95_ms", "answers_match"},
+                values);
+  }
+
+  // Sweep 3: time-to-first-page on one large answer (every row of one
+  // constraint group) — how far ahead of evaluation completion the
+  // streaming cursor delivers, and what the bounded queue costs in
+  // resident bytes. Lower-is-better series; the KB gauge gates under the
+  // memory tolerance (peak residency must stay O(pages), not O(answer)).
+  {
+    const std::string sql = "select y from r1 where x = 'g0'";
+    auto q = beas.Parse(sql);
+    auto want = q.ok() ? beas.Answer(*q, alpha) : q.status();
+    if (!want.ok()) {
+      std::fprintf(stderr, "FATAL: large-answer reference failed: %s\n",
+                   want.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<std::string> xs;
+    std::vector<std::vector<double>> values;
+    for (uint32_t page_rows : {64u, 1024u}) {
+      StreamingResult best;
+      for (int r = 0; r < reps; ++r) {
+        StreamingResult phase = RunStreamingPhase(beas, sql, want->table.size(),
+                                                  page_rows, alpha);
+        all_match &= phase.answers_match;
+        if (r == 0 || phase.total_ms < best.total_ms) best = phase;
+      }
+      std::printf(
+          "  stream page%-5u ttfp=%7.2fms total=%7.2fms peak_cursor=%6.1fKB "
+          "answers_match=%d\n",
+          page_rows, best.ttfp_ms, best.total_ms, best.peak_cursor_kb,
+          best.answers_match ? 1 : 0);
+      xs.push_back(StrCat(page_rows));
+      values.push_back({best.ttfp_ms, best.total_ms, best.peak_cursor_kb,
+                        best.answers_match ? 1.0 : 0.0});
+    }
+    PrintSeries("Net streaming large answer", "page_rows", xs,
+                {"ttfp_ms", "total_ms", "peak_cursor_kb", "answers_match"},
                 values);
   }
 

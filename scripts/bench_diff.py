@@ -9,8 +9,9 @@ are joined on (title, x, series) cells and every shared cell is compared:
     (improvements are reported as info only — accuracy series are
     "higher is better" scores in [0, 1]);
   * perf cells (series or title matching --perf-pattern, e.g. "_ms",
-    "time", "latency"): an *increase* beyond --rel-tol (relative, over a
-    --perf-floor absolute noise floor) flags drift — lower is better;
+    "time", "latency", "ttfp"): an *increase* beyond --rel-tol
+    (relative, over a --perf-floor absolute noise floor) flags drift —
+    lower is better;
   * latency cells (series matching --latency-pattern: percentile tails
     like "p50_ms"/"p95_ms"/"request_p95_ms" and anything named
     "latency"): lower-is-better like perf cells, but gated by their own
@@ -28,8 +29,9 @@ are joined on (title, x, series) cells and every shared cell is compared:
     higher-is-better drift unflaggable — pass --throughput-rel-tol < 1
     when --rel-tol is loosened for machine-dependent lower-is-better
     cells (the CI service smoke gate does);
-  * memory cells ("max_rss_kb", whether a per-point series or the
-    top-level per-series field every harness JSON object carries):
+  * memory cells ("max_rss_kb" or any series with a "_kb" suffix, e.g.
+    the net bench's "peak_cursor_kb" — whether a per-point series or the
+    top-level max_rss_kb field every harness JSON object carries):
     lower-is-better with its own tolerance — an increase beyond
     --rss-rel-tol (relative, over a --rss-floor absolute noise floor in
     KB) flags drift. Top-level fields load as pseudo-cells with
@@ -116,7 +118,10 @@ def is_latency(series, latency_re):
 
 
 def is_rss(series):
-    return series == "max_rss_kb"
+    # Any KB-denominated gauge (peak RSS, peak cursor residency, ...)
+    # shares the memory rule: lower is better, gated by --rss-rel-tol
+    # over the --rss-floor.
+    return series == "max_rss_kb" or series.endswith("_kb")
 
 
 def compare(base_cells, cur_cells, args):
@@ -212,8 +217,10 @@ def main(argv=None):
     parser.add_argument("--perf-floor", type=float, default=1.0,
                         help="absolute perf noise floor, same unit as the series "
                              "(default 1.0, i.e. 1ms for *_ms series)")
-    parser.add_argument("--perf-pattern", default=r"_ms\b|_s\b|\btime\b|latency",
-                        help="regex marking perf (lower-is-better) cells")
+    parser.add_argument("--perf-pattern",
+                        default=r"_ms\b|_s\b|\btime\b|latency|ttfp",
+                        help="regex marking perf (lower-is-better) cells; "
+                             "ttfp (time to first page) is one by default")
     parser.add_argument("--throughput-pattern", default=r"qps|throughput|_per_s\b",
                         help="regex marking throughput (higher-is-better) cells")
     parser.add_argument("--latency-pattern",

@@ -184,6 +184,106 @@ class RssCellTest(unittest.TestCase):
             os.unlink(cur)
 
 
+class TtfpCellTest(unittest.TestCase):
+    """Time-to-first-page cells are perf (lower-is-better) by default,
+    even without a _ms suffix, and route to the perf branch rather than
+    the latency-percentile one."""
+
+    def _write(self, text):
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".jsonl", delete=False) as f:
+            f.write(text + "\n")
+            return f.name
+
+    @staticmethod
+    def _series(ttfp, bare=4.0):
+        return ('{"type":"series","title":"Net streaming large answer",'
+                '"x_label":"page_rows","series":["ttfp_ms","ttfp"],"points":'
+                f'[{{"x":"64","values":{{"ttfp_ms":{ttfp},"ttfp":{bare}}}}}]}}')
+
+    def test_ttfp_growth_beyond_tolerance_is_drift(self):
+        base = self._write(self._series(ttfp=10.0, bare=10.0))
+        cur = self._write(self._series(ttfp=40.0, bare=40.0))
+        try:
+            code, out = run([base, cur])
+        finally:
+            os.unlink(base)
+            os.unlink(cur)
+        self.assertEqual(code, 1)
+        # Both spellings gate through the perf branch ("slower"), not the
+        # latency-percentile one ("latency grew").
+        self.assertIn("ttfp_ms: slower 10 -> 40", out)
+        self.assertIn("x=64 ttfp: slower 10 -> 40", out)
+        self.assertNotIn("latency grew", out)
+
+    def test_ttfp_shrink_is_info(self):
+        base = self._write(self._series(ttfp=40.0))
+        cur = self._write(self._series(ttfp=10.0))
+        try:
+            code, out = run([base, cur])
+        finally:
+            os.unlink(base)
+            os.unlink(cur)
+        self.assertEqual(code, 0)
+        self.assertIn("ttfp_ms: perf 40 -> 10", out)
+
+
+class KbSuffixCellTest(unittest.TestCase):
+    """Any *_kb series (e.g. the net bench's peak_cursor_kb) shares the
+    memory rule: lower-is-better under --rss-rel-tol / --rss-floor,
+    independent of the perf tolerance."""
+
+    def _write(self, text):
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".jsonl", delete=False) as f:
+            f.write(text + "\n")
+            return f.name
+
+    @staticmethod
+    def _series(kb):
+        return ('{"type":"series","title":"Net streaming large answer",'
+                '"x_label":"page_rows","series":["peak_cursor_kb"],"points":'
+                f'[{{"x":"64","values":{{"peak_cursor_kb":{kb}}}}}]}}')
+
+    def test_kb_growth_beyond_tolerance_is_drift(self):
+        base = self._write(self._series(50000))
+        cur = self._write(self._series(90000))
+        try:
+            # Gated by --rss-rel-tol, not --rel-tol: a loose perf
+            # tolerance must not unfence cursor-memory growth.
+            code, out = run([base, cur, "--rel-tol", "100"])
+            self.assertEqual(code, 1)
+            self.assertIn("peak_cursor_kb: peak RSS grew 50000 -> 90000", out)
+            code, _ = run([base, cur, "--rss-rel-tol", "2.0"])
+            self.assertEqual(code, 0)
+        finally:
+            os.unlink(base)
+            os.unlink(cur)
+
+    def test_kb_shrink_and_floor_noise_are_info(self):
+        base = self._write(self._series(50000))
+        shrink = self._write(self._series(20000))
+        try:
+            code, out = run([base, shrink])
+            self.assertEqual(code, 0)
+            self.assertIn("peak_cursor_kb: peak RSS 50000 -> 20000 KB", out)
+        finally:
+            os.unlink(base)
+            os.unlink(shrink)
+        # 1 MB -> 3 MB is a 200% jump but tiny absolutely; the default
+        # 4096 KB floor absorbs it.
+        tiny = self._write(self._series(1024))
+        grown = self._write(self._series(3072))
+        try:
+            code, _ = run([tiny, grown])
+            self.assertEqual(code, 0)
+            code, _ = run([tiny, grown, "--rss-floor", "1"])
+            self.assertEqual(code, 1)
+        finally:
+            os.unlink(tiny)
+            os.unlink(grown)
+
+
 class LatencyCellTest(unittest.TestCase):
     """Percentile-tail cells (p50_ms, p95_ms, request_p95_ms, latency):
     lower-is-better like perf, but gated by --latency-rel-tol /

@@ -1,0 +1,141 @@
+// Push-based answer delivery: the streaming counterpart of BeasAnswer.
+//
+// A materialized Answer() builds the full result table before the caller
+// sees a single row. An AnswerSink inverts that: the executor deposits
+// committed rows into the sink in the same deterministic order the
+// materialized path would append them (the deposit/commit discipline of
+// the morsel engine guarantees that order is thread-count-invariant), so
+// a consumer — a network cursor, a test harness — can start shipping
+// pages while evaluation is still running. The scalar observables (eta,
+// accessed, d', exactness) only exist once evaluation completes; they
+// arrive in one AnswerTrailer at Finish().
+
+#ifndef BEAS_ANSWER_SINK_H_
+#define BEAS_ANSWER_SINK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "beas/plan_cache.h"
+#include "common/result.h"
+#include "storage/table.h"
+#include "types/schema.h"
+
+namespace beas {
+
+/// \brief The scalar observables of a streamed answer, delivered once at
+/// Finish() — after the last row batch — because eta/accessed/d' are only
+/// known when evaluation completes.
+///
+/// Field-for-field these mirror BeasAnswer minus the table: a consumer
+/// that records the streamed rows plus this trailer can reconstruct a
+/// BeasAnswer byte-identical to the materialized path's.
+struct AnswerTrailer {
+  uint64_t total_rows = 0;  ///< rows delivered through Append(), total
+  double eta = 0.0;         ///< accuracy lower bound (1.0 when exact)
+  double d_prime = 0.0;     ///< observed distance bound backing eta
+  uint64_t accessed = 0;    ///< tuples fetched, metered against the budget
+  bool exact = false;       ///< plan was provably exact under the schema
+  double est_tariff = 0.0;  ///< planner's worst-case fetch estimate
+  bool plan_cached = false; ///< plan came from the plan cache
+  PlanCacheStats plan_cache;   ///< cache counters at answer time
+  uint64_t cache_hits = 0;     ///< block-cache hits charged to this query
+  uint64_t cache_misses = 0;   ///< block-cache misses charged to this query
+};
+
+/// \brief Consumer interface for streamed answers.
+///
+/// Contract (enforced by Beas::Answer's streaming overload and the
+/// executor):
+///  - Open(schema) is called exactly once, before any rows, as soon as
+///    the plan is known. Plan-time failures skip Open and go straight to
+///    Fail.
+///  - Append(rows) delivers committed rows in the exact order the
+///    materialized path would produce them; batches are never empty.
+///    A non-OK return cancels the query: the executor stops evaluating
+///    and the same status surfaces as the query's terminal status.
+///  - OnSharedReadsDone() fires once all reads of shared state are done
+///    (the executor has deep-copied its private D_Q); a sink holding an
+///    epoch read lock releases it here so backpressure stalls never
+///    block writers.
+///  - Exactly one of Finish(trailer) / Fail(status) terminates the
+///    stream. Finish may itself fail (e.g. flushing the final partial
+///    page races a cancelled consumer); that status becomes the query's
+///    terminal status.
+class AnswerSink {
+ public:
+  virtual ~AnswerSink() = default;
+
+  /// Announces the answer schema before any rows are appended.
+  virtual Status Open(const RelationSchema& schema) = 0;
+
+  /// Delivers the next batch of committed rows (never empty). Returning
+  /// a non-OK status cancels the producing query with that status.
+  virtual Status Append(std::vector<Tuple> rows) = 0;
+
+  /// All shared-state reads are complete; locks pinning shared state can
+  /// be released. Default: no-op.
+  virtual void OnSharedReadsDone() {}
+
+  /// Terminates a successful stream with the scalar observables.
+  virtual Status Finish(const AnswerTrailer& trailer) = 0;
+
+  /// Terminates a failed stream; rows already appended are void.
+  virtual void Fail(const Status& error) = 0;
+};
+
+/// \brief An AnswerSink that materializes everything it is fed — the
+/// degenerate one-page consumer, and the test harness's tool for pinning
+/// the streaming path against the materialized one.
+class CollectingAnswerSink : public AnswerSink {
+ public:
+  Status Open(const RelationSchema& schema) override {
+    table_ = Table(schema);
+    opened_ = true;
+    return Status::OK();
+  }
+
+  Status Append(std::vector<Tuple> rows) override {
+    ++batches_;
+    for (Tuple& row : rows) table_.AppendUnchecked(std::move(row));
+    return Status::OK();
+  }
+
+  Status Finish(const AnswerTrailer& trailer) override {
+    trailer_ = trailer;
+    finished_ = true;
+    return Status::OK();
+  }
+
+  void Fail(const Status& error) override {
+    error_ = error;
+    failed_ = true;
+  }
+
+  /// Rows streamed so far, in commit order.
+  const Table& table() const { return table_; }
+  /// Scalar observables; valid once finished().
+  const AnswerTrailer& trailer() const { return trailer_; }
+  /// Terminal failure; valid once failed().
+  const Status& error() const { return error_; }
+  bool opened() const { return opened_; }
+  bool finished() const { return finished_; }
+  bool failed() const { return failed_; }
+  /// Append() batches observed (streaming granularity, for tests).
+  size_t batches() const { return batches_; }
+
+ private:
+  Table table_{RelationSchema("answer", {})};
+  AnswerTrailer trailer_;
+  Status error_ = Status::OK();
+  bool opened_ = false;
+  bool finished_ = false;
+  bool failed_ = false;
+  size_t batches_ = 0;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_ANSWER_SINK_H_

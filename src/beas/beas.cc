@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "beas/answer_sink.h"
 #include "beas/query_context.h"
 #include "common/string_util.h"
 #include "ra/analysis.h"
@@ -104,6 +105,46 @@ Result<BeasAnswer> Beas::Answer(const QueryPtr& q, double alpha,
   answer.plan_cached = plan.from_cache;
   answer.plan_cache = plan_cache_stats();
   return answer;
+}
+
+Result<BeasAnswer> Beas::Answer(const QueryPtr& q, double alpha,
+                                const EvalOptions& eval, AnswerSink* sink) const {
+  // One Fail per failure path, exactly where the materialized overload
+  // would return the error.
+  auto fail = [sink](Status st) -> Status {
+    sink->Fail(st);
+    return st;
+  };
+  if (DeadlineExpired(eval)) {
+    return fail(Status::DeadlineExceeded("query deadline expired before planning"));
+  }
+  Result<BeasPlan> plan = PlanOnly(q, alpha);
+  if (!plan.ok()) return fail(plan.status());
+  uint64_t budget = static_cast<uint64_t>(
+      std::floor(alpha * static_cast<double>(db_size_)));
+  QueryContext ctx;
+  ctx.eval = eval;
+  Result<BeasAnswer> answer = executor_->Execute(*plan, budget, &ctx, sink);
+  if (!answer.ok()) return fail(answer.status());
+  answer->plan_cached = plan->from_cache;
+  answer->plan_cache = plan_cache_stats();
+  AnswerTrailer trailer;
+  trailer.total_rows = answer->streamed_rows;
+  trailer.eta = answer->eta;
+  trailer.d_prime = answer->d_prime;
+  trailer.accessed = answer->accessed;
+  trailer.exact = answer->exact;
+  trailer.est_tariff = answer->est_tariff;
+  trailer.plan_cached = answer->plan_cached;
+  trailer.plan_cache = answer->plan_cache;
+  trailer.cache_hits = answer->cache_hits;
+  trailer.cache_misses = answer->cache_misses;
+  // Finish can fail (flushing the last partial page races a cancelled or
+  // deadline-stalled consumer); that status is the query's terminal
+  // status, and the sink treats a failed Finish as stream failure — no
+  // additional Fail call.
+  BEAS_RETURN_IF_ERROR(sink->Finish(trailer));
+  return std::move(*answer);
 }
 
 Result<BeasAnswer> Beas::AnswerSql(const std::string& sql, double alpha) const {

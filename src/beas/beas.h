@@ -94,6 +94,21 @@ class Beas {
   Result<BeasAnswer> Answer(const QueryPtr& q, double alpha,
                             const EvalOptions& eval) const;
 
+  /// Streaming Answer: committed result rows are pushed into \p sink
+  /// (Open as soon as the plan is known, ordered Append batches as
+  /// morsels commit, then exactly one Finish-with-trailer or Fail) and
+  /// the returned BeasAnswer carries streamed_rows with an empty table.
+  /// Everything observable — rows and order, eta/accessed/d', the
+  /// OutOfBudget cut point, deadline behavior — is identical to the
+  /// materialized overloads; a CollectingAnswerSink reconstructs their
+  /// answer bit-for-bit. This call owns stream termination: every
+  /// return path has called Finish or Fail (never both), and a non-OK
+  /// status from the sink's own Append/Finish (a cancelled or stalled
+  /// consumer) becomes the query's terminal status. Safe to call
+  /// concurrently like the materialized overloads.
+  Result<BeasAnswer> Answer(const QueryPtr& q, double alpha,
+                            const EvalOptions& eval, AnswerSink* sink) const;
+
   /// Parses \p sql against the database schema and answers it.
   Result<BeasAnswer> AnswerSql(const std::string& sql, double alpha) const;
 

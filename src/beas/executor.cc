@@ -1,6 +1,8 @@
 #include "beas/executor.h"
 
 #include <algorithm>
+
+#include "beas/answer_sink.h"
 #include <atomic>
 #include <cmath>
 #include <condition_variable>
@@ -224,6 +226,15 @@ Status FetchUnitSequential(const IndexStore* store, const SpcUnit& unit, bool ve
       std::vector<const Tuple*> keys;
       std::vector<std::vector<FetchEntry>> chunk;
       for (size_t base = 0; base < probes.size(); base += kDefaultChunkCapacity) {
+        // Per-chunk cancellation: without this, one op with a huge probe
+        // set could overshoot the deadline by its whole fetch (measured
+        // by the overshoot tests; chunk granularity bounds it by one
+        // batch of work).
+        if (base > 0 && has_deadline &&
+            std::chrono::steady_clock::now() >= deadline) {
+          return Status::DeadlineExceeded(
+              "query deadline expired during index fetch");
+        }
         size_t m = std::min(kDefaultChunkCapacity, probes.size() - base);
         keys.clear();
         keys.reserve(m);
@@ -234,6 +245,12 @@ Status FetchUnitSequential(const IndexStore* store, const SpcUnit& unit, bool ve
       }
     } else {
       for (size_t p = 0; p < probes.size(); ++p) {
+        // Same chunk-granularity cancellation as the batched loop.
+        if (p > 0 && p % kDefaultChunkCapacity == 0 && has_deadline &&
+            std::chrono::steady_clock::now() >= deadline) {
+          return Status::DeadlineExceeded(
+              "query deadline expired during index fetch");
+        }
         BEAS_ASSIGN_OR_RETURN(
             FetchResult r, store->Fetch(op.family_id, op.level, probes[p].xkey, meter));
         fetched[p] = std::move(r.entries);
@@ -445,7 +462,17 @@ class ParallelFetchScheduler {
     const FetchOp& op = plan_.units[gop.unit].fetch.ops[gop.op];
     size_t base = sub * kDefaultChunkCapacity;
     size_t m = std::min(kDefaultChunkCapacity, state->probes.size() - base);
-    if (!abort_.load(std::memory_order_relaxed)) {
+    // Sub-batch entry is a cancellation point, bounding the deadline
+    // overshoot of one giant op to a chunk of fetch work instead of the
+    // whole probe set (same morsel granularity as RunOp entry; the error
+    // flows through the op's error slot like a fetch failure).
+    if (DeadlinePassed()) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (state->error.ok()) {
+        state->error = Status::DeadlineExceeded(
+            "query deadline expired during parallel fetch");
+      }
+    } else if (!abort_.load(std::memory_order_relaxed)) {
       std::vector<const Tuple*> keys;
       keys.reserve(m);
       for (size_t i = 0; i < m; ++i) keys.push_back(&state->probes[base + i].xkey);
@@ -614,6 +641,16 @@ Result<BeasAnswer> PlanExecutor::Execute(const BeasPlan& plan, uint64_t budget) 
 
 Result<BeasAnswer> PlanExecutor::Execute(const BeasPlan& plan, uint64_t budget,
                                          QueryContext* ctx) const {
+  return ExecuteImpl(plan, budget, ctx, /*sink=*/nullptr);
+}
+
+Result<BeasAnswer> PlanExecutor::Execute(const BeasPlan& plan, uint64_t budget,
+                                         QueryContext* ctx, AnswerSink* sink) const {
+  return ExecuteImpl(plan, budget, ctx, sink);
+}
+
+Result<BeasAnswer> PlanExecutor::ExecuteImpl(const BeasPlan& plan, uint64_t budget,
+                                             QueryContext* ctx, AnswerSink* sink) const {
   // An already-expired deadline fails deterministically before any fetch
   // or eval work touches the store (the basis of the net determinism
   // test: expired queries never charge the meter or the cache).
@@ -621,6 +658,11 @@ Result<BeasAnswer> PlanExecutor::Execute(const BeasPlan& plan, uint64_t budget,
     return Status::DeadlineExceeded("query deadline expired before execution");
   }
   ctx->meter.StartQuery(budget);
+  // The schema is known before any fetch work: open the stream now so a
+  // consumer can ship it while xi_F runs.
+  if (sink != nullptr) {
+    BEAS_RETURN_IF_ERROR(sink->Open(plan.query->output_schema()));
+  }
 
   // --- xi_F: materialize every unit's atoms through the index store. ---
   std::vector<std::vector<AtomRows>> unit_atoms(plan.units.size());
@@ -671,6 +713,11 @@ Result<BeasAnswer> PlanExecutor::Execute(const BeasPlan& plan, uint64_t budget,
       BEAS_RETURN_IF_ERROR(dq.AddTable(std::move(table)));
     }
   }
+  // D_Q is a private deep copy: from here on, evaluation touches no
+  // shared state, so a sink pinning shared reads (an epoch read lock)
+  // can release now — backpressure stalls below must never block
+  // writers.
+  if (sink != nullptr) sink->OnSharedReadsDone();
 
   // --- xi_E: evaluate the tree, tracking both S and S-hat. ---
   ThreadPool* eval_pool =
@@ -806,7 +853,32 @@ Result<BeasAnswer> PlanExecutor::Execute(const BeasPlan& plan, uint64_t budget,
     return Status::Internal("unknown EvalNode kind");
   };
 
-  BEAS_ASSIGN_OR_RETURN(EvalOut result, eval_node(*plan.root));
+  // Single-unit SPC plans (the dominant shape) stream for real: the
+  // evaluator pushes committed filter windows into the sink as they
+  // commit, long before the scalar observables below exist. Any other
+  // tree shape needs the full result for dedup/guard/aggregation, so it
+  // materializes through eval_node as always and pushes at the end.
+  EvalOut result;
+  bool streamed_live = false;
+  size_t streamed = 0;
+  if (sink != nullptr && plan.root->kind == EvalNode::Kind::kSpc &&
+      plan.units.size() == 1) {
+    streamed_live = true;
+    const SpcUnit& unit = plan.units[plan.root->unit];
+    result.s = Table(unit.query->output_schema());
+    result.s_hat = result.s;
+    if (!unit.unsatisfiable) {
+      size_t rows_materialized = 0;
+      BEAS_ASSIGN_OR_RETURN(
+          streamed,
+          evaluator.EvalStreaming(unit.rewritten, &rows_materialized,
+                                  [sink](std::vector<Tuple>&& rows) {
+                                    return sink->Append(std::move(rows));
+                                  }));
+    }
+  } else {
+    BEAS_ASSIGN_OR_RETURN(result, eval_node(*plan.root));
+  }
 
   // --- Runtime accuracy bound eta' (Fig 5 lines 6-7). ---
   BeasAnswer answer;
@@ -868,6 +940,23 @@ Result<BeasAnswer> PlanExecutor::Execute(const BeasPlan& plan, uint64_t budget,
                    ? 1.0
                    : 1.0 / (1.0 + std::max(plan.d_rel, d_prime + plan.d_cov));
   answer.table = std::move(result.s);
+  if (sink != nullptr) {
+    if (streamed_live) {
+      answer.streamed_rows = streamed;
+    } else {
+      // Degenerate one-page shape: the fully materialized result is
+      // pushed through the sink in window-sized chunks at the end.
+      const std::vector<Tuple>& rows = answer.table.rows();
+      for (size_t start = 0; start < rows.size(); start += kDefaultChunkCapacity) {
+        size_t n = std::min(kDefaultChunkCapacity, rows.size() - start);
+        std::vector<Tuple> chunk(rows.begin() + static_cast<ptrdiff_t>(start),
+                                 rows.begin() + static_cast<ptrdiff_t>(start + n));
+        BEAS_RETURN_IF_ERROR(sink->Append(std::move(chunk)));
+      }
+      answer.streamed_rows = answer.table.size();
+    }
+    answer.table = Table(plan.query->output_schema());
+  }
   return answer;
 }
 

@@ -54,6 +54,8 @@
 
 namespace beas {
 
+class AnswerSink;
+
 /// An approximate answer with its deterministic accuracy bound.
 struct BeasAnswer {
   Table table;          ///< Q(D_Q), schema = query output schema
@@ -72,6 +74,10 @@ struct BeasAnswer {
   /// the budget, so answers are identical at any hit rate.
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  /// Rows delivered through the AnswerSink by the streaming Execute
+  /// overload (`table` is left empty there); always 0 on the
+  /// materialized path.
+  uint64_t streamed_rows = 0;
 };
 
 /// \brief Executes BeasPlans against an IndexStore.
@@ -102,7 +108,27 @@ class PlanExecutor {
   /// QueryContext carrying the constructor's EvalOptions.
   Result<BeasAnswer> Execute(const BeasPlan& plan, uint64_t budget) const;
 
+  /// Streaming execution: identical to Execute in every observable —
+  /// rows and their order, eta/accessed/d', the Charge sequence and
+  /// OutOfBudget cut point, deadline behavior — except that committed
+  /// result rows are pushed into \p sink (Open, then ordered Append
+  /// batches) instead of materialized into the answer's table, and the
+  /// returned BeasAnswer carries streamed_rows with an empty table.
+  /// Single-unit SPC plans stream as filter windows commit; other tree
+  /// shapes (union/difference/group-by roots need the full result for
+  /// dedup/guard/aggregation) materialize internally and push at the
+  /// end. The executor never calls Finish or Fail — the caller
+  /// (Beas::Answer's streaming overload) owns stream termination.
+  Result<BeasAnswer> Execute(const BeasPlan& plan, uint64_t budget,
+                             QueryContext* ctx, AnswerSink* sink) const;
+
  private:
+  /// Shared body of the materialized (sink == nullptr) and streaming
+  /// paths — one implementation, so charge-order identity holds by
+  /// construction.
+  Result<BeasAnswer> ExecuteImpl(const BeasPlan& plan, uint64_t budget,
+                                 QueryContext* ctx, AnswerSink* sink) const;
+
   /// Returns the shared worker pool, creating it with \p threads workers
   /// on first use (later calls reuse the existing pool regardless of
   /// their thread count; see class comment).

@@ -121,7 +121,103 @@ class EvalImpl {
     return Status::Internal("unknown query node kind");
   }
 
+  // Streaming evaluation: same rows, order, Charge sequence and
+  // OutOfBudget cut point as Eval, delivered to `emit` incrementally.
+  // Only the dominant SPC-unit shape — a vectorized Project over a
+  // block that flattens to a single relation leaf — streams for real
+  // (batches flow as filter windows commit); every other shape
+  // materializes via Eval and emits window-sized chunks at the end.
+  Result<size_t> EvalStream(const QueryPtr& q, const Evaluator::RowEmitter& emit) {
+    if (options_.vectorized && q->kind() == QueryNode::Kind::kProject) {
+      if (DeadlineExpired(options_)) {
+        return Status::DeadlineExceeded("query deadline expired during evaluation");
+      }
+      const QueryPtr& child = q->child();
+      const bool block_child = child->kind() == QueryNode::Kind::kSelect ||
+                               child->kind() == QueryNode::Kind::kProduct;
+      FlatBlock block;
+      if (block_child) {
+        Flatten(child, &block);
+      } else {
+        block.leaves.push_back(child);
+      }
+      if (block.leaves.size() == 1 &&
+          block.leaves[0]->kind() == QueryNode::Kind::kRelation) {
+        // Every predicate must resolve against the single leaf, else the
+        // materialized path's "unapplied predicate" error applies — fall
+        // through and let Eval reproduce it exactly.
+        const RelationSchema& leaf_schema = block.leaves[0]->output_schema();
+        bool preds_ok = true;
+        for (const auto& cmp : block.preds) {
+          preds_ok = preds_ok && SchemaHasCmpAttrs(leaf_schema, cmp);
+        }
+        if (preds_ok) return StreamProjectedScan(q, block, block_child, emit);
+      }
+    }
+    // Fallback: materialize exactly as Eval would, then emit chunks.
+    BEAS_ASSIGN_OR_RETURN(Table out, Eval(q));
+    const std::vector<Tuple>& rows = out.rows();
+    for (size_t start = 0; start < rows.size(); start += kDefaultChunkCapacity) {
+      size_t n = std::min(kDefaultChunkCapacity, rows.size() - start);
+      std::vector<Tuple> chunk(rows.begin() + static_cast<ptrdiff_t>(start),
+                               rows.begin() + static_cast<ptrdiff_t>(start + n));
+      BEAS_RETURN_IF_ERROR(emit(std::move(chunk)));
+    }
+    return rows.size();
+  }
+
  private:
+  // The truly incremental path behind EvalStream: evaluate the single
+  // relation leaf (charging its base size like EvalRelation), stream it
+  // through the fused predicate cascade, and project + deduplicate each
+  // committed window before emitting it. The Charge sequence replicates
+  // the materialized path bit-for-bit: leaf size, then (when the child
+  // was a Select/Product block) the join block's survivor count, then
+  // the projected distinct count.
+  Result<size_t> StreamProjectedScan(const QueryPtr& q, const FlatBlock& block,
+                                     bool charge_block,
+                                     const Evaluator::RowEmitter& emit) {
+    BEAS_ASSIGN_OR_RETURN(Table leaf, Eval(block.leaves[0]));
+    std::vector<size_t> gather;
+    gather.reserve(q->project_attrs().size());
+    for (const auto& a : q->project_attrs()) {
+      // The block reorders columns to the child's output schema by name,
+      // so resolving names directly against the leaf reads the same
+      // columns the materialized projection would.
+      BEAS_ASSIGN_OR_RETURN(size_t i, leaf.schema().AttributeIndex(a));
+      gather.push_back(i);
+    }
+    std::vector<const Comparison*> cmps;
+    cmps.reserve(block.preds.size());
+    for (const auto& cmp : block.preds) cmps.push_back(&cmp);
+    const bool distinct = q->distinct();
+    std::unordered_set<Tuple, TupleHasher> seen;
+    size_t survivors = 0;
+    size_t emitted = 0;
+    auto on_window = [&](std::vector<Tuple>&& rows) -> Status {
+      survivors += rows.size();
+      std::vector<Tuple> batch;
+      batch.reserve(rows.size());
+      for (Tuple& row : rows) {
+        Tuple t;
+        t.reserve(gather.size());
+        for (size_t i : gather) t.push_back(row[i]);
+        // Table::Distinct keeps the first occurrence; a keep-first seen
+        // set over the stream reproduces it.
+        if (distinct && !seen.insert(t).second) continue;
+        batch.push_back(std::move(t));
+      }
+      emitted += batch.size();
+      if (batch.empty()) return Status::OK();
+      return emit(std::move(batch));
+    };
+    BEAS_RETURN_IF_ERROR(FilterTableBatched(leaf, cmps, /*out=*/nullptr, pool_,
+                                            options_.eval_threads,
+                                            options_.deadline, on_window));
+    if (charge_block) BEAS_RETURN_IF_ERROR(Charge(survivors));
+    BEAS_RETURN_IF_ERROR(Charge(emitted));
+    return emitted;
+  }
   Status Charge(size_t rows) {
     *rows_materialized_ += rows;
     if (*rows_materialized_ > options_.max_intermediate_rows) {
@@ -474,6 +570,14 @@ Result<Table> Evaluator::Eval(const QueryPtr& q, size_t* rows_materialized) cons
   *rows_materialized = 0;
   EvalImpl impl(db_, options_, rows_materialized, pool_);
   return impl.Eval(q);
+}
+
+Result<size_t> Evaluator::EvalStreaming(const QueryPtr& q,
+                                        size_t* rows_materialized,
+                                        const RowEmitter& emit) const {
+  *rows_materialized = 0;
+  EvalImpl impl(db_, options_, rows_materialized, pool_);
+  return impl.EvalStream(q, emit);
 }
 
 }  // namespace beas

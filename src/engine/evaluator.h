@@ -22,6 +22,8 @@
 
 #include <chrono>
 #include <cstddef>
+#include <functional>
+#include <vector>
 
 #include "common/result.h"
 #include "ra/ast.h"
@@ -120,6 +122,24 @@ class Evaluator {
   /// accumulated), so any number of morsel workers can evaluate
   /// independent queries through one shared Evaluator.
   Result<Table> Eval(const QueryPtr& q, size_t* rows_materialized) const;
+
+  /// Receives committed result-row batches in output order (batches are
+  /// never empty). A non-OK return cancels the evaluation with that
+  /// status.
+  using RowEmitter = std::function<Status(std::vector<Tuple>&&)>;
+
+  /// Streaming Eval: instead of returning a Table, delivers the result
+  /// rows to \p emit incrementally and returns the total row count.
+  /// The rows, their order, the intermediate-row Charge sequence (and
+  /// thus the OutOfBudget cut point), and deadline semantics are
+  /// identical to Eval — for streamable shapes (a vectorized Project
+  /// over a single-relation filter block, the dominant SPC-unit shape)
+  /// batches flow out as filter windows commit, before evaluation
+  /// finishes; any other shape materializes internally and emits in
+  /// window-sized chunks at the end. Thread-safe like the two-argument
+  /// Eval.
+  Result<size_t> EvalStreaming(const QueryPtr& q, size_t* rows_materialized,
+                               const RowEmitter& emit) const;
 
   /// Total rows materialized by the last single-argument Eval call (for
   /// the full-scan cost accounting in the scalability benches).

@@ -171,7 +171,8 @@ Result<CompiledComparison> CompileComparison(const RelationSchema& schema,
 
 Status FilterTableBatched(const Table& in, const std::vector<const Comparison*>& cmps,
                           Table* out, ThreadPool* pool, int eval_threads,
-                          std::chrono::steady_clock::time_point deadline) {
+                          std::chrono::steady_clock::time_point deadline,
+                          const FilterWindowEmitter& on_window) {
   const RelationSchema& schema = in.schema();
   std::vector<CompiledComparison> compiled;
   compiled.reserve(cmps.size());
@@ -188,6 +189,22 @@ Status FilterTableBatched(const Table& in, const std::vector<const Comparison*>&
   // columns are re-read, e.g. aggregates and the executor guard).
   const std::vector<Tuple>& rows = in.rows();
   const size_t windows = NumChunkWindows(rows.size());
+
+  // Shared commit step of both paths: append survivors to `out` (when
+  // set) and/or hand the window's batch to `on_window` — identical rows
+  // in identical order either way.
+  auto commit_window = [&](size_t start, const SelectionVector& sel) -> Status {
+    if (out != nullptr) {
+      for (uint32_t r : sel) out->AppendUnchecked(rows[start + r]);
+    }
+    if (on_window != nullptr && !sel.empty()) {
+      std::vector<Tuple> batch;
+      batch.reserve(sel.size());
+      for (uint32_t r : sel) batch.push_back(rows[start + r]);
+      return on_window(std::move(batch));
+    }
+    return Status::OK();
+  };
 
   if (pool != nullptr && eval_threads > 1 && windows > 1) {
     // Morsel-parallel path: windows are claimed off a shared cursor and
@@ -218,8 +235,7 @@ Status FilterTableBatched(const Table& in, const std::vector<const Comparison*>&
     // Ordered commit: survivors appended window-major, then in selection
     // order — exactly the sequential emission order.
     for (size_t w = 0; w < windows; ++w) {
-      size_t start = w * kDefaultChunkCapacity;
-      for (uint32_t r : deposits[w]) out->AppendUnchecked(rows[start + r]);
+      BEAS_RETURN_IF_ERROR(commit_window(w * kDefaultChunkCapacity, deposits[w]));
     }
     return Status::OK();
   }
@@ -234,7 +250,7 @@ Status FilterTableBatched(const Table& in, const std::vector<const Comparison*>&
     }
     size_t n = std::min(kDefaultChunkCapacity, rows.size() - start);
     FilterWindow(rows, start, n, compiled, &sel);
-    for (uint32_t r : sel) out->AppendUnchecked(rows[start + r]);
+    BEAS_RETURN_IF_ERROR(commit_window(start, sel));
   }
   return Status::OK();
 }

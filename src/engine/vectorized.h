@@ -8,6 +8,7 @@
 #define BEAS_ENGINE_VECTORIZED_H_
 
 #include <chrono>
+#include <functional>
 #include <vector>
 
 #include "common/result.h"
@@ -93,11 +94,22 @@ class ThreadPool;
 /// filled (callers discard it). In the morsel path the claim protocol
 /// still runs every window to completion-accounting (expired claims
 /// deposit nothing), so the barrier never wedges.
+///
+/// \p on_window (optional) streams each window's survivors out as they
+/// commit: the callback receives one batch per non-empty window, in
+/// window order — exactly the rows (and order) the \p out append path
+/// produces, so a caller may pass out == nullptr and consume windows
+/// incrementally. In the morsel path the callback runs on the caller's
+/// thread during the ordered commit; in the sequential path it runs as
+/// each window is filtered, making it a true streaming point. A non-OK
+/// return cancels the filter with that status.
+using FilterWindowEmitter = std::function<Status(std::vector<Tuple>&&)>;
 Status FilterTableBatched(const Table& in, const std::vector<const Comparison*>& cmps,
                           Table* out, ThreadPool* pool = nullptr,
                           int eval_threads = 1,
                           std::chrono::steady_clock::time_point deadline =
-                              std::chrono::steady_clock::time_point::max());
+                              std::chrono::steady_clock::time_point::max(),
+                          const FilterWindowEmitter& on_window = nullptr);
 
 }  // namespace beas
 

@@ -141,14 +141,6 @@ Result<RemoteCursor> NetClient::Query(const std::string& sql, double alpha,
   ByteReader reader(response.data() + 1, response.size() - 1);
   RemoteCursor cursor;
   BEAS_ASSIGN_OR_RETURN(cursor.id, reader.ReadU64());
-  BEAS_ASSIGN_OR_RETURN(cursor.total_rows, reader.ReadU64());
-  BEAS_ASSIGN_OR_RETURN(cursor.eta, reader.ReadF64());
-  BEAS_ASSIGN_OR_RETURN(cursor.d_prime, reader.ReadF64());
-  BEAS_ASSIGN_OR_RETURN(cursor.accessed, reader.ReadU64());
-  BEAS_ASSIGN_OR_RETURN(uint8_t exact, reader.ReadU8());
-  cursor.exact = exact != 0;
-  BEAS_ASSIGN_OR_RETURN(cursor.epoch, reader.ReadU64());
-  BEAS_ASSIGN_OR_RETURN(cursor.latency_ms, reader.ReadF64());
   BEAS_ASSIGN_OR_RETURN(cursor.schema, ReadSchema(&reader));
   return cursor;
 }
@@ -176,6 +168,16 @@ Result<RemotePage> NetClient::Fetch(uint64_t cursor_id) {
     BEAS_ASSIGN_OR_RETURN(Tuple row, reader.ReadTuple());
     page.rows.push_back(std::move(row));
   }
+  if (page.done) {
+    BEAS_ASSIGN_OR_RETURN(page.total_rows, reader.ReadU64());
+    BEAS_ASSIGN_OR_RETURN(page.eta, reader.ReadF64());
+    BEAS_ASSIGN_OR_RETURN(page.d_prime, reader.ReadF64());
+    BEAS_ASSIGN_OR_RETURN(page.accessed, reader.ReadU64());
+    BEAS_ASSIGN_OR_RETURN(uint8_t exact, reader.ReadU8());
+    page.exact = exact != 0;
+    BEAS_ASSIGN_OR_RETURN(page.epoch, reader.ReadU64());
+    BEAS_ASSIGN_OR_RETURN(page.latency_ms, reader.ReadF64());
+  }
   return page;
 }
 
@@ -195,25 +197,30 @@ Result<RemoteAnswer> NetClient::QueryAll(const std::string& sql, double alpha,
   BEAS_ASSIGN_OR_RETURN(RemoteCursor cursor, Query(sql, alpha, opts));
   RemoteAnswer out;
   out.table = Table(cursor.schema);
-  out.eta = cursor.eta;
-  out.d_prime = cursor.d_prime;
-  out.accessed = cursor.accessed;
-  out.exact = cursor.exact;
-  out.epoch = cursor.epoch;
-  out.latency_ms = cursor.latency_ms;
-  out.table.Reserve(cursor.total_rows);
   // An empty answer still takes one Fetch: the cursor only releases
-  // server-side once a done page has been served.
+  // server-side once a done page has been served. The scalar fields fill
+  // from the done page's trailer — the row total is only known once the
+  // stream finished.
+  uint64_t announced = 0;
   for (;;) {
     BEAS_ASSIGN_OR_RETURN(RemotePage page, Fetch(cursor.id));
     ++out.pages;
     for (Tuple& row : page.rows) out.table.AppendUnchecked(std::move(row));
-    if (page.done) break;
+    if (page.done) {
+      announced = page.total_rows;
+      out.eta = page.eta;
+      out.d_prime = page.d_prime;
+      out.accessed = page.accessed;
+      out.exact = page.exact;
+      out.epoch = page.epoch;
+      out.latency_ms = page.latency_ms;
+      break;
+    }
   }
-  if (out.table.size() != cursor.total_rows) {
+  if (out.table.size() != announced) {
     return Status::DataLoss(StrCat("cursor ", cursor.id, " streamed ",
-                                   out.table.size(), " rows, announced ",
-                                   cursor.total_rows));
+                                   out.table.size(), " rows, trailer announced ",
+                                   announced));
   }
   return out;
 }

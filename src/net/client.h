@@ -1,10 +1,13 @@
 // Blocking client of the BEAS network front-end: one TCP connection =
 // one session. Connect() performs the kHello handshake; Query() submits
 // SQL with an optional page size and per-query deadline and returns a
-// cursor handle; Fetch() streams one page of rows at a time; QueryAll()
-// drains a whole cursor into a RemoteAnswer whose fields reconstruct the
-// in-process BeasAnswer bit-for-bit (asserted by the net differential
-// test). Used by examples, tests, and bench/net_throughput_bench.
+// cursor handle as soon as the server knows the answer schema (the
+// query is still evaluating); Fetch() streams one page of rows at a
+// time as the engine commits them, the last page carrying the answer's
+// scalar trailer; QueryAll() drains a whole cursor into a RemoteAnswer
+// whose fields reconstruct the in-process BeasAnswer bit-for-bit
+// (asserted by the net differential test). Used by examples, tests, and
+// bench/net_throughput_bench.
 
 #ifndef BEAS_NET_CLIENT_H_
 #define BEAS_NET_CLIENT_H_
@@ -21,24 +24,27 @@
 
 namespace beas {
 
-/// Handle of a server-side cursor plus the answer's scalar observables
-/// (rows stream separately via Fetch).
+/// Handle of a server-side streaming cursor. Only the id and the answer
+/// schema are known at Query() time — the scalar observables (row
+/// count, eta, accessed, ...) arrive in the final page's trailer, since
+/// the query is still running when the cursor opens.
 struct RemoteCursor {
   uint64_t id = 0;
   RelationSchema schema;
-  uint64_t total_rows = 0;
+};
+
+/// One page of a cursor's rows. A done page additionally carries the
+/// answer trailer (the fields below rows are valid only when done).
+struct RemotePage {
+  std::vector<Tuple> rows;
+  bool done = false;  ///< the cursor is exhausted and released server-side
+  uint64_t total_rows = 0;  ///< rows streamed over the cursor's lifetime
   double eta = 0;
   double d_prime = 0;
   uint64_t accessed = 0;
   bool exact = false;
   uint64_t epoch = 0;       ///< maintenance epoch the query ran under
   double latency_ms = 0;    ///< service-side submit-to-completion latency
-};
-
-/// One page of a cursor's rows.
-struct RemotePage {
-  std::vector<Tuple> rows;
-  bool done = false;  ///< the cursor is exhausted and released server-side
 };
 
 /// A fully drained answer, reassembled client-side from pages.
@@ -102,19 +108,27 @@ class NetClient {
       const std::string& host, uint16_t port,
       QueryPriority priority = QueryPriority::kNormal);
 
-  /// Submits \p sql at resource ratio \p alpha; on success the answer is
-  /// materialized server-side and ready to page through Fetch.
+  /// Submits \p sql at resource ratio \p alpha; returns as soon as the
+  /// server knows the answer schema — evaluation continues server-side
+  /// and rows page through Fetch as they commit.
   Result<RemoteCursor> Query(const std::string& sql, double alpha,
                              const QueryOptions& opts = QueryOptions());
 
-  /// Next page of \p cursor_id. After a page with done=true the cursor
-  /// is gone server-side; further fetches return NotFound.
+  /// Next page of \p cursor_id; blocks until the stream commits one.
+  /// After a page with done=true (which carries the answer trailer) the
+  /// cursor is gone server-side; further fetches return NotFound. A
+  /// query failing mid-stream answers the fetch that reaches the
+  /// failure with that error (pages before it were real committed
+  /// rows).
   Result<RemotePage> Fetch(uint64_t cursor_id);
 
-  /// Releases an unfinished cursor.
+  /// Releases an unfinished cursor (cancelling its stream).
   Status CloseCursor(uint64_t cursor_id);
 
-  /// Query + drain all pages into one RemoteAnswer.
+  /// Query + drain all pages into one RemoteAnswer, page by page (at
+  /// most one page is in client memory beyond the accumulated rows).
+  /// opts.page_rows sizes the pages; the trailer of the last page fills
+  /// the scalar fields and must match the streamed row count.
   Result<RemoteAnswer> QueryAll(const std::string& sql, double alpha,
                                 const QueryOptions& opts = QueryOptions());
 

@@ -28,16 +28,23 @@ enum class NetMessage : uint8_t {
   /// client -> server: f64 alpha, u32 page_rows (0 = server default),
   /// i64 deadline_ms (0 = none, relative to receipt), string sql.
   kQuery = 3,
-  /// server -> client: u64 cursor_id, u64 total_rows, f64 eta,
-  /// f64 d_prime, u64 accessed, u8 exact, u64 epoch, f64 latency_ms,
-  /// u32 arity, then per attribute {string name, u8 DataType}. The
-  /// answer is now materialized server-side; rows stream via kFetch.
+  /// server -> client: u64 cursor_id, u32 arity, then per attribute
+  /// {string name, u8 DataType}. Sent as soon as the query's output
+  /// schema is known (evaluation still running): rows stream via kFetch
+  /// as the engine commits them, and the answer's scalar observables
+  /// ride the final page's trailer.
   kQueryOk = 4,
-  /// client -> server: u64 cursor_id. Requests the next page.
+  /// client -> server: u64 cursor_id. Requests the next page (blocks
+  /// server-side until the stream has committed one).
   kFetch = 5,
   /// server -> client: u64 cursor_id, u8 done, u32 nrows, then nrows
   /// codec-encoded tuples. `done` means the cursor is exhausted and has
-  /// been released server-side (no kClose needed).
+  /// been released server-side (no kClose needed); a done page appends
+  /// the answer trailer {u64 total_rows, f64 eta, f64 d_prime,
+  /// u64 accessed, u8 exact, u64 epoch, f64 latency_ms}. A query that
+  /// fails mid-stream (OutOfBudget, deadline) answers a kFetch with
+  /// kError instead, after delivering every page committed before the
+  /// failure point was reached.
   kPage = 6,
   /// client -> server: u64 cursor_id. Releases an unfinished cursor.
   kClose = 7,

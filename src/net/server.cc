@@ -26,13 +26,32 @@ double MsBetween(std::chrono::steady_clock::time_point from,
 
 }  // namespace
 
-// One streaming result: the materialized answer (a private copy — safe
-// against concurrent epoch-guarded maintenance by construction) plus the
-// paging cursor over its rows.
+// One live query stream: a cursor wraps the service's StreamingTicket,
+// whose bounded page queue is the only server-side copy of the answer
+// — pages become available as morsels commit and are dropped as kFetch
+// drains them. Destroying the cursor (close, teardown, error) cancels
+// the stream, which unblocks a backpressured producer.
 struct Cursor {
-  ServiceAnswer answer;
-  uint32_t page_rows = 0;
-  size_t next_row = 0;
+  StreamingTicket ticket;
+};
+
+// Server-wide cursor-residency counters. Held by shared_ptr in both the
+// server and every stream's on_resident_delta hook: a worker thread
+// draining a stream after the server object is gone still writes
+// somewhere valid.
+struct NetServer::ResidentAccounting {
+  std::mutex mu;
+  int64_t current = 0;
+  uint64_t peak = 0;
+  uint64_t session_peak = 0;  ///< max over all sessions' per-session peaks
+};
+
+// One session's residency slice, likewise hook-shared (it must not
+// reference the Session itself, or session -> cursor -> hook -> session
+// would cycle).
+struct NetServer::SessionResident {
+  int64_t current = 0;  ///< guarded by the global ResidentAccounting::mu
+  uint64_t peak = 0;
 };
 
 // One connection's state. Owned jointly by the accept loop (for Stop's
@@ -46,6 +65,7 @@ struct NetServer::Session {
   uint64_t queries_used = 0;
   uint64_t next_cursor_id = 1;
   std::unordered_map<uint64_t, Cursor> cursors;
+  std::shared_ptr<SessionResident> resident = std::make_shared<SessionResident>();
 };
 
 NetServer::NetServer(QueryService* service, NetServerOptions options)
@@ -56,8 +76,10 @@ NetServer::NetServer(QueryService* service, NetServerOptions options)
   options_.default_page_rows = std::max<uint32_t>(1, options_.default_page_rows);
   options_.max_page_rows =
       std::max(options_.max_page_rows, options_.default_page_rows);
+  options_.cursor_queue_pages = std::max<size_t>(2, options_.cursor_queue_pages);
   options_.latency_window = std::max<size_t>(1, options_.latency_window);
   latency_ring_.assign(options_.latency_window, 0.0);
+  resident_ = std::make_shared<ResidentAccounting>();
 }
 
 NetServer::~NetServer() { Stop(); }
@@ -188,6 +210,10 @@ void NetServer::ServeSession(std::shared_ptr<Session> session) {
     }
     if (!SendFrame(fd, response).ok()) break;
   }
+  // Teardown cancels every open cursor: each ticket's destructor cancels
+  // its stream, so backpressured producers unblock and the queued pages
+  // (with their residency bytes) are dropped immediately.
+  session->cursors.clear();
   {
     std::lock_guard<std::mutex> lock(mu_);
     --counters_.sessions_active;
@@ -270,72 +296,61 @@ std::string NetServer::HandleQuery(Session* session, const std::string& payload)
   }
   ++session->queries_used;
 
-  SubmitOptions submit;
-  submit.priority = session->priority;
-  const bool has_deadline = *deadline_ms > 0;
-  if (has_deadline) {
-    submit.deadline = received_at + std::chrono::milliseconds(*deadline_ms);
+  StreamOptions stream;
+  stream.submit.priority = session->priority;
+  if (*deadline_ms > 0) {
+    stream.submit.deadline = received_at + std::chrono::milliseconds(*deadline_ms);
   }
-  Result<QueryTicket> ticket = service_->SubmitSql(*sql, *alpha, submit);
+  stream.page_rows = *page_rows == 0
+                         ? options_.default_page_rows
+                         : std::min(*page_rows, options_.max_page_rows);
+  stream.max_queued_pages = options_.cursor_queue_pages;
+  // The residency hook references only the shared accounting structs,
+  // never the server or the session: a stream outliving either still
+  // balances its bytes to zero.
+  stream.on_resident_delta = [global = resident_,
+                              local = session->resident](int64_t delta) {
+    std::lock_guard<std::mutex> lock(global->mu);
+    global->current += delta;
+    if (global->current > 0 &&
+        static_cast<uint64_t>(global->current) > global->peak) {
+      global->peak = static_cast<uint64_t>(global->current);
+    }
+    local->current += delta;
+    if (local->current > 0 &&
+        static_cast<uint64_t>(local->current) > local->peak) {
+      local->peak = static_cast<uint64_t>(local->current);
+      global->session_peak = std::max(global->session_peak, local->peak);
+    }
+  };
+  Result<StreamingTicket> ticket =
+      service_->SubmitStreamingSql(*sql, *alpha, stream);
   if (!ticket.ok()) {
     RecordRequestLatency(
         MsBetween(received_at, std::chrono::steady_clock::now()));
     return ErrorResponse(ticket.status());
   }
-  Result<ServiceAnswer> answer = Status::Internal("query did not run");
-  if (has_deadline) {
-    // The engine cancels at the next morsel boundary after the deadline,
-    // so the ticket resolves within one morsel of it; wait_slack covers
-    // that lag. The blocking Wait is a backstop (e.g. a long queue wait
-    // ahead of a fast-failing expired query), not the expected path —
-    // either way the ticket is always redeemed, never leaked.
-    answer = service_->WaitFor(
-        *ticket, std::chrono::milliseconds(*deadline_ms) + options_.wait_slack);
-    if (!answer.ok() &&
-        answer.status().code() == StatusCode::kDeadlineExceeded) {
-      // Ambiguous: either the wait timed out (ticket still pending) or
-      // the query itself finished kDeadlineExceeded (ticket consumed).
-      // Redeem the pending case with a blocking Wait; NotFound here
-      // means WaitFor already delivered the query's own outcome, which
-      // must not be clobbered.
-      Result<ServiceAnswer> redeemed = service_->Wait(*ticket);
-      if (redeemed.status().code() != StatusCode::kNotFound) {
-        answer = std::move(redeemed);
-      }
-    }
-  } else {
-    answer = service_->Wait(*ticket);
-  }
+  // kQueryOk ships as soon as the schema is known — the query is still
+  // evaluating, and its rows reach this session through the cursor as
+  // morsels commit. A plan-time failure (bad SQL was caught at submit;
+  // OutOfBudget planning, pre-plan deadline expiry) surfaces here.
+  Result<RelationSchema> schema = ticket->WaitSchema();
   double latency_ms = MsBetween(received_at, std::chrono::steady_clock::now());
   RecordRequestLatency(latency_ms);
-  if (!answer.ok()) {
-    if (answer.status().code() == StatusCode::kDeadlineExceeded) {
+  if (!schema.ok()) {
+    if (schema.status().code() == StatusCode::kDeadlineExceeded) {
       std::lock_guard<std::mutex> lock(mu_);
       ++counters_.deadline_exceeded;
     }
-    return ErrorResponse(answer.status());
+    return ErrorResponse(schema.status());
   }
 
-  Cursor cursor;
-  cursor.answer = std::move(*answer);
-  cursor.page_rows = *page_rows == 0
-                         ? options_.default_page_rows
-                         : std::min(*page_rows, options_.max_page_rows);
   uint64_t cursor_id = session->next_cursor_id++;
-  const ServiceAnswer& sa = cursor.answer;
-
   std::string out;
   PutU8(&out, static_cast<uint8_t>(NetMessage::kQueryOk));
   PutU64(&out, cursor_id);
-  PutU64(&out, sa.answer.table.size());
-  PutF64(&out, sa.answer.eta);
-  PutF64(&out, sa.answer.d_prime);
-  PutU64(&out, sa.answer.accessed);
-  PutU8(&out, sa.answer.exact ? 1 : 0);
-  PutU64(&out, sa.epoch);
-  PutF64(&out, sa.latency_ms);
-  PutSchema(&out, sa.answer.table.schema());
-  session->cursors.emplace(cursor_id, std::move(cursor));
+  PutSchema(&out, *schema);
+  session->cursors.emplace(cursor_id, Cursor{std::move(*ticket)});
   return out;
 }
 
@@ -349,26 +364,47 @@ std::string NetServer::HandleFetch(Session* session, const std::string& payload)
         Status::NotFound(StrCat("unknown or exhausted cursor ", *cursor_id)));
   }
   Cursor& cursor = it->second;
-  const Table& table = cursor.answer.answer.table;
-  size_t n = std::min<size_t>(cursor.page_rows, table.size() - cursor.next_row);
-  bool done = cursor.next_row + n >= table.size();
+  // Blocks until the stream has a page to serve (or is terminal). A
+  // mid-stream failure — OutOfBudget past the cut point, a deadline
+  // expiring after pages already shipped — surfaces here as the error
+  // answer to the kFetch that reaches the failure point; the committed
+  // prefix was already delivered.
+  Result<StreamPage> page = cursor.ticket.NextPage();
+  if (!page.ok()) {
+    session->cursors.erase(it);
+    if (page.status().code() == StatusCode::kDeadlineExceeded) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.deadline_exceeded;
+    }
+    return ErrorResponse(page.status());
+  }
 
   std::string out;
   PutU8(&out, static_cast<uint8_t>(NetMessage::kPage));
   PutU64(&out, *cursor_id);
-  PutU8(&out, done ? 1 : 0);
-  PutU32(&out, static_cast<uint32_t>(n));
-  for (size_t i = 0; i < n; ++i) PutTuple(&out, table.row(cursor.next_row + i));
-  cursor.next_row += n;
+  PutU8(&out, page->last ? 1 : 0);
+  PutU32(&out, static_cast<uint32_t>(page->rows.size()));
+  for (const Tuple& row : page->rows) PutTuple(&out, row);
+  if (page->last) {
+    // The answer trailer: the scalars a materialized kQueryOk used to
+    // carry, now known only once evaluation finished.
+    const ServiceAnswer& sa = page->final;
+    PutU64(&out, sa.answer.streamed_rows);
+    PutF64(&out, sa.answer.eta);
+    PutF64(&out, sa.answer.d_prime);
+    PutU64(&out, sa.answer.accessed);
+    PutU8(&out, sa.answer.exact ? 1 : 0);
+    PutU64(&out, sa.epoch);
+    PutF64(&out, sa.latency_ms);
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++counters_.pages_sent;
-    counters_.rows_sent += n;
+    counters_.rows_sent += page->rows.size();
   }
-  // A drained cursor releases its materialized answer immediately; the
-  // final page carries the `done` flag so the client knows not to ask
-  // again.
-  if (done) session->cursors.erase(it);
+  // A drained cursor releases its stream immediately; the final page
+  // carries the `done` flag so the client knows not to ask again.
+  if (page->last) session->cursors.erase(it);
   return out;
 }
 
@@ -408,6 +444,13 @@ NetStats NetServer::stats() const {
     size_t n = static_cast<size_t>(
         std::min<uint64_t>(latency_count_, latency_ring_.size()));
     window.assign(latency_ring_.begin(), latency_ring_.begin() + n);
+  }
+  {
+    std::lock_guard<std::mutex> lock(resident_->mu);
+    out.cursor_resident_bytes =
+        resident_->current > 0 ? static_cast<uint64_t>(resident_->current) : 0;
+    out.cursor_resident_peak_bytes = resident_->peak;
+    out.session_peak_resident_bytes = resident_->session_peak;
   }
   if (!window.empty()) {
     out.request_p50_ms = NearestRankPercentile(window, 0.50);

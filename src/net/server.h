@@ -2,12 +2,15 @@
 // a listening socket, speaks the length-prefixed protocol of
 // net/protocol.h, and serves each connection from its own thread. Every
 // session carries an id, an admission priority, and an auth-style query
-// quota; answers materialize server-side and stream to the client in
-// ColumnChunk-sized pages through per-session cursors; per-query
-// deadlines propagate into the engine (QueryContext::eval.deadline), so
-// an expired caller cancels in-flight fetch/eval work at the next morsel
-// boundary instead of holding a worker hostage. See
-// docs/ARCHITECTURE.md "Network front-end".
+// quota; answers stream: a cursor wraps a StreamingTicket whose pages
+// become available as the engine commits morsels, so the first page
+// ships while evaluation is still running and server residency stays
+// bounded by the ticket's page queue instead of the answer size.
+// Per-query deadlines propagate into the engine
+// (QueryContext::eval.deadline), so an expired caller cancels in-flight
+// fetch/eval work at the next morsel boundary instead of holding a
+// worker hostage. See docs/ARCHITECTURE.md "Network front-end" and
+// "Streaming answer pipeline".
 
 #ifndef BEAS_NET_SERVER_H_
 #define BEAS_NET_SERVER_H_
@@ -55,12 +58,16 @@ struct NetServerOptions {
   /// Incoming frames above this are rejected as DataLoss (a query frame
   /// only carries SQL text, so the default is generous).
   uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
-  /// Grace added to a deadlined query's WaitFor: the engine cancels at
-  /// the next morsel boundary, which can lag the deadline by one
-  /// morsel's work; the slack keeps the common case on the no-ticket-
-  /// abandoned path (a blocking Wait mops up if even the slack expires).
-  std::chrono::milliseconds wait_slack{250};
+  /// Pages a cursor's stream may buffer ahead of the client (the
+  /// StreamOptions::max_queued_pages backpressure bound): peak cursor
+  /// residency is O(page_rows * (cursor_queue_pages + 1)) per stream —
+  /// queued pages plus the producer's in-hand page — however large the
+  /// answer. Clamped to >= 2 (the cursor holds one page back to mark the
+  /// last one deterministically).
+  size_t cursor_queue_pages = 4;
   /// Completed-request latencies kept for the request p50/p95 stats.
+  /// A request latency is kQuery receipt -> kQueryOk ready, which for a
+  /// streaming cursor is time-to-schema, not time-to-completion.
   size_t latency_window = 512;
 };
 
@@ -80,7 +87,15 @@ struct NetStats {
   uint64_t quota_rejections = 0;  ///< queries bounced off the session quota
   uint64_t deadline_exceeded = 0; ///< queries answered kDeadlineExceeded
   uint64_t errors_sent = 0;       ///< kError frames sent
-  double request_p50_ms = 0;      ///< kQuery receipt -> response ready
+  /// Bytes currently buffered in cursor page queues across all sessions;
+  /// incremented as the engine commits pages, decremented as kFetch
+  /// drains (or a cancel/failure drops) them. Bounded per cursor by
+  /// page_rows * cursor_queue_pages, never by the answer size.
+  uint64_t cursor_resident_bytes = 0;
+  uint64_t cursor_resident_peak_bytes = 0;  ///< lifetime peak of the above
+  /// Largest peak any single session's cursors reached, lifetime.
+  uint64_t session_peak_resident_bytes = 0;
+  double request_p50_ms = 0;      ///< kQuery receipt -> kQueryOk ready
   double request_p95_ms = 0;      ///< ceil nearest-rank, like the service
   ServiceStats service;           ///< service snapshot at stats() time
 };
@@ -117,6 +132,8 @@ class NetServer {
 
  private:
   struct Session;
+  struct ResidentAccounting;
+  struct SessionResident;
 
   void AcceptLoop();
   void ServeSession(std::shared_ptr<Session> session);
@@ -136,6 +153,10 @@ class NetServer {
 
   mutable std::mutex mu_;
   NetStats counters_;                ///< request p50/p95 fields unused here
+  /// Cursor-residency counters, shared (by shared_ptr) with every
+  /// stream's on_resident_delta hook so a worker finishing a stream
+  /// after the server is gone still has somewhere safe to write.
+  std::shared_ptr<ResidentAccounting> resident_;
   std::vector<double> latency_ring_; ///< last latency_window request latencies
   size_t latency_next_ = 0;
   uint64_t latency_count_ = 0;

@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <condition_variable>
+#include <deque>
+#include <iterator>
 #include <mutex>
+#include <optional>
 #include <utility>
 
+#include "beas/answer_sink.h"
 #include "common/string_util.h"
 
 namespace beas {
@@ -18,6 +22,256 @@ double MsBetween(std::chrono::steady_clock::time_point from,
 }
 
 }  // namespace
+
+size_t ApproxTupleBytes(const Tuple& t) {
+  size_t bytes = sizeof(Tuple) + t.size() * sizeof(Value);
+  for (const Value& v : t) {
+    if (v.is_string()) bytes += v.as_string().size();
+  }
+  return bytes;
+}
+
+/// The shared state of one streaming query: the producer side is the
+/// AnswerSink the engine pushes committed rows into; the consumer side
+/// is what StreamingTicket wraps. One mutex guards the page queue and
+/// the terminal flags; the producer's partial page and the epoch read
+/// lock are producer-thread-only. The resident-bytes hook always fires
+/// outside the mutex.
+class StreamState final : public AnswerSink {
+ public:
+  StreamState(uint32_t page_rows, size_t max_queued_pages,
+              std::function<void(int64_t)> hook,
+              std::chrono::steady_clock::time_point deadline)
+      : page_rows_(std::max<uint32_t>(1, page_rows)),
+        // The consumer holds one page back (to resolve `last`
+        // deterministically), so the producer must be able to buffer at
+        // least two.
+        max_queued_(std::max<size_t>(2, max_queued_pages)),
+        hook_(std::move(hook)),
+        deadline_(deadline) {}
+
+  // --- Producer side (the engine's AnswerSink). ---
+
+  Status Open(const RelationSchema& schema) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (cancelled_) return Status::Unavailable("stream cancelled by consumer");
+      schema_ = schema;
+    }
+    cv_consumer_.notify_all();
+    return Status::OK();
+  }
+
+  Status Append(std::vector<Tuple> rows) override {
+    for (Tuple& row : rows) partial_.push_back(std::move(row));
+    while (partial_.size() >= page_rows_) {
+      std::vector<Tuple> page(
+          std::make_move_iterator(partial_.begin()),
+          std::make_move_iterator(partial_.begin() + page_rows_));
+      partial_.erase(partial_.begin(), partial_.begin() + page_rows_);
+      BEAS_RETURN_IF_ERROR(EnqueuePage(std::move(page)));
+    }
+    return Status::OK();
+  }
+
+  void OnSharedReadsDone() override { read_lock_.reset(); }
+
+  Status Finish(const AnswerTrailer&) override {
+    // Flush the tail partial page; this can hit backpressure like any
+    // other page, so it can fail on cancel or deadline — that status
+    // becomes the query's terminal status (via Beas::Answer).
+    if (!partial_.empty()) {
+      std::vector<Tuple> page(std::make_move_iterator(partial_.begin()),
+                              std::make_move_iterator(partial_.end()));
+      partial_.clear();
+      BEAS_RETURN_IF_ERROR(EnqueuePage(std::move(page)));
+    }
+    return Status::OK();
+  }
+
+  void Fail(const Status&) override {
+    // Rows already appended are void: drop everything buffered. The
+    // terminal status itself arrives via Complete (the worker owns the
+    // service-level bookkeeping).
+    partial_.clear();
+    DropQueuedPages();
+  }
+
+  /// Producer-thread-only: pins the epoch until OnSharedReadsDone.
+  void AdoptReadLock(EpochGuard::ReadLock lock) { read_lock_.emplace(std::move(lock)); }
+
+  /// Producer-thread-only: drops the pin if the engine never reached
+  /// OnSharedReadsDone (fetch-phase failure).
+  void ReleaseReadLock() { read_lock_.reset(); }
+
+  /// Terminal step, called exactly once by the worker after RecordDone:
+  /// publishes the final ServiceAnswer (or the failure) and wakes the
+  /// consumer. On failure, queued pages are dropped.
+  void Complete(Result<ServiceAnswer> result) {
+    if (!result.ok()) DropQueuedPages();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      result_ = std::move(result);
+      terminal_ = true;
+    }
+    cv_consumer_.notify_all();
+    cv_producer_.notify_all();
+  }
+
+  // --- Consumer side (wrapped by StreamingTicket). ---
+
+  Result<RelationSchema> WaitSchema() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_consumer_.wait(lock, [this] { return schema_.has_value() || terminal_; });
+    if (schema_.has_value()) return *schema_;
+    return result_.status();
+  }
+
+  Result<StreamPage> NextPage() {
+    StreamPage page;
+    size_t bytes = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // Hold one page back: a page is only served once a successor (or
+      // the terminal state) proves whether it is the last, so `last` is
+      // deterministic at any producer/consumer interleaving.
+      cv_consumer_.wait(lock, [this] { return pages_.size() >= 2 || terminal_; });
+      if (pages_.empty()) {
+        if (!result_.ok()) return result_.status();
+        // Exhausted (or empty) successful stream: an idempotent empty
+        // last page.
+        page.last = true;
+        page.final = *result_;
+        return page;
+      }
+      page.rows = std::move(pages_.front());
+      pages_.pop_front();
+      bytes = page_bytes_.front();
+      page_bytes_.pop_front();
+      if (terminal_ && result_.ok() && pages_.empty()) {
+        page.last = true;
+        page.final = *result_;
+      }
+    }
+    cv_producer_.notify_all();
+    if (hook_) hook_(-static_cast<int64_t>(bytes));
+    return page;
+  }
+
+  void Cancel() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (cancelled_) return;
+      cancelled_ = true;
+    }
+    DropQueuedPages();
+    cv_consumer_.notify_all();
+    cv_producer_.notify_all();
+  }
+
+ private:
+  Status EnqueuePage(std::vector<Tuple> page) {
+    size_t bytes = 0;
+    for (const Tuple& t : page) bytes += ApproxTupleBytes(t);
+    // Charge BEFORE the page becomes consumer-visible (and refund on the
+    // failure paths below): a page's decrement — NextPage after popping
+    // it, or DropQueuedPages — must never observably precede its
+    // increment, or the gauge transiently dips below the bytes actually
+    // buffered. The in-hand page is real memory while the producer waits
+    // out backpressure, so counting it from here is also the honest
+    // reading: residency peaks at (max_queued_pages + 1) pages.
+    if (hook_) hook_(static_cast<int64_t>(bytes));
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      auto ready = [this] { return cancelled_ || pages_.size() < max_queued_; };
+      if (deadline_ == std::chrono::steady_clock::time_point::max()) {
+        cv_producer_.wait(lock, ready);
+      } else if (!cv_producer_.wait_until(lock, deadline_, ready)) {
+        lock.unlock();
+        if (hook_) hook_(-static_cast<int64_t>(bytes));
+        return Status::DeadlineExceeded(
+            "query deadline expired while stream backpressured");
+      }
+      if (cancelled_) {
+        lock.unlock();
+        if (hook_) hook_(-static_cast<int64_t>(bytes));
+        return Status::Unavailable("stream cancelled by consumer");
+      }
+      pages_.push_back(std::move(page));
+      page_bytes_.push_back(bytes);
+    }
+    cv_consumer_.notify_all();
+    return Status::OK();
+  }
+
+  void DropQueuedPages() {
+    size_t dropped = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t b : page_bytes_) dropped += b;
+      pages_.clear();
+      page_bytes_.clear();
+    }
+    if (dropped > 0 && hook_) hook_(-static_cast<int64_t>(dropped));
+  }
+
+  const uint32_t page_rows_;
+  const size_t max_queued_;
+  const std::function<void(int64_t)> hook_;
+  const std::chrono::steady_clock::time_point deadline_;
+
+  // Producer-thread-only state (no lock): the fill page and the epoch
+  // pin (released as soon as the engine's shared reads are done, so
+  // backpressure below never blocks a writer).
+  std::vector<Tuple> partial_;
+  std::optional<EpochGuard::ReadLock> read_lock_;
+
+  std::mutex mu_;
+  std::condition_variable cv_consumer_;
+  std::condition_variable cv_producer_;
+  std::optional<RelationSchema> schema_;
+  std::deque<std::vector<Tuple>> pages_;
+  std::deque<size_t> page_bytes_;  ///< parallel to pages_
+  bool terminal_ = false;
+  bool cancelled_ = false;
+  Result<ServiceAnswer> result_ = Status::Internal("stream still running");
+};
+
+StreamingTicket::StreamingTicket(uint64_t id, std::shared_ptr<StreamState> state)
+    : id_(id), state_(std::move(state)) {}
+
+StreamingTicket::StreamingTicket(StreamingTicket&& other) noexcept
+    : id_(other.id_), state_(std::move(other.state_)) {
+  other.id_ = 0;
+}
+
+StreamingTicket& StreamingTicket::operator=(StreamingTicket&& other) noexcept {
+  if (this != &other) {
+    if (state_) state_->Cancel();
+    id_ = other.id_;
+    state_ = std::move(other.state_);
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+StreamingTicket::~StreamingTicket() {
+  if (state_) state_->Cancel();
+}
+
+Result<RelationSchema> StreamingTicket::WaitSchema() {
+  if (!state_) return Status::NotFound("empty streaming ticket");
+  return state_->WaitSchema();
+}
+
+Result<StreamPage> StreamingTicket::NextPage() {
+  if (!state_) return Status::NotFound("empty streaming ticket");
+  return state_->NextPage();
+}
+
+void StreamingTicket::Cancel() {
+  if (state_) state_->Cancel();
+}
 
 /// One submitted query's result slot. Shared between the worker job and
 /// the (at most one) waiter; owned past service shutdown by whichever
@@ -149,6 +403,45 @@ Result<ServiceAnswer> QueryService::Answer(QueryPtr q, double alpha) {
   return Wait(ticket);
 }
 
+Result<StreamingTicket> QueryService::SubmitStreaming(QueryPtr q, double alpha,
+                                                      const StreamOptions& opts) {
+  if (q == nullptr) return Status::InvalidArgument("query must not be null");
+  auto submitted_at = std::chrono::steady_clock::now();
+  std::shared_ptr<StreamState> state = std::make_shared<StreamState>(
+      opts.page_rows, opts.max_queued_pages, opts.on_resident_delta,
+      opts.submit.deadline);
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Same admission policy as Submit: streaming queries compete for the
+    // same queue slots (a stream is one query in flight).
+    size_t cap = options_.max_queue;
+    if (opts.submit.priority == QueryPriority::kNormal && options_.reserved_slots > 0) {
+      cap -= std::min(options_.reserved_slots, options_.max_queue - 1);
+    }
+    if (counters_.queued >= cap) {
+      ++counters_.rejected;
+      return Status::Unavailable(
+          StrCat("admission queue full (", counters_.queued, " queued, cap ",
+                 cap, "); retry later"));
+    }
+    ++counters_.queued;
+    ++counters_.submitted;
+    id = next_ticket_++;
+  }
+  pool_->Submit([this, state, q = std::move(q), alpha, opts, submitted_at] {
+    RunStreaming(state, q, alpha, opts, submitted_at);
+  });
+  return StreamingTicket(id, std::move(state));
+}
+
+Result<StreamingTicket> QueryService::SubmitStreamingSql(const std::string& sql,
+                                                         double alpha,
+                                                         const StreamOptions& opts) {
+  BEAS_ASSIGN_OR_RETURN(QueryPtr q, beas_->Parse(sql));
+  return SubmitStreaming(std::move(q), alpha, opts);
+}
+
 void QueryService::RunQuery(std::shared_ptr<Pending> slot, QueryPtr q, double alpha,
                             SubmitOptions opts,
                             std::chrono::steady_clock::time_point submitted_at) {
@@ -201,6 +494,55 @@ void QueryService::RunQuery(std::shared_ptr<Pending> slot, QueryPtr q, double al
     slot->done = true;
   }
   slot->cv.notify_all();
+}
+
+void QueryService::RunStreaming(std::shared_ptr<StreamState> state, QueryPtr q,
+                                double alpha, StreamOptions opts,
+                                std::chrono::steady_clock::time_point submitted_at) {
+  uint64_t in_flight;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --counters_.queued;
+    in_flight = ++counters_.in_flight;
+  }
+  // Identical thread-budget and deadline discipline to RunQuery: the
+  // streamed rows must be the rows a materialized run would return.
+  EvalOptions eval = beas_->eval_options();
+  if (options_.eval_thread_budget > 0) {
+    int allowed = static_cast<int>(std::max<uint64_t>(
+        1, options_.eval_thread_budget / std::max<uint64_t>(1, in_flight)));
+    eval.eval_threads = std::min(eval.eval_threads, allowed);
+    eval.fetch_threads = std::min(eval.fetch_threads, allowed);
+  }
+  eval.deadline = opts.submit.deadline;
+  Result<ServiceAnswer> out = Status::Internal("query did not run");
+  uint64_t epoch;
+  {
+    // The epoch pin moves into the sink, which releases it as soon as the
+    // engine's shared reads are done (OnSharedReadsDone, fired right
+    // after D_Q is privately copied). From then on the stream can stall
+    // on a slow consumer indefinitely without blocking maintenance
+    // writers behind the guard's writer preference.
+    EpochGuard::ReadLock read = guard_.LockRead();
+    epoch = read.epoch();
+    state->AdoptReadLock(std::move(read));
+    Result<BeasAnswer> answer = beas_->Answer(q, alpha, eval, state.get());
+    state->ReleaseReadLock();
+    if (answer.ok()) {
+      ServiceAnswer sa;
+      sa.answer = std::move(*answer);
+      sa.epoch = epoch;
+      out = std::move(sa);
+    } else {
+      out = answer.status();
+    }
+  }
+  double latency_ms = MsBetween(submitted_at, std::chrono::steady_clock::now());
+  if (out.ok()) out->latency_ms = latency_ms;
+  RecordDone(latency_ms, out.ok() ? Status::OK() : out.status());
+  // Publish terminal state last: by the time the consumer sees a `last`
+  // page (or the failure), latency/epoch/counters are all settled.
+  state->Complete(std::move(out));
 }
 
 void QueryService::RecordDone(double latency_ms, const Status& status) {

@@ -14,6 +14,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -124,6 +125,94 @@ struct ServiceStats {
   uint64_t cache_resident_bytes = 0;   ///< bytes currently held by the cache
 };
 
+/// Options of one streaming submission (SubmitStreaming).
+struct StreamOptions {
+  /// Admission priority and deadline, exactly as for Submit.
+  SubmitOptions submit;
+  /// Rows per page handed to NextPage (clamped to at least 1). The
+  /// stream's peak resident memory is O(page_rows * (max_queued_pages
+  /// + 1)): the queued pages plus the producer's in-hand page waiting
+  /// out backpressure.
+  uint32_t page_rows = 1024;
+  /// Backpressure bound: full pages buffered ahead of the consumer
+  /// before the producer blocks (clamped to at least 2 — the consumer
+  /// holds one page back to resolve `last` deterministically, so a
+  /// 1-page queue would deadlock). A slow consumer stalls only its own
+  /// query's worker; a stalled producer still honors the deadline and
+  /// cancellation.
+  size_t max_queued_pages = 4;
+  /// Optional accounting hook: called with +bytes when the producer cuts
+  /// a page (before it enters the queue, so a drain never observably
+  /// precedes its charge) and -bytes as pages drain (or drop on
+  /// failure/cancel), outside all stream locks. Must be thread-safe;
+  /// deltas sum to zero over the stream's lifetime. The net front-end's
+  /// cursor_resident_bytes telemetry plugs in here.
+  std::function<void(int64_t)> on_resident_delta;
+};
+
+/// One page of a streamed answer (StreamingTicket::NextPage).
+struct StreamPage {
+  std::vector<Tuple> rows;  ///< next page_rows rows (fewer on the last page)
+  /// True on the stream's final page: `final` is valid and no further
+  /// pages exist. An empty answer yields exactly one empty last page.
+  bool last = false;
+  /// The full ServiceAnswer (empty table; BeasAnswer::streamed_rows
+  /// carries the row total) — only meaningful when `last`.
+  ServiceAnswer final;
+};
+
+/// Approximate resident size of one queued tuple (container + Value
+/// payloads + string bytes): the unit of StreamOptions::on_resident_delta,
+/// exposed so telemetry and tests bound memory in the same currency.
+size_t ApproxTupleBytes(const Tuple& t);
+
+class StreamState;
+
+/// \brief Handle of one streaming query: pages become available as
+/// morsels commit, long before evaluation finishes.
+///
+/// Move-only. Dropping the ticket cancels the stream (the producer
+/// unblocks and the query terminates with Unavailable), so an abandoned
+/// consumer can never wedge a service worker. At most one thread may use
+/// a ticket at a time.
+class StreamingTicket {
+ public:
+  StreamingTicket() = default;
+  StreamingTicket(StreamingTicket&&) noexcept;
+  StreamingTicket& operator=(StreamingTicket&&) noexcept;
+  StreamingTicket(const StreamingTicket&) = delete;
+  StreamingTicket& operator=(const StreamingTicket&) = delete;
+  /// Cancels the stream if it is still live.
+  ~StreamingTicket();
+
+  /// Blocks until the answer schema is known (the plan is built, before
+  /// any fetch work) or the query failed at plan time; the first page
+  /// may still be minutes away. Idempotent.
+  Result<RelationSchema> WaitSchema();
+
+  /// Blocks until the next page is available and returns it; after the
+  /// `last` page the stream is exhausted. A query that fails mid-stream
+  /// delivers the pages committed before the failure, then the terminal
+  /// status (e.g. kDeadlineExceeded, kOutOfBudget) — the same status the
+  /// materialized Answer() would have returned.
+  Result<StreamPage> NextPage();
+
+  /// Cancels the stream: queued pages are dropped, the producer
+  /// unblocks, and the query terminates with Unavailable. Idempotent;
+  /// NextPage afterwards returns the cancellation status.
+  void Cancel();
+
+  /// Ticket id (0 for a default-constructed, empty ticket).
+  uint64_t id() const { return id_; }
+
+ private:
+  friend class QueryService;
+  StreamingTicket(uint64_t id, std::shared_ptr<StreamState> state);
+
+  uint64_t id_ = 0;
+  std::shared_ptr<StreamState> state_;
+};
+
 /// Nearest-rank percentile with the ceil convention: the smallest value
 /// v such that at least ceil(p * n) of the n samples are <= v. Unlike
 /// the floor(p * (n-1)) index this never under-reports the tail on
@@ -164,6 +253,21 @@ class QueryService {
   Result<QueryTicket> SubmitSql(const std::string& sql, double alpha,
                                 const SubmitOptions& opts);
 
+  /// Admits \p q as a streaming query: the returned ticket's pages
+  /// become available as the engine commits morsels, with a bounded
+  /// page queue (StreamOptions::max_queued_pages) backpressuring the
+  /// producer so a slow consumer stalls its own query, never the
+  /// service. Admission rules and counters are identical to Submit.
+  /// The streamed rows plus the last page's trailer are byte-identical
+  /// to the materialized Answer() — same rows and order, same
+  /// eta/accessed/d', same OutOfBudget or deadline cut point.
+  Result<StreamingTicket> SubmitStreaming(QueryPtr q, double alpha,
+                                          const StreamOptions& opts = {});
+
+  /// Parses \p sql (in the caller's thread) and admits it streaming.
+  Result<StreamingTicket> SubmitStreamingSql(const std::string& sql, double alpha,
+                                             const StreamOptions& opts = {});
+
   /// Blocks until \p ticket's query finishes and returns its answer (or
   /// its failure). Each ticket can be redeemed once; a second Wait — or
   /// a ticket this service never issued — returns NotFound.
@@ -199,6 +303,9 @@ class QueryService {
   void RunQuery(std::shared_ptr<Pending> slot, QueryPtr q, double alpha,
                 SubmitOptions opts,
                 std::chrono::steady_clock::time_point submitted_at);
+  void RunStreaming(std::shared_ptr<StreamState> state, QueryPtr q, double alpha,
+                    StreamOptions opts,
+                    std::chrono::steady_clock::time_point submitted_at);
   void RecordDone(double latency_ms, const Status& status);
 
   Beas* beas_;

@@ -1,7 +1,9 @@
-// Tests for the network front-end (src/net/): session handshake, paged
-// cursor streaming pinned byte-identical to in-process Beas::Answer
-// (via the differential harness's canonical serialization), per-query
-// deadline cancellation with kDeadlineExceeded, session quotas and
+// Tests for the network front-end (src/net/): session handshake,
+// streaming cursor pages pinned byte-identical to in-process
+// Beas::Answer (via the differential harness's canonical
+// serialization), first-page delivery while the query is still
+// evaluating, bounded cursor residency, per-query deadline cancellation
+// with kDeadlineExceeded (before and mid-stream), session quotas and
 // limits, and a stress case racing paging cursors against epoch-guarded
 // Insert/Remove. The suite carries the ctest label `net` and runs in
 // the ASan and TSan CI jobs.
@@ -152,20 +154,26 @@ TEST_F(NetTest, DrainedCursorsReleaseAndUnknownCursorsFail) {
   ASSERT_TRUE(client.ok()) << client.status();
 
   // Drain a cursor page by page; once the done page is served the
-  // cursor is gone server-side.
+  // cursor is gone server-side. The row total is only announced in the
+  // final page's trailer (the query was still running at kQueryOk time)
+  // and must match what actually streamed.
   NetClient::QueryOptions one_row;
   one_row.page_rows = 1;
   auto cursor = client->Query(kJoinSql, 0.2, one_row);
   ASSERT_TRUE(cursor.ok()) << cursor.status();
-  ASSERT_GT(cursor->total_rows, 0u);
   uint64_t streamed = 0;
+  uint64_t announced = 0;
   for (;;) {
     auto page = client->Fetch(cursor->id);
     ASSERT_TRUE(page.ok()) << page.status();
     streamed += page->rows.size();
-    if (page->done) break;
+    if (page->done) {
+      announced = page->total_rows;
+      break;
+    }
   }
-  EXPECT_EQ(streamed, cursor->total_rows);
+  ASSERT_GT(streamed, 0u);
+  EXPECT_EQ(streamed, announced);
   EXPECT_EQ(client->Fetch(cursor->id).status().code(), StatusCode::kNotFound);
   EXPECT_EQ(client->CloseCursor(cursor->id).code(), StatusCode::kNotFound);
 
@@ -367,6 +375,144 @@ TEST_F(NetTest, CursorsStreamSafelyAgainstEpochGuardedMaintenance) {
   EXPECT_EQ(mismatches.load(), 0);
   EXPECT_EQ(service.stats().maintenance_ops,
             static_cast<uint64_t>(kMaintenanceOps) + 2);
+}
+
+// Regression for the QueryAll page_rows knob: an answer spanning many
+// pages reassembles byte-identically, with exactly ceil(rows/page_rows)
+// kPage frames and a trailer that matches the streamed count.
+TEST_F(NetTest, MultiPageQueryAllRoundTripsByteIdentically) {
+  QueryService service(beas_.get(), {});
+  NetServer server(&service);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Dial(server);
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  const std::string sql = "select p.pid from person as p where p.city = 2";
+  auto direct = beas_->Answer(Q(sql), 0.2);
+  ASSERT_TRUE(direct.ok()) << direct.status();
+  const uint64_t rows = direct->table.size();
+  ASSERT_GE(rows, 6u) << "test data no longer yields a multi-page answer";
+
+  NetClient::QueryOptions opts;
+  opts.page_rows = 3;
+  auto remote = client->QueryAll(sql, 0.2, opts);
+  ASSERT_TRUE(remote.ok()) << remote.status();
+  EXPECT_GT(remote->pages, 1u);
+  EXPECT_EQ(remote->pages, (rows + 2) / 3);
+  EXPECT_EQ(Canon(Result<BeasAnswer>(remote->ToBeasAnswer())), Canon(direct));
+}
+
+// The tentpole acceptance criterion: a cursor's first page is served
+// while its query is still evaluating. With a 2-page queue and one-row
+// pages, an answer bigger than the queue provably cannot finish before
+// the client starts draining — so observing in_flight == 1 after the
+// first page proves streaming, and the residency counters must show
+// bytes buffered now and a peak bounded by the queue, all drained back
+// to zero at the end.
+TEST_F(NetTest, FirstPageArrivesWhileQueryStillRunning) {
+  QueryService service(beas_.get(), {});
+  NetServerOptions options;
+  options.cursor_queue_pages = 2;
+  NetServer server(&service, options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Dial(server);
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  const std::string sql = "select p.pid from person as p where p.city = 2";
+  auto direct = beas_->Answer(Q(sql), 0.2);
+  ASSERT_TRUE(direct.ok()) << direct.status();
+  ASSERT_GE(direct->table.size(), 6u)
+      << "test data no longer overflows the 2-page stream queue";
+
+  NetClient::QueryOptions one_row;
+  one_row.page_rows = 1;
+  auto cursor = client->Query(sql, 0.2, one_row);
+  ASSERT_TRUE(cursor.ok()) << cursor.status();
+  auto first = client->Fetch(cursor->id);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(first->rows.size(), 1u);
+  EXPECT_FALSE(first->done);
+  // The producer is parked in backpressure: evaluation has not finished.
+  EXPECT_EQ(service.stats().in_flight, 1u)
+      << "first page should arrive before the query completes";
+  NetStats mid = server.stats();
+  EXPECT_GT(mid.cursor_resident_bytes, 0u);
+  EXPECT_GT(mid.cursor_resident_peak_bytes, 0u);
+
+  uint64_t streamed = first->rows.size();
+  for (;;) {
+    auto page = client->Fetch(cursor->id);
+    ASSERT_TRUE(page.ok()) << page.status();
+    streamed += page->rows.size();
+    if (page->done) {
+      EXPECT_EQ(page->total_rows, direct->table.size());
+      break;
+    }
+  }
+  EXPECT_EQ(streamed, direct->table.size());
+  NetStats after = server.stats();
+  EXPECT_EQ(after.cursor_resident_bytes, 0u) << "drained pages must decrement";
+  EXPECT_GE(after.cursor_resident_peak_bytes, mid.cursor_resident_peak_bytes);
+  EXPECT_EQ(after.session_peak_resident_bytes, after.cursor_resident_peak_bytes);
+}
+
+// Mid-stream deadline cancellation: pages committed before the deadline
+// ship normally; once the deadline expires with the producer parked in
+// backpressure, the stream terminates with a clean kDeadlineExceeded on
+// the next fetch (no worker is held hostage) and the session stays
+// usable.
+TEST_F(NetTest, MidStreamDeadlineDeliversPagesThenDeadlineExceeded) {
+  QueryService service(beas_.get(), {});
+  NetServerOptions options;
+  options.cursor_queue_pages = 2;
+  NetServer server(&service, options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Dial(server);
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  const std::string sql = "select p.pid from person as p where p.city = 2";
+  auto direct = beas_->Answer(Q(sql), 0.2);
+  ASSERT_TRUE(direct.ok()) << direct.status();
+  ASSERT_GE(direct->table.size(), 6u)
+      << "test data no longer overflows the 2-page stream queue";
+
+  NetClient::QueryOptions opts;
+  opts.page_rows = 1;
+  opts.deadline = std::chrono::milliseconds(300);
+  auto cursor = client->Query(sql, 0.2, opts);
+  ASSERT_TRUE(cursor.ok()) << cursor.status();
+  auto first = client->Fetch(cursor->id);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(first->rows.size(), 1u);
+  EXPECT_FALSE(first->done);
+
+  // Stall past the deadline. The producer cannot finish (queue of 2 <
+  // remaining pages), so it must cut over to kDeadlineExceeded instead
+  // of waiting on this client forever.
+  std::this_thread::sleep_for(std::chrono::milliseconds(700));
+  Status terminal = Status::OK();
+  for (;;) {
+    auto page = client->Fetch(cursor->id);
+    if (!page.ok()) {
+      terminal = page.status();
+      break;
+    }
+    ASSERT_FALSE(page->done) << "a deadlined stream must not finish cleanly";
+  }
+  EXPECT_EQ(terminal.code(), StatusCode::kDeadlineExceeded) << terminal;
+  // The cursor is gone, the failure is accounted at both layers...
+  EXPECT_EQ(client->Fetch(cursor->id).status().code(), StatusCode::kNotFound);
+  NetStats stats = server.stats();
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.service.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.service.failed, 1u);
+  EXPECT_EQ(stats.cursor_resident_bytes, 0u)
+      << "a failed stream must drop its queued pages";
+
+  // ...and the session still answers the same query byte-identically.
+  auto after = client->QueryAll(sql, 0.2);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(Canon(Result<BeasAnswer>(after->ToBeasAnswer())), Canon(direct));
 }
 
 TEST_F(NetTest, StatsCountTrafficAndFoldInServiceSnapshot) {

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <utility>
 
+#include "beas/answer_sink.h"
+
 namespace beas {
 namespace testing {
 
@@ -155,6 +157,85 @@ int DifferentialHarness::CheckQuery(const std::string& sql, double alpha,
                     << instances_[ref]->name << "]\n  sql: " << sql
                     << "\n  alpha: " << alpha << "\n--- reference ---\n"
                     << want << "--- got ---\n" << got;
+      ++mismatches;
+    }
+  }
+  return mismatches;
+}
+
+int DifferentialHarness::CheckStreaming(const std::string& sql, double alpha,
+                                        const std::string& label) {
+  int mismatches = 0;
+  std::vector<std::string> streamed(instances_.size());
+  std::vector<std::string> direct(instances_.size());
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    Instance& inst = *instances_[i];
+    auto q = inst.beas->Parse(sql);
+    if (!q.ok()) {
+      ADD_FAILURE() << label << " [" << inst.name << "] parse failed: "
+                    << q.status() << "\n  sql: " << sql;
+      ++mismatches;
+      continue;
+    }
+    Result<BeasAnswer> materialized = inst.beas->Answer(*q, alpha);
+    CollectingAnswerSink sink;
+    Result<BeasAnswer> outcome =
+        inst.beas->Answer(*q, alpha, inst.beas->eval_options(), &sink);
+    Result<BeasAnswer> rebuilt = Status::Internal("stream outcome not rebuilt");
+    if (outcome.ok()) {
+      if (!sink.finished() || sink.failed()) {
+        ADD_FAILURE() << label << " [" << inst.name
+                      << "] successful stream broke the sink protocol "
+                      << "(finished=" << sink.finished()
+                      << " failed=" << sink.failed() << ")";
+        ++mismatches;
+      }
+      if (sink.trailer().total_rows != sink.table().size() ||
+          outcome->streamed_rows != sink.table().size()) {
+        ADD_FAILURE() << label << " [" << inst.name << "] trailer announced "
+                      << sink.trailer().total_rows << " rows, streamed_rows "
+                      << outcome->streamed_rows << ", sink holds "
+                      << sink.table().size();
+        ++mismatches;
+      }
+      BeasAnswer a = std::move(*outcome);
+      a.table = sink.table();
+      rebuilt = std::move(a);
+    } else {
+      if (!sink.failed() || sink.finished()) {
+        ADD_FAILURE() << label << " [" << inst.name
+                      << "] failed stream broke the sink protocol "
+                      << "(finished=" << sink.finished()
+                      << " failed=" << sink.failed() << ")";
+        ++mismatches;
+      }
+      rebuilt = outcome.status();
+    }
+    // Cache counters are excluded: the streamed run replays the fetch
+    // after the materialized one, so LRU recency differs by design.
+    streamed[i] = SerializeAnswer(rebuilt, /*with_cache_counters=*/false);
+    direct[i] = SerializeAnswer(materialized, /*with_cache_counters=*/false);
+  }
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    const Instance& inst = *instances_[i];
+    ++checks_;
+    if (streamed[i] != direct[i]) {
+      ADD_FAILURE() << label << " [" << inst.name
+                    << "] streamed answer diverged from its own materialized "
+                    << "answer\n  sql: " << sql << "\n--- materialized ---\n"
+                    << direct[i] << "--- streamed ---\n" << streamed[i];
+      ++mismatches;
+      continue;
+    }
+    size_t ref = ReferenceIndex(inst.disk);
+    if (i == ref) continue;
+    ++checks_;
+    if (streamed[i] != streamed[ref]) {
+      ADD_FAILURE() << label << " [" << inst.name
+                    << "] streamed answer diverged from ["
+                    << instances_[ref]->name << "]\n  sql: " << sql
+                    << "\n--- reference ---\n" << streamed[ref]
+                    << "--- got ---\n" << streamed[i];
       ++mismatches;
     }
   }

@@ -102,6 +102,17 @@ class DifferentialHarness {
   /// Returns the number of mismatching instances (0 == identical).
   int CheckQuery(const std::string& sql, double alpha, const std::string& label);
 
+  /// Answers \p sql twice on every instance — materialized, and streamed
+  /// through a CollectingAnswerSink — and byte-compares the
+  /// reconstructed streamed answer (sink rows + trailer) against the
+  /// instance's own materialized answer and the sequential reference:
+  /// the push-based pipeline must not move a single byte (rows, order,
+  /// eta, accessed, failure cut) at any thread count or backend. Also
+  /// asserts the sink protocol (Open before rows, exactly one
+  /// Finish/Fail, trailer total matching the streamed rows).
+  int CheckStreaming(const std::string& sql, double alpha,
+                     const std::string& label);
+
   /// Drives each instance's executor directly at starvation budgets
   /// (1, full/7+1, full/2+1 where full = alpha*|D|) so the meter
   /// exhausts mid-execution, and byte-compares the cut outcomes — the

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Render a BEAS slow-query JSONL log as a per-span time breakdown.
+
+Input is the file QueryService appends to when ServiceOptions::
+slow_query_ms is set (or "-" for stdin): one JSON object per line,
+
+  {"latency_ms": 12.3, "alpha": 0.2, "status": "ok", "epoch": 4,
+   "trace": {"spans": [{"name": "plan", "start_us": 10, "dur_us": 200},
+                       ...],
+             "attrs": {"keys_charged": 57, ...}}}
+
+The summary aggregates every entry: per span name it reports how many
+queries hit the span, the total and mean time spent in it, and its
+share of the summed wall latency; a header line reports the entry
+count, the latency total/mean/max, and the status mix. With --slowest N
+the N highest-latency entries are additionally broken down one by one.
+
+Dotted span names (plan.chase, plan.chat) nest inside their parent
+phase, and the stream span overlaps execution, so shares are reported
+against wall latency without expecting them to sum to 100%.
+
+Exit status: 0 on success, 2 on usage errors (unreadable input, a line
+that is not a JSON object, no entries).
+
+Example:
+
+  python3 scripts/trace_summarize.py /var/log/beas/slow_queries.jsonl
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_entries(stream):
+    """Parses slow-query JSONL from an iterable of lines.
+
+    Returns a list of dict entries. Raises ValueError on a line that is
+    not a JSON object or an entry missing latency_ms/trace.
+    """
+    entries = []
+    for lineno, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as e:
+            raise ValueError(f"line {lineno}: not JSON: {e}") from e
+        if not isinstance(entry, dict):
+            raise ValueError(f"line {lineno}: expected a JSON object")
+        if "latency_ms" not in entry or "trace" not in entry:
+            raise ValueError(
+                f"line {lineno}: missing latency_ms/trace "
+                "(not a slow-query log line?)")
+        entries.append(entry)
+    return entries
+
+
+def summarize(entries):
+    """Aggregates entries into the per-span table model.
+
+    Returns (spans, totals) where spans maps span name ->
+    {"queries", "spans", "total_us"} and totals carries entry-level
+    aggregates (count, latency sum/max in ms, status -> count).
+    """
+    spans = {}
+    totals = {"entries": 0, "latency_ms": 0.0, "max_latency_ms": 0.0,
+              "statuses": {}}
+    for entry in entries:
+        totals["entries"] += 1
+        latency = float(entry.get("latency_ms", 0.0))
+        totals["latency_ms"] += latency
+        totals["max_latency_ms"] = max(totals["max_latency_ms"], latency)
+        status = str(entry.get("status", "?"))
+        totals["statuses"][status] = totals["statuses"].get(status, 0) + 1
+        seen_here = set()
+        for span in entry.get("trace", {}).get("spans", []):
+            name = span.get("name", "?")
+            agg = spans.setdefault(
+                name, {"queries": 0, "spans": 0, "total_us": 0})
+            agg["spans"] += 1
+            agg["total_us"] += int(span.get("dur_us", 0))
+            if name not in seen_here:
+                agg["queries"] += 1
+                seen_here.add(name)
+    return spans, totals
+
+
+def entry_breakdown(entry):
+    """One entry's spans as (name, start_us, dur_us, share-of-wall) rows."""
+    wall_us = float(entry.get("latency_ms", 0.0)) * 1000.0
+    rows = []
+    for span in entry.get("trace", {}).get("spans", []):
+        dur = int(span.get("dur_us", 0))
+        share = dur / wall_us if wall_us > 0 else 0.0
+        rows.append((span.get("name", "?"), int(span.get("start_us", 0)),
+                     dur, share))
+    return rows
+
+
+def _table(rows, header):
+    """Left-aligns the first column, right-aligns the rest."""
+    widths = [max(len(str(r[i])) for r in [header] + rows)
+              for i in range(len(header))]
+    lines = []
+    for r in [header] + rows:
+        cells = [str(r[0]).ljust(widths[0])]
+        cells += [str(c).rjust(w) for c, w in zip(r[1:], widths[1:])]
+        lines.append("  ".join(cells).rstrip())
+    return lines
+
+
+def render(spans, totals, slowest=()):
+    """Formats the aggregate (and optional per-entry) breakdown."""
+    out = []
+    statuses = ", ".join(f"{k}: {v}"
+                         for k, v in sorted(totals["statuses"].items()))
+    n = totals["entries"]
+    mean = totals["latency_ms"] / n if n else 0.0
+    out.append(f"{n} slow quer{'y' if n == 1 else 'ies'}; latency total "
+               f"{totals['latency_ms']:.3f} ms, mean {mean:.3f} ms, max "
+               f"{totals['max_latency_ms']:.3f} ms ({statuses})")
+    out.append("")
+    rows = []
+    wall_us = totals["latency_ms"] * 1000.0
+    for name in sorted(spans, key=lambda k: -spans[k]["total_us"]):
+        agg = spans[name]
+        share = agg["total_us"] / wall_us if wall_us > 0 else 0.0
+        rows.append((name, agg["queries"], agg["spans"],
+                     f"{agg['total_us'] / 1000.0:.3f}",
+                     f"{agg['total_us'] / 1000.0 / agg['spans']:.3f}",
+                     f"{100.0 * share:.1f}%"))
+    out.extend(_table(rows, ("span", "queries", "spans", "total_ms",
+                             "mean_ms", "of_wall")))
+    for rank, entry in enumerate(slowest, start=1):
+        out.append("")
+        out.append(f"#{rank}: {float(entry.get('latency_ms', 0.0)):.3f} ms, "
+                   f"alpha {entry.get('alpha')}, "
+                   f"status {entry.get('status')}, "
+                   f"epoch {entry.get('epoch')}")
+        rows = [(name, start, dur, f"{100.0 * share:.1f}%")
+                for name, start, dur, share in entry_breakdown(entry)]
+        out.extend(_table(rows, ("span", "start_us", "dur_us", "of_wall")))
+    return "\n".join(out)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Summarize a BEAS slow-query JSONL log per span.")
+    parser.add_argument("log", help="slow-query JSONL file, or - for stdin")
+    parser.add_argument("--slowest", type=int, default=0, metavar="N",
+                        help="also break down the N slowest entries")
+    args = parser.parse_args(argv)
+
+    try:
+        if args.log == "-":
+            entries = load_entries(sys.stdin)
+        else:
+            with open(args.log, encoding="utf-8") as f:
+                entries = load_entries(f)
+    except (OSError, ValueError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    if not entries:
+        print("error: no slow-query entries", file=sys.stderr)
+        return 2
+
+    spans, totals = summarize(entries)
+    slowest = sorted(entries, key=lambda e: -float(e.get("latency_ms", 0.0)))
+    print(render(spans, totals, slowest[:max(0, args.slowest)]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

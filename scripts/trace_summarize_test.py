@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Unit tests for trace_summarize.py.
+
+The primary fixture, scripts/testdata/slow_query_sample.jsonl, is a
+real line emitted by QueryService's slow-query log (captured from
+examples/traced_query), so these tests pin the round-trip between the
+C++ JSONL writer and this summarizer.
+
+Run directly (python3 scripts/trace_summarize_test.py) or via ctest
+(test name: trace_summarize_unit).
+"""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import trace_summarize  # noqa: E402
+
+SAMPLE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "testdata", "slow_query_sample.jsonl")
+
+
+def run(argv):
+    out = io.StringIO()
+    with redirect_stdout(out):
+        code = trace_summarize.main(argv)
+    return code, out.getvalue()
+
+
+def make_entry(latency_ms, spans, status="ok", alpha=0.2, epoch=0):
+    return {
+        "latency_ms": latency_ms, "alpha": alpha, "status": status,
+        "epoch": epoch,
+        "trace": {
+            "spans": [{"name": n, "start_us": s, "dur_us": d}
+                      for n, s, d in spans],
+            "attrs": {"keys_charged": 16},
+        },
+    }
+
+
+class LoadEntriesTest(unittest.TestCase):
+    def test_round_trips_a_real_service_log_line(self):
+        with open(SAMPLE, encoding="utf-8") as f:
+            entries = trace_summarize.load_entries(f)
+        self.assertEqual(len(entries), 1)
+        entry = entries[0]
+        self.assertEqual(entry["status"], "ok")
+        self.assertGreater(entry["latency_ms"], 0)
+        names = {s["name"] for s in entry["trace"]["spans"]}
+        # The span catalog the service writes must survive the parse.
+        for required in ("queue_wait", "plan", "fetch", "eval"):
+            self.assertIn(required, names)
+        self.assertEqual(entry["trace"]["attrs"]["keys_charged"], 16)
+
+    def test_skips_blank_lines(self):
+        lines = ["\n", json.dumps(make_entry(1.0, [("plan", 0, 10)])) + "\n",
+                 "   \n"]
+        self.assertEqual(len(trace_summarize.load_entries(lines)), 1)
+
+    def test_rejects_non_json(self):
+        with self.assertRaises(ValueError):
+            trace_summarize.load_entries(["{not json\n"])
+
+    def test_rejects_non_object_lines(self):
+        with self.assertRaises(ValueError):
+            trace_summarize.load_entries(["[1, 2]\n"])
+
+    def test_rejects_missing_trace(self):
+        with self.assertRaises(ValueError):
+            trace_summarize.load_entries(['{"latency_ms": 1.0}\n'])
+
+
+class SummarizeTest(unittest.TestCase):
+    def test_aggregates_per_span_across_entries(self):
+        entries = [
+            make_entry(1.0, [("plan", 0, 100), ("eval", 100, 400)]),
+            make_entry(2.0, [("plan", 0, 300), ("eval", 300, 700),
+                             ("eval", 1000, 500)], status="deadline exceeded"),
+        ]
+        spans, totals = trace_summarize.summarize(entries)
+        self.assertEqual(totals["entries"], 2)
+        self.assertAlmostEqual(totals["latency_ms"], 3.0)
+        self.assertAlmostEqual(totals["max_latency_ms"], 2.0)
+        self.assertEqual(totals["statuses"],
+                         {"ok": 1, "deadline exceeded": 1})
+        self.assertEqual(spans["plan"],
+                         {"queries": 2, "spans": 2, "total_us": 400})
+        # eval appears 3 times across 2 queries.
+        self.assertEqual(spans["eval"],
+                         {"queries": 2, "spans": 3, "total_us": 1600})
+
+    def test_entry_breakdown_shares_are_against_wall_latency(self):
+        entry = make_entry(1.0, [("plan", 0, 250), ("eval", 250, 500)])
+        rows = trace_summarize.entry_breakdown(entry)
+        self.assertEqual(rows[0], ("plan", 0, 250, 0.25))
+        self.assertEqual(rows[1], ("eval", 250, 500, 0.5))
+
+
+class MainTest(unittest.TestCase):
+    def test_renders_the_real_sample(self):
+        code, out = run([SAMPLE, "--slowest", "1"])
+        self.assertEqual(code, 0)
+        self.assertIn("1 slow query", out)
+        # Aggregate table header and the per-entry breakdown.
+        self.assertIn("total_ms", out)
+        self.assertIn("of_wall", out)
+        self.assertIn("#1:", out)
+        for span in ("queue_wait", "plan", "fetch", "eval"):
+            self.assertIn(span, out)
+
+    def test_orders_spans_by_total_time(self):
+        entries = [make_entry(1.0, [("small", 0, 10), ("big", 10, 900)])]
+        with tempfile.NamedTemporaryFile("w", suffix=".jsonl",
+                                         delete=False) as f:
+            for e in entries:
+                f.write(json.dumps(e) + "\n")
+            path = f.name
+        try:
+            code, out = run([path])
+            self.assertEqual(code, 0)
+            self.assertLess(out.index("big"), out.index("small"))
+        finally:
+            os.unlink(path)
+
+    def test_empty_log_is_a_usage_error(self):
+        with tempfile.NamedTemporaryFile("w", suffix=".jsonl",
+                                         delete=False) as f:
+            path = f.name
+        try:
+            err = io.StringIO()
+            out = io.StringIO()
+            with redirect_stdout(out):
+                sys.stderr, saved = err, sys.stderr
+                try:
+                    code = trace_summarize.main([path])
+                finally:
+                    sys.stderr = saved
+            self.assertEqual(code, 2)
+            self.assertIn("no slow-query entries", err.getvalue())
+        finally:
+            os.unlink(path)
+
+    def test_unreadable_file_is_a_usage_error(self):
+        err = io.StringIO()
+        sys.stderr, saved = err, sys.stderr
+        try:
+            code = trace_summarize.main(["/nonexistent/slow.jsonl"])
+        finally:
+            sys.stderr = saved
+        self.assertEqual(code, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

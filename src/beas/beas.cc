@@ -47,12 +47,14 @@ Result<std::unique_ptr<Beas>> Beas::Build(Database* db, BeasOptions options) {
   return beas;
 }
 
-Result<BeasPlan> Beas::PlanOnly(const QueryPtr& q, double alpha) const {
+Result<BeasPlan> Beas::PlanOnly(const QueryPtr& q, double alpha,
+                                QueryTrace* trace) const {
   if (alpha <= 0 || alpha > 1) {
     return Status::InvalidArgument(StrCat("resource ratio must be in (0,1], got ", alpha));
   }
+  ScopedSpan plan_span(trace, "plan");
   Planner planner(db_schema_, store_.schema(), db_size_, options_.planner);
-  if (plan_cache_ == nullptr) return planner.Plan(q, alpha);
+  if (plan_cache_ == nullptr) return planner.Plan(q, alpha, trace);
 
   QueryFingerprint fp = FingerprintQuery(q);
   // A cached OutOfBudget verdict short-circuits planning entirely: the
@@ -64,13 +66,17 @@ Result<BeasPlan> Beas::PlanOnly(const QueryPtr& q, double alpha) const {
   if (std::shared_ptr<const PlanTemplate> tmpl = plan_cache_->Lookup(fp, alpha)) {
     BEAS_ASSIGN_OR_RETURN(std::optional<BeasPlan> cached,
                           planner.PlanFromTemplate(q, alpha, *tmpl));
-    if (cached.has_value()) return std::move(*cached);
+    if (cached.has_value()) {
+      if (trace != nullptr) trace->SetAttr("plan_cache_hit", 1);
+      return std::move(*cached);
+    }
     // Template not instantiable for this query (its constant-conflict
     // pattern differs, or |D| drifted past its tariff): plan from
     // scratch and re-book the hit as a miss.
     plan_cache_->DemoteLastHit();
   }
-  Result<BeasPlan> plan = planner.Plan(q, alpha);
+  if (trace != nullptr) trace->SetAttr("plan_cache_hit", 0);
+  Result<BeasPlan> plan = planner.Plan(q, alpha, trace);
   if (!plan.ok()) {
     if (plan.status().code() == StatusCode::kOutOfBudget) {
       plan_cache_->InsertNegative(fp, alpha, plan.status());
@@ -93,7 +99,7 @@ Result<BeasAnswer> Beas::Answer(const QueryPtr& q, double alpha,
   if (DeadlineExpired(eval)) {
     return Status::DeadlineExceeded("query deadline expired before planning");
   }
-  BEAS_ASSIGN_OR_RETURN(BeasPlan plan, PlanOnly(q, alpha));
+  BEAS_ASSIGN_OR_RETURN(BeasPlan plan, PlanOnly(q, alpha, eval.trace));
   uint64_t budget = static_cast<uint64_t>(
       std::floor(alpha * static_cast<double>(db_size_)));
   // All mutable execution state lives in this per-call context, so any
@@ -118,7 +124,7 @@ Result<BeasAnswer> Beas::Answer(const QueryPtr& q, double alpha,
   if (DeadlineExpired(eval)) {
     return fail(Status::DeadlineExceeded("query deadline expired before planning"));
   }
-  Result<BeasPlan> plan = PlanOnly(q, alpha);
+  Result<BeasPlan> plan = PlanOnly(q, alpha, eval.trace);
   if (!plan.ok()) return fail(plan.status());
   uint64_t budget = static_cast<uint64_t>(
       std::floor(alpha * static_cast<double>(db_size_)));

@@ -112,8 +112,12 @@ class Beas {
   /// Parses \p sql against the database schema and answers it.
   Result<BeasAnswer> AnswerSql(const std::string& sql, double alpha) const;
 
-  /// Plan generation only (component C3; touches no data).
-  Result<BeasPlan> PlanOnly(const QueryPtr& q, double alpha) const;
+  /// Plan generation only (component C3; touches no data). \p trace
+  /// (optional) receives the "plan" span plus the plan_cache_hit
+  /// attribute and, on a cache miss, the chase/chAT sub-spans; the
+  /// Answer overloads pass EvalOptions::trace through automatically.
+  Result<BeasPlan> PlanOnly(const QueryPtr& q, double alpha,
+                            QueryTrace* trace = nullptr) const;
 
   /// Minimal resource ratio at which \p q gets an exact plan:
   /// alpha_exact = exact-plan tariff / |D| (Fig 6(j)).

@@ -15,6 +15,7 @@
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "engine/aggregate.h"
 #include "types/column_chunk.h"
 #include "types/distance.h"
@@ -288,9 +289,10 @@ class ParallelFetchScheduler {
                          const BeasPlan& plan,
                          std::vector<std::vector<AtomRows>>* unit_atoms,
                          std::chrono::steady_clock::time_point deadline =
-                             std::chrono::steady_clock::time_point::max())
+                             std::chrono::steady_clock::time_point::max(),
+                         QueryTrace* trace = nullptr)
       : store_(store), meter_(meter), pool_(pool), plan_(plan), unit_atoms_(unit_atoms),
-        deadline_(deadline) {}
+        deadline_(deadline), trace_(trace) {}
 
   Status Run() {
     // Flatten ops across units in sequential order; per-unit DAGs (units
@@ -338,11 +340,20 @@ class ParallelFetchScheduler {
       pool_->Submit([this, g] { RunOp(g); });
     }
     {
+      // Coordinator idle time: how long the fetch phase spent waiting on
+      // pool workers, the deposit/commit stall the trace reports as
+      // fetch_wait_us.
+      const bool timed = trace_ != nullptr && trace_->timings();
+      const uint64_t wait_start = timed ? trace_->NowMicros() : 0;
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] {
         return inflight_ == 0 &&
                (unfinished_ == 0 || abort_ || error_slot_ != SIZE_MAX);
       });
+      if (timed) {
+        trace_->IncrAttr("fetch_wait_us",
+                         static_cast<int64_t>(trace_->NowMicros() - wait_start));
+      }
       // Resolve exactly as sequential execution would. A worker error
       // (defensive paths only) does not abort dispatching, so every op
       // at a slot below the erroring one still fetches and deposits:
@@ -546,6 +557,7 @@ class ParallelFetchScheduler {
   Status error_ = Status::OK();   ///< its status
   std::chrono::steady_clock::time_point deadline_;
   std::atomic<bool> deadline_passed_{false};
+  QueryTrace* trace_ = nullptr;  ///< non-owning; coordinator-wait attribution
 };
 
 // ---------------------------------------------------------------------------
@@ -658,6 +670,7 @@ Result<BeasAnswer> PlanExecutor::ExecuteImpl(const BeasPlan& plan, uint64_t budg
     return Status::DeadlineExceeded("query deadline expired before execution");
   }
   ctx->meter.StartQuery(budget);
+  QueryTrace* trace = ctx->eval.trace;
   // The schema is known before any fetch work: open the stream now so a
   // consumer can ship it while xi_F runs.
   if (sink != nullptr) {
@@ -666,51 +679,62 @@ Result<BeasAnswer> PlanExecutor::ExecuteImpl(const BeasPlan& plan, uint64_t budg
 
   // --- xi_F: materialize every unit's atoms through the index store. ---
   std::vector<std::vector<AtomRows>> unit_atoms(plan.units.size());
+  size_t total_fetch_ops = 0;
   for (size_t u = 0; u < plan.units.size(); ++u) {
     unit_atoms[u].resize(plan.units[u].fetch.atoms.size());
+    total_fetch_ops += plan.units[u].fetch.ops.size();
   }
-  if (ctx->eval.fetch_threads > 1) {
-    // Sized for both phases: fetch and eval share one pool (class doc).
-    ThreadPool* pool = EnsurePool(std::max<size_t>(
-        static_cast<size_t>(ctx->eval.fetch_threads),
-        static_cast<size_t>(std::max(ctx->eval.eval_threads, 1))));
-    ParallelFetchScheduler scheduler(store_, &ctx->meter, pool, plan, &unit_atoms,
-                                     ctx->eval.deadline);
-    BEAS_RETURN_IF_ERROR(scheduler.Run());
-  } else {
-    for (size_t u = 0; u < plan.units.size(); ++u) {
-      BEAS_RETURN_IF_ERROR(FetchUnitSequential(store_, plan.units[u],
-                                               ctx->eval.vectorized,
-                                               &unit_atoms[u], &ctx->meter,
-                                               ctx->eval.deadline));
+  if (trace != nullptr) {
+    trace->SetAttr("fetch_ops", static_cast<int64_t>(total_fetch_ops));
+  }
+  {
+    ScopedSpan fetch_span(trace, "fetch");
+    if (ctx->eval.fetch_threads > 1) {
+      // Sized for both phases: fetch and eval share one pool (class doc).
+      ThreadPool* pool = EnsurePool(std::max<size_t>(
+          static_cast<size_t>(ctx->eval.fetch_threads),
+          static_cast<size_t>(std::max(ctx->eval.eval_threads, 1))));
+      ParallelFetchScheduler scheduler(store_, &ctx->meter, pool, plan, &unit_atoms,
+                                       ctx->eval.deadline, trace);
+      BEAS_RETURN_IF_ERROR(scheduler.Run());
+    } else {
+      for (size_t u = 0; u < plan.units.size(); ++u) {
+        BEAS_RETURN_IF_ERROR(FetchUnitSequential(store_, plan.units[u],
+                                                 ctx->eval.vectorized,
+                                                 &unit_atoms[u], &ctx->meter,
+                                                 ctx->eval.deadline));
+      }
     }
   }
 
   // Emit DQ tables in the planner's atom schemas.
   Database dq;
-  for (size_t u = 0; u < plan.units.size(); ++u) {
-    const SpcUnit& unit = plan.units[u];
-    for (size_t a = 0; a < unit.fetch.atoms.size(); ++a) {
-      const RelationSchema& schema = unit.atom_schemas[a];
-      Table table(schema);
-      const AtomRows& rows = unit_atoms[u][a];
-      std::vector<int> perm;  // schema position -> rows column (-1 = __w)
-      for (const auto& attr : schema.attributes()) {
-        perm.push_back(attr.name == "__w" ? -1 : rows.ColIndex(attr.name));
-      }
-      for (size_t r = 0; r < rows.rows.size(); ++r) {
-        Tuple t;
-        t.reserve(perm.size());
-        for (int p : perm) {
-          if (p < 0) {
-            t.push_back(Value(rows.weights[r]));
-          } else {
-            t.push_back(rows.rows[r][static_cast<size_t>(p)]);
-          }
+  {
+    ScopedSpan dq_span(trace, "dq_build");
+    for (size_t u = 0; u < plan.units.size(); ++u) {
+      const SpcUnit& unit = plan.units[u];
+      for (size_t a = 0; a < unit.fetch.atoms.size(); ++a) {
+        const RelationSchema& schema = unit.atom_schemas[a];
+        Table table(schema);
+        const AtomRows& rows = unit_atoms[u][a];
+        std::vector<int> perm;  // schema position -> rows column (-1 = __w)
+        for (const auto& attr : schema.attributes()) {
+          perm.push_back(attr.name == "__w" ? -1 : rows.ColIndex(attr.name));
         }
-        table.AppendUnchecked(std::move(t));
+        for (size_t r = 0; r < rows.rows.size(); ++r) {
+          Tuple t;
+          t.reserve(perm.size());
+          for (int p : perm) {
+            if (p < 0) {
+              t.push_back(Value(rows.weights[r]));
+            } else {
+              t.push_back(rows.rows[r][static_cast<size_t>(p)]);
+            }
+          }
+          table.AppendUnchecked(std::move(t));
+        }
+        BEAS_RETURN_IF_ERROR(dq.AddTable(std::move(table)));
       }
-      BEAS_RETURN_IF_ERROR(dq.AddTable(std::move(table)));
     }
   }
   // D_Q is a private deep copy: from here on, evaluation touches no
@@ -720,6 +744,14 @@ Result<BeasAnswer> PlanExecutor::ExecuteImpl(const BeasPlan& plan, uint64_t budg
   if (sink != nullptr) sink->OnSharedReadsDone();
 
   // --- xi_E: evaluate the tree, tracking both S and S-hat. ---
+  // Timed manually, not RAII: an error return mid-eval reports no span
+  // (the query has no answer to attribute it to), and the streaming
+  // branch below would otherwise need the scope restructured around it.
+  const bool time_eval = trace != nullptr && trace->timings();
+  const uint64_t eval_span_start = time_eval ? trace->NowMicros() : 0;
+  if (trace != nullptr) {
+    trace->SetAttr("eval_units", static_cast<int64_t>(plan.units.size()));
+  }
   ThreadPool* eval_pool =
       ctx->eval.eval_threads > 1
           ? EnsurePool(std::max<size_t>(
@@ -879,6 +911,9 @@ Result<BeasAnswer> PlanExecutor::ExecuteImpl(const BeasPlan& plan, uint64_t budg
   } else {
     BEAS_ASSIGN_OR_RETURN(result, eval_node(*plan.root));
   }
+  if (time_eval) {
+    trace->AddSpan("eval", eval_span_start, trace->NowMicros() - eval_span_start);
+  }
 
   // --- Runtime accuracy bound eta' (Fig 5 lines 6-7). ---
   BeasAnswer answer;
@@ -888,6 +923,12 @@ Result<BeasAnswer> PlanExecutor::ExecuteImpl(const BeasPlan& plan, uint64_t budg
   answer.cache_hits = ctx->meter.cache_counters()->hits.load(std::memory_order_relaxed);
   answer.cache_misses =
       ctx->meter.cache_counters()->misses.load(std::memory_order_relaxed);
+  answer.trace = trace;
+  if (trace != nullptr) {
+    trace->SetAttr("keys_charged", static_cast<int64_t>(answer.accessed));
+    trace->SetAttr("block_cache_hits", static_cast<int64_t>(answer.cache_hits));
+    trace->SetAttr("block_cache_misses", static_cast<int64_t>(answer.cache_misses));
+  }
 
   const RelationSchema& out_schema = plan.query->output_schema();
   bool additive_agg = plan.query->kind() == QueryNode::Kind::kGroupBy &&

@@ -48,6 +48,7 @@
 #include "beas/query_context.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "engine/evaluator.h"
 #include "index/index_store.h"
 #include "storage/table.h"
@@ -78,6 +79,16 @@ struct BeasAnswer {
   /// overload (`table` is left empty there); always 0 on the
   /// materialized path.
   uint64_t streamed_rows = 0;
+  /// The query's trace when the caller supplied one via
+  /// EvalOptions::trace (non-owning — the caller's trace outlives the
+  /// answer). ExplainAnalyze() renders it; null when untraced.
+  const QueryTrace* trace = nullptr;
+
+  /// EXPLAIN ANALYZE: the trace's span/attribute summary, or "" when
+  /// the query ran untraced.
+  std::string ExplainAnalyze() const {
+    return trace != nullptr ? trace->Summary() : std::string();
+  }
 };
 
 /// \brief Executes BeasPlans against an IndexStore.

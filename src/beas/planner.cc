@@ -256,7 +256,8 @@ Status FinalizeBounds(BeasPlan* plan, const DatabaseSchema& base) {
 
 }  // namespace
 
-Result<BeasPlan> Planner::Plan(const QueryPtr& q, double alpha) const {
+Result<BeasPlan> Planner::Plan(const QueryPtr& q, double alpha,
+                               QueryTrace* trace) const {
   BeasPlan plan;
   plan.query = q;
   plan.budget = alpha * static_cast<double>(db_size_);
@@ -270,17 +271,21 @@ Result<BeasPlan> Planner::Plan(const QueryPtr& q, double alpha) const {
     if (!unit.unsatisfiable) total_atoms += unit.tableau.atoms.size();
   }
 
-  for (auto& unit : plan.units) {
-    if (unit.unsatisfiable) continue;
-    double share = total_atoms == 0
-                       ? plan.budget
-                       : plan.budget * static_cast<double>(unit.tableau.atoms.size()) /
-                             static_cast<double>(total_atoms);
-    BEAS_ASSIGN_OR_RETURN(ChaseResult chased, ChaseTableau(unit.tableau, access_, share));
-    unit.fetch = std::move(chased.plan);
+  {
+    ScopedSpan chase_span(trace, "plan.chase");
+    for (auto& unit : plan.units) {
+      if (unit.unsatisfiable) continue;
+      double share = total_atoms == 0
+                         ? plan.budget
+                         : plan.budget * static_cast<double>(unit.tableau.atoms.size()) /
+                               static_cast<double>(total_atoms);
+      BEAS_ASSIGN_OR_RETURN(ChaseResult chased, ChaseTableau(unit.tableau, access_, share));
+      unit.fetch = std::move(chased.plan);
+    }
   }
 
   if (knobs_.optimize_levels) {
+    ScopedSpan chat_span(trace, "plan.chat");
     BEAS_RETURN_IF_ERROR(OptimizeLevels(&plan, base_));
   }
 

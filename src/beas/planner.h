@@ -12,6 +12,7 @@
 #include "beas/plan.h"
 #include "beas/plan_cache.h"
 #include "common/result.h"
+#include "common/trace.h"
 #include "ra/ast.h"
 
 namespace beas {
@@ -38,8 +39,10 @@ class Planner {
   /// Generates an alpha-bounded plan for \p q: chase -> initial fetching
   /// plan -> chAT level optimization -> evaluation-plan rewrite -> static
   /// eta. OutOfBudget when alpha*|D| cannot fund even one representative
-  /// per relation atom.
-  Result<BeasPlan> Plan(const QueryPtr& q, double alpha) const;
+  /// per relation atom. \p trace (optional) receives the plan.chase and
+  /// plan.chat span timings when its timings flag is on.
+  Result<BeasPlan> Plan(const QueryPtr& q, double alpha,
+                        QueryTrace* trace = nullptr) const;
 
   /// Cost profile of the cheapest *exact* plan (all fetches at
   /// resolution 0): alpha_exact(Q) = tariff / |D| (Fig 6(j)).

@@ -36,7 +36,12 @@ struct QueryContext {
   /// EvalOptions::deadline also rides here: the executor checks it at
   /// morsel boundaries (per fetch op, per unit-eval claim, per filter
   /// window) and cancels with kDeadlineExceeded, discarding partial
-  /// deposits without committing them.
+  /// deposits without committing them. EvalOptions::trace (when set)
+  /// carries this query's QueryTrace through every layer: the planner
+  /// stamps chase/chAT micros and the cache-hit flag, the executor
+  /// times the fetch/eval phases and records keys charged and
+  /// block-cache traffic, and the morsel engine adds window counts and
+  /// commit-order stall time — all without changing the answer.
   EvalOptions eval;
 };
 

@@ -1,0 +1,206 @@
+#include "common/metrics.h"
+
+#include <cmath>
+#include <thread>
+
+#include "common/string_util.h"
+
+namespace beas {
+
+namespace {
+
+// Stripe selection: hash the thread id once per thread. Distinct
+// threads spread over stripes; one thread always hits the same stripe,
+// so its increments never contend with themselves.
+size_t ThreadStripe(size_t num_stripes) {
+  static thread_local const size_t hash =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return hash & (num_stripes - 1);
+}
+
+}  // namespace
+
+Counter::Counter() : stripes_(kStripes) {}
+
+void Counter::Increment(uint64_t delta) {
+  stripes_[ThreadStripe(kStripes)].v.fetch_add(delta, std::memory_order_relaxed);
+}
+
+uint64_t Counter::value() const {
+  uint64_t total = 0;
+  for (const Stripe& s : stripes_) total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+Histogram::Histogram() {
+  stripes_.reserve(kStripes);
+  for (size_t i = 0; i < kStripes; ++i) stripes_.push_back(std::make_unique<Stripe>());
+}
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value < 8) return static_cast<size_t>(value);
+  const int octave = 63 - __builtin_clzll(value);  // >= 3
+  const size_t sub = (value >> (octave - 3)) & 7;
+  return 8 + static_cast<size_t>(octave - 3) * 8 + sub;
+}
+
+uint64_t Histogram::BucketUpperBound(size_t index) {
+  if (index < 8) return index;
+  const int octave = 3 + static_cast<int>((index - 8) / 8);
+  const uint64_t sub = (index - 8) % 8;
+  const uint64_t width = uint64_t{1} << (octave - 3);
+  return (uint64_t{1} << octave) + sub * width + (width - 1);
+}
+
+void Histogram::Record(uint64_t value) {
+  Stripe& s = *stripes_[ThreadStripe(kStripes)];
+  s.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::count() const {
+  uint64_t total = 0;
+  for (const auto& s : stripes_) total += s->count.load(std::memory_order_relaxed);
+  return total;
+}
+
+uint64_t Histogram::sum() const {
+  uint64_t total = 0;
+  for (const auto& s : stripes_) total += s->sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> merged(kNumBuckets, 0);
+  for (const auto& s : stripes_) {
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      merged[i] += s->buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+double Histogram::Percentile(double p) const {
+  // Total from the same bucket snapshot the walk uses: a count() read
+  // racing an in-flight Record could otherwise disagree with the
+  // buckets and walk past the end.
+  const std::vector<uint64_t> buckets = bucket_counts();
+  uint64_t total = 0;
+  for (uint64_t c : buckets) total += c;
+  if (total == 0) return 0;
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(total)));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cum += buckets[i];
+    if (cum >= rank) return static_cast<double>(BucketUpperBound(i));
+  }
+  return static_cast<double>(BucketUpperBound(kNumBuckets - 1));
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  const std::vector<uint64_t> theirs = other.bucket_counts();
+  Stripe& s = *stripes_[ThreadStripe(kStripes)];
+  uint64_t added = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (theirs[i] == 0) continue;
+    s.buckets[i].fetch_add(theirs[i], std::memory_order_relaxed);
+    added += theirs[i];
+  }
+  s.count.fetch_add(added, std::memory_order_relaxed);
+  s.sum.fetch_add(other.sum(), std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+namespace {
+
+std::string QuantileField(const Histogram& h, double p) {
+  const double v = h.Percentile(p);
+  // Bucket bounds are integers; keep the JSON clean of ".000000" noise.
+  return FormatDouble(v, 6);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += StrCat("\"", JsonEscape(name), "\":", c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += StrCat("\"", JsonEscape(name), "\":", g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += StrCat("\"", JsonEscape(name), "\":{\"count\":", h->count(),
+                  ",\"sum\":", h->sum(), ",\"p50\":", QuantileField(*h, 50),
+                  ",\"p90\":", QuantileField(*h, 90),
+                  ",\"p95\":", QuantileField(*h, 95),
+                  ",\"p99\":", QuantileField(*h, 99),
+                  ",\"max\":", QuantileField(*h, 100), "}");
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsRegistry::ToText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += StrCat("# TYPE ", name, " counter\n", name, " ", c->value(), "\n");
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += StrCat("# TYPE ", name, " gauge\n", name, " ", g->value(), "\n");
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += StrCat("# TYPE ", name, " summary\n");
+    for (double q : {0.5, 0.9, 0.95, 0.99}) {
+      out += StrCat(name, "{quantile=\"", FormatDouble(q, 2), "\"} ",
+                    QuantileField(*h, q * 100), "\n");
+    }
+    out += StrCat(name, "_sum ", h->sum(), "\n");
+    out += StrCat(name, "_count ", h->count(), "\n");
+  }
+  return out;
+}
+
+}  // namespace beas

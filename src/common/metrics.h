@@ -1,0 +1,164 @@
+// Process-wide metrics: counters, gauges, and log-bucketed latency
+// histograms behind a named registry with JSON and Prometheus-style text
+// exposition. Recording is lock-free (striped relaxed atomics) so hot
+// paths — per-query latency, per-request wait times — can record
+// unconditionally; reads merge the stripes into a deterministic
+// snapshot. `MetricsRegistry::Global()` is the process-wide default;
+// subsystems (QueryService, NetServer) accept an injected registry so
+// tests and multi-instance processes stay isolated. See
+// docs/ARCHITECTURE.md "Observability".
+
+#ifndef BEAS_COMMON_METRICS_H_
+#define BEAS_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace beas {
+
+/// \brief A monotonically increasing counter.
+///
+/// Increment is a relaxed atomic add on a per-thread stripe; value()
+/// sums the stripes. Safe for any number of concurrent writers.
+class Counter {
+ public:
+  Counter();
+
+  /// Adds \p delta (default 1). Wait-free.
+  void Increment(uint64_t delta = 1);
+
+  /// Current total across all stripes.
+  uint64_t value() const;
+
+ private:
+  static constexpr size_t kStripes = 8;
+  struct alignas(64) Stripe {
+    std::atomic<uint64_t> v{0};
+  };
+  std::vector<Stripe> stripes_;
+};
+
+/// \brief A gauge: an instantaneous signed value (queue depth, resident
+/// bytes). Set/Add are single relaxed atomic ops.
+class Gauge {
+ public:
+  /// Replaces the value.
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+
+  /// Adjusts the value by \p delta (may be negative).
+  void Add(int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+
+  /// Current value.
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// \brief A log-bucketed histogram of non-negative integer samples
+/// (microsecond latencies, byte sizes).
+///
+/// Buckets: values 0..7 are exact; beyond that every power-of-two octave
+/// splits into 8 linear sub-buckets, so a percentile read returns the
+/// bucket's inclusive upper bound and overstates the true order
+/// statistic by at most 12.5% (reported value is in
+/// [true, 1.125 * true]). Recording is a relaxed atomic increment on a
+/// per-thread stripe — no locks on the hot path — and merged reads are
+/// deterministic for a fixed sample multiset regardless of which
+/// threads recorded which samples.
+class Histogram {
+ public:
+  /// Buckets 0..7 are exact; octaves 3..63 contribute 8 sub-buckets
+  /// each: 8 + 61 * 8 buckets total.
+  static constexpr size_t kNumBuckets = 8 + 61 * 8;
+
+  Histogram();
+
+  /// Records one sample. Wait-free.
+  void Record(uint64_t value);
+
+  /// Number of samples recorded.
+  uint64_t count() const;
+
+  /// Sum of all recorded samples (exact, not bucketed).
+  uint64_t sum() const;
+
+  /// The ceil nearest-rank percentile (\p p in [0, 100]) as the matched
+  /// bucket's inclusive upper bound; 0 when empty. Matches
+  /// NearestRankPercentile semantics up to the <= 12.5% bucket
+  /// rounding (exactly for samples < 8).
+  double Percentile(double p) const;
+
+  /// Adds every bucket of \p other into this histogram. The result is
+  /// identical to having recorded both sample multisets here.
+  void MergeFrom(const Histogram& other);
+
+  /// Merged per-bucket counts (index -> count), for tests and merges.
+  std::vector<uint64_t> bucket_counts() const;
+
+  /// The inclusive upper bound of bucket \p index.
+  static uint64_t BucketUpperBound(size_t index);
+
+  /// The bucket index a sample value falls into.
+  static size_t BucketIndex(uint64_t value);
+
+ private:
+  static constexpr size_t kStripes = 8;
+  struct Stripe {
+    std::vector<std::atomic<uint64_t>> buckets;
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    Stripe() : buckets(kNumBuckets) {}
+  };
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+};
+
+/// \brief A named registry of counters, gauges, and histograms.
+///
+/// Get* calls get-or-create under a mutex and return pointers that stay
+/// valid for the registry's lifetime, so callers resolve a metric once
+/// and record lock-free thereafter. Exposition walks the (sorted) name
+/// maps: ToJson() for programmatic consumers, ToText() for
+/// Prometheus-style scrapes. Global() is the process-wide instance;
+/// subsystems default to their own instance unless one is injected, so
+/// two services in one process never mix their latency distributions.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry.
+  static MetricsRegistry& Global();
+
+  /// Get-or-create the named metric. The pointer stays valid as long as
+  /// the registry does. A name resolves to one kind only; reusing it
+  /// for another kind returns a distinct metric of that kind.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, p50, p90, p95, p99, max}}}.
+  /// Keys are sorted, so equal registry contents yield equal strings.
+  std::string ToJson() const;
+
+  /// Prometheus-style text: `# TYPE` lines, `name value` samples, and
+  /// `name{quantile="0.5"}` / `_sum` / `_count` lines per histogram.
+  std::string ToText() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_COMMON_METRICS_H_

@@ -37,6 +37,10 @@ std::string FormatDouble(double v, int precision = 6);
 /// Lower-cases ASCII letters in \p s.
 std::string ToLower(std::string s);
 
+/// Escapes \p s for embedding inside a JSON string literal (quotes,
+/// backslashes, and control characters; the result carries no quotes).
+std::string JsonEscape(const std::string& s);
+
 }  // namespace beas
 
 #endif  // BEAS_COMMON_STRING_UTIL_H_

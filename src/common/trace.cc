@@ -1,0 +1,102 @@
+#include "common/trace.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace beas {
+
+QueryTrace::QueryTrace(bool timings)
+    : timings_(timings), epoch_(std::chrono::steady_clock::now()) {}
+
+uint64_t QueryTrace::NowMicros() const {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - epoch_)
+                                   .count());
+}
+
+void QueryTrace::AddSpan(const std::string& name, uint64_t start_us, uint64_t dur_us) {
+  if (!timings_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(TraceSpan{name, start_us, dur_us});
+}
+
+void QueryTrace::IncrAttr(const std::string& name, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  attrs_[name] += delta;
+}
+
+void QueryTrace::SetAttr(const std::string& name, int64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  attrs_[name] = value;
+}
+
+std::vector<TraceSpan> QueryTrace::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::map<std::string, int64_t> QueryTrace::attrs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return attrs_;
+}
+
+uint64_t QueryTrace::SpanMicros(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const TraceSpan& s : spans_) {
+    if (s.name == name) total += s.dur_us;
+  }
+  return total;
+}
+
+int64_t QueryTrace::Attr(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = attrs_.find(name);
+  return it == attrs_.end() ? 0 : it->second;
+}
+
+std::string QueryTrace::Summary() const {
+  std::vector<TraceSpan> sorted = spans();
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TraceSpan& a, const TraceSpan& b) {
+                     return a.start_us < b.start_us;
+                   });
+  size_t width = 4;  // "span"
+  for (const TraceSpan& s : sorted) width = std::max(width, s.name.size());
+  std::string out = StrCat(std::string(width - 4, ' '), "span   start_us     dur_us\n");
+  char buf[64];
+  for (const TraceSpan& s : sorted) {
+    std::snprintf(buf, sizeof(buf), " %10llu %10llu",
+                  static_cast<unsigned long long>(s.start_us),
+                  static_cast<unsigned long long>(s.dur_us));
+    out += StrCat(std::string(width - s.name.size(), ' '), s.name, buf, "\n");
+  }
+  const auto attributes = attrs();
+  for (const auto& [name, value] : attributes) {
+    out += StrCat("  ", name, " = ", value, "\n");
+  }
+  return out;
+}
+
+std::string QueryTrace::ToJson() const {
+  std::string out = "{\"spans\":[";
+  bool first = true;
+  for (const TraceSpan& s : spans()) {
+    if (!first) out += ",";
+    first = false;
+    out += StrCat("{\"name\":\"", JsonEscape(s.name), "\",\"start_us\":", s.start_us,
+                  ",\"dur_us\":", s.dur_us, "}");
+  }
+  out += "],\"attrs\":{";
+  first = true;
+  for (const auto& [name, value] : attrs()) {
+    if (!first) out += ",";
+    first = false;
+    out += StrCat("\"", JsonEscape(name), "\":", value);
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace beas

@@ -1,0 +1,112 @@
+// Per-query tracing: a QueryTrace collects timed spans (plan, fetch,
+// eval, stream, queue_wait, ...) and integer attributes (keys charged,
+// cache hits, morsel counts) as one query crosses the planner, the
+// executor, the morsel engine, the service, and the network front-end.
+// Attributes are always on (a mutex-guarded map touched a handful of
+// times per query); span timings are opt-in via the timings flag so the
+// tracing-off hot path never reads a clock. The pointer rides
+// QueryContext::eval.trace through every layer; EXPLAIN ANALYZE
+// (Summary()), the slow-query log (ToJson()), and the wire trace block
+// all render the same object. See docs/ARCHITECTURE.md "Observability".
+
+#ifndef BEAS_COMMON_TRACE_H_
+#define BEAS_COMMON_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace beas {
+
+/// One timed span: [start_us, start_us + dur_us] relative to the
+/// trace's construction (its epoch).
+struct TraceSpan {
+  std::string name;
+  uint64_t start_us = 0;
+  uint64_t dur_us = 0;
+};
+
+/// \brief The trace of one query: timed spans plus integer attributes.
+///
+/// Thread-safe: spans and attributes may be recorded from the service
+/// worker, fetch coordinator, and streaming threads of one query.
+/// Recording is mutex-guarded — traces see a handful of touches per
+/// query, never per-tuple traffic.
+class QueryTrace {
+ public:
+  /// \p timings enables span clocks; attributes record either way.
+  explicit QueryTrace(bool timings = false);
+
+  /// Whether span timings are being collected.
+  bool timings() const { return timings_; }
+
+  /// Microseconds elapsed since the trace was constructed.
+  uint64_t NowMicros() const;
+
+  /// Records a completed span (no-op unless timings() is on).
+  void AddSpan(const std::string& name, uint64_t start_us, uint64_t dur_us);
+
+  /// Adds \p delta to the named attribute (created at 0).
+  void IncrAttr(const std::string& name, int64_t delta);
+
+  /// Sets the named attribute.
+  void SetAttr(const std::string& name, int64_t value);
+
+  /// Snapshot of the spans, in recording order.
+  std::vector<TraceSpan> spans() const;
+
+  /// Snapshot of the attributes, name-sorted.
+  std::map<std::string, int64_t> attrs() const;
+
+  /// Sum of all span durations of the given name (0 if absent).
+  uint64_t SpanMicros(const std::string& name) const;
+
+  /// The named attribute's value (0 if absent).
+  int64_t Attr(const std::string& name) const;
+
+  /// EXPLAIN ANALYZE rendering: an aligned per-span table (start,
+  /// duration) followed by the attributes. Spans sort by start time.
+  std::string Summary() const;
+
+  /// {"spans":[{"name":...,"start_us":...,"dur_us":...}],
+  ///  "attrs":{...}} — the slow-query-log fragment.
+  std::string ToJson() const;
+
+ private:
+  const bool timings_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+  std::map<std::string, int64_t> attrs_;
+};
+
+/// \brief RAII span: times construction -> destruction into \p trace.
+///
+/// Inert (no clock reads) when \p trace is null or timings are off, so
+/// call sites need no branching.
+class ScopedSpan {
+ public:
+  ScopedSpan(QueryTrace* trace, const std::string& name)
+      : trace_(trace && trace->timings() ? trace : nullptr),
+        name_(trace_ ? name : std::string()),
+        start_us_(trace_ ? trace_->NowMicros() : 0) {}
+
+  ~ScopedSpan() {
+    if (trace_) trace_->AddSpan(name_, start_us_, trace_->NowMicros() - start_us_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  QueryTrace* trace_;
+  std::string name_;
+  uint64_t start_us_;
+};
+
+}  // namespace beas
+
+#endif  // BEAS_COMMON_TRACE_H_

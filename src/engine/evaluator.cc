@@ -213,7 +213,8 @@ class EvalImpl {
     };
     BEAS_RETURN_IF_ERROR(FilterTableBatched(leaf, cmps, /*out=*/nullptr, pool_,
                                             options_.eval_threads,
-                                            options_.deadline, on_window));
+                                            options_.deadline, on_window,
+                                            options_.trace));
     if (charge_block) BEAS_RETURN_IF_ERROR(Charge(survivors));
     BEAS_RETURN_IF_ERROR(Charge(emitted));
     return emitted;
@@ -345,7 +346,9 @@ class EvalImpl {
         Table filtered(tables[ti].schema());
         BEAS_RETURN_IF_ERROR(FilterTableBatched(tables[ti], per_table[ti], &filtered,
                                                 pool_, options_.eval_threads,
-                                                options_.deadline));
+                                                options_.deadline,
+                                                /*on_window=*/nullptr,
+                                                options_.trace));
         tables[ti] = std::move(filtered);
       }
     } else {
@@ -438,7 +441,9 @@ class EvalImpl {
           Table filtered(current.schema());
           BEAS_RETURN_IF_ERROR(FilterTableBatched(current, applicable, &filtered,
                                                   pool_, options_.eval_threads,
-                                                  options_.deadline));
+                                                  options_.deadline,
+                                                  /*on_window=*/nullptr,
+                                                  options_.trace));
           current = std::move(filtered);
         }
       } else {

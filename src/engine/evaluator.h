@@ -31,6 +31,8 @@
 
 namespace beas {
 
+class QueryTrace;
+
 /// Options controlling evaluation.
 struct EvalOptions {
   /// Hard cap on any intermediate result size; exceeded -> OutOfBudget.
@@ -88,6 +90,17 @@ struct EvalOptions {
   /// QueryContext::eval.
   std::chrono::steady_clock::time_point deadline =
       std::chrono::steady_clock::time_point::max();
+
+  /// Per-query trace (common/trace.h), or null (the default) for no
+  /// tracing. Non-owning: the owner (QueryService, or whoever built the
+  /// QueryContext) keeps it alive for the query's duration. Attribute
+  /// counters record whenever the pointer is set; span timings
+  /// additionally require the trace's timings flag, so an attached
+  /// trace with timings off costs a few attribute stores per query and
+  /// zero clock reads. Instrumentation never alters answers: rows,
+  /// order, eta, and accounting are byte-identical with and without a
+  /// trace attached.
+  QueryTrace* trace = nullptr;
 };
 
 /// True iff \p options carries a deadline and it has already passed.

@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace beas {
 
@@ -172,7 +173,7 @@ Result<CompiledComparison> CompileComparison(const RelationSchema& schema,
 Status FilterTableBatched(const Table& in, const std::vector<const Comparison*>& cmps,
                           Table* out, ThreadPool* pool, int eval_threads,
                           std::chrono::steady_clock::time_point deadline,
-                          const FilterWindowEmitter& on_window) {
+                          const FilterWindowEmitter& on_window, QueryTrace* trace) {
   const RelationSchema& schema = in.schema();
   std::vector<CompiledComparison> compiled;
   compiled.reserve(cmps.size());
@@ -189,6 +190,9 @@ Status FilterTableBatched(const Table& in, const std::vector<const Comparison*>&
   // columns are re-read, e.g. aggregates and the executor guard).
   const std::vector<Tuple>& rows = in.rows();
   const size_t windows = NumChunkWindows(rows.size());
+  if (trace != nullptr) {
+    trace->IncrAttr("filter_windows", static_cast<int64_t>(windows));
+  }
 
   // Shared commit step of both paths: append survivors to `out` (when
   // set) and/or hand the window's batch to `on_window` — identical rows
@@ -225,8 +229,17 @@ Status FilterTableBatched(const Table& in, const std::vector<const Comparison*>&
     }
     RunWindowFilterClaims(state);
     {
+      // Commit-order stall: how long the caller sat on the deposit
+      // barrier after finishing its own claims, waiting for helper
+      // morsels before the ordered replay below may start.
+      const bool timed = trace != nullptr && trace->timings();
+      const uint64_t wait_start = timed ? trace->NowMicros() : 0;
       std::unique_lock<std::mutex> lock(state->mu);
       state->cv.wait(lock, [&state] { return state->done == state->windows; });
+      if (timed) {
+        trace->IncrAttr("window_commit_wait_us",
+                        static_cast<int64_t>(trace->NowMicros() - wait_start));
+      }
     }
     if (state->expired.load(std::memory_order_relaxed)) {
       return Status::DeadlineExceeded(

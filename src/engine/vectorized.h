@@ -18,6 +18,8 @@
 
 namespace beas {
 
+class QueryTrace;
+
 /// \brief A Comparison with operand positions and the lhs distance spec
 /// resolved once, so per-row evaluation does no attribute-name lookups and
 /// no constant copies.
@@ -104,12 +106,17 @@ class ThreadPool;
 /// each window is filtered, making it a true streaming point. A non-OK
 /// return cancels the filter with that status.
 using FilterWindowEmitter = std::function<Status(std::vector<Tuple>&&)>;
+/// \p trace (optional) accumulates the filter_windows attribute and, in
+/// the morsel path with timings on, window_commit_wait_us — the time the
+/// caller spent blocked on the deposit barrier before the ordered
+/// commit. Tracing never changes output rows or their order.
 Status FilterTableBatched(const Table& in, const std::vector<const Comparison*>& cmps,
                           Table* out, ThreadPool* pool = nullptr,
                           int eval_threads = 1,
                           std::chrono::steady_clock::time_point deadline =
                               std::chrono::steady_clock::time_point::max(),
-                          const FilterWindowEmitter& on_window = nullptr);
+                          const FilterWindowEmitter& on_window = nullptr,
+                          QueryTrace* trace = nullptr);
 
 }  // namespace beas
 

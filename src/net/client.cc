@@ -133,6 +133,7 @@ Result<RemoteCursor> NetClient::Query(const std::string& sql, double alpha,
   PutF64(&request, alpha);
   PutU32(&request, opts.page_rows);
   PutI64(&request, opts.deadline.count());
+  PutU8(&request, opts.trace ? 1 : 0);
   PutString(&request, sql);
   BEAS_ASSIGN_OR_RETURN(std::string response, RoundTrip(request));
   if (static_cast<NetMessage>(response[0]) != NetMessage::kQueryOk) {
@@ -177,8 +178,42 @@ Result<RemotePage> NetClient::Fetch(uint64_t cursor_id) {
     page.exact = exact != 0;
     BEAS_ASSIGN_OR_RETURN(page.epoch, reader.ReadU64());
     BEAS_ASSIGN_OR_RETURN(page.latency_ms, reader.ReadF64());
+    BEAS_ASSIGN_OR_RETURN(uint8_t has_trace, reader.ReadU8());
+    page.has_trace = has_trace != 0;
+    if (page.has_trace) {
+      BEAS_ASSIGN_OR_RETURN(uint32_t nspans, reader.ReadU32());
+      page.trace_spans.reserve(nspans);
+      for (uint32_t i = 0; i < nspans; ++i) {
+        TraceSpan span;
+        BEAS_ASSIGN_OR_RETURN(span.name, reader.ReadString());
+        BEAS_ASSIGN_OR_RETURN(span.start_us, reader.ReadU64());
+        BEAS_ASSIGN_OR_RETURN(span.dur_us, reader.ReadU64());
+        page.trace_spans.push_back(std::move(span));
+      }
+      BEAS_ASSIGN_OR_RETURN(uint32_t nattrs, reader.ReadU32());
+      page.trace_attrs.reserve(nattrs);
+      for (uint32_t i = 0; i < nattrs; ++i) {
+        BEAS_ASSIGN_OR_RETURN(std::string key, reader.ReadString());
+        BEAS_ASSIGN_OR_RETURN(int64_t value, reader.ReadI64());
+        page.trace_attrs.emplace_back(std::move(key), value);
+      }
+    }
   }
   return page;
+}
+
+Result<RemoteStats> NetClient::Stats() {
+  std::string request;
+  PutU8(&request, static_cast<uint8_t>(NetMessage::kStatsRequest));
+  BEAS_ASSIGN_OR_RETURN(std::string response, RoundTrip(request));
+  if (static_cast<NetMessage>(response[0]) != NetMessage::kStats) {
+    return Status::Internal("stats: unexpected response type");
+  }
+  ByteReader reader(response.data() + 1, response.size() - 1);
+  RemoteStats stats;
+  BEAS_ASSIGN_OR_RETURN(stats.json, reader.ReadString());
+  BEAS_ASSIGN_OR_RETURN(stats.text, reader.ReadString());
+  return stats;
 }
 
 Status NetClient::CloseCursor(uint64_t cursor_id) {
@@ -214,6 +249,9 @@ Result<RemoteAnswer> NetClient::QueryAll(const std::string& sql, double alpha,
       out.exact = page.exact;
       out.epoch = page.epoch;
       out.latency_ms = page.latency_ms;
+      out.has_trace = page.has_trace;
+      out.trace_spans = std::move(page.trace_spans);
+      out.trace_attrs = std::move(page.trace_attrs);
       break;
     }
   }

@@ -15,6 +15,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "beas/executor.h"
@@ -45,6 +46,11 @@ struct RemotePage {
   bool exact = false;
   uint64_t epoch = 0;       ///< maintenance epoch the query ran under
   double latency_ms = 0;    ///< service-side submit-to-completion latency
+  /// True when the done page carried the trace block (the kQuery asked
+  /// for tracing); spans/attrs below are then the server-side trace.
+  bool has_trace = false;
+  std::vector<TraceSpan> trace_spans;
+  std::vector<std::pair<std::string, int64_t>> trace_attrs;
 };
 
 /// A fully drained answer, reassembled client-side from pages.
@@ -57,6 +63,11 @@ struct RemoteAnswer {
   uint64_t epoch = 0;
   double latency_ms = 0;
   uint64_t pages = 0;  ///< kPage frames it took to drain the cursor
+  /// Server-side trace (wire-level EXPLAIN ANALYZE) when the query was
+  /// submitted with NetQueryOptions::trace; empty otherwise.
+  bool has_trace = false;
+  std::vector<TraceSpan> trace_spans;
+  std::vector<std::pair<std::string, int64_t>> trace_attrs;
 
   /// The in-process view of this answer: rows plus the accuracy/access
   /// observables SerializeAnswer covers. Wire values are bit-exact
@@ -84,6 +95,17 @@ struct NetQueryOptions {
   /// server enforces it inside the engine, so an expired query returns
   /// kDeadlineExceeded after cancelling at the next morsel boundary.
   std::chrono::milliseconds deadline{0};
+  /// Request span timings server-side: the done page's trailer then
+  /// carries the query's trace (RemotePage/RemoteAnswer trace fields) —
+  /// EXPLAIN ANALYZE over the wire. Never changes rows or observables.
+  bool trace = false;
+};
+
+/// The server's metrics registry, fetched via NetClient::Stats(): the
+/// same contents in both exposition forms.
+struct RemoteStats {
+  std::string json;  ///< MetricsRegistry::ToJson()
+  std::string text;  ///< MetricsRegistry::ToText() (Prometheus-style)
 };
 
 /// \brief A blocking session with a NetServer.
@@ -124,6 +146,11 @@ class NetClient {
 
   /// Releases an unfinished cursor (cancelling its stream).
   Status CloseCursor(uint64_t cursor_id);
+
+  /// Fetches the server's metrics registry (kStatsRequest): counters,
+  /// gauges, and histograms of the whole serving stack, in JSON and
+  /// Prometheus-style text form.
+  Result<RemoteStats> Stats();
 
   /// Query + drain all pages into one RemoteAnswer, page by page (at
   /// most one page is in client memory beyond the accumulated rows).

@@ -100,4 +100,20 @@ void PutSchema(std::string* dst, const RelationSchema& schema) {
   }
 }
 
+void PutTrace(std::string* dst, const QueryTrace& trace) {
+  const std::vector<TraceSpan> spans = trace.spans();
+  PutU32(dst, static_cast<uint32_t>(spans.size()));
+  for (const TraceSpan& span : spans) {
+    PutString(dst, span.name);
+    PutU64(dst, span.start_us);
+    PutU64(dst, span.dur_us);
+  }
+  const std::map<std::string, int64_t> attrs = trace.attrs();
+  PutU32(dst, static_cast<uint32_t>(attrs.size()));
+  for (const auto& [key, value] : attrs) {
+    PutString(dst, key);
+    PutI64(dst, value);
+  }
+}
+
 }  // namespace beas

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "common/trace.h"
 #include "types/schema.h"
 
 namespace beas {
@@ -26,7 +27,9 @@ enum class NetMessage : uint8_t {
   /// server -> client: u64 session_id. Acknowledges kHello.
   kHelloOk = 2,
   /// client -> server: f64 alpha, u32 page_rows (0 = server default),
-  /// i64 deadline_ms (0 = none, relative to receipt), string sql.
+  /// i64 deadline_ms (0 = none, relative to receipt), u8 trace (1 =
+  /// collect span timings; the done page's trailer then carries the
+  /// trace block — wire-level EXPLAIN ANALYZE), string sql.
   kQuery = 3,
   /// server -> client: u64 cursor_id, u32 arity, then per attribute
   /// {string name, u8 DataType}. Sent as soon as the query's output
@@ -41,8 +44,9 @@ enum class NetMessage : uint8_t {
   /// codec-encoded tuples. `done` means the cursor is exhausted and has
   /// been released server-side (no kClose needed); a done page appends
   /// the answer trailer {u64 total_rows, f64 eta, f64 d_prime,
-  /// u64 accessed, u8 exact, u64 epoch, f64 latency_ms}. A query that
-  /// fails mid-stream (OutOfBudget, deadline) answers a kFetch with
+  /// u64 accessed, u8 exact, u64 epoch, f64 latency_ms, u8 has_trace}
+  /// and, when has_trace is 1, the trace block (PutTrace below). A query
+  /// that fails mid-stream (OutOfBudget, deadline) answers a kFetch with
   /// kError instead, after delivering every page committed before the
   /// failure point was reached.
   kPage = 6,
@@ -53,6 +57,12 @@ enum class NetMessage : uint8_t {
   /// server -> client: u8 StatusCode, string message. Any request may be
   /// answered with an error frame; the session stays usable.
   kError = 9,
+  /// client -> server: no body. Requests the server's metrics registry.
+  kStatsRequest = 10,
+  /// server -> client: string json, string text — the registry's JSON
+  /// and Prometheus-style text expositions (common/metrics.h), taken at
+  /// the same instant. Answers kStatsRequest.
+  kStats = 11,
 };
 
 /// Hard cap on a single frame's payload (default NetServerOptions value;
@@ -80,6 +90,12 @@ Status DecodeErrorFrame(uint8_t code, std::string message);
 /// cursor only streams materialized rows, it never re-evaluates
 /// predicates client-side.
 void PutSchema(std::string* dst, const RelationSchema& schema);
+
+/// Appends the trace block of a done page: u32 nspans, per span {string
+/// name, u64 start_us, u64 dur_us}, then u32 nattrs, per attribute
+/// {string key, i64 value}. Spans ship in recording order; attributes in
+/// the trace's (sorted) map order, so equal traces encode identically.
+void PutTrace(std::string* dst, const QueryTrace& trace);
 
 }  // namespace beas
 

@@ -33,6 +33,12 @@ double MsBetween(std::chrono::steady_clock::time_point from,
 // the stream, which unblocks a backpressured producer.
 struct Cursor {
   StreamingTicket ticket;
+  /// The client's kQuery trace flag: the done page then carries the
+  /// trace block (wire-level EXPLAIN ANALYZE).
+  bool trace_requested = false;
+  /// kQuery receipt, the ttfp (time-to-first-page) epoch.
+  std::chrono::steady_clock::time_point opened_at;
+  bool first_page_served = false;
 };
 
 // Server-wide cursor-residency counters. Held by shared_ptr in both the
@@ -77,8 +83,10 @@ NetServer::NetServer(QueryService* service, NetServerOptions options)
   options_.max_page_rows =
       std::max(options_.max_page_rows, options_.default_page_rows);
   options_.cursor_queue_pages = std::max<size_t>(2, options_.cursor_queue_pages);
-  options_.latency_window = std::max<size_t>(1, options_.latency_window);
-  latency_ring_.assign(options_.latency_window, 0.0);
+  metrics_ = options_.metrics != nullptr ? options_.metrics : service_->metrics();
+  request_hist_ = metrics_->GetHistogram("beas_net_request_us");
+  ttfp_hist_ = metrics_->GetHistogram("beas_net_ttfp_us");
+  page_serve_hist_ = metrics_->GetHistogram("beas_net_page_serve_us");
   resident_ = std::make_shared<ResidentAccounting>();
 }
 
@@ -254,6 +262,8 @@ std::string NetServer::HandleRequest(Session* session, const std::string& payloa
       return HandleFetch(session, payload);
     case NetMessage::kClose:
       return HandleClose(session, payload);
+    case NetMessage::kStatsRequest:
+      return HandleStats();
     default:
       return ErrorResponse(Status::InvalidArgument(
           StrCat("unexpected message type ", *type)));
@@ -269,6 +279,8 @@ std::string NetServer::HandleQuery(Session* session, const std::string& payload)
   if (!page_rows.ok()) return ErrorResponse(page_rows.status());
   Result<int64_t> deadline_ms = reader.ReadI64();
   if (!deadline_ms.ok()) return ErrorResponse(deadline_ms.status());
+  Result<uint8_t> trace_flag = reader.ReadU8();
+  if (!trace_flag.ok()) return ErrorResponse(trace_flag.status());
   Result<std::string> sql = reader.ReadString();
   if (!sql.ok()) return ErrorResponse(sql.status());
 
@@ -298,6 +310,7 @@ std::string NetServer::HandleQuery(Session* session, const std::string& payload)
 
   StreamOptions stream;
   stream.submit.priority = session->priority;
+  stream.submit.trace = *trace_flag != 0;
   if (*deadline_ms > 0) {
     stream.submit.deadline = received_at + std::chrono::milliseconds(*deadline_ms);
   }
@@ -350,11 +363,15 @@ std::string NetServer::HandleQuery(Session* session, const std::string& payload)
   PutU8(&out, static_cast<uint8_t>(NetMessage::kQueryOk));
   PutU64(&out, cursor_id);
   PutSchema(&out, *schema);
-  session->cursors.emplace(cursor_id, Cursor{std::move(*ticket)});
+  Cursor cursor{std::move(*ticket)};
+  cursor.trace_requested = *trace_flag != 0;
+  cursor.opened_at = received_at;
+  session->cursors.emplace(cursor_id, std::move(cursor));
   return out;
 }
 
 std::string NetServer::HandleFetch(Session* session, const std::string& payload) {
+  auto received_at = std::chrono::steady_clock::now();
   ByteReader reader(payload.data() + 1, payload.size() - 1);
   Result<uint64_t> cursor_id = reader.ReadU64();
   if (!cursor_id.ok()) return ErrorResponse(cursor_id.status());
@@ -370,6 +387,9 @@ std::string NetServer::HandleFetch(Session* session, const std::string& payload)
   // answer to the kFetch that reaches the failure point; the committed
   // prefix was already delivered.
   Result<StreamPage> page = cursor.ticket.NextPage();
+  auto page_ready_at = std::chrono::steady_clock::now();
+  page_serve_hist_->Record(
+      static_cast<uint64_t>(MsBetween(received_at, page_ready_at) * 1000.0));
   if (!page.ok()) {
     session->cursors.erase(it);
     if (page.status().code() == StatusCode::kDeadlineExceeded) {
@@ -377,6 +397,11 @@ std::string NetServer::HandleFetch(Session* session, const std::string& payload)
       ++counters_.deadline_exceeded;
     }
     return ErrorResponse(page.status());
+  }
+  if (!cursor.first_page_served) {
+    cursor.first_page_served = true;
+    ttfp_hist_->Record(static_cast<uint64_t>(
+        MsBetween(cursor.opened_at, page_ready_at) * 1000.0));
   }
 
   std::string out;
@@ -396,6 +421,11 @@ std::string NetServer::HandleFetch(Session* session, const std::string& payload)
     PutU8(&out, sa.answer.exact ? 1 : 0);
     PutU64(&out, sa.epoch);
     PutF64(&out, sa.latency_ms);
+    // Wire-level EXPLAIN ANALYZE: the trace block rides the done page
+    // when the kQuery asked for it.
+    const bool has_trace = cursor.trace_requested && sa.trace != nullptr;
+    PutU8(&out, has_trace ? 1 : 0);
+    if (has_trace) PutTrace(&out, *sa.trace);
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -422,6 +452,18 @@ std::string NetServer::HandleClose(Session* session, const std::string& payload)
   return out;
 }
 
+std::string NetServer::HandleStats() {
+  // Refresh the gauges, then take both expositions back-to-back so the
+  // JSON and text forms describe (nearly) the same instant.
+  PublishGauges();
+  service_->PublishGauges();
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(NetMessage::kStats));
+  PutString(&out, metrics_->ToJson());
+  PutString(&out, metrics_->ToText());
+  return out;
+}
+
 std::string NetServer::ErrorResponse(const Status& st) {
   std::lock_guard<std::mutex> lock(mu_);
   ++counters_.errors_sent;
@@ -429,32 +471,41 @@ std::string NetServer::ErrorResponse(const Status& st) {
 }
 
 void NetServer::RecordRequestLatency(double ms) {
-  std::lock_guard<std::mutex> lock(mu_);
-  latency_ring_[latency_next_] = ms;
-  latency_next_ = (latency_next_ + 1) % latency_ring_.size();
-  ++latency_count_;
+  request_hist_->Record(static_cast<uint64_t>(std::max(0.0, ms) * 1000.0));
+}
+
+void NetServer::PublishGauges() const {
+  uint64_t active;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active = counters_.sessions_active;
+  }
+  metrics_->GetGauge("beas_net_sessions_active")
+      ->Set(static_cast<int64_t>(active));
+  std::lock_guard<std::mutex> lock(resident_->mu);
+  metrics_->GetGauge("beas_net_cursor_resident_bytes")
+      ->Set(resident_->current > 0 ? resident_->current : 0);
 }
 
 NetStats NetServer::stats() const {
   NetStats out;
-  std::vector<double> window;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    // One combined acquisition: the counter block and the residency
+    // gauges are snapshot together, so a concurrent page commit can
+    // never tear the view (e.g. pages_sent advanced but residency not
+    // yet charged). std::scoped_lock orders the two mutexes safely.
+    std::scoped_lock lock(mu_, resident_->mu);
     out = counters_;
-    size_t n = static_cast<size_t>(
-        std::min<uint64_t>(latency_count_, latency_ring_.size()));
-    window.assign(latency_ring_.begin(), latency_ring_.begin() + n);
-  }
-  {
-    std::lock_guard<std::mutex> lock(resident_->mu);
     out.cursor_resident_bytes =
         resident_->current > 0 ? static_cast<uint64_t>(resident_->current) : 0;
     out.cursor_resident_peak_bytes = resident_->peak;
     out.session_peak_resident_bytes = resident_->session_peak;
   }
-  if (!window.empty()) {
-    out.request_p50_ms = NearestRankPercentile(window, 0.50);
-    out.request_p95_ms = NearestRankPercentile(std::move(window), 0.95);
+  // Percentiles from the shared registry histogram (microseconds), so
+  // stats() and the kStats expositions agree.
+  if (request_hist_->count() > 0) {
+    out.request_p50_ms = request_hist_->Percentile(50.0) / 1000.0;
+    out.request_p95_ms = request_hist_->Percentile(95.0) / 1000.0;
   }
   out.service = service_->stats();
   return out;

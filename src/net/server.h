@@ -65,10 +65,15 @@ struct NetServerOptions {
   /// answer. Clamped to >= 2 (the cursor holds one page back to mark the
   /// last one deterministically).
   size_t cursor_queue_pages = 4;
-  /// Completed-request latencies kept for the request p50/p95 stats.
-  /// A request latency is kQuery receipt -> kQueryOk ready, which for a
-  /// streaming cursor is time-to-schema, not time-to-completion.
+  /// Obsolete: request p50/p95 now derive from the registry's
+  /// unwindowed request-latency histogram. Kept so existing
+  /// configurations still compile; has no effect.
   size_t latency_window = 512;
+  /// Registry the front-end records into (request latency, ttfp, page
+  /// serve histograms) and kStatsRequest exposes. Non-owning; null (the
+  /// default) uses the QueryService's registry, so one kStats frame
+  /// shows the whole serving stack.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Front-end counters; snapshot via NetServer::stats(). The embedded
@@ -95,8 +100,11 @@ struct NetStats {
   uint64_t cursor_resident_peak_bytes = 0;  ///< lifetime peak of the above
   /// Largest peak any single session's cursors reached, lifetime.
   uint64_t session_peak_resident_bytes = 0;
-  double request_p50_ms = 0;      ///< kQuery receipt -> kQueryOk ready
-  double request_p95_ms = 0;      ///< ceil nearest-rank, like the service
+  /// Request latency is kQuery receipt -> kQueryOk ready (time-to-schema
+  /// for a streaming cursor, not time-to-completion); derived from the
+  /// shared registry histogram, so stats() and kStats agree.
+  double request_p50_ms = 0;
+  double request_p95_ms = 0;
   ServiceStats service;           ///< service snapshot at stats() time
 };
 
@@ -128,7 +136,15 @@ class NetServer {
   uint16_t port() const { return port_; }
 
   /// Snapshot of the front-end counters plus the service's stats.
+  /// Coherent: the front-end counters and the residency gauges are read
+  /// under one combined lock acquisition, never interleaved with
+  /// updates.
   NetStats stats() const;
+
+  /// The registry the front-end records into (NetServerOptions::metrics,
+  /// or the service's). Histograms: beas_net_request_us,
+  /// beas_net_ttfp_us, beas_net_page_serve_us.
+  MetricsRegistry* metrics() const { return metrics_; }
 
  private:
   struct Session;
@@ -142,8 +158,12 @@ class NetServer {
   std::string HandleQuery(Session* session, const std::string& payload);
   std::string HandleFetch(Session* session, const std::string& payload);
   std::string HandleClose(Session* session, const std::string& payload);
+  std::string HandleStats();
   std::string ErrorResponse(const Status& st);
   void RecordRequestLatency(double ms);
+  /// Publishes the front-end's instantaneous counters as registry
+  /// gauges (sessions, residency), so expositions carry them.
+  void PublishGauges() const;
 
   QueryService* service_;  ///< non-owning; must outlive the server
   NetServerOptions options_;
@@ -151,15 +171,19 @@ class NetServer {
   int listen_fd_ = -1;
   std::atomic<bool> stopping_{false};
 
+  /// Resolved registry (options_.metrics, else the service's) and the
+  /// front-end's pre-resolved instruments.
+  MetricsRegistry* metrics_ = nullptr;
+  Histogram* request_hist_ = nullptr;     ///< kQuery -> kQueryOk, microseconds
+  Histogram* ttfp_hist_ = nullptr;        ///< cursor open -> first page served
+  Histogram* page_serve_hist_ = nullptr;  ///< kFetch receipt -> page ready
+
   mutable std::mutex mu_;
   NetStats counters_;                ///< request p50/p95 fields unused here
   /// Cursor-residency counters, shared (by shared_ptr) with every
   /// stream's on_resident_delta hook so a worker finishing a stream
   /// after the server is gone still has somewhere safe to write.
   std::shared_ptr<ResidentAccounting> resident_;
-  std::vector<double> latency_ring_; ///< last latency_window request latencies
-  size_t latency_next_ = 0;
-  uint64_t latency_count_ = 0;
   uint64_t next_session_id_ = 1;
   std::vector<std::shared_ptr<Session>> sessions_;  ///< for Stop() shutdown
   std::thread accept_thread_;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <condition_variable>
 #include <deque>
+#include <fstream>
 #include <iterator>
 #include <mutex>
 #include <optional>
@@ -41,18 +42,24 @@ class StreamState final : public AnswerSink {
  public:
   StreamState(uint32_t page_rows, size_t max_queued_pages,
               std::function<void(int64_t)> hook,
-              std::chrono::steady_clock::time_point deadline)
+              std::chrono::steady_clock::time_point deadline,
+              std::shared_ptr<QueryTrace> trace = nullptr)
       : page_rows_(std::max<uint32_t>(1, page_rows)),
         // The consumer holds one page back (to resolve `last`
         // deterministically), so the producer must be able to buffer at
         // least two.
         max_queued_(std::max<size_t>(2, max_queued_pages)),
         hook_(std::move(hook)),
-        deadline_(deadline) {}
+        deadline_(deadline),
+        trace_(std::move(trace)) {}
 
   // --- Producer side (the engine's AnswerSink). ---
 
   Status Open(const RelationSchema& schema) override {
+    if (trace_ != nullptr && trace_->timings()) {
+      stream_open_us_ = trace_->NowMicros();
+      stream_opened_ = true;
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (cancelled_) return Status::Unavailable("stream cancelled by consumer");
@@ -108,6 +115,14 @@ class StreamState final : public AnswerSink {
   /// publishes the final ServiceAnswer (or the failure) and wakes the
   /// consumer. On failure, queued pages are dropped.
   void Complete(Result<ServiceAnswer> result) {
+    // The stream span covers Open (schema published) to terminal: the
+    // window during which pages could flow. It overlaps fetch/eval by
+    // design — streaming is concurrent with evaluation — so it is
+    // excluded from disjoint-span accounting.
+    if (stream_opened_) {
+      trace_->AddSpan("stream", stream_open_us_,
+                      trace_->NowMicros() - stream_open_us_);
+    }
     if (!result.ok()) DropQueuedPages();
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -181,12 +196,28 @@ class StreamState final : public AnswerSink {
     // out backpressure, so counting it from here is also the honest
     // reading: residency peaks at (max_queued_pages + 1) pages.
     if (hook_) hook_(static_cast<int64_t>(bytes));
+    if (trace_ != nullptr) trace_->IncrAttr("stream_pages", 1);
+    // Backpressure accounting: how long the producer sat blocked on the
+    // full page queue (a slow consumer), timed only when timings are on.
+    const bool timed = trace_ != nullptr && trace_->timings();
+    const uint64_t wait_start = timed ? trace_->NowMicros() : 0;
+    auto charge_wait = [&] {
+      if (timed) {
+        trace_->IncrAttr("stream_backpressure_us",
+                         static_cast<int64_t>(trace_->NowMicros() - wait_start));
+      }
+    };
     {
       std::unique_lock<std::mutex> lock(mu_);
       auto ready = [this] { return cancelled_ || pages_.size() < max_queued_; };
+      bool timed_out = false;
       if (deadline_ == std::chrono::steady_clock::time_point::max()) {
         cv_producer_.wait(lock, ready);
-      } else if (!cv_producer_.wait_until(lock, deadline_, ready)) {
+      } else {
+        timed_out = !cv_producer_.wait_until(lock, deadline_, ready);
+      }
+      charge_wait();
+      if (timed_out) {
         lock.unlock();
         if (hook_) hook_(-static_cast<int64_t>(bytes));
         return Status::DeadlineExceeded(
@@ -219,6 +250,13 @@ class StreamState final : public AnswerSink {
   const size_t max_queued_;
   const std::function<void(int64_t)> hook_;
   const std::chrono::steady_clock::time_point deadline_;
+  /// The query's trace (shared with the worker and the ServiceAnswer);
+  /// null for untraced embedders constructing StreamStates directly.
+  const std::shared_ptr<QueryTrace> trace_;
+  // Worker-thread-only stream-span bookkeeping (Open and Complete both
+  // run on the producing worker).
+  uint64_t stream_open_us_ = 0;
+  bool stream_opened_ = false;
 
   // Producer-thread-only state (no lock): the fill page and the epoch
   // pin (released as soon as the engine's shared reads are done, so
@@ -284,11 +322,19 @@ struct QueryService::Pending {
 };
 
 QueryService::QueryService(Beas* beas, ServiceOptions options)
-    : beas_(beas), options_(options) {
+    : beas_(beas), options_(std::move(options)) {
   options_.workers = std::max<size_t>(1, options_.workers);
   options_.max_queue = std::max<size_t>(1, options_.max_queue);
-  options_.latency_window = std::max<size_t>(1, options_.latency_window);
-  latency_ring_.assign(options_.latency_window, 0.0);
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  latency_hist_ = metrics_->GetHistogram("beas_service_query_latency_us");
+  queue_wait_hist_ = metrics_->GetHistogram("beas_service_queue_wait_us");
+  queries_total_ = metrics_->GetCounter("beas_service_queries_total");
+  slow_queries_ = metrics_->GetCounter("beas_service_slow_queries_total");
   pool_ = std::make_unique<ThreadPool>(options_.workers);
 }
 
@@ -329,10 +375,13 @@ Result<QueryTicket> QueryService::Submit(QueryPtr q, double alpha,
     ticket.id = next_ticket_++;
     pending_[ticket.id] = slot;
   }
-  pool_->Submit(
-      [this, slot = std::move(slot), q = std::move(q), alpha, opts, submitted_at] {
-        RunQuery(slot, q, alpha, opts, submitted_at);
-      });
+  // The trace epoch starts at admission, so span start offsets line up
+  // with the submit-to-completion latency the service reports.
+  auto trace = std::make_shared<QueryTrace>(TraceTimings(opts.trace));
+  pool_->Submit([this, slot = std::move(slot), q = std::move(q), alpha, opts,
+                 submitted_at, trace = std::move(trace)] {
+    RunQuery(slot, q, alpha, opts, submitted_at, trace);
+  });
   return ticket;
 }
 
@@ -407,9 +456,10 @@ Result<StreamingTicket> QueryService::SubmitStreaming(QueryPtr q, double alpha,
                                                       const StreamOptions& opts) {
   if (q == nullptr) return Status::InvalidArgument("query must not be null");
   auto submitted_at = std::chrono::steady_clock::now();
+  auto trace = std::make_shared<QueryTrace>(TraceTimings(opts.submit.trace));
   std::shared_ptr<StreamState> state = std::make_shared<StreamState>(
       opts.page_rows, opts.max_queued_pages, opts.on_resident_delta,
-      opts.submit.deadline);
+      opts.submit.deadline, trace);
   uint64_t id;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -429,8 +479,9 @@ Result<StreamingTicket> QueryService::SubmitStreaming(QueryPtr q, double alpha,
     ++counters_.submitted;
     id = next_ticket_++;
   }
-  pool_->Submit([this, state, q = std::move(q), alpha, opts, submitted_at] {
-    RunStreaming(state, q, alpha, opts, submitted_at);
+  pool_->Submit([this, state, q = std::move(q), alpha, opts, submitted_at,
+                 trace = std::move(trace)] {
+    RunStreaming(state, q, alpha, opts, submitted_at, trace);
   });
   return StreamingTicket(id, std::move(state));
 }
@@ -444,13 +495,20 @@ Result<StreamingTicket> QueryService::SubmitStreamingSql(const std::string& sql,
 
 void QueryService::RunQuery(std::shared_ptr<Pending> slot, QueryPtr q, double alpha,
                             SubmitOptions opts,
-                            std::chrono::steady_clock::time_point submitted_at) {
+                            std::chrono::steady_clock::time_point submitted_at,
+                            std::shared_ptr<QueryTrace> trace) {
   uint64_t in_flight;
   {
     std::lock_guard<std::mutex> lock(mu_);
     --counters_.queued;
     in_flight = ++counters_.in_flight;
   }
+  QueryTrace* tr = trace.get();
+  // Queue wait: the trace epoch is the admission instant, so "now" on
+  // the worker is exactly the time spent queued.
+  const uint64_t run_start_us = tr->NowMicros();
+  queue_wait_hist_->Record(run_start_us);
+  if (tr->timings()) tr->AddSpan("queue_wait", 0, run_start_us);
   // Per-query thread budgeting: split the configured intra-query thread
   // budget over the queries in flight right now, so cross-query
   // parallelism (the worker pool) and intra-query parallelism
@@ -469,25 +527,38 @@ void QueryService::RunQuery(std::shared_ptr<Pending> slot, QueryPtr q, double al
   // expired while the query sat in the queue (no planning, no fetching),
   // and cancels mid-flight work at the next morsel boundary otherwise.
   eval.deadline = opts.deadline;
+  eval.trace = tr;
   Result<ServiceAnswer> out = Status::Internal("query did not run");
+  uint64_t epoch = 0;
   {
     // The read hold spans the whole execution: plan (the cache must not
     // be invalidated between lookup and insert of one query), fetch, and
     // evaluate all see one epoch's database.
+    const uint64_t epoch_wait_start = tr->timings() ? tr->NowMicros() : 0;
     EpochGuard::ReadLock read = guard_.LockRead();
+    if (tr->timings()) {
+      tr->AddSpan("epoch_wait", epoch_wait_start,
+                  tr->NowMicros() - epoch_wait_start);
+    }
+    epoch = read.epoch();
     Result<BeasAnswer> answer = beas_->Answer(q, alpha, eval);
     if (answer.ok()) {
       ServiceAnswer sa;
       sa.answer = std::move(*answer);
-      sa.epoch = read.epoch();
+      sa.epoch = epoch;
       out = std::move(sa);
     } else {
       out = answer.status();
     }
   }
   double latency_ms = MsBetween(submitted_at, std::chrono::steady_clock::now());
-  if (out.ok()) out->latency_ms = latency_ms;
-  RecordDone(latency_ms, out.ok() ? Status::OK() : out.status());
+  const Status status = out.ok() ? Status::OK() : out.status();
+  if (out.ok()) {
+    out->latency_ms = latency_ms;
+    out->trace = trace;
+  }
+  RecordDone(latency_ms, status);
+  MaybeLogSlowQuery(*tr, latency_ms, alpha, status, epoch);
   {
     std::lock_guard<std::mutex> lock(slot->mu);
     slot->result = std::move(out);
@@ -498,13 +569,18 @@ void QueryService::RunQuery(std::shared_ptr<Pending> slot, QueryPtr q, double al
 
 void QueryService::RunStreaming(std::shared_ptr<StreamState> state, QueryPtr q,
                                 double alpha, StreamOptions opts,
-                                std::chrono::steady_clock::time_point submitted_at) {
+                                std::chrono::steady_clock::time_point submitted_at,
+                                std::shared_ptr<QueryTrace> trace) {
   uint64_t in_flight;
   {
     std::lock_guard<std::mutex> lock(mu_);
     --counters_.queued;
     in_flight = ++counters_.in_flight;
   }
+  QueryTrace* tr = trace.get();
+  const uint64_t run_start_us = tr->NowMicros();
+  queue_wait_hist_->Record(run_start_us);
+  if (tr->timings()) tr->AddSpan("queue_wait", 0, run_start_us);
   // Identical thread-budget and deadline discipline to RunQuery: the
   // streamed rows must be the rows a materialized run would return.
   EvalOptions eval = beas_->eval_options();
@@ -515,6 +591,7 @@ void QueryService::RunStreaming(std::shared_ptr<StreamState> state, QueryPtr q,
     eval.fetch_threads = std::min(eval.fetch_threads, allowed);
   }
   eval.deadline = opts.submit.deadline;
+  eval.trace = tr;
   Result<ServiceAnswer> out = Status::Internal("query did not run");
   uint64_t epoch;
   {
@@ -523,7 +600,12 @@ void QueryService::RunStreaming(std::shared_ptr<StreamState> state, QueryPtr q,
     // after D_Q is privately copied). From then on the stream can stall
     // on a slow consumer indefinitely without blocking maintenance
     // writers behind the guard's writer preference.
+    const uint64_t epoch_wait_start = tr->timings() ? tr->NowMicros() : 0;
     EpochGuard::ReadLock read = guard_.LockRead();
+    if (tr->timings()) {
+      tr->AddSpan("epoch_wait", epoch_wait_start,
+                  tr->NowMicros() - epoch_wait_start);
+    }
     epoch = read.epoch();
     state->AdoptReadLock(std::move(read));
     Result<BeasAnswer> answer = beas_->Answer(q, alpha, eval, state.get());
@@ -538,14 +620,25 @@ void QueryService::RunStreaming(std::shared_ptr<StreamState> state, QueryPtr q,
     }
   }
   double latency_ms = MsBetween(submitted_at, std::chrono::steady_clock::now());
-  if (out.ok()) out->latency_ms = latency_ms;
-  RecordDone(latency_ms, out.ok() ? Status::OK() : out.status());
+  const Status status = out.ok() ? Status::OK() : out.status();
+  if (out.ok()) {
+    out->latency_ms = latency_ms;
+    out->trace = trace;
+  }
+  RecordDone(latency_ms, status);
   // Publish terminal state last: by the time the consumer sees a `last`
   // page (or the failure), latency/epoch/counters are all settled.
   state->Complete(std::move(out));
+  // After Complete, so the slow-log entry includes the stream span the
+  // sink records there.
+  MaybeLogSlowQuery(*tr, latency_ms, alpha, status, epoch);
 }
 
 void QueryService::RecordDone(double latency_ms, const Status& status) {
+  // The registry records are lock-free; only the counter block needs mu_.
+  latency_hist_->Record(
+      static_cast<uint64_t>(std::max(0.0, latency_ms) * 1000.0));
+  queries_total_->Increment();
   std::lock_guard<std::mutex> lock(mu_);
   --counters_.in_flight;
   if (status.ok()) {
@@ -556,9 +649,32 @@ void QueryService::RecordDone(double latency_ms, const Status& status) {
       ++counters_.deadline_exceeded;
     }
   }
-  latency_ring_[latency_next_] = latency_ms;
-  latency_next_ = (latency_next_ + 1) % latency_ring_.size();
-  ++latency_count_;
+}
+
+void QueryService::MaybeLogSlowQuery(const QueryTrace& trace, double latency_ms,
+                                     double alpha, const Status& status,
+                                     uint64_t epoch) {
+  if (options_.slow_query_ms <= 0 || latency_ms < options_.slow_query_ms) return;
+  slow_queries_->Increment();
+  // One JSON object per line (JSONL): flat query facts plus the full
+  // trace, the format scripts/trace_summarize.py consumes.
+  const std::string line = StrCat(
+      "{\"latency_ms\":", FormatDouble(latency_ms, 3),
+      ",\"alpha\":", FormatDouble(alpha, 6), ",\"status\":\"",
+      JsonEscape(status.ok() ? "ok" : status.ToString()), "\",\"epoch\":", epoch,
+      ",\"trace\":", trace.ToJson(), "}");
+  if (!options_.slow_query_log_path.empty()) {
+    std::lock_guard<std::mutex> lock(slow_log_mu_);
+    if (slow_log_ == nullptr) {
+      slow_log_ = std::make_unique<std::ofstream>(options_.slow_query_log_path,
+                                                  std::ios::app);
+    }
+    if (slow_log_->good()) {
+      (*slow_log_) << line << "\n";
+      slow_log_->flush();
+    }
+  }
+  if (options_.slow_query_hook) options_.slow_query_hook(line);
 }
 
 namespace {
@@ -595,13 +711,12 @@ Status QueryService::Remove(const std::string& relation, const Tuple& row) {
 
 ServiceStats QueryService::stats() const {
   ServiceStats out;
-  std::vector<double> window;
   {
+    // One acquisition for every counter field: the snapshot is coherent,
+    // so cross-field invariants (submitted == queued + in_flight +
+    // completed + failed) hold in any concurrently-taken snapshot.
     std::lock_guard<std::mutex> lock(mu_);
     out = counters_;
-    size_t n = static_cast<size_t>(
-        std::min<uint64_t>(latency_count_, latency_ring_.size()));
-    window.assign(latency_ring_.begin(), latency_ring_.begin() + n);
   }
   out.epoch = guard_.epoch();
   BlockCacheStats cache = beas_->store().cache_stats();
@@ -613,11 +728,35 @@ ServiceStats QueryService::stats() const {
         static_cast<double>(cache.hits) / static_cast<double>(traffic);
   }
   out.cache_resident_bytes = cache.resident_bytes;
-  if (!window.empty()) {
-    out.p50_ms = NearestRankPercentile(window, 0.50);
-    out.p95_ms = NearestRankPercentile(std::move(window), 0.95);
+  // Percentiles from the shared latency histogram (microseconds), so
+  // stats(), the JSON exposition, and the text exposition all agree.
+  if (latency_hist_->count() > 0) {
+    out.p50_ms = latency_hist_->Percentile(50.0) / 1000.0;
+    out.p95_ms = latency_hist_->Percentile(95.0) / 1000.0;
   }
+  PublishGauges();
   return out;
+}
+
+void QueryService::PublishGauges() const {
+  ServiceStats snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap = counters_;
+  }
+  metrics_->GetGauge("beas_service_queued")
+      ->Set(static_cast<int64_t>(snap.queued));
+  metrics_->GetGauge("beas_service_in_flight")
+      ->Set(static_cast<int64_t>(snap.in_flight));
+  metrics_->GetGauge("beas_service_epoch")
+      ->Set(static_cast<int64_t>(guard_.epoch()));
+  BlockCacheStats cache = beas_->store().cache_stats();
+  metrics_->GetGauge("beas_service_cache_hits")
+      ->Set(static_cast<int64_t>(cache.hits));
+  metrics_->GetGauge("beas_service_cache_misses")
+      ->Set(static_cast<int64_t>(cache.misses));
+  metrics_->GetGauge("beas_service_cache_resident_bytes")
+      ->Set(static_cast<int64_t>(cache.resident_bytes));
 }
 
 double NearestRankPercentile(std::vector<double> window, double p) {

@@ -15,14 +15,18 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "beas/beas.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "service/epoch_guard.h"
 
 namespace beas {
@@ -40,7 +44,10 @@ struct ServiceOptions {
   /// so a traffic spike degrades into fast rejections instead of an
   /// unbounded backlog.
   size_t max_queue = 256;
-  /// Completed-query latencies kept for the p50/p95 stats (ring buffer).
+  /// Obsolete: p50/p95 now derive from the service's latency histogram
+  /// (see `metrics` below), which is unwindowed — the field is kept so
+  /// existing configurations still compile, but it no longer affects
+  /// the stats.
   size_t latency_window = 512;
   /// Per-query thread budgeting: the total number of intra-query worker
   /// threads (EvalOptions::eval_threads / fetch_threads) the service
@@ -60,6 +67,31 @@ struct ServiceOptions {
   /// reservation — priorities then only matter to front-ends that map
   /// them onto deadlines or quotas.
   size_t reserved_slots = 0;
+  /// Slow-query threshold in milliseconds; 0 (the default) disables the
+  /// slow-query log. When set, span timings are force-enabled for every
+  /// query (so a query that turns out slow has a full trace to dump),
+  /// and any query whose submit-to-completion latency reaches the
+  /// threshold is appended to the log as one JSON line carrying
+  /// latency_ms, alpha, status, epoch, and the full trace
+  /// (QueryTrace::ToJson()). scripts/trace_summarize.py renders the log
+  /// as a per-span time breakdown.
+  double slow_query_ms = 0;
+  /// File the slow-query JSONL log appends to (opened lazily on the
+  /// first slow query). May be empty when a hook below consumes the
+  /// entries instead.
+  std::string slow_query_log_path;
+  /// Optional consumer of each slow-query JSON line (tests, embedders
+  /// shipping entries elsewhere). Called outside the service mutex, on
+  /// the worker thread that ran the query; must be thread-safe.
+  std::function<void(const std::string&)> slow_query_hook;
+  /// Metrics registry the service records into: the query-latency and
+  /// queue-wait histograms (the source ServiceStats p50/p95 derive
+  /// from) plus lifetime counters. Non-owning; null (the default) gives
+  /// the service a private registry, reachable via
+  /// QueryService::metrics(), so two services in one process never mix
+  /// their latency distributions. Pass &MetricsRegistry::Global() to
+  /// fold a service into the process-wide exposition.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Admission priority of one submission (see ServiceOptions::reserved_slots).
@@ -79,6 +111,11 @@ struct SubmitOptions {
       std::chrono::steady_clock::time_point::max();
   /// Admission priority (may use the reserved_slots headroom).
   QueryPriority priority = QueryPriority::kNormal;
+  /// Collect span timings for this query (EXPLAIN ANALYZE). Counters
+  /// and attributes are recorded for every query regardless; this flag
+  /// only adds the timed spans, whose trace rides back on
+  /// ServiceAnswer::trace. Tracing never changes answers.
+  bool trace = false;
 };
 
 /// Handle of one submitted query; redeemed (once) by Wait.
@@ -95,6 +132,16 @@ struct ServiceAnswer {
   uint64_t epoch = 0;
   /// Submit-to-completion latency (queue wait + execution).
   double latency_ms = 0;
+  /// The query's trace: always carries the layer counters/attributes;
+  /// timed spans additionally when SubmitOptions::trace was set (or the
+  /// service's slow-query log forced timings on). Shared with the
+  /// service's slow-query logging — treat as read-only.
+  std::shared_ptr<const QueryTrace> trace;
+
+  /// EXPLAIN ANALYZE: the trace's span/attribute summary ("" untraced).
+  std::string ExplainAnalyze() const {
+    return trace != nullptr ? trace->Summary() : std::string();
+  }
 };
 
 /// Service counters; snapshot via QueryService::stats().
@@ -218,8 +265,9 @@ class StreamingTicket {
 /// the floor(p * (n-1)) index this never under-reports the tail on
 /// small windows (n=10, p=0.95 selects the 10th smallest, not the 9th).
 /// \p window is taken by value (the selection is destructive); returns 0
-/// for an empty window. Shared by QueryService::stats() and the net
-/// front-end's request-latency telemetry.
+/// for an empty window. The reference convention the metrics
+/// Histogram's percentile approximation is tested against; service and
+/// net percentiles now derive from shared histograms.
 double NearestRankPercentile(std::vector<double> window, double p);
 
 /// \brief A multi-session query server over one Beas instance.
@@ -289,8 +337,24 @@ class QueryService {
   Status Insert(const std::string& relation, const Tuple& row);
   Status Remove(const std::string& relation, const Tuple& row);
 
-  /// Snapshot of the service counters.
+  /// Snapshot of the service counters. Coherent: all counter fields
+  /// are read under one lock acquisition, so derived invariants hold
+  /// (submitted == queued + in_flight + completed + failed at every
+  /// instant). p50/p95 derive from the registry's latency histogram.
   ServiceStats stats() const;
+
+  /// The registry this service records into (ServiceOptions::metrics,
+  /// or the service-owned default). Histograms:
+  /// beas_service_query_latency_us, beas_service_queue_wait_us;
+  /// counters: beas_service_queries_total, beas_service_slow_queries_total.
+  /// Gauges (queued/in_flight/epoch/cache) are published on stats() and
+  /// before exposition via PublishGauges().
+  MetricsRegistry* metrics() const { return metrics_; }
+
+  /// Refreshes the registry's gauges from the live counters (queued,
+  /// in_flight, epoch, block-cache residency). Call before ToJson/ToText
+  /// when reading gauges matters; stats() does it implicitly.
+  void PublishGauges() const;
 
   /// The maintenance gate. Exposed for coordination of external bulk
   /// maintenance (hold LockWrite while rebuilding offline) and for
@@ -302,23 +366,46 @@ class QueryService {
 
   void RunQuery(std::shared_ptr<Pending> slot, QueryPtr q, double alpha,
                 SubmitOptions opts,
-                std::chrono::steady_clock::time_point submitted_at);
+                std::chrono::steady_clock::time_point submitted_at,
+                std::shared_ptr<QueryTrace> trace);
   void RunStreaming(std::shared_ptr<StreamState> state, QueryPtr q, double alpha,
                     StreamOptions opts,
-                    std::chrono::steady_clock::time_point submitted_at);
+                    std::chrono::steady_clock::time_point submitted_at,
+                    std::shared_ptr<QueryTrace> trace);
+  /// Whether the per-query traces must collect span timings: an explicit
+  /// trace request, or the slow-query log (a slow query must already
+  /// have its timings by the time it proves slow).
+  bool TraceTimings(bool requested) const {
+    return requested || options_.slow_query_ms > 0;
+  }
   void RecordDone(double latency_ms, const Status& status);
+  /// Appends the slow-query JSONL entry when \p latency_ms reaches the
+  /// threshold. Runs on the worker thread, outside mu_.
+  void MaybeLogSlowQuery(const QueryTrace& trace, double latency_ms,
+                         double alpha, const Status& status, uint64_t epoch);
 
   Beas* beas_;
   ServiceOptions options_;
   EpochGuard guard_;
 
+  /// Owned fallback when ServiceOptions::metrics is null; metrics_ is
+  /// the registry actually used either way.
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
+  Histogram* latency_hist_ = nullptr;     ///< query latency, microseconds
+  Histogram* queue_wait_hist_ = nullptr;  ///< admission-to-start, microseconds
+  Counter* queries_total_ = nullptr;
+  Counter* slow_queries_ = nullptr;
+
+  std::mutex slow_log_mu_;
+  /// Lazily-opened append handle of slow_query_log_path (null until the
+  /// first slow query; stays null when the path is empty).
+  std::unique_ptr<std::ofstream> slow_log_;
+
   mutable std::mutex mu_;
   uint64_t next_ticket_ = 1;
   std::unordered_map<uint64_t, std::shared_ptr<Pending>> pending_;
   ServiceStats counters_;            ///< p50/p95 fields unused here
-  std::vector<double> latency_ring_; ///< last latency_window latencies
-  size_t latency_next_ = 0;          ///< ring write cursor
-  uint64_t latency_count_ = 0;       ///< total recorded (ring may be partial)
 
   /// Declared last: destroyed first, so the pool drains (running every
   /// admitted query to completion) while the rest of the service state

@@ -1,0 +1,249 @@
+// Tests for the unified metrics registry (src/common/metrics.h) and the
+// per-query trace (src/common/trace.h): log-bucket relative-error bounds
+// on histogram percentiles, empty/one-sample edges, concurrent-record
+// merge determinism, agreement with the ceil nearest-rank convention the
+// service used to compute directly, and the JSON/text expositions. The
+// suite carries the ctest label `obs` and runs in the ASan and TSan CI
+// jobs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "service/query_service.h"
+
+namespace beas {
+namespace {
+
+// --- Counter / Gauge ---
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.Set(42);
+  EXPECT_EQ(g.value(), 42);
+  g.Add(-50);
+  EXPECT_EQ(g.value(), -8);
+}
+
+// --- Histogram bucketing ---
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  for (uint64_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(Histogram::BucketIndex(v), v);
+    EXPECT_EQ(Histogram::BucketUpperBound(v), v);
+  }
+}
+
+TEST(HistogramTest, BucketBoundsCoverAndStayWithinRelativeError) {
+  // The documented contract: a sample's bucket upper bound is >= the
+  // sample and overstates it by at most 12.5% (v/8 for v >= 8).
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = rng() >> (rng() % 40);  // spread across octaves
+    size_t idx = Histogram::BucketIndex(v);
+    uint64_t ub = Histogram::BucketUpperBound(idx);
+    ASSERT_GE(ub, v) << "bucket bound below its own sample, v=" << v;
+    if (v >= 8) {
+      // Subtraction form: v + v/8 would overflow in the top octave.
+      ASSERT_LE(ub - v, v / 8) << "bucket bound overstates >12.5%, v=" << v;
+    }
+  }
+  // Bucket indexing is monotone at octave boundaries.
+  for (int o = 3; o < 20; ++o) {
+    uint64_t lo = uint64_t{1} << o;
+    EXPECT_LT(Histogram::BucketIndex(lo - 1), Histogram::BucketIndex(lo));
+  }
+}
+
+TEST(HistogramTest, EmptyAndOneSampleEdges) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.Percentile(50.0), 0.0);
+  EXPECT_EQ(h.Percentile(95.0), 0.0);
+  h.Record(5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 5u);
+  // One sample < 8: every percentile is exactly that sample.
+  EXPECT_EQ(h.Percentile(0.0), 5.0);
+  EXPECT_EQ(h.Percentile(50.0), 5.0);
+  EXPECT_EQ(h.Percentile(100.0), 5.0);
+}
+
+TEST(HistogramTest, PercentileMatchesNearestRankWithinBucketError) {
+  // Pin the histogram's percentiles against the reference ceil
+  // nearest-rank selection on a known multiset: exact for samples < 8,
+  // within the 12.5% bucket rounding above.
+  const std::vector<uint64_t> samples = {1, 2, 3, 4, 5, 6, 7,
+                                         100, 1000, 10000, 123456};
+  Histogram h;
+  std::vector<double> window;
+  for (uint64_t s : samples) {
+    h.Record(s);
+    window.push_back(static_cast<double>(s));
+  }
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0}) {
+    double exact = NearestRankPercentile(window, p / 100.0);
+    double bucketed = h.Percentile(p);
+    EXPECT_GE(bucketed, exact) << "p=" << p;
+    EXPECT_LE(bucketed, exact * 1.125 + 1e-9) << "p=" << p;
+    if (exact < 8.0) {
+      EXPECT_EQ(bucketed, exact) << "small samples must be exact, p=" << p;
+    }
+  }
+}
+
+TEST(HistogramTest, ConcurrentRecordingIsMergeDeterministic) {
+  // The same sample multiset recorded (a) sequentially and (b) sliced
+  // across 8 threads must produce identical bucket counts, sums, and
+  // percentiles — stripe assignment must never leak into reads.
+  std::mt19937_64 rng(11);
+  std::vector<uint64_t> samples(80000);
+  for (auto& s : samples) s = rng() % 1000000;
+
+  Histogram sequential;
+  for (uint64_t s : samples) sequential.Record(s);
+
+  Histogram threaded;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  size_t chunk = samples.size() / kThreads;
+  for (int t = 0; t < kThreads; ++t) {
+    size_t begin = t * chunk;
+    size_t end = t == kThreads - 1 ? samples.size() : begin + chunk;
+    threads.emplace_back([&threaded, &samples, begin, end] {
+      for (size_t i = begin; i < end; ++i) threaded.Record(samples[i]);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(threaded.count(), sequential.count());
+  EXPECT_EQ(threaded.sum(), sequential.sum());
+  EXPECT_EQ(threaded.bucket_counts(), sequential.bucket_counts());
+  for (double p : {50.0, 90.0, 95.0, 99.0}) {
+    EXPECT_EQ(threaded.Percentile(p), sequential.Percentile(p)) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, MergeFromIsAdditive) {
+  Histogram a, b, both;
+  for (uint64_t v : {1, 5, 100, 1000}) {
+    a.Record(v);
+    both.Record(v);
+  }
+  for (uint64_t v : {2, 50, 5000}) {
+    b.Record(v);
+    both.Record(v);
+  }
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.sum(), both.sum());
+  EXPECT_EQ(a.bucket_counts(), both.bucket_counts());
+}
+
+// --- MetricsRegistry ---
+
+TEST(MetricsRegistryTest, GetReturnsStablePointers) {
+  MetricsRegistry reg;
+  Counter* c1 = reg.GetCounter("x_total");
+  Counter* c2 = reg.GetCounter("x_total");
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(reg.GetCounter("y_total"), c1);
+  EXPECT_EQ(reg.GetHistogram("h_us"), reg.GetHistogram("h_us"));
+  EXPECT_EQ(reg.GetGauge("g"), reg.GetGauge("g"));
+}
+
+TEST(MetricsRegistryTest, JsonExpositionCarriesAllKinds) {
+  MetricsRegistry reg;
+  reg.GetCounter("req_total")->Increment(3);
+  reg.GetGauge("depth")->Set(-4);
+  Histogram* h = reg.GetHistogram("lat_us");
+  for (uint64_t v : {1, 2, 3, 4}) h->Record(v);
+  std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"req_total\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"depth\":-4"), std::string::npos);
+  EXPECT_NE(json.find("\"lat_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\":10"), std::string::npos);
+  // Sorted keys => deterministic exposition for equal contents.
+  EXPECT_EQ(json, reg.ToJson());
+}
+
+TEST(MetricsRegistryTest, TextExpositionIsPrometheusShaped) {
+  MetricsRegistry reg;
+  reg.GetCounter("req_total")->Increment();
+  reg.GetGauge("depth")->Set(7);
+  reg.GetHistogram("lat_us")->Record(5);
+  std::string text = reg.ToText();
+  EXPECT_NE(text.find("# TYPE req_total counter"), std::string::npos);
+  EXPECT_NE(text.find("req_total 1"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("depth 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat_us summary"), std::string::npos);
+  EXPECT_NE(text.find("lat_us{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_sum 5"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_count 1"), std::string::npos);
+}
+
+// --- QueryTrace ---
+
+TEST(QueryTraceTest, TimingsOffDropsSpansButKeepsAttrs) {
+  QueryTrace trace(/*timings=*/false);
+  trace.AddSpan("plan", 0, 100);
+  { ScopedSpan span(&trace, "fetch"); }
+  trace.IncrAttr("fetch_ops", 3);
+  trace.IncrAttr("fetch_ops", 2);
+  trace.SetAttr("plan_cache_hit", 1);
+  EXPECT_TRUE(trace.spans().empty());
+  EXPECT_EQ(trace.Attr("fetch_ops"), 5);
+  EXPECT_EQ(trace.Attr("plan_cache_hit"), 1);
+  EXPECT_EQ(trace.SpanMicros("plan"), 0u);
+}
+
+TEST(QueryTraceTest, TimingsOnRecordsSpans) {
+  QueryTrace trace(/*timings=*/true);
+  trace.AddSpan("plan", 10, 100);
+  trace.AddSpan("fetch", 110, 50);
+  trace.AddSpan("fetch", 160, 25);
+  EXPECT_EQ(trace.spans().size(), 3u);
+  EXPECT_EQ(trace.SpanMicros("plan"), 100u);
+  EXPECT_EQ(trace.SpanMicros("fetch"), 75u);
+  std::string summary = trace.Summary();
+  EXPECT_NE(summary.find("plan"), std::string::npos);
+  EXPECT_NE(summary.find("fetch"), std::string::npos);
+  std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"plan\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur_us\":100"), std::string::npos);
+}
+
+TEST(QueryTraceTest, ScopedSpanIsInertOnNullTrace) {
+  // Must not crash and must not dereference anything.
+  ScopedSpan span(nullptr, "whatever");
+}
+
+}  // namespace
+}  // namespace beas

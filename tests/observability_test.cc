@@ -1,0 +1,429 @@
+// End-to-end tests of the observability stack: wire-level EXPLAIN
+// ANALYZE (a TCP query with the trace flag returns a span breakdown
+// consistent with the reported wall latency), kStatsRequest exposition
+// in JSON and Prometheus text form, the slow-query JSONL log, and —
+// the torn-read regression — snapshot-vs-update hammers asserting that
+// every ServiceStats/NetStats snapshot is coherent under concurrent
+// load (runs under TSan in CI). The suite carries the ctest label
+// `obs`.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "beas/beas.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "service/query_service.h"
+#include "testing/test_data.h"
+
+namespace beas {
+namespace {
+
+using ::beas::testing::MakeSocialDb;
+
+// The join from Example 1: bounded under the social constraints, known
+// to answer with multiple rows at alpha 0.2.
+constexpr char kJoinSql[] =
+    "select p.city from friend as f, person as p "
+    "where f.pid = 7 and f.fid = p.pid";
+
+std::vector<ConstraintSpec> SocialConstraints() {
+  return {
+      {"person", {"pid"}, {"city"}, 1},
+      {"friend", {"pid"}, {"fid"}, 12},
+  };
+}
+
+// Minimal structural JSON check: object braces/brackets balance outside
+// string literals. Enough to catch malformed exposition without a JSON
+// library; the real parse happens in scripts/trace_summarize_test.py.
+bool JsonBalanced(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : s) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': case '[': ++depth; break;
+      case '}': case ']': if (--depth < 0) return false; break;
+      default: break;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+class ObservabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeSocialDb(30, 100, 5, 8, 400);
+    BeasOptions options;
+    options.constraints = SocialConstraints();
+    options.plan_cache.enabled = true;
+    auto built = Beas::Build(&db_, options);
+    ASSERT_TRUE(built.ok()) << built.status();
+    beas_ = std::move(*built);
+  }
+
+  QueryPtr Q(const std::string& sql) {
+    auto q = beas_->Parse(sql);
+    EXPECT_TRUE(q.ok()) << q.status();
+    return *q;
+  }
+
+  Database db_;
+  std::unique_ptr<Beas> beas_;
+};
+
+// --- Wire-level EXPLAIN ANALYZE ---
+
+// The tentpole acceptance criterion: a TCP query submitted with the
+// trace flag returns a span breakdown covering queue_wait, plan, fetch,
+// eval, and stream, whose non-overlapping span total is consistent with
+// the reported wall latency.
+TEST_F(ObservabilityTest, TracedTcpQueryReturnsConsistentSpanBreakdown) {
+  QueryService service(beas_.get(), {});
+  NetServer server(&service);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = NetClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status();
+  NetQueryOptions opts;
+  opts.trace = true;
+  auto answer = client->QueryAll(kJoinSql, 0.2, opts);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  ASSERT_TRUE(answer->has_trace) << "trace flag set but no trace came back";
+  ASSERT_FALSE(answer->trace_spans.empty());
+  EXPECT_GT(answer->table.size(), 0u);
+
+  std::set<std::string> names;
+  for (const TraceSpan& span : answer->trace_spans) names.insert(span.name);
+  for (const char* required : {"queue_wait", "plan", "fetch", "eval", "stream"}) {
+    EXPECT_TRUE(names.count(required)) << "missing span: " << required;
+  }
+
+  // Consistency with the wall latency: latency_ms is submit-to-completion
+  // and the trace's epoch is the admission instant, so every span
+  // recorded before the latency measurement must end within the wall
+  // interval, and the non-overlapping phases must sum to no more than
+  // the wall time. The `stream` span runs concurrently with execution
+  // and closes just after the latency clock is read, so it is excluded
+  // from both checks (its start must still fall inside the interval).
+  // 1ms slack absorbs clock-read ordering at the boundary.
+  const uint64_t wall_us =
+      static_cast<uint64_t>(answer->latency_ms * 1000.0) + 1000;
+  uint64_t disjoint_sum = 0;
+  for (const TraceSpan& span : answer->trace_spans) {
+    if (span.name == "stream") {
+      EXPECT_LE(span.start_us, wall_us) << "stream opened past the wall latency";
+      continue;
+    }
+    EXPECT_LE(span.start_us + span.dur_us, wall_us)
+        << "span " << span.name << " ends past the wall latency";
+    // Dotted names (plan.chase, plan.chat) nest inside their parent
+    // phase — counting them would double-bill the parent's time.
+    if (span.name.find('.') == std::string::npos) disjoint_sum += span.dur_us;
+  }
+  EXPECT_LE(disjoint_sum, wall_us)
+      << "non-overlapping spans sum past the wall latency";
+
+  // The always-on attributes ride along with the spans.
+  bool saw_keys_charged = false;
+  for (const auto& [key, value] : answer->trace_attrs) {
+    if (key == "keys_charged") {
+      saw_keys_charged = true;
+      EXPECT_EQ(static_cast<uint64_t>(value), answer->accessed);
+    }
+  }
+  EXPECT_TRUE(saw_keys_charged);
+}
+
+// Tracing is opt-in on the wire: without the flag the done page carries
+// no trace block, and the answer is identical either way.
+TEST_F(ObservabilityTest, UntracedTcpQueryCarriesNoTraceBlock) {
+  QueryService service(beas_.get(), {});
+  NetServer server(&service);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = NetClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status();
+  auto plain = client->QueryAll(kJoinSql, 0.2);
+  ASSERT_TRUE(plain.ok()) << plain.status();
+  EXPECT_FALSE(plain->has_trace);
+  EXPECT_TRUE(plain->trace_spans.empty());
+
+  NetQueryOptions opts;
+  opts.trace = true;
+  auto traced = client->QueryAll(kJoinSql, 0.2, opts);
+  ASSERT_TRUE(traced.ok()) << traced.status();
+  EXPECT_EQ(plain->table.size(), traced->table.size());
+  EXPECT_EQ(plain->eta, traced->eta);
+  EXPECT_EQ(plain->accessed, traced->accessed);
+}
+
+// --- In-process EXPLAIN ANALYZE ---
+
+TEST_F(ObservabilityTest, ServiceExplainAnalyzeFollowsTraceFlag) {
+  QueryService service(beas_.get(), {});
+  SubmitOptions traced;
+  traced.trace = true;
+  auto ticket = service.Submit(Q(kJoinSql), 0.2, traced);
+  ASSERT_TRUE(ticket.ok()) << ticket.status();
+  auto sa = service.Wait(*ticket);
+  ASSERT_TRUE(sa.ok()) << sa.status();
+  ASSERT_NE(sa->trace, nullptr);
+  EXPECT_FALSE(sa->trace->spans().empty());
+  std::string explain = sa->ExplainAnalyze();
+  EXPECT_NE(explain.find("plan"), std::string::npos);
+  EXPECT_NE(explain.find("eval"), std::string::npos);
+
+  // Untraced: counters/attributes still recorded, no timed spans.
+  auto plain = service.Answer(Q(kJoinSql), 0.2);
+  ASSERT_TRUE(plain.ok()) << plain.status();
+  ASSERT_NE(plain->trace, nullptr);
+  EXPECT_TRUE(plain->trace->spans().empty());
+  EXPECT_GT(plain->trace->Attr("keys_charged"), 0);
+}
+
+// --- kStatsRequest exposition ---
+
+TEST_F(ObservabilityTest, StatsRequestReturnsRegistryInBothForms) {
+  QueryService service(beas_.get(), {});
+  NetServer server(&service);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = NetClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status();
+  for (int i = 0; i < 3; ++i) {
+    auto answer = client->QueryAll(kJoinSql, 0.2);
+    ASSERT_TRUE(answer.ok()) << answer.status();
+  }
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+
+  // JSON form: structurally valid, carries the service and net metrics.
+  EXPECT_TRUE(JsonBalanced(stats->json)) << stats->json;
+  EXPECT_EQ(stats->json.front(), '{');
+  for (const char* name :
+       {"beas_service_query_latency_us", "beas_service_queue_wait_us",
+        "beas_service_queries_total", "beas_net_request_us",
+        "beas_net_ttfp_us", "beas_net_page_serve_us",
+        "beas_service_in_flight", "beas_net_sessions_active"}) {
+    EXPECT_NE(stats->json.find(name), std::string::npos)
+        << "JSON exposition missing " << name;
+    EXPECT_NE(stats->text.find(name), std::string::npos)
+        << "text exposition missing " << name;
+  }
+  // The three queries are visible in both forms.
+  EXPECT_NE(stats->json.find("\"beas_service_queries_total\":3"),
+            std::string::npos)
+      << stats->json;
+  EXPECT_NE(stats->text.find("beas_service_queries_total 3"),
+            std::string::npos)
+      << stats->text;
+  EXPECT_NE(stats->text.find("# TYPE beas_service_query_latency_us summary"),
+            std::string::npos);
+  EXPECT_NE(
+      stats->text.find("beas_service_query_latency_us{quantile=\"0.5\"}"),
+      std::string::npos);
+}
+
+// ServiceStats percentiles and the registry exposition derive from the
+// same histogram, so the surfaces agree.
+TEST_F(ObservabilityTest, ServiceStatsPercentilesComeFromSharedHistogram) {
+  QueryService service(beas_.get(), {});
+  for (int i = 0; i < 5; ++i) {
+    auto sa = service.Answer(Q(kJoinSql), 0.2);
+    ASSERT_TRUE(sa.ok()) << sa.status();
+  }
+  ServiceStats stats = service.stats();
+  Histogram* hist =
+      service.metrics()->GetHistogram("beas_service_query_latency_us");
+  EXPECT_EQ(hist->count(), 5u);
+  EXPECT_EQ(stats.p50_ms, hist->Percentile(50.0) / 1000.0);
+  EXPECT_EQ(stats.p95_ms, hist->Percentile(95.0) / 1000.0);
+  EXPECT_GT(stats.p95_ms, 0.0);
+  EXPECT_EQ(service.metrics()->GetCounter("beas_service_queries_total")->value(),
+            5u);
+}
+
+// --- Slow-query log ---
+
+TEST_F(ObservabilityTest, SlowQueryLogEmitsJsonlWithFullTrace) {
+  ServiceOptions options;
+  options.slow_query_ms = 0.0001;  // everything is slow: log every query
+  std::mutex mu;
+  std::vector<std::string> lines;
+  options.slow_query_hook = [&](const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    lines.push_back(line);
+  };
+  QueryService service(beas_.get(), options);
+
+  // slow_query_ms forces span timings even without SubmitOptions::trace.
+  auto sa = service.Answer(Q(kJoinSql), 0.2);
+  ASSERT_TRUE(sa.ok()) << sa.status();
+  ASSERT_NE(sa->trace, nullptr);
+  EXPECT_FALSE(sa->trace->spans().empty());
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& line = lines[0];
+  EXPECT_TRUE(JsonBalanced(line)) << line;
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  for (const char* key : {"\"latency_ms\":", "\"alpha\":", "\"status\":\"ok\"",
+                          "\"epoch\":", "\"trace\":", "\"spans\":",
+                          "\"attrs\":", "\"queue_wait\"", "\"eval\""}) {
+    EXPECT_NE(line.find(key), std::string::npos)
+        << "slow-query line missing " << key << ": " << line;
+  }
+  EXPECT_EQ(service.metrics()
+                ->GetCounter("beas_service_slow_queries_total")
+                ->value(),
+            1u);
+}
+
+TEST_F(ObservabilityTest, FastQueriesStayOutOfSlowQueryLog) {
+  ServiceOptions options;
+  options.slow_query_ms = 60000.0;  // nothing is that slow
+  std::atomic<int> logged{0};
+  options.slow_query_hook = [&](const std::string&) { ++logged; };
+  QueryService service(beas_.get(), options);
+  auto sa = service.Answer(Q(kJoinSql), 0.2);
+  ASSERT_TRUE(sa.ok()) << sa.status();
+  EXPECT_EQ(logged.load(), 0);
+  EXPECT_EQ(service.metrics()
+                ->GetCounter("beas_service_slow_queries_total")
+                ->value(),
+            0u);
+}
+
+// --- Torn-read regression: coherent stats snapshots under load ---
+
+// Every ServiceStats snapshot taken while queries are in flight must
+// satisfy the lifecycle invariant submitted == queued + in_flight +
+// completed + failed — the seed read those fields under separate lock
+// acquisitions, so snapshots could tear mid-transition. Runs under TSan
+// via the `obs` label.
+TEST_F(ObservabilityTest, ServiceStatsSnapshotsAreCoherentUnderLoad) {
+  ServiceOptions options;
+  options.workers = 4;
+  QueryService service(beas_.get(), options);
+
+  constexpr int kQueries = 48;
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      ServiceStats s = service.stats();
+      ASSERT_EQ(s.submitted, s.queued + s.in_flight + s.completed + s.failed)
+          << "torn ServiceStats snapshot";
+    }
+  });
+
+  std::vector<QueryTicket> tickets;
+  tickets.reserve(kQueries);
+  for (int i = 0; i < kQueries; ++i) {
+    auto ticket = service.Submit(Q(kJoinSql), 0.2);
+    ASSERT_TRUE(ticket.ok()) << ticket.status();
+    tickets.push_back(*ticket);
+  }
+  for (QueryTicket ticket : tickets) {
+    auto sa = service.Wait(ticket);
+    ASSERT_TRUE(sa.ok()) << sa.status();
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  ServiceStats final = service.stats();
+  EXPECT_EQ(final.submitted, static_cast<uint64_t>(kQueries));
+  EXPECT_EQ(final.completed, static_cast<uint64_t>(kQueries));
+  EXPECT_EQ(final.queued, 0u);
+  EXPECT_EQ(final.in_flight, 0u);
+}
+
+// Same hammer on the net tier: NetStats snapshots race against live
+// sessions, queries, and page traffic; every snapshot must be
+// internally consistent (active <= opened, resident <= peak).
+TEST_F(ObservabilityTest, NetStatsSnapshotsAreCoherentUnderLoad) {
+  QueryService service(beas_.get(), {});
+  NetServer server(&service);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      NetStats s = server.stats();
+      ASSERT_LE(s.sessions_active, s.sessions_opened);
+      ASSERT_LE(s.cursor_resident_bytes, s.cursor_resident_peak_bytes);
+      ASSERT_LE(s.pages_sent, s.pages_sent + s.errors_sent);  // overflow guard
+      ASSERT_EQ(s.service.submitted, s.service.queued + s.service.in_flight +
+                                         s.service.completed + s.service.failed);
+    }
+  });
+
+  constexpr int kClients = 3;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&server] {
+      auto client = NetClient::Connect("127.0.0.1", server.port());
+      ASSERT_TRUE(client.ok()) << client.status();
+      for (int i = 0; i < 6; ++i) {
+        NetQueryOptions opts;
+        opts.page_rows = 2;  // several pages per query: more traffic races
+        opts.trace = (i % 2) == 0;
+        auto answer = client->QueryAll(kJoinSql, 0.2, opts);
+        ASSERT_TRUE(answer.ok()) << answer.status();
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  NetStats final = server.stats();
+  EXPECT_EQ(final.queries, static_cast<uint64_t>(kClients * 6));
+  EXPECT_EQ(final.sessions_opened, static_cast<uint64_t>(kClients));
+}
+
+// --- Determinism: tracing never changes answers ---
+
+TEST_F(ObservabilityTest, TracingNeverChangesAnswers) {
+  QueryService service(beas_.get(), {});
+  auto baseline = service.Answer(Q(kJoinSql), 0.2);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+  SubmitOptions traced;
+  traced.trace = true;
+  auto ticket = service.Submit(Q(kJoinSql), 0.2, traced);
+  ASSERT_TRUE(ticket.ok()) << ticket.status();
+  auto sa = service.Wait(*ticket);
+  ASSERT_TRUE(sa.ok()) << sa.status();
+  EXPECT_EQ(sa->answer.eta, baseline->answer.eta);
+  EXPECT_EQ(sa->answer.accessed, baseline->answer.accessed);
+  EXPECT_EQ(sa->answer.d_prime, baseline->answer.d_prime);
+  ASSERT_EQ(sa->answer.table.size(), baseline->answer.table.size());
+  for (size_t i = 0; i < sa->answer.table.size(); ++i) {
+    EXPECT_EQ(sa->answer.table.row(i), baseline->answer.table.row(i));
+  }
+}
+
+}  // namespace
+}  // namespace beas
